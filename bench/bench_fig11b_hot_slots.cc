@@ -1,0 +1,44 @@
+// Figure 11(b): HDNH positive/negative search throughput vs hot-table
+// slots per bucket.
+//
+// Paper's shape: positive search improves with more slots (higher hot-table
+// hit rate); negative search degrades (longer useless hot-table scans
+// before falling through to the OCF). 4 slots balances the two.
+#include <cstdio>
+#include <vector>
+
+#include "common/bench_util.h"
+
+using namespace hdnh;
+using namespace hdnh::bench;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  Env env = standard_env(cli, 200000, 900000);
+  cli.finish();
+  print_env("Figure 11(b): hot-table slots per bucket (HDNH)", env);
+
+  std::printf("\n%-8s %16s %16s %14s\n", "slots", "search+ Mops/s",
+              "search- Mops/s", "hot-hit rate");
+  for (uint32_t slots : {1u, 2u, 4u, 8u, 16u}) {
+    TableOptions opts;
+    opts.hdnh.hot_slots_per_bucket = slots;
+    OwnedTable t = make_table("hdnh", env.preload, env, opts);
+    t.pool->set_emulate_latency(false);
+    ycsb::preload(*t.table, env.preload);
+    t.pool->set_emulate_latency(env.emulate);
+
+    ycsb::RunOptions ro;
+    ro.seed = env.seed;
+    auto pos_spec = ycsb::WorkloadSpec::ReadOnly(0.99);  // skewed: hot set
+    auto pos = ycsb::run(*t.table, pos_spec, env.preload, env.ops, ro);
+    auto neg = ycsb::run(*t.table, ycsb::WorkloadSpec::NegativeRead(),
+                         env.preload, env.ops, ro);
+    std::printf("%-8u %16.3f %16.3f %13.1f%%\n", slots, pos.mops(), neg.mops(),
+                100.0 * static_cast<double>(pos.nvm.dram_hot_hits) /
+                    static_cast<double>(pos.ops));
+  }
+  std::printf("\n(paper: positive search grows with slots, negative search "
+              "shrinks; 4 is the balance point)\n");
+  return 0;
+}

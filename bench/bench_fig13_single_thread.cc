@@ -1,0 +1,71 @@
+// Figure 13: single-thread throughput of PATH / LEVEL / CCEH / HDNH for
+// 100% insert, positive search, negative search, and delete.
+//
+// Paper's reported shape (AEP testbed): HDNH beats CCEH/LEVEL by
+//   insert 1.9x/3.7x, positive search 1.57x/4.33x,
+//   negative search 2.2x/5.6x, delete 1.7x/2.9x,
+// with PATH slowest overall.
+#include <cstdio>
+#include <map>
+
+#include "common/bench_util.h"
+
+using namespace hdnh;
+using namespace hdnh::bench;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  Env env = standard_env(cli);
+  cli.finish();
+  print_env("Figure 13: single-thread performance", env);
+
+  struct Case {
+    const char* name;
+    ycsb::WorkloadSpec spec;
+  };
+  const Case cases[] = {
+      {"insert", ycsb::WorkloadSpec::InsertOnly()},
+      {"search+", [] {
+         auto s = ycsb::WorkloadSpec::ReadOnly();
+         s.dist = ycsb::Dist::kUniform;  // isolate structure costs
+         return s;
+       }()},
+      {"search-", ycsb::WorkloadSpec::NegativeRead()},
+      {"delete", ycsb::WorkloadSpec::DeleteOnly()},
+  };
+
+  std::map<std::string, std::map<std::string, double>> mops;
+  for (const Case& c : cases) {
+    std::printf("\n== %s ==\n", c.name);
+    print_run_header();
+    for (const std::string& scheme : paper_schemes()) {
+      const bool has_insert = c.spec.insert > 0;
+      // Delete workloads need `ops` preloaded victims; inserts grow past
+      // the preload; searches probe the preloaded set.
+      const uint64_t preload =
+          c.spec.erase > 0 ? std::max(env.preload, env.ops) : env.preload;
+      const uint64_t max_items = preload + (has_insert ? env.ops : 0);
+      OwnedTable t = make_table(scheme, max_items, env);
+      t.pool->set_emulate_latency(false);  // fast untimed preload
+      ycsb::preload(*t.table, preload);
+      t.pool->set_emulate_latency(env.emulate);
+
+      ycsb::RunOptions ro;
+      ro.threads = env.threads;
+      ro.seed = env.seed;
+      auto r = ycsb::run(*t.table, c.spec, preload, env.ops, ro);
+      print_run_row(std::string(t.table->name()), r);
+      mops[c.name][scheme] = r.mops();
+    }
+  }
+
+  std::printf("\n== HDNH speedups (paper: CCEH 1.9/1.57/2.2/1.7x, LEVEL "
+              "3.7/4.33/5.6/2.9x) ==\n");
+  for (const Case& c : cases) {
+    auto& m = mops[c.name];
+    std::printf("%-8s  vs CCEH %.2fx   vs LEVEL %.2fx   vs PATH %.2fx\n",
+                c.name, m["hdnh"] / m["cceh"], m["hdnh"] / m["level"],
+                m["hdnh"] / m["path"]);
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 14: multi-threaded throughput, threads 1 -> 16, for three YCSB
+// workloads: (a) 100% insert, (b) 100% search, (c) 50% insert / 50% search.
+//
+// Paper's shape: HDNH scales best (fine-grained optimistic concurrency, no
+// NVM lock traffic): 1.6-6.9x on inserts, 1.9x/4.4x over CCEH/LEVEL on
+// search, 1.4x/4.3x on the mix. On hosts with few cores the throughput
+// curves flatten, but the per-op NVM traffic columns — the cause the paper
+// argues from — are core-count independent.
+#include <cstdio>
+#include <vector>
+
+#include "common/bench_util.h"
+
+using namespace hdnh;
+using namespace hdnh::bench;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  Env env = standard_env(cli, 100000, 300000);
+  const std::string thread_list =
+      cli.get_str("thread_list", "1,2,4,8,16", "comma-separated thread counts");
+  cli.finish();
+  print_env("Figure 14: concurrent throughput", env);
+
+  std::vector<uint32_t> threads;
+  for (size_t pos = 0; pos < thread_list.size();) {
+    threads.push_back(
+        static_cast<uint32_t>(std::strtoul(&thread_list[pos], nullptr, 10)));
+    pos = thread_list.find(',', pos);
+    if (pos == std::string::npos) break;
+    ++pos;
+  }
+
+  struct Case {
+    const char* name;
+    ycsb::WorkloadSpec spec;
+  };
+  const Case cases[] = {
+      {"(a) 100% insert", ycsb::WorkloadSpec::InsertOnly()},
+      {"(b) 100% search", [] {
+         auto s = ycsb::WorkloadSpec::ReadOnly();
+         s.dist = ycsb::Dist::kUniform;
+         return s;
+       }()},
+      {"(c) 50% insert / 50% search", ycsb::WorkloadSpec::Mixed5050()},
+  };
+
+  for (const Case& c : cases) {
+    std::printf("\n== %s ==\n", c.name);
+    std::printf("%-8s", "threads");
+    for (const auto& s : paper_schemes()) std::printf(" %10s", s.c_str());
+    std::printf("   (Mops/s)\n");
+    for (uint32_t th : threads) {
+      std::printf("%-8u", th);
+      for (const std::string& scheme : paper_schemes()) {
+        const bool has_insert = c.spec.insert > 0;
+        OwnedTable t = make_table(
+            scheme, env.preload + (has_insert ? env.ops : 0), env);
+        t.pool->set_emulate_latency(false);
+        ycsb::preload(*t.table, env.preload);
+        t.pool->set_emulate_latency(env.emulate);
+        ycsb::RunOptions ro;
+        ro.threads = th;
+        ro.seed = env.seed;
+        auto r = ycsb::run(*t.table, c.spec, env.preload, env.ops, ro);
+        std::printf(" %10.3f", r.mops());
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\n(paper @16T: HDNH over CCEH/LEVEL = insert up to 6.9x, "
+              "search 1.9x/4.4x, mixed 1.4x/4.3x)\n");
+  return 0;
+}

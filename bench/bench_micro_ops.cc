@@ -1,0 +1,104 @@
+// Micro-benchmarks (google-benchmark): per-operation cost of each scheme on
+// the emulated AEP device. Complements the figure benches with
+// statistically-managed single-op timings.
+//
+// Run a subset with e.g.:
+//   bench_micro_ops --benchmark_filter='Search.*hdnh'
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/bench_util.h"
+#include "common/random.h"
+
+using namespace hdnh;
+using namespace hdnh::bench;
+
+namespace {
+
+constexpr uint64_t kPreload = 100000;
+
+Env micro_env() {
+  Env env;
+  env.preload = kPreload;
+  env.emulate = true;
+  return env;
+}
+
+// One prebuilt table per scheme, shared by all micro benchmarks (building
+// per-iteration would swamp the measurement).
+OwnedTable& shared_table(const std::string& scheme) {
+  static std::map<std::string, OwnedTable>* tables =
+      new std::map<std::string, OwnedTable>();
+  auto it = tables->find(scheme);
+  if (it == tables->end()) {
+    Env env = micro_env();
+    // Headroom for insert/erase churn benchmarks.
+    OwnedTable t = make_table(scheme, kPreload * 4, env);
+    t.pool->set_emulate_latency(false);
+    ycsb::preload(*t.table, kPreload);
+    t.pool->set_emulate_latency(true);
+    it = tables->emplace(scheme, std::move(t)).first;
+  }
+  return it->second;
+}
+
+void BM_PositiveSearch(benchmark::State& state, const std::string& scheme) {
+  OwnedTable& t = shared_table(scheme);
+  Rng rng(7);
+  Value v;
+  for (auto _ : state) {
+    const uint64_t id = rng.next_below(kPreload);
+    benchmark::DoNotOptimize(t.table->search(make_key(id), &v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_NegativeSearch(benchmark::State& state, const std::string& scheme) {
+  OwnedTable& t = shared_table(scheme);
+  Rng rng(11);
+  Value v;
+  for (auto _ : state) {
+    const uint64_t id = (1ULL << 41) + rng.next();
+    benchmark::DoNotOptimize(t.table->search(make_key(id), &v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Update(benchmark::State& state, const std::string& scheme) {
+  OwnedTable& t = shared_table(scheme);
+  Rng rng(13);
+  for (auto _ : state) {
+    const uint64_t id = rng.next_below(kPreload);
+    benchmark::DoNotOptimize(t.table->update(make_key(id), make_value(id + 1)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_InsertEraseChurn(benchmark::State& state, const std::string& scheme) {
+  OwnedTable& t = shared_table(scheme);
+  uint64_t id = 1ULL << 33;
+  for (auto _ : state) {
+    t.table->insert(make_key(id), make_value(id));
+    t.table->erase(make_key(id));
+    ++id;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+
+void register_all() {
+  for (const std::string scheme : {"hdnh", "cceh", "level", "path"}) {
+    benchmark::RegisterBenchmark(("PositiveSearch/" + scheme).c_str(),
+                                 BM_PositiveSearch, scheme);
+    benchmark::RegisterBenchmark(("NegativeSearch/" + scheme).c_str(),
+                                 BM_NegativeSearch, scheme);
+    benchmark::RegisterBenchmark(("Update/" + scheme).c_str(), BM_Update,
+                                 scheme);
+    benchmark::RegisterBenchmark(("InsertEraseChurn/" + scheme).c_str(),
+                                 BM_InsertEraseChurn, scheme);
+  }
+}
+
+const bool registered = (register_all(), true);
+
+}  // namespace

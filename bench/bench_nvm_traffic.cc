@@ -1,0 +1,71 @@
+// NVM traffic matrix — the hardware-independent reproduction signal.
+//
+// For every scheme x operation class, the emulated device's exact per-op
+// costs: media reads (ops and 256 B blocks), writes (annotated stores and
+// persisted cachelines, including lock-word writebacks), and fences. The
+// paper's §4 throughput orderings follow directly from this table; unlike
+// throughput, it does not depend on the host's core count or clock.
+#include <cstdio>
+#include <string>
+
+#include "common/bench_util.h"
+
+using namespace hdnh;
+using namespace hdnh::bench;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  Env env = standard_env(cli, 100000, 200000);
+  cli.finish();
+  env.emulate = false;  // pure accounting: latency irrelevant
+  print_env("Per-operation NVM traffic matrix (accounting only)", env);
+
+  struct Case {
+    const char* name;
+    ycsb::WorkloadSpec spec;
+  };
+  const Case cases[] = {
+      {"insert", ycsb::WorkloadSpec::InsertOnly()},
+      {"search+ uniform", [] {
+         auto s = ycsb::WorkloadSpec::ReadOnly();
+         s.dist = ycsb::Dist::kUniform;
+         return s;
+       }()},
+      {"search+ zipf.99", ycsb::WorkloadSpec::ReadOnly(0.99)},
+      {"search- (miss)", ycsb::WorkloadSpec::NegativeRead()},
+      {"update zipf.99", [] {
+         ycsb::WorkloadSpec s;
+         s.read = 0;
+         s.update = 1;
+         return s;
+       }()},
+      {"delete", ycsb::WorkloadSpec::DeleteOnly()},
+  };
+
+  for (const Case& c : cases) {
+    std::printf("\n== %s ==\n", c.name);
+    std::printf("%-8s %10s %12s %11s %12s %9s\n", "scheme", "reads/op",
+                "blocks/op", "writes/op", "lines/op", "fences/op");
+    for (const std::string& scheme : paper_schemes()) {
+      const bool grows = c.spec.insert > 0;
+      const uint64_t preload =
+          c.spec.erase > 0 ? std::max(env.preload, env.ops) : env.preload;
+      OwnedTable t = make_table(scheme, preload + (grows ? env.ops : 0), env);
+      ycsb::preload(*t.table, preload);
+      ycsb::RunOptions ro;
+      ro.seed = env.seed;
+      auto r = ycsb::run(*t.table, c.spec, preload, env.ops, ro);
+      const double n = static_cast<double>(r.ops);
+      std::printf("%-8s %10.3f %12.3f %11.3f %12.3f %9.3f\n", t.table->name(),
+                  static_cast<double>(r.nvm.nvm_read_ops) / n,
+                  static_cast<double>(r.nvm.nvm_read_blocks) / n,
+                  static_cast<double>(r.nvm.nvm_write_ops) / n,
+                  static_cast<double>(r.nvm.nvm_write_lines) / n,
+                  static_cast<double>(r.nvm.fences) / n);
+    }
+  }
+  std::printf("\n(HDNH's rows should show near-zero reads on misses — the "
+              "OCF — and zero search writes — no in-NVM locks; baseline "
+              "search rows pay 2 lock-line writebacks each.)\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Resize pauses — the "blocking of large segment sizes resizing" effect
+// behind Fig 11(a)'s insert dip, measured directly: per-insert latency
+// percentiles and the maximum stall across a run that crosses several
+// resizes, for varying segment sizes and rehash worker counts.
+#include <cstdio>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "hdnh/hdnh.h"
+
+using namespace hdnh;
+using namespace hdnh::bench;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  Env env = standard_env(cli, 4000, 250000);
+  cli.finish();
+  print_env("Resize pauses: insert stalls vs segment size / rehash workers",
+            env);
+
+  std::printf("\n%-10s %8s %12s %12s %12s %14s %9s\n", "segment", "workers",
+              "p50(us)", "p99(us)", "p99.9(us)", "max stall(ms)", "resizes");
+  for (uint64_t seg : {uint64_t{1024}, uint64_t{16 * 1024},
+                       uint64_t{256 * 1024}}) {
+    for (uint32_t workers : {1u, 4u}) {
+      TableOptions opts;
+      opts.hdnh.segment_bytes = seg;
+      opts.hdnh.resize_threads = workers;
+      opts.capacity = env.preload;
+      OwnedTable t = make_table("hdnh", env.preload + env.ops, env, opts);
+      ycsb::preload(*t.table, env.preload);
+
+      Histogram lat;
+      uint64_t max_ns = 0;
+      for (uint64_t i = 0; i < env.ops; ++i) {
+        const uint64_t id = (1 << 20) + i;
+        const uint64_t t0 = now_ns();
+        t.table->insert(make_key(id), make_value(id));
+        const uint64_t d = now_ns() - t0;
+        lat.record(d);
+        max_ns = std::max(max_ns, d);
+      }
+      auto* h = dynamic_cast<Hdnh*>(t.table.get());
+      std::printf("%-10llu %8u %12.2f %12.2f %12.2f %14.2f %9llu\n",
+                  static_cast<unsigned long long>(seg), workers,
+                  static_cast<double>(lat.percentile(0.5)) / 1e3,
+                  static_cast<double>(lat.percentile(0.99)) / 1e3,
+                  static_cast<double>(lat.percentile(0.999)) / 1e3,
+                  static_cast<double>(max_ns) / 1e6,
+                  static_cast<unsigned long long>(h->resize_count()));
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n(expected: max stall grows with table size at resize; extra "
+              "rehash workers shorten it on multi-core hosts)\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// YCSB suite: workloads A (50r/50u), B (95r/5u) and C (100r), zipfian 0.99,
+// across all four schemes — the abstract's claim is "HDNH outperforms its
+// counterparts by up to 2.9x under various YCSB workloads".
+#include <cstdio>
+#include <map>
+
+#include "common/bench_util.h"
+
+using namespace hdnh;
+using namespace hdnh::bench;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  Env env = standard_env(cli, 150000, 600000);
+  cli.finish();
+  print_env("YCSB A/B/C suite", env);
+
+  struct Case {
+    const char* name;
+    ycsb::WorkloadSpec spec;
+  };
+  const Case cases[] = {
+      {"YCSB-A (50r/50u)", ycsb::WorkloadSpec::YcsbA()},
+      {"YCSB-B (95r/5u)", ycsb::WorkloadSpec::YcsbB()},
+      {"YCSB-C (100r)", ycsb::WorkloadSpec::YcsbC()},
+  };
+
+  std::map<std::string, std::map<std::string, double>> mops;
+  for (const Case& c : cases) {
+    std::printf("\n== %s ==\n", c.name);
+    print_run_header();
+    for (const std::string& scheme : paper_schemes()) {
+      OwnedTable t = make_table(scheme, env.preload, env);
+      t.pool->set_emulate_latency(false);
+      ycsb::preload(*t.table, env.preload);
+      t.pool->set_emulate_latency(env.emulate);
+      ycsb::RunOptions ro;
+      ro.threads = env.threads;
+      ro.seed = env.seed;
+      auto r = ycsb::run(*t.table, c.spec, env.preload, env.ops, ro);
+      print_run_row(std::string(t.table->name()), r);
+      mops[c.name][scheme] = r.mops();
+    }
+  }
+
+  std::printf("\n== HDNH speedups (abstract: 'up to 2.9x') ==\n");
+  for (const Case& c : cases) {
+    auto& m = mops[c.name];
+    std::printf("%-18s vs CCEH %.2fx  vs LEVEL %.2fx  vs PATH %.2fx\n",
+                c.name, m["hdnh"] / m["cceh"], m["hdnh"] / m["level"],
+                m["hdnh"] / m["path"]);
+  }
+  return 0;
+}

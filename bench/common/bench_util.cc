@@ -1,0 +1,69 @@
+#include "common/bench_util.h"
+
+#include <cstdio>
+
+namespace hdnh::bench {
+
+Env standard_env(Cli& cli, uint64_t def_preload, uint64_t def_ops,
+                 uint32_t def_threads) {
+  Env env;
+  env.preload = static_cast<uint64_t>(cli.get_int(
+      "preload", static_cast<int64_t>(def_preload), "items preloaded"));
+  env.ops = static_cast<uint64_t>(
+      cli.get_int("ops", static_cast<int64_t>(def_ops), "timed operations"));
+  env.threads = static_cast<uint32_t>(
+      cli.get_int("threads", def_threads, "worker threads"));
+  env.emulate =
+      cli.get_bool("emulate", true, "emulate AEP latency (spin-waits)");
+  env.lat_scale =
+      cli.get_double("lat_scale", 1.0, "scale all emulated latencies");
+  env.seed = static_cast<uint64_t>(cli.get_int("seed", 42, "workload seed"));
+  return env;
+}
+
+OwnedTable make_table(const std::string& scheme, uint64_t max_items,
+                      const Env& env, TableOptions opts) {
+  OwnedTable t;
+  nvm::NvmConfig cfg;
+  cfg.emulate_latency = env.emulate;
+  cfg.latency_scale = env.lat_scale;
+  t.pool = std::make_unique<nvm::PmemPool>(pool_bytes_hint(scheme, max_items),
+                                           cfg);
+  t.alloc = std::make_unique<nvm::PmemAllocator>(*t.pool);
+  if (opts.capacity == 0 || opts.capacity == TableOptions{}.capacity) {
+    // PATH is static and must be sized for everything it will ever hold;
+    // growing schemes start at the preload size, as the paper's runs do.
+    opts.capacity = scheme == "path" ? max_items : env.preload;
+    if (opts.capacity == 0) opts.capacity = 1024;
+  }
+  t.table = create_table(scheme, *t.alloc, opts);
+  return t;
+}
+
+void print_env(const char* title, const Env& env) {
+  std::printf("# %s\n", title);
+  std::printf(
+      "# preload=%llu ops=%llu threads=%u emulate=%s lat_scale=%.2f "
+      "(AEP model: 300ns/256B read block, 100ns/line write, 30ns fence)\n",
+      static_cast<unsigned long long>(env.preload),
+      static_cast<unsigned long long>(env.ops), env.threads,
+      env.emulate ? "on" : "off", env.lat_scale);
+  std::fflush(stdout);
+}
+
+void print_run_header() {
+  std::printf("%-28s %10s %12s %14s %14s %12s\n", "config", "Mops/s",
+              "hit-rate", "nvm-reads/op", "nvm-writes/op", "hot-hits/op");
+}
+
+void print_run_row(const std::string& label, const ycsb::RunResult& r) {
+  const double ops = static_cast<double>(r.ops ? r.ops : 1);
+  std::printf("%-28s %10.3f %11.1f%% %14.3f %14.3f %12.3f\n", label.c_str(),
+              r.mops(), 100.0 * static_cast<double>(r.hits) / ops,
+              static_cast<double>(r.nvm.nvm_read_ops) / ops,
+              static_cast<double>(r.nvm.nvm_write_ops) / ops,
+              static_cast<double>(r.nvm.dram_hot_hits) / ops);
+  std::fflush(stdout);
+}
+
+}  // namespace hdnh::bench

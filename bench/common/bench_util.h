@@ -1,0 +1,61 @@
+// Shared bench harness: standard flags, AEP-emulated table construction,
+// and paper-style result rows.
+//
+// Every bench binary reproduces one table/figure of the paper (see
+// DESIGN.md §3). Absolute numbers depend on this host; the *shape* (who
+// wins, by what factor) is the reproduction target, and each binary also
+// prints the hardware-independent signal: emulated-NVM reads/writes per
+// operation.
+//
+// Common flags (see --help): --preload, --ops, --threads, --emulate,
+// --lat_scale, --seed. Sizes default to a laptop-friendly 1:9
+// preload:ops ratio, the paper's 20M:180M shape scaled down; scale up with
+// --preload/--ops to approach the paper's operating point.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "api/factory.h"
+#include "common/cli.h"
+#include "nvm/alloc.h"
+#include "nvm/pmem.h"
+#include "ycsb/runner.h"
+
+namespace hdnh::bench {
+
+struct Env {
+  uint64_t preload = 100000;
+  uint64_t ops = 900000;
+  uint32_t threads = 1;
+  bool emulate = true;
+  double lat_scale = 1.0;
+  uint64_t seed = 42;
+};
+
+// Registers and reads the standard flags.
+Env standard_env(Cli& cli, uint64_t def_preload = 100000,
+                 uint64_t def_ops = 900000, uint32_t def_threads = 1);
+
+// A pool + allocator + table bundle with the AEP latency model applied.
+struct OwnedTable {
+  std::unique_ptr<nvm::PmemPool> pool;
+  std::unique_ptr<nvm::PmemAllocator> alloc;
+  std::unique_ptr<HashTable> table;
+
+  HashTable& operator*() { return *table; }
+  HashTable* operator->() { return table.get(); }
+};
+
+// `max_items` sizes the pool; `opts.capacity` sizes the table's initial
+// structure (0 -> defaults to max_items for the static PATH scheme and to
+// env.preload for growing schemes).
+OwnedTable make_table(const std::string& scheme, uint64_t max_items,
+                      const Env& env, TableOptions opts = {});
+
+// Pretty-printers.
+void print_env(const char* title, const Env& env);
+void print_run_row(const std::string& label, const ycsb::RunResult& r);
+void print_run_header();
+
+}  // namespace hdnh::bench

@@ -1,0 +1,94 @@
+// Crash-recovery demo: write through HDNH's persistence protocol, pull the
+// (simulated) power cord, and watch §3.7 recovery put everything back —
+// including an interruption in the middle of a structural resize.
+//
+//   $ ./examples/crash_recovery_demo
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "common/clock.h"
+#include "hdnh/hdnh.h"
+#include "nvm/alloc.h"
+#include "nvm/pmem.h"
+
+using namespace hdnh;
+
+namespace {
+struct PowerLoss : std::runtime_error {
+  PowerLoss() : std::runtime_error("power loss") {}
+};
+}  // namespace
+
+int main() {
+  nvm::NvmConfig cfg;
+  cfg.track_persistence = true;  // keep a shadow "media" image
+  nvm::PmemPool pool(512ull << 20, cfg);
+  nvm::PmemAllocator alloc(pool);
+
+  HdnhConfig hcfg;
+  hcfg.initial_capacity = 4096;  // small: forces resizes soon
+  auto* table = new Hdnh(alloc, hcfg);
+
+  std::printf("1) inserting 50k records through the CLWB/SFENCE protocol...\n");
+  for (uint64_t i = 0; i < 50000; ++i) {
+    table->insert(make_key(i), make_value(i));
+  }
+  std::printf("   items=%llu resizes=%llu\n",
+              static_cast<unsigned long long>(table->size()),
+              static_cast<unsigned long long>(table->resize_count()));
+
+  std::printf("2) power loss at a random moment (unflushed cachelines are "
+              "dropped from the media image)...\n");
+  pool.simulate_crash();
+  // The in-memory table object is now inconsistent with media — abandon it,
+  // exactly as a crashed process would.
+  table = nullptr;  // intentional leak: the dead process's heap
+
+  std::printf("3) restart: attaching to the pool runs recovery (replay "
+              "update logs, rebuild OCF + hot table)...\n");
+  ScopeTimer t;
+  Hdnh recovered(alloc, hcfg);
+  auto rs = recovered.last_recovery();
+  std::printf("   recovered %llu items in %.2f ms (attach wall time %.2f ms)\n",
+              static_cast<unsigned long long>(rs.items), rs.total_ms,
+              t.elapsed_ms());
+
+  std::printf("4) verifying every record...\n");
+  Value v;
+  uint64_t ok = 0;
+  for (uint64_t i = 0; i < 50000; ++i) {
+    if (recovered.search(make_key(i), &v) && v == make_value(i)) ++ok;
+  }
+  std::printf("   %llu/50000 records intact\n",
+              static_cast<unsigned long long>(ok));
+
+  std::printf("5) now crash in the MIDDLE of a resize (the §3.7 level_number "
+              "= 3 state) and recover again...\n");
+  recovered.test_hook = [&](const char* point) {
+    if (std::string(point) == "rehash-bucket") {
+      pool.simulate_crash();
+      throw PowerLoss();
+    }
+  };
+  uint64_t id = 1 << 20;
+  try {
+    for (;; ++id) recovered.insert(make_key(id), make_value(id));
+  } catch (const PowerLoss&) {
+    std::printf("   crashed mid-rehash while inserting id %llu\n",
+                static_cast<unsigned long long>(id));
+  }
+
+  Hdnh recovered2(alloc, hcfg);
+  std::printf("   recovery resumed the interrupted resize: resumed=%s, "
+              "items=%llu\n",
+              recovered2.last_recovery().resumed_resize ? "yes" : "no",
+              static_cast<unsigned long long>(recovered2.size()));
+  ok = 0;
+  for (uint64_t i = 0; i < 50000; ++i) {
+    if (recovered2.search(make_key(i), &v) && v == make_value(i)) ++ok;
+  }
+  std::printf("   %llu/50000 original records intact after double crash\n",
+              static_cast<unsigned long long>(ok));
+  return 0;
+}

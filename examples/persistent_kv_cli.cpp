@@ -1,0 +1,102 @@
+// A tiny persistent key-value CLI on top of HDNH with a file-backed pool:
+// data survives across process runs, exercising the recovery path
+// (§3.7 "recovery after a normal shutdown") for real.
+//
+//   $ ./examples/persistent_kv_cli --pool=/tmp/demo.pool put 1 41
+//   $ ./examples/persistent_kv_cli --pool=/tmp/demo.pool put 2 42
+//   $ ./examples/persistent_kv_cli --pool=/tmp/demo.pool get 2
+//   value id 42
+//   $ ./examples/persistent_kv_cli --pool=/tmp/demo.pool stats
+//
+// Keys and values are u64 ids mapped through make_key/make_value (the
+// library stores fixed 16 B keys / 15 B values).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "hdnh/hdnh.h"
+#include "nvm/alloc.h"
+#include "nvm/pmem.h"
+
+using namespace hdnh;
+
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--pool=PATH] (put K V | get K | del K | stats)\n",
+               prog);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string pool_path = "/tmp/hdnh_demo.pool";
+  int arg = 1;
+  if (arg < argc && std::strncmp(argv[arg], "--pool=", 7) == 0) {
+    pool_path = argv[arg] + 7;
+    ++arg;
+  }
+  if (arg >= argc) return usage(argv[0]);
+  const std::string cmd = argv[arg++];
+
+  nvm::PmemPool pool(256ull << 20, nvm::NvmConfig{}, pool_path);
+  nvm::PmemAllocator alloc(pool);
+  HdnhConfig cfg;
+  cfg.initial_capacity = 1 << 16;
+  Hdnh table(alloc, cfg);  // attaches + recovers if the file already existed
+
+  if (pool.recovered()) {
+    auto rs = table.last_recovery();
+    std::printf("(recovered %llu items in %.2f ms)\n",
+                static_cast<unsigned long long>(rs.items), rs.total_ms);
+  }
+
+  if (cmd == "put" && arg + 1 < argc) {
+    const uint64_t k = std::strtoull(argv[arg], nullptr, 10);
+    const uint64_t v = std::strtoull(argv[arg + 1], nullptr, 10);
+    if (table.insert(make_key(k), make_value(v))) {
+      std::printf("inserted %llu\n", static_cast<unsigned long long>(k));
+    } else {
+      table.update(make_key(k), make_value(v));
+      std::printf("updated %llu\n", static_cast<unsigned long long>(k));
+    }
+    return 0;
+  }
+  if (cmd == "get" && arg < argc) {
+    const uint64_t k = std::strtoull(argv[arg], nullptr, 10);
+    Value v;
+    if (!table.search(make_key(k), &v)) {
+      std::printf("(not found)\n");
+      return 1;
+    }
+    // Recover the value id by probing (values are generated from ids).
+    // A real application would store raw bytes; this demo stores ids.
+    for (uint64_t cand = 0; cand < 1000000; ++cand) {
+      if (v == make_value(cand)) {
+        std::printf("value id %llu\n", static_cast<unsigned long long>(cand));
+        return 0;
+      }
+    }
+    std::printf("(opaque 15-byte value)\n");
+    return 0;
+  }
+  if (cmd == "del" && arg < argc) {
+    const uint64_t k = std::strtoull(argv[arg], nullptr, 10);
+    std::printf(table.erase(make_key(k)) ? "deleted\n" : "(not found)\n");
+    return 0;
+  }
+  if (cmd == "stats") {
+    std::printf("pool: %s (%s)\n", pool_path.c_str(),
+                pool.recovered() ? "recovered" : "fresh");
+    std::printf("items=%llu load_factor=%.3f resizes=%llu hot_slots=%llu\n",
+                static_cast<unsigned long long>(table.size()),
+                table.load_factor(),
+                static_cast<unsigned long long>(table.resize_count()),
+                static_cast<unsigned long long>(table.hot_table_slots()));
+    return 0;
+  }
+  return usage(argv[0]);
+}

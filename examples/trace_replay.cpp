@@ -1,0 +1,152 @@
+// Trace replay: drive any scheme from a plain-text operation trace — the
+// way a downstream user would evaluate HDNH on their own captured workload.
+//
+// Trace format, one op per line (ids are u64; '#' starts a comment):
+//   I <key> <value>     insert
+//   R <key>             read / search
+//   U <key> <value>     update
+//   D <key>             delete
+//
+//   $ ./examples/trace_replay --scheme=hdnh --trace=ops.txt
+//   $ ./examples/trace_replay --make_demo_trace=/tmp/demo.txt   # generate one
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "api/factory.h"
+#include "common/cli.h"
+#include "common/clock.h"
+#include "common/random.h"
+#include "nvm/alloc.h"
+#include "nvm/pmem.h"
+
+using namespace hdnh;
+
+namespace {
+
+void make_demo_trace(const std::string& path, uint64_t n) {
+  std::ofstream out(path);
+  out << "# demo trace: skewed reads over " << n / 4 << " keys\n";
+  for (uint64_t i = 0; i < n / 4; ++i)
+    out << "I " << i << " " << i << "\n";
+  ZipfianChooser zipf(n / 4, 0.99, 7);
+  Rng rng(9);
+  for (uint64_t i = 0; i < 3 * n / 4; ++i) {
+    const uint64_t k = zipf.next();
+    switch (rng.next_below(10)) {
+      case 0:
+        out << "U " << k << " " << i << "\n";
+        break;
+      case 1:
+        out << "D " << k << "\n";
+        break;
+      default:
+        out << "R " << k << "\n";
+        break;
+    }
+  }
+  std::printf("wrote demo trace (%llu ops) to %s\n",
+              static_cast<unsigned long long>(n), path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::string scheme =
+      cli.get_str("scheme", "hdnh", "hdnh|hdnh-lru|level|cceh|path|...");
+  const std::string trace_path = cli.get_str("trace", "", "trace file to replay");
+  const std::string demo = cli.get_str("make_demo_trace", "",
+                                       "write a demo trace here and exit");
+  const uint64_t demo_ops = static_cast<uint64_t>(
+      cli.get_int("demo_ops", 400000, "ops in the generated demo trace"));
+  const bool emulate = cli.get_bool("emulate", true, "AEP latency emulation");
+  cli.finish();
+
+  if (!demo.empty()) {
+    make_demo_trace(demo, demo_ops);
+    return 0;
+  }
+  if (trace_path.empty()) {
+    std::fprintf(stderr, "need --trace=FILE (or --make_demo_trace=FILE)\n");
+    return 2;
+  }
+
+  // Pre-scan the trace to size the pool.
+  uint64_t inserts = 0, total = 0;
+  {
+    std::ifstream in(trace_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
+      return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line[0] == 'I') ++inserts;
+      if (!line.empty() && line[0] != '#') ++total;
+    }
+  }
+
+  nvm::NvmConfig ncfg;
+  ncfg.emulate_latency = emulate;
+  nvm::PmemPool pool(pool_bytes_hint(scheme, inserts + 1024), ncfg);
+  nvm::PmemAllocator alloc(pool);
+  TableOptions opts;
+  opts.capacity = inserts + 1024;
+  auto table = create_table(scheme, alloc, opts);
+
+  std::ifstream in(trace_path);
+  std::string line;
+  uint64_t done = 0, hits = 0;
+  nvm::Stats::reset();
+  ScopeTimer timer;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    char op;
+    uint64_t k, v = 0;
+    ls >> op >> k;
+    if (op == 'I' || op == 'U') ls >> v;
+    bool ok = false;
+    switch (op) {
+      case 'I':
+        ok = table->insert(make_key(k), make_value(v));
+        break;
+      case 'R': {
+        Value out;
+        ok = table->search(make_key(k), &out);
+        break;
+      }
+      case 'U':
+        ok = table->update(make_key(k), make_value(v));
+        break;
+      case 'D':
+        ok = table->erase(make_key(k));
+        break;
+      default:
+        std::fprintf(stderr, "bad op '%c' in line: %s\n", op, line.c_str());
+        return 2;
+    }
+    hits += ok ? 1 : 0;
+    ++done;
+  }
+  const double secs = timer.elapsed_s();
+  auto s = nvm::Stats::snapshot();
+  std::printf("%s: replayed %llu ops in %.3f s (%.3f Mops/s), %llu effective\n",
+              table->name(), static_cast<unsigned long long>(done), secs,
+              static_cast<double>(done) / secs / 1e6,
+              static_cast<unsigned long long>(hits));
+  std::printf("NVM traffic: %.3f reads/op (%.3f blocks), %.3f writes/op; "
+              "hot-table hits %.1f%%, OCF filtered %llu probes\n",
+              static_cast<double>(s.nvm_read_ops) / static_cast<double>(done),
+              static_cast<double>(s.nvm_read_blocks) / static_cast<double>(done),
+              static_cast<double>(s.nvm_write_ops) / static_cast<double>(done),
+              100.0 * static_cast<double>(s.dram_hot_hits) /
+                  static_cast<double>(done),
+              static_cast<unsigned long long>(s.ocf_filtered));
+  std::printf("final: %llu items, load factor %.3f\n",
+              static_cast<unsigned long long>(table->size()),
+              table->load_factor());
+  return 0;
+}

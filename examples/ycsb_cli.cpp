@@ -1,0 +1,125 @@
+// General YCSB driver CLI: run any scheme under any workload mix — the
+// swiss-army knife for ad-hoc comparisons beyond the canned paper figures.
+//
+//   $ ./examples/ycsb_cli --scheme=hdnh --workload=a --preload=200000 \
+//         --ops=1000000 --threads=4 --theta=1.1
+//   $ ./examples/ycsb_cli --scheme=cceh --read=0.7 --insert=0.2 --update=0.1
+#include <cstdio>
+#include <string>
+
+#include "api/factory.h"
+#include "common/cli.h"
+#include "nvm/alloc.h"
+#include "nvm/pmem.h"
+#include "ycsb/runner.h"
+
+using namespace hdnh;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::string scheme =
+      cli.get_str("scheme", "hdnh", "hdnh|hdnh-lru|hdnh-noocf|hdnh-nohot|"
+                                    "hdnh-bg|level|cceh|path");
+  const std::string workload = cli.get_str(
+      "workload", "", "canned mix: a|b|c|insert|read|negread|delete|mixed "
+                      "(overrides --read/--insert/...)");
+  const uint64_t preload =
+      static_cast<uint64_t>(cli.get_int("preload", 100000, "preloaded items"));
+  const uint64_t ops =
+      static_cast<uint64_t>(cli.get_int("ops", 500000, "timed operations"));
+  const uint32_t threads =
+      static_cast<uint32_t>(cli.get_int("threads", 1, "worker threads"));
+  const double theta = cli.get_double("theta", 0.99, "zipfian skew s");
+  const double f_read = cli.get_double("read", 1.0, "read fraction");
+  const double f_insert = cli.get_double("insert", 0.0, "insert fraction");
+  const double f_update = cli.get_double("update", 0.0, "update fraction");
+  const double f_erase = cli.get_double("erase", 0.0, "delete fraction");
+  const std::string dist =
+      cli.get_str("dist", "scrambled", "uniform|zipfian|scrambled|latest");
+  const bool emulate = cli.get_bool("emulate", true, "AEP latency emulation");
+  const bool latency = cli.get_bool("latency", false, "per-op histogram");
+  const uint64_t seed = static_cast<uint64_t>(cli.get_int("seed", 42, "seed"));
+  cli.finish();
+
+  ycsb::WorkloadSpec spec;
+  if (workload == "a") spec = ycsb::WorkloadSpec::YcsbA();
+  else if (workload == "b") spec = ycsb::WorkloadSpec::YcsbB();
+  else if (workload == "c") spec = ycsb::WorkloadSpec::YcsbC();
+  else if (workload == "insert") spec = ycsb::WorkloadSpec::InsertOnly();
+  else if (workload == "read") spec = ycsb::WorkloadSpec::ReadOnly(theta);
+  else if (workload == "negread") spec = ycsb::WorkloadSpec::NegativeRead();
+  else if (workload == "delete") spec = ycsb::WorkloadSpec::DeleteOnly();
+  else if (workload == "mixed") spec = ycsb::WorkloadSpec::Mixed5050();
+  else if (workload.empty()) {
+    spec.read = f_read;
+    spec.insert = f_insert;
+    spec.update = f_update;
+    spec.erase = f_erase;
+    const double total = f_read + f_insert + f_update + f_erase;
+    if (total < 0.999 || total > 1.001) {
+      std::fprintf(stderr, "fractions must sum to 1 (got %.3f)\n", total);
+      return 2;
+    }
+    spec.label = "custom";
+  } else {
+    std::fprintf(stderr, "unknown --workload=%s\n", workload.c_str());
+    return 2;
+  }
+  spec.theta = theta;
+  if (dist == "uniform") spec.dist = ycsb::Dist::kUniform;
+  else if (dist == "zipfian") spec.dist = ycsb::Dist::kZipfian;
+  else if (dist == "scrambled") spec.dist = ycsb::Dist::kScrambledZipfian;
+  else if (dist == "latest") spec.dist = ycsb::Dist::kLatest;
+
+  const uint64_t max_items =
+      preload + (spec.insert > 0 ? ops : 0) + 1024;
+  nvm::NvmConfig ncfg;
+  ncfg.emulate_latency = emulate;
+  nvm::PmemPool pool(pool_bytes_hint(scheme, max_items), ncfg);
+  nvm::PmemAllocator alloc(pool);
+  TableOptions topts;
+  topts.capacity = scheme == "path" ? max_items : preload;
+  auto table = create_table(scheme, alloc, topts);
+
+  std::printf("%s | %s | preload=%llu ops=%llu threads=%u theta=%.2f\n",
+              table->name(), spec.label.c_str(),
+              static_cast<unsigned long long>(preload),
+              static_cast<unsigned long long>(ops), threads, theta);
+  pool.set_emulate_latency(false);
+  ycsb::preload(*table, preload, 2);
+  pool.set_emulate_latency(emulate);
+
+  ycsb::RunOptions ro;
+  ro.threads = threads;
+  ro.seed = seed;
+  ro.measure_latency = latency;
+  auto r = ycsb::run(*table, spec, preload, ops, ro);
+
+  std::printf("throughput: %.3f Mops/s  (%.3f s, %llu/%llu effective)\n",
+              r.mops(), r.seconds, static_cast<unsigned long long>(r.hits),
+              static_cast<unsigned long long>(r.ops));
+  const double n = static_cast<double>(r.ops);
+  std::printf("NVM per op: %.3f reads (%.3f blocks), %.3f writes "
+              "(%.3f lines), %.3f fences | hot hits %.1f%%, OCF filtered "
+              "%.2f/op\n",
+              static_cast<double>(r.nvm.nvm_read_ops) / n,
+              static_cast<double>(r.nvm.nvm_read_blocks) / n,
+              static_cast<double>(r.nvm.nvm_write_ops) / n,
+              static_cast<double>(r.nvm.nvm_write_lines) / n,
+              static_cast<double>(r.nvm.fences) / n,
+              100.0 * static_cast<double>(r.nvm.dram_hot_hits) / n,
+              static_cast<double>(r.nvm.ocf_filtered) / n);
+  if (latency) {
+    auto us = [&](double q) {
+      return static_cast<double>(r.latency.percentile(q)) / 1000.0;
+    };
+    std::printf("latency us: p50=%.2f p90=%.2f p99=%.2f p99.9=%.2f "
+                "max=%.2f\n",
+                us(0.5), us(0.9), us(0.99), us(0.999),
+                static_cast<double>(r.latency.max()) / 1000.0);
+  }
+  std::printf("table: %llu items, load factor %.3f\n",
+              static_cast<unsigned long long>(table->size()),
+              table->load_factor());
+  return 0;
+}

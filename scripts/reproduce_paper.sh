@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Reproduce every table and figure of the paper, plus the ablations.
+#
+#   scripts/reproduce_paper.sh [quick|default|large]
+#
+# quick   — ~1 minute sanity pass (tiny sizes)
+# default — the sizes EXPERIMENTS.md records (a few minutes)
+# large   — approaches the paper's operating point (hours; needs ~16 GB RAM)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PROFILE="${1:-default}"
+case "$PROFILE" in
+  quick)   ARGS="--preload=20000 --ops=80000" ;;
+  default) ARGS="" ;;
+  large)   ARGS="--preload=2000000 --ops=18000000" ;;
+  *) echo "usage: $0 [quick|default|large]" >&2; exit 2 ;;
+esac
+
+cmake -B build -G Ninja >/dev/null
+cmake --build build >/dev/null
+
+run() {
+  echo "===== $1 ====="
+  shift
+  "$@"
+  echo
+}
+
+run "Figure 11(a) segment size"      ./build/bench/bench_fig11a_segment_size $ARGS
+run "Figure 11(b) hot-table slots"   ./build/bench/bench_fig11b_hot_slots $ARGS
+run "Figure 12 skewness"             ./build/bench/bench_fig12_skewness $ARGS
+run "Figure 13 single-thread"        ./build/bench/bench_fig13_single_thread $ARGS
+run "Figure 14 concurrency"          ./build/bench/bench_fig14_concurrency $ARGS
+run "Figure 15 tail latency"         ./build/bench/bench_fig15_tail_latency $ARGS
+run "Table 1 recovery"               ./build/bench/bench_table1_recovery
+run "Ablations"                      ./build/bench/bench_ablation_components $ARGS
+run "YCSB A/B/C suite"               ./build/bench/bench_ycsb_suite $ARGS
+run "NVM traffic matrix"             ./build/bench/bench_nvm_traffic $ARGS
+run "Space utilization"              ./build/bench/bench_space_utilization
+run "Resize pauses"                  ./build/bench/bench_resize_pause

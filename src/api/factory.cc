@@ -1,0 +1,61 @@
+#include "api/factory.h"
+
+#include <stdexcept>
+
+#include "baselines/cceh.h"
+#include "baselines/level_hashing.h"
+#include "baselines/path_hashing.h"
+#include "hdnh/hdnh.h"
+
+namespace hdnh {
+
+std::unique_ptr<HashTable> create_table(const std::string& scheme,
+                                        nvm::PmemAllocator& alloc,
+                                        const TableOptions& opts) {
+  if (scheme == "level") {
+    return std::make_unique<LevelHashing>(alloc, opts.capacity);
+  }
+  if (scheme == "cceh") {
+    return std::make_unique<Cceh>(alloc, opts.capacity,
+                                  opts.cceh_segment_bytes);
+  }
+  if (scheme == "path") {
+    return std::make_unique<PathHashing>(alloc, opts.capacity);
+  }
+
+  HdnhConfig cfg = opts.hdnh;
+  cfg.initial_capacity = opts.capacity;
+  if (scheme == "hdnh") {
+    return std::make_unique<Hdnh>(alloc, cfg);
+  }
+  if (scheme == "hdnh-lru") {
+    cfg.hot_policy = HdnhConfig::HotPolicy::kLru;
+    return std::make_unique<Hdnh>(alloc, cfg);
+  }
+  if (scheme == "hdnh-noocf") {
+    cfg.enable_ocf = false;
+    return std::make_unique<Hdnh>(alloc, cfg);
+  }
+  if (scheme == "hdnh-nohot") {
+    cfg.enable_hot_table = false;
+    return std::make_unique<Hdnh>(alloc, cfg);
+  }
+  if (scheme == "hdnh-bg") {
+    cfg.sync_mode = HdnhConfig::SyncMode::kBackground;
+    return std::make_unique<Hdnh>(alloc, cfg);
+  }
+  throw std::invalid_argument("unknown scheme: " + scheme);
+}
+
+uint64_t pool_bytes_hint(const std::string& scheme, uint64_t max_items) {
+  if (scheme == "level") return LevelHashing::pool_bytes_hint(max_items);
+  if (scheme == "cceh") return Cceh::pool_bytes_hint(max_items);
+  if (scheme == "path") return PathHashing::pool_bytes_hint(max_items);
+  return Hdnh::pool_bytes_hint(max_items, HdnhConfig{});
+}
+
+std::vector<std::string> paper_schemes() {
+  return {"path", "level", "cceh", "hdnh"};
+}
+
+}  // namespace hdnh

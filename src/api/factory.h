@@ -1,0 +1,42 @@
+// Scheme factory: builds any of the hash tables in this repository behind
+// the uniform HashTable interface, so tests and benches select schemes by
+// name. Known schemes:
+//   "hdnh"        the paper's system (OCF + RAFL hot table)
+//   "hdnh-lru"    HDNH with the LRU hot-table baseline (Fig 12 ablation)
+//   "hdnh-noocf"  HDNH without fingerprint filtering (ablation)
+//   "hdnh-nohot"  HDNH without the DRAM hot table (ablation)
+//   "hdnh-bg"     HDNH with background synchronous-write threads (§3.4)
+//   "level"       Level hashing baseline
+//   "cceh"        CCEH baseline
+//   "path"        Path hashing baseline
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/hash_table.h"
+#include "hdnh/config.h"
+#include "nvm/alloc.h"
+
+namespace hdnh {
+
+struct TableOptions {
+  // Items the table should accommodate before its first structural growth.
+  uint64_t capacity = 1 << 16;
+  // Applied to the hdnh* schemes (capacity overrides initial_capacity).
+  HdnhConfig hdnh;
+  uint64_t cceh_segment_bytes = 16 * 1024;
+};
+
+std::unique_ptr<HashTable> create_table(const std::string& scheme,
+                                        nvm::PmemAllocator& alloc,
+                                        const TableOptions& opts);
+
+// Conservative PmemPool size for running `max_items` through `scheme`.
+uint64_t pool_bytes_hint(const std::string& scheme, uint64_t max_items);
+
+// The four paper schemes, in the paper's presentation order.
+std::vector<std::string> paper_schemes();
+
+}  // namespace hdnh

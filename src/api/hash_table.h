@@ -1,0 +1,46 @@
+// The uniform persistent-hash-table interface.
+//
+// All four schemes (HDNH and the PATH / LEVEL / CCEH baselines) implement
+// this, which lets one test battery and one bench harness drive them all.
+// Semantics:
+//   * insert  — adds a new key; returns false (no modification) if present.
+//   * search  — fills *out on hit; returns hit/miss.
+//   * update  — replaces the value of an existing key; false if absent.
+//   * erase   — removes a key; false if absent.
+// All operations are linearizable per key and safe to call concurrently
+// unless a scheme documents otherwise. Tables grow themselves (except PATH,
+// which is static per the original design) and throw std::bad_alloc /
+// TableFullError when the pool or structure is exhausted.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "api/types.h"
+
+namespace hdnh {
+
+class TableFullError : public std::runtime_error {
+ public:
+  explicit TableFullError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class HashTable {
+ public:
+  virtual ~HashTable() = default;
+
+  virtual bool insert(const Key& key, const Value& value) = 0;
+  virtual bool search(const Key& key, Value* out) = 0;
+  virtual bool update(const Key& key, const Value& value) = 0;
+  virtual bool erase(const Key& key) = 0;
+
+  // Number of live items (exact when quiescent; approximate under writes).
+  virtual uint64_t size() const = 0;
+
+  // Live items / total slots of the durable structure.
+  virtual double load_factor() const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace hdnh

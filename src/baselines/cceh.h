@@ -1,0 +1,90 @@
+// Baseline: CCEH — Cacheline-Conscious Extendible Hashing (Nam et al.,
+// FAST '19), configured per the HDNH paper's evaluation (§4.1): 16 KB
+// segments of 64-byte buckets, linear probing distance 4, dynamic growth
+// through segment splits and directory doubling, and a segment-grained
+// reader-writer lock kept in NVM (the coarse lock whose read-lock NVM
+// writes the paper measures against).
+//
+// The directory lives in DRAM (rebuildable metadata); segments — data,
+// local depths and the lock words — live in the emulated NVM pool.
+#pragma once
+
+#include <atomic>
+#include <shared_mutex>
+#include <vector>
+
+#include "api/hash_table.h"
+#include "baselines/nvm_lock.h"
+#include "nvm/alloc.h"
+
+namespace hdnh {
+
+class Cceh final : public HashTable {
+ public:
+  static constexpr uint32_t kSlotsPerBucket = 2;  // 2 x 31 B + header = 64 B
+  static constexpr uint32_t kProbe = 4;           // linear probing distance
+
+  Cceh(nvm::PmemAllocator& alloc, uint64_t capacity,
+       uint64_t segment_bytes = 16 * 1024);
+
+  bool insert(const Key& key, const Value& value) override;
+  bool search(const Key& key, Value* out) override;
+  bool update(const Key& key, const Value& value) override;
+  bool erase(const Key& key) override;
+
+  uint64_t size() const override {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double load_factor() const override;
+  const char* name() const override { return "CCEH"; }
+
+  uint32_t global_depth() const { return global_depth_; }
+  uint64_t segment_count() const;
+
+  static uint64_t pool_bytes_hint(uint64_t max_items);
+
+ private:
+#pragma pack(push, 1)
+  struct Bucket {
+    std::atomic<uint8_t> bitmap;
+    uint8_t pad;
+    KVPair slots[kSlotsPerBucket];
+  };
+  struct SegHeader {
+    uint32_t local_depth;
+    NvmRwLock lock;
+    uint8_t pad[56];
+  };
+#pragma pack(pop)
+  static_assert(sizeof(Bucket) == 64, "bucket must be one cacheline");
+  static_assert(sizeof(SegHeader) == 64);
+
+  SegHeader* seg_at(uint64_t off) const { return pool_.to_ptr<SegHeader>(off); }
+  Bucket* buckets_of(uint64_t off) const {
+    return pool_.to_ptr<Bucket>(off + sizeof(SegHeader));
+  }
+  uint64_t dir_index(uint64_t h) const {
+    return global_depth_ == 0 ? 0 : (h >> (64 - global_depth_));
+  }
+  uint64_t bucket_index(uint64_t h) const { return h & (bps_ - 1); }
+
+  uint64_t alloc_segment(uint32_t local_depth);
+  // Returns false if the key was found (duplicate); fills *bucket/*slot with
+  // a free location if one exists (else *bucket = nullptr).
+  bool scan_for_insert(uint64_t seg_off, uint64_t h, const Key& key,
+                       Bucket** bucket, uint32_t* slot);
+  bool place(uint64_t seg_off, const KVPair& kv, uint64_t h);
+  void split(uint64_t h);  // caller holds dir_mu_ exclusively
+
+  nvm::PmemAllocator& alloc_;
+  nvm::PmemPool& pool_;
+  uint64_t bps_;  // buckets per segment (power of two)
+  uint64_t seg_bytes_;
+
+  mutable std::shared_mutex dir_mu_;  // shared: ops; exclusive: split/double
+  std::vector<uint64_t> dir_;        // segment offsets, 2^global_depth_
+  uint32_t global_depth_ = 0;
+  std::atomic<uint64_t> count_{0};
+};
+
+}  // namespace hdnh

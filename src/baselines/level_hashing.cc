@@ -1,0 +1,312 @@
+#include "baselines/level_hashing.h"
+
+#include <cstring>
+
+namespace hdnh {
+
+LevelHashing::LevelHashing(nvm::PmemAllocator& alloc, uint64_t capacity)
+    : alloc_(alloc), pool_(alloc.pool()) {
+  // Total slots = (N + N/2) * 4; size for ~70% fill before first resize.
+  // N must be a power of two for the MSB indexing (see header).
+  uint64_t want = capacity / 4 + 2;  // ≈ capacity / (0.7 * 6) rounded up
+  log2_top_ = 2;
+  while ((1ULL << log2_top_) < want) ++log2_top_;
+  const uint64_t n = 1ULL << log2_top_;
+  top_ = view(alloc_level(n), n);
+  bottom_ = view(alloc_level(n / 2), n / 2);
+}
+
+uint64_t LevelHashing::alloc_level(uint64_t buckets) {
+  const uint64_t bytes = buckets * sizeof(Bucket);
+  const uint64_t off = alloc_.alloc(bytes);
+  char* p = pool_.to_ptr<char>(off);
+  std::memset(p, 0, bytes);
+  pool_.persist(p, bytes);
+  pool_.fence();
+  return off;
+}
+
+LevelHashing::Level LevelHashing::view(uint64_t off, uint64_t buckets) {
+  Level lv;
+  lv.off = off;
+  lv.buckets = buckets;
+  lv.arr = pool_.to_ptr<Bucket>(off);
+  return lv;
+}
+
+LevelHashing::Cands LevelHashing::candidates(uint64_t h1, uint64_t h2) {
+  Cands c{};
+  Bucket* raw[4] = {
+      &top_.arr[top_index(h1)],
+      &top_.arr[top_index(h2)],
+      &bottom_.arr[top_index(h1) / 2],
+      &bottom_.arr[top_index(h2) / 2],
+  };
+  c.n = 0;
+  for (Bucket* b : raw) {
+    bool dup = false;
+    for (int j = 0; j < c.n; ++j) dup |= (c.b[j] == b);
+    if (!dup) c.b[c.n++] = b;
+  }
+  return c;
+}
+
+bool LevelHashing::find_locked_read(const Key& key, Value* out) {
+  const uint64_t h1 = key_hash1(key);
+  const uint64_t h2 = key_hash2(key);
+  Cands c = candidates(h1, h2);
+  for (;;) {
+  const uint64_t seq = move_seq_.load(std::memory_order_acquire);
+  for (int i = 0; i < c.n; ++i) {
+    Bucket& b = *c.b[i];
+    b.lock.lock_read(pool_);
+    pool_.on_read(&b, sizeof(Bucket));
+    const uint8_t bm = b.bitmap.load(std::memory_order_acquire);
+    for (uint32_t s = 0; s < kSlots; ++s) {
+      if ((bm & (1u << s)) && b.slots[s].key == key) {
+        if (out) *out = b.slots[s].value;
+        b.lock.unlock_read(pool_);
+        return true;
+      }
+    }
+    b.lock.unlock_read(pool_);
+  }
+  if (move_seq_.load(std::memory_order_acquire) == seq) return false;
+  }  // a displacement overlapped the scan: rescan
+}
+
+bool LevelHashing::find_nolock(const Key& key) {
+  // Lock-free pre-scan used by insert's duplicate check: the original
+  // Level hashing implementation does not read-lock per insert, and
+  // charging it 8 lock writebacks per insert would overstate the paper's
+  // comparison. Exact when single-threaded; advisory under concurrency
+  // (same benign-duplicate caveat HDNH documents).
+  const uint64_t h1 = key_hash1(key);
+  const uint64_t h2 = key_hash2(key);
+  Cands c = candidates(h1, h2);
+  for (int i = 0; i < c.n; ++i) {
+    Bucket& b = *c.b[i];
+    pool_.on_read(&b, sizeof(Bucket));
+    const uint8_t bm = b.bitmap.load(std::memory_order_acquire);
+    for (uint32_t s = 0; s < kSlots; ++s) {
+      if ((bm & (1u << s)) && b.slots[s].key == key) return true;
+    }
+  }
+  return false;
+}
+
+bool LevelHashing::search(const Key& key, Value* out) {
+  std::shared_lock<std::shared_mutex> lock(resize_mu_);
+  return find_locked_read(key, out);
+}
+
+void LevelHashing::publish_slot(Bucket& b, uint32_t slot, const KVPair& kv) {
+  b.slots[slot] = kv;
+  pool_.on_write(&b.slots[slot], sizeof(KVPair));
+  pool_.persist(&b.slots[slot], sizeof(KVPair));
+  pool_.fence();
+  b.bitmap.fetch_or(static_cast<uint8_t>(1u << slot),
+                    std::memory_order_release);
+  pool_.on_write(&b.bitmap, 1);
+  pool_.persist(&b.bitmap, 1);
+  pool_.fence();
+}
+
+bool LevelHashing::try_insert_bucket(Bucket& b, const KVPair& kv) {
+  b.lock.lock_write(pool_);
+  pool_.on_read(&b, sizeof(Bucket));
+  const uint8_t bm = b.bitmap.load(std::memory_order_acquire);
+  for (uint32_t s = 0; s < kSlots; ++s) {
+    if (!(bm & (1u << s))) {
+      publish_slot(b, s, kv);
+      b.lock.unlock_write(pool_);
+      return true;
+    }
+  }
+  b.lock.unlock_write(pool_);
+  return false;
+}
+
+bool LevelHashing::try_cuckoo_displace(uint64_t h1, uint64_t h2,
+                                       const KVPair& kv) {
+  // One-step bottom-to-top eviction: move a record out of a full bottom
+  // candidate into one of ITS top-level buckets, then reuse the freed slot.
+  // Only a single displacement is attempted (no cascades) — the Level
+  // hashing design point the HDNH paper describes.
+  Bucket* bottoms[2] = {&bottom_.arr[top_index(h1) / 2],
+                        &bottom_.arr[top_index(h2) / 2]};
+  for (int bi = 0; bi < (bottoms[0] == bottoms[1] ? 1 : 2); ++bi) {
+    Bucket& bb = *bottoms[bi];
+    bb.lock.lock_write(pool_);
+    pool_.on_read(&bb, sizeof(Bucket));
+    const uint8_t bm = bb.bitmap.load(std::memory_order_acquire);
+    for (uint32_t s = 0; s < kSlots; ++s) {
+      if (!(bm & (1u << s))) continue;
+      const KVPair victim = bb.slots[s];
+      const uint64_t vh[2] = {key_hash1(victim.key), key_hash2(victim.key)};
+      for (uint64_t vhx : vh) {
+        Bucket& tb = top_.arr[top_index(vhx)];
+        if (&tb == &bb) continue;
+        tb.lock.lock_write(pool_);
+        pool_.on_read(&tb, sizeof(Bucket));
+        const uint8_t tbm = tb.bitmap.load(std::memory_order_acquire);
+        for (uint32_t ts = 0; ts < kSlots; ++ts) {
+          if (tbm & (1u << ts)) continue;
+          // Move victim up (copy-then-invalidate: crash leaves a benign
+          // duplicate, same as the original design).
+          publish_slot(tb, ts, victim);
+          tb.lock.unlock_write(pool_);
+          bb.bitmap.fetch_and(static_cast<uint8_t>(~(1u << s)),
+                              std::memory_order_release);
+          pool_.on_write(&bb.bitmap, 1);
+          pool_.persist(&bb.bitmap, 1);
+          pool_.fence();
+          publish_slot(bb, s, kv);
+          bb.lock.unlock_write(pool_);
+          move_seq_.fetch_add(1, std::memory_order_acq_rel);
+          return true;
+        }
+        tb.lock.unlock_write(pool_);
+      }
+    }
+    bb.lock.unlock_write(pool_);
+  }
+  return false;
+}
+
+bool LevelHashing::insert(const Key& key, const Value& value) {
+  const KVPair kv{key, value};
+  const uint64_t h1 = key_hash1(key);
+  const uint64_t h2 = key_hash2(key);
+  for (;;) {
+    uint64_t gen;
+    {
+      std::shared_lock<std::shared_mutex> lock(resize_mu_);
+      if (find_nolock(key)) return false;
+      Cands c = candidates(h1, h2);
+      for (int i = 0; i < c.n; ++i) {
+        if (try_insert_bucket(*c.b[i], kv)) {
+          count_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+      }
+      if (try_cuckoo_displace(h1, h2, kv)) {
+        count_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      gen = gen_.load(std::memory_order_relaxed);
+    }
+    do_resize(gen);
+  }
+}
+
+bool LevelHashing::update(const Key& key, const Value& value) {
+  std::shared_lock<std::shared_mutex> lock(resize_mu_);
+  const uint64_t h1 = key_hash1(key);
+  const uint64_t h2 = key_hash2(key);
+  Cands c = candidates(h1, h2);
+  for (int i = 0; i < c.n; ++i) {
+    Bucket& b = *c.b[i];
+    b.lock.lock_write(pool_);
+    pool_.on_read(&b, sizeof(Bucket));
+    const uint8_t bm = b.bitmap.load(std::memory_order_acquire);
+    for (uint32_t s = 0; s < kSlots; ++s) {
+      if ((bm & (1u << s)) && b.slots[s].key == key) {
+        // In-place value overwrite under the bucket write lock, as in the
+        // original implementation (not failure-atomic for >8 B values).
+        b.slots[s].value = value;
+        pool_.on_write(&b.slots[s].value, sizeof(Value));
+        pool_.persist(&b.slots[s].value, sizeof(Value));
+        pool_.fence();
+        b.lock.unlock_write(pool_);
+        return true;
+      }
+    }
+    b.lock.unlock_write(pool_);
+  }
+  return false;
+}
+
+bool LevelHashing::erase(const Key& key) {
+  std::shared_lock<std::shared_mutex> lock(resize_mu_);
+  const uint64_t h1 = key_hash1(key);
+  const uint64_t h2 = key_hash2(key);
+  Cands c = candidates(h1, h2);
+  for (int i = 0; i < c.n; ++i) {
+    Bucket& b = *c.b[i];
+    b.lock.lock_write(pool_);
+    pool_.on_read(&b, sizeof(Bucket));
+    const uint8_t bm = b.bitmap.load(std::memory_order_acquire);
+    for (uint32_t s = 0; s < kSlots; ++s) {
+      if ((bm & (1u << s)) && b.slots[s].key == key) {
+        b.bitmap.fetch_and(static_cast<uint8_t>(~(1u << s)),
+                           std::memory_order_release);
+        pool_.on_write(&b.bitmap, 1);
+        pool_.persist(&b.bitmap, 1);
+        pool_.fence();
+        b.lock.unlock_write(pool_);
+        count_.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    b.lock.unlock_write(pool_);
+  }
+  return false;
+}
+
+void LevelHashing::rehash_into(const KVPair& kv) {
+  const uint64_t h1 = key_hash1(kv.key);
+  const uint64_t h2 = key_hash2(kv.key);
+  Cands c = candidates(h1, h2);
+  for (int i = 0; i < c.n; ++i) {
+    Bucket& b = *c.b[i];
+    const uint8_t bm = b.bitmap.load(std::memory_order_relaxed);
+    for (uint32_t s = 0; s < kSlots; ++s) {
+      if (!(bm & (1u << s))) {
+        publish_slot(b, s, kv);
+        return;
+      }
+    }
+  }
+  throw TableFullError("LevelHashing: rehash target full");
+}
+
+void LevelHashing::do_resize(uint64_t expected_gen) {
+  std::unique_lock<std::shared_mutex> lock(resize_mu_);
+  if (gen_.load(std::memory_order_relaxed) != expected_gen) return;
+
+  // Cost-sharing resize: a new 2N top level; the old top level (N buckets)
+  // becomes the bottom level unchanged; only the old bottom is rehashed.
+  Level old_bottom = bottom_;
+  const uint64_t new_n = 2 * top_.buckets;
+  Level new_top = view(alloc_level(new_n), new_n);
+  bottom_ = top_;
+  top_ = new_top;
+  ++log2_top_;  // a key's new top index halves to its old one
+
+  for (uint64_t i = 0; i < old_bottom.buckets; ++i) {
+    Bucket& b = old_bottom.arr[i];
+    const uint8_t bm = b.bitmap.load(std::memory_order_relaxed);
+    if (bm == 0) continue;
+    pool_.on_read(&b, sizeof(Bucket));
+    for (uint32_t s = 0; s < kSlots; ++s) {
+      if (bm & (1u << s)) rehash_into(b.slots[s]);
+    }
+  }
+  alloc_.free_block(old_bottom.off, old_bottom.buckets * sizeof(Bucket));
+  ++resizes_;
+  gen_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double LevelHashing::load_factor() const {
+  const uint64_t slots = (top_.buckets + bottom_.buckets) * kSlots;
+  return slots ? static_cast<double>(count_.load(std::memory_order_relaxed)) /
+                     static_cast<double>(slots)
+               : 0.0;
+}
+
+uint64_t LevelHashing::pool_bytes_hint(uint64_t max_items) {
+  return max_items * sizeof(Bucket) + (8ULL << 20) + max_items * 64;
+}
+
+}  // namespace hdnh

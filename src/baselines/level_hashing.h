@@ -1,0 +1,100 @@
+// Baseline: Level hashing (Zuo, Hua, Wu — OSDI '18), as configured by the
+// HDNH paper's evaluation (§4.1):
+//   * two levels of 4-slot buckets, the bottom level (half the top's size)
+//     acting as the stash; 2 hash functions for the top level, bottom
+//     candidates derived as top/2;
+//   * one-step bottom-to-top cuckoo displacement before resizing;
+//   * cost-sharing resize: the old top level is reused as the new bottom
+//     without rehashing, only the old bottom is rehashed;
+//   * per-bucket reader-writer locks living in NVM (the paper's point: read
+//     locking burns NVM write bandwidth) and a global resizing lock.
+//
+// Purely NVM-resident: every probe, lock and flush is charged to the
+// emulated device.
+#pragma once
+
+#include <atomic>
+#include <shared_mutex>
+
+#include "api/hash_table.h"
+#include "baselines/nvm_lock.h"
+#include "nvm/alloc.h"
+
+namespace hdnh {
+
+class LevelHashing final : public HashTable {
+ public:
+  static constexpr uint32_t kSlots = 4;
+
+  LevelHashing(nvm::PmemAllocator& alloc, uint64_t capacity);
+
+  bool insert(const Key& key, const Value& value) override;
+  bool search(const Key& key, Value* out) override;
+  bool update(const Key& key, const Value& value) override;
+  bool erase(const Key& key) override;
+
+  uint64_t size() const override {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double load_factor() const override;
+  const char* name() const override { return "LEVEL"; }
+
+  uint64_t resize_count() const { return resizes_; }
+
+  static uint64_t pool_bytes_hint(uint64_t max_items);
+
+ private:
+#pragma pack(push, 1)
+  struct Bucket {
+    std::atomic<uint8_t> bitmap;
+    uint8_t pad[3];
+    NvmRwLock lock;
+    KVPair slots[kSlots];
+  };
+#pragma pack(pop)
+  static_assert(sizeof(Bucket) == 8 + kSlots * sizeof(KVPair));
+
+  struct Level {
+    uint64_t off = 0;
+    uint64_t buckets = 0;
+    Bucket* arr = nullptr;
+  };
+
+  // Candidate buckets: top t1,t2 (two hashes), bottom t1/2, t2/2. Top-level
+  // positions use the hash's MOST significant bits over a power-of-two
+  // bucket count: when the top level doubles, a key's new top index halves
+  // back to its old one, which is exactly what lets the old top level be
+  // reused in place as the new bottom level without rehashing.
+  struct Cands {
+    Bucket* b[4];
+    int n;
+  };
+  uint64_t top_index(uint64_t h) const { return h >> (64 - log2_top_); }
+  Cands candidates(uint64_t h1, uint64_t h2);
+
+  uint64_t alloc_level(uint64_t buckets);
+  Level view(uint64_t off, uint64_t buckets);
+
+  bool find_locked_read(const Key& key, Value* out);
+  bool find_nolock(const Key& key);
+  bool try_insert_bucket(Bucket& b, const KVPair& kv);
+  bool try_cuckoo_displace(uint64_t h1, uint64_t h2, const KVPair& kv);
+  void publish_slot(Bucket& b, uint32_t slot, const KVPair& kv);
+  void do_resize(uint64_t expected_gen);
+  void rehash_into(const KVPair& kv);
+
+  nvm::PmemAllocator& alloc_;
+  nvm::PmemPool& pool_;
+  uint32_t log2_top_ = 2;  // top level holds 2^log2_top_ buckets
+  Level top_, bottom_;
+  mutable std::shared_mutex resize_mu_;
+  std::atomic<uint64_t> gen_{0};
+  std::atomic<uint64_t> count_{0};
+  // Bumped after a bottom-to-top cuckoo displacement: searchers that miss
+  // rescan if a displacement overlapped their probe (the key may have moved
+  // to an already-scanned bucket).
+  std::atomic<uint64_t> move_seq_{0};
+  uint64_t resizes_ = 0;
+};
+
+}  // namespace hdnh

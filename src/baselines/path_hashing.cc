@@ -1,0 +1,183 @@
+#include "baselines/path_hashing.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hdnh {
+
+PathHashing::PathHashing(nvm::PmemAllocator& alloc, uint64_t capacity)
+    : alloc_(alloc), pool_(alloc.pool()) {
+  // Total cells ≈ 2N(1 - 2^-L); size level 0 so `capacity` fits at ~70%.
+  n_ = static_cast<uint64_t>(static_cast<double>(capacity) / (0.7 * 1.99)) + 8;
+  uint64_t off = 0;
+  for (uint32_t l = 0; l < kLevels; ++l) {
+    level_size_[l] = (n_ >> l) ? (n_ >> l) : 1;
+    level_off_[l] = off;
+    off += level_size_[l];
+  }
+  total_cells_ = off;
+
+  const uint64_t cells_off = alloc_.alloc(total_cells_ * sizeof(Cell));
+  cells_ = pool_.to_ptr<Cell>(cells_off);
+  std::memset(static_cast<void*>(cells_), 0, total_cells_ * sizeof(Cell));
+  pool_.persist(cells_, total_cells_ * sizeof(Cell));
+
+  const uint64_t stripes_off = alloc_.alloc(kStripes * sizeof(NvmRwLock));
+  stripes_ = pool_.to_ptr<NvmRwLock>(stripes_off);
+  std::memset(static_cast<void*>(stripes_), 0, kStripes * sizeof(NvmRwLock));
+  pool_.persist(stripes_, kStripes * sizeof(NvmRwLock));
+  pool_.fence();
+}
+
+template <typename Fn>
+void PathHashing::walk_paths(uint64_t p1, uint64_t p2, Fn&& fn) const {
+  for (uint32_t l = 0; l < kLevels; ++l) {
+    const uint64_t a = (p1 >> l) % level_size_[l];
+    const uint64_t b = (p2 >> l) % level_size_[l];
+    if (fn(l, a)) return;
+    if (b != a && fn(l, b)) return;
+  }
+}
+
+void PathHashing::lock_stripes(uint64_t p1, uint64_t p2, bool write) {
+  uint64_t s1 = p1 % kStripes, s2 = p2 % kStripes;
+  if (s1 > s2) std::swap(s1, s2);
+  if (write) {
+    stripes_[s1].lock_write(pool_);
+    if (s2 != s1) stripes_[s2].lock_write(pool_);
+  } else {
+    stripes_[s1].lock_read(pool_);
+    if (s2 != s1) stripes_[s2].lock_read(pool_);
+  }
+}
+
+void PathHashing::unlock_stripes(uint64_t p1, uint64_t p2, bool write) {
+  uint64_t s1 = p1 % kStripes, s2 = p2 % kStripes;
+  if (s1 > s2) std::swap(s1, s2);
+  if (write) {
+    if (s2 != s1) stripes_[s2].unlock_write(pool_);
+    stripes_[s1].unlock_write(pool_);
+  } else {
+    if (s2 != s1) stripes_[s2].unlock_read(pool_);
+    stripes_[s1].unlock_read(pool_);
+  }
+}
+
+bool PathHashing::search(const Key& key, Value* out) {
+  const uint64_t p1 = key_hash1(key) % n_;
+  const uint64_t p2 = key_hash2(key) % n_;
+  lock_stripes(p1, p2, /*write=*/false);
+  bool found = false;
+  walk_paths(p1, p2, [&](uint32_t l, uint64_t pos) {
+    Cell* c = cell(l, pos);
+    pool_.on_read(c, sizeof(Cell));
+    if (c->valid.load(std::memory_order_acquire) && c->kv.key == key) {
+      if (out) *out = c->kv.value;
+      found = true;
+      return true;
+    }
+    return false;
+  });
+  unlock_stripes(p1, p2, /*write=*/false);
+  return found;
+}
+
+bool PathHashing::insert(const Key& key, const Value& value) {
+  const uint64_t p1 = key_hash1(key) % n_;
+  const uint64_t p2 = key_hash2(key) % n_;
+  lock_stripes(p1, p2, /*write=*/true);
+
+  Cell* free_cell = nullptr;
+  bool dup = false;
+  walk_paths(p1, p2, [&](uint32_t l, uint64_t pos) {
+    Cell* c = cell(l, pos);
+    pool_.on_read(c, sizeof(Cell));
+    if (c->valid.load(std::memory_order_acquire)) {
+      if (c->kv.key == key) {
+        dup = true;
+        return true;
+      }
+    } else if (free_cell == nullptr) {
+      free_cell = c;  // shallowest free position wins
+    }
+    return false;
+  });
+
+  if (dup) {
+    unlock_stripes(p1, p2, true);
+    return false;
+  }
+  if (free_cell == nullptr) {
+    unlock_stripes(p1, p2, true);
+    throw TableFullError("PathHashing: both paths exhausted (static table)");
+  }
+  free_cell->kv = KVPair{key, value};
+  pool_.on_write(&free_cell->kv, sizeof(KVPair));
+  pool_.persist(&free_cell->kv, sizeof(KVPair));
+  pool_.fence();
+  free_cell->valid.store(1, std::memory_order_release);
+  pool_.on_write(&free_cell->valid, 1);
+  pool_.persist(&free_cell->valid, 1);
+  pool_.fence();
+  unlock_stripes(p1, p2, true);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool PathHashing::update(const Key& key, const Value& value) {
+  const uint64_t p1 = key_hash1(key) % n_;
+  const uint64_t p2 = key_hash2(key) % n_;
+  lock_stripes(p1, p2, /*write=*/true);
+  bool done = false;
+  walk_paths(p1, p2, [&](uint32_t l, uint64_t pos) {
+    Cell* c = cell(l, pos);
+    pool_.on_read(c, sizeof(Cell));
+    if (c->valid.load(std::memory_order_acquire) && c->kv.key == key) {
+      c->kv.value = value;
+      pool_.on_write(&c->kv.value, sizeof(Value));
+      pool_.persist(&c->kv.value, sizeof(Value));
+      pool_.fence();
+      done = true;
+      return true;
+    }
+    return false;
+  });
+  unlock_stripes(p1, p2, true);
+  return done;
+}
+
+bool PathHashing::erase(const Key& key) {
+  const uint64_t p1 = key_hash1(key) % n_;
+  const uint64_t p2 = key_hash2(key) % n_;
+  lock_stripes(p1, p2, /*write=*/true);
+  bool done = false;
+  walk_paths(p1, p2, [&](uint32_t l, uint64_t pos) {
+    Cell* c = cell(l, pos);
+    pool_.on_read(c, sizeof(Cell));
+    if (c->valid.load(std::memory_order_acquire) && c->kv.key == key) {
+      c->valid.store(0, std::memory_order_release);
+      pool_.on_write(&c->valid, 1);
+      pool_.persist(&c->valid, 1);
+      pool_.fence();
+      done = true;
+      return true;
+    }
+    return false;
+  });
+  unlock_stripes(p1, p2, true);
+  if (done) count_.fetch_sub(1, std::memory_order_relaxed);
+  return done;
+}
+
+double PathHashing::load_factor() const {
+  return total_cells_
+             ? static_cast<double>(count_.load(std::memory_order_relaxed)) /
+                   static_cast<double>(total_cells_)
+             : 0.0;
+}
+
+uint64_t PathHashing::pool_bytes_hint(uint64_t max_items) {
+  return max_items * sizeof(Cell) * 3 + (8ULL << 20);
+}
+
+}  // namespace hdnh

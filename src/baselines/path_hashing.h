@@ -1,0 +1,77 @@
+// Baseline: Path hashing (Zuo & Hua, MSST '17), per the HDNH paper's setup:
+// a static scheme whose stash is an inverted binary tree — level 0 holds N
+// single-record cells addressed by two hash functions; each deeper level
+// halves in size and a cell's overflow path descends by halving its index.
+// With the paper's "reserved level = 8", a lookup probes at most 2 x 8
+// cells, giving the O(log B) search the paper quotes.
+//
+// Concurrency uses coarse striped reader-writer locks resident in NVM
+// (the paper groups PATH with LEVEL as "coarse-grained locks ... prevent
+// concurrent accesses"). No resizing: the table is sized up front and
+// throws TableFullError when both paths of a key are exhausted.
+#pragma once
+
+#include <atomic>
+
+#include "api/hash_table.h"
+#include "baselines/nvm_lock.h"
+#include "nvm/alloc.h"
+
+namespace hdnh {
+
+class PathHashing final : public HashTable {
+ public:
+  static constexpr uint32_t kLevels = 8;    // paper: reserved level = 8
+  static constexpr uint32_t kStripes = 64;  // coarse lock striping
+
+  PathHashing(nvm::PmemAllocator& alloc, uint64_t capacity);
+
+  bool insert(const Key& key, const Value& value) override;
+  bool search(const Key& key, Value* out) override;
+  bool update(const Key& key, const Value& value) override;
+  bool erase(const Key& key) override;
+
+  uint64_t size() const override {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double load_factor() const override;
+  const char* name() const override { return "PATH"; }
+
+  uint64_t total_cells() const { return total_cells_; }
+
+  static uint64_t pool_bytes_hint(uint64_t max_items);
+
+ private:
+#pragma pack(push, 1)
+  struct Cell {
+    std::atomic<uint8_t> valid;
+    KVPair kv;
+  };
+#pragma pack(pop)
+  static_assert(sizeof(Cell) == 32);
+
+  Cell* cell(uint32_t level, uint64_t pos) const {
+    return cells_ + level_off_[level] + pos;
+  }
+
+  // Visit the (level, pos) pairs of both search paths of a key, shallow to
+  // deep; returns through `fn` until it reports done.
+  template <typename Fn>
+  void walk_paths(uint64_t p1, uint64_t p2, Fn&& fn) const;
+
+  struct StripeGuard;
+  void lock_stripes(uint64_t p1, uint64_t p2, bool write);
+  void unlock_stripes(uint64_t p1, uint64_t p2, bool write);
+
+  nvm::PmemAllocator& alloc_;
+  nvm::PmemPool& pool_;
+  uint64_t n_ = 0;  // level-0 cells
+  uint64_t level_size_[kLevels];
+  uint64_t level_off_[kLevels];
+  uint64_t total_cells_ = 0;
+  Cell* cells_ = nullptr;
+  NvmRwLock* stripes_ = nullptr;  // in NVM
+  std::atomic<uint64_t> count_{0};
+};
+
+}  // namespace hdnh

@@ -1,0 +1,66 @@
+#include "common/cli.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hdnh {
+
+Cli::Cli(int argc, char** argv) : prog_(argc > 0 ? argv[0] : "prog") {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "true";  // bare boolean flag
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+std::string Cli::get_str(const std::string& name, const std::string& def,
+                         const std::string& doc) {
+  known_.push_back(name);
+  help_lines_.push_back("  --" + name + " (default: " + def + ")  " + doc);
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+int64_t Cli::get_int(const std::string& name, int64_t def,
+                     const std::string& doc) {
+  auto s = get_str(name, std::to_string(def), doc);
+  return std::strtoll(s.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double def,
+                       const std::string& doc) {
+  auto s = get_str(name, std::to_string(def), doc);
+  return std::strtod(s.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& name, bool def, const std::string& doc) {
+  auto s = get_str(name, def ? "true" : "false", doc);
+  return s == "true" || s == "1" || s == "yes";
+}
+
+void Cli::finish() const {
+  if (values_.count("help")) {
+    std::printf("usage: %s [flags]\n", prog_.c_str());
+    for (const auto& l : help_lines_) std::printf("%s\n", l.c_str());
+    std::exit(0);
+  }
+  for (const auto& [k, v] : values_) {
+    (void)v;
+    if (std::find(known_.begin(), known_.end(), k) == known_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s (see --help)\n", k.c_str());
+      std::exit(2);
+    }
+  }
+}
+
+}  // namespace hdnh

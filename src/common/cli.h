@@ -1,0 +1,36 @@
+// Minimal --key=value flag parser for benches and examples.
+// Unknown flags are an error (catches typos in sweep scripts); a bare
+// `--help` prints registered flags and exits.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hdnh {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  // Registered getters: each call also registers the flag + doc for --help.
+  std::string get_str(const std::string& name, const std::string& def,
+                      const std::string& doc = "");
+  int64_t get_int(const std::string& name, int64_t def,
+                  const std::string& doc = "");
+  double get_double(const std::string& name, double def,
+                    const std::string& doc = "");
+  bool get_bool(const std::string& name, bool def, const std::string& doc = "");
+
+  // Call after all getters: errors on unknown flags, handles --help.
+  void finish() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::vector<std::string> known_;
+  std::string prog_;
+  mutable std::vector<std::string> help_lines_;
+};
+
+}  // namespace hdnh

@@ -1,0 +1,42 @@
+// Time helpers: monotonic nanoseconds and a calibrated spin-wait used by the
+// NVM latency model (sleeping is far too coarse for ~100 ns scale delays).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace hdnh {
+
+inline uint64_t now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Busy-wait for approximately `ns` nanoseconds. Used to emulate NVM media
+// latency; accuracy within a few tens of ns is plenty for the model.
+inline void spin_for_ns(uint64_t ns) {
+  if (ns == 0) return;
+  const uint64_t deadline = now_ns() + ns;
+  while (now_ns() < deadline) {
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+// Simple scope timer: reports elapsed nanoseconds.
+class ScopeTimer {
+ public:
+  ScopeTimer() : start_(now_ns()) {}
+  uint64_t elapsed_ns() const { return now_ns() - start_; }
+  double elapsed_ms() const { return static_cast<double>(elapsed_ns()) / 1e6; }
+  double elapsed_s() const { return static_cast<double>(elapsed_ns()) / 1e9; }
+  void reset() { start_ = now_ns(); }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace hdnh

@@ -1,0 +1,75 @@
+// 64-bit seeded hashing used by every scheme in this repository.
+//
+// We implement an xxHash64-style mixer from scratch (no external deps).
+// All tables derive their two independent hash functions from one
+// computation with different seeds, and HDNH's one-byte fingerprint is the
+// least-significant byte of the primary hash (paper §3.2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace hdnh {
+
+namespace detail {
+inline constexpr uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
+inline constexpr uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
+inline constexpr uint64_t kPrime3 = 0x165667B19E3779F9ULL;
+inline constexpr uint64_t kPrime4 = 0x85EBCA77C2B2AE63ULL;
+inline constexpr uint64_t kPrime5 = 0x27D4EB2F165667C5ULL;
+
+inline uint64_t rotl(uint64_t v, int r) { return (v << r) | (v >> (64 - r)); }
+
+inline uint64_t read64(const void* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline uint32_t read32(const void* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint64_t round64(uint64_t acc, uint64_t input) {
+  acc += input * kPrime2;
+  acc = rotl(acc, 31);
+  acc *= kPrime1;
+  return acc;
+}
+
+inline uint64_t merge_round(uint64_t acc, uint64_t val) {
+  val = round64(0, val);
+  acc ^= val;
+  acc = acc * kPrime1 + kPrime4;
+  return acc;
+}
+}  // namespace detail
+
+// Hash `len` bytes at `data` with `seed`. xxHash64 algorithm.
+uint64_t hash64(const void* data, size_t len, uint64_t seed = 0);
+
+inline uint64_t hash64(std::string_view sv, uint64_t seed = 0) {
+  return hash64(sv.data(), sv.size(), seed);
+}
+
+// Cheap integer mixer (SplitMix64 finalizer) — used to scramble keyspace ids
+// and to derive secondary hashes from a primary one.
+inline uint64_t mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// One-byte fingerprint of a full 64-bit hash (paper §3.2: "the least
+// significant byte of the key's hash value").
+inline uint8_t fingerprint(uint64_t h) { return static_cast<uint8_t>(h & 0xFF); }
+
+// Seeds for the two independent hash functions every scheme uses.
+inline constexpr uint64_t kSeed1 = 0x5851F42D4C957F2DULL;
+inline constexpr uint64_t kSeed2 = 0x14057B7EF767814FULL;
+
+}  // namespace hdnh

@@ -1,0 +1,31 @@
+#include "common/histogram.h"
+
+namespace hdnh {
+
+uint64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  if (q <= 0) return min();
+  if (q >= 1) return max();
+  const uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_));
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen > target) return value_for(i);
+  }
+  return max();
+}
+
+std::vector<std::pair<uint64_t, double>> Histogram::cdf() const {
+  std::vector<std::pair<uint64_t, double>> out;
+  if (count_ == 0) return out;
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (counts_[i] == 0) continue;
+    seen += counts_[i];
+    out.emplace_back(value_for(i),
+                     static_cast<double>(seen) / static_cast<double>(count_));
+  }
+  return out;
+}
+
+}  // namespace hdnh

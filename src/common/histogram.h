@@ -1,0 +1,81 @@
+// Log-bucketed latency histogram with percentile and CDF extraction.
+// Used by the tail-latency bench (paper Fig 15) and generally by the harness.
+//
+// Buckets are exponential with 64 sub-buckets per power of two, giving
+// ~1.6% relative resolution over [1ns, ~584 years] with a fixed 4 KB table —
+// the HdrHistogram idea, simplified.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace hdnh {
+
+class Histogram {
+ public:
+  static constexpr int kSubBits = 6;                  // 64 sub-buckets
+  static constexpr int kSub = 1 << kSubBits;
+  static constexpr int kBuckets = 64 * kSub;          // generous upper bound
+
+  Histogram() { counts_.fill(0); }
+
+  void record(uint64_t value_ns) {
+    ++count_;
+    sum_ += value_ns;
+    max_ = std::max(max_, value_ns);
+    min_ = std::min(min_, value_ns);
+    counts_[index_for(value_ns)]++;
+  }
+
+  // Merge another histogram into this one (for per-thread aggregation).
+  void merge(const Histogram& other) {
+    count_ += other.count_;
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+    min_ = std::min(min_, other.min_);
+    for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t max() const { return count_ ? max_ : 0; }
+  uint64_t min() const { return count_ ? min_ : 0; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+
+  // Value at quantile q in [0,1] (e.g. 0.999). Returns a bucket-representative
+  // value; resolution ~1.6%.
+  uint64_t percentile(double q) const;
+
+  // (value_ns, cumulative_fraction) points for every non-empty bucket —
+  // exactly what a CDF plot needs.
+  std::vector<std::pair<uint64_t, double>> cdf() const;
+
+ private:
+  static int index_for(uint64_t v) {
+    if (v < kSub) return static_cast<int>(v);
+    const int msb = 63 - __builtin_clzll(v);
+    const int shift = msb - kSubBits;
+    const int sub = static_cast<int>((v >> shift) & (kSub - 1));
+    int idx = ((msb - kSubBits + 1) << kSubBits) + sub;
+    return idx < kBuckets ? idx : kBuckets - 1;
+  }
+
+  static uint64_t value_for(int idx) {
+    if (idx < kSub) return static_cast<uint64_t>(idx);
+    const int bucket = idx >> kSubBits;
+    const int sub = idx & (kSub - 1);
+    const int shift = bucket - 1;
+    return ((static_cast<uint64_t>(kSub) + sub) << shift) + (1ULL << shift) / 2;
+  }
+
+  std::array<uint64_t, kBuckets> counts_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+  uint64_t min_ = UINT64_MAX;
+};
+
+}  // namespace hdnh

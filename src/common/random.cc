@@ -1,0 +1,53 @@
+#include "common/random.h"
+
+namespace hdnh {
+
+namespace {
+// Exact zeta for small n, Euler–Maclaurin style approximation for large n —
+// matches YCSB's behaviour closely enough for workload generation.
+double zeta_approx(uint64_t n, double theta) {
+  constexpr uint64_t kExactLimit = 1'000'000;
+  if (n <= kExactLimit) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+  }
+  double sum = 0;
+  for (uint64_t i = 1; i <= kExactLimit; ++i)
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  // integral of x^-theta from kExactLimit to n
+  if (theta == 1.0) {
+    sum += std::log(static_cast<double>(n) / kExactLimit);
+  } else {
+    sum += (std::pow(static_cast<double>(n), 1 - theta) -
+            std::pow(static_cast<double>(kExactLimit), 1 - theta)) /
+           (1 - theta);
+  }
+  return sum;
+}
+}  // namespace
+
+double ZipfianChooser::zeta_static(uint64_t n, double theta) {
+  return zeta_approx(n, theta);
+}
+
+ZipfianChooser::ZipfianChooser(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  zetan_ = zeta_static(n, theta);
+  zeta2theta_ = zeta_static(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1 - std::pow(2.0 / static_cast<double>(n), 1 - theta)) /
+         (1 - zeta2theta_ / zetan_);
+}
+
+uint64_t ZipfianChooser::next() {
+  double u = rng_.next_double();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  uint64_t v = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+}  // namespace hdnh

@@ -1,0 +1,118 @@
+// Random number machinery: a fast PRNG plus the YCSB key-chooser
+// distributions (uniform, zipfian, scrambled zipfian, latest).
+//
+// The zipfian generator follows Gray et al., "Quickly Generating
+// Billion-Record Synthetic Databases" (SIGMOD '94) — the same algorithm YCSB
+// uses — so the skew parameter `s` in our benches means the same thing as the
+// paper's YCSB `s` (they sweep 0.5..1.22 in Fig 12; YCSB default is 0.99).
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace hdnh {
+
+// xoshiro256** — fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0xDEADBEEFCAFEBABEULL) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      si = mix64(x);
+    }
+  }
+
+  uint64_t next() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). Bound must be > 0.
+  uint64_t next_below(uint64_t bound) { return next() % bound; }
+
+  // Uniform double in [0, 1).
+  double next_double() { return (next() >> 11) * 0x1.0p-53; }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+// Chooses keys in [0, n) with a given distribution. Subclasses are NOT
+// thread-safe; benches give each thread its own instance.
+class KeyChooser {
+ public:
+  virtual ~KeyChooser() = default;
+  // Returns the next chosen key index in [0, n).
+  virtual uint64_t next() = 0;
+};
+
+// Uniform over [0, n).
+class UniformChooser final : public KeyChooser {
+ public:
+  UniformChooser(uint64_t n, uint64_t seed) : n_(n), rng_(seed) {}
+  uint64_t next() override { return rng_.next_below(n_); }
+
+ private:
+  uint64_t n_;
+  Rng rng_;
+};
+
+// Zipfian over [0, n) with exponent `theta` (YCSB's `s`). Item 0 is the
+// most popular. Gray et al. constant-time algorithm after O(n)-free setup
+// (we use the closed-form zeta approximation YCSB uses for large n).
+class ZipfianChooser : public KeyChooser {
+ public:
+  ZipfianChooser(uint64_t n, double theta, uint64_t seed);
+  uint64_t next() override;
+
+  double theta() const { return theta_; }
+
+ protected:
+  uint64_t n_;
+  double theta_;
+  double alpha_, zetan_, eta_, zeta2theta_;
+  Rng rng_;
+
+  static double zeta_static(uint64_t n, double theta);
+};
+
+// Zipfian with the popular items scattered across the keyspace (YCSB's
+// ScrambledZipfian) — popularity skew without spatial locality, which is the
+// honest way to exercise a hash table's hot-set behaviour.
+class ScrambledZipfianChooser final : public ZipfianChooser {
+ public:
+  ScrambledZipfianChooser(uint64_t n, double theta, uint64_t seed)
+      : ZipfianChooser(n, theta, seed) {}
+  uint64_t next() override { return mix64(ZipfianChooser::next()) % n_; }
+};
+
+// YCSB "latest": skewed toward the most recently inserted keys. The caller
+// advances `max` as inserts happen.
+class LatestChooser final : public KeyChooser {
+ public:
+  LatestChooser(uint64_t n, double theta, uint64_t seed)
+      : zipf_(n, theta, seed), max_(n) {}
+  void set_max(uint64_t m) { max_ = m; }
+  uint64_t next() override {
+    uint64_t off = zipf_.next();
+    return off >= max_ ? max_ - 1 : max_ - 1 - off;
+  }
+
+ private:
+  ZipfianChooser zipf_;
+  uint64_t max_;
+};
+
+}  // namespace hdnh

@@ -1,0 +1,33 @@
+#include "common/threads.h"
+
+#include <pthread.h>
+#include <sched.h>
+
+namespace hdnh {
+
+bool pin_to_core(uint32_t core) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core % std::thread::hardware_concurrency(), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+void parallel_for(uint64_t n, uint32_t workers,
+                  const std::function<void(uint32_t, uint64_t, uint64_t)>& fn) {
+  if (workers <= 1 || n == 0) {
+    fn(0, 0, n);
+    return;
+  }
+  const uint64_t chunk = (n + workers - 1) / workers;
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (uint32_t w = 1; w < workers; ++w) {
+    const uint64_t begin = std::min(n, w * chunk);
+    const uint64_t end = std::min(n, begin + chunk);
+    threads.emplace_back([&fn, w, begin, end] { fn(w, begin, end); });
+  }
+  fn(0, 0, std::min(n, chunk));
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace hdnh

@@ -1,0 +1,48 @@
+// Small threading utilities: a reusable spin barrier for bench start lines,
+// core pinning (best effort), and a parallel-for used by multi-threaded
+// recovery (paper §3.7 splits non-volatile-table buckets into batches).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace hdnh {
+
+// Reusable sense-reversing spin barrier.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(uint32_t parties) : parties_(parties) {}
+
+  void arrive_and_wait() {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+#if defined(__x86_64__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+
+ private:
+  const uint32_t parties_;
+  std::atomic<uint32_t> arrived_{0};
+  std::atomic<bool> sense_{false};
+};
+
+// Best-effort pin of the calling thread to a CPU. Returns false if the OS
+// refuses (e.g. single-core container) — callers treat that as advisory.
+bool pin_to_core(uint32_t core);
+
+// Run fn(worker_id, begin, end) over [0, n) split into `workers` contiguous
+// batches on `workers` threads (worker 0 is the calling thread).
+void parallel_for(uint64_t n, uint32_t workers,
+                  const std::function<void(uint32_t, uint64_t, uint64_t)>& fn);
+
+}  // namespace hdnh

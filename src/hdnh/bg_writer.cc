@@ -1,0 +1,63 @@
+#include "hdnh/bg_writer.h"
+
+namespace hdnh {
+
+BgWriter::BgWriter(HotTable* hot, uint32_t workers) : hot_(hot) {
+  if (workers == 0) workers = 1;
+  workers_.reserve(workers);
+  for (uint32_t i = 0; i < workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+    Worker& w = *workers_.back();
+    w.thread = std::thread([this, &w] { run(w); });
+  }
+}
+
+BgWriter::~BgWriter() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& w : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(w->mu);
+      w->cv.notify_all();
+    }
+    w->thread.join();
+  }
+}
+
+void BgWriter::submit(Op op, const KVPair& kv, uint64_t key_hash,
+                      SyncWriteSignal* signal) {
+  Worker& w = *workers_[key_hash % workers_.size()];
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    w.queue.push_back(Request{op, kv, signal});
+  }
+  w.cv.notify_one();
+}
+
+void BgWriter::run(Worker& w) {
+  for (;;) {
+    Request req;
+    {
+      std::unique_lock<std::mutex> lock(w.mu);
+      w.cv.wait(lock, [&] {
+        return !w.queue.empty() || stop_.load(std::memory_order_acquire);
+      });
+      if (w.queue.empty()) {
+        if (stop_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      req = w.queue.front();
+      w.queue.pop_front();
+    }
+    switch (req.op) {
+      case Op::kPut:
+        hot_->put(req.kv);
+        break;
+      case Op::kErase:
+        hot_->erase(req.kv.key);
+        break;
+    }
+    if (req.signal) req.signal->complete();
+  }
+}
+
+}  // namespace hdnh

@@ -1,0 +1,85 @@
+// Synchronous write mechanism (§3.4).
+//
+// Every HDNH write is logically performed by two threads: the foreground
+// thread does the durable work (non-volatile table + OCF) while a
+// background thread mirrors the change into the DRAM hot table. The two
+// rendezvous on a `sync_write_signal`: the foreground submits the request
+// (signal = incomplete), finishes its NVM work, then waits for the
+// background thread to mark the signal complete before returning.
+//
+// Requests are routed to a fixed worker by key hash, so operations on the
+// same key always execute on the same queue in submission order.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/types.h"
+#include "hdnh/hot_table.h"
+
+namespace hdnh {
+
+// The paper's sync_write_signal. `wait()` spins briefly then yields, which
+// behaves well both when background threads have their own cores and when
+// they are timeshared.
+class SyncWriteSignal {
+ public:
+  void complete() { done_.store(true, std::memory_order_release); }
+  void wait() const {
+    for (int spins = 0; !done_.load(std::memory_order_acquire); ++spins) {
+      if (spins < 1024) {
+#if defined(__x86_64__)
+        __builtin_ia32_pause();
+#endif
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  std::atomic<bool> done_{false};
+};
+
+class BgWriter {
+ public:
+  enum class Op : uint8_t { kPut, kErase };
+
+  BgWriter(HotTable* hot, uint32_t workers);
+  ~BgWriter();
+
+  BgWriter(const BgWriter&) = delete;
+  BgWriter& operator=(const BgWriter&) = delete;
+
+  // Enqueue a hot-table mirror operation; `signal` is completed once the
+  // hot table reflects the change. `signal` may be null (fire-and-forget,
+  // used by search-path promotions).
+  void submit(Op op, const KVPair& kv, uint64_t key_hash,
+              SyncWriteSignal* signal);
+
+ private:
+  struct Request {
+    Op op;
+    KVPair kv;
+    SyncWriteSignal* signal;
+  };
+  struct Worker {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Request> queue;
+    std::thread thread;
+  };
+
+  void run(Worker& w);
+
+  HotTable* hot_;
+  std::atomic<bool> stop_{false};
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace hdnh

@@ -1,0 +1,67 @@
+// Tunables of the HDNH scheme. Defaults are the paper's chosen operating
+// point: 16 KB segments (Fig 11a), 8-slot 256 B non-volatile buckets (§4.1),
+// 4-slot hot-table buckets (Fig 11b), RAFL replacement (§3.3), and the
+// synchronous-write background threads of §3.4.
+#pragma once
+
+#include <cstdint>
+
+namespace hdnh {
+
+struct HdnhConfig {
+  // ---- non-volatile table geometry ----
+  // Segment size in bytes; must be a multiple of 256 (the bucket size).
+  // The paper sweeps 256 B .. 256 KB and picks 16 KB.
+  uint64_t segment_bytes = 16 * 1024;
+
+  // Initial number of items the table should hold before its first resize,
+  // used to size the two levels (TL = 2M segments, BL = M segments).
+  uint64_t initial_capacity = 1 << 16;
+
+  // Fraction of slots we aim to fill before relying on resize; sizing knob
+  // only (resize itself triggers on allocation failure, like the paper).
+  double sizing_load_target = 0.7;
+
+  // ---- OCF ----
+  // Ablation switch: with the filter off, every valid slot of a candidate
+  // bucket is probed in NVM (the pre-OCF behaviour the paper criticises in
+  // Level hashing / Rewo / HMEH).
+  bool enable_ocf = true;
+
+  // ---- hot table ----
+  bool enable_hot_table = true;
+
+  // Hot-table capacity as a fraction of the non-volatile table's slots.
+  double hot_capacity_ratio = 0.25;
+
+  // Slots per hot-table bucket (Fig 11b sweeps 1..16 and picks 4).
+  uint32_t hot_slots_per_bucket = 4;
+
+  // Replacement strategy: RAFL (the contribution) or LRU (the Rewo-style
+  // baseline the paper compares against in Fig 12).
+  enum class HotPolicy { kRafl, kLru };
+  HotPolicy hot_policy = HotPolicy::kRafl;
+
+  // Promote items into the hot table when a search has to fall through to
+  // the non-volatile table ("the items can be inserted to the hot table
+  // again when these items are searched next time", §3.3).
+  bool promote_on_search = true;
+
+  // ---- synchronous write mechanism (§3.4) ----
+  // kBackground uses dedicated background threads and the sync_write_signal
+  // handshake; kInline performs hot-table maintenance on the foreground
+  // thread (ablation mode, also the sane default on few-core hosts).
+  enum class SyncMode { kInline, kBackground };
+  SyncMode sync_mode = SyncMode::kInline;
+  uint32_t bg_workers = 2;
+
+  // ---- recovery ----
+  uint32_t recovery_threads = 4;
+
+  // Threads draining the old bottom level during a resize (the §3.7
+  // multi-threaded bucket-batch idea applied to rehashing). Rehash workers
+  // use the normal claim/publish protocol, so any value is crash-safe.
+  uint32_t resize_threads = 1;
+};
+
+}  // namespace hdnh

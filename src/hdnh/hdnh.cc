@@ -1,0 +1,1006 @@
+#include "hdnh/hdnh.h"
+
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/threads.h"
+
+namespace hdnh {
+
+namespace {
+
+std::unique_ptr<std::atomic<uint16_t>[]> zero_ocf(uint64_t buckets) {
+  auto arr = std::make_unique<std::atomic<uint16_t>[]>(buckets * kNvSlots);
+  for (uint64_t i = 0; i < buckets * kNvSlots; ++i)
+    arr[i].store(0, std::memory_order_relaxed);
+  return arr;
+}
+
+void cpu_pause() {
+#if defined(__x86_64__)
+  __builtin_ia32_pause();
+#endif
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction / recovery
+// ---------------------------------------------------------------------------
+
+Hdnh::Hdnh(nvm::PmemAllocator& alloc, HdnhConfig cfg)
+    : alloc_(alloc), pool_(alloc.pool()), cfg_(cfg) {
+  if (cfg_.segment_bytes < kNvBucketBytes ||
+      cfg_.segment_bytes % kNvBucketBytes != 0) {
+    throw std::invalid_argument("segment_bytes must be a multiple of 256");
+  }
+  bps_ = cfg_.segment_bytes / kNvBucketBytes;
+
+  if (alloc_.root(kSuperRoot) != 0) {
+    attach_and_recover();
+  } else {
+    create_fresh();
+  }
+
+  if (cfg_.enable_hot_table && !hot_) {
+    hot_ = std::make_unique<HotTable>(
+        static_cast<uint64_t>(static_cast<double>(total_slots()) *
+                              cfg_.hot_capacity_ratio),
+        cfg_.hot_slots_per_bucket, cfg_.hot_policy);
+  }
+  if (cfg_.enable_hot_table && cfg_.sync_mode == HdnhConfig::SyncMode::kBackground) {
+    bg_ = std::make_unique<BgWriter>(hot_.get(), cfg_.bg_workers);
+  }
+}
+
+Hdnh::~Hdnh() {
+  bg_.reset();  // drain background mirrors before marking clean
+  if (super_) {
+    super_->clean_item_count = count_.load(std::memory_order_relaxed);
+    pool_.persist(&super_->clean_item_count, sizeof(uint64_t));
+    pool_.fence();
+    super_->clean_shutdown = 1;
+    pool_.persist_fence(&super_->clean_shutdown, sizeof(uint32_t));
+  }
+}
+
+uint64_t Hdnh::alloc_level_nvm(uint64_t segs) {
+  const uint64_t bytes = segs * bps_ * kNvBucketBytes;
+  const uint64_t off = alloc_.alloc(bytes, kNvBucketBytes);
+  char* p = pool_.to_ptr<char>(off);
+  std::memset(p, 0, bytes);
+  pool_.persist(p, bytes);
+  pool_.fence();
+  return off;
+}
+
+Hdnh::Level Hdnh::make_level_view(uint64_t off, uint64_t segs) {
+  Level lv;
+  lv.off = off;
+  lv.segs = segs;
+  lv.buckets = segs * bps_;
+  lv.arr = pool_.to_ptr<NvBucket>(off);
+  lv.ocf = zero_ocf(lv.buckets);
+  return lv;
+}
+
+void Hdnh::create_fresh() {
+  // Size the two levels (TL = 2M segments, BL = M) so initial_capacity items
+  // fit below the sizing load target: total slots = 3M * bps * 8.
+  const double denom =
+      cfg_.sizing_load_target * 3.0 * static_cast<double>(bps_ * kNvSlots);
+  uint64_t m = static_cast<uint64_t>(
+      static_cast<double>(cfg_.initial_capacity) / denom) + 1;
+  if (m == 0) m = 1;
+
+  const uint64_t super_off = alloc_.alloc(sizeof(HdnhSuper));
+  const uint64_t log_off = alloc_.alloc(sizeof(UpdateLogEntry) * kUpdateLogSlots);
+  super_ = pool_.to_ptr<HdnhSuper>(super_off);
+  std::memset(static_cast<void*>(super_), 0, sizeof(HdnhSuper));
+  std::memset(pool_.to_ptr<char>(log_off), 0,
+              sizeof(UpdateLogEntry) * kUpdateLogSlots);
+  pool_.persist(pool_.to_ptr<char>(log_off),
+                sizeof(UpdateLogEntry) * kUpdateLogSlots);
+
+  super_->buckets_per_seg = bps_;
+  super_->level_segs[0] = 2 * m;
+  super_->level_segs[1] = m;
+  super_->level_off[0] = alloc_level_nvm(2 * m);
+  super_->level_off[1] = alloc_level_nvm(m);
+  super_->magic = HdnhSuper::kMagic;
+  pool_.persist(super_, sizeof(HdnhSuper));
+  pool_.fence();
+
+  // Publish roots last: a crash before this point leaves an unformatted
+  // (and therefore freshly re-creatable) pool.
+  alloc_.set_root(kLogRoot, log_off, sizeof(UpdateLogEntry) * kUpdateLogSlots);
+  alloc_.set_root(kSuperRoot, super_off, sizeof(HdnhSuper));
+
+  lv_[0] = make_level_view(super_->level_off[0], super_->level_segs[0]);
+  lv_[1] = make_level_view(super_->level_off[1], super_->level_segs[1]);
+}
+
+void Hdnh::attach_and_recover() {
+  super_ = pool_.to_ptr<HdnhSuper>(alloc_.root(kSuperRoot));
+  if (super_->magic != HdnhSuper::kMagic) {
+    throw std::runtime_error("Hdnh: pool root is not an HDNH superblock");
+  }
+  bps_ = super_->buckets_per_seg;
+  cfg_.segment_bytes = bps_ * kNvBucketBytes;
+
+  bool resumed = false;
+  if (super_->resizing_flag) {
+    resumed = true;
+    uint32_t ln = super_->level_number.load(std::memory_order_relaxed);
+    if (ln == 2) {
+      // Resize had started but rehashing had not: the new level may or may
+      // not have been allocated; nothing was written into it either way.
+      // Re-derive the final pointer layout from the prev_* snapshot (§3.7:
+      // "the recovery thread applies for the new level again and lets the
+      // pointer of top level point to the new level").
+      if (super_->new_level_off == 0) {
+        super_->new_level_segs = 2 * super_->prev_tl_segs;
+        super_->new_level_off = alloc_level_nvm(super_->new_level_segs);
+      } else {
+        // Allocation happened; re-zero it (idempotent — rehash had not run).
+        char* p = pool_.to_ptr<char>(super_->new_level_off);
+        const uint64_t bytes = super_->new_level_segs * bps_ * kNvBucketBytes;
+        std::memset(p, 0, bytes);
+        pool_.persist(p, bytes);
+      }
+      pool_.persist(&super_->new_level_off, 2 * sizeof(uint64_t));
+      pool_.fence();
+      super_->level_off[0] = super_->new_level_off;
+      super_->level_segs[0] = super_->new_level_segs;
+      super_->level_off[1] = super_->prev_tl_off;
+      super_->level_segs[1] = super_->prev_tl_segs;
+      pool_.persist(super_->level_off, 4 * sizeof(uint64_t));
+      pool_.fence();
+      super_->rehash_progress.store(0, std::memory_order_relaxed);
+      pool_.persist(&super_->rehash_progress, sizeof(uint64_t));
+      pool_.fence();
+      super_->level_number.store(3, std::memory_order_relaxed);
+      pool_.persist_fence(&super_->level_number, sizeof(uint32_t));
+      ln = 3;
+    }
+    if (ln == 3) {
+      // Resume draining the old bottom level from the persisted progress
+      // mark. The in-progress bucket may have been partially reinserted, so
+      // the resumed rehash deduplicates before each insert.
+      lv_[0] = make_level_view(super_->level_off[0], super_->level_segs[0]);
+      lv_[1] = make_level_view(super_->level_off[1], super_->level_segs[1]);
+      // The rehash reserves slots through the OCF (claim_empty), so the
+      // OCF's validity bits must reflect the persisted bitmaps BEFORE any
+      // reinsert — otherwise already-occupied slots look free and get
+      // overwritten.
+      rebuild_pass(cfg_.recovery_threads, /*do_ocf=*/true, /*do_hot=*/false);
+      Level old_bl = make_level_view(super_->prev_bl_off, super_->prev_bl_segs);
+      rehash_level(old_bl, /*check_dup=*/true);
+      alloc_.free_block(super_->prev_bl_off,
+                        old_bl.buckets * kNvBucketBytes);
+      super_->level_number.store(0, std::memory_order_relaxed);
+      pool_.persist_fence(&super_->level_number, sizeof(uint32_t));
+      super_->resizing_flag = 0;
+      pool_.persist_fence(&super_->resizing_flag, sizeof(uint32_t));
+    }
+  } else {
+    lv_[0] = make_level_view(super_->level_off[0], super_->level_segs[0]);
+    lv_[1] = make_level_view(super_->level_off[1], super_->level_segs[1]);
+  }
+
+  replay_update_logs();
+
+  // Rebuild the volatile structures (OCF + hot table) in one traversal.
+  if (cfg_.enable_hot_table) {
+    hot_ = std::make_unique<HotTable>(
+        static_cast<uint64_t>(static_cast<double>(total_slots()) *
+                              cfg_.hot_capacity_ratio),
+        cfg_.hot_slots_per_bucket, cfg_.hot_policy);
+  }
+  last_recovery_ = rebuild_volatile(cfg_.recovery_threads, /*merged=*/true);
+  last_recovery_.resumed_resize = resumed;
+
+  super_->clean_shutdown = 0;
+  pool_.persist_fence(&super_->clean_shutdown, sizeof(uint32_t));
+}
+
+UpdateLogEntry* Hdnh::log_entry(uint32_t idx) const {
+  return pool_.to_ptr<UpdateLogEntry>(alloc_.root(kLogRoot)) + idx;
+}
+
+void Hdnh::replay_update_logs() {
+  for (uint32_t i = 0; i < kUpdateLogSlots; ++i) {
+    UpdateLogEntry* e = log_entry(i);
+    if (e->state.load(std::memory_order_relaxed) != 1) continue;
+    NvBucket* nb = pool_.to_ptr<NvBucket>(e->new_level_off) + e->new_bucket;
+    NvBucket* ob = pool_.to_ptr<NvBucket>(e->old_level_off) + e->old_bucket;
+    pool_.on_read(nb, kNvBucketBytes);
+    // Defensive: only replay if the new slot really holds the logged key
+    // (its content was persisted before the log was armed, so it must).
+    if (nb->slots[e->new_slot].key == e->key) {
+      nb->bitmap.fetch_or(static_cast<uint8_t>(1u << e->new_slot),
+                          std::memory_order_relaxed);
+      pool_.on_write(&nb->bitmap, 1);
+      pool_.persist_fence(&nb->bitmap, 1);
+      ob->bitmap.fetch_and(static_cast<uint8_t>(~(1u << e->old_slot)),
+                           std::memory_order_relaxed);
+      pool_.on_write(&ob->bitmap, 1);
+      pool_.persist_fence(&ob->bitmap, 1);
+    }
+    e->state.store(0, std::memory_order_relaxed);
+    pool_.persist_fence(&e->state, sizeof(uint64_t));
+  }
+}
+
+void Hdnh::rebuild_pass(uint32_t threads, bool do_ocf, bool do_hot) {
+  std::atomic<uint64_t> total{0};
+  for (Level& lv : lv_) {
+    NvBucket* arr = lv.arr;
+    std::atomic<uint16_t>* ocf_arr = lv.ocf.get();
+    parallel_for(lv.buckets, threads,
+                 [&](uint32_t, uint64_t begin, uint64_t end) {
+                   uint64_t local = 0;
+                   for (uint64_t b = begin; b < end; ++b) {
+                     const uint8_t bm =
+                         arr[b].bitmap.load(std::memory_order_relaxed);
+                     if (bm == 0) continue;
+                     pool_.on_read(&arr[b], kNvBucketBytes);
+                     for (uint32_t i = 0; i < kNvSlots; ++i) {
+                       if (!(bm & (1u << i))) continue;
+                       const KVPair& kv = arr[b].slots[i];
+                       if (do_ocf) {
+                         const uint8_t fp = fingerprint(key_hash1(kv.key));
+                         ocf_arr[b * kNvSlots + i].store(
+                             static_cast<uint16_t>(ocf::kValid | fp),
+                             std::memory_order_relaxed);
+                         ++local;
+                       }
+                       if (do_hot && hot_) hot_->put(kv);
+                     }
+                   }
+                   if (do_ocf) total.fetch_add(local, std::memory_order_relaxed);
+                 });
+  }
+  if (do_ocf) count_.store(total.load(), std::memory_order_relaxed);
+}
+
+Hdnh::RecoveryStats Hdnh::rebuild_volatile(uint32_t threads, bool merged) {
+  RecoveryStats rs;
+  // Start from empty volatile structures, as after a restart.
+  lv_[0].ocf = zero_ocf(lv_[0].buckets);
+  lv_[1].ocf = zero_ocf(lv_[1].buckets);
+  if (hot_) hot_->reset(static_cast<uint64_t>(
+      static_cast<double>(total_slots()) * cfg_.hot_capacity_ratio));
+
+  ScopeTimer total;
+  if (merged) {
+    rebuild_pass(threads, true, true);
+    rs.total_ms = total.elapsed_ms();
+  } else {
+    ScopeTimer t1;
+    rebuild_pass(threads, true, false);
+    rs.ocf_ms = t1.elapsed_ms();
+    ScopeTimer t2;
+    rebuild_pass(threads, false, true);
+    rs.hot_ms = t2.elapsed_ms();
+    rs.total_ms = total.elapsed_ms();
+  }
+  rs.items = count_.load(std::memory_order_relaxed);
+  return rs;
+}
+
+// ---------------------------------------------------------------------------
+// Addressing
+// ---------------------------------------------------------------------------
+
+int Hdnh::candidates(const Level& lv, uint64_t h1, uint64_t h2,
+                     uint64_t out[4]) const {
+  // 2-cuckoo at segment granularity, then 2-cuckoo bucket choice inside
+  // each segment: four candidate buckets per level (§3.2). Distinct bit
+  // ranges keep segment and bucket choices decorrelated.
+  const uint64_t s1 = (h1 >> 32) % lv.segs;
+  const uint64_t s2 = (h2 >> 32) % lv.segs;
+  // Bucket choice starts at bit 8: bits 0..7 of h1 are the fingerprint, and
+  // overlapping them would correlate a bucket's residents with the probe
+  // key's fingerprint, inflating the OCF false-positive rate ~16x.
+  const uint64_t b1 = ((h1 >> 8) & 0xFFFFFFu) % bps_;
+  const uint64_t b2 = ((h2 >> 8) & 0xFFFFFFu) % bps_;
+  uint64_t cand[4] = {s1 * bps_ + b1, s1 * bps_ + b2, s2 * bps_ + b1,
+                      s2 * bps_ + b2};
+  int n = 0;
+  for (int i = 0; i < 4; ++i) {
+    bool dup = false;
+    for (int j = 0; j < n; ++j) dup |= (out[j] == cand[i]);
+    if (!dup) out[n++] = cand[i];
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Probe / claim primitives
+// ---------------------------------------------------------------------------
+
+bool Hdnh::probe_find(uint64_t h1, uint64_t h2, const Key& key, uint8_t fp,
+                      Value* out, SlotLoc* loc, bool lock_found,
+                      uint16_t* snapshot) {
+  auto& st = nvm::Stats::local();
+  for (;;) {
+  const uint64_t move_seq_before = move_seq_.load(std::memory_order_acquire);
+  for (uint32_t l = 0; l < 2; ++l) {
+    Level& lv = lv_[l];
+    uint64_t cand[4];
+    const int n = candidates(lv, h1, h2, cand);
+    for (int c = 0; c < n; ++c) {
+      const uint64_t b = cand[c];
+      NvBucket& nb = lv.arr[b];
+      for (uint32_t i = 0; i < kNvSlots; ++i) {
+        std::atomic<uint16_t>* ent = ocf_entry(lv, b, i);
+        for (;;) {
+          uint16_t e = ent->load(std::memory_order_acquire);
+          if (ocf::busy(e)) {
+            // A writer owns the slot; it clears busy before leaving its
+            // critical section, so a brief spin is safe.
+            st.lock_waits++;
+            cpu_pause();
+            continue;
+          }
+          if (!ocf::valid(e)) break;
+          if (cfg_.enable_ocf && ocf::fp_of(e) != fp) {
+            // The whole point of the OCF: this comparison happened in DRAM
+            // and an NVM slot probe was avoided.
+            st.ocf_filtered++;
+            break;
+          }
+          pool_.on_read(&nb.slots[i], sizeof(KVPair));
+          if (!(nb.slots[i].key == key)) {
+            if (cfg_.enable_ocf) st.ocf_false_positive++;
+            // Revalidate: if the slot changed under us, rescan it.
+            if (ent->load(std::memory_order_acquire) != e) continue;
+            break;
+          }
+          Value v = nb.slots[i].value;
+          const uint16_t e2 = ent->load(std::memory_order_acquire);
+          if (e2 != e) {
+            st.lock_waits++;
+            continue;  // concurrent writer; re-examine the slot
+          }
+          if (lock_found) {
+            uint16_t expected = e;
+            if (!ent->compare_exchange_strong(
+                    expected, static_cast<uint16_t>(e | ocf::kBusy),
+                    std::memory_order_acq_rel)) {
+              st.lock_waits++;
+              continue;
+            }
+          }
+          if (loc) {
+            loc->level = l;
+            loc->bucket = b;
+            loc->slot = i;
+          }
+          if (snapshot) *snapshot = e;
+          if (out) *out = v;
+          return true;
+        }
+      }
+    }
+  }
+  // Miss. If an out-of-place update completed during the scan, the key may
+  // have hopped to a slot we had already passed — rescan.
+  if (move_seq_.load(std::memory_order_acquire) == move_seq_before) {
+    return false;
+  }
+  st.lock_waits++;
+  }
+}
+
+bool Hdnh::claim_empty_in_bucket(uint32_t level, uint64_t bucket,
+                                 uint32_t skip, SlotLoc* loc) {
+  Level& lv = lv_[level];
+  for (uint32_t i = 0; i < kNvSlots; ++i) {
+    if (i == skip) continue;
+    std::atomic<uint16_t>* ent = ocf_entry(lv, bucket, i);
+    uint16_t e = ent->load(std::memory_order_acquire);
+    if (e & (ocf::kValid | ocf::kBusy)) continue;
+    if (ent->compare_exchange_strong(e,
+                                     static_cast<uint16_t>(e | ocf::kBusy),
+                                     std::memory_order_acq_rel)) {
+      loc->level = level;
+      loc->bucket = bucket;
+      loc->slot = i;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Hdnh::claim_empty(uint64_t h1, uint64_t h2, SlotLoc* loc,
+                       const SlotLoc* exclude_bucket_of) {
+  for (uint32_t l = 0; l < 2; ++l) {
+    uint64_t cand[4];
+    const int n = candidates(lv_[l], h1, h2, cand);
+    for (int c = 0; c < n; ++c) {
+      if (exclude_bucket_of && exclude_bucket_of->level == l &&
+          exclude_bucket_of->bucket == cand[c]) {
+        continue;
+      }
+      if (claim_empty_in_bucket(l, cand[c], kNvSlots /*no skip*/, loc)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void Hdnh::ocf_release(const SlotLoc& loc, bool valid, uint8_t fp) {
+  std::atomic<uint16_t>* ent = ocf_entry(lv_[loc.level], loc.bucket, loc.slot);
+  const uint16_t prev = ent->load(std::memory_order_relaxed);
+  ent->store(ocf::release(prev, valid, fp), std::memory_order_release);
+}
+
+void Hdnh::ocf_unlock_restore(const SlotLoc& loc, uint16_t original) {
+  std::atomic<uint16_t>* ent = ocf_entry(lv_[loc.level], loc.bucket, loc.slot);
+  ent->store(original, std::memory_order_release);
+}
+
+void Hdnh::publish_nvt(const SlotLoc& loc, const KVPair& kv) {
+  NvBucket& nb = lv_[loc.level].arr[loc.bucket];
+  nb.slots[loc.slot] = kv;
+  pool_.on_write(&nb.slots[loc.slot], sizeof(KVPair));
+  pool_.persist(&nb.slots[loc.slot], sizeof(KVPair));
+  pool_.fence();
+  if (test_hook) test_hook("insert-slot-persisted");
+  nb.bitmap.fetch_or(static_cast<uint8_t>(1u << loc.slot),
+                     std::memory_order_release);
+  pool_.on_write(&nb.bitmap, 1);
+  pool_.persist(&nb.bitmap, 1);
+  pool_.fence();
+}
+
+void Hdnh::hot_mirror(BgWriter::Op op, const KVPair& kv, uint64_t h1) {
+  if (!hot_) return;
+  if (bg_) {
+    SyncWriteSignal sig;
+    bg_->submit(op, kv, h1, &sig);
+    sig.wait();
+  } else if (op == BgWriter::Op::kPut) {
+    hot_->put(kv);
+  } else {
+    hot_->erase(kv.key);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Public operations
+// ---------------------------------------------------------------------------
+
+bool Hdnh::search(const Key& key, Value* out) {
+  std::shared_lock<std::shared_mutex> lock(resize_mu_);
+  if (hot_ && hot_->search(key, out)) {
+    nvm::Stats::local().dram_hot_hits++;
+    return true;
+  }
+  const uint64_t h1 = key_hash1(key);
+  const uint64_t h2 = key_hash2(key);
+  SlotLoc loc;
+  uint16_t snap;
+  if (!probe_find(h1, h2, key, fingerprint(h1), out, &loc, false, &snap)) {
+    return false;
+  }
+  if (hot_ && cfg_.promote_on_search) {
+    // Promote under the slot's busy bit: hot-table writes for a key only
+    // ever happen while its OCF slot is owned, so the cache cannot be left
+    // holding a value the non-volatile table has since replaced. If a
+    // writer owns the slot right now, skip the promotion — it is only a
+    // cache warm-up.
+    std::atomic<uint16_t>* ent = ocf_entry(lv_[loc.level], loc.bucket, loc.slot);
+    uint16_t expected = snap;
+    if (ent->compare_exchange_strong(expected,
+                                     static_cast<uint16_t>(snap | ocf::kBusy),
+                                     std::memory_order_acq_rel)) {
+      hot_->put(KVPair{key, *out});
+      ent->store(snap, std::memory_order_release);  // data unchanged
+    }
+  }
+  return true;
+}
+
+size_t Hdnh::multiget(const Key* keys, size_t n, Value* values, bool* found) {
+  std::shared_lock<std::shared_mutex> lock(resize_mu_);
+  auto& st = nvm::Stats::local();
+
+  // Phase 1: hash everything once.
+  std::vector<uint64_t> h1(n), h2(n);
+  for (size_t i = 0; i < n; ++i) {
+    h1[i] = key_hash1(keys[i]);
+    h2[i] = key_hash2(keys[i]);
+    found[i] = false;
+  }
+
+  // Phase 2: hot-table pass.
+  size_t hits = 0;
+  if (hot_) {
+    for (size_t i = 0; i < n; ++i) {
+      if (hot_->search(keys[i], &values[i])) {
+        st.dram_hot_hits++;
+        found[i] = true;
+        ++hits;
+      }
+    }
+  }
+
+  // Phase 3: OCF + non-volatile table for the misses, with promotion.
+  for (size_t i = 0; i < n; ++i) {
+    if (found[i]) continue;
+    SlotLoc loc;
+    uint16_t snap;
+    if (!probe_find(h1[i], h2[i], keys[i], fingerprint(h1[i]), &values[i],
+                    &loc, false, &snap)) {
+      continue;
+    }
+    found[i] = true;
+    ++hits;
+    if (hot_ && cfg_.promote_on_search) {
+      std::atomic<uint16_t>* ent =
+          ocf_entry(lv_[loc.level], loc.bucket, loc.slot);
+      uint16_t expected = snap;
+      if (ent->compare_exchange_strong(
+              expected, static_cast<uint16_t>(snap | ocf::kBusy),
+              std::memory_order_acq_rel)) {
+        hot_->put(KVPair{keys[i], values[i]});
+        ent->store(snap, std::memory_order_release);
+      }
+    }
+  }
+  return hits;
+}
+
+bool Hdnh::insert(const Key& key, const Value& value) {
+  const uint64_t h1 = key_hash1(key);
+  const uint64_t h2 = key_hash2(key);
+  const uint8_t fp = fingerprint(h1);
+  const KVPair kv{key, value};
+  for (;;) {
+    uint64_t gen;
+    {
+      std::shared_lock<std::shared_mutex> lock(resize_mu_);
+      if (probe_find(h1, h2, key, fp, nullptr, nullptr, false)) return false;
+      SlotLoc loc;
+      if (claim_empty(h1, h2, &loc, nullptr)) {
+        // §3.4: dispatch the hot-table mirror to a background thread first,
+        // then do the durable work, then rendezvous on the signal. The
+        // rendezvous happens BEFORE the OCF slot is released so hot-table
+        // writes for this key stay serialized with its NVT mutations.
+        if (bg_) {
+          SyncWriteSignal sig;
+          bg_->submit(BgWriter::Op::kPut, kv, h1, &sig);
+          publish_nvt(loc, kv);
+          sig.wait();
+        } else {
+          publish_nvt(loc, kv);
+          if (hot_) hot_->put(kv);
+        }
+        ocf_release(loc, /*valid=*/true, fp);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      gen = gen_.load(std::memory_order_relaxed);
+    }
+    do_resize(gen);
+  }
+}
+
+bool Hdnh::update(const Key& key, const Value& value) {
+  const uint64_t h1 = key_hash1(key);
+  const uint64_t h2 = key_hash2(key);
+  const uint8_t fp = fingerprint(h1);
+  const KVPair kv{key, value};
+  for (;;) {
+    uint64_t gen;
+    {
+      std::shared_lock<std::shared_mutex> lock(resize_mu_);
+      SlotLoc old;
+      if (!probe_find(h1, h2, key, fp, nullptr, &old, /*lock_found=*/true)) {
+        return false;
+      }
+      Level& olv = lv_[old.level];
+      NvBucket& ob = olv.arr[old.bucket];
+      const uint16_t old_entry_locked =
+          ocf_entry(olv, old.bucket, old.slot)->load(std::memory_order_relaxed);
+
+      SlotLoc nw;
+      if (claim_empty_in_bucket(old.level, old.bucket, old.slot, &nw)) {
+        // Same-bucket out-of-place update (paper Fig 10): one atomic bitmap
+        // byte write flips old-invalid and new-valid together.
+        ob.slots[nw.slot] = kv;
+        pool_.on_write(&ob.slots[nw.slot], sizeof(KVPair));
+        pool_.persist(&ob.slots[nw.slot], sizeof(KVPair));
+        pool_.fence();
+        const uint8_t mask = static_cast<uint8_t>((1u << old.slot) |
+                                                  (1u << nw.slot));
+        ob.bitmap.fetch_xor(mask, std::memory_order_release);
+        pool_.on_write(&ob.bitmap, 1);
+        pool_.persist(&ob.bitmap, 1);
+        pool_.fence();
+        hot_mirror(BgWriter::Op::kPut, kv, h1);
+        ocf_release(nw, /*valid=*/true, fp);
+        ocf_release(old, /*valid=*/false, 0);
+        move_seq_.fetch_add(1, std::memory_order_acq_rel);
+        return true;
+      }
+
+      if (claim_empty(h1, h2, &nw, &old)) {
+        // Cross-bucket: the two validity bits live in different bytes, so
+        // arm an update-log entry to make the flip crash-atomic.
+        Level& nlv = lv_[nw.level];
+        NvBucket& nb = nlv.arr[nw.bucket];
+        nb.slots[nw.slot] = kv;
+        pool_.on_write(&nb.slots[nw.slot], sizeof(KVPair));
+        pool_.persist(&nb.slots[nw.slot], sizeof(KVPair));
+        pool_.fence();
+
+        const uint32_t li = acquire_log_slot();
+        UpdateLogEntry* le = log_entry(li);
+        le->key = key;
+        le->old_level_off = olv.off;
+        le->old_bucket = old.bucket;
+        le->old_slot = old.slot;
+        le->new_level_off = nlv.off;
+        le->new_bucket = nw.bucket;
+        le->new_slot = nw.slot;
+        pool_.persist(le, sizeof(UpdateLogEntry));
+        pool_.fence();
+        le->state.store(1, std::memory_order_release);
+        pool_.persist_fence(&le->state, sizeof(uint64_t));
+        if (test_hook) test_hook("update-log-armed");
+
+        nb.bitmap.fetch_or(static_cast<uint8_t>(1u << nw.slot),
+                           std::memory_order_release);
+        pool_.on_write(&nb.bitmap, 1);
+        pool_.persist(&nb.bitmap, 1);
+        pool_.fence();
+        if (test_hook) test_hook("update-new-set");
+        ob.bitmap.fetch_and(static_cast<uint8_t>(~(1u << old.slot)),
+                            std::memory_order_release);
+        pool_.on_write(&ob.bitmap, 1);
+        pool_.persist(&ob.bitmap, 1);
+        pool_.fence();
+
+        le->state.store(0, std::memory_order_release);
+        pool_.persist_fence(&le->state, sizeof(uint64_t));
+        release_log_slot(li);
+
+        hot_mirror(BgWriter::Op::kPut, kv, h1);
+        ocf_release(nw, /*valid=*/true, fp);
+        ocf_release(old, /*valid=*/false, 0);
+        move_seq_.fetch_add(1, std::memory_order_acq_rel);
+        return true;
+      }
+
+      // No free slot anywhere: back out and resize.
+      ocf_unlock_restore(
+          old, static_cast<uint16_t>(old_entry_locked & ~ocf::kBusy));
+      gen = gen_.load(std::memory_order_relaxed);
+    }
+    do_resize(gen);
+  }
+}
+
+bool Hdnh::erase(const Key& key) {
+  const uint64_t h1 = key_hash1(key);
+  const uint64_t h2 = key_hash2(key);
+  std::shared_lock<std::shared_mutex> lock(resize_mu_);
+  SlotLoc loc;
+  if (!probe_find(h1, h2, key, fingerprint(h1), nullptr, &loc,
+                  /*lock_found=*/true)) {
+    return false;
+  }
+  NvBucket& nb = lv_[loc.level].arr[loc.bucket];
+  nb.bitmap.fetch_and(static_cast<uint8_t>(~(1u << loc.slot)),
+                      std::memory_order_release);
+  pool_.on_write(&nb.bitmap, 1);
+  pool_.persist(&nb.bitmap, 1);
+  pool_.fence();
+  hot_mirror(BgWriter::Op::kErase, KVPair{key, Value{}}, h1);
+  ocf_release(loc, /*valid=*/false, 0);
+  count_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Resize (§3.7)
+// ---------------------------------------------------------------------------
+
+void Hdnh::do_resize(uint64_t expected_gen) {
+  std::unique_lock<std::shared_mutex> lock(resize_mu_);
+  if (gen_.load(std::memory_order_relaxed) != expected_gen) {
+    return;  // another thread already resized
+  }
+
+  // 1. Snapshot the current layout so recovery can replay the swap from any
+  //    crash point, then enter state 2.
+  super_->prev_tl_off = super_->level_off[0];
+  super_->prev_tl_segs = super_->level_segs[0];
+  super_->prev_bl_off = super_->level_off[1];
+  super_->prev_bl_segs = super_->level_segs[1];
+  super_->new_level_off = 0;
+  super_->new_level_segs = 0;
+  pool_.persist(&super_->prev_tl_off, 6 * sizeof(uint64_t));
+  pool_.fence();
+  super_->resizing_flag = 1;
+  pool_.persist_fence(&super_->resizing_flag, sizeof(uint32_t));
+  super_->level_number.store(2, std::memory_order_relaxed);
+  pool_.persist_fence(&super_->level_number, sizeof(uint32_t));
+  if (test_hook) test_hook("resize-ln2");
+
+  // 2. Allocate and publish the new top level (2x the current top).
+  const uint64_t new_segs = 2 * super_->level_segs[0];
+  const uint64_t new_off = alloc_level_nvm(new_segs);
+  super_->new_level_off = new_off;
+  super_->new_level_segs = new_segs;
+  pool_.persist(&super_->new_level_off, 2 * sizeof(uint64_t));
+  pool_.fence();
+
+  // 3. Pointer swap: new level becomes TL, old TL becomes BL; the old BL is
+  //    the level to drain.
+  super_->level_off[0] = new_off;
+  super_->level_segs[0] = new_segs;
+  super_->level_off[1] = super_->prev_tl_off;
+  super_->level_segs[1] = super_->prev_tl_segs;
+  pool_.persist(super_->level_off, 4 * sizeof(uint64_t));
+  pool_.fence();
+  super_->rehash_progress.store(0, std::memory_order_relaxed);
+  pool_.persist(&super_->rehash_progress, sizeof(uint64_t));
+  pool_.fence();
+  super_->level_number.store(3, std::memory_order_relaxed);
+  pool_.persist_fence(&super_->level_number, sizeof(uint32_t));
+  if (test_hook) test_hook("resize-ln3");
+
+  // Volatile views: the old TL keeps its OCF as it slides to the bottom
+  // role — its entries stay valid because items are reused in place without
+  // rehashing (the Level-hashing trick the paper inherits).
+  Level old_bl = std::move(lv_[1]);
+  lv_[1] = std::move(lv_[0]);
+  lv_[0] = make_level_view(new_off, new_segs);
+
+  // 4. Drain the old bottom level into the new two-level structure.
+  rehash_level(old_bl, /*check_dup=*/false);
+  alloc_.free_block(old_bl.off, old_bl.buckets * kNvBucketBytes);
+
+  // 5. Back to steady state.
+  super_->level_number.store(0, std::memory_order_relaxed);
+  pool_.persist_fence(&super_->level_number, sizeof(uint32_t));
+  super_->resizing_flag = 0;
+  pool_.persist_fence(&super_->resizing_flag, sizeof(uint32_t));
+
+  // The hot table scales with the non-volatile table ("hot table is
+  // adjustable", §3.3); it restarts cold and refills from traffic.
+  if (hot_) {
+    hot_->reset(static_cast<uint64_t>(static_cast<double>(total_slots()) *
+                                      cfg_.hot_capacity_ratio));
+  }
+  ++resizes_;
+  gen_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Hdnh::rehash_level(const Level& old_level, bool check_dup) {
+  const uint64_t start =
+      super_->rehash_progress.load(std::memory_order_relaxed);
+
+  // Multi-threaded drain (cfg.resize_threads > 1): workers process batches
+  // of old buckets through the ordinary claim/publish protocol (per-slot
+  // OCF CAS), which is thread-safe and keeps the insert persist ordering —
+  // so a crash at any instant still leaves only fully-published records in
+  // the new levels. The persisted progress mark advances batch-by-batch:
+  // a crash rolls back to the batch start, and the resumed rehash's dedup
+  // pass swallows the replays.
+  const uint32_t workers =
+      check_dup ? 1 : std::max<uint32_t>(1, cfg_.resize_threads);
+  const uint64_t remaining = old_level.buckets - start;
+  const uint64_t batch = workers > 1 ? std::max<uint64_t>(workers * 8, 64)
+                                     : 1;
+
+  for (uint64_t lo = start; lo < old_level.buckets; lo += batch) {
+    const uint64_t hi = std::min(old_level.buckets, lo + batch);
+    parallel_for(hi - lo, workers, [&](uint32_t, uint64_t rb, uint64_t re) {
+      for (uint64_t off = rb; off < re; ++off) {
+        const uint64_t b = lo + off;
+        const uint8_t bm =
+            old_level.arr[b].bitmap.load(std::memory_order_relaxed);
+        if (bm == 0) continue;
+        pool_.on_read(&old_level.arr[b], kNvBucketBytes);
+        for (uint32_t i = 0; i < kNvSlots; ++i) {
+          if (!(bm & (1u << i))) continue;
+          // A resumed rehash dedups every reinsert: the progress mark is
+          // batch-granular, so any bucket of the interrupted batch may have
+          // been partially drained before the crash.
+          raw_reinsert(old_level.arr[b].slots[i], check_dup);
+        }
+      }
+    });
+    // Batch fully drained: persist the high-water mark (§3.7: "records the
+    // indexes ... when successfully rehashing items in a bucket").
+    super_->rehash_progress.store(hi, std::memory_order_relaxed);
+    pool_.persist_fence(&super_->rehash_progress, sizeof(uint64_t));
+    if (test_hook) test_hook("rehash-bucket");
+  }
+  (void)remaining;
+}
+
+void Hdnh::raw_reinsert(const KVPair& kv, bool check_dup) {
+  // Insert used by rehash/recovery. Slot reservation goes through the OCF
+  // busy-bit CAS (claim_empty) so multiple rehash workers can drain the old
+  // level concurrently; the NVM persist ordering is the normal one.
+  const uint64_t h1 = key_hash1(kv.key);
+  const uint64_t h2 = key_hash2(kv.key);
+  const uint8_t fp = fingerprint(h1);
+
+  if (check_dup) {
+    uint64_t cand[4];
+    for (uint32_t l = 0; l < 2; ++l) {
+      const int n = candidates(lv_[l], h1, h2, cand);
+      for (int c = 0; c < n; ++c) {
+        NvBucket& nb = lv_[l].arr[cand[c]];
+        const uint8_t bm = nb.bitmap.load(std::memory_order_relaxed);
+        if (bm == 0) continue;
+        pool_.on_read(&nb, kNvBucketBytes);
+        for (uint32_t i = 0; i < kNvSlots; ++i) {
+          if ((bm & (1u << i)) && nb.slots[i].key == kv.key) return;
+        }
+      }
+    }
+  }
+
+  SlotLoc loc;
+  if (!claim_empty(h1, h2, &loc, nullptr)) {
+    throw TableFullError(
+        "HDNH: rehash target full (pathological skew) — cannot cascade "
+        "resize mid-rehash");
+  }
+  publish_nvt(loc, kv);
+  ocf_release(loc, /*valid=*/true, fp);
+}
+
+// ---------------------------------------------------------------------------
+// Update-log slot pool
+// ---------------------------------------------------------------------------
+
+uint32_t Hdnh::acquire_log_slot() {
+  for (;;) {
+    uint64_t mask = log_free_mask_.load(std::memory_order_acquire);
+    while (mask != 0) {
+      const uint32_t idx = static_cast<uint32_t>(std::countr_zero(mask));
+      if (log_free_mask_.compare_exchange_weak(
+              mask, mask & ~(1ULL << idx), std::memory_order_acq_rel)) {
+        return idx;
+      }
+    }
+    cpu_pause();
+  }
+}
+
+void Hdnh::release_log_slot(uint32_t idx) {
+  log_free_mask_.fetch_or(1ULL << idx, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+uint64_t Hdnh::total_slots() const {
+  return (lv_[0].buckets + lv_[1].buckets) * kNvSlots;
+}
+
+double Hdnh::load_factor() const {
+  const uint64_t slots = total_slots();
+  return slots ? static_cast<double>(count_.load(std::memory_order_relaxed)) /
+                     static_cast<double>(slots)
+               : 0.0;
+}
+
+void Hdnh::for_each(const std::function<void(const KVPair&)>& fn) const {
+  std::shared_lock<std::shared_mutex> lock(resize_mu_);
+  for (const Level& lv : lv_) {
+    for (uint64_t b = 0; b < lv.buckets; ++b) {
+      const uint8_t bm = lv.arr[b].bitmap.load(std::memory_order_acquire);
+      if (bm == 0) continue;
+      pool_.on_read(&lv.arr[b], kNvBucketBytes);
+      for (uint32_t i = 0; i < kNvSlots; ++i) {
+        if (bm & (1u << i)) fn(lv.arr[b].slots[i]);
+      }
+    }
+  }
+}
+
+Hdnh::IntegrityReport Hdnh::check_integrity() {
+  std::unique_lock<std::shared_mutex> lock(resize_mu_);
+  IntegrityReport rep;
+
+  for (uint32_t l = 0; l < 2; ++l) {
+    Level& lv = lv_[l];
+    for (uint64_t b = 0; b < lv.buckets; ++b) {
+      const uint8_t bm = lv.arr[b].bitmap.load(std::memory_order_relaxed);
+      for (uint32_t i = 0; i < kNvSlots; ++i) {
+        const uint16_t e =
+            ocf_entry(lv, b, i)->load(std::memory_order_relaxed);
+        const bool nv_valid = bm & (1u << i);
+        if (ocf::busy(e)) rep.stuck_busy_entries++;
+        if (nv_valid != ocf::valid(e)) {
+          rep.ocf_valid_mismatches++;
+          continue;
+        }
+        if (!nv_valid) continue;
+        rep.items++;
+        const KVPair& kv = lv.arr[b].slots[i];
+        const uint64_t h1 = key_hash1(kv.key);
+        if (ocf::fp_of(e) != fingerprint(h1)) rep.fingerprint_mismatches++;
+        // Duplicate detection: count this key's live occurrences across all
+        // of its candidate buckets; flag it once, from its first location.
+        const uint64_t h2 = key_hash2(kv.key);
+        uint32_t occurrences = 0;
+        bool first_here = true;
+        for (uint32_t l2 = 0; l2 < 2; ++l2) {
+          uint64_t cand[4];
+          const int n = candidates(lv_[l2], h1, h2, cand);
+          for (int c = 0; c < n; ++c) {
+            const NvBucket& nb = lv_[l2].arr[cand[c]];
+            const uint8_t bm2 = nb.bitmap.load(std::memory_order_relaxed);
+            for (uint32_t j = 0; j < kNvSlots; ++j) {
+              if (!(bm2 & (1u << j)) || !(nb.slots[j].key == kv.key)) continue;
+              ++occurrences;
+              if (l2 < l || (l2 == l && (cand[c] < b ||
+                                         (cand[c] == b && j < i)))) {
+                first_here = false;
+              }
+            }
+          }
+        }
+        if (occurrences > 1 && first_here) rep.duplicate_keys++;
+      }
+    }
+  }
+
+  if (hot_) {
+    hot_->for_each([&](const KVPair& cached) {
+      // Every cached record must match the durable one exactly.
+      const uint64_t h1 = key_hash1(cached.key);
+      const uint64_t h2 = key_hash2(cached.key);
+      bool matches = false;
+      for (uint32_t l = 0; l < 2 && !matches; ++l) {
+        uint64_t cand[4];
+        const int n = candidates(lv_[l], h1, h2, cand);
+        for (int c = 0; c < n && !matches; ++c) {
+          const NvBucket& nb = lv_[l].arr[cand[c]];
+          const uint8_t bm = nb.bitmap.load(std::memory_order_relaxed);
+          for (uint32_t j = 0; j < kNvSlots; ++j) {
+            if ((bm & (1u << j)) && nb.slots[j].key == cached.key &&
+                nb.slots[j].value == cached.value) {
+              matches = true;
+              break;
+            }
+          }
+        }
+      }
+      if (!matches) rep.hot_table_stale++;
+    });
+  }
+
+  for (uint32_t i = 0; i < kUpdateLogSlots; ++i) {
+    if (log_entry(i)->state.load(std::memory_order_relaxed) == 1) {
+      rep.armed_log_entries++;
+    }
+  }
+  return rep;
+}
+
+uint64_t Hdnh::pool_bytes_hint(uint64_t max_items, const HdnhConfig& cfg) {
+  (void)cfg;
+  // Steady structure at ~40% average load, doubled for the resize transient
+  // and for unreclaimed predecessor levels, plus fixed overhead.
+  const uint64_t structure = max_items * sizeof(KVPair) * 3;
+  return structure * 4 + (8ULL << 20);
+}
+
+}  // namespace hdnh

@@ -1,0 +1,214 @@
+// HDNH — Hybrid DRAM-NVM Hashing (the paper's contribution).
+//
+// Composition (paper Fig 2):
+//   * non-volatile table (NVM): two levels of segments of 256 B / 8-slot
+//     buckets; 2-cuckoo candidate segments x 2 candidate buckets per level
+//     = 8 candidate buckets per key;
+//   * OCF (DRAM): one 2-byte entry per NVT slot — fingerprint + the
+//     opmap/version words driving fine-grained optimistic concurrency;
+//   * hot table (DRAM): RAFL-managed cache of hot records (hot_table.h);
+//   * synchronous write mechanism: background threads mirror writes into
+//     the hot table while the foreground persists to NVM (bg_writer.h).
+//
+// Concurrency: readers are lock-free (snapshot OCF version -> read NVM ->
+// revalidate); writers CAS the per-slot busy bit. Structural resize is the
+// only coarse point: operations hold a shared lock, resize holds it
+// exclusively (Level hashing's "global resizing lock", which the paper
+// keeps). Caveat shared with the paper: two threads concurrently inserting
+// the SAME brand-new key may both succeed, leaving a benign duplicate
+// (searches return one of them; erase removes all).
+//
+// Durability: every mutation follows write-slot -> CLWB -> SFENCE ->
+// flip-bitmap -> CLWB -> SFENCE; cross-bucket updates additionally arm a
+// 64-entry persistent update log so recovery can finish the two-bit flip.
+// See DESIGN.md §5 and the crash-injection tests.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+
+#include "api/hash_table.h"
+#include "hdnh/bg_writer.h"
+#include "hdnh/config.h"
+#include "hdnh/hot_table.h"
+#include "hdnh/nv_layout.h"
+#include "nvm/alloc.h"
+
+namespace hdnh {
+
+class Hdnh final : public HashTable {
+ public:
+  // Timings of the volatile-structure rebuild, for the Table 1 experiment.
+  struct RecoveryStats {
+    double ocf_ms = 0;
+    double hot_ms = 0;
+    double total_ms = 0;
+    uint64_t items = 0;
+    bool resumed_resize = false;
+  };
+
+  // Root slots used inside the allocator's root directory.
+  static constexpr int kSuperRoot = 0;
+  static constexpr int kLogRoot = 1;
+
+  // Creates a fresh table, or — if the pool already carries an HDNH
+  // superblock — attaches and runs recovery (§3.7: resume an interrupted
+  // resize, replay update logs, rebuild OCF + hot table).
+  explicit Hdnh(nvm::PmemAllocator& alloc, HdnhConfig cfg = {});
+  ~Hdnh() override;
+
+  bool insert(const Key& key, const Value& value) override;
+  bool search(const Key& key, Value* out) override;
+  bool update(const Key& key, const Value& value) override;
+  bool erase(const Key& key) override;
+
+  // Batched positive lookup: values[i]/found[i] for each keys[i]. One
+  // resize-lock acquisition for the whole batch, with the work phased
+  // (hash all -> hot-table pass -> OCF/NVT pass for the misses) so the
+  // DRAM structures are walked with better locality than n single calls.
+  // Returns the number of hits. Promotion into the hot table is applied to
+  // NVT hits exactly as in search().
+  size_t multiget(const Key* keys, size_t n, Value* values, bool* found);
+
+  uint64_t size() const override {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double load_factor() const override;
+  const char* name() const override {
+    return cfg_.hot_policy == HdnhConfig::HotPolicy::kLru ? "HDNH-LRU" : "HDNH";
+  }
+
+  const HdnhConfig& config() const { return cfg_; }
+  uint64_t total_slots() const;
+  uint64_t resize_count() const { return resizes_; }
+  uint64_t hot_table_slots() const { return hot_ ? hot_->total_slots() : 0; }
+  RecoveryStats last_recovery() const { return last_recovery_; }
+
+  // Drop and rebuild OCF + hot table from the non-volatile table, as a
+  // restart would. `merged` rebuilds both in one traversal (the §3.7
+  // optimization); otherwise each rebuild is timed separately. Requires
+  // quiescence.
+  RecoveryStats rebuild_volatile(uint32_t threads, bool merged);
+
+  // Conservative pool-size estimate for holding `max_items` including
+  // resize headroom (benches/examples use this to size their PmemPool).
+  static uint64_t pool_bytes_hint(uint64_t max_items, const HdnhConfig& cfg);
+
+  // Visit every live record (stable only while quiescent; concurrent
+  // writers may cause records in flight to be visited or skipped).
+  void for_each(const std::function<void(const KVPair&)>& fn) const;
+
+  // Deep structural self-check (requires quiescence): verifies that the
+  // OCF mirrors the non-volatile table exactly — validity bits match the
+  // persisted bitmaps, every fingerprint equals the stored key's hash byte,
+  // no slot is left busy, no key is duplicated across its candidate
+  // buckets, the hot table holds no key/value pair that disagrees with the
+  // non-volatile table, and no update-log entry is left armed.
+  struct IntegrityReport {
+    uint64_t items = 0;
+    uint64_t ocf_valid_mismatches = 0;
+    uint64_t fingerprint_mismatches = 0;
+    uint64_t stuck_busy_entries = 0;
+    uint64_t duplicate_keys = 0;
+    uint64_t hot_table_stale = 0;
+    uint64_t armed_log_entries = 0;
+    bool ok() const {
+      return ocf_valid_mismatches == 0 && fingerprint_mismatches == 0 &&
+             stuck_busy_entries == 0 && duplicate_keys == 0 &&
+             hot_table_stale == 0 && armed_log_entries == 0;
+    }
+  };
+  IntegrityReport check_integrity();
+
+  // Test-only crash injection: when set, invoked at named points inside
+  // resize ("resize-ln2", "resize-ln3", "rehash-bucket") and the
+  // cross-bucket update path ("update-log-armed", "update-new-set"). A hook
+  // that simulates a crash throws to abort the operation; the table object
+  // must then be abandoned and a fresh Hdnh constructed over the pool.
+  std::function<void(const char*)> test_hook;
+
+ private:
+  struct Level {
+    uint64_t off = 0;
+    uint64_t segs = 0;
+    uint64_t buckets = 0;
+    NvBucket* arr = nullptr;
+    std::unique_ptr<std::atomic<uint16_t>[]> ocf;  // buckets * kNvSlots
+  };
+  struct SlotLoc {
+    uint32_t level;
+    uint64_t bucket;
+    uint32_t slot;
+  };
+
+  // ---- setup / recovery ----
+  void create_fresh();
+  void attach_and_recover();
+  Level make_level_view(uint64_t off, uint64_t segs);
+  uint64_t alloc_level_nvm(uint64_t segs);  // alloc + zero + persist
+  void replay_update_logs();
+  void rebuild_pass(uint32_t threads, bool do_ocf, bool do_hot);
+
+  // ---- addressing ----
+  int candidates(const Level& lv, uint64_t h1, uint64_t h2,
+                 uint64_t out[4]) const;
+  std::atomic<uint16_t>* ocf_entry(const Level& lv, uint64_t bucket,
+                                   uint32_t slot) const {
+    return &lv.ocf[bucket * kNvSlots + slot];
+  }
+
+  // ---- core operations (caller holds the shared resize lock) ----
+  // Probe the candidate buckets for `key`. On a hit fills *out / *loc /
+  // *snapshot (the OCF entry word observed at match time); with lock_found
+  // the matched slot's busy bit is left set (caller must release).
+  bool probe_find(uint64_t h1, uint64_t h2, const Key& key, uint8_t fp,
+                  Value* out, SlotLoc* loc, bool lock_found,
+                  uint16_t* snapshot = nullptr);
+  bool claim_empty(uint64_t h1, uint64_t h2, SlotLoc* loc,
+                   const SlotLoc* exclude_bucket_of);
+  bool claim_empty_in_bucket(uint32_t level, uint64_t bucket, uint32_t skip,
+                             SlotLoc* loc);
+  // Durable slot publish: write record -> persist -> set bitmap -> persist.
+  void publish_nvt(const SlotLoc& loc, const KVPair& kv);
+  void ocf_release(const SlotLoc& loc, bool valid, uint8_t fp);
+  void ocf_unlock_restore(const SlotLoc& loc, uint16_t original);
+
+  // ---- resize ----
+  void do_resize(uint64_t expected_gen);
+  void rehash_level(const Level& old_level, bool check_dup);
+  void raw_reinsert(const KVPair& kv, bool check_dup);
+
+  // ---- update log ----
+  uint32_t acquire_log_slot();
+  void release_log_slot(uint32_t idx);
+  UpdateLogEntry* log_entry(uint32_t idx) const;
+
+  void hot_mirror(BgWriter::Op op, const KVPair& kv, uint64_t h1);
+
+  nvm::PmemAllocator& alloc_;
+  nvm::PmemPool& pool_;
+  HdnhConfig cfg_;
+  uint64_t bps_ = 0;  // buckets per segment
+
+  HdnhSuper* super_ = nullptr;
+  Level lv_[2];  // [0] = top, [1] = bottom
+
+  std::unique_ptr<HotTable> hot_;
+  std::unique_ptr<BgWriter> bg_;
+
+  mutable std::shared_mutex resize_mu_;
+  std::atomic<uint64_t> gen_{0};  // bumped by every resize
+  // Bumped after every key relocation (out-of-place update): a reader that
+  // finishes a candidate scan without a hit revalidates this counter and
+  // rescans if a move overlapped — otherwise a key moved to an
+  // already-scanned slot would be reported missing.
+  std::atomic<uint64_t> move_seq_{0};
+  std::atomic<uint64_t> count_{0};
+  uint64_t resizes_ = 0;
+  std::atomic<uint64_t> log_free_mask_{~0ULL};
+  RecoveryStats last_recovery_;
+};
+
+}  // namespace hdnh

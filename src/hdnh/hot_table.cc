@@ -1,0 +1,288 @@
+#include "hdnh/hot_table.h"
+
+#include <cstring>
+
+#include "common/random.h"
+
+namespace hdnh {
+
+namespace {
+// Hot-slot state word: [valid:1][busy:1][hot:1][unused:7][version:6].
+constexpr uint16_t kHValid = 0x8000;
+constexpr uint16_t kHBusy = 0x4000;
+constexpr uint16_t kHHot = 0x2000;
+constexpr uint16_t kHVerMask = 0x003F;
+
+uint16_t h_release(uint16_t prev, bool valid, bool hot) {
+  uint16_t v = static_cast<uint16_t>((prev + 1) & kHVerMask);
+  return static_cast<uint16_t>((valid ? kHValid : 0) | (hot ? kHHot : 0) | v);
+}
+
+Rng& tls_rng() {
+  thread_local Rng rng(0x9E3779B97F4A7C15ULL ^
+                       reinterpret_cast<uint64_t>(&rng));
+  return rng;
+}
+}  // namespace
+
+HotTable::HotTable(uint64_t total_slots, uint32_t slots_per_bucket,
+                   HdnhConfig::HotPolicy policy)
+    : spb_(slots_per_bucket), policy_(policy) {
+  const uint64_t total_buckets =
+      total_slots / spb_ >= 3 ? total_slots / spb_ : 3;
+  bl_buckets_ = total_buckets / 3 ? total_buckets / 3 : 1;
+  tl_buckets_ = 2 * bl_buckets_;
+  alloc_level(lv_[0], tl_buckets_);
+  alloc_level(lv_[1], bl_buckets_);
+}
+
+void HotTable::alloc_level(Level& lv, uint64_t buckets) {
+  lv.buckets = buckets;
+  const uint64_t slots = buckets * spb_;
+  lv.state = std::make_unique<std::atomic<uint16_t>[]>(slots);
+  lv.kv = std::make_unique<KVPair[]>(slots);
+  for (uint64_t i = 0; i < slots; ++i)
+    lv.state[i].store(0, std::memory_order_relaxed);
+  if (policy_ == HdnhConfig::HotPolicy::kLru) {
+    lv.ts = std::make_unique<std::atomic<uint64_t>[]>(slots);
+    for (uint64_t i = 0; i < slots; ++i)
+      lv.ts[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void HotTable::reset(uint64_t total_slots) {
+  const uint64_t total_buckets =
+      total_slots / spb_ >= 3 ? total_slots / spb_ : 3;
+  bl_buckets_ = total_buckets / 3 ? total_buckets / 3 : 1;
+  tl_buckets_ = 2 * bl_buckets_;
+  alloc_level(lv_[0], tl_buckets_);
+  alloc_level(lv_[1], bl_buckets_);
+}
+
+uint64_t HotTable::bucket_of(const Level& lv, uint64_t h) const {
+  // One hash computation per key; the bottom level decorrelates with a
+  // cheap remix instead of a second key hash (paper §3.3: single hash
+  // function, one candidate bucket per level).
+  return (&lv == &lv_[0] ? h : mix64(h)) % lv.buckets;
+}
+
+void HotTable::touch(Level& lv, uint64_t slot_idx, uint16_t observed) {
+  if (policy_ == HdnhConfig::HotPolicy::kRafl) {
+    // Flip hotmap bit 0 -> 1; losing the CAS race is fine (someone else
+    // made it hot, or a writer owns the slot and will set its own state).
+    uint16_t cur = observed;
+    while (!(cur & kHHot) && (cur & kHValid) && !(cur & kHBusy)) {
+      if (lv.state[slot_idx].compare_exchange_weak(
+              cur, static_cast<uint16_t>(cur | kHHot),
+              std::memory_order_acq_rel)) {
+        break;
+      }
+    }
+  } else {
+    // LRU maintenance: bump the slot's timestamp from a global clock. The
+    // shared fetch_add is exactly the kind of overhead RAFL avoids.
+    lv.ts[slot_idx].store(lru_clock_.fetch_add(1, std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+}
+
+bool HotTable::search_level(Level& lv, uint64_t h, const Key& key, Value* out) {
+  const uint64_t base = bucket_of(lv, h) * spb_;
+  for (uint32_t i = 0; i < spb_; ++i) {
+    const uint64_t idx = base + i;
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      uint16_t s = lv.state[idx].load(std::memory_order_acquire);
+      if (!(s & kHValid) || (s & kHBusy)) break;  // cache miss / in flux
+      if (!(lv.kv[idx].key == key)) break;
+      Value v = lv.kv[idx].value;
+      uint16_t s2 = lv.state[idx].load(std::memory_order_acquire);
+      if (s2 != s) continue;  // concurrent writer; retry the slot
+      *out = v;
+      touch(lv, idx, s);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool HotTable::search(const Key& key, Value* out) {
+  const uint64_t h = key_hash1(key);
+  return search_level(lv_[0], h, key, out) ||
+         search_level(lv_[1], h, key, out);
+}
+
+bool HotTable::try_update_in_place(Level& lv, uint64_t h, const KVPair& kv) {
+  const uint64_t base = bucket_of(lv, h) * spb_;
+  for (uint32_t i = 0; i < spb_; ++i) {
+    const uint64_t idx = base + i;
+    // Once the key is found in this slot, the update MUST win here (falling
+    // through to an insert would leave a stale duplicate); losing the CAS
+    // to a reader flipping the hot bit just means retrying.
+    for (;;) {
+      uint16_t s = lv.state[idx].load(std::memory_order_acquire);
+      if (!(s & kHValid)) break;
+      if (s & kHBusy) {
+#if defined(__x86_64__)
+        __builtin_ia32_pause();
+#endif
+        continue;
+      }
+      if (!(lv.kv[idx].key == kv.key)) break;
+      if (!lv.state[idx].compare_exchange_strong(
+              s, static_cast<uint16_t>(s | kHBusy),
+              std::memory_order_acq_rel)) {
+        continue;
+      }
+      lv.kv[idx] = kv;
+      lv.state[idx].store(h_release(s, true, (s & kHHot) != 0),
+                          std::memory_order_release);
+      if (policy_ == HdnhConfig::HotPolicy::kLru) touch(lv, idx, 0);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool HotTable::try_insert_free(Level& lv, uint64_t h, const KVPair& kv) {
+  const uint64_t base = bucket_of(lv, h) * spb_;
+  for (uint32_t i = 0; i < spb_; ++i) {
+    const uint64_t idx = base + i;
+    uint16_t s = lv.state[idx].load(std::memory_order_acquire);
+    if ((s & (kHValid | kHBusy)) != 0) continue;
+    if (!lv.state[idx].compare_exchange_strong(
+            s, static_cast<uint16_t>(s | kHBusy), std::memory_order_acq_rel)) {
+      continue;
+    }
+    lv.kv[idx] = kv;
+    // Fresh items enter cold (hotmap 0): "the item has not been searched
+    // since it was added".
+    lv.state[idx].store(h_release(s, true, false), std::memory_order_release);
+    if (policy_ == HdnhConfig::HotPolicy::kLru) touch(lv, idx, 0);
+    return true;
+  }
+  return false;
+}
+
+bool HotTable::evict_and_insert(Level& lv, uint64_t h, const KVPair& kv) {
+  const uint64_t base = bucket_of(lv, h) * spb_;
+
+  auto overwrite = [&](uint64_t idx, uint16_t expected) {
+    if (!lv.state[idx].compare_exchange_strong(
+            expected, static_cast<uint16_t>(expected | kHBusy),
+            std::memory_order_acq_rel)) {
+      return false;
+    }
+    lv.kv[idx] = kv;
+    lv.state[idx].store(h_release(expected, true, false),
+                        std::memory_order_release);
+    if (policy_ == HdnhConfig::HotPolicy::kLru) touch(lv, idx, 0);
+    return true;
+  };
+
+  if (policy_ == HdnhConfig::HotPolicy::kRafl) {
+    // Fig 6(a): evict the first cold item.
+    for (uint32_t i = 0; i < spb_; ++i) {
+      const uint64_t idx = base + i;
+      uint16_t s = lv.state[idx].load(std::memory_order_acquire);
+      if ((s & kHValid) && !(s & kHBusy) && !(s & kHHot)) {
+        if (overwrite(idx, s)) return true;
+      }
+    }
+    // Fig 6(b): all hot — evict a random slot, then clear every hotmap bit
+    // of the bucket so nothing squats in the cache indefinitely.
+    const uint32_t victim = static_cast<uint32_t>(tls_rng().next_below(spb_));
+    for (uint32_t step = 0; step < spb_; ++step) {
+      const uint64_t idx = base + (victim + step) % spb_;
+      uint16_t s = lv.state[idx].load(std::memory_order_acquire);
+      if ((s & kHBusy) || !(s & kHValid)) continue;
+      if (!overwrite(idx, s)) continue;
+      for (uint32_t i = 0; i < spb_; ++i) {
+        const uint64_t j = base + i;
+        if (j == idx) continue;
+        uint16_t cur = lv.state[j].load(std::memory_order_acquire);
+        while ((cur & kHHot) && !(cur & kHBusy)) {
+          if (lv.state[j].compare_exchange_weak(
+                  cur, static_cast<uint16_t>(cur & ~kHHot),
+                  std::memory_order_acq_rel)) {
+            break;
+          }
+        }
+      }
+      return true;
+    }
+    return false;  // whole bucket contended; drop the put
+  }
+
+  // LRU: evict the least-recently-used non-busy slot.
+  for (uint32_t attempt = 0; attempt < spb_; ++attempt) {
+    uint64_t best_idx = UINT64_MAX;
+    uint64_t best_ts = UINT64_MAX;
+    uint16_t best_state = 0;
+    for (uint32_t i = 0; i < spb_; ++i) {
+      const uint64_t idx = base + i;
+      uint16_t s = lv.state[idx].load(std::memory_order_acquire);
+      if (!(s & kHValid) || (s & kHBusy)) continue;
+      const uint64_t t = lv.ts[idx].load(std::memory_order_relaxed);
+      if (t < best_ts) {
+        best_ts = t;
+        best_idx = idx;
+        best_state = s;
+      }
+    }
+    if (best_idx == UINT64_MAX) return false;
+    if (overwrite(best_idx, best_state)) return true;
+  }
+  return false;
+}
+
+void HotTable::put(const KVPair& kv) {
+  const uint64_t h = key_hash1(kv.key);
+  if (try_update_in_place(lv_[0], h, kv)) return;
+  if (try_update_in_place(lv_[1], h, kv)) return;
+  if (try_insert_free(lv_[0], h, kv)) return;
+  if (try_insert_free(lv_[1], h, kv)) return;
+  evict_and_insert(lv_[0], h, kv);
+}
+
+void HotTable::erase(const Key& key) {
+  const uint64_t h = key_hash1(key);
+  for (Level& lv : lv_) {
+    const uint64_t base = bucket_of(lv, h) * spb_;
+    for (uint32_t i = 0; i < spb_; ++i) {
+      const uint64_t idx = base + i;
+      uint16_t s = lv.state[idx].load(std::memory_order_acquire);
+      if (!(s & kHValid) || (s & kHBusy)) continue;
+      if (!(lv.kv[idx].key == key)) continue;
+      if (!lv.state[idx].compare_exchange_strong(
+              s, static_cast<uint16_t>(s | kHBusy),
+              std::memory_order_acq_rel)) {
+        --i;  // re-examine the slot
+        continue;
+      }
+      lv.state[idx].store(h_release(s, false, false),
+                          std::memory_order_release);
+    }
+  }
+}
+
+void HotTable::for_each(const std::function<void(const KVPair&)>& fn) const {
+  for (const Level& lv : lv_) {
+    const uint64_t slots = lv.buckets * spb_;
+    for (uint64_t i = 0; i < slots; ++i) {
+      if (lv.state[i].load(std::memory_order_acquire) & kHValid) fn(lv.kv[i]);
+    }
+  }
+}
+
+uint64_t HotTable::occupied() const {
+  uint64_t n = 0;
+  for (const Level& lv : lv_) {
+    const uint64_t slots = lv.buckets * spb_;
+    for (uint64_t i = 0; i < slots; ++i) {
+      if (lv.state[i].load(std::memory_order_relaxed) & kHValid) ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace hdnh

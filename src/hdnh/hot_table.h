@@ -1,0 +1,91 @@
+// The DRAM hot table (§3.3): a two-level cache of hot records with the RAFL
+// replacement strategy (plus an LRU variant used as the Fig 12 baseline).
+//
+// Geometry mirrors the paper: two levels sized 2:1, a configurable (default
+// 4) slot count per bucket, and — unlike the OCF — a single hash
+// computation yielding exactly one candidate bucket per level, so a miss
+// costs at most two DRAM bucket scans.
+//
+// Concurrency follows the same per-slot optimistic protocol as the OCF:
+// each slot carries a 16-bit state word [valid:1][busy:1][hot:1][version:6];
+// writers CAS the busy bit, readers validate the version around their copy.
+// All mutating entry points are safe to call from any thread (foreground or
+// the §3.4 background writers).
+//
+// RAFL (Replacement Algorithm For hot tabLe, Fig 6): on inserting into a
+// full bucket, evict the first *cold* slot (hot bit 0); if every slot is
+// hot, evict a random one and clear all hot bits of the bucket so no item
+// can squat forever.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "api/types.h"
+#include "hdnh/config.h"
+
+namespace hdnh {
+
+class HotTable {
+ public:
+  // `total_slots` is split across the two levels (2:1); at least one bucket
+  // per level is always allocated.
+  HotTable(uint64_t total_slots, uint32_t slots_per_bucket,
+           HdnhConfig::HotPolicy policy);
+
+  HotTable(const HotTable&) = delete;
+  HotTable& operator=(const HotTable&) = delete;
+
+  // Lookup; on a hit copies the value, marks the slot hot (RAFL) or touches
+  // its timestamp (LRU), and returns true.
+  bool search(const Key& key, Value* out);
+
+  // Upsert: update in place when the key is cached, otherwise insert,
+  // evicting per the replacement policy when the candidate buckets are
+  // full. Best-effort — a slot contended by another writer may cause the
+  // put to be dropped, which is always legal for a cache.
+  void put(const KVPair& kv);
+
+  // Drop a key from the cache (both levels, all duplicates).
+  void erase(const Key& key);
+
+  // Empty the cache and (optionally) adopt a new capacity. Caller must
+  // guarantee quiescence (HDNH calls this under its exclusive resize lock).
+  void reset(uint64_t total_slots);
+
+  uint64_t total_slots() const { return (tl_buckets_ + bl_buckets_) * spb_; }
+  uint32_t slots_per_bucket() const { return spb_; }
+
+  // Live cached items (exact only when quiescent).
+  uint64_t occupied() const;
+
+  // Visit every valid cached record (quiescence assumed).
+  void for_each(const std::function<void(const KVPair&)>& fn) const;
+
+ private:
+  struct Level {
+    uint64_t buckets = 0;
+    std::unique_ptr<std::atomic<uint16_t>[]> state;
+    std::unique_ptr<KVPair[]> kv;
+    std::unique_ptr<std::atomic<uint64_t>[]> ts;  // LRU only
+  };
+
+  uint64_t bucket_of(const Level& lv, uint64_t h) const;
+  bool search_level(Level& lv, uint64_t h, const Key& key, Value* out);
+  bool try_update_in_place(Level& lv, uint64_t h, const KVPair& kv);
+  bool try_insert_free(Level& lv, uint64_t h, const KVPair& kv);
+  bool evict_and_insert(Level& lv, uint64_t h, const KVPair& kv);
+  void touch(Level& lv, uint64_t slot_idx, uint16_t observed);
+
+  void alloc_level(Level& lv, uint64_t buckets);
+
+  uint32_t spb_;
+  HdnhConfig::HotPolicy policy_;
+  uint64_t tl_buckets_, bl_buckets_;
+  Level lv_[2];
+  std::atomic<uint64_t> lru_clock_{1};
+};
+
+}  // namespace hdnh

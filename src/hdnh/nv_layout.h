@@ -1,0 +1,102 @@
+// Persistent (NVM-resident) layout of HDNH's non-volatile table.
+//
+// A bucket is exactly 256 bytes — the AEP media block size — holding an
+// 8-byte header (whose first byte is the persisted `bitmap`: one validity
+// bit per slot) and eight packed 31-byte records. Locating a record never
+// needs more than one media block per probed bucket.
+//
+// The superblock (allocator root slot 0) carries the two level pointers and
+// the resize state machine of §3.7: `level_number` 0 = steady, 2 = resize
+// started (new level may or may not exist yet), 3 = rehashing with
+// `rehash_progress` persisted per drained bucket. `prev_*` snapshots make
+// the pointer swap replayable from any crash point.
+//
+// A small array of update-log entries (root slot 1) makes the cross-bucket
+// update path failure-atomic: the paper's single-atomic-bitmap-write trick
+// only works when old and new slot share a bucket; when they do not, we arm
+// a log entry so recovery can finish flipping both validity bits.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "api/types.h"
+
+namespace hdnh {
+
+inline constexpr uint32_t kNvSlots = 8;          // slots per NVT bucket
+inline constexpr uint64_t kNvBucketBytes = 256;  // == nvm::kNvmBlock
+
+#pragma pack(push, 1)
+struct NvBucket {
+  std::atomic<uint8_t> bitmap;  // bit i == slot i holds a valid record
+  uint8_t reserved[7];
+  KVPair slots[kNvSlots];
+};
+#pragma pack(pop)
+static_assert(sizeof(NvBucket) == kNvBucketBytes, "bucket must be one AEP block");
+
+struct HdnhSuper {
+  static constexpr uint64_t kMagic = 0x48444E485F535550ULL;  // "HDNH_SUP"
+
+  uint64_t magic;
+  uint64_t buckets_per_seg;
+
+  // Steady-state levels: [0] = top (2M segments), [1] = bottom (M segments).
+  uint64_t level_off[2];
+  uint64_t level_segs[2];
+
+  // Resize state machine (§3.7).
+  std::atomic<uint32_t> level_number;  // 0 steady / 2 starting / 3 rehashing
+  uint32_t resizing_flag;
+  uint64_t prev_tl_off, prev_tl_segs;  // levels as of resize start
+  uint64_t prev_bl_off, prev_bl_segs;
+  uint64_t new_level_off, new_level_segs;   // freshly allocated level
+  std::atomic<uint64_t> rehash_progress;    // old-BL buckets fully drained
+
+  // Clean-shutdown bookkeeping.
+  uint32_t clean_shutdown;
+  uint64_t clean_item_count;
+};
+
+struct UpdateLogEntry {
+  // state: 0 = idle, 1 = armed (fields below are valid and must be replayed).
+  std::atomic<uint64_t> state;
+  Key key;
+  uint64_t old_level_off;
+  uint64_t new_level_off;
+  uint64_t old_bucket;
+  uint64_t new_bucket;
+  uint32_t old_slot;
+  uint32_t new_slot;
+  uint8_t pad[64];  // two full cachelines; entries never share a line
+};
+static_assert(sizeof(UpdateLogEntry) == 128);
+inline constexpr uint32_t kUpdateLogSlots = 64;
+
+// ---- OCF entry encoding (§3.2) ------------------------------------------
+//
+// One 16-bit DRAM word per NVT slot: [valid:1][busy(opmap):1][version:6]
+// [fingerprint:8] — the paper's "an OCF entry only occupies 2 bytes".
+namespace ocf {
+inline constexpr uint16_t kValid = 0x8000;
+inline constexpr uint16_t kBusy = 0x4000;
+inline constexpr uint16_t kVerMask = 0x3F00;
+inline constexpr uint16_t kVerInc = 0x0100;
+inline constexpr uint16_t kFpMask = 0x00FF;
+
+inline uint16_t fp_of(uint16_t e) { return e & kFpMask; }
+inline bool valid(uint16_t e) { return e & kValid; }
+inline bool busy(uint16_t e) { return e & kBusy; }
+inline uint16_t bump_ver(uint16_t e) {
+  return static_cast<uint16_t>((e & ~kVerMask) | ((e + kVerInc) & kVerMask));
+}
+// Compose a released entry: given previous entry (for its version), a new
+// validity and fingerprint, clear busy and advance the version.
+inline uint16_t release(uint16_t prev, bool valid_bit, uint8_t fp) {
+  uint16_t v = static_cast<uint16_t>((prev + kVerInc) & kVerMask);
+  return static_cast<uint16_t>((valid_bit ? kValid : 0) | v | fp);
+}
+}  // namespace ocf
+
+}  // namespace hdnh

@@ -1,0 +1,76 @@
+#include "nvm/alloc.h"
+
+#include <new>
+#include <stdexcept>
+
+namespace hdnh::nvm {
+
+PmemAllocator::PmemAllocator(PmemPool& pool) : pool_(pool) {
+  Header* h = hdr();
+  if (h->magic == kMagic && h->pool_size == pool_.size()) {
+    attached_ = true;
+    return;
+  }
+  std::memset(static_cast<void*>(h), 0, sizeof(Header));  // raw media format
+  h->pool_size = pool_.size();
+  h->bump.store(kNvmBlock * 2, std::memory_order_relaxed);  // header area
+  pool_.persist(h, sizeof(Header));
+  pool_.fence();
+  // Magic last: a crash mid-format leaves an unformatted pool, not a torn one.
+  h->magic = kMagic;
+  pool_.persist_fence(&h->magic, sizeof(h->magic));
+}
+
+uint64_t PmemAllocator::alloc(uint64_t size, uint64_t align) {
+  size = (size + align - 1) / align * align;
+  {
+    std::lock_guard<std::mutex> lock(free_mu_);
+    auto it = free_lists_.find(size);
+    if (it != free_lists_.end() && !it->second.empty()) {
+      uint64_t off = it->second.back();
+      it->second.pop_back();
+      return off;
+    }
+  }
+  Header* h = hdr();
+  uint64_t off;
+  // CAS loop to keep the bump pointer aligned for arbitrary align values.
+  uint64_t cur = h->bump.load(std::memory_order_relaxed);
+  for (;;) {
+    off = (cur + align - 1) / align * align;
+    if (off + size > pool_.size()) throw std::bad_alloc();
+    if (h->bump.compare_exchange_weak(cur, off + size,
+                                      std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  // Persist the advanced bump so a post-crash attach never re-hands-out
+  // space a pre-crash caller may have linked into a durable structure.
+  pool_.persist_fence(&h->bump, sizeof(h->bump));
+  return off;
+}
+
+void PmemAllocator::free_block(uint64_t off, uint64_t size) {
+  size = (size + kNvmBlock - 1) / kNvmBlock * kNvmBlock;
+  std::lock_guard<std::mutex> lock(free_mu_);
+  free_lists_[size].push_back(off);
+}
+
+uint64_t PmemAllocator::root(int slot) const { return hdr()->root_off[slot]; }
+uint64_t PmemAllocator::root_size(int slot) const {
+  return hdr()->root_size[slot];
+}
+
+void PmemAllocator::set_root(int slot, uint64_t off, uint64_t size) {
+  Header* h = hdr();
+  h->root_size[slot] = size;
+  pool_.persist_fence(&h->root_size[slot], sizeof(uint64_t));
+  h->root_off[slot] = off;
+  pool_.persist_fence(&h->root_off[slot], sizeof(uint64_t));
+}
+
+uint64_t PmemAllocator::used() const {
+  return hdr()->bump.load(std::memory_order_relaxed) - kNvmBlock * 2;
+}
+
+}  // namespace hdnh::nvm

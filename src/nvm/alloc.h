@@ -1,0 +1,69 @@
+// A small persistent allocator over a PmemPool — the PMDK stand-in.
+//
+// Layout: a header block at offset 0 holds a magic, a persisted bump
+// pointer, and 16 root slots. Durable structures store pool *offsets*, and
+// applications reach their superblocks through the root slots after a
+// restart. Freed blocks go to a volatile size-segregated free list; blocks
+// freed but not reused before a crash leak (standard for PM allocators
+// without offline GC — resizing benches reuse same-size levels, so in
+// practice nothing accumulates).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "nvm/pmem.h"
+
+namespace hdnh::nvm {
+
+class PmemAllocator {
+ public:
+  static constexpr int kRoots = 16;
+  static constexpr uint64_t kMagic = 0x48444E485F504D31ULL;  // "HDNH_PM1"
+
+  // Formats the pool if it does not carry our magic; otherwise attaches to
+  // the existing layout (restart/recovery path).
+  explicit PmemAllocator(PmemPool& pool);
+
+  PmemPool& pool() { return pool_; }
+
+  // True if the constructor attached to an already-formatted pool.
+  bool attached_existing() const { return attached_; }
+
+  // Allocate `size` bytes aligned to `align` (power of two). Returns the
+  // pool offset. Throws std::bad_alloc when the pool is exhausted.
+  uint64_t alloc(uint64_t size, uint64_t align = kNvmBlock);
+
+  // Return a block to the (volatile) free list.
+  void free_block(uint64_t off, uint64_t size);
+
+  // Root-slot directory for application superblocks.
+  uint64_t root(int slot) const;
+  uint64_t root_size(int slot) const;
+  void set_root(int slot, uint64_t off, uint64_t size);
+
+  // Bytes handed out so far (excludes header).
+  uint64_t used() const;
+
+ private:
+  struct Header {
+    uint64_t magic;
+    uint64_t pool_size;
+    std::atomic<uint64_t> bump;
+    uint64_t root_off[kRoots];
+    uint64_t root_size[kRoots];
+  };
+  static_assert(sizeof(Header) <= kNvmBlock * 2, "header fits two blocks");
+
+  Header* hdr() const { return pool_.to_ptr<Header>(0); }
+
+  PmemPool& pool_;
+  bool attached_ = false;
+  std::mutex free_mu_;
+  std::map<uint64_t, std::vector<uint64_t>> free_lists_;  // size -> offsets
+};
+
+}  // namespace hdnh::nvm

@@ -1,0 +1,49 @@
+// Configuration of the emulated persistent-memory device.
+//
+// The defaults model Intel Optane DCPMM (AEP) as characterised by Yang et
+// al., "An Empirical Guide to the Behavior and Use of Scalable Persistent
+// Memory" (the paper's reference [30]) and by the HDNH paper's §2.1:
+//   * read latency ~3x DRAM, and reads must touch media on a cache miss;
+//   * writes commit at the ADR domain, so software-visible write latency is
+//     close to DRAM — but write *bandwidth* is ~1/6 of DRAM;
+//   * media is accessed in 256 B blocks (vs 64 B cachelines), so small random
+//     reads pay for a whole block (read amplification).
+//
+// We charge those costs with calibrated spin-waits at the access points the
+// schemes already have to annotate for persistence, and we count every
+// access so benches can report NVM traffic per operation (which is the
+// paper's causal story, independent of how many cores this host has).
+#pragma once
+
+#include <cstdint>
+
+namespace hdnh::nvm {
+
+inline constexpr uint64_t kCacheLine = 64;
+inline constexpr uint64_t kNvmBlock = 256;  // AEP internal access granularity
+
+struct NvmConfig {
+  // Emulate latency with spin-waits. Off → only counters are maintained
+  // (used by unit tests, which care about semantics, not timing).
+  bool emulate_latency = false;
+
+  // Cost of one 256 B block read from NVM media (DRAM ~100ns; AEP ~300ns+).
+  uint64_t read_ns_per_block = 300;
+
+  // Cost charged per cacheline at persist time (CLWB reaching the ADR
+  // domain plus the bandwidth share: AEP write bw is ~1/6 DRAM).
+  uint64_t write_ns_per_line = 100;
+
+  // Cost of an SFENCE draining the store buffer.
+  uint64_t fence_ns = 30;
+
+  // Track persisted-vs-volatile cachelines in a shadow "media" image so a
+  // crash can be simulated (see PmemPool::simulate_crash). Costs a full
+  // second copy of the pool; used by recovery tests/benches.
+  bool track_persistence = false;
+
+  // Scale all latency costs (bench sweeps); 0 disables like emulate_latency=false.
+  double latency_scale = 1.0;
+};
+
+}  // namespace hdnh::nvm

@@ -1,0 +1,95 @@
+#include "nvm/pmem.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/random.h"
+
+namespace hdnh::nvm {
+
+PmemPool::PmemPool(uint64_t size, NvmConfig cfg, const std::string& backing_file)
+    : cfg_(cfg) {
+  size_ = (size + kNvmBlock - 1) / kNvmBlock * kNvmBlock;
+  int flags = MAP_ANONYMOUS | MAP_PRIVATE;
+  if (!backing_file.empty()) {
+    struct stat st{};
+    recovered_ = ::stat(backing_file.c_str(), &st) == 0 &&
+                 static_cast<uint64_t>(st.st_size) >= size_;
+    fd_ = ::open(backing_file.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd_ < 0) throw std::runtime_error("PmemPool: cannot open " + backing_file);
+    if (::ftruncate(fd_, static_cast<off_t>(size_)) != 0) {
+      ::close(fd_);
+      throw std::runtime_error("PmemPool: ftruncate failed");
+    }
+    flags = MAP_SHARED;
+  }
+  void* p = ::mmap(nullptr, size_, PROT_READ | PROT_WRITE, flags, fd_, 0);
+  if (p == MAP_FAILED) {
+    if (fd_ >= 0) ::close(fd_);
+    throw std::runtime_error("PmemPool: mmap failed");
+  }
+  base_ = static_cast<char*>(p);
+  if (cfg_.track_persistence) enable_crash_sim();
+}
+
+PmemPool::~PmemPool() {
+  disable_crash_sim();
+  if (base_) ::munmap(base_, size_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void PmemPool::persist(const void* p, uint64_t len) {
+  auto& c = Stats::local();
+  const uint64_t lines = span_units(p, len, kCacheLine);
+  c.nvm_write_lines += lines;
+  if (shadow_) {
+    // Copy whole covered cachelines to the media image. Concurrent writers
+    // to *other bytes* of a shared line are benign: each byte lands with
+    // some coherent value, matching real CLWB semantics closely enough for
+    // the crash tests (which only reason about bytes the flusher owns).
+    const uint64_t a = reinterpret_cast<uint64_t>(p);
+    const uint64_t first =
+        (a & ~(kCacheLine - 1)) - reinterpret_cast<uint64_t>(base_);
+    std::memcpy(shadow_ + first, base_ + first, lines * kCacheLine);
+  }
+  if (cfg_.emulate_latency) {
+    spin_for_ns(static_cast<uint64_t>(
+        static_cast<double>(lines * cfg_.write_ns_per_line) * cfg_.latency_scale));
+  }
+}
+
+void PmemPool::enable_crash_sim() {
+  if (shadow_) return;
+  shadow_ = static_cast<char*>(::malloc(size_));
+  if (!shadow_) throw std::runtime_error("PmemPool: shadow alloc failed");
+  std::memcpy(shadow_, base_, size_);
+}
+
+void PmemPool::disable_crash_sim() {
+  ::free(shadow_);
+  shadow_ = nullptr;
+}
+
+void PmemPool::evict_random_lines(uint64_t n, uint64_t seed) {
+  if (!shadow_) return;
+  Rng rng(seed);
+  const uint64_t lines = size_ / kCacheLine;
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t line = rng.next_below(lines);
+    std::memcpy(shadow_ + line * kCacheLine, base_ + line * kCacheLine,
+                kCacheLine);
+  }
+}
+
+void PmemPool::simulate_crash() {
+  if (!shadow_) throw std::runtime_error("simulate_crash without crash sim");
+  std::memcpy(base_, shadow_, size_);
+}
+
+}  // namespace hdnh::nvm

@@ -1,0 +1,156 @@
+// Emulated persistent-memory pool.
+//
+// A PmemPool is a (optionally file-backed) mapped region standing in for an
+// App Direct DAX mapping. All schemes:
+//   * place durable data inside the pool and address it by *offset* (so a
+//     remap after restart/crash is transparent);
+//   * annotate media reads with on_read() — this charges AEP read latency in
+//     256 B block granularity and feeds the stats counters;
+//   * make stores durable with persist()/fence(), our CLWB/SFENCE stand-ins.
+//
+// Crash simulation: with persistence tracking enabled the pool keeps a
+// shadow "media" image. persist() copies the covered cachelines to the
+// shadow; anything never persisted simply does not exist on media. The cache
+// is also allowed to evict lines at any time (evict_random_lines models
+// that, for adversarial tests). simulate_crash() replaces the live region
+// with the media image — exactly the state a real power loss would leave —
+// after which recovery code can run in-process.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/clock.h"
+#include "nvm/config.h"
+#include "nvm/stats.h"
+
+namespace hdnh::nvm {
+
+class PmemPool {
+ public:
+  // Size is rounded up to a block multiple. If `backing_file` is non-empty
+  // the pool maps that file (created if absent) and contents survive process
+  // restart; otherwise the mapping is anonymous.
+  explicit PmemPool(uint64_t size, NvmConfig cfg = {},
+                    const std::string& backing_file = "");
+  ~PmemPool();
+
+  PmemPool(const PmemPool&) = delete;
+  PmemPool& operator=(const PmemPool&) = delete;
+
+  char* base() const { return base_; }
+  uint64_t size() const { return size_; }
+  // True if a backing file already existed with our magic (restart path).
+  bool recovered() const { return recovered_; }
+
+  template <typename T>
+  T* to_ptr(uint64_t off) const {
+    return reinterpret_cast<T*>(base_ + off);
+  }
+  uint64_t to_off(const void* p) const {
+    return static_cast<uint64_t>(static_cast<const char*>(p) - base_);
+  }
+  bool contains(const void* p) const {
+    const char* c = static_cast<const char*>(p);
+    return c >= base_ && c < base_ + size_;
+  }
+
+  const NvmConfig& config() const { return cfg_; }
+  void set_emulate_latency(bool on) { cfg_.emulate_latency = on; }
+  void set_latency_scale(double s) { cfg_.latency_scale = s; }
+
+  // ---- access annotations ----------------------------------------------
+
+  // A media read of [p, p+len). Charges one block cost per distinct 256 B
+  // block touched (AEP read amplification) and counts it.
+  void on_read(const void* p, uint64_t len) {
+    auto& c = Stats::local();
+    c.nvm_read_ops++;
+    const uint64_t blocks = span_units(p, len, kNvmBlock);
+    c.nvm_read_blocks += blocks;
+    if (cfg_.emulate_latency) {
+      spin_for_ns(static_cast<uint64_t>(
+          static_cast<double>(blocks * cfg_.read_ns_per_block) * cfg_.latency_scale));
+    }
+  }
+
+  // Accounting-only annotation of a store range (durability cost is charged
+  // at persist time, mirroring ADR semantics).
+  void on_write(const void* p, uint64_t len) {
+    (void)p;
+    (void)len;
+    Stats::local().nvm_write_ops++;
+  }
+
+  // CLWB every cacheline of [p, p+len). Does NOT order stores — call fence().
+  void persist(const void* p, uint64_t len);
+
+  // SFENCE.
+  void fence() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    auto& c = Stats::local();
+    c.fences++;
+    if (cfg_.emulate_latency) {
+      spin_for_ns(static_cast<uint64_t>(
+          static_cast<double>(cfg_.fence_ns) * cfg_.latency_scale));
+    }
+  }
+
+  void persist_fence(const void* p, uint64_t len) {
+    persist(p, len);
+    fence();
+  }
+
+  // A lock word read-modify-write inside NVM (CCEH segment locks, Level
+  // hashing bucket locks). The HDNH paper's concurrency claim is that
+  // read-lock acquire/release on in-NVM lock words burns NVM WRITE
+  // bandwidth: the word itself is usually cache-resident (so no media
+  // read), but every ownership change dirties the line and its writeback
+  // consumes the module's scarce write bandwidth. We charge one line write
+  // per RMW — a cost the baselines pay and HDNH's DRAM-resident lock state
+  // does not.
+  void on_lock_rmw(const void* p) {
+    auto& c = Stats::local();
+    c.nvm_write_ops++;
+    c.nvm_write_lines++;
+    if (cfg_.emulate_latency) {
+      spin_for_ns(static_cast<uint64_t>(
+          static_cast<double>(cfg_.write_ns_per_line) * cfg_.latency_scale));
+    }
+    (void)p;
+  }
+
+  // ---- crash simulation --------------------------------------------------
+
+  // Start tracking persisted state: media image := current live contents.
+  void enable_crash_sim();
+  void disable_crash_sim();
+  bool crash_sim_enabled() const { return shadow_ != nullptr; }
+
+  // Model the cache spontaneously evicting `n` random dirty lines (legal on
+  // real hardware at any time): copies n random live cachelines to media.
+  void evict_random_lines(uint64_t n, uint64_t seed);
+
+  // Power loss: live contents := media image. Tracking stays enabled and the
+  // media image is untouched, so recovery work is itself tracked.
+  void simulate_crash();
+
+ private:
+  static uint64_t span_units(const void* p, uint64_t len, uint64_t unit) {
+    const uint64_t a = reinterpret_cast<uint64_t>(p);
+    const uint64_t first = a / unit;
+    const uint64_t last = (a + (len ? len - 1 : 0)) / unit;
+    return last - first + 1;
+  }
+
+  NvmConfig cfg_;
+  uint64_t size_ = 0;
+  char* base_ = nullptr;
+  char* shadow_ = nullptr;  // media image when crash sim is on
+  int fd_ = -1;
+  bool recovered_ = false;
+};
+
+}  // namespace hdnh::nvm

@@ -1,0 +1,53 @@
+#include "nvm/stats.h"
+
+#include <memory>
+
+namespace hdnh::nvm {
+
+struct Stats::Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Counters>> blocks;
+};
+
+Stats::Registry& Stats::registry() {
+  static Registry* r = new Registry();  // leaked: outlives all threads
+  return *r;
+}
+
+Stats::Counters& Stats::local() {
+  thread_local Counters* block = [] {
+    auto owned = std::make_unique<Counters>();
+    Counters* raw = owned.get();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.blocks.push_back(std::move(owned));
+    return raw;
+  }();
+  return *block;
+}
+
+StatsSnapshot Stats::snapshot() {
+  StatsSnapshot s;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& b : r.blocks) {
+    s.nvm_read_ops += b->nvm_read_ops;
+    s.nvm_read_blocks += b->nvm_read_blocks;
+    s.nvm_write_ops += b->nvm_write_ops;
+    s.nvm_write_lines += b->nvm_write_lines;
+    s.fences += b->fences;
+    s.dram_hot_hits += b->dram_hot_hits;
+    s.ocf_filtered += b->ocf_filtered;
+    s.ocf_false_positive += b->ocf_false_positive;
+    s.lock_waits += b->lock_waits;
+  }
+  return s;
+}
+
+void Stats::reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& b : r.blocks) *b = Counters{};
+}
+
+}  // namespace hdnh::nvm

@@ -1,0 +1,74 @@
+// Per-thread access statistics, aggregated on demand.
+//
+// Every scheme runs on the same emulated device and is charged through the
+// same counters, so "NVM reads per lookup" is directly comparable across
+// HDNH, Level hashing, CCEH and Path hashing. The HDNH paper's performance
+// claims all reduce to these counts (fewer NVM block reads via OCF/hot
+// table, fewer NVM writes via optimistic read concurrency), which makes
+// them the primary reproduction signal on non-Optane hardware.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace hdnh::nvm {
+
+struct StatsSnapshot {
+  uint64_t nvm_read_ops = 0;     // read accesses (any size)
+  uint64_t nvm_read_blocks = 0;  // 256 B media blocks touched by reads
+  uint64_t nvm_write_ops = 0;    // annotated store ranges
+  uint64_t nvm_write_lines = 0;  // cachelines persisted (CLWB count)
+  uint64_t fences = 0;           // SFENCE count
+  uint64_t dram_hot_hits = 0;    // lookups served by the DRAM hot table
+  uint64_t ocf_filtered = 0;     // NVM probes avoided by OCF fingerprints
+  uint64_t ocf_false_positive = 0;  // fingerprint matched, key did not
+  uint64_t lock_waits = 0;       // contended lock/version retries
+
+  StatsSnapshot& operator-=(const StatsSnapshot& rhs) {
+    nvm_read_ops -= rhs.nvm_read_ops;
+    nvm_read_blocks -= rhs.nvm_read_blocks;
+    nvm_write_ops -= rhs.nvm_write_ops;
+    nvm_write_lines -= rhs.nvm_write_lines;
+    fences -= rhs.fences;
+    dram_hot_hits -= rhs.dram_hot_hits;
+    ocf_filtered -= rhs.ocf_filtered;
+    ocf_false_positive -= rhs.ocf_false_positive;
+    lock_waits -= rhs.lock_waits;
+    return *this;
+  }
+};
+
+// One counter block per thread; nonatomic fast-path increments, aggregated
+// under a registry lock when a snapshot is requested.
+class Stats {
+ public:
+  struct Counters {
+    uint64_t nvm_read_ops = 0;
+    uint64_t nvm_read_blocks = 0;
+    uint64_t nvm_write_ops = 0;
+    uint64_t nvm_write_lines = 0;
+    uint64_t fences = 0;
+    uint64_t dram_hot_hits = 0;
+    uint64_t ocf_filtered = 0;
+    uint64_t ocf_false_positive = 0;
+    uint64_t lock_waits = 0;
+  };
+
+  // The calling thread's counter block (created and registered on first use).
+  static Counters& local();
+
+  // Sum of all thread counters ever registered (including exited threads'
+  // final values).
+  static StatsSnapshot snapshot();
+
+  // Zero all registered counters (single-threaded phases only).
+  static void reset();
+
+ private:
+  struct Registry;
+  static Registry& registry();
+};
+
+}  // namespace hdnh::nvm

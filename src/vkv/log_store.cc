@@ -1,0 +1,99 @@
+#include "vkv/log_store.h"
+
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+namespace hdnh::vkv {
+
+LogStore::LogStore(nvm::PmemAllocator& alloc, uint64_t existing_super_off,
+                   uint64_t capacity_bytes)
+    : alloc_(alloc), pool_(alloc.pool()) {
+  if (existing_super_off != 0) {
+    super_ = pool_.to_ptr<Super>(existing_super_off);
+    if (super_->magic != kMagic) {
+      throw std::runtime_error("LogStore: offset is not a value log super");
+    }
+    capacity_ = super_->capacity;
+    return;
+  }
+  const uint64_t super_off = alloc_.alloc(sizeof(Super));
+  const uint64_t data = alloc_.alloc(capacity_bytes);
+  super_ = pool_.to_ptr<Super>(super_off);
+  std::memset(static_cast<void*>(super_), 0, sizeof(Super));
+  super_->data_off = data;
+  super_->capacity = capacity_bytes;
+  super_->tail.store(0, std::memory_order_relaxed);
+  pool_.persist(super_, sizeof(Super));
+  pool_.fence();
+  super_->magic = kMagic;
+  pool_.persist_fence(&super_->magic, sizeof(uint64_t));
+  capacity_ = capacity_bytes;
+}
+
+uint64_t LogStore::data_off() const { return super_->data_off; }
+
+void LogStore::retire() {
+  alloc_.free_block(super_->data_off, capacity_);
+  super_->magic = 0;
+  pool_.persist_fence(&super_->magic, sizeof(uint64_t));
+  alloc_.free_block(pool_.to_off(super_), sizeof(Super));
+}
+
+Handle LogStore::append(std::string_view key, std::string_view value) {
+  if (key.size() > kMaxKey || value.size() > kMaxValue) {
+    throw std::invalid_argument("LogStore: record too large");
+  }
+  const uint64_t need = sizeof(RecordHeader) + key.size() + value.size();
+  // Reserve space with a CAS on the volatile-side of tail; durability of
+  // the advanced tail is ensured before the handle escapes.
+  uint64_t pos = super_->tail.load(std::memory_order_relaxed);
+  for (;;) {
+    if (pos + need > capacity_) throw std::bad_alloc();
+    if (super_->tail.compare_exchange_weak(pos, pos + need,
+                                           std::memory_order_relaxed)) {
+      break;
+    }
+  }
+
+  char* rec = pool_.to_ptr<char>(super_->data_off + pos);
+  RecordHeader hdr{static_cast<uint16_t>(key.size()),
+                   static_cast<uint32_t>(value.size())};
+  std::memcpy(rec, &hdr, sizeof(hdr));
+  std::memcpy(rec + sizeof(hdr), key.data(), key.size());
+  std::memcpy(rec + sizeof(hdr) + key.size(), value.data(), value.size());
+  pool_.on_write(rec, need);
+  pool_.persist(rec, need);
+  pool_.fence();
+  // Persist the tail so a recovered log never re-hands-out these bytes.
+  pool_.persist_fence(&super_->tail, sizeof(uint64_t));
+
+  Handle h;
+  h.off = super_->data_off + pos;
+  h.klen = hdr.klen;
+  h.vlen = hdr.vlen;
+  return h;
+}
+
+std::string_view LogStore::key_of(const Handle& h) const {
+  const char* rec = pool_.to_ptr<char>(h.off);
+  pool_.on_read(rec, sizeof(RecordHeader) + h.klen);
+  return {rec + sizeof(RecordHeader), h.klen};
+}
+
+std::string_view LogStore::value_of(const Handle& h) const {
+  const char* rec = pool_.to_ptr<char>(h.off);
+  pool_.on_read(rec, sizeof(RecordHeader) + h.klen + h.vlen);
+  return {rec + sizeof(RecordHeader) + h.klen, h.vlen};
+}
+
+void LogStore::note_dead(const Handle& h) {
+  dead_bytes_.fetch_add(sizeof(RecordHeader) + h.klen + h.vlen,
+                        std::memory_order_relaxed);
+}
+
+uint64_t LogStore::used_bytes() const {
+  return super_->tail.load(std::memory_order_relaxed);
+}
+
+}  // namespace hdnh::vkv

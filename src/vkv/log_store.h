@@ -1,0 +1,93 @@
+// A persistent append-only record log inside a PmemPool — the substrate
+// that lets HDNH (fixed 31-byte records) index variable-length key/value
+// data: the log holds the real bytes, the hash table holds 15-byte handles.
+//
+// Record layout (packed):   [u16 klen][u32 vlen][key bytes][value bytes]
+// A record is immutable once published. Appends are crash-consistent: the
+// record bytes are persisted before the caller publishes its handle in the
+// index, and the log's persisted tail is advanced before the handle is
+// returned — so a handle that exists anywhere durable always points at a
+// fully-persisted record, and a crash between append and publish merely
+// orphans bytes that compaction reclaims.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+#include "nvm/alloc.h"
+
+namespace hdnh::vkv {
+
+// Opaque position of a record in the log.
+struct Handle {
+  uint64_t off = 0;   // pool offset of the record header
+  uint32_t vlen = 0;  // value length (cached to size reads)
+  uint16_t klen = 0;  // key length
+  bool valid() const { return off != 0; }
+};
+
+class LogStore {
+ public:
+  static constexpr uint64_t kMaxKey = 64 * 1024;
+  static constexpr uint64_t kMaxValue = 16 * 1024 * 1024;
+
+  // Creates a fresh log of `capacity_bytes`, or — when `existing_super_off`
+  // is non-zero — attaches to one created earlier. Owners (VkvStore) keep
+  // the returned super_off() in a root slot of their choosing; keeping it
+  // out of this class lets compaction build a replacement log before
+  // atomically publishing it.
+  LogStore(nvm::PmemAllocator& alloc, uint64_t existing_super_off,
+           uint64_t capacity_bytes);
+
+  // Pool offset of this log's superblock (stable across re-attach).
+  uint64_t super_off() const { return pool_.to_off(super_); }
+  uint64_t data_off() const;
+
+  // Release the log's pool space back to the allocator (after compaction
+  // has migrated every live record elsewhere).
+  void retire();
+
+  // Append a record; returns its handle after the bytes and the log tail
+  // are durable. Throws std::bad_alloc when the log segment is full
+  // (callers run compact() or provision a bigger log).
+  Handle append(std::string_view key, std::string_view value);
+
+  // Read back a record's key / value. The handle must come from append()
+  // on this log (or a recovered index). Reads are charged as NVM traffic.
+  std::string_view key_of(const Handle& h) const;
+  std::string_view value_of(const Handle& h) const;
+
+  // Accounting for compaction decisions.
+  void note_dead(const Handle& h);  // a record became unreachable
+  uint64_t used_bytes() const;
+  uint64_t dead_bytes() const { return dead_bytes_.load(std::memory_order_relaxed); }
+  uint64_t capacity_bytes() const { return capacity_; }
+
+  // Begin-from-zero reset used by compaction (caller rewrites live records
+  // into a fresh log and swaps).
+  nvm::PmemAllocator& allocator() { return alloc_; }
+
+ private:
+#pragma pack(push, 1)
+  struct RecordHeader {
+    uint16_t klen;
+    uint32_t vlen;
+  };
+  struct Super {
+    uint64_t magic;
+    uint64_t data_off;
+    uint64_t capacity;
+    std::atomic<uint64_t> tail;  // persisted high-water mark
+  };
+#pragma pack(pop)
+  static constexpr uint64_t kMagic = 0x48444E485F4C4F47ULL;  // "HDNH_LOG"
+
+  nvm::PmemAllocator& alloc_;
+  nvm::PmemPool& pool_;
+  Super* super_ = nullptr;
+  uint64_t capacity_ = 0;
+  std::atomic<uint64_t> dead_bytes_{0};
+};
+
+}  // namespace hdnh::vkv

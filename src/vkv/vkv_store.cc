@@ -1,0 +1,126 @@
+#include "vkv/vkv_store.h"
+
+#include <cstring>
+#include <vector>
+
+namespace hdnh::vkv {
+
+VkvStore::VkvStore(nvm::PmemAllocator& alloc, Options opts)
+    : alloc_(alloc), opts_(opts) {
+  HdnhConfig cfg = opts_.index;
+  cfg.initial_capacity = opts_.expected_records;
+  index_ = std::make_unique<Hdnh>(alloc_, cfg);  // attaches + recovers
+  const uint64_t existing = alloc_.root(kLogRoot);
+  log_ = std::make_unique<LogStore>(alloc_, existing, opts_.log_bytes);
+  if (existing == 0) {
+    alloc_.set_root(kLogRoot, log_->super_off(), 0);
+  }
+}
+
+Key VkvStore::digest(std::string_view key) {
+  Key k;
+  const uint64_t a = hash64(key, kSeed1 ^ 0x5A5A5A5A5A5A5A5AULL);
+  const uint64_t b = hash64(key, kSeed2 ^ 0xA5A5A5A5A5A5A5A5ULL);
+  std::memcpy(k.b, &a, 8);
+  std::memcpy(k.b + 8, &b, 8);
+  return k;
+}
+
+Value VkvStore::encode(const Handle& h) {
+  // 15 bytes: off(8) + vlen(4) + klen(2) + 1 spare.
+  Value v{};
+  std::memcpy(v.b, &h.off, 8);
+  std::memcpy(v.b + 8, &h.vlen, 4);
+  std::memcpy(v.b + 12, &h.klen, 2);
+  return v;
+}
+
+Handle VkvStore::decode(const Value& v) {
+  Handle h;
+  std::memcpy(&h.off, v.b, 8);
+  std::memcpy(&h.vlen, v.b + 8, 4);
+  std::memcpy(&h.klen, v.b + 12, 2);
+  return h;
+}
+
+bool VkvStore::put(std::string_view key, std::string_view value) {
+  const Key dk = digest(key);
+  // Fetch the old handle (if any) so its bytes can be marked dead.
+  Value old_v;
+  const bool existed = index_->search(dk, &old_v);
+
+  const Handle h = log_->append(key, value);  // durable before publication
+  const Value encoded = encode(h);
+  if (existed) {
+    index_->update(dk, encoded);
+    log_->note_dead(decode(old_v));
+    return false;
+  }
+  if (!index_->insert(dk, encoded)) {
+    // Raced with a concurrent put of the same new key: fall back to update.
+    Value racer;
+    if (index_->search(dk, &racer)) {
+      index_->update(dk, encoded);
+      log_->note_dead(decode(racer));
+    }
+    return false;
+  }
+  return true;
+}
+
+bool VkvStore::get(std::string_view key, std::string* out) {
+  Value v;
+  if (!index_->search(digest(key), &v)) return false;
+  const Handle h = decode(v);
+  // Verify the full key bytes: digests collide only astronomically rarely,
+  // but correctness should not rest on probability.
+  if (log_->key_of(h) != key) return false;
+  if (out) out->assign(log_->value_of(h));
+  return true;
+}
+
+bool VkvStore::erase(std::string_view key) {
+  const Key dk = digest(key);
+  Value v;
+  if (!index_->search(dk, &v)) return false;
+  if (log_->key_of(decode(v)) != key) return false;
+  if (!index_->erase(dk)) return false;
+  log_->note_dead(decode(v));
+  return true;
+}
+
+double VkvStore::log_utilization() const {
+  const uint64_t used = log_->used_bytes();
+  if (used == 0) return 1.0;
+  return 1.0 - static_cast<double>(log_->dead_bytes()) /
+                   static_cast<double>(used);
+}
+
+uint64_t VkvStore::compact() {
+  const uint64_t before = log_->used_bytes();
+  auto fresh = std::make_unique<LogStore>(alloc_, 0, opts_.log_bytes);
+
+  // Snapshot the live entries first (for_each holds the index's shared
+  // lock; updating from inside the visitor would re-enter it), then migrate
+  // each record and rewrite its handle through the index's crash-atomic
+  // update. A crash mid-compaction leaves a fully usable store whose
+  // entries point at a mix of old and new logs (both retained until the
+  // root swap below).
+  std::vector<KVPair> live;
+  live.reserve(index_->size());
+  index_->for_each([&](const KVPair& kv) { live.push_back(kv); });
+  for (const KVPair& kv : live) {
+    const Handle old = decode(kv.value);
+    const Handle moved =
+        fresh->append(log_->key_of(old), log_->value_of(old));
+    index_->update(kv.key, encode(moved));
+  }
+
+  // Publish the new log, then retire the old one.
+  alloc_.set_root(kLogRoot, fresh->super_off(), 0);
+  log_->retire();
+  log_ = std::move(fresh);
+  return before - log_->used_bytes();
+}
+
+}  // namespace hdnh::vkv

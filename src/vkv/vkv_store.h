@@ -1,0 +1,80 @@
+// VkvStore — variable-length key/value storage on top of HDNH.
+//
+// The paper evaluates fixed 16 B keys / 15 B values; real key-value stores
+// need arbitrary sizes. VkvStore composes the two pieces this repository
+// already has:
+//   * a LogStore holds the real bytes (append-only, crash-consistent);
+//   * an Hdnh table indexes a 16-byte key digest -> 15-byte record handle.
+// Gets verify the stored key bytes against the request, so digest
+// collisions (~2^-128 per pair anyway) cannot return a wrong value.
+//
+// Crash consistency is inherited: a record is appended and persisted
+// BEFORE its handle is published through HDNH's crash-atomic insert/update,
+// so recovery (re-attaching both structures) always sees index entries that
+// point at complete records; a crash in between only orphans log bytes,
+// which compact() reclaims.
+//
+// compact() requires quiescence (no concurrent operations); everything
+// else is as thread-safe as the underlying Hdnh.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "hdnh/hdnh.h"
+#include "vkv/log_store.h"
+
+namespace hdnh::vkv {
+
+class VkvStore {
+ public:
+  struct Options {
+    // Expected live records (sizes the HDNH index).
+    uint64_t expected_records = 1 << 16;
+    // Value-log segment size.
+    uint64_t log_bytes = 64ull << 20;
+    HdnhConfig index;
+  };
+
+  // Root slot (in the allocator's directory) holding the current log.
+  static constexpr int kLogRoot = 3;
+
+  // Creates a fresh store or re-attaches (running HDNH recovery) when the
+  // pool already holds one.
+  explicit VkvStore(nvm::PmemAllocator& alloc) : VkvStore(alloc, Options()) {}
+  VkvStore(nvm::PmemAllocator& alloc, Options opts);
+
+  // Upsert. Returns true if the key was new. Throws std::bad_alloc when
+  // the value log is full (compact() or provision a larger log).
+  bool put(std::string_view key, std::string_view value);
+
+  // Point lookup; fills *out on hit.
+  bool get(std::string_view key, std::string* out);
+
+  bool erase(std::string_view key);
+
+  uint64_t size() const { return index_->size(); }
+
+  // live bytes / appended bytes — 1.0 means nothing to reclaim.
+  double log_utilization() const;
+
+  // Rewrite every live record into a fresh log and retire the old one.
+  // Requires quiescence. Returns bytes reclaimed.
+  uint64_t compact();
+
+  Hdnh& index() { return *index_; }
+  LogStore& log() { return *log_; }
+
+ private:
+  static Key digest(std::string_view key);
+  static Value encode(const Handle& h);
+  static Handle decode(const Value& v);
+
+  nvm::PmemAllocator& alloc_;
+  Options opts_;
+  std::unique_ptr<Hdnh> index_;
+  std::unique_ptr<LogStore> log_;
+};
+
+}  // namespace hdnh::vkv

@@ -1,0 +1,102 @@
+#include "ycsb/runner.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/threads.h"
+
+namespace hdnh::ycsb {
+
+namespace {
+// Negative-read keys live far above any id the runner ever inserts.
+constexpr uint64_t kNegativeBase = 1ULL << 40;
+}  // namespace
+
+void preload(HashTable& table, uint64_t n, uint32_t threads) {
+  parallel_for(n, threads, [&](uint32_t, uint64_t begin, uint64_t end) {
+    for (uint64_t id = begin; id < end; ++id) {
+      table.insert(make_key(id), make_value(id));
+    }
+  });
+}
+
+RunResult run(HashTable& table, const WorkloadSpec& spec, uint64_t preloaded,
+              uint64_t ops, const RunOptions& opts) {
+  const uint32_t threads = opts.threads ? opts.threads : 1;
+  std::atomic<uint64_t> next_insert{preloaded};
+  std::atomic<uint64_t> next_delete{0};
+  std::atomic<uint64_t> total_hits{0};
+
+  std::vector<Histogram> hists(threads);
+  SpinBarrier barrier(threads);
+  const nvm::StatsSnapshot before = nvm::Stats::snapshot();
+  std::atomic<uint64_t> t_start{0};
+  std::atomic<uint64_t> t_end{0};
+
+  auto worker = [&](uint32_t tid, uint64_t my_ops) {
+    auto chooser = make_chooser(spec, preloaded ? preloaded : 1,
+                                opts.seed + 1000003ULL * tid);
+    Rng op_rng(opts.seed ^ (0x1234567ULL * (tid + 1)));
+    Histogram& hist = hists[tid];
+    uint64_t hits = 0;
+
+    barrier.arrive_and_wait();
+    if (tid == 0) t_start.store(now_ns(), std::memory_order_relaxed);
+
+    const double p_read = spec.read;
+    const double p_insert = p_read + spec.insert;
+    const double p_update = p_insert + spec.update;
+
+    for (uint64_t i = 0; i < my_ops; ++i) {
+      const double dice = op_rng.next_double();
+      const uint64_t t0 = opts.measure_latency ? now_ns() : 0;
+      bool ok = false;
+      if (dice < p_read) {
+        const uint64_t id = spec.negative_read
+                                ? kNegativeBase + chooser->next()
+                                : chooser->next();
+        Value v;
+        ok = table.search(make_key(id), &v);
+      } else if (dice < p_insert) {
+        const uint64_t id = next_insert.fetch_add(1, std::memory_order_relaxed);
+        ok = table.insert(make_key(id), make_value(id));
+      } else if (dice < p_update) {
+        const uint64_t id = chooser->next();
+        ok = table.update(make_key(id), make_value(id ^ i));
+      } else {
+        // Deletes consume distinct preloaded ids so a delete-only workload
+        // removes `ops` different keys, as in the paper's experiment.
+        const uint64_t id = next_delete.fetch_add(1, std::memory_order_relaxed);
+        ok = table.erase(make_key(id % (preloaded ? preloaded : 1)));
+      }
+      if (opts.measure_latency) hist.record(now_ns() - t0);
+      hits += ok ? 1 : 0;
+    }
+    total_hits.fetch_add(hits, std::memory_order_relaxed);
+    // Last thread out closes the timing window.
+    t_end.store(now_ns(), std::memory_order_relaxed);
+  };
+
+  const uint64_t per = ops / threads;
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (uint32_t t = 1; t < threads; ++t) {
+    const uint64_t my = per + (t < ops % threads ? 1 : 0);
+    pool.emplace_back(worker, t, my);
+  }
+  worker(0, per + (0 < ops % threads ? 1 : 0));
+  for (auto& th : pool) th.join();
+
+  RunResult r;
+  r.ops = ops;
+  r.hits = total_hits.load();
+  r.seconds = static_cast<double>(t_end.load() - t_start.load()) / 1e9;
+  r.nvm = nvm::Stats::snapshot();
+  r.nvm -= before;
+  for (auto& h : hists) r.latency.merge(h);
+  return r;
+}
+
+}  // namespace hdnh::ycsb

@@ -1,0 +1,44 @@
+// Multi-threaded workload runner: preload + timed run, reporting
+// throughput, success counts, per-op latency histogram (for the Fig 15
+// CDF), and the delta of emulated-NVM traffic counters (the
+// hardware-independent reproduction signal).
+#pragma once
+
+#include <cstdint>
+
+#include "api/hash_table.h"
+#include "common/histogram.h"
+#include "nvm/stats.h"
+#include "ycsb/workload.h"
+
+namespace hdnh::ycsb {
+
+struct RunOptions {
+  uint32_t threads = 1;
+  bool measure_latency = false;
+  uint64_t seed = 42;
+};
+
+struct RunResult {
+  uint64_t ops = 0;
+  uint64_t hits = 0;  // operations that found/affected a key
+  double seconds = 0;
+  nvm::StatsSnapshot nvm;  // counter delta over the timed region
+  Histogram latency;       // filled when measure_latency
+
+  double mops() const {
+    return seconds > 0 ? static_cast<double>(ops) / seconds / 1e6 : 0;
+  }
+};
+
+// Insert keys [0, n) (ids map to records via make_key/make_value).
+void preload(HashTable& table, uint64_t n, uint32_t threads = 1);
+
+// Run `ops` operations of `spec` against a table preloaded with
+// [0, preloaded). Inserts allocate fresh ids above `preloaded`; deletes
+// consume distinct preloaded ids; negative reads probe a key range that is
+// never inserted.
+RunResult run(HashTable& table, const WorkloadSpec& spec, uint64_t preloaded,
+              uint64_t ops, const RunOptions& opts = {});
+
+}  // namespace hdnh::ycsb

@@ -1,0 +1,88 @@
+#include "ycsb/workload.h"
+
+namespace hdnh::ycsb {
+
+WorkloadSpec WorkloadSpec::InsertOnly() {
+  WorkloadSpec s;
+  s.read = 0;
+  s.insert = 1;
+  s.label = "100% insert";
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::ReadOnly(double theta) {
+  WorkloadSpec s;
+  s.read = 1;
+  s.theta = theta;
+  s.label = "100% search";
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::NegativeRead() {
+  WorkloadSpec s;
+  s.read = 1;
+  s.negative_read = true;
+  s.dist = Dist::kUniform;
+  s.label = "100% negative search";
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::DeleteOnly() {
+  WorkloadSpec s;
+  s.read = 0;
+  s.erase = 1;
+  s.dist = Dist::kUniform;
+  s.label = "100% delete";
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::Mixed5050() {
+  WorkloadSpec s;
+  s.read = 0.5;
+  s.insert = 0.5;
+  s.label = "50% insert / 50% search";
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::YcsbA() {
+  WorkloadSpec s;
+  s.read = 0.5;
+  s.update = 0.5;
+  s.theta = 0.99;
+  s.label = "YCSB-A";
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::YcsbB() {
+  WorkloadSpec s;
+  s.read = 0.95;
+  s.update = 0.05;
+  s.theta = 0.99;
+  s.label = "YCSB-B";
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::YcsbC() {
+  WorkloadSpec s;
+  s.read = 1.0;
+  s.theta = 0.99;
+  s.label = "YCSB-C";
+  return s;
+}
+
+std::unique_ptr<KeyChooser> make_chooser(const WorkloadSpec& spec, uint64_t n,
+                                         uint64_t seed) {
+  switch (spec.dist) {
+    case Dist::kUniform:
+      return std::make_unique<UniformChooser>(n, seed);
+    case Dist::kZipfian:
+      return std::make_unique<ZipfianChooser>(n, spec.theta, seed);
+    case Dist::kScrambledZipfian:
+      return std::make_unique<ScrambledZipfianChooser>(n, spec.theta, seed);
+    case Dist::kLatest:
+      return std::make_unique<LatestChooser>(n, spec.theta, seed);
+  }
+  return nullptr;
+}
+
+}  // namespace hdnh::ycsb

@@ -1,0 +1,48 @@
+// YCSB-style workload specification (Cooper et al., SoCC '10) — the
+// generator behind every experiment in the paper's §4: operation mixes,
+// request distributions, and the zipfian skew parameter `s` swept in Fig 12.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+
+namespace hdnh::ycsb {
+
+enum class Dist { kUniform, kZipfian, kScrambledZipfian, kLatest };
+
+struct WorkloadSpec {
+  // Operation mix; fractions must sum to 1.
+  double read = 1.0;
+  double insert = 0.0;
+  double update = 0.0;
+  double erase = 0.0;
+
+  // Key-chooser distribution for read/update/erase operations.
+  Dist dist = Dist::kScrambledZipfian;
+  double theta = 0.99;  // zipfian s
+
+  // Reads target keys that were never inserted (the paper's "negative
+  // search" experiments, where the OCF shines).
+  bool negative_read = false;
+
+  std::string label;
+
+  // --- canned paper workloads -------------------------------------------
+  static WorkloadSpec InsertOnly();                       // Fig 13/14 insert
+  static WorkloadSpec ReadOnly(double theta = 0.99);      // 100% search
+  static WorkloadSpec NegativeRead();                     // negative search
+  static WorkloadSpec DeleteOnly();                       // Fig 13 delete
+  static WorkloadSpec Mixed5050();                        // Fig 14(c)
+  static WorkloadSpec YcsbA();  // 50% read / 50% update, zipf 0.99 (Fig 15)
+  static WorkloadSpec YcsbB();  // 95% read / 5% update
+  static WorkloadSpec YcsbC();  // 100% read
+};
+
+// Build a key chooser over `n` keys for this spec.
+std::unique_ptr<KeyChooser> make_chooser(const WorkloadSpec& spec, uint64_t n,
+                                         uint64_t seed);
+
+}  // namespace hdnh::ycsb

@@ -1,0 +1,64 @@
+#include "api/factory.h"
+
+#include <gtest/gtest.h>
+
+#include "nvm/alloc.h"
+#include "nvm/pmem.h"
+
+namespace hdnh {
+namespace {
+
+TEST(Factory, CreatesEverySchemeWithWorkingOps) {
+  for (const std::string scheme :
+       {"hdnh", "hdnh-lru", "hdnh-noocf", "hdnh-nohot", "hdnh-bg", "level",
+        "cceh", "path"}) {
+    nvm::PmemPool pool(128ull << 20);
+    nvm::PmemAllocator alloc(pool);
+    TableOptions opts;
+    opts.capacity = 4096;
+    auto t = create_table(scheme, alloc, opts);
+    ASSERT_NE(t, nullptr) << scheme;
+    EXPECT_TRUE(t->insert(make_key(1), make_value(1))) << scheme;
+    Value v;
+    EXPECT_TRUE(t->search(make_key(1), &v)) << scheme;
+    EXPECT_TRUE(v == make_value(1)) << scheme;
+    EXPECT_STRNE(t->name(), "") << scheme;
+  }
+}
+
+TEST(Factory, UnknownSchemeThrows) {
+  nvm::PmemPool pool(8 << 20);
+  nvm::PmemAllocator alloc(pool);
+  EXPECT_THROW(create_table("nosuch", alloc, TableOptions{}),
+               std::invalid_argument);
+}
+
+TEST(Factory, SchemeVariantsConfigured) {
+  nvm::PmemPool pool(256ull << 20);
+  nvm::PmemAllocator alloc(pool);
+  TableOptions opts;
+  opts.capacity = 4096;
+  auto lru = create_table("hdnh-lru", alloc, opts);
+  EXPECT_STREQ(lru->name(), "HDNH-LRU");
+  auto plain = create_table("level", alloc, opts);
+  EXPECT_STREQ(plain->name(), "LEVEL");
+}
+
+TEST(Factory, PoolHintsArePositiveAndScale) {
+  for (const std::string scheme : {"hdnh", "level", "cceh", "path"}) {
+    const uint64_t small = pool_bytes_hint(scheme, 10000);
+    const uint64_t big = pool_bytes_hint(scheme, 10000000);
+    EXPECT_GT(small, 0u) << scheme;
+    EXPECT_GT(big, small) << scheme;
+  }
+}
+
+TEST(Factory, PaperSchemesOrdered) {
+  const auto schemes = paper_schemes();
+  ASSERT_EQ(schemes.size(), 4u);
+  EXPECT_EQ(schemes[0], "path");
+  EXPECT_EQ(schemes[3], "hdnh");
+}
+
+}  // namespace
+}  // namespace hdnh

@@ -1,0 +1,91 @@
+// Binary-layout guarantees the persistence formats rely on.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "api/types.h"
+#include "hdnh/nv_layout.h"
+#include "nvm/config.h"
+
+namespace hdnh {
+namespace {
+
+TEST(Layout, RecordSizesMatchPaper) {
+  EXPECT_EQ(sizeof(Key), 16u);
+  EXPECT_EQ(sizeof(Value), 15u);
+  EXPECT_EQ(sizeof(KVPair), 31u);  // packed, no padding
+}
+
+TEST(Layout, NvBucketIsOneAepBlock) {
+  EXPECT_EQ(sizeof(NvBucket), 256u);
+  EXPECT_EQ(sizeof(NvBucket), nvm::kNvmBlock);
+  EXPECT_EQ(offsetof(NvBucket, slots), 8u);  // 8-byte persisted header
+  // 8 slots x 31 B fill the block exactly.
+  EXPECT_EQ(offsetof(NvBucket, slots) + kNvSlots * sizeof(KVPair), 256u);
+}
+
+TEST(Layout, OcfEntryEncoding) {
+  using namespace ocf;
+  // [valid:1][busy:1][version:6][fp:8] in 2 bytes (paper §3.2).
+  EXPECT_EQ(kValid & kBusy, 0);
+  EXPECT_EQ(kValid & kVerMask, 0);
+  EXPECT_EQ(kValid & kFpMask, 0);
+  EXPECT_EQ(kBusy & kVerMask, 0);
+  EXPECT_EQ(kVerMask & kFpMask, 0);
+  EXPECT_EQ(kValid | kBusy | kVerMask | kFpMask, 0xFFFF);
+
+  const uint16_t e = kValid | 0x0500 | 0xAB;  // valid, ver=5, fp=0xAB
+  EXPECT_TRUE(valid(e));
+  EXPECT_FALSE(busy(e));
+  EXPECT_EQ(fp_of(e), 0xAB);
+
+  // release(): clears busy, advances version mod 64, sets validity + fp.
+  const uint16_t r = release(e, true, 0xCD);
+  EXPECT_TRUE(valid(r));
+  EXPECT_FALSE(busy(r));
+  EXPECT_EQ(fp_of(r), 0xCD);
+  EXPECT_EQ((r & kVerMask) >> 8, 6u);
+
+  // Version wraps at 6 bits.
+  const uint16_t max_ver = static_cast<uint16_t>(kValid | kVerMask);
+  EXPECT_EQ(release(max_ver, true, 0) & kVerMask, 0u);
+}
+
+TEST(Layout, BumpVerWrapsWithoutTouchingOtherFields) {
+  using namespace ocf;
+  uint16_t e = kValid | kBusy | 0x3F00 | 0x7E;
+  const uint16_t b = bump_ver(e);
+  EXPECT_TRUE(valid(b));
+  EXPECT_TRUE(busy(b));
+  EXPECT_EQ(fp_of(b), 0x7E);
+  EXPECT_EQ(b & kVerMask, 0u);  // 63 + 1 wraps to 0
+}
+
+TEST(Layout, UpdateLogEntryCachelinePadded) {
+  EXPECT_EQ(sizeof(UpdateLogEntry) % nvm::kCacheLine, 0u);
+  EXPECT_GE(sizeof(UpdateLogEntry), 64u);
+}
+
+TEST(Layout, SuperblockHoldsResizeStateMachine) {
+  HdnhSuper s{};
+  s.level_number.store(3);
+  s.rehash_progress.store(42);
+  EXPECT_EQ(s.level_number.load(), 3u);
+  EXPECT_EQ(s.rehash_progress.load(), 42u);
+  EXPECT_LE(sizeof(HdnhSuper), 256u);  // fits one block comfortably
+}
+
+TEST(Layout, KeyValueEqualityIsBytewise) {
+  Key a = make_key(5), b = make_key(5);
+  EXPECT_TRUE(a == b);
+  b.b[0] ^= 1;
+  EXPECT_FALSE(a == b);
+
+  Value va = make_value(5), vb = make_value(5);
+  EXPECT_TRUE(va == vb);
+  vb.b[14] ^= 1;
+  EXPECT_FALSE(va == vb);
+}
+
+}  // namespace
+}  // namespace hdnh

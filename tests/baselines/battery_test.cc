@@ -1,0 +1,202 @@
+// One functional battery run against EVERY scheme in the repository via the
+// factory — the uniform-semantics contract that lets the bench harness
+// compare them fairly.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/factory.h"
+#include "common/random.h"
+#include "nvm/alloc.h"
+#include "nvm/pmem.h"
+
+namespace hdnh {
+namespace {
+
+class SchemeBattery : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    scheme_ = GetParam();
+    opts_.capacity = 1 << 14;
+    pool_ = std::make_unique<nvm::PmemPool>(512ull << 20);
+    alloc_ = std::make_unique<nvm::PmemAllocator>(*pool_);
+    table_ = create_table(scheme_, *alloc_, opts_);
+  }
+
+  std::string scheme_;
+  TableOptions opts_;
+  std::unique_ptr<nvm::PmemPool> pool_;
+  std::unique_ptr<nvm::PmemAllocator> alloc_;
+  std::unique_ptr<HashTable> table_;
+};
+
+TEST_P(SchemeBattery, InsertSearchRoundTrip) {
+  constexpr uint64_t kN = 3000;
+  for (uint64_t i = 0; i < kN; ++i)
+    ASSERT_TRUE(table_->insert(make_key(i), make_value(i))) << i;
+  EXPECT_EQ(table_->size(), kN);
+  Value v;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(table_->search(make_key(i), &v)) << i;
+    ASSERT_TRUE(v == make_value(i)) << i;
+  }
+}
+
+TEST_P(SchemeBattery, NegativeSearchMisses) {
+  for (uint64_t i = 0; i < 1000; ++i)
+    table_->insert(make_key(i), make_value(i));
+  Value v;
+  for (uint64_t i = 1ull << 30; i < (1ull << 30) + 2000; ++i)
+    ASSERT_FALSE(table_->search(make_key(i), &v)) << i;
+}
+
+TEST_P(SchemeBattery, DuplicateInsertRejectedEverywhere) {
+  ASSERT_TRUE(table_->insert(make_key(7), make_value(7)));
+  EXPECT_FALSE(table_->insert(make_key(7), make_value(8)));
+  Value v;
+  ASSERT_TRUE(table_->search(make_key(7), &v));
+  EXPECT_TRUE(v == make_value(7));
+}
+
+TEST_P(SchemeBattery, UpdateSemantics) {
+  EXPECT_FALSE(table_->update(make_key(1), make_value(2)));  // absent
+  table_->insert(make_key(1), make_value(1));
+  EXPECT_TRUE(table_->update(make_key(1), make_value(2)));
+  Value v;
+  ASSERT_TRUE(table_->search(make_key(1), &v));
+  EXPECT_TRUE(v == make_value(2));
+  EXPECT_EQ(table_->size(), 1u);
+}
+
+TEST_P(SchemeBattery, EraseSemantics) {
+  EXPECT_FALSE(table_->erase(make_key(1)));
+  table_->insert(make_key(1), make_value(1));
+  EXPECT_TRUE(table_->erase(make_key(1)));
+  Value v;
+  EXPECT_FALSE(table_->search(make_key(1), &v));
+  EXPECT_FALSE(table_->erase(make_key(1)));
+  EXPECT_EQ(table_->size(), 0u);
+  // Reinsert after erase.
+  EXPECT_TRUE(table_->insert(make_key(1), make_value(11)));
+  ASSERT_TRUE(table_->search(make_key(1), &v));
+  EXPECT_TRUE(v == make_value(11));
+}
+
+TEST_P(SchemeBattery, MixedChurnKeepsIntegrity) {
+  Rng rng(77);
+  std::vector<bool> present(4000, false);
+  std::vector<uint64_t> val(4000, 0);
+  Value v;
+  for (int op = 0; op < 40000; ++op) {
+    const uint64_t i = rng.next_below(4000);
+    switch (rng.next_below(4)) {
+      case 0:
+        ASSERT_EQ(table_->search(make_key(i), &v), present[i]) << i;
+        if (present[i]) ASSERT_TRUE(v == make_value(val[i])) << i;
+        break;
+      case 1:
+        ASSERT_EQ(table_->insert(make_key(i), make_value(i)), !present[i]);
+        if (!present[i]) {
+          present[i] = true;
+          val[i] = i;
+        }
+        break;
+      case 2:
+        ASSERT_EQ(table_->update(make_key(i), make_value(op)), present[i]);
+        if (present[i]) val[i] = op;
+        break;
+      case 3:
+        ASSERT_EQ(table_->erase(make_key(i)), present[i]);
+        present[i] = false;
+        break;
+    }
+  }
+}
+
+TEST_P(SchemeBattery, GrowsBeyondInitialCapacity) {
+  if (scheme_ == "path") {
+    // PATH is static by design: it must keep working up to its sizing
+    // target and throw TableFullError beyond structural exhaustion.
+    uint64_t inserted = 0;
+    try {
+      for (uint64_t i = 0;; ++i) {
+        if (table_->insert(make_key(i), make_value(i))) ++inserted;
+      }
+    } catch (const TableFullError&) {
+    }
+    EXPECT_GT(inserted, opts_.capacity / 2);
+    return;
+  }
+  const uint64_t kN = opts_.capacity * 4;
+  for (uint64_t i = 0; i < kN; ++i)
+    ASSERT_TRUE(table_->insert(make_key(i), make_value(i))) << i;
+  EXPECT_EQ(table_->size(), kN);
+  Value v;
+  for (uint64_t i = 0; i < kN; i += 11)
+    ASSERT_TRUE(table_->search(make_key(i), &v)) << i;
+}
+
+TEST_P(SchemeBattery, LoadFactorSane) {
+  for (uint64_t i = 0; i < 2000; ++i)
+    table_->insert(make_key(i), make_value(i));
+  EXPECT_GT(table_->load_factor(), 0.0);
+  EXPECT_LE(table_->load_factor(), 1.0);
+}
+
+TEST_P(SchemeBattery, ConcurrentDisjointInserts) {
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPer = 3000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPer; ++i) {
+        const uint64_t id = t * kPer + i;
+        ASSERT_TRUE(table_->insert(make_key(id), make_value(id)));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(table_->size(), kThreads * kPer);
+  Value v;
+  for (uint64_t id = 0; id < kThreads * kPer; ++id)
+    ASSERT_TRUE(table_->search(make_key(id), &v)) << id;
+}
+
+TEST_P(SchemeBattery, ConcurrentReadersDuringWrites) {
+  for (uint64_t i = 0; i < 2000; ++i)
+    table_->insert(make_key(i), make_value(i));
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    uint64_t id = 1 << 22;
+    try {
+      while (!stop.load()) table_->insert(make_key(id++), make_value(1));
+    } catch (const TableFullError&) {
+      // PATH is static; stopping the write storm early is fine.
+    }
+  });
+  Value v;
+  for (int i = 0; i < 30000; ++i) {
+    const uint64_t id = i % 2000;
+    ASSERT_TRUE(table_->search(make_key(id), &v)) << id;
+    ASSERT_TRUE(v == make_value(id)) << id;
+  }
+  stop.store(true);
+  writer.join();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeBattery,
+                         ::testing::Values("hdnh", "hdnh-lru", "hdnh-noocf",
+                                           "hdnh-nohot", "hdnh-bg", "level",
+                                           "cceh", "path"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace hdnh

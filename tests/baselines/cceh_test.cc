@@ -1,0 +1,112 @@
+// CCEH specifics: segment splits, directory doubling, linear probing, and
+// the segment-lock NVM traffic.
+#include "baselines/cceh.h"
+
+#include <gtest/gtest.h>
+
+#include "nvm/alloc.h"
+#include "nvm/pmem.h"
+
+namespace hdnh {
+namespace {
+
+struct CcehPack {
+  explicit CcehPack(uint64_t capacity, uint64_t seg_bytes = 16 * 1024,
+                    uint64_t pool_bytes = 512ull << 20)
+      : pool(pool_bytes), alloc(pool), table(alloc, capacity, seg_bytes) {}
+  nvm::PmemPool pool;
+  nvm::PmemAllocator alloc;
+  Cceh table;
+};
+
+TEST(Cceh, RejectsNonPowerOfTwoSegment) {
+  nvm::PmemPool pool(16 << 20);
+  nvm::PmemAllocator alloc(pool);
+  EXPECT_THROW(Cceh t(alloc, 100, 3 * 1000), std::invalid_argument);
+}
+
+TEST(Cceh, SplitsGrowDirectory) {
+  CcehPack p(512);
+  const uint32_t depth_before = p.table.global_depth();
+  const uint64_t segs_before = p.table.segment_count();
+  constexpr uint64_t kN = 60000;
+  for (uint64_t i = 0; i < kN; ++i)
+    ASSERT_TRUE(p.table.insert(make_key(i), make_value(i))) << i;
+  EXPECT_GT(p.table.segment_count(), segs_before);
+  EXPECT_GE(p.table.global_depth(), depth_before);
+  EXPECT_EQ(p.table.size(), kN);
+  Value v;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(p.table.search(make_key(i), &v)) << i;
+    ASSERT_TRUE(v == make_value(i)) << i;
+  }
+  // Splits redistribute, never duplicate: erase each key exactly once.
+  for (uint64_t i = 0; i < kN; i += 17) {
+    ASSERT_TRUE(p.table.erase(make_key(i))) << i;
+    ASSERT_FALSE(p.table.erase(make_key(i))) << i;
+  }
+}
+
+TEST(Cceh, NegativeSearchBoundedProbes) {
+  CcehPack p(1 << 14);
+  for (uint64_t i = 0; i < 8000; ++i)
+    p.table.insert(make_key(i), make_value(i));
+  const auto before = nvm::Stats::snapshot();
+  Value v;
+  constexpr uint64_t kProbes = 1000;
+  for (uint64_t i = 1 << 24; i < (1 << 24) + kProbes; ++i)
+    ASSERT_FALSE(p.table.search(make_key(i), &v));
+  auto delta = nvm::Stats::snapshot();
+  delta -= before;
+  // Linear probing distance 4 ⇒ exactly 4 bucket reads + 2 lock RMWs.
+  EXPECT_GE(delta.nvm_read_ops, kProbes * 4);
+  EXPECT_LE(delta.nvm_read_ops, kProbes * 7);
+}
+
+TEST(Cceh, ReadLocksCostNvmWrites) {
+  CcehPack p(1 << 14);
+  for (uint64_t i = 0; i < 1000; ++i)
+    p.table.insert(make_key(i), make_value(i));
+  const auto before = nvm::Stats::snapshot();
+  Value v;
+  for (uint64_t i = 0; i < 1000; ++i) p.table.search(make_key(i), &v);
+  auto delta = nvm::Stats::snapshot();
+  delta -= before;
+  EXPECT_GE(delta.nvm_write_lines, 2000u);  // lock + unlock per search
+}
+
+TEST(Cceh, SmallSegmentsStressSplitPath) {
+  CcehPack p(64, /*seg_bytes=*/1024);  // 16 buckets/segment
+  constexpr uint64_t kN = 20000;
+  for (uint64_t i = 0; i < kN; ++i)
+    ASSERT_TRUE(p.table.insert(make_key(i), make_value(i))) << i;
+  Value v;
+  for (uint64_t i = 0; i < kN; ++i) ASSERT_TRUE(p.table.search(make_key(i), &v));
+  EXPECT_GT(p.table.global_depth(), 5u);
+}
+
+TEST(Cceh, UpdateAfterSplitsFindsRelocatedKeys) {
+  CcehPack p(256);
+  constexpr uint64_t kN = 20000;
+  for (uint64_t i = 0; i < kN; ++i)
+    p.table.insert(make_key(i), make_value(i));
+  for (uint64_t i = 0; i < kN; i += 5)
+    ASSERT_TRUE(p.table.update(make_key(i), make_value(i + 1))) << i;
+  Value v;
+  for (uint64_t i = 0; i < kN; i += 5) {
+    ASSERT_TRUE(p.table.search(make_key(i), &v));
+    ASSERT_TRUE(v == make_value(i + 1));
+  }
+}
+
+TEST(Cceh, LoadFactorReasonable) {
+  CcehPack p(1 << 14);
+  for (uint64_t i = 0; i < 40000; ++i)
+    p.table.insert(make_key(i), make_value(i));
+  // Extendible hashing with probe-4: load factor typically 0.35..0.9.
+  EXPECT_GT(p.table.load_factor(), 0.2);
+  EXPECT_LE(p.table.load_factor(), 1.0);
+}
+
+}  // namespace
+}  // namespace hdnh

@@ -1,0 +1,112 @@
+// Path hashing specifics: inverted-binary-tree stash, O(log B) probe bound,
+// static capacity behaviour.
+#include "baselines/path_hashing.h"
+
+#include <gtest/gtest.h>
+
+#include "nvm/alloc.h"
+#include "nvm/pmem.h"
+
+namespace hdnh {
+namespace {
+
+struct PathPack {
+  explicit PathPack(uint64_t capacity, uint64_t pool_bytes = 256ull << 20)
+      : pool(pool_bytes), alloc(pool), table(alloc, capacity) {}
+  nvm::PmemPool pool;
+  nvm::PmemAllocator alloc;
+  PathHashing table;
+};
+
+TEST(PathHashing, BasicRoundTrip) {
+  PathPack p(10000);
+  for (uint64_t i = 0; i < 5000; ++i)
+    ASSERT_TRUE(p.table.insert(make_key(i), make_value(i))) << i;
+  Value v;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(p.table.search(make_key(i), &v)) << i;
+    ASSERT_TRUE(v == make_value(i)) << i;
+  }
+}
+
+TEST(PathHashing, StaticTableThrowsWhenPathsExhaust) {
+  PathPack p(2000);
+  uint64_t inserted = 0;
+  EXPECT_THROW(
+      {
+        for (uint64_t i = 0;; ++i) {
+          p.table.insert(make_key(i), make_value(i));
+          ++inserted;
+        }
+      },
+      TableFullError);
+  // The inverted-tree stash should let it reach a solid load factor before
+  // the first both-paths-full failure (the design's selling point).
+  EXPECT_GT(static_cast<double>(inserted) /
+                static_cast<double>(p.table.total_cells()),
+            0.4);
+}
+
+TEST(PathHashing, ProbeCountBoundedByLevels) {
+  PathPack p(20000);
+  for (uint64_t i = 0; i < 10000; ++i)
+    p.table.insert(make_key(i), make_value(i));
+  const auto before = nvm::Stats::snapshot();
+  Value v;
+  constexpr uint64_t kProbes = 1000;
+  for (uint64_t i = 1 << 24; i < (1 << 24) + kProbes; ++i)
+    ASSERT_FALSE(p.table.search(make_key(i), &v));
+  auto delta = nvm::Stats::snapshot();
+  delta -= before;
+  // Negative search walks both paths fully: <= 2 cells per level x 8
+  // levels, plus up to 4 lock RMW reads.
+  EXPECT_LE(delta.nvm_read_ops, kProbes * (2 * PathHashing::kLevels + 4));
+  EXPECT_GE(delta.nvm_read_ops, kProbes * PathHashing::kLevels);
+}
+
+TEST(PathHashing, DeepLevelsAbsorbCollisions) {
+  // Keys colliding at level 0 must overflow down the path, not fail.
+  PathPack p(4000);
+  uint64_t inserted = 0;
+  for (uint64_t i = 0; i < 3000; ++i) {
+    if (p.table.insert(make_key(i), make_value(i))) ++inserted;
+  }
+  EXPECT_EQ(inserted, 3000u);
+}
+
+TEST(PathHashing, UpdateAndEraseAlongPaths) {
+  PathPack p(5000);
+  for (uint64_t i = 0; i < 3000; ++i)
+    p.table.insert(make_key(i), make_value(i));
+  for (uint64_t i = 0; i < 3000; i += 2)
+    ASSERT_TRUE(p.table.update(make_key(i), make_value(i + 9)));
+  for (uint64_t i = 1; i < 3000; i += 2) ASSERT_TRUE(p.table.erase(make_key(i)));
+  Value v;
+  for (uint64_t i = 0; i < 3000; ++i) {
+    if (i % 2 == 0) {
+      ASSERT_TRUE(p.table.search(make_key(i), &v));
+      ASSERT_TRUE(v == make_value(i + 9));
+    } else {
+      ASSERT_FALSE(p.table.search(make_key(i), &v));
+    }
+  }
+  // Freed cells are reusable.
+  for (uint64_t i = 1; i < 3000; i += 2)
+    ASSERT_TRUE(p.table.insert(make_key(i), make_value(i)));
+}
+
+TEST(PathHashing, CoarseLocksCostNvmTraffic) {
+  PathPack p(10000);
+  for (uint64_t i = 0; i < 1000; ++i)
+    p.table.insert(make_key(i), make_value(i));
+  const auto before = nvm::Stats::snapshot();
+  Value v;
+  for (uint64_t i = 0; i < 1000; ++i) p.table.search(make_key(i), &v);
+  auto delta = nvm::Stats::snapshot();
+  delta -= before;
+  // Two stripes locked/unlocked per search (often 2 distinct) = >= 2 RMWs.
+  EXPECT_GE(delta.nvm_write_lines, 2000u);
+}
+
+}  // namespace
+}  // namespace hdnh

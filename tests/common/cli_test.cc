@@ -1,0 +1,74 @@
+#include "common/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hdnh {
+namespace {
+
+Cli make_cli(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  static std::vector<char*> argv;
+  argv.clear();
+  for (auto& s : storage) argv.push_back(s.data());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  Cli cli = make_cli({});
+  EXPECT_EQ(cli.get_str("name", "dflt"), "dflt");
+  EXPECT_EQ(cli.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("d", 1.5), 1.5);
+  EXPECT_TRUE(cli.get_bool("b", true));
+  EXPECT_FALSE(cli.get_bool("b2", false));
+  cli.finish();
+}
+
+TEST(Cli, ParsesKeyValueForms) {
+  Cli cli = make_cli({"--name=xyz", "--n=17", "--d=2.25", "--flag"});
+  EXPECT_EQ(cli.get_str("name", ""), "xyz");
+  EXPECT_EQ(cli.get_int("n", 0), 17);
+  EXPECT_DOUBLE_EQ(cli.get_double("d", 0), 2.25);
+  EXPECT_TRUE(cli.get_bool("flag", false));  // bare flag means true
+  cli.finish();
+}
+
+TEST(Cli, BoolSpellings) {
+  Cli cli = make_cli({"--a=true", "--b=1", "--c=yes", "--d=false", "--e=0"});
+  EXPECT_TRUE(cli.get_bool("a", false));
+  EXPECT_TRUE(cli.get_bool("b", false));
+  EXPECT_TRUE(cli.get_bool("c", false));
+  EXPECT_FALSE(cli.get_bool("d", true));
+  EXPECT_FALSE(cli.get_bool("e", true));
+  cli.finish();
+}
+
+TEST(Cli, NegativeAndLargeInts) {
+  Cli cli = make_cli({"--a=-5", "--b=123456789012"});
+  EXPECT_EQ(cli.get_int("a", 0), -5);
+  EXPECT_EQ(cli.get_int("b", 0), 123456789012LL);
+  cli.finish();
+}
+
+// finish() exits on unknown flags / positional args; exercised via death
+// tests so the exit does not kill the test binary.
+TEST(CliDeath, UnknownFlagExits) {
+  EXPECT_EXIT(
+      {
+        Cli cli = make_cli({"--nosuch=1"});
+        cli.get_int("known", 0);
+        cli.finish();
+      },
+      ::testing::ExitedWithCode(2), "unknown flag");
+}
+
+TEST(CliDeath, PositionalArgExits) {
+  EXPECT_EXIT({ Cli cli = make_cli({"positional"}); (void)cli; },
+              ::testing::ExitedWithCode(2), "unexpected positional");
+}
+
+}  // namespace
+}  // namespace hdnh

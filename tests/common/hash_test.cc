@@ -1,0 +1,120 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/types.h"
+
+namespace hdnh {
+namespace {
+
+TEST(Hash64, DeterministicAcrossCalls) {
+  const std::string data = "hello persistent world";
+  EXPECT_EQ(hash64(data), hash64(data));
+  EXPECT_EQ(hash64(data, 7), hash64(data, 7));
+}
+
+TEST(Hash64, SeedChangesResult) {
+  const std::string data = "key-material";
+  EXPECT_NE(hash64(data, kSeed1), hash64(data, kSeed2));
+  EXPECT_NE(hash64(data, 0), hash64(data, 1));
+}
+
+TEST(Hash64, LengthSensitive) {
+  const char buf[32] = {0};
+  std::set<uint64_t> seen;
+  for (size_t len = 0; len <= sizeof(buf); ++len) {
+    seen.insert(hash64(buf, len));
+  }
+  // All-zero inputs of different lengths must not collide.
+  EXPECT_EQ(seen.size(), sizeof(buf) + 1);
+}
+
+TEST(Hash64, SingleBitFlipsChangeHash) {
+  uint8_t buf[16] = {};
+  const uint64_t base = hash64(buf, sizeof(buf));
+  for (int byte = 0; byte < 16; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      buf[byte] ^= (1u << bit);
+      EXPECT_NE(hash64(buf, sizeof(buf)), base)
+          << "byte " << byte << " bit " << bit;
+      buf[byte] ^= (1u << bit);
+    }
+  }
+}
+
+TEST(Hash64, CoversLongInputPaths) {
+  // Exercise the >=32-byte block loop and every tail length.
+  std::vector<uint8_t> data(257);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<uint8_t>(i);
+  std::set<uint64_t> seen;
+  for (size_t len = 0; len < data.size(); ++len) {
+    seen.insert(hash64(data.data(), len));
+  }
+  EXPECT_EQ(seen.size(), data.size());
+}
+
+TEST(Hash64, ReasonableBucketSpread) {
+  // Hashing sequential ids must spread ~uniformly over a bucket range.
+  constexpr int kBuckets = 64;
+  constexpr int kKeys = 64000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kKeys; ++i) {
+    Key k = make_key(static_cast<uint64_t>(i));
+    counts[hash64(k.b, sizeof(k.b), kSeed1) % kBuckets]++;
+  }
+  const double expected = static_cast<double>(kKeys) / kBuckets;
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_GT(counts[b], expected * 0.8) << "bucket " << b;
+    EXPECT_LT(counts[b], expected * 1.2) << "bucket " << b;
+  }
+}
+
+TEST(Fingerprint, IsLowByte) {
+  EXPECT_EQ(fingerprint(0x1234567890ABCDEFULL), 0xEF);
+  EXPECT_EQ(fingerprint(0xFF00), 0x00);
+}
+
+TEST(Fingerprint, NearUniformOverKeys) {
+  int counts[256] = {};
+  constexpr int kKeys = 256000;
+  for (int i = 0; i < kKeys; ++i) {
+    Key k = make_key(static_cast<uint64_t>(i));
+    counts[fingerprint(key_hash1(k))]++;
+  }
+  for (int f = 0; f < 256; ++f) {
+    EXPECT_GT(counts[f], 700) << "fp " << f;  // expected 1000
+    EXPECT_LT(counts[f], 1300) << "fp " << f;
+  }
+}
+
+TEST(Mix64, BijectiveOnSample) {
+  std::set<uint64_t> out;
+  for (uint64_t i = 0; i < 100000; ++i) out.insert(mix64(i));
+  EXPECT_EQ(out.size(), 100000u);
+}
+
+TEST(KeyTypes, MakeKeyRoundTripsId) {
+  for (uint64_t id : {uint64_t{0}, uint64_t{1}, uint64_t{123456789},
+                      UINT64_MAX}) {
+    EXPECT_EQ(key_id(make_key(id)), id);
+  }
+}
+
+TEST(KeyTypes, DistinctIdsGiveDistinctKeysAndValues) {
+  EXPECT_FALSE(make_key(1) == make_key(2));
+  EXPECT_FALSE(make_value(1) == make_value(2));
+  EXPECT_TRUE(make_key(7) == make_key(7));
+  EXPECT_TRUE(make_value(7) == make_value(7));
+}
+
+TEST(KeyTypes, HashesIndependent) {
+  const Key k = make_key(42);
+  EXPECT_NE(key_hash1(k), key_hash2(k));
+}
+
+}  // namespace
+}  // namespace hdnh

@@ -1,0 +1,95 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace hdnh {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_TRUE(h.cdf().empty());
+}
+
+TEST(Histogram, BasicStats) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_NEAR(h.mean(), 50.5, 0.01);
+}
+
+TEST(Histogram, PercentilesWithinResolution) {
+  Histogram h;
+  for (uint64_t v = 0; v < 10000; ++v) h.record(v);
+  // ~1.6% bucket resolution.
+  EXPECT_NEAR(static_cast<double>(h.percentile(0.5)), 5000, 5000 * 0.05);
+  EXPECT_NEAR(static_cast<double>(h.percentile(0.9)), 9000, 9000 * 0.05);
+  EXPECT_NEAR(static_cast<double>(h.percentile(0.99)), 9900, 9900 * 0.05);
+  EXPECT_EQ(h.percentile(0.0), h.min());
+  EXPECT_EQ(h.percentile(1.0), h.max());
+}
+
+TEST(Histogram, PercentileMonotone) {
+  Histogram h;
+  Rng r(5);
+  for (int i = 0; i < 100000; ++i) h.record(r.next_below(1000000) + 1);
+  uint64_t prev = 0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    const uint64_t v = h.percentile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(Histogram, LargeValuesDoNotOverflowIndex) {
+  Histogram h;
+  h.record(UINT64_MAX);
+  h.record(1ULL << 62);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+}
+
+TEST(Histogram, CdfMonotoneAndEndsAtOne) {
+  Histogram h;
+  Rng r(9);
+  for (int i = 0; i < 50000; ++i) h.record(r.next_below(100000));
+  auto cdf = h.cdf();
+  ASSERT_FALSE(cdf.empty());
+  double prev_frac = 0;
+  uint64_t prev_val = 0;
+  for (auto& [val, frac] : cdf) {
+    EXPECT_GE(val, prev_val);
+    EXPECT_GT(frac, prev_frac);
+    prev_val = val;
+    prev_frac = frac;
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(Histogram, MergeMatchesCombinedRecording) {
+  Histogram a, b, combined;
+  Rng r(13);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = r.next_below(1 << 20);
+    (i % 2 ? a : b).record(v);
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+  for (double q : {0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a.percentile(q), combined.percentile(q));
+  }
+}
+
+}  // namespace
+}  // namespace hdnh

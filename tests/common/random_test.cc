@@ -1,0 +1,145 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace hdnh {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.next();
+    EXPECT_EQ(va, b.next());
+    (void)c;
+  }
+  Rng d(8);
+  bool any_diff = false;
+  Rng e(7);
+  for (int i = 0; i < 100; ++i) any_diff |= (d.next() != e.next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, RoughlyUniform) {
+  Rng r(99);
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 160000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) counts[r.next_below(kBuckets)]++;
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_GT(counts[b], kDraws / kBuckets * 0.9);
+    EXPECT_LT(counts[b], kDraws / kBuckets * 1.1);
+  }
+}
+
+TEST(Uniform, CoversRange) {
+  UniformChooser u(100, 3);
+  std::vector<int> seen(100, 0);
+  for (int i = 0; i < 20000; ++i) seen[u.next()]++;
+  for (int i = 0; i < 100; ++i) EXPECT_GT(seen[i], 0) << i;
+}
+
+// Zipfian invariants from Gray et al.: item 0 most popular, frequency
+// decreasing in rank, and skew increasing with theta.
+TEST(Zipfian, RankZeroIsMostPopular) {
+  ZipfianChooser z(1000, 0.99, 5);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) counts[z.next()]++;
+  int max_count = 0;
+  uint64_t max_key = 0;
+  for (auto& [k, c] : counts) {
+    if (c > max_count) {
+      max_count = c;
+      max_key = k;
+    }
+  }
+  EXPECT_EQ(max_key, 0u);
+}
+
+TEST(Zipfian, FrequencyDecaysWithRank) {
+  ZipfianChooser z(10000, 0.99, 11);
+  std::vector<int> counts(10000, 0);
+  for (int i = 0; i < 500000; ++i) counts[z.next()]++;
+  // Aggregate into rank bands to smooth noise.
+  auto band = [&](int lo, int hi) {
+    long s = 0;
+    for (int i = lo; i < hi; ++i) s += counts[i];
+    return s;
+  };
+  EXPECT_GT(band(0, 10), band(10, 100) / 3);
+  EXPECT_GT(band(0, 100), band(100, 1000) / 2);
+  EXPECT_GT(band(0, 1000), band(1000, 10000));
+}
+
+TEST(Zipfian, HigherThetaIsMoreSkewed) {
+  auto top1_share = [](double theta) {
+    ZipfianChooser z(100000, theta, 17);
+    int hot = 0;
+    constexpr int kDraws = 200000;
+    for (int i = 0; i < kDraws; ++i) {
+      if (z.next() < 1000) ++hot;  // top 1% of the keyspace
+    }
+    return static_cast<double>(hot) / kDraws;
+  };
+  const double s05 = top1_share(0.5);
+  const double s099 = top1_share(0.99);
+  const double s122 = top1_share(1.22);
+  EXPECT_LT(s05, s099);
+  EXPECT_LT(s099, s122);
+  // The paper's motivating observation (Alibaba): with severe skew the top
+  // 1% absorbs the majority of accesses.
+  EXPECT_GT(s122, 0.5);
+}
+
+TEST(Zipfian, StaysInRange) {
+  ZipfianChooser z(123, 1.22, 23);
+  for (int i = 0; i < 50000; ++i) EXPECT_LT(z.next(), 123u);
+}
+
+TEST(ScrambledZipfian, SpreadsHotKeysAcrossKeyspace) {
+  ScrambledZipfianChooser z(100000, 0.99, 29);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 300000; ++i) counts[z.next()]++;
+  // Find the 10 hottest keys; they should NOT be clustered near 0.
+  std::vector<std::pair<int, uint64_t>> by_count;
+  for (auto& [k, c] : counts) by_count.emplace_back(c, k);
+  std::sort(by_count.rbegin(), by_count.rend());
+  uint64_t above_half = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (by_count[i].second > 50000) ++above_half;
+  }
+  EXPECT_GE(above_half, 2u);  // scrambling pushes some hot keys high
+  EXPECT_LT(by_count[10].first, by_count[0].first);
+}
+
+TEST(Latest, SkewsTowardNewestKeys) {
+  LatestChooser l(10000, 0.99, 31);
+  l.set_max(10000);
+  int newest_quarter = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (l.next() >= 7500) ++newest_quarter;
+  }
+  EXPECT_GT(newest_quarter, kDraws / 2);
+}
+
+TEST(Latest, RespectsMax) {
+  LatestChooser l(10000, 0.99, 37);
+  l.set_max(100);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(l.next(), 100u);
+}
+
+}  // namespace
+}  // namespace hdnh

@@ -1,0 +1,75 @@
+#include "common/threads.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace hdnh {
+namespace {
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  constexpr uint64_t kN = 100001;
+  std::vector<std::atomic<int>> touched(kN);
+  parallel_for(kN, 4, [&](uint32_t, uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+  });
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, SingleWorkerRunsInline) {
+  uint64_t sum = 0;  // non-atomic: must be safe with 1 worker
+  parallel_for(1000, 1, [&](uint32_t w, uint64_t b, uint64_t e) {
+    EXPECT_EQ(w, 0u);
+    for (uint64_t i = b; i < e; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 999ull * 1000 / 2);
+}
+
+TEST(ParallelFor, EmptyRange) {
+  bool called_nonzero = false;
+  parallel_for(0, 4, [&](uint32_t, uint64_t b, uint64_t e) {
+    if (b != e) called_nonzero = true;
+  });
+  EXPECT_FALSE(called_nonzero);
+}
+
+TEST(ParallelFor, MoreWorkersThanItems) {
+  std::atomic<uint64_t> count{0};
+  parallel_for(3, 8, [&](uint32_t, uint64_t b, uint64_t e) {
+    count.fetch_add(e - b);
+  });
+  EXPECT_EQ(count.load(), 3u);
+}
+
+TEST(SpinBarrier, SynchronizesPhases) {
+  constexpr int kThreads = 4;
+  constexpr int kPhases = 50;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> phase_counts[kPhases];
+  for (auto& p : phase_counts) p.store(0);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int p = 0; p < kPhases; ++p) {
+        phase_counts[p].fetch_add(1);
+        barrier.arrive_and_wait();
+        // After the barrier, every thread must have bumped this phase.
+        EXPECT_EQ(phase_counts[p].load(), kThreads);
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+}
+
+TEST(PinToCore, DoesNotCrash) {
+  // Advisory on constrained hosts; only verify it returns.
+  (void)pin_to_core(0);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hdnh

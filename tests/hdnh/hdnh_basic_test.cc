@@ -1,0 +1,236 @@
+#include "hdnh/hdnh.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace hdnh {
+namespace {
+
+using testutil::HdnhPack;
+using testutil::small_config;
+
+TEST(HdnhBasic, InsertAndSearch) {
+  HdnhPack p(32 << 20, small_config());
+  EXPECT_TRUE(p.table->insert(make_key(1), make_value(1)));
+  Value v;
+  ASSERT_TRUE(p.table->search(make_key(1), &v));
+  EXPECT_TRUE(v == make_value(1));
+  EXPECT_EQ(p.table->size(), 1u);
+}
+
+TEST(HdnhBasic, SearchMissingReturnsFalse) {
+  HdnhPack p(32 << 20, small_config());
+  Value v;
+  EXPECT_FALSE(p.table->search(make_key(12345), &v));
+  p.table->insert(make_key(1), make_value(1));
+  EXPECT_FALSE(p.table->search(make_key(2), &v));
+}
+
+TEST(HdnhBasic, DuplicateInsertRejected) {
+  HdnhPack p(32 << 20, small_config());
+  EXPECT_TRUE(p.table->insert(make_key(9), make_value(9)));
+  EXPECT_FALSE(p.table->insert(make_key(9), make_value(10)));
+  Value v;
+  ASSERT_TRUE(p.table->search(make_key(9), &v));
+  EXPECT_TRUE(v == make_value(9));  // original value untouched
+  EXPECT_EQ(p.table->size(), 1u);
+}
+
+TEST(HdnhBasic, UpdateChangesValue) {
+  HdnhPack p(32 << 20, small_config());
+  p.table->insert(make_key(5), make_value(5));
+  EXPECT_TRUE(p.table->update(make_key(5), make_value(500)));
+  Value v;
+  ASSERT_TRUE(p.table->search(make_key(5), &v));
+  EXPECT_TRUE(v == make_value(500));
+  EXPECT_EQ(p.table->size(), 1u);
+}
+
+TEST(HdnhBasic, UpdateMissingReturnsFalse) {
+  HdnhPack p(32 << 20, small_config());
+  EXPECT_FALSE(p.table->update(make_key(5), make_value(500)));
+}
+
+TEST(HdnhBasic, RepeatedUpdatesStayConsistent) {
+  // Out-of-place updates churn slots within/through buckets; many rounds
+  // must neither lose the key nor duplicate it.
+  HdnhPack p(32 << 20, small_config());
+  p.table->insert(make_key(1), make_value(0));
+  for (uint64_t i = 1; i <= 200; ++i) {
+    ASSERT_TRUE(p.table->update(make_key(1), make_value(i)));
+    Value v;
+    ASSERT_TRUE(p.table->search(make_key(1), &v));
+    ASSERT_TRUE(v == make_value(i)) << "round " << i;
+  }
+  EXPECT_EQ(p.table->size(), 1u);
+}
+
+TEST(HdnhBasic, EraseRemoves) {
+  HdnhPack p(32 << 20, small_config());
+  p.table->insert(make_key(3), make_value(3));
+  EXPECT_TRUE(p.table->erase(make_key(3)));
+  Value v;
+  EXPECT_FALSE(p.table->search(make_key(3), &v));
+  EXPECT_EQ(p.table->size(), 0u);
+  EXPECT_FALSE(p.table->erase(make_key(3)));  // second erase fails
+}
+
+TEST(HdnhBasic, ReinsertAfterEraseWorks) {
+  HdnhPack p(32 << 20, small_config());
+  p.table->insert(make_key(3), make_value(3));
+  p.table->erase(make_key(3));
+  EXPECT_TRUE(p.table->insert(make_key(3), make_value(33)));
+  Value v;
+  ASSERT_TRUE(p.table->search(make_key(3), &v));
+  EXPECT_TRUE(v == make_value(33));
+}
+
+TEST(HdnhBasic, ManyKeysAllRetrievable) {
+  HdnhPack p(64 << 20, small_config(8192));
+  constexpr uint64_t kN = 5000;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(p.table->insert(make_key(i), make_value(i))) << i;
+  }
+  EXPECT_EQ(p.table->size(), kN);
+  Value v;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(p.table->search(make_key(i), &v)) << i;
+    ASSERT_TRUE(v == make_value(i)) << i;
+  }
+  for (uint64_t i = kN; i < 2 * kN; ++i) {
+    ASSERT_FALSE(p.table->search(make_key(i), &v)) << i;
+  }
+}
+
+TEST(HdnhBasic, EraseHalfKeepsOtherHalf) {
+  HdnhPack p(64 << 20, small_config(8192));
+  constexpr uint64_t kN = 4000;
+  for (uint64_t i = 0; i < kN; ++i) p.table->insert(make_key(i), make_value(i));
+  for (uint64_t i = 0; i < kN; i += 2) EXPECT_TRUE(p.table->erase(make_key(i)));
+  EXPECT_EQ(p.table->size(), kN / 2);
+  Value v;
+  for (uint64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(p.table->search(make_key(i), &v), i % 2 == 1) << i;
+  }
+}
+
+TEST(HdnhBasic, LoadFactorTracksCount) {
+  HdnhPack p(32 << 20, small_config(4096));
+  EXPECT_DOUBLE_EQ(p.table->load_factor(), 0.0);
+  for (uint64_t i = 0; i < 1000; ++i)
+    p.table->insert(make_key(i), make_value(i));
+  const double lf = p.table->load_factor();
+  EXPECT_GT(lf, 0.0);
+  EXPECT_LE(lf, 1.0);
+  EXPECT_NEAR(lf, 1000.0 / static_cast<double>(p.table->total_slots()), 1e-9);
+}
+
+TEST(HdnhBasic, NameReflectsPolicy) {
+  HdnhPack p1(32 << 20, small_config());
+  EXPECT_STREQ(p1.table->name(), "HDNH");
+  HdnhConfig cfg = small_config();
+  cfg.hot_policy = HdnhConfig::HotPolicy::kLru;
+  HdnhPack p2(32 << 20, cfg);
+  EXPECT_STREQ(p2.table->name(), "HDNH-LRU");
+}
+
+TEST(HdnhBasic, RejectsBadSegmentBytes) {
+  nvm::PmemPool pool(8 << 20);
+  nvm::PmemAllocator alloc(pool);
+  HdnhConfig cfg;
+  cfg.segment_bytes = 100;  // not a multiple of 256
+  EXPECT_THROW(Hdnh t(alloc, cfg), std::invalid_argument);
+}
+
+TEST(HdnhBasic, WorksWithoutHotTable) {
+  HdnhConfig cfg = small_config();
+  cfg.enable_hot_table = false;
+  HdnhPack p(32 << 20, cfg);
+  for (uint64_t i = 0; i < 1000; ++i)
+    ASSERT_TRUE(p.table->insert(make_key(i), make_value(i)));
+  Value v;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(p.table->search(make_key(i), &v));
+    ASSERT_TRUE(v == make_value(i));
+  }
+  EXPECT_EQ(p.table->hot_table_slots(), 0u);
+}
+
+TEST(HdnhBasic, WorksWithoutOcfFiltering) {
+  HdnhConfig cfg = small_config();
+  cfg.enable_ocf = false;
+  HdnhPack p(32 << 20, cfg);
+  for (uint64_t i = 0; i < 1000; ++i)
+    ASSERT_TRUE(p.table->insert(make_key(i), make_value(i)));
+  Value v;
+  for (uint64_t i = 0; i < 1000; ++i) ASSERT_TRUE(p.table->search(make_key(i), &v));
+  for (uint64_t i = 5000; i < 6000; ++i)
+    ASSERT_FALSE(p.table->search(make_key(i), &v));
+}
+
+TEST(HdnhBasic, BackgroundSyncModeMatchesInline) {
+  HdnhConfig cfg = small_config();
+  cfg.sync_mode = HdnhConfig::SyncMode::kBackground;
+  cfg.bg_workers = 2;
+  HdnhPack p(32 << 20, cfg);
+  for (uint64_t i = 0; i < 2000; ++i)
+    ASSERT_TRUE(p.table->insert(make_key(i), make_value(i)));
+  Value v;
+  for (uint64_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(p.table->search(make_key(i), &v)) << i;
+    ASSERT_TRUE(v == make_value(i));
+  }
+  ASSERT_TRUE(p.table->update(make_key(7), make_value(777)));
+  ASSERT_TRUE(p.table->search(make_key(7), &v));
+  EXPECT_TRUE(v == make_value(777));
+  ASSERT_TRUE(p.table->erase(make_key(8)));
+  EXPECT_FALSE(p.table->search(make_key(8), &v));
+}
+
+// Property sweep: the table behaves identically across segment sizes.
+class HdnhSegmentParam : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HdnhSegmentParam, InsertSearchEraseAcrossSegmentSizes) {
+  HdnhConfig cfg;
+  cfg.segment_bytes = GetParam();
+  cfg.initial_capacity = 2048;
+  HdnhPack p(64 << 20, cfg);
+  constexpr uint64_t kN = 3000;  // forces at least one resize for small segs
+  for (uint64_t i = 0; i < kN; ++i)
+    ASSERT_TRUE(p.table->insert(make_key(i), make_value(i))) << i;
+  Value v;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(p.table->search(make_key(i), &v)) << i;
+    ASSERT_TRUE(v == make_value(i)) << i;
+  }
+  for (uint64_t i = 0; i < kN; i += 3) ASSERT_TRUE(p.table->erase(make_key(i)));
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(p.table->search(make_key(i), &v), i % 3 != 0) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SegmentSweep, HdnhSegmentParam,
+                         ::testing::Values(256, 1024, 4096, 16384, 65536));
+
+// Property sweep: hot-table slot counts (paper Fig 11b space).
+class HdnhHotSlotsParam : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(HdnhHotSlotsParam, CorrectAcrossHotSlotCounts) {
+  HdnhConfig cfg = small_config();
+  cfg.hot_slots_per_bucket = GetParam();
+  HdnhPack p(32 << 20, cfg);
+  for (uint64_t i = 0; i < 2000; ++i)
+    ASSERT_TRUE(p.table->insert(make_key(i), make_value(i)));
+  Value v;
+  for (uint64_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(p.table->search(make_key(i), &v));
+    ASSERT_TRUE(v == make_value(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HotSlotSweep, HdnhHotSlotsParam,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace hdnh

@@ -1,0 +1,117 @@
+// Configuration-space edges: extreme knob settings must degrade gracefully,
+// never corrupt.
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "hdnh/hdnh.h"
+#include "nvm/stats.h"
+
+namespace hdnh {
+namespace {
+
+using testutil::HdnhPack;
+
+TEST(HdnhConfigEdge, TinyInitialCapacity) {
+  HdnhConfig cfg;
+  cfg.initial_capacity = 1;  // minimum structure
+  cfg.segment_bytes = 256;   // one bucket per segment
+  HdnhPack p(64 << 20, cfg);
+  for (uint64_t i = 0; i < 2000; ++i)
+    ASSERT_TRUE(p.table->insert(make_key(i), make_value(i))) << i;
+  EXPECT_GT(p.table->resize_count(), 3u);
+  Value v;
+  for (uint64_t i = 0; i < 2000; ++i) ASSERT_TRUE(p.table->search(make_key(i), &v));
+}
+
+TEST(HdnhConfigEdge, HugeSegments) {
+  HdnhConfig cfg;
+  cfg.initial_capacity = 4096;
+  cfg.segment_bytes = 1 << 20;  // 1 MiB segments: one segment per level
+  HdnhPack p(128 << 20, cfg);
+  for (uint64_t i = 0; i < 3000; ++i)
+    ASSERT_TRUE(p.table->insert(make_key(i), make_value(i)));
+  Value v;
+  for (uint64_t i = 0; i < 3000; ++i) ASSERT_TRUE(p.table->search(make_key(i), &v));
+}
+
+TEST(HdnhConfigEdge, ZeroHotRatioBehavesLikeNoHot) {
+  HdnhConfig cfg = testutil::small_config();
+  cfg.hot_capacity_ratio = 0.0;  // hot table exists but is minimal
+  HdnhPack p(32 << 20, cfg);
+  for (uint64_t i = 0; i < 1000; ++i)
+    ASSERT_TRUE(p.table->insert(make_key(i), make_value(i)));
+  Value v;
+  for (uint64_t i = 0; i < 1000; ++i) ASSERT_TRUE(p.table->search(make_key(i), &v));
+}
+
+TEST(HdnhConfigEdge, FullHotRatioServesEverythingFromDram) {
+  HdnhConfig cfg = testutil::small_config(4096);
+  cfg.hot_capacity_ratio = 2.0;  // cache bigger than the table
+  HdnhPack p(64 << 20, cfg);
+  constexpr uint64_t kN = 2000;
+  for (uint64_t i = 0; i < kN; ++i)
+    p.table->insert(make_key(i), make_value(i));
+  nvm::Stats::reset();
+  Value v;
+  for (uint64_t i = 0; i < kN; ++i) ASSERT_TRUE(p.table->search(make_key(i), &v));
+  auto s = nvm::Stats::snapshot();
+  // §3.5 "hot table has not been overflowed": essentially every read is a
+  // DRAM hit and NVM stays idle.
+  EXPECT_GT(s.dram_hot_hits, kN * 9 / 10);
+  EXPECT_LT(s.nvm_read_ops, kN / 5);
+}
+
+TEST(HdnhConfigEdge, PromotionDisabled) {
+  HdnhConfig cfg = testutil::small_config(4096);
+  cfg.promote_on_search = false;
+  cfg.hot_capacity_ratio = 0.001;  // keep writes from covering everything
+  HdnhPack p(64 << 20, cfg);
+  for (uint64_t i = 0; i < 2000; ++i)
+    p.table->insert(make_key(i), make_value(i));
+  Value v;
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t i = 0; i < 2000; ++i)
+      ASSERT_TRUE(p.table->search(make_key(i), &v));
+  }
+  SUCCEED();  // correctness under no-promotion; perf impact is bench domain
+}
+
+TEST(HdnhConfigEdge, ManyRecoveryThreads) {
+  HdnhConfig cfg = testutil::small_config(8192);
+  cfg.recovery_threads = 16;
+  HdnhPack p(64 << 20, cfg);
+  for (uint64_t i = 0; i < 5000; ++i)
+    p.table->insert(make_key(i), make_value(i));
+  p.table.reset();
+  Hdnh t2(p.alloc, cfg);
+  EXPECT_EQ(t2.size(), 5000u);
+}
+
+TEST(HdnhConfigEdge, AggressiveSizingLoadTarget) {
+  HdnhConfig cfg;
+  cfg.initial_capacity = 4096;
+  cfg.segment_bytes = 1024;
+  cfg.sizing_load_target = 0.95;  // deliberately undersized: resizes early
+  HdnhPack p(128 << 20, cfg);
+  for (uint64_t i = 0; i < 8000; ++i)
+    ASSERT_TRUE(p.table->insert(make_key(i), make_value(i)));
+  Value v;
+  for (uint64_t i = 0; i < 8000; ++i) ASSERT_TRUE(p.table->search(make_key(i), &v));
+}
+
+TEST(HdnhConfigEdge, BgWorkersScale) {
+  for (uint32_t workers : {1u, 2u, 4u}) {
+    HdnhConfig cfg = testutil::small_config(4096);
+    cfg.sync_mode = HdnhConfig::SyncMode::kBackground;
+    cfg.bg_workers = workers;
+    HdnhPack p(64 << 20, cfg);
+    for (uint64_t i = 0; i < 1500; ++i)
+      ASSERT_TRUE(p.table->insert(make_key(i), make_value(i)));
+    Value v;
+    for (uint64_t i = 0; i < 1500; ++i)
+      ASSERT_TRUE(p.table->search(make_key(i), &v)) << workers;
+  }
+}
+
+}  // namespace
+}  // namespace hdnh

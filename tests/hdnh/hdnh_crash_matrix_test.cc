@@ -1,0 +1,181 @@
+// Randomized crash matrix: run a random op sequence against a reference
+// model with crash simulation armed, pull the power at a random op
+// boundary (with random cache evictions sprinkled throughout), recover,
+// and require the table to exactly equal the model of COMPLETED ops.
+// Parameterized over seeds for breadth with deterministic repro.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+
+#include "../test_util.h"
+#include "common/random.h"
+#include "hdnh/hdnh.h"
+
+namespace hdnh {
+namespace {
+
+using testutil::HdnhPack;
+using testutil::small_config;
+
+class CrashMatrix : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrashMatrix, RecoveredStateEqualsCompletedOps) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  HdnhPack p(128 << 20, small_config(2048), /*crash_sim=*/true);
+
+  std::unordered_map<uint64_t, uint64_t> model;
+  constexpr uint64_t kKeySpace = 4000;
+
+  // Several crash/recover cycles per seed, each at a random op count.
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    const uint64_t ops_this_cycle = 1000 + rng.next_below(4000);
+    for (uint64_t op = 0; op < ops_this_cycle; ++op) {
+      const uint64_t k = rng.next_below(kKeySpace);
+      const uint64_t vid = rng.next_below(1 << 16);
+      switch (rng.next_below(4)) {
+        case 0:
+        case 1:
+          if (p.table->insert(make_key(k), make_value(vid)) ==
+              (model.find(k) == model.end())) {
+            if (!model.count(k)) model[k] = vid;
+          } else {
+            FAIL() << "insert divergence at cycle " << cycle << " op " << op;
+          }
+          break;
+        case 2:
+          if (p.table->update(make_key(k), make_value(vid))) model[k] = vid;
+          break;
+        case 3:
+          ASSERT_EQ(p.table->erase(make_key(k)), model.erase(k) == 1);
+          break;
+      }
+      // Occasionally the cache spontaneously writes back random lines.
+      if (rng.next_below(512) == 0) {
+        p.pool.evict_random_lines(64, rng.next());
+      }
+    }
+
+    p.pool.simulate_crash();
+    p.reattach(small_config(2048));
+
+    // Every completed op is durable: the table must equal the model.
+    ASSERT_EQ(p.table->size(), model.size()) << "cycle " << cycle;
+    Value v;
+    for (const auto& [k, vid] : model) {
+      ASSERT_TRUE(p.table->search(make_key(k), &v))
+          << "cycle " << cycle << ": lost key " << k;
+      ASSERT_TRUE(v == make_value(vid))
+          << "cycle " << cycle << ": stale value for key " << k;
+    }
+    auto rep = p.table->check_integrity();
+    ASSERT_TRUE(rep.ok()) << "cycle " << cycle << ": dup=" << rep.duplicate_keys
+                          << " ocf=" << rep.ocf_valid_mismatches
+                          << " stale-hot=" << rep.hot_table_stale;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashMatrix,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u));
+
+// Same discipline but crashes are injected INSIDE operations (at the
+// cross-bucket update hooks), in a loop: the interrupted op is allowed to
+// be either fully applied or fully absent; everything else must be exact.
+class TornOpMatrix : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TornOpMatrix, TornUpdatesAtomicAcrossManyCrashes) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  HdnhPack p(128 << 20, small_config(512), /*crash_sim=*/true);
+
+  // Dense table: cross-bucket updates become common.
+  std::unordered_map<uint64_t, uint64_t> model;
+  constexpr uint64_t kKeys = 9000;
+  for (uint64_t i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(p.table->insert(make_key(i), make_value(i)));
+    model[i] = i;
+  }
+
+  struct CrashInjected {};
+  const char* points[] = {"update-log-armed", "update-new-set",
+                          "insert-slot-persisted"};
+
+  for (int round = 0; round < 8; ++round) {
+    // Arm a crash at a random point on a random future hook hit.
+    const char* point = points[rng.next_below(3)];
+    const int nth = 1 + static_cast<int>(rng.next_below(3));
+    int count = 0;
+    p.table->test_hook = [&, point, nth](const char* at) {
+      if (std::string(at) == point && ++count == nth) {
+        p.pool.simulate_crash();
+        throw CrashInjected{};
+      }
+    };
+
+    uint64_t torn_key = UINT64_MAX;
+    uint64_t torn_new_vid = 0;
+    bool torn_was_insert = false;
+    try {
+      for (int op = 0; op < 20000; ++op) {
+        const uint64_t k = rng.next_below(kKeys + 200);
+        const uint64_t vid = rng.next_below(1 << 16);
+        torn_key = k;
+        torn_new_vid = vid;
+        if (model.count(k)) {
+          torn_was_insert = false;
+          ASSERT_TRUE(p.table->update(make_key(k), make_value(vid)));
+          model[k] = vid;
+        } else {
+          torn_was_insert = true;
+          ASSERT_TRUE(p.table->insert(make_key(k), make_value(vid)));
+          model[k] = vid;
+        }
+      }
+      // Hook never fired this round (point not reached): disarm and move on.
+      p.table->test_hook = nullptr;
+      continue;
+    } catch (const CrashInjected&) {
+    }
+
+    p.reattach(small_config(512));
+
+    // The torn op may have landed or not — both are legal; the model is
+    // corrected to whatever the table decided.
+    Value v;
+    const bool present = p.table->search(make_key(torn_key), &v);
+    if (torn_was_insert) {
+      if (present) {
+        ASSERT_TRUE(v == make_value(torn_new_vid));
+        model[torn_key] = torn_new_vid;
+      } else {
+        model.erase(torn_key);
+      }
+    } else {
+      ASSERT_TRUE(present) << "update lost the key entirely";
+      const uint64_t old_vid = model[torn_key];
+      // Log replay rolls FORWARD, so after a cross-bucket crash the new
+      // value should win; a same-bucket crash before the atomic flip keeps
+      // the old one. Either value is atomic and acceptable.
+      ASSERT_TRUE(v == make_value(torn_new_vid) || v == make_value(old_vid))
+          << "torn update produced a third value";
+      model[torn_key] = v == make_value(torn_new_vid) ? torn_new_vid : old_vid;
+    }
+
+    // Everything else must be exact.
+    ASSERT_EQ(p.table->size(), model.size()) << "round " << round;
+    uint64_t checked = 0;
+    for (const auto& [k, vid] : model) {
+      if (++checked % 7 != 0 && k != torn_key) continue;  // sample 1/7 + torn
+      ASSERT_TRUE(p.table->search(make_key(k), &v)) << k;
+      ASSERT_TRUE(v == make_value(vid)) << k;
+    }
+    ASSERT_TRUE(p.table->check_integrity().ok()) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TornOpMatrix,
+                         ::testing::Values(7u, 77u, 777u));
+
+}  // namespace
+}  // namespace hdnh

@@ -1,0 +1,266 @@
+// Crash-consistency tests: power loss is simulated with the pool's shadow
+// "media" image (only CLWB'd+fenced lines survive), injected at precise
+// points via Hdnh::test_hook. After each crash a fresh Hdnh attaches to the
+// pool and §3.7 recovery must restore an exactly-consistent table.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "../test_util.h"
+#include "hdnh/hdnh.h"
+
+namespace hdnh {
+namespace {
+
+using testutil::HdnhPack;
+using testutil::small_config;
+
+struct CrashInjected : std::runtime_error {
+  CrashInjected() : std::runtime_error("injected crash") {}
+};
+
+// Arms `pack.table` to crash at the `nth` occurrence of hook point `point`.
+void arm_crash(HdnhPack& pack, const char* point, int nth = 1) {
+  auto counter = std::make_shared<int>(0);
+  pack.table->test_hook = [&pack, point, nth, counter](const char* at) {
+    if (std::string(at) == point && ++*counter == nth) {
+      pack.pool.simulate_crash();
+      throw CrashInjected();
+    }
+  };
+}
+
+TEST(HdnhCrash, CompletedOpsSurviveCrash) {
+  HdnhPack p(64 << 20, small_config(8192), /*crash_sim=*/true);
+  constexpr uint64_t kN = 3000;
+  for (uint64_t i = 0; i < kN; ++i)
+    ASSERT_TRUE(p.table->insert(make_key(i), make_value(i)));
+  for (uint64_t i = 0; i < 100; ++i)
+    ASSERT_TRUE(p.table->update(make_key(i), make_value(i + 5000)));
+  for (uint64_t i = 100; i < 200; ++i) ASSERT_TRUE(p.table->erase(make_key(i)));
+
+  p.pool.simulate_crash();  // power loss at a quiescent point
+  p.reattach(small_config(8192));
+
+  EXPECT_EQ(p.table->size(), kN - 100);
+  Value v;
+  for (uint64_t i = 0; i < kN; ++i) {
+    if (i < 100) {
+      ASSERT_TRUE(p.table->search(make_key(i), &v)) << i;
+      ASSERT_TRUE(v == make_value(i + 5000)) << i;
+    } else if (i < 200) {
+      ASSERT_FALSE(p.table->search(make_key(i), &v)) << i;
+    } else {
+      ASSERT_TRUE(p.table->search(make_key(i), &v)) << i;
+      ASSERT_TRUE(v == make_value(i)) << i;
+    }
+  }
+}
+
+TEST(HdnhCrash, RandomCacheEvictionsNeverHurt) {
+  // Real caches may write back any dirty line at any time; extra
+  // persistence must never break recovery.
+  HdnhPack p(64 << 20, small_config(8192), /*crash_sim=*/true);
+  constexpr uint64_t kN = 2000;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(p.table->insert(make_key(i), make_value(i)));
+    if (i % 64 == 0) p.pool.evict_random_lines(256, i);
+  }
+  p.pool.evict_random_lines(10000, 999);
+  p.pool.simulate_crash();
+  p.reattach(small_config(8192));
+  EXPECT_EQ(p.table->size(), kN);
+  Value v;
+  for (uint64_t i = 0; i < kN; ++i) ASSERT_TRUE(p.table->search(make_key(i), &v));
+}
+
+TEST(HdnhCrash, TornInsertIsInvisibleAfterCrash) {
+  HdnhPack p(64 << 20, small_config(8192), /*crash_sim=*/true);
+  for (uint64_t i = 0; i < 500; ++i)
+    p.table->insert(make_key(i), make_value(i));
+
+  arm_crash(p, "insert-slot-persisted");  // slot written, bitmap bit not set
+  EXPECT_THROW(p.table->insert(make_key(9999), make_value(9999)),
+               CrashInjected);
+  p.reattach(small_config(8192));
+
+  Value v;
+  EXPECT_FALSE(p.table->search(make_key(9999), &v));  // atomically absent
+  EXPECT_EQ(p.table->size(), 500u);
+  // The orphaned slot is reusable: the same key inserts cleanly.
+  EXPECT_TRUE(p.table->insert(make_key(9999), make_value(1)));
+  EXPECT_TRUE(p.table->search(make_key(9999), &v));
+}
+
+// Force the cross-bucket update path by filling the key's entire home
+// bucket first. Returns a key whose updates must go cross-bucket... too
+// structure-dependent to force deterministically, so instead run many
+// updates at high bucket occupancy and crash at the cross-bucket hooks.
+TEST(HdnhCrash, UpdateCrashAfterLogArmedRecoversNewValue) {
+  HdnhPack p(256 << 20, small_config(512), /*crash_sim=*/true);
+  // High load ⇒ full buckets ⇒ cross-bucket updates occur.
+  constexpr uint64_t kN = 12000;
+  for (uint64_t i = 0; i < kN; ++i)
+    ASSERT_TRUE(p.table->insert(make_key(i), make_value(i)));
+
+  arm_crash(p, "update-log-armed");
+  uint64_t crashed_key = UINT64_MAX;
+  for (uint64_t i = 0; i < kN; ++i) {
+    try {
+      ASSERT_TRUE(p.table->update(make_key(i), make_value(i + 100000)));
+    } catch (const CrashInjected&) {
+      crashed_key = i;
+      break;
+    }
+  }
+  ASSERT_NE(crashed_key, UINT64_MAX)
+      << "no cross-bucket update occurred; densify the table";
+
+  p.reattach(small_config(512));
+  // The log was armed, so recovery completes the flip: the NEW value wins
+  // and the key exists exactly once.
+  Value v;
+  ASSERT_TRUE(p.table->search(make_key(crashed_key), &v));
+  EXPECT_TRUE(v == make_value(crashed_key + 100000));
+  // Exactly once: erase it, then it must be gone.
+  ASSERT_TRUE(p.table->erase(make_key(crashed_key)));
+  EXPECT_FALSE(p.table->search(make_key(crashed_key), &v));
+  EXPECT_FALSE(p.table->erase(make_key(crashed_key)));
+}
+
+TEST(HdnhCrash, UpdateCrashAfterNewBitSetRecoversExactlyOnce) {
+  HdnhPack p(256 << 20, small_config(512), /*crash_sim=*/true);
+  constexpr uint64_t kN = 12000;
+  for (uint64_t i = 0; i < kN; ++i)
+    ASSERT_TRUE(p.table->insert(make_key(i), make_value(i)));
+
+  arm_crash(p, "update-new-set");  // both bits momentarily valid on media
+  uint64_t crashed_key = UINT64_MAX;
+  for (uint64_t i = 0; i < kN; ++i) {
+    try {
+      ASSERT_TRUE(p.table->update(make_key(i), make_value(i + 100000)));
+    } catch (const CrashInjected&) {
+      crashed_key = i;
+      break;
+    }
+  }
+  ASSERT_NE(crashed_key, UINT64_MAX);
+
+  p.reattach(small_config(512));
+  Value v;
+  ASSERT_TRUE(p.table->search(make_key(crashed_key), &v));
+  EXPECT_TRUE(v == make_value(crashed_key + 100000));
+  ASSERT_TRUE(p.table->erase(make_key(crashed_key)));
+  EXPECT_FALSE(p.table->search(make_key(crashed_key), &v));  // no duplicate
+}
+
+uint64_t fill_until_resize_crash(HdnhPack& p, const char* point, int nth = 1) {
+  arm_crash(p, point, nth);
+  uint64_t id = 1 << 20;
+  for (;;) {
+    try {
+      p.table->insert(make_key(id), make_value(id));
+      ++id;
+    } catch (const CrashInjected&) {
+      return id;  // id itself did NOT complete
+    }
+  }
+}
+
+class HdnhResizeCrashParam
+    : public ::testing::TestWithParam<std::pair<const char*, int>> {};
+
+TEST_P(HdnhResizeCrashParam, CrashDuringResizeRecoversAllItems) {
+  const auto [point, nth] = GetParam();
+  HdnhPack p(256 << 20, small_config(512), /*crash_sim=*/true);
+  constexpr uint64_t kBase = 2000;
+  for (uint64_t i = 0; i < kBase; ++i)
+    ASSERT_TRUE(p.table->insert(make_key(i), make_value(i)));
+
+  const uint64_t failed_id = fill_until_resize_crash(p, point, nth);
+  p.reattach(small_config(512));
+
+  // Every insert that returned must be present; the one that crashed
+  // mid-resize must be absent (it never completed).
+  Value v;
+  for (uint64_t i = 0; i < kBase; ++i) {
+    ASSERT_TRUE(p.table->search(make_key(i), &v)) << "lost preload key " << i;
+    ASSERT_TRUE(v == make_value(i)) << i;
+  }
+  for (uint64_t id = 1 << 20; id < failed_id; ++id) {
+    ASSERT_TRUE(p.table->search(make_key(id), &v)) << "lost key " << id;
+  }
+  EXPECT_FALSE(p.table->search(make_key(failed_id), &v));
+
+  // And the table keeps working (the interrupted resize completed during
+  // recovery, so there is room again).
+  ASSERT_TRUE(p.table->insert(make_key(failed_id), make_value(failed_id)));
+  for (uint64_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(p.table->insert(make_key(2 << 20 | i), make_value(i)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ResizePoints, HdnhResizeCrashParam,
+    ::testing::Values(std::make_pair("resize-ln2", 1),
+                      std::make_pair("resize-ln3", 1),
+                      std::make_pair("rehash-bucket", 1),
+                      std::make_pair("rehash-bucket", 7),
+                      std::make_pair("rehash-bucket", 40)));
+
+TEST(HdnhCrash, CrashAgainRightAfterRecoveryConverges) {
+  // Crash during resize, recover, then lose power again immediately (before
+  // any new persist beyond recovery's own) — the second recovery must see a
+  // fully consistent steady-state table.
+  HdnhPack p(256 << 20, small_config(512), /*crash_sim=*/true);
+  constexpr uint64_t kBase = 3000;
+  for (uint64_t i = 0; i < kBase; ++i)
+    ASSERT_TRUE(p.table->insert(make_key(i), make_value(i)));
+  const uint64_t failed_id = fill_until_resize_crash(p, "rehash-bucket", 3);
+
+  p.reattach(small_config(512));  // first recovery resumes the rehash
+  p.pool.simulate_crash();        // immediate second power loss
+  p.reattach(small_config(512));  // second recovery
+
+  Value v;
+  for (uint64_t i = 0; i < kBase; ++i)
+    ASSERT_TRUE(p.table->search(make_key(i), &v)) << i;
+  for (uint64_t id = 1 << 20; id < failed_id; ++id)
+    ASSERT_TRUE(p.table->search(make_key(id), &v)) << id;
+  // Exactly-once: each recovered key erases exactly once (no duplicates
+  // introduced by the twice-recovered rehash).
+  for (uint64_t i = 0; i < kBase; ++i) {
+    ASSERT_TRUE(p.table->erase(make_key(i))) << i;
+    ASSERT_FALSE(p.table->search(make_key(i), &v)) << i;
+  }
+}
+
+TEST(HdnhCrash, CrashRightAfterCreationAttaches) {
+  HdnhPack p(32 << 20, small_config(), /*crash_sim=*/true);
+  p.pool.simulate_crash();
+  p.reattach(small_config());
+  EXPECT_EQ(p.table->size(), 0u);
+  ASSERT_TRUE(p.table->insert(make_key(1), make_value(1)));
+}
+
+TEST(HdnhCrash, RepeatedCrashRecoverCycles) {
+  HdnhPack p(128 << 20, small_config(4096), /*crash_sim=*/true);
+  uint64_t next = 0;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (uint64_t i = 0; i < 1000; ++i) {
+      ASSERT_TRUE(p.table->insert(make_key(next), make_value(next)));
+      ++next;
+    }
+    p.pool.simulate_crash();
+    p.reattach(small_config(4096));
+    EXPECT_EQ(p.table->size(), next);
+    Value v;
+    for (uint64_t i = 0; i < next; i += 37)
+      ASSERT_TRUE(p.table->search(make_key(i), &v)) << i;
+  }
+}
+
+}  // namespace
+}  // namespace hdnh

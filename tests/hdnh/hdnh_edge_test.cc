@@ -1,0 +1,142 @@
+// Edge semantics: version wraparound, erase/reinsert slot reuse (ABA),
+// adversarial key patterns, and counter sanity on exotic op sequences.
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "common/random.h"
+#include "hdnh/hdnh.h"
+
+namespace hdnh {
+namespace {
+
+using testutil::HdnhPack;
+using testutil::small_config;
+
+TEST(HdnhEdge, VersionWrapsAfter64WritesWithoutCorruption) {
+  // The OCF version field is 6 bits; >64 writes to one slot wrap it.
+  HdnhPack p(32 << 20, small_config());
+  p.table->insert(make_key(1), make_value(0));
+  Value v;
+  for (uint64_t i = 1; i <= 300; ++i) {  // several full wraps
+    ASSERT_TRUE(p.table->update(make_key(1), make_value(i)));
+    ASSERT_TRUE(p.table->search(make_key(1), &v));
+    ASSERT_TRUE(v == make_value(i)) << i;
+  }
+  EXPECT_TRUE(p.table->check_integrity().ok());
+}
+
+TEST(HdnhEdge, SlotReuseAbaAcrossEraseReinsert) {
+  // Erase a key and insert a DIFFERENT key that lands in the same bucket
+  // set repeatedly; readers must never resolve the old key to the new
+  // key's value.
+  HdnhPack p(32 << 20, small_config());
+  Value v;
+  for (int round = 0; round < 200; ++round) {
+    ASSERT_TRUE(p.table->insert(make_key(7), make_value(round)));
+    ASSERT_TRUE(p.table->search(make_key(7), &v));
+    ASSERT_TRUE(v == make_value(round));
+    ASSERT_TRUE(p.table->erase(make_key(7)));
+    ASSERT_FALSE(p.table->search(make_key(7), &v)) << round;
+  }
+  EXPECT_EQ(p.table->size(), 0u);
+}
+
+TEST(HdnhEdge, AdversarialSameFingerprintKeys) {
+  // Keys chosen so their fingerprints collide (same low byte of h1): the
+  // OCF filters nothing among them, forcing the NVM verify path; values
+  // must still resolve correctly.
+  HdnhPack p(64 << 20, small_config(8192));
+  std::vector<uint64_t> ids;
+  const uint8_t target = fingerprint(key_hash1(make_key(0)));
+  for (uint64_t i = 0; ids.size() < 600; ++i) {
+    if (fingerprint(key_hash1(make_key(i))) == target) ids.push_back(i);
+  }
+  for (uint64_t id : ids)
+    ASSERT_TRUE(p.table->insert(make_key(id), make_value(id)));
+  Value v;
+  for (uint64_t id : ids) {
+    ASSERT_TRUE(p.table->search(make_key(id), &v)) << id;
+    ASSERT_TRUE(v == make_value(id)) << id;
+  }
+  // Negative probes with the same fingerprint: pure false-positive storm,
+  // still correct.
+  uint64_t misses = 0;
+  for (uint64_t i = 1 << 24; misses < 200; ++i) {
+    if (fingerprint(key_hash1(make_key(i))) == target) {
+      ASSERT_FALSE(p.table->search(make_key(i), &v)) << i;
+      ++misses;
+    }
+  }
+}
+
+TEST(HdnhEdge, InterleavedInsertEraseKeepsCountExact) {
+  HdnhPack p(64 << 20, small_config(4096));
+  Rng rng(55);
+  int64_t live = 0;
+  std::vector<bool> present(3000, false);
+  for (int op = 0; op < 30000; ++op) {
+    const uint64_t k = rng.next_below(3000);
+    if (rng.next_below(2)) {
+      if (p.table->insert(make_key(k), make_value(k))) {
+        ASSERT_FALSE(present[k]);
+        present[k] = true;
+        ++live;
+      } else {
+        ASSERT_TRUE(present[k]);
+      }
+    } else {
+      if (p.table->erase(make_key(k))) {
+        ASSERT_TRUE(present[k]);
+        present[k] = false;
+        --live;
+      } else {
+        ASSERT_FALSE(present[k]);
+      }
+    }
+    ASSERT_EQ(p.table->size(), static_cast<uint64_t>(live));
+  }
+}
+
+TEST(HdnhEdge, SearchWithNullOutStillReportsPresence) {
+  HdnhPack p(32 << 20, small_config());
+  p.table->insert(make_key(3), make_value(3));
+  Value sink;
+  EXPECT_TRUE(p.table->search(make_key(3), &sink));
+  EXPECT_FALSE(p.table->search(make_key(4), &sink));
+}
+
+TEST(HdnhEdge, ZeroedKeyIsAnOrdinaryKey) {
+  // A key of all zero bytes must not be confused with an empty slot.
+  HdnhPack p(32 << 20, small_config());
+  Key zero{};
+  ASSERT_TRUE(p.table->insert(zero, make_value(99)));
+  Value v;
+  ASSERT_TRUE(p.table->search(zero, &v));
+  EXPECT_TRUE(v == make_value(99));
+  ASSERT_TRUE(p.table->erase(zero));
+  EXPECT_FALSE(p.table->search(zero, &v));
+}
+
+TEST(HdnhEdge, ForEachDuringConcurrentReadsIsSafe) {
+  HdnhPack p(64 << 20, small_config(4096));
+  for (uint64_t i = 0; i < 2000; ++i)
+    p.table->insert(make_key(i), make_value(i));
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    Value v;
+    Rng rng(1);
+    while (!stop.load(std::memory_order_relaxed)) {
+      p.table->search(make_key(rng.next_below(2000)), &v);
+    }
+  });
+  for (int round = 0; round < 20; ++round) {
+    uint64_t seen = 0;
+    p.table->for_each([&](const KVPair&) { ++seen; });
+    EXPECT_EQ(seen, 2000u);
+  }
+  stop.store(true);
+  reader.join();
+}
+
+}  // namespace
+}  // namespace hdnh

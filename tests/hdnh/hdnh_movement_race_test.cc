@@ -1,0 +1,123 @@
+// Regression tests for the key-movement race: an out-of-place update can
+// relocate a key to a candidate slot a concurrent reader has already
+// scanned; without the movement-sequence rescan the reader reports a
+// present key as missing. Caught originally as a 1-in-20000 miss under
+// YCSB-A; these tests hammer exactly that interleaving.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "../test_util.h"
+#include "baselines/level_hashing.h"
+#include "common/random.h"
+#include "hdnh/hdnh.h"
+
+namespace hdnh {
+namespace {
+
+using testutil::HdnhPack;
+using testutil::small_config;
+
+TEST(HdnhMovementRace, SearchNeverMissesUnderUpdateStorm) {
+  // Dense small table: out-of-place updates relocate keys constantly.
+  HdnhPack p(128 << 20, small_config(512));
+  constexpr uint64_t kKeys = 4000;
+  for (uint64_t i = 0; i < kKeys; ++i)
+    ASSERT_TRUE(p.table->insert(make_key(i), make_value(i)));
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> updates{0};
+  std::thread updater([&] {
+    Rng rng(1);
+    uint64_t vid = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      p.table->update(make_key(rng.next_below(kKeys)), make_value(++vid));
+      updates.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(100 + r);
+      Value v;
+      for (int i = 0; i < 150000; ++i) {
+        const uint64_t k = rng.next_below(kKeys);
+        // Keys are never erased: a miss is ALWAYS a bug.
+        ASSERT_TRUE(p.table->search(make_key(k), &v))
+            << "reader " << r << " lost key " << k << " at iter " << i;
+      }
+    });
+  }
+  for (auto& th : readers) th.join();
+  stop.store(true);
+  updater.join();
+  EXPECT_GT(updates.load(), 1000u) << "updater barely ran; weak test";
+  EXPECT_TRUE(p.table->check_integrity().ok());
+}
+
+TEST(HdnhMovementRace, UpdateAlwaysFindsItsKeyUnderContention) {
+  // Two updaters fight over the same keys: update() internally probes, so
+  // it is exposed to the same race; it must never return false for a
+  // present key.
+  HdnhPack p(128 << 20, small_config(512));
+  constexpr uint64_t kKeys = 3000;
+  for (uint64_t i = 0; i < kKeys; ++i)
+    ASSERT_TRUE(p.table->insert(make_key(i), make_value(i)));
+
+  std::vector<std::thread> updaters;
+  for (int t = 0; t < 3; ++t) {
+    updaters.emplace_back([&, t] {
+      Rng rng(t + 1);
+      for (int i = 0; i < 60000; ++i) {
+        const uint64_t k = rng.next_below(kKeys);
+        ASSERT_TRUE(p.table->update(make_key(k), make_value(i)))
+            << "updater " << t << " lost key " << k;
+      }
+    });
+  }
+  for (auto& th : updaters) th.join();
+  EXPECT_EQ(p.table->size(), kKeys);
+  EXPECT_TRUE(p.table->check_integrity().ok());
+}
+
+TEST(LevelMovementRace, SearchNeverMissesDuringDisplacements) {
+  // Level hashing's bottom-to-top cuckoo displacement has the same race;
+  // verify its movement-sequence rescan too. A dense table + insert storm
+  // forces displacements while readers check a fixed key set.
+  nvm::PmemPool pool(512ull << 20);
+  nvm::PmemAllocator alloc(pool);
+  LevelHashing table(alloc, 2048);
+  constexpr uint64_t kStable = 1500;
+  for (uint64_t i = 0; i < kStable; ++i)
+    ASSERT_TRUE(table.insert(make_key(i), make_value(i)));
+
+  std::atomic<bool> stop{false};
+  std::thread inserter([&] {
+    uint64_t id = 1 << 20;
+    Rng rng(3);
+    while (!stop.load(std::memory_order_relaxed)) {
+      table.insert(make_key(id++), make_value(1));
+      if (id % 2000 == 0) {
+        // Churn: erase a band so displacement keeps happening instead of
+        // the table just resizing ever larger.
+        for (uint64_t k = id - 2000; k < id - 1000; ++k)
+          table.erase(make_key(k));
+      }
+    }
+  });
+
+  Value v;
+  Rng rng(9);
+  for (int i = 0; i < 200000; ++i) {
+    const uint64_t k = rng.next_below(kStable);
+    ASSERT_TRUE(table.search(make_key(k), &v)) << "lost stable key " << k;
+  }
+  stop.store(true);
+  inserter.join();
+}
+
+}  // namespace
+}  // namespace hdnh

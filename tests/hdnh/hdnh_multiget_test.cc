@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "../test_util.h"
+#include "common/random.h"
+#include "hdnh/hdnh.h"
+#include "nvm/stats.h"
+
+namespace hdnh {
+namespace {
+
+using testutil::HdnhPack;
+using testutil::small_config;
+
+TEST(HdnhMultiget, MatchesSingleSearch) {
+  HdnhPack p(64 << 20, small_config(8192));
+  constexpr uint64_t kN = 3000;
+  for (uint64_t i = 0; i < kN; ++i)
+    p.table->insert(make_key(i), make_value(i));
+
+  constexpr size_t kBatch = 512;
+  std::vector<Key> keys;
+  for (size_t i = 0; i < kBatch; ++i) {
+    // Mix of present and absent keys.
+    keys.push_back(make_key(i % 2 ? i : 1000000 + i));
+  }
+  std::vector<Value> values(kBatch);
+  std::vector<uint8_t> found_raw(kBatch);
+  bool* found = reinterpret_cast<bool*>(found_raw.data());
+  const size_t hits =
+      p.table->multiget(keys.data(), kBatch, values.data(), found);
+
+  size_t expected_hits = 0;
+  for (size_t i = 0; i < kBatch; ++i) {
+    Value v;
+    const bool single = p.table->search(keys[i], &v);
+    ASSERT_EQ(found[i], single) << i;
+    if (single) {
+      ASSERT_TRUE(values[i] == v) << i;
+      ++expected_hits;
+    }
+  }
+  EXPECT_EQ(hits, expected_hits);
+}
+
+TEST(HdnhMultiget, EmptyAndSingletonBatches) {
+  HdnhPack p(32 << 20, small_config());
+  p.table->insert(make_key(1), make_value(1));
+  Value v;
+  bool f = false;
+  EXPECT_EQ(p.table->multiget(nullptr, 0, nullptr, nullptr), 0u);
+  Key k = make_key(1);
+  EXPECT_EQ(p.table->multiget(&k, 1, &v, &f), 1u);
+  EXPECT_TRUE(f);
+  EXPECT_TRUE(v == make_value(1));
+  k = make_key(2);
+  EXPECT_EQ(p.table->multiget(&k, 1, &v, &f), 0u);
+  EXPECT_FALSE(f);
+}
+
+TEST(HdnhMultiget, PromotesIntoHotTable) {
+  HdnhConfig cfg = small_config(4096);
+  cfg.hot_capacity_ratio = 1.0;
+  HdnhPack p(64 << 20, cfg);
+  constexpr uint64_t kN = 500;
+  for (uint64_t i = 0; i < kN; ++i)
+    p.table->insert(make_key(i), make_value(i));
+  // Clear the hot table by rebuilding OCF only, then warm via multiget.
+  p.table->rebuild_volatile(1, true);  // hot table repopulated; reset stats
+  std::vector<Key> keys;
+  std::vector<Value> values(kN);
+  std::vector<uint8_t> found(kN);
+  for (uint64_t i = 0; i < kN; ++i) keys.push_back(make_key(i));
+  p.table->multiget(keys.data(), kN, values.data(),
+                    reinterpret_cast<bool*>(found.data()));
+  nvm::Stats::reset();
+  p.table->multiget(keys.data(), kN, values.data(),
+                    reinterpret_cast<bool*>(found.data()));
+  // Second batch should be served almost entirely from DRAM.
+  EXPECT_GT(nvm::Stats::snapshot().dram_hot_hits, kN * 9 / 10);
+}
+
+TEST(HdnhMultiget, SafeUnderConcurrentWrites) {
+  HdnhPack p(128 << 20, small_config(1 << 14));
+  constexpr uint64_t kN = 4000;
+  for (uint64_t i = 0; i < kN; ++i)
+    p.table->insert(make_key(i), make_value(i));
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Rng rng(3);
+    uint64_t vid = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      p.table->update(make_key(rng.next_below(kN)), make_value(++vid % 1000));
+    }
+  });
+
+  std::vector<Key> keys;
+  for (uint64_t i = 0; i < 256; ++i) keys.push_back(make_key(i * 7 % kN));
+  std::vector<Value> values(256);
+  std::vector<uint8_t> found(256);
+  for (int round = 0; round < 500; ++round) {
+    const size_t hits = p.table->multiget(
+        keys.data(), 256, values.data(),
+        reinterpret_cast<bool*>(found.data()));
+    // Keys are never erased: every one must be found.
+    ASSERT_EQ(hits, 256u) << "round " << round;
+  }
+  stop.store(true);
+  writer.join();
+}
+
+}  // namespace
+}  // namespace hdnh

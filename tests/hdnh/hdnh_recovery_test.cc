@@ -1,0 +1,194 @@
+// Recovery after a NORMAL shutdown (§3.7): the non-volatile table persists;
+// OCF and hot table are rebuilt by traversing it.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "../test_util.h"
+#include "hdnh/hdnh.h"
+#include "nvm/stats.h"
+
+namespace hdnh {
+namespace {
+
+using testutil::HdnhPack;
+using testutil::small_config;
+
+TEST(HdnhRecovery, ReattachRestoresAllItems) {
+  HdnhPack p(64 << 20, small_config(8192));
+  constexpr uint64_t kN = 5000;
+  for (uint64_t i = 0; i < kN; ++i)
+    ASSERT_TRUE(p.table->insert(make_key(i), make_value(i)));
+  p.table.reset();  // clean shutdown
+
+  Hdnh t2(p.alloc, small_config(8192));
+  EXPECT_EQ(t2.size(), kN);
+  Value v;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(t2.search(make_key(i), &v)) << i;
+    ASSERT_TRUE(v == make_value(i)) << i;
+  }
+  for (uint64_t i = kN; i < kN + 1000; ++i)
+    ASSERT_FALSE(t2.search(make_key(i), &v));
+}
+
+TEST(HdnhRecovery, ReattachPreservesUpdatesAndDeletes) {
+  HdnhPack p(64 << 20, small_config(8192));
+  constexpr uint64_t kN = 3000;
+  for (uint64_t i = 0; i < kN; ++i)
+    p.table->insert(make_key(i), make_value(i));
+  for (uint64_t i = 0; i < kN; i += 3)
+    ASSERT_TRUE(p.table->update(make_key(i), make_value(i + 7777)));
+  for (uint64_t i = 1; i < kN; i += 3) ASSERT_TRUE(p.table->erase(make_key(i)));
+  p.table.reset();
+
+  Hdnh t2(p.alloc, small_config(8192));
+  Value v;
+  for (uint64_t i = 0; i < kN; ++i) {
+    if (i % 3 == 0) {
+      ASSERT_TRUE(t2.search(make_key(i), &v)) << i;
+      ASSERT_TRUE(v == make_value(i + 7777)) << i;
+    } else if (i % 3 == 1) {
+      ASSERT_FALSE(t2.search(make_key(i), &v)) << i;
+    } else {
+      ASSERT_TRUE(t2.search(make_key(i), &v)) << i;
+      ASSERT_TRUE(v == make_value(i)) << i;
+    }
+  }
+}
+
+TEST(HdnhRecovery, TableRemainsFullyFunctionalAfterReattach) {
+  HdnhPack p(128 << 20, small_config(4096));
+  for (uint64_t i = 0; i < 2000; ++i)
+    p.table->insert(make_key(i), make_value(i));
+  p.table.reset();
+
+  Hdnh t2(p.alloc, small_config(4096));
+  for (uint64_t i = 2000; i < 30000; ++i)
+    ASSERT_TRUE(t2.insert(make_key(i), make_value(i))) << i;
+  EXPECT_GT(t2.resize_count(), 0u);
+  Value v;
+  for (uint64_t i = 0; i < 30000; ++i) ASSERT_TRUE(t2.search(make_key(i), &v));
+  ASSERT_TRUE(t2.update(make_key(100), make_value(42)));
+  ASSERT_TRUE(t2.search(make_key(100), &v));
+  EXPECT_TRUE(v == make_value(42));
+}
+
+TEST(HdnhRecovery, RecoveryAcrossResizedTable) {
+  HdnhPack p(128 << 20, small_config(512));
+  constexpr uint64_t kN = 20000;
+  for (uint64_t i = 0; i < kN; ++i)
+    p.table->insert(make_key(i), make_value(i));
+  ASSERT_GT(p.table->resize_count(), 0u);
+  p.table.reset();
+
+  Hdnh t2(p.alloc, small_config(512));
+  EXPECT_EQ(t2.size(), kN);
+  Value v;
+  for (uint64_t i = 0; i < kN; ++i) ASSERT_TRUE(t2.search(make_key(i), &v)) << i;
+}
+
+TEST(HdnhRecovery, SegmentSizeComesFromSuperblockNotConfig) {
+  HdnhConfig cfg = small_config(4096);
+  cfg.segment_bytes = 4096;
+  HdnhPack p(64 << 20, cfg);
+  for (uint64_t i = 0; i < 1000; ++i)
+    p.table->insert(make_key(i), make_value(i));
+  p.table.reset();
+
+  HdnhConfig other = cfg;
+  other.segment_bytes = 16384;  // conflicting config on reattach
+  Hdnh t2(p.alloc, other);
+  EXPECT_EQ(t2.config().segment_bytes, 4096u);  // superblock wins
+  Value v;
+  for (uint64_t i = 0; i < 1000; ++i) ASSERT_TRUE(t2.search(make_key(i), &v));
+}
+
+TEST(HdnhRecovery, RebuildVolatileSeparateAndMergedAgree) {
+  HdnhPack p(64 << 20, small_config(8192));
+  constexpr uint64_t kN = 5000;
+  for (uint64_t i = 0; i < kN; ++i)
+    p.table->insert(make_key(i), make_value(i));
+
+  auto sep = p.table->rebuild_volatile(2, /*merged=*/false);
+  EXPECT_EQ(sep.items, kN);
+  EXPECT_GT(sep.ocf_ms, 0.0);
+  EXPECT_GT(sep.hot_ms, 0.0);
+  Value v;
+  for (uint64_t i = 0; i < kN; ++i)
+    ASSERT_TRUE(p.table->search(make_key(i), &v)) << i;
+
+  auto merged = p.table->rebuild_volatile(2, /*merged=*/true);
+  EXPECT_EQ(merged.items, kN);
+  EXPECT_GT(merged.total_ms, 0.0);
+  for (uint64_t i = 0; i < kN; ++i)
+    ASSERT_TRUE(p.table->search(make_key(i), &v)) << i;
+}
+
+TEST(HdnhRecovery, MultiThreadedRebuildMatchesSingle) {
+  HdnhPack p(64 << 20, small_config(8192));
+  constexpr uint64_t kN = 4000;
+  for (uint64_t i = 0; i < kN; ++i)
+    p.table->insert(make_key(i), make_value(i));
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    auto rs = p.table->rebuild_volatile(threads, true);
+    EXPECT_EQ(rs.items, kN) << threads << " threads";
+    Value v;
+    for (uint64_t i = 0; i < kN; i += 97)
+      ASSERT_TRUE(p.table->search(make_key(i), &v));
+  }
+}
+
+TEST(HdnhRecovery, HotTableServesReadsAfterRebuild) {
+  HdnhConfig cfg = small_config(4096);
+  cfg.hot_capacity_ratio = 1.0;  // room for everything
+  HdnhPack p(64 << 20, cfg);
+  constexpr uint64_t kN = 1000;
+  for (uint64_t i = 0; i < kN; ++i)
+    p.table->insert(make_key(i), make_value(i));
+  p.table.reset();
+
+  Hdnh t2(p.alloc, cfg);
+  // Recovery preloads the hot table, so reads hit DRAM immediately.
+  nvm::Stats::reset();
+  Value v;
+  for (uint64_t i = 0; i < kN; ++i) ASSERT_TRUE(t2.search(make_key(i), &v));
+  EXPECT_GT(nvm::Stats::snapshot().dram_hot_hits, kN / 2);
+}
+
+TEST(HdnhRecovery, EmptyTableReattaches) {
+  HdnhPack p(32 << 20, small_config());
+  p.table.reset();
+  Hdnh t2(p.alloc, small_config());
+  EXPECT_EQ(t2.size(), 0u);
+  ASSERT_TRUE(t2.insert(make_key(1), make_value(1)));
+  Value v;
+  EXPECT_TRUE(t2.search(make_key(1), &v));
+}
+
+TEST(HdnhRecovery, FileBackedPoolSurvivesProcessStyleRestart) {
+  const std::string path = ::testing::TempDir() + "/hdnh_recovery.pool";
+  std::remove(path.c_str());
+  constexpr uint64_t kN = 2000;
+  {
+    nvm::PmemPool pool(64 << 20, nvm::NvmConfig{}, path);
+    nvm::PmemAllocator alloc(pool);
+    Hdnh t(alloc, small_config(4096));
+    for (uint64_t i = 0; i < kN; ++i)
+      ASSERT_TRUE(t.insert(make_key(i), make_value(i)));
+  }  // pool unmapped: simulates process exit
+  {
+    nvm::PmemPool pool(64 << 20, nvm::NvmConfig{}, path);
+    ASSERT_TRUE(pool.recovered());
+    nvm::PmemAllocator alloc(pool);
+    ASSERT_TRUE(alloc.attached_existing());
+    Hdnh t(alloc, small_config(4096));
+    EXPECT_EQ(t.size(), kN);
+    Value v;
+    for (uint64_t i = 0; i < kN; ++i) ASSERT_TRUE(t.search(make_key(i), &v));
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hdnh

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "../test_util.h"
+#include "hdnh/hdnh.h"
+
+namespace hdnh {
+namespace {
+
+using testutil::HdnhPack;
+using testutil::small_config;
+
+TEST(HdnhResize, GrowsWellPastInitialCapacity) {
+  HdnhConfig cfg = small_config(512);
+  HdnhPack p(256 << 20, cfg);
+  const uint64_t initial_slots = p.table->total_slots();
+  constexpr uint64_t kN = 50000;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(p.table->insert(make_key(i), make_value(i))) << i;
+  }
+  EXPECT_GT(p.table->resize_count(), 0u);
+  EXPECT_GT(p.table->total_slots(), initial_slots);
+  EXPECT_EQ(p.table->size(), kN);
+  Value v;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(p.table->search(make_key(i), &v)) << "lost key " << i;
+    ASSERT_TRUE(v == make_value(i)) << i;
+  }
+}
+
+TEST(HdnhResize, NegativeSearchesStillNegativeAfterResize) {
+  HdnhPack p(128 << 20, small_config(512));
+  for (uint64_t i = 0; i < 20000; ++i)
+    p.table->insert(make_key(i), make_value(i));
+  ASSERT_GT(p.table->resize_count(), 0u);
+  Value v;
+  for (uint64_t i = 100000; i < 102000; ++i) {
+    ASSERT_FALSE(p.table->search(make_key(i), &v)) << i;
+  }
+}
+
+TEST(HdnhResize, TopLevelDoublesEachResize) {
+  HdnhPack p(256 << 20, small_config(512));
+  uint64_t prev_slots = p.table->total_slots();
+  uint64_t i = 0;
+  const uint64_t start_resizes = p.table->resize_count();
+  while (p.table->resize_count() < start_resizes + 3 && i < 200000) {
+    p.table->insert(make_key(i), make_value(i));
+    ++i;
+    if (p.table->total_slots() != prev_slots) {
+      // After a resize: new total = new TL (2x old TL) + old TL; the old
+      // structure was old TL + old BL (= old TL / 2). Ratio = 2.
+      EXPECT_EQ(p.table->total_slots(), prev_slots * 2);
+      prev_slots = p.table->total_slots();
+    }
+  }
+  EXPECT_GE(p.table->resize_count(), 3u);
+}
+
+TEST(HdnhResize, DeletedKeysStayDeletedAcrossResize) {
+  HdnhPack p(128 << 20, small_config(512));
+  for (uint64_t i = 0; i < 5000; ++i)
+    p.table->insert(make_key(i), make_value(i));
+  for (uint64_t i = 0; i < 5000; i += 2) p.table->erase(make_key(i));
+  const uint64_t before_resizes = p.table->resize_count();
+  for (uint64_t i = 100000; i < 130000; ++i)
+    p.table->insert(make_key(i), make_value(i));
+  ASSERT_GT(p.table->resize_count(), before_resizes);
+  Value v;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    ASSERT_EQ(p.table->search(make_key(i), &v), i % 2 == 1) << i;
+  }
+}
+
+TEST(HdnhResize, UpdatesSurviveResize) {
+  HdnhPack p(128 << 20, small_config(512));
+  for (uint64_t i = 0; i < 3000; ++i)
+    p.table->insert(make_key(i), make_value(i));
+  for (uint64_t i = 0; i < 3000; ++i)
+    ASSERT_TRUE(p.table->update(make_key(i), make_value(i + 1000000)));
+  for (uint64_t i = 100000; i < 140000; ++i)
+    p.table->insert(make_key(i), make_value(i));
+  ASSERT_GT(p.table->resize_count(), 0u);
+  Value v;
+  for (uint64_t i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(p.table->search(make_key(i), &v)) << i;
+    ASSERT_TRUE(v == make_value(i + 1000000)) << i;
+  }
+}
+
+TEST(HdnhResize, ConcurrentInsertersSurviveResizes) {
+  HdnhPack p(256 << 20, small_config(512));
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPer = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPer; ++i) {
+        const uint64_t id = t * kPer + i;
+        ASSERT_TRUE(p.table->insert(make_key(id), make_value(id)));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_GT(p.table->resize_count(), 0u);
+  EXPECT_EQ(p.table->size(), kThreads * kPer);
+  Value v;
+  for (uint64_t id = 0; id < kThreads * kPer; ++id) {
+    ASSERT_TRUE(p.table->search(make_key(id), &v)) << id;
+    ASSERT_TRUE(v == make_value(id)) << id;
+  }
+}
+
+TEST(HdnhResize, HotTableScalesWithTable) {
+  HdnhPack p(256 << 20, small_config(512));
+  const uint64_t hot_before = p.table->hot_table_slots();
+  for (uint64_t i = 0; i < 50000; ++i)
+    p.table->insert(make_key(i), make_value(i));
+  ASSERT_GT(p.table->resize_count(), 0u);
+  EXPECT_GT(p.table->hot_table_slots(), hot_before);
+}
+
+}  // namespace
+}  // namespace hdnh

@@ -1,0 +1,158 @@
+// Soak tests: sustained multi-threaded mixed traffic with periodic
+// quiescent integrity audits — the closest in-process approximation of a
+// production burn-in. Also exercises the update-log slot pool under
+// pressure (every cross-bucket update transits a 64-slot pool).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "../test_util.h"
+#include "common/random.h"
+#include "common/threads.h"
+#include "hdnh/hdnh.h"
+
+namespace hdnh {
+namespace {
+
+using testutil::HdnhPack;
+using testutil::small_config;
+
+TEST(HdnhSoak, MixedTrafficWithPeriodicIntegrityAudits) {
+  HdnhPack p(256 << 20, small_config(1 << 14));
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 5;
+  constexpr int kOpsPerRound = 8000;
+  constexpr uint64_t kKeysPerThread = 2000;
+
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t, round] {
+        Rng rng(round * 17 + t);
+        Value v;
+        const uint64_t base = t * 1000000;
+        for (int op = 0; op < kOpsPerRound; ++op) {
+          const uint64_t k = base + rng.next_below(kKeysPerThread);
+          switch (rng.next_below(4)) {
+            case 0:
+              p.table->insert(make_key(k), make_value(k));
+              break;
+            case 1:
+              p.table->update(make_key(k), make_value(op));
+              break;
+            case 2:
+              p.table->erase(make_key(k));
+              break;
+            case 3:
+              p.table->search(make_key(k), &v);
+              break;
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    // Quiescent audit after each round.
+    auto rep = p.table->check_integrity();
+    ASSERT_TRUE(rep.ok())
+        << "round " << round << ": ocf=" << rep.ocf_valid_mismatches
+        << " fp=" << rep.fingerprint_mismatches
+        << " busy=" << rep.stuck_busy_entries
+        << " dup=" << rep.duplicate_keys
+        << " stale_hot=" << rep.hot_table_stale
+        << " logs=" << rep.armed_log_entries;
+    ASSERT_EQ(rep.items, p.table->size()) << "round " << round;
+  }
+}
+
+TEST(HdnhSoak, UpdateLogPoolUnderCrossBucketPressure) {
+  // Dense table + many threads updating: cross-bucket updates contend for
+  // the 64-entry persistent log pool; all must complete and no entry may
+  // stay armed.
+  HdnhPack p(256 << 20, small_config(512));
+  constexpr uint64_t kKeys = 10000;
+  for (uint64_t i = 0; i < kKeys; ++i)
+    ASSERT_TRUE(p.table->insert(make_key(i), make_value(i)));
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> completed{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(t + 9);
+      for (int op = 0; op < 10000; ++op) {
+        const uint64_t k = rng.next_below(kKeys);
+        if (p.table->update(make_key(k), make_value(op))) {
+          completed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(completed.load(), uint64_t{kThreads} * 10000);
+  auto rep = p.table->check_integrity();
+  EXPECT_EQ(rep.armed_log_entries, 0u);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(p.table->size(), kKeys);
+}
+
+TEST(HdnhSoak, BackgroundModeSoak) {
+  HdnhConfig cfg = small_config(1 << 13);
+  cfg.sync_mode = HdnhConfig::SyncMode::kBackground;
+  cfg.bg_workers = 2;
+  HdnhPack p(128 << 20, cfg);
+  constexpr int kThreads = 3;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(t + 31);
+      Value v;
+      const uint64_t base = t * 500000;
+      for (int op = 0; op < 15000; ++op) {
+        const uint64_t k = base + rng.next_below(1500);
+        switch (rng.next_below(4)) {
+          case 0:
+            p.table->insert(make_key(k), make_value(k));
+            break;
+          case 1:
+            p.table->update(make_key(k), make_value(op));
+            break;
+          case 2:
+            p.table->erase(make_key(k));
+            break;
+          default:
+            p.table->search(make_key(k), &v);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(p.table->check_integrity().ok());
+}
+
+TEST(HdnhSoak, SurvivesManyResizeCyclesWithVerification) {
+  // March the table through ~8 doublings while spot-verifying.
+  HdnhPack p(1024ull << 20, small_config(256));
+  uint64_t next = 0;
+  Value v;
+  Rng rng(77);
+  while (p.table->resize_count() < 8) {
+    for (int burst = 0; burst < 5000; ++burst) {
+      ASSERT_TRUE(p.table->insert(make_key(next), make_value(next)));
+      ++next;
+    }
+    for (int probe = 0; probe < 200; ++probe) {
+      const uint64_t k = rng.next_below(next);
+      ASSERT_TRUE(p.table->search(make_key(k), &v)) << k;
+      ASSERT_TRUE(v == make_value(k)) << k;
+    }
+  }
+  EXPECT_EQ(p.table->size(), next);
+  auto rep = p.table->check_integrity();
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.items, next);
+}
+
+}  // namespace
+}  // namespace hdnh

@@ -1,0 +1,241 @@
+#include "hdnh/hot_table.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace hdnh {
+namespace {
+
+using HotPolicy = HdnhConfig::HotPolicy;
+
+KVPair kv(uint64_t id) { return KVPair{make_key(id), make_value(id)}; }
+KVPair kv(uint64_t id, uint64_t val_id) {
+  return KVPair{make_key(id), make_value(val_id)};
+}
+
+TEST(HotTable, PutThenSearch) {
+  HotTable hot(256, 4, HotPolicy::kRafl);
+  hot.put(kv(1));
+  Value v;
+  ASSERT_TRUE(hot.search(make_key(1), &v));
+  EXPECT_TRUE(v == make_value(1));
+  EXPECT_FALSE(hot.search(make_key(2), &v));
+}
+
+TEST(HotTable, PutIsUpsert) {
+  HotTable hot(256, 4, HotPolicy::kRafl);
+  hot.put(kv(1));
+  hot.put(kv(1, 99));
+  Value v;
+  ASSERT_TRUE(hot.search(make_key(1), &v));
+  EXPECT_TRUE(v == make_value(99));
+  EXPECT_EQ(hot.occupied(), 1u);
+}
+
+TEST(HotTable, EraseRemoves) {
+  HotTable hot(256, 4, HotPolicy::kRafl);
+  hot.put(kv(1));
+  hot.put(kv(2));
+  hot.erase(make_key(1));
+  Value v;
+  EXPECT_FALSE(hot.search(make_key(1), &v));
+  EXPECT_TRUE(hot.search(make_key(2), &v));
+  EXPECT_EQ(hot.occupied(), 1u);
+}
+
+TEST(HotTable, EraseMissingIsNoop) {
+  HotTable hot(256, 4, HotPolicy::kRafl);
+  hot.put(kv(1));
+  hot.erase(make_key(42));
+  EXPECT_EQ(hot.occupied(), 1u);
+}
+
+TEST(HotTable, CapacitySplitTwoToOne) {
+  HotTable hot(3000, 4, HotPolicy::kRafl);
+  // Total slots allocated is a multiple of the bucket split, close to ask.
+  EXPECT_GE(hot.total_slots(), 2900u);
+  EXPECT_LE(hot.total_slots(), 3100u);
+  EXPECT_EQ(hot.slots_per_bucket(), 4u);
+}
+
+TEST(HotTable, EvictionKeepsWorking) {
+  // Insert far more than capacity; the cache must keep serving puts and
+  // never exceed its slot count.
+  HotTable hot(64, 4, HotPolicy::kRafl);
+  for (uint64_t i = 0; i < 10000; ++i) hot.put(kv(i));
+  EXPECT_LE(hot.occupied(), hot.total_slots());
+  EXPECT_GT(hot.occupied(), 0u);
+}
+
+// RAFL Fig 6(a): a searched (hot) item survives eviction pressure while
+// cold items around it are evicted first.
+TEST(HotTable, RaflEvictsColdBeforeHot) {
+  HotTable hot(3 * 4, 4, HotPolicy::kRafl);  // tiny: 1+2 buckets
+  // Fill the cache with items, find one that landed somewhere, make it hot.
+  for (uint64_t i = 0; i < 12; ++i) hot.put(kv(i));
+  uint64_t hot_id = UINT64_MAX;
+  Value v;
+  for (uint64_t i = 0; i < 12; ++i) {
+    if (hot.search(make_key(i), &v)) {
+      hot_id = i;
+      break;
+    }
+  }
+  ASSERT_NE(hot_id, UINT64_MAX);
+  // The searched item is now hot. Keep touching it while inserting a wave
+  // of cold items; it must survive far longer than chance.
+  int survived = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (uint64_t j = 0; j < 4; ++j) hot.put(kv(1000 + round * 4 + j));
+    if (hot.search(make_key(hot_id), &v)) {
+      ++survived;
+    } else {
+      hot.put(kv(hot_id));  // re-promote, as a real workload would
+    }
+  }
+  EXPECT_GT(survived, 25);
+}
+
+// RAFL Fig 6(b): when every slot is hot, a random eviction happens and all
+// hotmap bits reset, so the bucket cannot be squatted forever.
+TEST(HotTable, RaflAllHotResetsHotmap) {
+  HotTable hot(3 * 2, 2, HotPolicy::kRafl);
+  // Occupy and heat everything reachable.
+  for (uint64_t i = 0; i < 100; ++i) hot.put(kv(i));
+  Value v;
+  for (uint64_t i = 0; i < 100; ++i) hot.search(make_key(i), &v);
+  const uint64_t before = hot.occupied();
+  // New inserts must still land (random eviction path).
+  for (uint64_t i = 1000; i < 1100; ++i) hot.put(kv(i));
+  uint64_t found_new = 0;
+  for (uint64_t i = 1000; i < 1100; ++i) {
+    if (hot.search(make_key(i), &v)) ++found_new;
+  }
+  EXPECT_GT(found_new, 0u);
+  EXPECT_LE(hot.occupied(), hot.total_slots());
+  EXPECT_GE(hot.occupied(), before / 2);
+}
+
+TEST(HotTable, LruEvictsLeastRecentlyUsed) {
+  HotTable hot(3 * 4, 4, HotPolicy::kLru);
+  for (uint64_t i = 0; i < 200; ++i) hot.put(kv(i));
+  // Touch a currently-cached item repeatedly, flood with new ones, and
+  // check the touched item tends to survive.
+  Value v;
+  uint64_t kept = UINT64_MAX;
+  for (uint64_t i = 0; i < 200; ++i) {
+    if (hot.search(make_key(i), &v)) {
+      kept = i;
+      break;
+    }
+  }
+  ASSERT_NE(kept, UINT64_MAX);
+  int survived = 0;
+  for (int round = 0; round < 50; ++round) {
+    hot.search(make_key(kept), &v);  // refresh recency
+    hot.put(kv(5000 + round));
+    if (hot.search(make_key(kept), &v)) ++survived;
+  }
+  EXPECT_GT(survived, 40);
+}
+
+TEST(HotTable, ResetClearsAndResizes) {
+  HotTable hot(256, 4, HotPolicy::kRafl);
+  for (uint64_t i = 0; i < 100; ++i) hot.put(kv(i));
+  EXPECT_GT(hot.occupied(), 0u);
+  hot.reset(1024);
+  EXPECT_EQ(hot.occupied(), 0u);
+  EXPECT_GE(hot.total_slots(), 900u);
+  Value v;
+  EXPECT_FALSE(hot.search(make_key(1), &v));
+  hot.put(kv(1));
+  EXPECT_TRUE(hot.search(make_key(1), &v));
+}
+
+TEST(HotTable, SearchReturnsConsistentValueUnderConcurrentPuts) {
+  HotTable hot(1024, 4, HotPolicy::kRafl);
+  constexpr uint64_t kKey = 7;
+  hot.put(kv(kKey, 0));
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    uint64_t v = 0;
+    while (!stop.load()) hot.put(kv(kKey, ++v % 64));
+  });
+  // Readers must always observe one of the written values, never a torn mix.
+  std::set<uint64_t> valid;
+  for (uint64_t v = 0; v < 64; ++v) {
+    Value val = make_value(v);
+    uint64_t first8;
+    std::memcpy(&first8, val.b, 8);
+    valid.insert(first8);
+  }
+  for (int i = 0; i < 200000; ++i) {
+    Value v;
+    if (hot.search(make_key(kKey), &v)) {
+      uint64_t first8;
+      std::memcpy(&first8, v.b, 8);
+      ASSERT_TRUE(valid.count(first8)) << "torn read";
+    }
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST(HotTable, ConcurrentMixedOpsDoNotCorrupt) {
+  HotTable hot(2048, 4, HotPolicy::kRafl);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Value v;
+      for (uint64_t i = 0; i < 20000; ++i) {
+        const uint64_t id = (i * 7 + t * 13) % 1000;
+        switch (i % 3) {
+          case 0:
+            hot.put(kv(id));
+            break;
+          case 1:
+            if (hot.search(make_key(id), &v)) {
+              // Value must correspond to the key's generator.
+              EXPECT_TRUE(v == make_value(id));
+            }
+            break;
+          case 2:
+            hot.erase(make_key(id));
+            break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(hot.occupied(), hot.total_slots());
+}
+
+class HotTableSlotsParam : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(HotTableSlotsParam, WorksAcrossSlotCounts) {
+  const uint32_t spb = GetParam();
+  HotTable hot(spb * 12, spb, HotPolicy::kRafl);
+  for (uint64_t i = 0; i < 500; ++i) hot.put(kv(i));
+  EXPECT_LE(hot.occupied(), hot.total_slots());
+  // Everything cached must read back correctly.
+  Value v;
+  uint64_t hits = 0;
+  for (uint64_t i = 0; i < 500; ++i) {
+    if (hot.search(make_key(i), &v)) {
+      EXPECT_TRUE(v == make_value(i));
+      ++hits;
+    }
+  }
+  EXPECT_GT(hits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(SlotSweep, HotTableSlotsParam,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace hdnh

@@ -1,0 +1,111 @@
+// Configuration-matrix golden tests: HDNH's feature switches composed in
+// every combination (OCF x hot-table policy x sync mode x promotion), each
+// running a randomized golden-model sequence. Catches interactions between
+// mechanisms that single-switch ablation tests miss.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "hdnh/hdnh.h"
+#include "nvm/alloc.h"
+#include "nvm/pmem.h"
+
+namespace hdnh {
+namespace {
+
+struct MatrixConfig {
+  bool ocf;
+  bool hot;
+  bool lru;
+  bool background;
+  bool promote;
+};
+
+class HdnhConfigMatrix : public ::testing::TestWithParam<MatrixConfig> {};
+
+TEST_P(HdnhConfigMatrix, GoldenModelHolds) {
+  const MatrixConfig& m = GetParam();
+  HdnhConfig cfg;
+  cfg.initial_capacity = 4096;
+  cfg.segment_bytes = 4096;
+  cfg.enable_ocf = m.ocf;
+  cfg.enable_hot_table = m.hot;
+  cfg.hot_policy =
+      m.lru ? HdnhConfig::HotPolicy::kLru : HdnhConfig::HotPolicy::kRafl;
+  cfg.sync_mode = m.background ? HdnhConfig::SyncMode::kBackground
+                               : HdnhConfig::SyncMode::kInline;
+  cfg.promote_on_search = m.promote;
+
+  nvm::PmemPool pool(256ull << 20);
+  nvm::PmemAllocator alloc(pool);
+  Hdnh table(alloc, cfg);
+
+  std::unordered_map<uint64_t, uint64_t> model;
+  Rng rng(0xC0FFEE ^ (m.ocf << 1) ^ (m.hot << 2) ^ (m.lru << 3) ^
+          (m.background << 4) ^ (m.promote << 5));
+  constexpr uint64_t kKeySpace = 2000;
+  Value v;
+  for (int op = 0; op < 25000; ++op) {
+    const uint64_t k = rng.next_below(kKeySpace);
+    const uint64_t vid = rng.next_below(1 << 18);
+    switch (rng.next_below(5)) {
+      case 0:
+      case 1: {
+        const bool hit = table.search(make_key(k), &v);
+        ASSERT_EQ(hit, model.count(k) == 1) << "op " << op;
+        if (hit) ASSERT_TRUE(v == make_value(model[k])) << "op " << op;
+        break;
+      }
+      case 2:
+        if (table.insert(make_key(k), make_value(vid))) model[k] = vid;
+        break;
+      case 3:
+        if (table.update(make_key(k), make_value(vid))) model[k] = vid;
+        break;
+      case 4:
+        ASSERT_EQ(table.erase(make_key(k)), model.erase(k) == 1);
+        break;
+    }
+  }
+  ASSERT_EQ(table.size(), model.size());
+  for (const auto& [k, vid] : model) {
+    ASSERT_TRUE(table.search(make_key(k), &v)) << k;
+    ASSERT_TRUE(v == make_value(vid)) << k;
+  }
+  auto rep = table.check_integrity();
+  EXPECT_TRUE(rep.ok());
+}
+
+std::string matrix_name(const ::testing::TestParamInfo<MatrixConfig>& info) {
+  const MatrixConfig& m = info.param;
+  std::string n;
+  n += m.ocf ? "ocf_" : "noocf_";
+  n += !m.hot ? "nohot" : (m.lru ? "lru" : "rafl");
+  n += m.background ? "_bg" : "_inline";
+  n += m.promote ? "_promote" : "_nopromote";
+  return n;
+}
+
+std::vector<MatrixConfig> matrix_cases() {
+  std::vector<MatrixConfig> cases;
+  for (bool ocf : {true, false}) {
+    for (int hotmode = 0; hotmode < 3; ++hotmode) {  // none / rafl / lru
+      for (bool bg : {false, true}) {
+        for (bool promote : {true, false}) {
+          if (hotmode == 0 && (bg || !promote)) continue;  // no hot: collapse
+          cases.push_back(MatrixConfig{ocf, hotmode != 0, hotmode == 2, bg,
+                                       promote});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, HdnhConfigMatrix,
+                         ::testing::ValuesIn(matrix_cases()), matrix_name);
+
+}  // namespace
+}  // namespace hdnh

@@ -1,0 +1,142 @@
+// Shape tests: the paper's comparative claims, asserted on the emulated
+// device's per-op traffic counters rather than on wall-clock throughput —
+// so they hold on any host and fail if a scheme's cost model regresses.
+//
+// These are the load-bearing facts behind every figure:
+//   Fig 13/14 orderings <- per-op NVM reads/writes below;
+//   Fig 12 rise with skew <- hot-table hit counters;
+//   §3.6 lock claims <- zero search-path writes for HDNH only.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "api/factory.h"
+#include "nvm/alloc.h"
+#include "nvm/pmem.h"
+#include "ycsb/runner.h"
+
+namespace hdnh {
+namespace {
+
+struct PerOp {
+  double reads = 0;
+  double read_blocks = 0;
+  double writes = 0;
+  double write_lines = 0;
+  double hot_hits = 0;
+};
+
+PerOp measure(const std::string& scheme, const ycsb::WorkloadSpec& spec,
+              uint64_t preload = 20000, uint64_t ops = 30000) {
+  const bool grows = spec.insert > 0;
+  nvm::PmemPool pool(pool_bytes_hint(scheme, preload + (grows ? ops : 0)));
+  nvm::PmemAllocator alloc(pool);
+  TableOptions topts;
+  topts.capacity = scheme == "path" ? preload + ops + 1024 : preload;
+  auto table = create_table(scheme, alloc, topts);
+  ycsb::preload(*table, preload);
+  auto r = ycsb::run(*table, spec, preload, ops);
+  const double n = static_cast<double>(r.ops);
+  return PerOp{static_cast<double>(r.nvm.nvm_read_ops) / n,
+               static_cast<double>(r.nvm.nvm_read_blocks) / n,
+               static_cast<double>(r.nvm.nvm_write_ops) / n,
+               static_cast<double>(r.nvm.nvm_write_lines) / n,
+               static_cast<double>(r.nvm.dram_hot_hits) / n};
+}
+
+TEST(Shape, NegativeSearchReadOrdering) {
+  auto spec = ycsb::WorkloadSpec::NegativeRead();
+  const PerOp hdnh = measure("hdnh", spec);
+  const PerOp cceh = measure("cceh", spec);
+  const PerOp level = measure("level", spec);
+  const PerOp path = measure("path", spec);
+  // The OCF claim: misses are resolved in DRAM.
+  EXPECT_LT(hdnh.reads, 0.5);
+  // CCEH probes exactly its linear-probe distance.
+  EXPECT_NEAR(cceh.reads, 4.0, 0.2);
+  // Level probes up to 4 (often exactly 4 on a miss), multi-block buckets.
+  EXPECT_GE(level.reads, 3.0);
+  EXPECT_GT(level.read_blocks, level.reads);  // 132 B buckets span blocks
+  // Path walks both paths through its levels: the O(log B) cost.
+  EXPECT_GE(path.reads, 8.0);
+  // Full ordering.
+  EXPECT_LT(hdnh.reads, cceh.reads);
+  EXPECT_LE(cceh.reads, level.reads + 0.5);
+  EXPECT_LT(level.reads, path.reads);
+}
+
+TEST(Shape, SearchPathWritesOnlyForInNvmLocks) {
+  auto spec = ycsb::WorkloadSpec::ReadOnly();
+  spec.dist = ycsb::Dist::kUniform;
+  // §3.6: HDNH's lock state lives in DRAM — zero NVM writes to read.
+  EXPECT_DOUBLE_EQ(measure("hdnh", spec).writes, 0.0);
+  EXPECT_DOUBLE_EQ(measure("hdnh-nohot", spec).writes, 0.0);
+  // Baselines pay lock+unlock per search (>= 2 line writebacks).
+  EXPECT_GE(measure("cceh", spec).write_lines, 2.0);
+  EXPECT_GE(measure("level", spec).write_lines, 2.0);
+  EXPECT_GE(measure("path", spec).write_lines, 2.0);
+}
+
+TEST(Shape, PositiveSearchReadOrdering) {
+  auto spec = ycsb::WorkloadSpec::ReadOnly();
+  spec.dist = ycsb::Dist::kUniform;
+  const PerOp hdnh = measure("hdnh-nohot", spec);  // isolate the OCF
+  const PerOp cceh = measure("cceh", spec);
+  const PerOp level = measure("level", spec);
+  // With fingerprints, a hit costs ~1 slot read; baselines scan buckets.
+  EXPECT_LT(hdnh.reads, 1.3);
+  EXPECT_GT(cceh.reads, 1.0);
+  EXPECT_GT(level.read_blocks, hdnh.read_blocks);
+}
+
+TEST(Shape, HotTableAbsorbsSkew) {
+  // Fig 12's mechanism: hot-hit fraction rises with zipf skew for HDNH.
+  const PerOp s05 = measure("hdnh", ycsb::WorkloadSpec::ReadOnly(0.5));
+  const PerOp s099 = measure("hdnh", ycsb::WorkloadSpec::ReadOnly(0.99));
+  const PerOp s122 = measure("hdnh", ycsb::WorkloadSpec::ReadOnly(1.22));
+  EXPECT_LT(s05.hot_hits, s099.hot_hits);
+  EXPECT_LT(s099.hot_hits, s122.hot_hits);
+  EXPECT_GT(s122.hot_hits, 0.7);
+  // And NVM reads fall correspondingly.
+  EXPECT_GT(s05.reads, s122.reads);
+}
+
+TEST(Shape, InsertReadTrafficOrdering) {
+  auto spec = ycsb::WorkloadSpec::InsertOnly();
+  const PerOp hdnh = measure("hdnh", spec);
+  const PerOp cceh = measure("cceh", spec);
+  const PerOp level = measure("level", spec);
+  // The OCF resolves the duplicate check in DRAM; baselines probe NVM.
+  EXPECT_LT(hdnh.reads, 1.0);
+  EXPECT_GT(cceh.reads, 2.0);
+  EXPECT_GT(level.reads, 2.0);
+}
+
+TEST(Shape, OcfAblationBlowsUpMissReads) {
+  auto spec = ycsb::WorkloadSpec::NegativeRead();
+  const PerOp with = measure("hdnh-nohot", spec);
+  const PerOp without = measure("hdnh-noocf", spec);
+  EXPECT_GT(without.reads, with.reads * 10);
+}
+
+TEST(Shape, RaflHitRateAtLeastLruUnderHeavySkew) {
+  const PerOp rafl = measure("hdnh", ycsb::WorkloadSpec::ReadOnly(1.22));
+  const PerOp lru = measure("hdnh-lru", ycsb::WorkloadSpec::ReadOnly(1.22));
+  // Both policies cache well; RAFL must not be materially worse, and the
+  // Fig 12 advantage comes from its cheaper maintenance (timed elsewhere).
+  EXPECT_GT(rafl.hot_hits, lru.hot_hits * 0.9);
+}
+
+TEST(Shape, HdnhBucketsAreBlockAligned) {
+  // Every HDNH NVT read touches exactly one 256 B block per slot probe /
+  // bucket scan (no straddling): blocks/op == reads/op for searches.
+  auto spec = ycsb::WorkloadSpec::ReadOnly();
+  spec.dist = ycsb::Dist::kUniform;
+  const PerOp hdnh = measure("hdnh-nohot", spec);
+  EXPECT_DOUBLE_EQ(hdnh.reads, hdnh.read_blocks);
+}
+
+}  // namespace
+}  // namespace hdnh

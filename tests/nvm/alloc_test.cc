@@ -1,0 +1,132 @@
+#include "nvm/alloc.h"
+
+#include <gtest/gtest.h>
+
+#include <new>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace hdnh::nvm {
+namespace {
+
+TEST(PmemAllocator, FormatsFreshPool) {
+  PmemPool pool(1 << 20);
+  PmemAllocator a(pool);
+  EXPECT_FALSE(a.attached_existing());
+  EXPECT_EQ(a.used(), 0u);
+  for (int i = 0; i < PmemAllocator::kRoots; ++i) EXPECT_EQ(a.root(i), 0u);
+}
+
+TEST(PmemAllocator, AllocationsAlignedAndDisjoint) {
+  PmemPool pool(4 << 20);
+  PmemAllocator a(pool);
+  std::set<uint64_t> offs;
+  uint64_t prev_end = 0;
+  for (int i = 0; i < 32; ++i) {
+    const uint64_t off = a.alloc(1000);
+    EXPECT_EQ(off % kNvmBlock, 0u);
+    EXPECT_GE(off, prev_end);
+    prev_end = off + 1024;
+    EXPECT_TRUE(offs.insert(off).second);
+  }
+  EXPECT_GE(a.used(), 32u * 1024);
+}
+
+TEST(PmemAllocator, CustomAlignmentRespected) {
+  PmemPool pool(4 << 20);
+  PmemAllocator a(pool);
+  EXPECT_EQ(a.alloc(100, 4096) % 4096, 0u);
+  EXPECT_EQ(a.alloc(100, 64) % 64, 0u);
+}
+
+TEST(PmemAllocator, ExhaustionThrowsBadAlloc) {
+  PmemPool pool(1 << 20);
+  PmemAllocator a(pool);
+  EXPECT_THROW(a.alloc(2 << 20), std::bad_alloc);
+  // And a small allocation still succeeds afterwards.
+  EXPECT_NO_THROW(a.alloc(256));
+}
+
+TEST(PmemAllocator, FreeListReusesSameSize) {
+  PmemPool pool(4 << 20);
+  PmemAllocator a(pool);
+  const uint64_t off = a.alloc(8192);
+  a.free_block(off, 8192);
+  EXPECT_EQ(a.alloc(8192), off);       // exact-size reuse
+  EXPECT_NE(a.alloc(8192), off);       // only once
+}
+
+TEST(PmemAllocator, RootsPersistAcrossAttach) {
+  PmemPool pool(1 << 20);
+  {
+    PmemAllocator a(pool);
+    const uint64_t off = a.alloc(512);
+    a.set_root(3, off, 512);
+  }
+  PmemAllocator b(pool);  // attach to the already-formatted pool
+  EXPECT_TRUE(b.attached_existing());
+  EXPECT_NE(b.root(3), 0u);
+  EXPECT_EQ(b.root_size(3), 512u);
+  // Bump pointer also persisted: new allocations do not overlap old ones.
+  EXPECT_GE(b.alloc(256), b.root(3) + 512);
+}
+
+TEST(PmemAllocator, AttachAcrossFileBackedRemap) {
+  const std::string path = ::testing::TempDir() + "/alloc_test.pool";
+  std::remove(path.c_str());
+  uint64_t off;
+  {
+    PmemPool pool(1 << 20, NvmConfig{}, path);
+    PmemAllocator a(pool);
+    off = a.alloc(1024);
+    *pool.to_ptr<uint64_t>(off) = 77;
+    pool.persist_fence(pool.to_ptr<uint64_t>(off), 8);
+    a.set_root(0, off, 1024);
+  }
+  {
+    PmemPool pool(1 << 20, NvmConfig{}, path);
+    PmemAllocator a(pool);
+    EXPECT_TRUE(a.attached_existing());
+    EXPECT_EQ(a.root(0), off);
+    EXPECT_EQ(*pool.to_ptr<uint64_t>(off), 77u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PmemAllocator, ConcurrentAllocsDisjoint) {
+  PmemPool pool(16 << 20);
+  PmemAllocator a(pool);
+  constexpr int kThreads = 4;
+  constexpr int kPer = 200;
+  std::vector<std::vector<uint64_t>> got(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPer; ++i) got[t].push_back(a.alloc(300));
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::set<uint64_t> all;
+  for (auto& v : got) {
+    for (uint64_t off : v) EXPECT_TRUE(all.insert(off).second);
+  }
+  EXPECT_EQ(all.size(), static_cast<size_t>(kThreads * kPer));
+}
+
+TEST(PmemAllocator, CrashAfterAllocDoesNotReuseSpace) {
+  // Even if the caller crashed before linking the allocation anywhere, a
+  // re-attach must not hand the same range out again (the bump pointer is
+  // persisted as part of alloc()).
+  PmemPool pool(1 << 20, NvmConfig{});
+  pool.enable_crash_sim();
+  PmemAllocator a(pool);
+  const uint64_t off1 = a.alloc(512);
+  pool.simulate_crash();
+  PmemAllocator b(pool);
+  EXPECT_TRUE(b.attached_existing());
+  EXPECT_GE(b.alloc(512), off1 + 512);
+}
+
+}  // namespace
+}  // namespace hdnh::nvm

@@ -1,0 +1,121 @@
+// The AEP latency model itself: proportionality to blocks/lines, the
+// read/write asymmetry, the scale knob, and the read-amplification
+// accounting that underpins every bench comparison.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/clock.h"
+#include "nvm/pmem.h"
+
+namespace hdnh::nvm {
+namespace {
+
+uint64_t time_ns(const std::function<void()>& fn) {
+  const uint64_t t0 = now_ns();
+  fn();
+  return now_ns() - t0;
+}
+
+// Median of repeated timings: robust against multi-millisecond scheduler
+// preemptions on a loaded single-core host (sums are not).
+uint64_t median_time_ns(int reps, const std::function<void()>& fn) {
+  std::vector<uint64_t> samples;
+  samples.reserve(reps);
+  for (int i = 0; i < reps; ++i) samples.push_back(time_ns(fn));
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+TEST(LatencyModel, ReadCostProportionalToBlocks) {
+  // Interleave the two measurements so scheduler noise (this may run on a
+  // loaded single-core box) hits both sides roughly equally, and use a
+  // spin long enough to dominate call overhead.
+  NvmConfig cfg;
+  cfg.emulate_latency = true;
+  cfg.read_ns_per_block = 50000;
+  PmemPool p(1 << 20, cfg);
+  const uint64_t one = median_time_ns(41, [&] { p.on_read(p.base(), 64); });
+  const uint64_t four =
+      median_time_ns(41, [&] { p.on_read(p.base(), 1024); });
+  EXPECT_GT(four, one * 2);  // nominally 4x; accept >2x under load
+  EXPECT_LT(four, one * 12);
+}
+
+TEST(LatencyModel, WriteCostProportionalToLines) {
+  NvmConfig cfg;
+  cfg.emulate_latency = true;
+  cfg.write_ns_per_line = 50000;
+  PmemPool p(1 << 20, cfg);
+  const uint64_t one = median_time_ns(41, [&] { p.persist(p.base(), 8); });
+  const uint64_t four =
+      median_time_ns(41, [&] { p.persist(p.base(), 256); });
+  EXPECT_GT(four, one * 2);
+  EXPECT_LT(four, one * 12);
+}
+
+TEST(LatencyModel, DefaultAsymmetryReadSlowerThanWrite) {
+  // The §2.1 premise: software-visible read latency (media) exceeds write
+  // latency (ADR). A 256 B block read must cost ~3x a line persist.
+  NvmConfig cfg;
+  cfg.emulate_latency = true;  // 3x asymmetry, scaled up for timing margin
+  cfg.read_ns_per_block = 30000;
+  cfg.write_ns_per_line = 10000;
+  PmemPool p(1 << 20, cfg);
+  const uint64_t reads = median_time_ns(41, [&] { p.on_read(p.base(), 64); });
+  const uint64_t writes = median_time_ns(41, [&] { p.persist(p.base(), 8); });
+  EXPECT_GT(reads, writes * 3 / 2);
+}
+
+TEST(LatencyModel, ScaleKnobScalesCost) {
+  NvmConfig cfg;
+  cfg.emulate_latency = true;
+  cfg.read_ns_per_block = 40000;
+  PmemPool p(1 << 20, cfg);
+  p.set_latency_scale(1.0);
+  const uint64_t full = median_time_ns(41, [&] { p.on_read(p.base(), 64); });
+  p.set_latency_scale(0.25);
+  const uint64_t quarter =
+      median_time_ns(41, [&] { p.on_read(p.base(), 64); });
+  EXPECT_LT(quarter, full * 3 / 4);
+}
+
+TEST(LatencyModel, ZeroScaleIsEffectivelyFree) {
+  NvmConfig cfg;
+  cfg.emulate_latency = true;
+  cfg.read_ns_per_block = 100000;
+  PmemPool p(1 << 20, cfg);
+  p.set_latency_scale(0.0);
+  const uint64_t t = time_ns([&] {
+    for (int i = 0; i < 10000; ++i) p.on_read(p.base(), 64);
+  });
+  EXPECT_LT(t, 50ull * 1000 * 1000);
+}
+
+TEST(ReadAmplification, SmallRecordsPayWholeBlocks) {
+  // A 31-byte record read counts a whole 256 B block — 8.3x amplification,
+  // the §2.1 motivation for making buckets exactly one block.
+  PmemPool p(1 << 20);
+  Stats::reset();
+  for (int i = 0; i < 100; ++i) {
+    p.on_read(p.base() + 256 * i, 31);  // block-aligned records
+  }
+  auto s = Stats::snapshot();
+  EXPECT_EQ(s.nvm_read_blocks, 100u);
+
+  // An unaligned record can straddle two blocks — worse.
+  Stats::reset();
+  p.on_read(p.base() + 240, 31);
+  EXPECT_EQ(Stats::snapshot().nvm_read_blocks, 2u);
+}
+
+TEST(ReadAmplification, HdnhBucketIsExactlyOneBlock) {
+  PmemPool p(1 << 20);
+  Stats::reset();
+  p.on_read(p.base(), 256);
+  EXPECT_EQ(Stats::snapshot().nvm_read_blocks, 1u);
+}
+
+}  // namespace
+}  // namespace hdnh::nvm

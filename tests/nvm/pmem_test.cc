@@ -1,0 +1,200 @@
+#include "nvm/pmem.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+
+namespace hdnh::nvm {
+namespace {
+
+TEST(PmemPool, SizeRoundedToBlock) {
+  PmemPool p(1000);
+  EXPECT_EQ(p.size() % kNvmBlock, 0u);
+  EXPECT_GE(p.size(), 1000u);
+}
+
+TEST(PmemPool, OffsetPointerRoundTrip) {
+  PmemPool p(1 << 20);
+  char* ptr = p.base() + 4096;
+  EXPECT_EQ(p.to_off(ptr), 4096u);
+  EXPECT_EQ(p.to_ptr<char>(4096), ptr);
+  EXPECT_TRUE(p.contains(ptr));
+  EXPECT_FALSE(p.contains(reinterpret_cast<char*>(&p)));
+}
+
+TEST(PmemPool, ReadAccountingBlockGranular) {
+  PmemPool p(1 << 20);
+  Stats::reset();
+  // One byte still touches one 256 B block (AEP read amplification).
+  p.on_read(p.base(), 1);
+  auto s = Stats::snapshot();
+  EXPECT_EQ(s.nvm_read_ops, 1u);
+  EXPECT_EQ(s.nvm_read_blocks, 1u);
+
+  // A read spanning a block boundary touches two blocks.
+  Stats::reset();
+  p.on_read(p.base() + kNvmBlock - 8, 16);
+  s = Stats::snapshot();
+  EXPECT_EQ(s.nvm_read_blocks, 2u);
+
+  // 1 KiB aligned read = 4 blocks.
+  Stats::reset();
+  p.on_read(p.base(), 1024);
+  EXPECT_EQ(Stats::snapshot().nvm_read_blocks, 4u);
+}
+
+TEST(PmemPool, PersistAccountingLineGranular) {
+  PmemPool p(1 << 20);
+  Stats::reset();
+  p.persist(p.base(), 1);
+  EXPECT_EQ(Stats::snapshot().nvm_write_lines, 1u);
+
+  Stats::reset();
+  p.persist(p.base() + kCacheLine - 2, 4);  // straddles a line boundary
+  EXPECT_EQ(Stats::snapshot().nvm_write_lines, 2u);
+
+  Stats::reset();
+  p.persist(p.base(), 1024);
+  EXPECT_EQ(Stats::snapshot().nvm_write_lines, 16u);
+}
+
+TEST(PmemPool, FenceCounted) {
+  PmemPool p(1 << 20);
+  Stats::reset();
+  p.fence();
+  p.fence();
+  EXPECT_EQ(Stats::snapshot().fences, 2u);
+}
+
+TEST(PmemPool, LockRmwChargesLineWriteback) {
+  PmemPool p(1 << 20);
+  Stats::reset();
+  p.on_lock_rmw(p.base());
+  auto s = Stats::snapshot();
+  EXPECT_EQ(s.nvm_read_blocks, 0u);  // lock word is cache-resident
+  EXPECT_EQ(s.nvm_write_lines, 1u);  // but its writeback costs bandwidth
+}
+
+TEST(CrashSim, UnpersistedStoresAreLost) {
+  PmemPool p(1 << 20);
+  p.enable_crash_sim();
+  int* a = p.to_ptr<int>(0);
+  int* b = p.to_ptr<int>(512);
+  *a = 111;
+  *b = 222;
+  p.persist_fence(a, sizeof(int));  // only `a` reaches media
+  p.simulate_crash();
+  EXPECT_EQ(*a, 111);
+  EXPECT_EQ(*b, 0);  // never flushed: gone
+}
+
+TEST(CrashSim, PersistIsCachelineGranular) {
+  PmemPool p(1 << 20);
+  p.enable_crash_sim();
+  char* line = p.base();
+  line[0] = 'x';
+  line[63] = 'y';   // same cacheline
+  line[64] = 'z';   // next cacheline, never persisted
+  p.persist_fence(line, 1);  // flushing byte 0 carries the whole line
+  p.simulate_crash();
+  EXPECT_EQ(line[0], 'x');
+  EXPECT_EQ(line[63], 'y');
+  EXPECT_EQ(line[64], '\0');
+}
+
+TEST(CrashSim, EnableSnapshotsCurrentContents) {
+  PmemPool p(1 << 20);
+  int* a = p.to_ptr<int>(128);
+  *a = 42;  // written before tracking starts
+  p.enable_crash_sim();
+  *a = 43;  // not persisted
+  p.simulate_crash();
+  EXPECT_EQ(*a, 42);
+}
+
+TEST(CrashSim, RandomEvictionMayPersistDirtyLines) {
+  PmemPool p(1 << 16);
+  p.enable_crash_sim();
+  // Dirty every line, evict all lines (n much larger than line count so the
+  // random walk covers everything with overwhelming probability).
+  for (uint64_t i = 0; i < p.size(); i += sizeof(uint64_t)) {
+    *p.to_ptr<uint64_t>(i) = i + 1;
+  }
+  p.evict_random_lines(p.size() / kCacheLine * 64, 7);
+  p.simulate_crash();
+  uint64_t survived = 0;
+  for (uint64_t i = 0; i < p.size(); i += sizeof(uint64_t)) {
+    if (*p.to_ptr<uint64_t>(i) == i + 1) ++survived;
+  }
+  // Eviction is *allowed* to persist anything; with 64x oversampling nearly
+  // everything lands.
+  EXPECT_GT(survived, p.size() / sizeof(uint64_t) * 9 / 10);
+}
+
+TEST(CrashSim, SurvivesMultipleCrashes) {
+  PmemPool p(1 << 20);
+  p.enable_crash_sim();
+  int* a = p.to_ptr<int>(0);
+  *a = 1;
+  p.persist_fence(a, sizeof(int));
+  p.simulate_crash();
+  EXPECT_EQ(*a, 1);
+  *a = 2;  // not persisted
+  p.simulate_crash();
+  EXPECT_EQ(*a, 1);
+  *a = 3;
+  p.persist_fence(a, sizeof(int));
+  p.simulate_crash();
+  EXPECT_EQ(*a, 3);
+}
+
+TEST(FileBacked, ContentsSurviveRemap) {
+  const std::string path = ::testing::TempDir() + "/pmem_test.pool";
+  std::remove(path.c_str());
+  {
+    PmemPool p(1 << 16, NvmConfig{}, path);
+    EXPECT_FALSE(p.recovered());
+    *p.to_ptr<uint64_t>(64) = 0xDEADBEEF;
+    p.persist_fence(p.to_ptr<uint64_t>(64), 8);
+  }
+  {
+    PmemPool p(1 << 16, NvmConfig{}, path);
+    EXPECT_TRUE(p.recovered());
+    EXPECT_EQ(*p.to_ptr<uint64_t>(64), 0xDEADBEEFu);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LatencyModel, EmulationSlowsAccesses) {
+  NvmConfig cfg;
+  cfg.emulate_latency = true;
+  cfg.read_ns_per_block = 20000;  // exaggerated for a robust timing test
+  PmemPool p(1 << 20, cfg);
+  const uint64_t t0 = now_ns();
+  for (int i = 0; i < 100; ++i) p.on_read(p.base(), 1);
+  const uint64_t elapsed = now_ns() - t0;
+  EXPECT_GE(elapsed, 100ull * 20000 * 9 / 10);
+}
+
+TEST(LatencyModel, DisabledIsFast) {
+  PmemPool p(1 << 20);  // emulate_latency defaults off
+  const uint64_t t0 = now_ns();
+  for (int i = 0; i < 100000; ++i) p.on_read(p.base(), 1);
+  EXPECT_LT(now_ns() - t0, 1000ull * 1000 * 500);  // well under 0.5 s
+}
+
+TEST(Stats, PerThreadCountersAggregate) {
+  PmemPool p(1 << 20);
+  Stats::reset();
+  std::thread t1([&] { p.on_read(p.base(), 1); });
+  std::thread t2([&] { p.on_read(p.base(), 1); });
+  t1.join();
+  t2.join();
+  p.on_read(p.base(), 1);
+  EXPECT_EQ(Stats::snapshot().nvm_read_ops, 3u);
+}
+
+}  // namespace
+}  // namespace hdnh::nvm

@@ -1,0 +1,43 @@
+// Shared helpers for constructing pools/tables in tests.
+#pragma once
+
+#include <memory>
+
+#include "api/factory.h"
+#include "hdnh/hdnh.h"
+#include "nvm/alloc.h"
+#include "nvm/pmem.h"
+
+namespace hdnh::testutil {
+
+// A pool + allocator + HDNH table bundle with sane test defaults
+// (no latency emulation, inline hot-table writes).
+struct HdnhPack {
+  explicit HdnhPack(uint64_t pool_bytes, HdnhConfig cfg = {},
+                    bool crash_sim = false)
+      : pool(pool_bytes), alloc(pool) {
+    if (crash_sim) pool.enable_crash_sim();
+    table = std::make_unique<Hdnh>(alloc, cfg);
+  }
+
+  // Abandon the current table object (after an injected crash its volatile
+  // state is garbage) and re-attach a fresh one, running recovery.
+  void reattach(HdnhConfig cfg = {}) {
+    table.release();  // intentional leak: post-crash object must not run
+                      // its destructor (it would write to the pool)
+    table = std::make_unique<Hdnh>(alloc, cfg);
+  }
+
+  nvm::PmemPool pool;
+  nvm::PmemAllocator alloc;
+  std::unique_ptr<Hdnh> table;
+};
+
+inline HdnhConfig small_config(uint64_t capacity = 4096) {
+  HdnhConfig cfg;
+  cfg.initial_capacity = capacity;
+  cfg.segment_bytes = 4 * 1024;
+  return cfg;
+}
+
+}  // namespace hdnh::testutil

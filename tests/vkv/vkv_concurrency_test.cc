@@ -1,0 +1,117 @@
+// Concurrent use of VkvStore (inherits HDNH's per-key linearizability;
+// the value log's append reservation is a CAS).
+#include "vkv/vkv_store.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "nvm/pmem.h"
+
+namespace hdnh::vkv {
+namespace {
+
+TEST(VkvConcurrency, DisjointWritersAllVisible) {
+  nvm::PmemPool pool(1024ull << 20);
+  nvm::PmemAllocator alloc(pool);
+  VkvStore::Options opts;
+  opts.expected_records = 1 << 15;
+  opts.log_bytes = 256ull << 20;
+  VkvStore store(alloc, opts);
+
+  constexpr int kThreads = 4;
+  constexpr int kPer = 3000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPer; ++i) {
+        const std::string key =
+            "t" + std::to_string(t) + "-k" + std::to_string(i);
+        ASSERT_TRUE(store.put(key, "value-" + key));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(store.size(), uint64_t{kThreads} * kPer);
+  std::string v;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPer; ++i) {
+      const std::string key =
+          "t" + std::to_string(t) + "-k" + std::to_string(i);
+      ASSERT_TRUE(store.get(key, &v)) << key;
+      ASSERT_EQ(v, "value-" + key);
+    }
+  }
+}
+
+TEST(VkvConcurrency, ReadersSeeSomeCompleteValueDuringOverwrites) {
+  nvm::PmemPool pool(1024ull << 20);
+  nvm::PmemAllocator alloc(pool);
+  VkvStore::Options opts;
+  opts.log_bytes = 512ull << 20;
+  VkvStore store(alloc, opts);
+  store.put("hot", "v-0");
+
+  std::set<std::string> legal;
+  for (int i = 0; i < 512; ++i) legal.insert("v-" + std::to_string(i % 64));
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    int i = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      store.put("hot", "v-" + std::to_string(i++ % 64));
+    }
+  });
+  std::string v;
+  for (int i = 0; i < 50000; ++i) {
+    ASSERT_TRUE(store.get("hot", &v)) << i;
+    ASSERT_TRUE(legal.count(v)) << "torn/corrupt value: " << v;
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(VkvConcurrency, MixedOpsOnSharedKeyspace) {
+  nvm::PmemPool pool(1024ull << 20);
+  nvm::PmemAllocator alloc(pool);
+  VkvStore::Options opts;
+  opts.log_bytes = 512ull << 20;
+  VkvStore store(alloc, opts);
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(t + 1);
+      std::string v;
+      for (int op = 0; op < 6000; ++op) {
+        const std::string key = "k" + std::to_string(rng.next_below(500));
+        switch (rng.next_below(3)) {
+          case 0:
+            store.put(key, key + "-payload-" + std::to_string(op));
+            break;
+          case 1:
+            if (store.get(key, &v)) {
+              // Any observed value must be for this key.
+              ASSERT_EQ(v.rfind(key + "-payload-", 0), 0u) << v;
+            }
+            break;
+          case 2:
+            store.erase(key);
+            break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(store.index().check_integrity().ok());
+}
+
+}  // namespace
+}  // namespace hdnh::vkv

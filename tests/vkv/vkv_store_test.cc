@@ -1,0 +1,216 @@
+// VkvStore: variable-length KV on the HDNH index + value log.
+#include "vkv/vkv_store.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "nvm/pmem.h"
+
+namespace hdnh::vkv {
+namespace {
+
+struct VkvPack {
+  explicit VkvPack(uint64_t pool_bytes = 512ull << 20,
+                   VkvStore::Options opts = {}) {
+    pool = std::make_unique<nvm::PmemPool>(pool_bytes);
+    alloc = std::make_unique<nvm::PmemAllocator>(*pool);
+    store = std::make_unique<VkvStore>(*alloc, opts);
+  }
+  std::unique_ptr<nvm::PmemPool> pool;
+  std::unique_ptr<nvm::PmemAllocator> alloc;
+  std::unique_ptr<VkvStore> store;
+};
+
+std::string big_value(size_t n, char seed) {
+  std::string s(n, ' ');
+  for (size_t i = 0; i < n; ++i) s[i] = static_cast<char>(seed + i % 23);
+  return s;
+}
+
+TEST(VkvStore, PutGetRoundTripVariableSizes) {
+  VkvPack p;
+  ASSERT_TRUE(p.store->put("alpha", "1"));
+  ASSERT_TRUE(p.store->put("a-much-longer-key-than-16-bytes-indeed",
+                           big_value(10000, 'x')));
+  ASSERT_TRUE(p.store->put("", "empty-key-record"));
+  ASSERT_TRUE(p.store->put("empty-value", ""));
+
+  std::string v;
+  ASSERT_TRUE(p.store->get("alpha", &v));
+  EXPECT_EQ(v, "1");
+  ASSERT_TRUE(p.store->get("a-much-longer-key-than-16-bytes-indeed", &v));
+  EXPECT_EQ(v, big_value(10000, 'x'));
+  ASSERT_TRUE(p.store->get("", &v));
+  EXPECT_EQ(v, "empty-key-record");
+  ASSERT_TRUE(p.store->get("empty-value", &v));
+  EXPECT_EQ(v, "");
+  EXPECT_FALSE(p.store->get("absent", &v));
+  EXPECT_EQ(p.store->size(), 4u);
+}
+
+TEST(VkvStore, PutIsUpsert) {
+  VkvPack p;
+  EXPECT_TRUE(p.store->put("k", "v1"));
+  EXPECT_FALSE(p.store->put("k", "v2-longer-than-before"));
+  std::string v;
+  ASSERT_TRUE(p.store->get("k", &v));
+  EXPECT_EQ(v, "v2-longer-than-before");
+  EXPECT_EQ(p.store->size(), 1u);
+  // The superseded record is accounted dead.
+  EXPECT_LT(p.store->log_utilization(), 1.0);
+}
+
+TEST(VkvStore, EraseSemantics) {
+  VkvPack p;
+  EXPECT_FALSE(p.store->erase("k"));
+  p.store->put("k", "v");
+  EXPECT_TRUE(p.store->erase("k"));
+  std::string v;
+  EXPECT_FALSE(p.store->get("k", &v));
+  EXPECT_FALSE(p.store->erase("k"));
+  EXPECT_EQ(p.store->size(), 0u);
+}
+
+TEST(VkvStore, ManyRecordsWithChurn) {
+  VkvPack p;
+  std::map<std::string, std::string> model;
+  Rng rng(3);
+  for (int op = 0; op < 20000; ++op) {
+    const std::string key = "key-" + std::to_string(rng.next_below(2000));
+    switch (rng.next_below(3)) {
+      case 0: {
+        const std::string val = big_value(1 + rng.next_below(500),
+                                          static_cast<char>('a' + op % 20));
+        p.store->put(key, val);
+        model[key] = val;
+        break;
+      }
+      case 1: {
+        std::string v;
+        const bool hit = p.store->get(key, &v);
+        ASSERT_EQ(hit, model.count(key) == 1) << key;
+        if (hit) ASSERT_EQ(v, model[key]);
+        break;
+      }
+      case 2:
+        ASSERT_EQ(p.store->erase(key), model.erase(key) == 1);
+        break;
+    }
+  }
+  EXPECT_EQ(p.store->size(), model.size());
+  for (const auto& [k, v] : model) {
+    std::string got;
+    ASSERT_TRUE(p.store->get(k, &got)) << k;
+    ASSERT_EQ(got, v) << k;
+  }
+}
+
+TEST(VkvStore, CompactionReclaimsDeadBytes) {
+  VkvStore::Options opts;
+  opts.log_bytes = 8ull << 20;
+  VkvPack p(512ull << 20, opts);
+  // Overwrite the same keys repeatedly: mostly dead bytes.
+  for (int round = 0; round < 20; ++round) {
+    for (int k = 0; k < 100; ++k) {
+      p.store->put("key-" + std::to_string(k),
+                   big_value(1000, static_cast<char>('A' + round)));
+    }
+  }
+  EXPECT_LT(p.store->log_utilization(), 0.2);
+  const uint64_t used_before = p.store->log().used_bytes();
+  const uint64_t reclaimed = p.store->compact();
+  EXPECT_GT(reclaimed, used_before / 2);
+  EXPECT_GT(p.store->log_utilization(), 0.99);
+
+  // Every record survives with its latest value.
+  std::string v;
+  for (int k = 0; k < 100; ++k) {
+    ASSERT_TRUE(p.store->get("key-" + std::to_string(k), &v)) << k;
+    ASSERT_EQ(v, big_value(1000, static_cast<char>('A' + 19)));
+  }
+  // And the store continues to accept writes after the swap.
+  ASSERT_TRUE(p.store->put("post-compact", "ok"));
+  ASSERT_TRUE(p.store->get("post-compact", &v));
+}
+
+TEST(VkvStore, LogFullThrowsAndCompactionRecovers) {
+  VkvStore::Options opts;
+  opts.log_bytes = 1 << 20;
+  VkvPack p(256ull << 20, opts);
+  // Fill with overwrites of one key until the log bursts.
+  bool threw = false;
+  try {
+    for (int i = 0; i < 100000; ++i) {
+      p.store->put("k", big_value(4000, static_cast<char>(i % 90)));
+    }
+  } catch (const std::bad_alloc&) {
+    threw = true;
+  }
+  ASSERT_TRUE(threw);
+  // Almost everything is dead (one live record): compaction frees space.
+  p.store->compact();
+  ASSERT_TRUE(p.store->put("k2", "fits-now"));
+  std::string v;
+  ASSERT_TRUE(p.store->get("k", &v));  // latest successful put survived
+  ASSERT_TRUE(p.store->get("k2", &v));
+}
+
+TEST(VkvStore, SurvivesReattachWithRecovery) {
+  nvm::PmemPool pool(512ull << 20);
+  nvm::PmemAllocator alloc(pool);
+  {
+    VkvStore store(alloc);
+    for (int k = 0; k < 500; ++k) {
+      store.put("key-" + std::to_string(k), big_value(100 + k, 'r'));
+    }
+    store.erase("key-7");
+  }
+  VkvStore again(alloc);
+  EXPECT_EQ(again.size(), 499u);
+  std::string v;
+  for (int k = 0; k < 500; ++k) {
+    const std::string key = "key-" + std::to_string(k);
+    if (k == 7) {
+      EXPECT_FALSE(again.get(key, &v));
+    } else {
+      ASSERT_TRUE(again.get(key, &v)) << k;
+      ASSERT_EQ(v, big_value(100 + k, 'r'));
+    }
+  }
+}
+
+TEST(VkvStore, CrashAfterPutsIsDurable) {
+  nvm::PmemPool pool(512ull << 20);
+  pool.enable_crash_sim();
+  nvm::PmemAllocator alloc(pool);
+  auto* store = new VkvStore(alloc);
+  for (int k = 0; k < 300; ++k) {
+    store->put("key-" + std::to_string(k), big_value(64, 'c'));
+  }
+  pool.simulate_crash();
+  (void)store;  // crashed process: destructor never runs
+
+  VkvStore recovered(alloc);
+  EXPECT_EQ(recovered.size(), 300u);
+  std::string v;
+  for (int k = 0; k < 300; ++k) {
+    ASSERT_TRUE(recovered.get("key-" + std::to_string(k), &v)) << k;
+    ASSERT_EQ(v, big_value(64, 'c'));
+  }
+  // New appends continue beyond the persisted tail (no overwrites).
+  ASSERT_TRUE(recovered.put("after-crash", "yes"));
+  ASSERT_TRUE(recovered.get("after-crash", &v));
+}
+
+TEST(VkvStore, RecordSizeLimitsEnforced) {
+  VkvPack p;
+  EXPECT_THROW(p.store->put(std::string(LogStore::kMaxKey + 1, 'k'), "v"),
+               std::invalid_argument);
+  EXPECT_NO_THROW(p.store->put("k", big_value(1 << 20, 'v')));
+}
+
+}  // namespace
+}  // namespace hdnh::vkv

@@ -1,0 +1,120 @@
+#include "ycsb/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "api/factory.h"
+#include "nvm/alloc.h"
+#include "nvm/pmem.h"
+
+namespace hdnh::ycsb {
+namespace {
+
+struct RunnerPack {
+  RunnerPack() : pool(512ull << 20), alloc(pool) {
+    TableOptions opts;
+    opts.capacity = 1 << 14;
+    table = create_table("hdnh", alloc, opts);
+  }
+  nvm::PmemPool pool;
+  nvm::PmemAllocator alloc;
+  std::unique_ptr<HashTable> table;
+};
+
+TEST(Runner, PreloadInsertsExactRange) {
+  RunnerPack p;
+  preload(*p.table, 5000, 2);
+  EXPECT_EQ(p.table->size(), 5000u);
+  Value v;
+  ASSERT_TRUE(p.table->search(make_key(0), &v));
+  ASSERT_TRUE(p.table->search(make_key(4999), &v));
+  ASSERT_FALSE(p.table->search(make_key(5000), &v));
+}
+
+TEST(Runner, ReadOnlyAllHitsOnPreloadedKeys) {
+  RunnerPack p;
+  preload(*p.table, 4000);
+  auto r = run(*p.table, WorkloadSpec::ReadOnly(), 4000, 10000);
+  EXPECT_EQ(r.ops, 10000u);
+  EXPECT_EQ(r.hits, 10000u);  // positive search: every op hits
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_GT(r.mops(), 0.0);
+}
+
+TEST(Runner, NegativeReadsAllMiss) {
+  RunnerPack p;
+  preload(*p.table, 4000);
+  auto r = run(*p.table, WorkloadSpec::NegativeRead(), 4000, 10000);
+  EXPECT_EQ(r.hits, 0u);
+}
+
+TEST(Runner, InsertOnlyAllSucceedAndGrowTable) {
+  RunnerPack p;
+  preload(*p.table, 2000);
+  auto r = run(*p.table, WorkloadSpec::InsertOnly(), 2000, 8000);
+  EXPECT_EQ(r.hits, 8000u);  // fresh ids: every insert succeeds
+  EXPECT_EQ(p.table->size(), 10000u);
+}
+
+TEST(Runner, DeleteOnlyRemovesDistinctKeys) {
+  RunnerPack p;
+  preload(*p.table, 10000);
+  auto r = run(*p.table, WorkloadSpec::DeleteOnly(), 10000, 6000);
+  EXPECT_EQ(r.hits, 6000u);  // distinct preloaded ids
+  EXPECT_EQ(p.table->size(), 4000u);
+}
+
+TEST(Runner, MixedWorkloadCountsConsistent) {
+  RunnerPack p;
+  preload(*p.table, 5000);
+  auto r = run(*p.table, WorkloadSpec::Mixed5050(), 5000, 20000);
+  EXPECT_EQ(r.ops, 20000u);
+  // Reads all hit (zipf over preloaded keys), inserts all succeed.
+  EXPECT_EQ(r.hits, 20000u);
+  EXPECT_GT(p.table->size(), 5000u);
+}
+
+TEST(Runner, UpdatesHitPreloadedKeys) {
+  RunnerPack p;
+  preload(*p.table, 5000);
+  auto r = run(*p.table, WorkloadSpec::YcsbA(), 5000, 10000);
+  EXPECT_EQ(r.hits, 10000u);
+}
+
+TEST(Runner, MultiThreadedRunCompletes) {
+  RunnerPack p;
+  preload(*p.table, 5000);
+  RunOptions opts;
+  opts.threads = 4;
+  auto r = run(*p.table, WorkloadSpec::YcsbA(), 5000, 40000, opts);
+  EXPECT_EQ(r.ops, 40000u);
+  EXPECT_EQ(r.hits, 40000u);
+}
+
+TEST(Runner, LatencyHistogramPopulatedOnDemand) {
+  RunnerPack p;
+  preload(*p.table, 2000);
+  RunOptions opts;
+  opts.measure_latency = true;
+  auto r = run(*p.table, WorkloadSpec::ReadOnly(), 2000, 5000, opts);
+  EXPECT_EQ(r.latency.count(), 5000u);
+  EXPECT_GT(r.latency.percentile(0.99), 0u);
+
+  RunOptions no_lat;
+  auto r2 = run(*p.table, WorkloadSpec::ReadOnly(), 2000, 1000, no_lat);
+  EXPECT_EQ(r2.latency.count(), 0u);
+}
+
+TEST(Runner, NvmStatsDeltaOnlyCoversRun) {
+  RunnerPack p;
+  preload(*p.table, 5000);
+  auto r1 = run(*p.table, WorkloadSpec::NegativeRead(), 5000, 1000);
+  auto r2 = run(*p.table, WorkloadSpec::NegativeRead(), 5000, 1000);
+  // Two identical runs should report similar (small) deltas — i.e. the
+  // delta is not cumulative.
+  EXPECT_LT(r2.nvm.nvm_read_ops, r1.nvm.nvm_read_ops + 500);
+}
+
+}  // namespace
+}  // namespace hdnh::ycsb

@@ -1,0 +1,51 @@
+#include "ycsb/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace hdnh::ycsb {
+namespace {
+
+TEST(WorkloadSpec, CannedMixesSumToOne) {
+  for (const WorkloadSpec& s :
+       {WorkloadSpec::InsertOnly(), WorkloadSpec::ReadOnly(),
+        WorkloadSpec::NegativeRead(), WorkloadSpec::DeleteOnly(),
+        WorkloadSpec::Mixed5050(), WorkloadSpec::YcsbA(), WorkloadSpec::YcsbB(),
+        WorkloadSpec::YcsbC()}) {
+    EXPECT_NEAR(s.read + s.insert + s.update + s.erase, 1.0, 1e-9) << s.label;
+    EXPECT_FALSE(s.label.empty());
+  }
+}
+
+TEST(WorkloadSpec, YcsbAIsHalfReadHalfUpdate) {
+  const auto a = WorkloadSpec::YcsbA();
+  EXPECT_DOUBLE_EQ(a.read, 0.5);
+  EXPECT_DOUBLE_EQ(a.update, 0.5);
+  EXPECT_DOUBLE_EQ(a.theta, 0.99);
+}
+
+TEST(MakeChooser, DispatchesAllDistributions) {
+  WorkloadSpec s;
+  for (Dist d : {Dist::kUniform, Dist::kZipfian, Dist::kScrambledZipfian,
+                 Dist::kLatest}) {
+    s.dist = d;
+    auto c = make_chooser(s, 1000, 42);
+    ASSERT_NE(c, nullptr);
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(c->next(), 1000u);
+  }
+}
+
+TEST(MakeChooser, SameSeedSameStream) {
+  WorkloadSpec s;
+  s.dist = Dist::kScrambledZipfian;
+  auto a = make_chooser(s, 10000, 7);
+  auto b = make_chooser(s, 10000, 7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a->next(), b->next());
+  auto c = make_chooser(s, 10000, 8);
+  bool differs = false;
+  auto d = make_chooser(s, 10000, 7);
+  for (int i = 0; i < 1000; ++i) differs |= (c->next() != d->next());
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace hdnh::ycsb

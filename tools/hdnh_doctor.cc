@@ -1,0 +1,127 @@
+// hdnh_doctor: inspect and verify a file-backed HDNH pool.
+//
+//   $ ./tools/hdnh_doctor --pool=/tmp/store.pool            # inspect + verify
+//   $ ./tools/hdnh_doctor --pool=/tmp/store.pool --deep     # + full integrity
+//
+// Prints the superblock (level geometry, resize state machine, clean-
+// shutdown marker), the update-log occupancy, and — after attaching, which
+// itself resumes any interrupted resize and replays armed update logs —
+// item counts and recovery timings. --deep additionally runs the full
+// OCF/NVT/hot-table coherence check.
+#include <cstdio>
+#include <string>
+
+#include "common/cli.h"
+#include "hdnh/hdnh.h"
+#include "nvm/alloc.h"
+#include "nvm/pmem.h"
+
+using namespace hdnh;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::string pool_path =
+      cli.get_str("pool", "", "file-backed pool to inspect (required)");
+  const int64_t pool_mb =
+      cli.get_int("pool_mb", 256, "pool size in MiB (must match creator)");
+  const bool deep = cli.get_bool("deep", false, "run full integrity check");
+  cli.finish();
+  if (pool_path.empty()) {
+    std::fprintf(stderr, "need --pool=PATH (see --help)\n");
+    return 2;
+  }
+
+  nvm::PmemPool pool(static_cast<uint64_t>(pool_mb) << 20, nvm::NvmConfig{},
+                     pool_path);
+  if (!pool.recovered()) {
+    std::printf("%s: fresh/empty pool (no prior contents)\n",
+                pool_path.c_str());
+    return 0;
+  }
+  nvm::PmemAllocator alloc(pool);
+  if (!alloc.attached_existing()) {
+    std::printf("%s: no allocator superblock — not an HDNH pool\n",
+                pool_path.c_str());
+    return 1;
+  }
+
+  std::printf("pool: %s (%lld MiB, %llu bytes allocated)\n", pool_path.c_str(),
+              static_cast<long long>(pool_mb),
+              static_cast<unsigned long long>(alloc.used()));
+
+  const uint64_t super_off = alloc.root(Hdnh::kSuperRoot);
+  if (super_off == 0) {
+    std::printf("no HDNH superblock root — pool holds something else\n");
+    return 1;
+  }
+  auto* super = pool.to_ptr<HdnhSuper>(super_off);
+  if (super->magic != HdnhSuper::kMagic) {
+    std::printf("superblock magic mismatch (%016llx) — corrupt?\n",
+                static_cast<unsigned long long>(super->magic));
+    return 1;
+  }
+
+  std::printf("\nsuperblock (pre-attach, as found on media):\n");
+  std::printf("  buckets/segment : %llu (%llu B segments)\n",
+              static_cast<unsigned long long>(super->buckets_per_seg),
+              static_cast<unsigned long long>(super->buckets_per_seg * 256));
+  for (int l = 0; l < 2; ++l) {
+    std::printf("  level %d         : %llu segments @ offset %llu\n", l,
+                static_cast<unsigned long long>(super->level_segs[l]),
+                static_cast<unsigned long long>(super->level_off[l]));
+  }
+  const uint32_t ln = super->level_number.load();
+  std::printf("  resize state    : level_number=%u (%s), resizing_flag=%u, "
+              "rehash_progress=%llu\n",
+              ln,
+              ln == 0   ? "steady"
+              : ln == 2 ? "resize started"
+              : ln == 3 ? "REHASH IN FLIGHT — will resume on attach"
+                        : "unknown",
+              super->resizing_flag,
+              static_cast<unsigned long long>(super->rehash_progress.load()));
+  std::printf("  clean shutdown  : %s (recorded count %llu)\n",
+              super->clean_shutdown ? "yes" : "NO (crash or still open)",
+              static_cast<unsigned long long>(super->clean_item_count));
+
+  const uint64_t log_off = alloc.root(Hdnh::kLogRoot);
+  uint32_t armed = 0;
+  if (log_off != 0) {
+    auto* logs = pool.to_ptr<UpdateLogEntry>(log_off);
+    for (uint32_t i = 0; i < kUpdateLogSlots; ++i) {
+      if (logs[i].state.load() == 1) ++armed;
+    }
+  }
+  std::printf("  update log      : %u/%u entries armed%s\n", armed,
+              kUpdateLogSlots,
+              armed ? " — attach will replay them" : "");
+
+  std::printf("\nattaching (runs §3.7 recovery)...\n");
+  HdnhConfig cfg;
+  Hdnh table(alloc, cfg);
+  const auto rs = table.last_recovery();
+  std::printf("  recovered %llu items in %.2f ms (resumed resize: %s)\n",
+              static_cast<unsigned long long>(rs.items), rs.total_ms,
+              rs.resumed_resize ? "yes" : "no");
+  std::printf("  load factor %.3f over %llu slots, hot table %llu slots\n",
+              table.load_factor(),
+              static_cast<unsigned long long>(table.total_slots()),
+              static_cast<unsigned long long>(table.hot_table_slots()));
+
+  if (deep) {
+    std::printf("\ndeep integrity check...\n");
+    auto rep = table.check_integrity();
+    std::printf("  items=%llu ocf_mismatch=%llu fp_mismatch=%llu busy=%llu "
+                "dups=%llu stale_hot=%llu armed_logs=%llu -> %s\n",
+                static_cast<unsigned long long>(rep.items),
+                static_cast<unsigned long long>(rep.ocf_valid_mismatches),
+                static_cast<unsigned long long>(rep.fingerprint_mismatches),
+                static_cast<unsigned long long>(rep.stuck_busy_entries),
+                static_cast<unsigned long long>(rep.duplicate_keys),
+                static_cast<unsigned long long>(rep.hot_table_stale),
+                static_cast<unsigned long long>(rep.armed_log_entries),
+                rep.ok() ? "OK" : "PROBLEMS FOUND");
+    return rep.ok() ? 0 : 1;
+  }
+  return 0;
+}
