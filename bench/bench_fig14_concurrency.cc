@@ -7,6 +7,7 @@
 // curves flatten, but the per-op NVM traffic columns — the cause the paper
 // argues from — are core-count independent.
 #include <cstdio>
+#include <tuple>
 #include <vector>
 
 #include "common/bench_util.h"
@@ -14,22 +15,33 @@
 using namespace hdnh;
 using namespace hdnh::bench;
 
+namespace {
+
+std::vector<uint32_t> parse_list(const std::string& s) {
+  std::vector<uint32_t> out;
+  for (size_t pos = 0; pos < s.size();) {
+    out.push_back(static_cast<uint32_t>(std::strtoul(&s[pos], nullptr, 10)));
+    pos = s.find(',', pos);
+    if (pos == std::string::npos) break;
+    ++pos;
+  }
+  return out;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   Env env = standard_env(cli, 100000, 300000);
   const std::string thread_list =
       cli.get_str("thread_list", "1,2,4,8,16", "comma-separated thread counts");
+  const std::string shard_list = cli.get_str(
+      "shard_list", "1,4,8",
+      "shard counts for the sharded-HDNH section (section (d))");
   cli.finish();
   print_env("Figure 14: concurrent throughput", env);
 
-  std::vector<uint32_t> threads;
-  for (size_t pos = 0; pos < thread_list.size();) {
-    threads.push_back(
-        static_cast<uint32_t>(std::strtoul(&thread_list[pos], nullptr, 10)));
-    pos = thread_list.find(',', pos);
-    if (pos == std::string::npos) break;
-    ++pos;
-  }
+  const std::vector<uint32_t> threads = parse_list(thread_list);
 
   struct Case {
     const char* name;
@@ -52,6 +64,7 @@ int main(int argc, char** argv) {
     std::printf("   (Mops/s)\n");
     for (uint32_t th : threads) {
       std::printf("%-8u", th);
+      std::vector<std::pair<std::string, ycsb::RunResult>> row;
       for (const std::string& scheme : paper_schemes()) {
         const bool has_insert = c.spec.insert > 0;
         OwnedTable t = make_table(
@@ -65,10 +78,45 @@ int main(int argc, char** argv) {
         auto r = ycsb::run(*t.table, c.spec, env.preload, env.ops, ro);
         std::printf(" %10.3f", r.mops());
         std::fflush(stdout);
+        row.emplace_back(scheme, r);
       }
       std::printf("\n");
+      for (const auto& [scheme, r] : row) print_json_run("fig14", scheme, th, 1, r);
     }
   }
+
+  // (d) the sharded store runtime: same 50/50 mix, HDNH partitioned into N
+  // independent tables. Writers contending on one global resize domain is
+  // the scalability ceiling sharding removes.
+  const std::vector<uint32_t> shard_axis = parse_list(shard_list);
+  std::printf("\n== (d) 50/50 mix, sharded HDNH ==\n");
+  std::printf("%-8s", "threads");
+  for (uint32_t s : shard_axis) std::printf(" %9u@", s);
+  std::printf("   (Mops/s)\n");
+  for (uint32_t th : threads) {
+    std::printf("%-8u", th);
+    std::vector<std::tuple<std::string, uint32_t, ycsb::RunResult>> row;
+    for (uint32_t shards : shard_axis) {
+      const std::string scheme =
+          shards > 1 ? "hdnh@" + std::to_string(shards) : "hdnh";
+      OwnedTable t = make_table(scheme, env.preload + env.ops, env);
+      t.pool->set_emulate_latency(false);
+      ycsb::preload(*t.table, env.preload);
+      t.pool->set_emulate_latency(env.emulate);
+      ycsb::RunOptions ro;
+      ro.threads = th;
+      ro.seed = env.seed;
+      auto r = ycsb::run(*t.table, ycsb::WorkloadSpec::Mixed5050(),
+                         env.preload, env.ops, ro);
+      std::printf(" %10.3f", r.mops());
+      std::fflush(stdout);
+      row.emplace_back(scheme, shards, r);
+    }
+    std::printf("\n");
+    for (const auto& [scheme, shards, r] : row)
+      print_json_run("fig14_sharded", scheme, th, shards, r);
+  }
+
   std::printf("\n(paper @16T: HDNH over CCEH/LEVEL = insert up to 6.9x, "
               "search 1.9x/4.4x, mixed 1.4x/4.3x)\n");
   return 0;

@@ -1,59 +1,103 @@
 // Resize pauses — the "blocking of large segment sizes resizing" effect
 // behind Fig 11(a)'s insert dip, measured directly: per-insert latency
 // percentiles and the maximum stall across a run that crosses several
-// resizes, for varying segment sizes and rehash worker counts.
+// resizes, for varying segment sizes, rehash worker counts, and shard
+// counts. Sharding bounds each resize to 1/N of the keyspace, so the max
+// stall shrinks roughly with the shard count.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/bench_util.h"
 #include "common/clock.h"
 #include "common/histogram.h"
 #include "hdnh/hdnh.h"
+#include "store/sharded_table.h"
 
 using namespace hdnh;
 using namespace hdnh::bench;
 
+namespace {
+
+uint64_t table_resize_count(HashTable& t) {
+  if (auto* h = dynamic_cast<Hdnh*>(&t)) return h->resize_count();
+  if (auto* s = dynamic_cast<store::ShardedTable*>(&t))
+    return s->resize_count();
+  return 0;
+}
+
+std::vector<uint32_t> parse_list(const std::string& s) {
+  std::vector<uint32_t> out;
+  for (size_t pos = 0; pos < s.size();) {
+    out.push_back(static_cast<uint32_t>(std::strtoul(&s[pos], nullptr, 10)));
+    pos = s.find(',', pos);
+    if (pos == std::string::npos) break;
+    ++pos;
+  }
+  return out;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   Env env = standard_env(cli, 4000, 250000);
+  const std::string shard_list = cli.get_str(
+      "shard_list", "1,8", "comma-separated shard counts to sweep");
   cli.finish();
-  print_env("Resize pauses: insert stalls vs segment size / rehash workers",
+  print_env("Resize pauses: insert stalls vs segment size / workers / shards",
             env);
 
-  std::printf("\n%-10s %8s %12s %12s %12s %14s %9s\n", "segment", "workers",
-              "p50(us)", "p99(us)", "p99.9(us)", "max stall(ms)", "resizes");
+  std::printf("\n%-10s %8s %7s %12s %12s %12s %14s %9s\n", "segment",
+              "workers", "shards", "p50(us)", "p99(us)", "p99.9(us)",
+              "max stall(ms)", "resizes");
   for (uint64_t seg : {uint64_t{1024}, uint64_t{16 * 1024},
                        uint64_t{256 * 1024}}) {
     for (uint32_t workers : {1u, 4u}) {
-      TableOptions opts;
-      opts.hdnh.segment_bytes = seg;
-      opts.hdnh.resize_threads = workers;
-      opts.capacity = env.preload;
-      OwnedTable t = make_table("hdnh", env.preload + env.ops, env, opts);
-      ycsb::preload(*t.table, env.preload);
+      for (uint32_t shards : parse_list(shard_list)) {
+        TableOptions opts;
+        opts.hdnh.segment_bytes = seg;
+        opts.hdnh.resize_threads = workers;
+        opts.capacity = env.preload;
+        const std::string scheme =
+            shards > 1 ? "hdnh@" + std::to_string(shards) : "hdnh";
+        OwnedTable t = make_table(scheme, env.preload + env.ops, env, opts);
+        ycsb::preload(*t.table, env.preload);
 
-      Histogram lat;
-      uint64_t max_ns = 0;
-      for (uint64_t i = 0; i < env.ops; ++i) {
-        const uint64_t id = (1 << 20) + i;
-        const uint64_t t0 = now_ns();
-        t.table->insert(make_key(id), make_value(id));
-        const uint64_t d = now_ns() - t0;
-        lat.record(d);
-        max_ns = std::max(max_ns, d);
+        Histogram lat;
+        uint64_t max_ns = 0;
+        for (uint64_t i = 0; i < env.ops; ++i) {
+          const uint64_t id = (1 << 20) + i;
+          const uint64_t t0 = now_ns();
+          t.table->insert(make_key(id), make_value(id));
+          const uint64_t d = now_ns() - t0;
+          lat.record(d);
+          max_ns = std::max(max_ns, d);
+        }
+        const uint64_t resizes = table_resize_count(*t.table);
+        const double max_ms = static_cast<double>(max_ns) / 1e6;
+        const double p99_us =
+            static_cast<double>(lat.percentile(0.99)) / 1e3;
+        std::printf("%-10llu %8u %7u %12.2f %12.2f %12.2f %14.2f %9llu\n",
+                    static_cast<unsigned long long>(seg), workers, shards,
+                    static_cast<double>(lat.percentile(0.5)) / 1e3, p99_us,
+                    static_cast<double>(lat.percentile(0.999)) / 1e3, max_ms,
+                    static_cast<unsigned long long>(resizes));
+        std::fflush(stdout);
+        print_json_line(
+            "resize_pause",
+            {{"scheme", "\"" + scheme + "\""},
+             {"segment_bytes", std::to_string(seg)},
+             {"workers", std::to_string(workers)},
+             {"shards", std::to_string(shards)},
+             {"p99_us", std::to_string(p99_us)},
+             {"max_stall_ms", std::to_string(max_ms)},
+             {"resizes", std::to_string(resizes)}});
       }
-      auto* h = dynamic_cast<Hdnh*>(t.table.get());
-      std::printf("%-10llu %8u %12.2f %12.2f %12.2f %14.2f %9llu\n",
-                  static_cast<unsigned long long>(seg), workers,
-                  static_cast<double>(lat.percentile(0.5)) / 1e3,
-                  static_cast<double>(lat.percentile(0.99)) / 1e3,
-                  static_cast<double>(lat.percentile(0.999)) / 1e3,
-                  static_cast<double>(max_ns) / 1e6,
-                  static_cast<unsigned long long>(h->resize_count()));
-      std::fflush(stdout);
     }
   }
   std::printf("\n(expected: max stall grows with table size at resize; extra "
-              "rehash workers shorten it on multi-core hosts)\n");
+              "rehash workers and extra shards both shorten it — a shard "
+              "resizes 1/N of the keys)\n");
   return 0;
 }

@@ -12,6 +12,8 @@ using namespace hdnh::bench;
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   Env env = standard_env(cli, 150000, 600000);
+  const uint32_t read_batch = static_cast<uint32_t>(cli.get_int(
+      "read_batch", 0, "issue point reads through multiget in batches"));
   cli.finish();
   print_env("YCSB A/B/C suite", env);
 
@@ -37,8 +39,11 @@ int main(int argc, char** argv) {
       ycsb::RunOptions ro;
       ro.threads = env.threads;
       ro.seed = env.seed;
+      ro.read_batch = read_batch;
       auto r = ycsb::run(*t.table, c.spec, env.preload, env.ops, ro);
       print_run_row(std::string(t.table->name()), r);
+      print_json_run(c.name, std::string(t.table->name()), env.threads,
+                     env.shards ? env.shards : 1, r);
       mops[c.name][scheme] = r.mops();
     }
   }

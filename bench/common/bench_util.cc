@@ -13,6 +13,8 @@ Env standard_env(Cli& cli, uint64_t def_preload, uint64_t def_ops,
       cli.get_int("ops", static_cast<int64_t>(def_ops), "timed operations"));
   env.threads = static_cast<uint32_t>(
       cli.get_int("threads", def_threads, "worker threads"));
+  env.shards = static_cast<uint32_t>(cli.get_int(
+      "shards", 0, "partition the store into N shards (0: scheme decides)"));
   env.emulate =
       cli.get_bool("emulate", true, "emulate AEP latency (spin-waits)");
   env.lat_scale =
@@ -24,19 +26,26 @@ Env standard_env(Cli& cli, uint64_t def_preload, uint64_t def_ops,
 OwnedTable make_table(const std::string& scheme, uint64_t max_items,
                       const Env& env, TableOptions opts) {
   OwnedTable t;
+  const SchemeSpec spec = parse_scheme(scheme);
+  // --shards applies when the scheme string itself carries no @N suffix;
+  // an explicit suffix always wins.
+  std::string effective = scheme;
+  if (spec.shards == 0 && env.shards > 1) {
+    effective = spec.base + "@" + std::to_string(env.shards);
+  }
   nvm::NvmConfig cfg;
   cfg.emulate_latency = env.emulate;
   cfg.latency_scale = env.lat_scale;
-  t.pool = std::make_unique<nvm::PmemPool>(pool_bytes_hint(scheme, max_items),
-                                           cfg);
+  t.pool = std::make_unique<nvm::PmemPool>(
+      pool_bytes_hint(effective, max_items), cfg);
   t.alloc = std::make_unique<nvm::PmemAllocator>(*t.pool);
   if (opts.capacity == 0 || opts.capacity == TableOptions{}.capacity) {
     // PATH is static and must be sized for everything it will ever hold;
     // growing schemes start at the preload size, as the paper's runs do.
-    opts.capacity = scheme == "path" ? max_items : env.preload;
+    opts.capacity = spec.base == "path" ? max_items : env.preload;
     if (opts.capacity == 0) opts.capacity = 1024;
   }
-  t.table = create_table(scheme, *t.alloc, opts);
+  t.table = create_table(effective, *t.alloc, opts);
   return t;
 }
 
@@ -63,6 +72,31 @@ void print_run_row(const std::string& label, const ycsb::RunResult& r) {
               static_cast<double>(r.nvm.nvm_read_ops) / ops,
               static_cast<double>(r.nvm.nvm_write_ops) / ops,
               static_cast<double>(r.nvm.dram_hot_hits) / ops);
+  std::fflush(stdout);
+}
+
+void print_json_run(const std::string& bench, const std::string& scheme,
+                    uint32_t threads, uint32_t shards,
+                    const ycsb::RunResult& r) {
+  const double ops = static_cast<double>(r.ops ? r.ops : 1);
+  std::printf(
+      "BENCH_JSON {\"bench\":\"%s\",\"scheme\":\"%s\",\"threads\":%u,"
+      "\"shards\":%u,\"mops\":%.4f,\"nvm_reads_per_op\":%.4f,"
+      "\"nvm_writes_per_op\":%.4f}\n",
+      bench.c_str(), scheme.c_str(), threads, shards, r.mops(),
+      static_cast<double>(r.nvm.nvm_read_ops) / ops,
+      static_cast<double>(r.nvm.nvm_write_ops) / ops);
+  std::fflush(stdout);
+}
+
+void print_json_line(
+    const std::string& bench,
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  std::printf("BENCH_JSON {\"bench\":\"%s\"", bench.c_str());
+  for (const auto& [k, v] : fields) {
+    std::printf(",\"%s\":%s", k.c_str(), v.c_str());
+  }
+  std::printf("}\n");
   std::fflush(stdout);
 }
 

@@ -15,6 +15,8 @@
 
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "api/factory.h"
 #include "common/cli.h"
@@ -28,6 +30,7 @@ struct Env {
   uint64_t preload = 100000;
   uint64_t ops = 900000;
   uint32_t threads = 1;
+  uint32_t shards = 0;  // 0 = scheme string decides (e.g. "hdnh@8")
   bool emulate = true;
   double lat_scale = 1.0;
   uint64_t seed = 42;
@@ -57,5 +60,19 @@ OwnedTable make_table(const std::string& scheme, uint64_t max_items,
 void print_env(const char* title, const Env& env);
 void print_run_row(const std::string& label, const ycsb::RunResult& r);
 void print_run_header();
+
+// Machine-readable result lines for scripted plotting: a single
+//   BENCH_JSON {...}
+// record per run, greppable out of the human-readable output.
+// `print_json_run` covers the standard runner metrics (scheme, threads,
+// shards, Mops/s, NVM read/write blocks per op); `print_json_line` emits
+// arbitrary extra fields — values are written verbatim, so callers quote
+// string values themselves.
+void print_json_run(const std::string& bench, const std::string& scheme,
+                    uint32_t threads, uint32_t shards,
+                    const ycsb::RunResult& r);
+void print_json_line(
+    const std::string& bench,
+    const std::vector<std::pair<std::string, std::string>>& fields);
 
 }  // namespace hdnh::bench

@@ -8,6 +8,12 @@
 //   value id 42
 //   $ ./examples/persistent_kv_cli --pool=/tmp/demo.pool stats
 //
+// --shards=N partitions the store into N independent HDNH shards (see
+// docs/sharding.md). The default --shards=1 keeps the classic single-table
+// pool layout, byte-compatible with pools written by older builds. A
+// sharded pool remembers its shard count: reopening it ignores a
+// conflicting --shards value.
+//
 // Keys and values are u64 ids mapped through make_key/make_value (the
 // library stores fixed 16 B keys / 15 B values).
 #include <cstdio>
@@ -15,9 +21,11 @@
 #include <cstring>
 #include <string>
 
+#include "api/factory.h"
 #include "hdnh/hdnh.h"
 #include "nvm/alloc.h"
 #include "nvm/pmem.h"
+#include "store/sharded_table.h"
 
 using namespace hdnh;
 
@@ -25,7 +33,8 @@ namespace {
 
 int usage(const char* prog) {
   std::fprintf(stderr,
-               "usage: %s [--pool=PATH] (put K V | get K | del K | stats)\n",
+               "usage: %s [--pool=PATH] [--shards=N] "
+               "(put K V | get K | del K | stats)\n",
                prog);
   return 2;
 }
@@ -34,9 +43,16 @@ int usage(const char* prog) {
 
 int main(int argc, char** argv) {
   std::string pool_path = "/tmp/hdnh_demo.pool";
+  uint32_t shards = 1;
   int arg = 1;
-  if (arg < argc && std::strncmp(argv[arg], "--pool=", 7) == 0) {
-    pool_path = argv[arg] + 7;
+  while (arg < argc && std::strncmp(argv[arg], "--", 2) == 0) {
+    if (std::strncmp(argv[arg], "--pool=", 7) == 0) {
+      pool_path = argv[arg] + 7;
+    } else if (std::strncmp(argv[arg], "--shards=", 9) == 0) {
+      shards = static_cast<uint32_t>(std::strtoul(argv[arg] + 9, nullptr, 10));
+    } else {
+      return usage(argv[0]);
+    }
     ++arg;
   }
   if (arg >= argc) return usage(argv[0]);
@@ -44,12 +60,16 @@ int main(int argc, char** argv) {
 
   nvm::PmemPool pool(256ull << 20, nvm::NvmConfig{}, pool_path);
   nvm::PmemAllocator alloc(pool);
-  HdnhConfig cfg;
-  cfg.initial_capacity = 1 << 16;
-  Hdnh table(alloc, cfg);  // attaches + recovers if the file already existed
+  TableOptions topts;
+  topts.capacity = 1 << 16;
+  topts.shards = shards;  // 1 = classic single-table layout (root slot 0)
+  auto table = create_table("hdnh", alloc, topts);
 
   if (pool.recovered()) {
-    auto rs = table.last_recovery();
+    Hdnh::RecoveryStats rs;
+    if (auto* h = dynamic_cast<Hdnh*>(table.get())) rs = h->last_recovery();
+    if (auto* s = dynamic_cast<store::ShardedTable*>(table.get()))
+      rs = s->last_recovery();
     std::printf("(recovered %llu items in %.2f ms)\n",
                 static_cast<unsigned long long>(rs.items), rs.total_ms);
   }
@@ -57,10 +77,10 @@ int main(int argc, char** argv) {
   if (cmd == "put" && arg + 1 < argc) {
     const uint64_t k = std::strtoull(argv[arg], nullptr, 10);
     const uint64_t v = std::strtoull(argv[arg + 1], nullptr, 10);
-    if (table.insert(make_key(k), make_value(v))) {
+    if (table->insert(make_key(k), make_value(v))) {
       std::printf("inserted %llu\n", static_cast<unsigned long long>(k));
     } else {
-      table.update(make_key(k), make_value(v));
+      table->update(make_key(k), make_value(v));
       std::printf("updated %llu\n", static_cast<unsigned long long>(k));
     }
     return 0;
@@ -68,7 +88,7 @@ int main(int argc, char** argv) {
   if (cmd == "get" && arg < argc) {
     const uint64_t k = std::strtoull(argv[arg], nullptr, 10);
     Value v;
-    if (!table.search(make_key(k), &v)) {
+    if (!table->search(make_key(k), &v)) {
       std::printf("(not found)\n");
       return 1;
     }
@@ -85,17 +105,25 @@ int main(int argc, char** argv) {
   }
   if (cmd == "del" && arg < argc) {
     const uint64_t k = std::strtoull(argv[arg], nullptr, 10);
-    std::printf(table.erase(make_key(k)) ? "deleted\n" : "(not found)\n");
+    std::printf(table->erase(make_key(k)) ? "deleted\n" : "(not found)\n");
     return 0;
   }
   if (cmd == "stats") {
     std::printf("pool: %s (%s)\n", pool_path.c_str(),
                 pool.recovered() ? "recovered" : "fresh");
-    std::printf("items=%llu load_factor=%.3f resizes=%llu hot_slots=%llu\n",
-                static_cast<unsigned long long>(table.size()),
-                table.load_factor(),
-                static_cast<unsigned long long>(table.resize_count()),
-                static_cast<unsigned long long>(table.hot_table_slots()));
+    if (auto* s = dynamic_cast<store::ShardedTable*>(table.get())) {
+      std::printf("layout: %u shards\n", s->shards());
+      std::printf("items=%llu load_factor=%.3f resizes=%llu\n",
+                  static_cast<unsigned long long>(table->size()),
+                  table->load_factor(),
+                  static_cast<unsigned long long>(s->resize_count()));
+    } else {
+      auto& h = dynamic_cast<Hdnh&>(*table);
+      std::printf("items=%llu load_factor=%.3f resizes=%llu hot_slots=%llu\n",
+                  static_cast<unsigned long long>(h.size()), h.load_factor(),
+                  static_cast<unsigned long long>(h.resize_count()),
+                  static_cast<unsigned long long>(h.hot_table_slots()));
+    }
     return 0;
   }
   return usage(argv[0]);

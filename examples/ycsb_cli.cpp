@@ -17,9 +17,12 @@ using namespace hdnh;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
-  const std::string scheme =
+  std::string scheme =
       cli.get_str("scheme", "hdnh", "hdnh|hdnh-lru|hdnh-noocf|hdnh-nohot|"
-                                    "hdnh-bg|level|cceh|path");
+                                    "hdnh-bg|level|cceh|path (any scheme "
+                                    "also takes an @N shard suffix)");
+  const uint32_t shards = static_cast<uint32_t>(cli.get_int(
+      "shards", 0, "partition the store into N shards (0: scheme decides)"));
   const std::string workload = cli.get_str(
       "workload", "", "canned mix: a|b|c|insert|read|negread|delete|mixed "
                       "(overrides --read/--insert/...)");
@@ -38,8 +41,19 @@ int main(int argc, char** argv) {
       cli.get_str("dist", "scrambled", "uniform|zipfian|scrambled|latest");
   const bool emulate = cli.get_bool("emulate", true, "AEP latency emulation");
   const bool latency = cli.get_bool("latency", false, "per-op histogram");
+  const uint32_t read_batch = static_cast<uint32_t>(cli.get_int(
+      "read_batch", 0, "issue point reads through multiget in batches"));
   const uint64_t seed = static_cast<uint64_t>(cli.get_int("seed", 42, "seed"));
   cli.finish();
+  try {
+    if (shards > 1 && parse_scheme(scheme).shards == 0) {
+      scheme += "@" + std::to_string(shards);
+    }
+    parse_scheme(scheme);  // reject malformed specs before sizing the pool
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
 
   ycsb::WorkloadSpec spec;
   if (workload == "a") spec = ycsb::WorkloadSpec::YcsbA();
@@ -78,8 +92,14 @@ int main(int argc, char** argv) {
   nvm::PmemPool pool(pool_bytes_hint(scheme, max_items), ncfg);
   nvm::PmemAllocator alloc(pool);
   TableOptions topts;
-  topts.capacity = scheme == "path" ? max_items : preload;
-  auto table = create_table(scheme, alloc, topts);
+  topts.capacity = parse_scheme(scheme).base == "path" ? max_items : preload;
+  std::unique_ptr<HashTable> table;
+  try {
+    table = create_table(scheme, alloc, topts);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
 
   std::printf("%s | %s | preload=%llu ops=%llu threads=%u theta=%.2f\n",
               table->name(), spec.label.c_str(),
@@ -93,6 +113,7 @@ int main(int argc, char** argv) {
   ro.threads = threads;
   ro.seed = seed;
   ro.measure_latency = latency;
+  ro.read_batch = read_batch;
   auto r = ycsb::run(*table, spec, preload, ops, ro);
 
   std::printf("throughput: %.3f Mops/s  (%.3f s, %llu/%llu effective)\n",

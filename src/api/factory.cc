@@ -1,57 +1,151 @@
 #include "api/factory.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "baselines/cceh.h"
 #include "baselines/level_hashing.h"
 #include "baselines/path_hashing.h"
 #include "hdnh/hdnh.h"
+#include "nvm/sharded_layout.h"
+#include "store/sharded_table.h"
 
 namespace hdnh {
 
-std::unique_ptr<HashTable> create_table(const std::string& scheme,
-                                        nvm::PmemAllocator& alloc,
-                                        const TableOptions& opts) {
-  if (scheme == "level") {
+namespace {
+
+std::string known_schemes_message() {
+  std::string msg;
+  for (const auto& s : known_schemes()) {
+    if (!msg.empty()) msg += ", ";
+    msg += s;
+  }
+  return msg + " (each also accepts an @N shard suffix, e.g. \"hdnh@8\")";
+}
+
+std::unique_ptr<HashTable> create_single(const std::string& base,
+                                         nvm::PmemAllocator& alloc,
+                                         const TableOptions& opts) {
+  if (base == "level") {
     return std::make_unique<LevelHashing>(alloc, opts.capacity);
   }
-  if (scheme == "cceh") {
+  if (base == "cceh") {
     return std::make_unique<Cceh>(alloc, opts.capacity,
                                   opts.cceh_segment_bytes);
   }
-  if (scheme == "path") {
+  if (base == "path") {
     return std::make_unique<PathHashing>(alloc, opts.capacity);
   }
 
   HdnhConfig cfg = opts.hdnh;
   cfg.initial_capacity = opts.capacity;
-  if (scheme == "hdnh") {
+  if (base == "hdnh") {
     return std::make_unique<Hdnh>(alloc, cfg);
   }
-  if (scheme == "hdnh-lru") {
+  if (base == "hdnh-lru") {
     cfg.hot_policy = HdnhConfig::HotPolicy::kLru;
     return std::make_unique<Hdnh>(alloc, cfg);
   }
-  if (scheme == "hdnh-noocf") {
+  if (base == "hdnh-noocf") {
     cfg.enable_ocf = false;
     return std::make_unique<Hdnh>(alloc, cfg);
   }
-  if (scheme == "hdnh-nohot") {
+  if (base == "hdnh-nohot") {
     cfg.enable_hot_table = false;
     return std::make_unique<Hdnh>(alloc, cfg);
   }
-  if (scheme == "hdnh-bg") {
+  if (base == "hdnh-bg") {
     cfg.sync_mode = HdnhConfig::SyncMode::kBackground;
     return std::make_unique<Hdnh>(alloc, cfg);
   }
-  throw std::invalid_argument("unknown scheme: " + scheme);
+  throw std::invalid_argument("unknown scheme: \"" + base +
+                              "\"; known schemes: " + known_schemes_message());
+}
+
+uint64_t single_pool_bytes_hint(const std::string& base, uint64_t max_items) {
+  if (base == "level") return LevelHashing::pool_bytes_hint(max_items);
+  if (base == "cceh") return Cceh::pool_bytes_hint(max_items);
+  if (base == "path") return PathHashing::pool_bytes_hint(max_items);
+  return Hdnh::pool_bytes_hint(max_items, HdnhConfig{});
+}
+
+}  // namespace
+
+SchemeSpec parse_scheme(const std::string& scheme) {
+  const size_t at = scheme.find('@');
+  if (at == std::string::npos) return {scheme, 0};
+
+  const std::string base = scheme.substr(0, at);
+  const std::string digits = scheme.substr(at + 1);
+  if (digits.empty() ||
+      !std::all_of(digits.begin(), digits.end(),
+                   [](char c) { return c >= '0' && c <= '9'; }) ||
+      digits.size() > 4) {
+    throw std::invalid_argument("malformed shard suffix in \"" + scheme +
+                                "\": expected \"" + base + "@N\"");
+  }
+  const unsigned long n = std::stoul(digits);
+  if (n == 0 || n > nvm::ShardMapSuper::kMaxShards) {
+    throw std::invalid_argument(
+        "shard count in \"" + scheme + "\" must be in [1, " +
+        std::to_string(nvm::ShardMapSuper::kMaxShards) + "]");
+  }
+  return {base, static_cast<uint32_t>(n)};
+}
+
+std::vector<std::string> known_schemes() {
+  return {"hdnh", "hdnh-lru", "hdnh-noocf", "hdnh-nohot",
+          "hdnh-bg", "level", "cceh", "path"};
+}
+
+std::unique_ptr<HashTable> create_table(const std::string& scheme,
+                                        nvm::PmemAllocator& alloc,
+                                        const TableOptions& opts) {
+  const SchemeSpec spec = parse_scheme(scheme);
+  const auto known = known_schemes();
+  if (std::find(known.begin(), known.end(), spec.base) == known.end()) {
+    throw std::invalid_argument("unknown scheme: \"" + spec.base +
+                                "\"; known schemes: " +
+                                known_schemes_message());
+  }
+  uint32_t shards = spec.shards ? spec.shards : opts.shards;
+  // A pool that already holds a shard map stays sharded no matter what the
+  // caller asks for — opening an "hdnh@4" pool with plain "hdnh" must not
+  // format a second, overlapping table. The layout ctor below then adopts
+  // the persisted shard count the same way.
+  if (shards <= 1 && nvm::ShardedPmemLayout::present(alloc)) shards = 2;
+  if (shards <= 1) return create_single(spec.base, alloc, opts);
+
+  // Sharded store runtime: carve (or re-attach) per-shard regions, then
+  // build one inner table per region. On an attached pool the persisted
+  // carve wins, so the facade always matches what is on media.
+  auto layout = std::make_unique<nvm::ShardedPmemLayout>(alloc, shards);
+  const uint32_t actual = layout->shards();
+  TableOptions inner = opts;
+  inner.shards = 1;
+  inner.capacity = std::max<uint64_t>(opts.capacity / actual, 64);
+
+  std::vector<std::unique_ptr<HashTable>> tables;
+  tables.reserve(actual);
+  for (uint32_t s = 0; s < actual; ++s) {
+    tables.push_back(create_single(spec.base, layout->shard_alloc(s), inner));
+  }
+  std::string name =
+      std::string(tables[0]->name()) + "@" + std::to_string(actual);
+  return std::make_unique<store::ShardedTable>(
+      std::move(layout), std::move(tables), std::move(name));
 }
 
 uint64_t pool_bytes_hint(const std::string& scheme, uint64_t max_items) {
-  if (scheme == "level") return LevelHashing::pool_bytes_hint(max_items);
-  if (scheme == "cceh") return Cceh::pool_bytes_hint(max_items);
-  if (scheme == "path") return PathHashing::pool_bytes_hint(max_items);
-  return Hdnh::pool_bytes_hint(max_items, HdnhConfig{});
+  const SchemeSpec spec = parse_scheme(scheme);
+  const uint32_t shards = spec.shards ? spec.shards : 1;
+  if (shards <= 1) return single_pool_bytes_hint(spec.base, max_items);
+  // Per-shard structures plus the carve's own metadata. The per-shard item
+  // count is rounded up so routing skew never overflows a region.
+  const uint64_t per_shard = (max_items + shards - 1) / shards;
+  return shards * single_pool_bytes_hint(spec.base, per_shard + per_shard / 4) +
+         nvm::ShardedPmemLayout::overhead_bytes(shards) +
+         nvm::PmemAllocator::header_bytes();
 }
 
 std::vector<std::string> paper_schemes() {

@@ -1,6 +1,6 @@
 // Scheme factory: builds any of the hash tables in this repository behind
 // the uniform HashTable interface, so tests and benches select schemes by
-// name. Known schemes:
+// name. Known base schemes:
 //   "hdnh"        the paper's system (OCF + RAFL hot table)
 //   "hdnh-lru"    HDNH with the LRU hot-table baseline (Fig 12 ablation)
 //   "hdnh-noocf"  HDNH without fingerprint filtering (ablation)
@@ -9,6 +9,13 @@
 //   "level"       Level hashing baseline
 //   "cceh"        CCEH baseline
 //   "path"        Path hashing baseline
+//
+// Any base scheme accepts an "@N" suffix ("hdnh@8") selecting the sharded
+// store runtime: N independent inner tables behind a ShardedTable facade,
+// each in its own allocator region of the caller's pool (see
+// docs/sharding.md). "@N" overrides TableOptions::shards; either channel
+// with a value > 1 produces the facade. Capacity and pool-size hints are
+// split per shard.
 #pragma once
 
 #include <memory>
@@ -23,17 +30,38 @@ namespace hdnh {
 
 struct TableOptions {
   // Items the table should accommodate before its first structural growth.
+  // For sharded tables this is the aggregate across shards.
   uint64_t capacity = 1 << 16;
   // Applied to the hdnh* schemes (capacity overrides initial_capacity).
   HdnhConfig hdnh;
   uint64_t cceh_segment_bytes = 16 * 1024;
+  // Hash-partition the table across this many independent shards (1 = the
+  // plain single table). An "@N" suffix on the scheme name takes precedence.
+  uint32_t shards = 1;
 };
+
+// A scheme name split into its base scheme and shard count ("hdnh@8" ->
+// {"hdnh", 8}; no suffix -> shards 0, meaning "not specified").
+struct SchemeSpec {
+  std::string base;
+  uint32_t shards = 0;
+};
+
+// Splits an "base[@N]" scheme name. Throws std::invalid_argument on a
+// malformed suffix (non-numeric, zero, or above the layout's max). Does NOT
+// validate the base name — create_table does, with the full known list.
+SchemeSpec parse_scheme(const std::string& scheme);
+
+// All base scheme names create_table accepts, in presentation order.
+std::vector<std::string> known_schemes();
 
 std::unique_ptr<HashTable> create_table(const std::string& scheme,
                                         nvm::PmemAllocator& alloc,
                                         const TableOptions& opts);
 
-// Conservative PmemPool size for running `max_items` through `scheme`.
+// Conservative PmemPool size for running `max_items` through `scheme`,
+// including — for "@N" names — the shard-map superblock and per-shard
+// allocator metadata.
 uint64_t pool_bytes_hint(const std::string& scheme, uint64_t max_items);
 
 // The four paper schemes, in the paper's presentation order.

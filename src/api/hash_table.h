@@ -13,6 +13,7 @@
 // TableFullError when the pool or structure is exhausted.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 
@@ -33,6 +34,20 @@ class HashTable {
   virtual bool search(const Key& key, Value* out) = 0;
   virtual bool update(const Key& key, const Value& value) = 0;
   virtual bool erase(const Key& key) = 0;
+
+  // Batched lookup: values[i]/found[i] for each keys[i]; returns the number
+  // of hits. Duplicate keys within one batch each get their own answer.
+  // Schemes with a cheaper phased implementation (HDNH, the sharded facade)
+  // override this; the default is n independent searches.
+  virtual size_t multiget(const Key* keys, size_t n, Value* values,
+                          bool* found) {
+    size_t hits = 0;
+    for (size_t i = 0; i < n; ++i) {
+      found[i] = search(keys[i], &values[i]);
+      hits += found[i] ? 1 : 0;
+    }
+    return hits;
+  }
 
   // Number of live items (exact when quiescent; approximate under writes).
   virtual uint64_t size() const = 0;

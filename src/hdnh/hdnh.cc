@@ -1,5 +1,6 @@
 #include "hdnh/hdnh.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 #include <vector>
@@ -996,11 +997,22 @@ Hdnh::IntegrityReport Hdnh::check_integrity() {
 }
 
 uint64_t Hdnh::pool_bytes_hint(uint64_t max_items, const HdnhConfig& cfg) {
-  (void)cfg;
   // Steady structure at ~40% average load, doubled for the resize transient
-  // and for unreclaimed predecessor levels, plus fixed overhead.
+  // and for unreclaimed predecessor levels.
   const uint64_t structure = max_items * sizeof(KVPair) * 3;
-  return structure * 4 + (8ULL << 20);
+  // Explicit fixed costs this table places in its pool: the allocator
+  // header area, the superblock, and the update log. Counting these exactly
+  // (instead of a blanket slush) matters once a pool is carved into many
+  // shard regions, each paying the metadata again.
+  const uint64_t metadata = nvm::PmemAllocator::header_bytes() +
+                            sizeof(HdnhSuper) +
+                            kUpdateLogSlots * sizeof(UpdateLogEntry) +
+                            4 * nvm::kNvmBlock;
+  // Headroom for segment-granular level allocation (resize doubles in
+  // whole segments, so small tables overshoot by a few segments).
+  const uint64_t headroom =
+      std::max<uint64_t>(16 * cfg.segment_bytes, 4ULL << 20);
+  return structure * 4 + metadata + headroom;
 }
 
 }  // namespace hdnh

@@ -70,7 +70,8 @@ class Hdnh final : public HashTable {
   // DRAM structures are walked with better locality than n single calls.
   // Returns the number of hits. Promotion into the hot table is applied to
   // NVT hits exactly as in search().
-  size_t multiget(const Key* keys, size_t n, Value* values, bool* found);
+  size_t multiget(const Key* keys, size_t n, Value* values,
+                  bool* found) override;
 
   uint64_t size() const override {
     return count_.load(std::memory_order_relaxed);

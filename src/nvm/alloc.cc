@@ -5,15 +5,32 @@
 
 namespace hdnh::nvm {
 
-PmemAllocator::PmemAllocator(PmemPool& pool) : pool_(pool) {
+PmemAllocator::PmemAllocator(PmemPool& pool)
+    : pool_(pool), base_(0), bytes_(pool.size()) {
+  format_or_attach();
+}
+
+PmemAllocator::PmemAllocator(PmemPool& pool, uint64_t region_off,
+                             uint64_t region_bytes)
+    : pool_(pool), base_(region_off), bytes_(region_bytes) {
+  if (base_ % kNvmBlock != 0) {
+    throw std::invalid_argument("region_off must be kNvmBlock-aligned");
+  }
+  if (bytes_ < header_bytes() + kNvmBlock || base_ + bytes_ > pool.size()) {
+    throw std::invalid_argument("allocator region out of pool bounds");
+  }
+  format_or_attach();
+}
+
+void PmemAllocator::format_or_attach() {
   Header* h = hdr();
-  if (h->magic == kMagic && h->pool_size == pool_.size()) {
+  if (h->magic == kMagic && h->pool_size == bytes_) {
     attached_ = true;
     return;
   }
   std::memset(static_cast<void*>(h), 0, sizeof(Header));  // raw media format
-  h->pool_size = pool_.size();
-  h->bump.store(kNvmBlock * 2, std::memory_order_relaxed);  // header area
+  h->pool_size = bytes_;
+  h->bump.store(base_ + header_bytes(), std::memory_order_relaxed);
   pool_.persist(h, sizeof(Header));
   pool_.fence();
   // Magic last: a crash mid-format leaves an unformatted pool, not a torn one.
@@ -38,7 +55,7 @@ uint64_t PmemAllocator::alloc(uint64_t size, uint64_t align) {
   uint64_t cur = h->bump.load(std::memory_order_relaxed);
   for (;;) {
     off = (cur + align - 1) / align * align;
-    if (off + size > pool_.size()) throw std::bad_alloc();
+    if (off + size > base_ + bytes_) throw std::bad_alloc();
     if (h->bump.compare_exchange_weak(cur, off + size,
                                       std::memory_order_relaxed)) {
       break;
@@ -70,7 +87,13 @@ void PmemAllocator::set_root(int slot, uint64_t off, uint64_t size) {
 }
 
 uint64_t PmemAllocator::used() const {
-  return hdr()->bump.load(std::memory_order_relaxed) - kNvmBlock * 2;
+  return hdr()->bump.load(std::memory_order_relaxed) - base_ - header_bytes();
+}
+
+uint64_t PmemAllocator::remaining() const {
+  const uint64_t bump = hdr()->bump.load(std::memory_order_relaxed);
+  const uint64_t end = base_ + bytes_;
+  return bump < end ? end - bump : 0;
 }
 
 }  // namespace hdnh::nvm

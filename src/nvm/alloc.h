@@ -1,12 +1,19 @@
 // A small persistent allocator over a PmemPool — the PMDK stand-in.
 //
-// Layout: a header block at offset 0 holds a magic, a persisted bump
-// pointer, and 16 root slots. Durable structures store pool *offsets*, and
-// applications reach their superblocks through the root slots after a
-// restart. Freed blocks go to a volatile size-segregated free list; blocks
-// freed but not reused before a crash leak (standard for PM allocators
-// without offline GC — resizing benches reuse same-size levels, so in
-// practice nothing accumulates).
+// Layout: a header block at the region base (offset 0 for a whole-pool
+// allocator) holds a magic, a persisted bump pointer, and 16 root slots.
+// Durable structures store pool *offsets*, and applications reach their
+// superblocks through the root slots after a restart. Freed blocks go to a
+// volatile size-segregated free list; blocks freed but not reused before a
+// crash leak (standard for PM allocators without offline GC — resizing
+// benches reuse same-size levels, so in practice nothing accumulates).
+//
+// An allocator may also govern a sub-*region* [base, base+bytes) of a pool
+// (the sharded layout carves one region per shard, see sharded_layout.h).
+// Region allocators still hand out absolute pool offsets — consumers
+// address through pool().to_ptr() exactly as before — but bound their bump
+// pointer to the region end, so one shard exhausting its slice throws
+// std::bad_alloc without touching its neighbours.
 #pragma once
 
 #include <atomic>
@@ -28,7 +35,13 @@ class PmemAllocator {
   // the existing layout (restart/recovery path).
   explicit PmemAllocator(PmemPool& pool);
 
+  // Region allocator over [region_off, region_off + region_bytes) of the
+  // pool. `region_off` must be kNvmBlock-aligned. Formats the region header
+  // on first use, attaches on restart.
+  PmemAllocator(PmemPool& pool, uint64_t region_off, uint64_t region_bytes);
+
   PmemPool& pool() { return pool_; }
+  const PmemPool& pool() const { return pool_; }
 
   // True if the constructor attached to an already-formatted pool.
   bool attached_existing() const { return attached_; }
@@ -48,19 +61,33 @@ class PmemAllocator {
   // Bytes handed out so far (excludes header).
   uint64_t used() const;
 
+  // Region this allocator governs (whole pool: 0 / pool.size()).
+  uint64_t region_off() const { return base_; }
+  uint64_t region_bytes() const { return bytes_; }
+  // Bytes still available to alloc() from the bump pointer (ignores the
+  // free lists; a lower bound on what fits).
+  uint64_t remaining() const;
+
+  // Fixed per-allocator metadata cost: the header area reserved at the
+  // region base before the first alloc()-able byte.
+  static constexpr uint64_t header_bytes() { return kNvmBlock * 2; }
+
  private:
   struct Header {
     uint64_t magic;
-    uint64_t pool_size;
+    uint64_t pool_size;  // region size for region allocators
     std::atomic<uint64_t> bump;
     uint64_t root_off[kRoots];
     uint64_t root_size[kRoots];
   };
   static_assert(sizeof(Header) <= kNvmBlock * 2, "header fits two blocks");
 
-  Header* hdr() const { return pool_.to_ptr<Header>(0); }
+  Header* hdr() const { return pool_.to_ptr<Header>(base_); }
+  void format_or_attach();
 
   PmemPool& pool_;
+  uint64_t base_ = 0;
+  uint64_t bytes_ = 0;
   bool attached_ = false;
   std::mutex free_mu_;
   std::map<uint64_t, std::vector<uint64_t>> free_lists_;  // size -> offsets

@@ -1,0 +1,81 @@
+#include "nvm/sharded_layout.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace hdnh::nvm {
+
+ShardedPmemLayout::ShardedPmemLayout(PmemAllocator& parent, uint32_t shards,
+                                     uint64_t bytes_per_shard, int root_slot)
+    : parent_(parent) {
+  PmemPool& pool = parent_.pool();
+
+  const uint64_t map_off = parent_.root(root_slot);
+  if (map_off != 0) {
+    map_ = pool.to_ptr<ShardMapSuper>(map_off);
+    if (map_->magic != ShardMapSuper::kMagic) {
+      throw std::runtime_error("shard map root set but magic mismatch");
+    }
+    attached_ = true;
+    shard_count_ = map_->shard_count;  // the carve on media wins
+    allocs_.reserve(shard_count_);
+    for (uint32_t s = 0; s < shard_count_; ++s) {
+      allocs_.push_back(std::make_unique<PmemAllocator>(
+          pool, map_->shard_off[s], map_->shard_bytes[s]));
+      if (!allocs_.back()->attached_existing()) {
+        throw std::runtime_error("shard region lost its allocator header");
+      }
+    }
+    return;
+  }
+
+  if (shards == 0 || shards > ShardMapSuper::kMaxShards) {
+    throw std::invalid_argument(
+        "shard count must be in [1, " +
+        std::to_string(ShardMapSuper::kMaxShards) + "], got " +
+        std::to_string(shards));
+  }
+
+  const uint64_t map_alloc =
+      parent_.alloc(sizeof(ShardMapSuper), kNvmBlock);
+  map_ = pool.to_ptr<ShardMapSuper>(map_alloc);
+  std::memset(static_cast<void*>(map_), 0, sizeof(ShardMapSuper));
+
+  uint64_t per = bytes_per_shard;
+  if (per == 0) {
+    // Equal split of everything still unallocated, keeping one block per
+    // shard for alignment slack inside alloc().
+    const uint64_t avail = parent_.remaining();
+    const uint64_t slack = static_cast<uint64_t>(shards) * kNvmBlock;
+    if (avail <= slack) throw std::bad_alloc();
+    per = (avail - slack) / shards / kNvmBlock * kNvmBlock;
+  }
+  if (per < PmemAllocator::header_bytes() + kNvmBlock) throw std::bad_alloc();
+
+  shard_count_ = shards;
+  map_->shard_count = shards;
+  allocs_.reserve(shards);
+  for (uint32_t s = 0; s < shards; ++s) {
+    const uint64_t off = parent_.alloc(per, kNvmBlock);
+    map_->shard_off[s] = off;
+    map_->shard_bytes[s] = per;
+    allocs_.push_back(std::make_unique<PmemAllocator>(pool, off, per));
+  }
+
+  pool.persist(map_, sizeof(ShardMapSuper));
+  pool.fence();
+  map_->magic = ShardMapSuper::kMagic;
+  pool.persist_fence(&map_->magic, sizeof(map_->magic));
+  // Root slot last: recovery either sees a complete map or no map at all.
+  parent_.set_root(root_slot, map_alloc, sizeof(ShardMapSuper));
+}
+
+bool ShardedPmemLayout::present(const PmemAllocator& parent, int root_slot) {
+  const uint64_t off = parent.root(root_slot);
+  if (off == 0) return false;
+  return parent.pool().to_ptr<ShardMapSuper>(off)->magic ==
+         ShardMapSuper::kMagic;
+}
+
+}  // namespace hdnh::nvm

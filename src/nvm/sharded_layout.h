@@ -1,0 +1,82 @@
+// Carves one PmemPool into N independent per-shard allocator regions.
+//
+// The parent allocator (whole-pool header at offset 0) stays the owner of
+// the pool; the sharded layout allocates one large region per shard from it
+// and records the carve in a persisted ShardMapSuper reachable through a
+// parent root slot. Each region gets its own PmemAllocator — its own root
+// directory, bump pointer, and exhaustion boundary — so every shard is a
+// fully independent recovery and allocation domain: a table superblock in
+// shard 3's roots is invisible to shard 5, and shard 3 running out of space
+// throws without disturbing its neighbours.
+//
+// Crash safety mirrors the allocator's own format protocol: the shard map
+// is fully written and persisted before its magic, and the magic before the
+// parent root slot is set. A crash mid-format leaves the root slot empty
+// (the next construction re-formats; the partially carved regions leak,
+// which is the allocator's documented crash-leak semantics). On attach the
+// *persisted* shard count wins over the requested one — the carve is part
+// of the pool's durable identity, like a table's geometry.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nvm/alloc.h"
+
+namespace hdnh::nvm {
+
+struct ShardMapSuper {
+  static constexpr uint64_t kMagic = 0x48444E485348524DULL;  // "HDNHSHRM"
+  static constexpr uint32_t kMaxShards = 64;
+
+  uint64_t magic;
+  uint32_t shard_count;
+  uint32_t reserved;
+  uint64_t shard_off[kMaxShards];    // region base, kNvmBlock-aligned
+  uint64_t shard_bytes[kMaxShards];  // region size
+};
+
+class ShardedPmemLayout {
+ public:
+  // Parent root slot holding the shard map. Table superblocks use the low
+  // slots of their own per-shard allocators, so the top parent slot is free.
+  static constexpr int kShardMapRoot = PmemAllocator::kRoots - 1;
+
+  // Formats a fresh carve of `shards` regions (equal split of the parent's
+  // remaining space, or `bytes_per_shard` each when nonzero), or attaches to
+  // the persisted shard map if the pool already carries one — in which case
+  // the persisted shard count overrides `shards`.
+  explicit ShardedPmemLayout(PmemAllocator& parent, uint32_t shards,
+                             uint64_t bytes_per_shard = 0,
+                             int root_slot = kShardMapRoot);
+
+  bool attached_existing() const { return attached_; }
+  uint32_t shards() const { return shard_count_; }
+  PmemAllocator& shard_alloc(uint32_t s) { return *allocs_[s]; }
+  uint64_t shard_off(uint32_t s) const { return map_->shard_off[s]; }
+  uint64_t shard_bytes(uint32_t s) const { return map_->shard_bytes[s]; }
+
+  // True if `parent` already carries a shard map in `root_slot`.
+  static bool present(const PmemAllocator& parent,
+                      int root_slot = kShardMapRoot);
+
+  // Fixed metadata cost of an N-shard carve on top of the payload regions:
+  // the shard-map superblock, each region's allocator header, and one block
+  // of alignment slack per region. pool_bytes_hint uses this so sized pools
+  // do not overflow at high shard counts.
+  static uint64_t overhead_bytes(uint32_t shards) {
+    const uint64_t map = (sizeof(ShardMapSuper) + kNvmBlock - 1) / kNvmBlock *
+                         kNvmBlock;
+    return map + shards * (PmemAllocator::header_bytes() + kNvmBlock);
+  }
+
+ private:
+  PmemAllocator& parent_;
+  ShardMapSuper* map_ = nullptr;
+  uint32_t shard_count_ = 0;
+  bool attached_ = false;
+  std::vector<std::unique_ptr<PmemAllocator>> allocs_;
+};
+
+}  // namespace hdnh::nvm

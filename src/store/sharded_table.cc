@@ -1,0 +1,137 @@
+#include "store/sharded_table.h"
+
+#include <stdexcept>
+
+namespace hdnh::store {
+
+ShardedTable::ShardedTable(std::unique_ptr<nvm::ShardedPmemLayout> layout,
+                           std::vector<std::unique_ptr<HashTable>> shards,
+                           std::string name)
+    : layout_(std::move(layout)),
+      shards_(std::move(shards)),
+      name_(std::move(name)) {
+  if (shards_.empty()) throw std::invalid_argument("sharded table needs >= 1 shard");
+  if (layout_ && layout_->shards() != shards_.size()) {
+    throw std::invalid_argument("layout/table shard count mismatch");
+  }
+}
+
+bool ShardedTable::insert(const Key& key, const Value& value) {
+  return shards_[shard_of(key)]->insert(key, value);
+}
+
+bool ShardedTable::search(const Key& key, Value* out) {
+  return shards_[shard_of(key)]->search(key, out);
+}
+
+bool ShardedTable::update(const Key& key, const Value& value) {
+  return shards_[shard_of(key)]->update(key, value);
+}
+
+bool ShardedTable::erase(const Key& key) {
+  return shards_[shard_of(key)]->erase(key);
+}
+
+size_t ShardedTable::multiget(const Key* keys, size_t n, Value* values,
+                              bool* found) {
+  if (n == 0) return 0;
+  const uint32_t ns = shards();
+  if (ns == 1) return shards_[0]->multiget(keys, n, values, found);
+
+  // Group positions by shard, then run one phased batch per touched shard
+  // and scatter the answers back.
+  std::vector<std::vector<uint32_t>> groups(ns);
+  for (size_t i = 0; i < n; ++i) {
+    groups[shard_of(keys[i])].push_back(static_cast<uint32_t>(i));
+  }
+
+  size_t hits = 0;
+  std::vector<Key> skeys;
+  std::vector<Value> svalues;
+  std::vector<uint8_t> sfound;
+  for (uint32_t s = 0; s < ns; ++s) {
+    const auto& idx = groups[s];
+    if (idx.empty()) continue;
+    skeys.clear();
+    skeys.reserve(idx.size());
+    for (uint32_t i : idx) skeys.push_back(keys[i]);
+    svalues.resize(idx.size());
+    sfound.assign(idx.size(), 0);
+    hits += shards_[s]->multiget(skeys.data(), idx.size(), svalues.data(),
+                                 reinterpret_cast<bool*>(sfound.data()));
+    for (size_t j = 0; j < idx.size(); ++j) {
+      found[idx[j]] = sfound[j] != 0;
+      if (sfound[j]) values[idx[j]] = svalues[j];
+    }
+  }
+  return hits;
+}
+
+uint64_t ShardedTable::size() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) total += s->size();
+  return total;
+}
+
+double ShardedTable::load_factor() const {
+  // Aggregate items / aggregate slots, recovering each shard's slot count
+  // from its own ratio (the interface does not expose slots directly).
+  double slots = 0, items = 0;
+  for (const auto& s : shards_) {
+    const double lf = s->load_factor();
+    const double sz = static_cast<double>(s->size());
+    items += sz;
+    if (lf > 0) slots += sz / lf;
+  }
+  return slots > 0 ? items / slots : 0.0;
+}
+
+Hdnh& ShardedTable::hdnh_shard(uint32_t s) const {
+  auto* h = dynamic_cast<Hdnh*>(shards_[s].get());
+  if (!h) {
+    throw std::logic_error(std::string(name_) +
+                           ": operation requires hdnh shards");
+  }
+  return *h;
+}
+
+void ShardedTable::for_each(
+    const std::function<void(const KVPair&)>& fn) const {
+  for (uint32_t s = 0; s < shards(); ++s) hdnh_shard(s).for_each(fn);
+}
+
+Hdnh::IntegrityReport ShardedTable::check_integrity() {
+  Hdnh::IntegrityReport agg;
+  for (uint32_t s = 0; s < shards(); ++s) {
+    const Hdnh::IntegrityReport r = hdnh_shard(s).check_integrity();
+    agg.items += r.items;
+    agg.ocf_valid_mismatches += r.ocf_valid_mismatches;
+    agg.fingerprint_mismatches += r.fingerprint_mismatches;
+    agg.stuck_busy_entries += r.stuck_busy_entries;
+    agg.duplicate_keys += r.duplicate_keys;
+    agg.hot_table_stale += r.hot_table_stale;
+    agg.armed_log_entries += r.armed_log_entries;
+  }
+  return agg;
+}
+
+Hdnh::RecoveryStats ShardedTable::last_recovery() const {
+  Hdnh::RecoveryStats agg;
+  for (uint32_t s = 0; s < shards(); ++s) {
+    const Hdnh::RecoveryStats r = hdnh_shard(s).last_recovery();
+    agg.ocf_ms += r.ocf_ms;
+    agg.hot_ms += r.hot_ms;
+    agg.total_ms += r.total_ms;
+    agg.items += r.items;
+    agg.resumed_resize = agg.resumed_resize || r.resumed_resize;
+  }
+  return agg;
+}
+
+uint64_t ShardedTable::resize_count() const {
+  uint64_t total = 0;
+  for (uint32_t s = 0; s < shards(); ++s) total += hdnh_shard(s).resize_count();
+  return total;
+}
+
+}  // namespace hdnh::store

@@ -1,0 +1,99 @@
+// ShardedTable — the multi-shard store runtime facade.
+//
+// Hash-partitions the keyspace across N independent inner tables (any
+// scheme), each living in its own ShardedPmemLayout region with its own
+// allocator, root directory, and — for HDNH shards — its own resize lock
+// and resize state machine. The facade implements the uniform HashTable
+// interface, so everything that drives a single table (test battery, YCSB
+// runner, benches) drives a sharded store unchanged.
+//
+// What sharding buys (see docs/sharding.md for the math):
+//   * a structural resize stops only its own shard — the stop-the-world
+//     pause inherited from Level hashing shrinks to ~1/N of the keyspace;
+//   * the N resize locks are taken shared by N disjoint key populations,
+//     multiplying lock throughput under contention;
+//   * recovery and integrity checking are per-shard and independently
+//     resumable — a crash during shard 3's resize replays only shard 3.
+//
+// Shard routing uses a dedicated mix of the primary hash (never the raw
+// h1 % N): the inner tables consume h1/h2 bits for bucket placement, and
+// routing on a bijective remix keeps the per-shard hash distributions
+// uniform instead of conditioning the low bits.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/hash_table.h"
+#include "hdnh/hdnh.h"
+#include "nvm/sharded_layout.h"
+
+namespace hdnh::store {
+
+// Stable routing function: which of `shards` partitions owns `key`.
+inline uint32_t shard_of_key(const Key& key, uint32_t shards) {
+  // Remix so the modulus consumes bits independent from the placement
+  // hashes (mix64 is bijective; conditioning on the shard leaves the inner
+  // tables' h1/h2 uniform).
+  return static_cast<uint32_t>(
+      mix64(key_hash1(key) ^ 0x9E3779B97F4A7C15ULL) % shards);
+}
+
+class ShardedTable final : public HashTable {
+ public:
+  // Takes ownership of the carve and the inner tables (shards[i] lives in
+  // layout->shard_alloc(i)). Built by the factory for "scheme@N" names.
+  ShardedTable(std::unique_ptr<nvm::ShardedPmemLayout> layout,
+               std::vector<std::unique_ptr<HashTable>> shards,
+               std::string name);
+
+  bool insert(const Key& key, const Value& value) override;
+  bool search(const Key& key, Value* out) override;
+  bool update(const Key& key, const Value& value) override;
+  bool erase(const Key& key) override;
+
+  // Groups the batch by shard so each inner table sees one phased batch
+  // (one resize-lock acquisition per touched shard, not per key).
+  size_t multiget(const Key* keys, size_t n, Value* values,
+                  bool* found) override;
+
+  uint64_t size() const override;
+  double load_factor() const override;  // aggregate items / aggregate slots
+  const char* name() const override { return name_.c_str(); }
+
+  uint32_t shards() const { return static_cast<uint32_t>(shards_.size()); }
+  uint32_t shard_of(const Key& key) const {
+    return shard_of_key(key, shards());
+  }
+  HashTable& shard(uint32_t s) { return *shards_[s]; }
+  const nvm::ShardedPmemLayout& layout() const { return *layout_; }
+
+  // ---- HDNH-shard aggregates (throw std::logic_error on non-HDNH inners,
+  // matching the single-table members they forward to) ----
+
+  // Visit every live record across all shards (quiescence caveats as Hdnh).
+  void for_each(const std::function<void(const KVPair&)>& fn) const;
+
+  // Field-wise sum of every shard's deep integrity report.
+  Hdnh::IntegrityReport check_integrity();
+
+  // Merged recovery stats of the last attach: items/timings summed,
+  // resumed_resize true if ANY shard resumed an interrupted resize.
+  Hdnh::RecoveryStats last_recovery() const;
+
+  // Total structural resizes across shards.
+  uint64_t resize_count() const;
+
+ private:
+  Hdnh& hdnh_shard(uint32_t s) const;
+
+  // layout_ declared before shards_ so the inner tables are destroyed
+  // before the regions they live in.
+  std::unique_ptr<nvm::ShardedPmemLayout> layout_;
+  std::vector<std::unique_ptr<HashTable>> shards_;
+  std::string name_;
+};
+
+}  // namespace hdnh::store

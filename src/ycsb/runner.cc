@@ -42,6 +42,24 @@ RunResult run(HashTable& table, const WorkloadSpec& spec, uint64_t preloaded,
     Histogram& hist = hists[tid];
     uint64_t hits = 0;
 
+    const size_t batch = opts.read_batch > 1 ? opts.read_batch : 0;
+    std::vector<Key> batch_keys;
+    std::vector<Value> batch_vals(batch);
+    std::vector<uint8_t> batch_found(batch);
+    if (batch) batch_keys.reserve(batch);
+    auto flush_reads = [&] {
+      if (batch_keys.empty()) return;
+      const uint64_t t0 = opts.measure_latency ? now_ns() : 0;
+      hits += table.multiget(batch_keys.data(), batch_keys.size(),
+                             batch_vals.data(),
+                             reinterpret_cast<bool*>(batch_found.data()));
+      if (opts.measure_latency) {
+        const uint64_t per = (now_ns() - t0) / batch_keys.size();
+        for (size_t j = 0; j < batch_keys.size(); ++j) hist.record(per);
+      }
+      batch_keys.clear();
+    };
+
     barrier.arrive_and_wait();
     if (tid == 0) t_start.store(now_ns(), std::memory_order_relaxed);
 
@@ -57,6 +75,11 @@ RunResult run(HashTable& table, const WorkloadSpec& spec, uint64_t preloaded,
         const uint64_t id = spec.negative_read
                                 ? kNegativeBase + chooser->next()
                                 : chooser->next();
+        if (batch) {
+          batch_keys.push_back(make_key(id));
+          if (batch_keys.size() == batch) flush_reads();
+          continue;  // hits and latency are accounted at flush time
+        }
         Value v;
         ok = table.search(make_key(id), &v);
       } else if (dice < p_insert) {
@@ -74,6 +97,7 @@ RunResult run(HashTable& table, const WorkloadSpec& spec, uint64_t preloaded,
       if (opts.measure_latency) hist.record(now_ns() - t0);
       hits += ok ? 1 : 0;
     }
+    flush_reads();
     total_hits.fetch_add(hits, std::memory_order_relaxed);
     // Last thread out closes the timing window.
     t_end.store(now_ns(), std::memory_order_relaxed);

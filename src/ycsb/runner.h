@@ -17,6 +17,10 @@ struct RunOptions {
   uint32_t threads = 1;
   bool measure_latency = false;
   uint64_t seed = 42;
+  // > 1: point reads are accumulated per thread and issued through
+  // HashTable::multiget in batches of this size (sharded tables regroup
+  // each batch by shard). 0/1 keeps per-key search().
+  uint32_t read_batch = 0;
 };
 
 struct RunResult {

@@ -33,6 +33,82 @@ TEST(Factory, UnknownSchemeThrows) {
                std::invalid_argument);
 }
 
+TEST(Factory, UnknownSchemeErrorListsAllKnownSchemes) {
+  nvm::PmemPool pool(8 << 20);
+  nvm::PmemAllocator alloc(pool);
+  try {
+    create_table("nosuch", alloc, TableOptions{});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("nosuch"), std::string::npos) << msg;
+    for (const auto& known : known_schemes()) {
+      EXPECT_NE(msg.find(known), std::string::npos) << known << ": " << msg;
+    }
+    EXPECT_NE(msg.find("@N"), std::string::npos) << msg;
+  }
+  // The unknown-base check fires for sharded spellings too.
+  EXPECT_THROW(create_table("nosuch@4", alloc, TableOptions{}),
+               std::invalid_argument);
+}
+
+TEST(Factory, ParseSchemeSplitsShardSuffix) {
+  EXPECT_EQ(parse_scheme("hdnh").base, "hdnh");
+  EXPECT_EQ(parse_scheme("hdnh").shards, 0u);
+  EXPECT_EQ(parse_scheme("hdnh@8").base, "hdnh");
+  EXPECT_EQ(parse_scheme("hdnh@8").shards, 8u);
+  EXPECT_EQ(parse_scheme("hdnh-lru@2").base, "hdnh-lru");
+  EXPECT_THROW(parse_scheme("hdnh@"), std::invalid_argument);
+  EXPECT_THROW(parse_scheme("hdnh@x"), std::invalid_argument);
+  EXPECT_THROW(parse_scheme("hdnh@0"), std::invalid_argument);
+  EXPECT_THROW(parse_scheme("hdnh@9999"), std::invalid_argument);
+}
+
+TEST(Factory, ShardSuffixBuildsShardedTable) {
+  nvm::PmemPool pool(512ull << 20);
+  nvm::PmemAllocator alloc(pool);
+  TableOptions opts;
+  opts.capacity = 4096;
+  auto t = create_table("hdnh@4", alloc, opts);
+  EXPECT_STREQ(t->name(), "HDNH@4");
+  for (uint64_t i = 0; i < 2000; ++i)
+    ASSERT_TRUE(t->insert(make_key(i), make_value(i))) << i;
+  EXPECT_EQ(t->size(), 2000u);
+  Value v;
+  for (uint64_t i = 0; i < 2000; ++i)
+    ASSERT_TRUE(t->search(make_key(i), &v)) << i;
+}
+
+TEST(Factory, ReopeningShardedPoolWithPlainSchemeStaysSharded) {
+  nvm::PmemPool pool(512ull << 20);
+  TableOptions opts;
+  opts.capacity = 4096;
+  {
+    nvm::PmemAllocator alloc(pool);
+    auto t = create_table("hdnh@4", alloc, opts);
+    for (uint64_t i = 0; i < 500; ++i)
+      ASSERT_TRUE(t->insert(make_key(i), make_value(i)));
+  }
+  // A plain "hdnh" open must adopt the persisted 4-shard carve instead of
+  // formatting a second single table over the parent allocator.
+  nvm::PmemAllocator alloc(pool);
+  auto t = create_table("hdnh", alloc, opts);
+  EXPECT_STREQ(t->name(), "HDNH@4");
+  Value v;
+  for (uint64_t i = 0; i < 500; ++i)
+    ASSERT_TRUE(t->search(make_key(i), &v)) << i;
+}
+
+TEST(Factory, SuffixOverridesOptionsShards) {
+  nvm::PmemPool pool(512ull << 20);
+  nvm::PmemAllocator alloc(pool);
+  TableOptions opts;
+  opts.capacity = 4096;
+  opts.shards = 8;
+  auto t = create_table("hdnh@2", alloc, opts);
+  EXPECT_STREQ(t->name(), "HDNH@2");
+}
+
 TEST(Factory, SchemeVariantsConfigured) {
   nvm::PmemPool pool(256ull << 20);
   nvm::PmemAllocator alloc(pool);

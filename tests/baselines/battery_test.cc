@@ -116,8 +116,35 @@ TEST_P(SchemeBattery, MixedChurnKeepsIntegrity) {
   }
 }
 
+TEST_P(SchemeBattery, MultigetMatchesSearch) {
+  constexpr uint64_t kN = 2500;
+  for (uint64_t i = 0; i < kN; ++i)
+    ASSERT_TRUE(table_->insert(make_key(i), make_value(i)));
+  std::vector<Key> keys;
+  for (uint64_t i = 0; i < 400; ++i) {
+    // Hits, misses, and a duplicate every 16 positions.
+    keys.push_back(make_key(i % 16 == 0 ? 3 : (i % 3 ? i : (1ull << 32) + i)));
+  }
+  std::vector<Value> values(keys.size());
+  std::vector<uint8_t> found(keys.size());
+  const size_t hits =
+      table_->multiget(keys.data(), keys.size(), values.data(),
+                       reinterpret_cast<bool*>(found.data()));
+  size_t expect = 0;
+  Value v;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const bool single = table_->search(keys[i], &v);
+    ASSERT_EQ(found[i] != 0, single) << i;
+    if (single) {
+      ASSERT_TRUE(values[i] == v) << i;
+      ++expect;
+    }
+  }
+  EXPECT_EQ(hits, expect);
+}
+
 TEST_P(SchemeBattery, GrowsBeyondInitialCapacity) {
-  if (scheme_ == "path") {
+  if (parse_scheme(scheme_).base == "path") {
     // PATH is static by design: it must keep working up to its sizing
     // target and throw TableFullError beyond structural exhaustion.
     uint64_t inserted = 0;
@@ -190,11 +217,14 @@ TEST_P(SchemeBattery, ConcurrentReadersDuringWrites) {
 INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeBattery,
                          ::testing::Values("hdnh", "hdnh-lru", "hdnh-noocf",
                                            "hdnh-nohot", "hdnh-bg", "level",
-                                           "cceh", "path"),
+                                           "cceh", "path",
+                                           // the sharded store runtime must
+                                           // honour the same contract
+                                           "hdnh@4", "level@2"),
                          [](const auto& info) {
                            std::string n = info.param;
                            for (auto& c : n)
-                             if (c == '-') c = '_';
+                             if (c == '-' || c == '@') c = '_';
                            return n;
                          });
 

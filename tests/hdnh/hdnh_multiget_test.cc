@@ -60,6 +60,41 @@ TEST(HdnhMultiget, EmptyAndSingletonBatches) {
   EXPECT_FALSE(f);
 }
 
+TEST(HdnhMultiget, DuplicateKeysInBatch) {
+  HdnhPack p(32 << 20, small_config());
+  p.table->insert(make_key(5), make_value(55));
+  p.table->insert(make_key(9), make_value(99));
+  std::vector<Key> keys = {make_key(5), make_key(5), make_key(777),
+                           make_key(9), make_key(5)};
+  std::vector<Value> values(keys.size());
+  std::vector<uint8_t> found(keys.size());
+  const size_t hits =
+      p.table->multiget(keys.data(), keys.size(), values.data(),
+                        reinterpret_cast<bool*>(found.data()));
+  EXPECT_EQ(hits, 4u);  // each duplicate occurrence counts
+  EXPECT_TRUE(found[0] && found[1] && found[3] && found[4]);
+  EXPECT_FALSE(found[2]);
+  EXPECT_TRUE(values[0] == make_value(55));
+  EXPECT_TRUE(values[1] == make_value(55));
+  EXPECT_TRUE(values[3] == make_value(99));
+  EXPECT_TRUE(values[4] == make_value(55));
+}
+
+TEST(HdnhMultiget, AllMissBatch) {
+  HdnhPack p(32 << 20, small_config());
+  for (uint64_t i = 0; i < 100; ++i)
+    p.table->insert(make_key(i), make_value(i));
+  constexpr size_t kBatch = 300;
+  std::vector<Key> keys;
+  for (size_t i = 0; i < kBatch; ++i) keys.push_back(make_key((1ull << 40) + i));
+  std::vector<Value> values(kBatch);
+  std::vector<uint8_t> found(kBatch, 1);
+  EXPECT_EQ(p.table->multiget(keys.data(), kBatch, values.data(),
+                              reinterpret_cast<bool*>(found.data())),
+            0u);
+  for (size_t i = 0; i < kBatch; ++i) EXPECT_FALSE(found[i]) << i;
+}
+
 TEST(HdnhMultiget, PromotesIntoHotTable) {
   HdnhConfig cfg = small_config(4096);
   cfg.hot_capacity_ratio = 1.0;

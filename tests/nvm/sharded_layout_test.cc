@@ -1,0 +1,132 @@
+#include "nvm/sharded_layout.h"
+
+#include <gtest/gtest.h>
+
+#include <new>
+
+#include "nvm/pmem.h"
+
+namespace hdnh::nvm {
+namespace {
+
+TEST(ShardedLayout, CarvesDisjointRegions) {
+  PmemPool pool(64ull << 20);
+  PmemAllocator parent(pool);
+  ShardedPmemLayout layout(parent, 4);
+  ASSERT_EQ(layout.shards(), 4u);
+  EXPECT_FALSE(layout.attached_existing());
+
+  for (uint32_t s = 0; s < 4; ++s) {
+    const uint64_t off = layout.shard_off(s);
+    const uint64_t bytes = layout.shard_bytes(s);
+    EXPECT_EQ(off % kNvmBlock, 0u) << s;
+    EXPECT_GT(bytes, 0u) << s;
+    EXPECT_LE(off + bytes, pool.size()) << s;
+    for (uint32_t t = s + 1; t < 4; ++t) {
+      const bool disjoint = off + bytes <= layout.shard_off(t) ||
+                            layout.shard_off(t) + layout.shard_bytes(t) <= off;
+      EXPECT_TRUE(disjoint) << s << " vs " << t;
+    }
+  }
+}
+
+TEST(ShardedLayout, ShardAllocatorsAreIndependent) {
+  PmemPool pool(32ull << 20);
+  PmemAllocator parent(pool);
+  ShardedPmemLayout layout(parent, 2);
+
+  // Each shard has its own root directory.
+  layout.shard_alloc(0).set_root(0, 1234, 8);
+  EXPECT_EQ(layout.shard_alloc(0).root(0), 1234u);
+  EXPECT_EQ(layout.shard_alloc(1).root(0), 0u);
+
+  // Offsets handed out are absolute and stay inside the shard's region.
+  const uint64_t off = layout.shard_alloc(1).alloc(kNvmBlock);
+  EXPECT_GE(off, layout.shard_off(1));
+  EXPECT_LT(off, layout.shard_off(1) + layout.shard_bytes(1));
+}
+
+TEST(ShardedLayout, ExhaustingOneShardThrowsWithoutTouchingOthers) {
+  PmemPool pool(16ull << 20);
+  PmemAllocator parent(pool);
+  ShardedPmemLayout layout(parent, 4);
+
+  auto& a0 = layout.shard_alloc(0);
+  EXPECT_THROW(
+      {
+        for (;;) a0.alloc(1 << 20);
+      },
+      std::bad_alloc);
+  // Shard 3 still has its full region available.
+  EXPECT_NO_THROW(layout.shard_alloc(3).alloc(1 << 20));
+}
+
+TEST(ShardedLayout, AttachRestoresPersistedCarve) {
+  PmemPool pool(32ull << 20);
+  uint64_t offs[3];
+  {
+    PmemAllocator parent(pool);
+    ShardedPmemLayout layout(parent, 3);
+    for (uint32_t s = 0; s < 3; ++s) {
+      offs[s] = layout.shard_off(s);
+      layout.shard_alloc(s).set_root(0, 100 + s, 8);
+    }
+  }
+  // Fresh allocator objects over the same pool: persisted carve wins, even
+  // when the caller asks for a different shard count.
+  PmemAllocator parent(pool);
+  ASSERT_TRUE(parent.attached_existing());
+  ASSERT_TRUE(ShardedPmemLayout::present(parent));
+  ShardedPmemLayout layout(parent, 8);
+  EXPECT_TRUE(layout.attached_existing());
+  ASSERT_EQ(layout.shards(), 3u);
+  for (uint32_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(layout.shard_off(s), offs[s]) << s;
+    EXPECT_EQ(layout.shard_alloc(s).root(0), 100 + s) << s;
+  }
+}
+
+TEST(ShardedLayout, RejectsBadShardCounts) {
+  PmemPool pool(16ull << 20);
+  PmemAllocator parent(pool);
+  EXPECT_THROW(ShardedPmemLayout(parent, 0), std::invalid_argument);
+  EXPECT_THROW(ShardedPmemLayout(parent, ShardMapSuper::kMaxShards + 1),
+               std::invalid_argument);
+}
+
+TEST(ShardedLayout, OverheadHintCoversMetadata) {
+  // A pool sized as N * region + overhead must successfully carve regions
+  // of at least `region` bytes each.
+  const uint64_t region = 4ull << 20;
+  for (uint32_t shards : {1u, 8u, 64u}) {
+    const uint64_t bytes = shards * region +
+                           ShardedPmemLayout::overhead_bytes(shards) +
+                           PmemAllocator::header_bytes();
+    PmemPool pool(bytes);
+    PmemAllocator parent(pool);
+    ShardedPmemLayout layout(parent, shards);
+    for (uint32_t s = 0; s < shards; ++s) {
+      EXPECT_GE(layout.shard_bytes(s), region - kNvmBlock) << shards;
+    }
+  }
+}
+
+TEST(RegionAllocator, WholePoolBehaviourUnchanged) {
+  PmemPool pool(8ull << 20);
+  PmemAllocator alloc(pool);
+  EXPECT_EQ(alloc.region_off(), 0u);
+  EXPECT_EQ(alloc.region_bytes(), pool.size());
+  const uint64_t before = alloc.remaining();
+  alloc.alloc(kNvmBlock);
+  EXPECT_EQ(alloc.remaining(), before - kNvmBlock);
+}
+
+TEST(RegionAllocator, RejectsMisalignedOrOversizedRegions) {
+  PmemPool pool(8ull << 20);
+  EXPECT_THROW(PmemAllocator(pool, 100, 1 << 20), std::invalid_argument);
+  EXPECT_THROW(PmemAllocator(pool, 0, pool.size() + kNvmBlock),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hdnh::nvm

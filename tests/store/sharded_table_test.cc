@@ -1,0 +1,357 @@
+// ShardedTable facade: routing, grouped multiget, per-shard resize
+// independence, and crash injection through the facade — one shard's
+// interrupted resize must recover without disturbing its neighbours.
+#include "store/sharded_table.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/factory.h"
+#include "nvm/alloc.h"
+#include "nvm/pmem.h"
+
+namespace hdnh {
+namespace {
+
+// Pool + parent allocator + factory-built sharded table, rebuildable after
+// a simulated crash (mirrors testutil::HdnhPack for the facade).
+struct ShardedPack {
+  ShardedPack(uint64_t pool_bytes, uint32_t shards, uint64_t capacity,
+              bool crash_sim = false)
+      : pool(pool_bytes), scheme("hdnh@" + std::to_string(shards)) {
+    if (crash_sim) pool.enable_crash_sim();
+    opts.capacity = capacity;
+    opts.hdnh.segment_bytes = 4 * 1024;
+    attach();
+  }
+
+  void attach() {
+    alloc = std::make_unique<nvm::PmemAllocator>(pool);
+    table = create_table(scheme, *alloc, opts);
+  }
+
+  // Post-crash: abandon the poisoned objects (never run their destructors)
+  // and re-attach, running per-shard recovery.
+  void reattach() {
+    table.release();
+    alloc.release();
+    attach();
+  }
+
+  store::ShardedTable* sharded() {
+    return static_cast<store::ShardedTable*>(table.get());
+  }
+  Hdnh* shard_hdnh(uint32_t s) {
+    return dynamic_cast<Hdnh*>(&sharded()->shard(s));
+  }
+
+  nvm::PmemPool pool;
+  std::string scheme;
+  TableOptions opts;
+  std::unique_ptr<nvm::PmemAllocator> alloc;
+  std::unique_ptr<HashTable> table;
+};
+
+// First `n` ids routed to shard `target` of `shards`, starting at `from`.
+std::vector<uint64_t> ids_for_shard(uint32_t target, uint32_t shards,
+                                    size_t n, uint64_t from = 0) {
+  std::vector<uint64_t> ids;
+  for (uint64_t id = from; ids.size() < n; ++id) {
+    if (store::shard_of_key(make_key(id), shards) == target) ids.push_back(id);
+  }
+  return ids;
+}
+
+TEST(ShardedTable, RoutingUsesEveryShardRoughlyEvenly) {
+  constexpr uint32_t kShards = 8;
+  std::vector<uint64_t> counts(kShards, 0);
+  constexpr uint64_t kN = 40000;
+  for (uint64_t id = 0; id < kN; ++id) {
+    const uint32_t s = store::shard_of_key(make_key(id), kShards);
+    ASSERT_LT(s, kShards);
+    counts[s]++;
+  }
+  for (uint32_t s = 0; s < kShards; ++s) {
+    EXPECT_GT(counts[s], kN / kShards / 2) << s;
+    EXPECT_LT(counts[s], kN / kShards * 2) << s;
+  }
+}
+
+TEST(ShardedTable, OpsForwardToOwningShardOnly) {
+  ShardedPack p(256ull << 20, 4, 4096);
+  ASSERT_EQ(p.sharded()->shards(), 4u);
+  constexpr uint64_t kN = 5000;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(p.table->insert(make_key(i), make_value(i))) << i;
+  }
+  EXPECT_EQ(p.table->size(), kN);
+
+  // Each record lives in exactly the shard the router names.
+  uint64_t sum = 0;
+  for (uint32_t s = 0; s < 4; ++s) {
+    const uint64_t n = p.sharded()->shard(s).size();
+    EXPECT_GT(n, 0u) << s;
+    sum += n;
+  }
+  EXPECT_EQ(sum, kN);
+  Value v;
+  for (uint64_t i = 0; i < kN; ++i) {
+    const uint32_t owner = p.sharded()->shard_of(make_key(i));
+    ASSERT_TRUE(p.sharded()->shard(owner).search(make_key(i), &v)) << i;
+    for (uint32_t s = 0; s < 4; ++s) {
+      if (s != owner) {
+        ASSERT_FALSE(p.sharded()->shard(s).search(make_key(i), &v)) << i;
+      }
+    }
+  }
+
+  // update/erase route the same way.
+  ASSERT_TRUE(p.table->update(make_key(3), make_value(99)));
+  ASSERT_TRUE(p.table->search(make_key(3), &v));
+  EXPECT_TRUE(v == make_value(99));
+  ASSERT_TRUE(p.table->erase(make_key(3)));
+  EXPECT_FALSE(p.table->search(make_key(3), &v));
+  EXPECT_EQ(p.table->size(), kN - 1);
+  EXPECT_GT(p.table->load_factor(), 0.0);
+  EXPECT_LE(p.table->load_factor(), 1.0);
+  EXPECT_STREQ(p.table->name(), "HDNH@4");
+}
+
+TEST(ShardedTable, MultigetGroupsByShardAndMatchesSearch) {
+  ShardedPack p(256ull << 20, 4, 4096);
+  constexpr uint64_t kN = 4000;
+  for (uint64_t i = 0; i < kN; ++i)
+    ASSERT_TRUE(p.table->insert(make_key(i), make_value(i)));
+
+  constexpr size_t kBatch = 777;
+  std::vector<Key> keys;
+  for (size_t i = 0; i < kBatch; ++i) {
+    keys.push_back(make_key(i % 3 ? i : (1 << 24) + i));  // hits and misses
+  }
+  std::vector<Value> values(kBatch);
+  std::vector<uint8_t> found(kBatch);
+  const size_t hits = p.table->multiget(keys.data(), kBatch, values.data(),
+                                        reinterpret_cast<bool*>(found.data()));
+  size_t expect = 0;
+  for (size_t i = 0; i < kBatch; ++i) {
+    Value v;
+    const bool single = p.table->search(keys[i], &v);
+    ASSERT_EQ(found[i] != 0, single) << i;
+    if (single) {
+      ASSERT_TRUE(values[i] == v) << i;
+      ++expect;
+    }
+  }
+  EXPECT_EQ(hits, expect);
+}
+
+TEST(ShardedTable, MultigetEdgeCases) {
+  ShardedPack p(256ull << 20, 4, 4096);
+  for (uint64_t i = 0; i < 100; ++i)
+    p.table->insert(make_key(i), make_value(i));
+
+  // Empty batch.
+  EXPECT_EQ(p.table->multiget(nullptr, 0, nullptr, nullptr), 0u);
+
+  // Duplicate keys within one batch: every position gets its own answer.
+  std::vector<Key> dup(6, make_key(7));
+  dup[3] = make_key(1 << 20);  // one absent key amid the duplicates
+  std::vector<Value> values(dup.size());
+  std::vector<uint8_t> found(dup.size());
+  EXPECT_EQ(p.table->multiget(dup.data(), dup.size(), values.data(),
+                              reinterpret_cast<bool*>(found.data())),
+            5u);
+  for (size_t i = 0; i < dup.size(); ++i) {
+    if (i == 3) {
+      EXPECT_FALSE(found[i]);
+    } else {
+      EXPECT_TRUE(found[i]) << i;
+      EXPECT_TRUE(values[i] == make_value(7)) << i;
+    }
+  }
+
+  // A batch that is 100% misses.
+  std::vector<Key> misses;
+  for (uint64_t i = 0; i < 64; ++i) misses.push_back(make_key((1 << 22) + i));
+  values.resize(misses.size());
+  found.assign(misses.size(), 1);
+  EXPECT_EQ(p.table->multiget(misses.data(), misses.size(), values.data(),
+                              reinterpret_cast<bool*>(found.data())),
+            0u);
+  for (size_t i = 0; i < misses.size(); ++i) EXPECT_FALSE(found[i]) << i;
+}
+
+TEST(ShardedTable, ResizeDomainsAreIndependent) {
+  ShardedPack p(256ull << 20, 4, 2048);
+  // Hammer only shard 0's keyspace far past its share of the capacity.
+  const auto ids = ids_for_shard(0, 4, 6000);
+  for (uint64_t id : ids) {
+    ASSERT_TRUE(p.table->insert(make_key(id), make_value(id)));
+  }
+  EXPECT_GT(p.shard_hdnh(0)->resize_count(), 0u);
+  for (uint32_t s = 1; s < 4; ++s) {
+    EXPECT_EQ(p.shard_hdnh(s)->resize_count(), 0u) << s;
+  }
+  EXPECT_EQ(p.sharded()->resize_count(), p.shard_hdnh(0)->resize_count());
+}
+
+TEST(ShardedTable, ForEachVisitsEveryShard) {
+  ShardedPack p(256ull << 20, 4, 4096);
+  constexpr uint64_t kN = 2000;
+  for (uint64_t i = 0; i < kN; ++i)
+    p.table->insert(make_key(i), make_value(i));
+  std::vector<bool> seen(kN, false);
+  p.sharded()->for_each([&](const KVPair& kv) {
+    const uint64_t id = key_id(kv.key);
+    ASSERT_LT(id, kN);
+    ASSERT_TRUE(kv.value == make_value(id));
+    seen[id] = true;
+  });
+  for (uint64_t i = 0; i < kN; ++i) EXPECT_TRUE(seen[i]) << i;
+}
+
+TEST(ShardedTable, CleanReattachRecoversAllShards) {
+  ShardedPack p(256ull << 20, 4, 4096, /*crash_sim=*/true);
+  constexpr uint64_t kN = 3000;
+  for (uint64_t i = 0; i < kN; ++i)
+    ASSERT_TRUE(p.table->insert(make_key(i), make_value(i)));
+
+  p.pool.simulate_crash();
+  p.reattach();
+
+  EXPECT_EQ(p.table->size(), kN);
+  const auto rs = p.sharded()->last_recovery();
+  EXPECT_EQ(rs.items, kN);
+  EXPECT_FALSE(rs.resumed_resize);
+  Value v;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(p.table->search(make_key(i), &v)) << i;
+    ASSERT_TRUE(v == make_value(i)) << i;
+  }
+  EXPECT_TRUE(p.sharded()->check_integrity().ok());
+}
+
+TEST(ShardedTable, AttachAdoptsPersistedShardCount) {
+  ShardedPack p(256ull << 20, 4, 4096);
+  for (uint64_t i = 0; i < 500; ++i)
+    p.table->insert(make_key(i), make_value(i));
+  p.table.reset();  // clean shutdown of all shards
+  p.alloc.reset();
+
+  // Ask for 8 shards over a 4-shard pool: the persisted carve wins.
+  p.scheme = "hdnh@8";
+  p.attach();
+  EXPECT_EQ(p.sharded()->shards(), 4u);
+  EXPECT_STREQ(p.table->name(), "HDNH@4");
+  EXPECT_EQ(p.table->size(), 500u);
+  Value v;
+  for (uint64_t i = 0; i < 500; ++i)
+    ASSERT_TRUE(p.table->search(make_key(i), &v)) << i;
+}
+
+struct CrashInjected : std::runtime_error {
+  CrashInjected() : std::runtime_error("injected crash") {}
+};
+
+// The acceptance scenario: a crash in the middle of ONE shard's resize.
+// Recovery must resume exactly that shard's rehash and leave every other
+// shard's data verified intact.
+TEST(ShardedTable, CrashDuringOneShardResizeRecoversThatShardOnly) {
+  constexpr uint32_t kShards = 4;
+  constexpr uint32_t kVictim = 2;
+  ShardedPack p(512ull << 20, kShards, 2048, /*crash_sim=*/true);
+
+  // Spread a base population over all shards.
+  constexpr uint64_t kBase = 3000;
+  for (uint64_t i = 0; i < kBase; ++i)
+    ASSERT_TRUE(p.table->insert(make_key(i), make_value(i)));
+  uint64_t pre_crash_sizes[kShards];
+  for (uint32_t s = 0; s < kShards; ++s)
+    pre_crash_sizes[s] = p.sharded()->shard(s).size();
+
+  // Arm a crash inside the victim shard's rehash loop, then pour keys into
+  // ONLY that shard until its resize trips.
+  p.shard_hdnh(kVictim)->test_hook = [&p](const char* at) {
+    if (std::string(at) == "rehash-bucket") {
+      p.pool.simulate_crash();
+      throw CrashInjected();
+    }
+  };
+  const auto victim_ids = ids_for_shard(kVictim, kShards, 8000, 1 << 20);
+  uint64_t crashed_at = UINT64_MAX;
+  std::vector<uint64_t> completed;
+  for (uint64_t id : victim_ids) {
+    try {
+      ASSERT_TRUE(p.table->insert(make_key(id), make_value(id)));
+      completed.push_back(id);
+    } catch (const CrashInjected&) {
+      crashed_at = id;
+      break;
+    }
+  }
+  ASSERT_NE(crashed_at, UINT64_MAX) << "victim shard never resized";
+
+  p.reattach();
+
+  // The victim shard resumed its interrupted resize; nobody else did.
+  EXPECT_TRUE(p.shard_hdnh(kVictim)->last_recovery().resumed_resize);
+  for (uint32_t s = 0; s < kShards; ++s) {
+    if (s != kVictim) {
+      EXPECT_FALSE(p.shard_hdnh(s)->last_recovery().resumed_resize) << s;
+      EXPECT_EQ(p.sharded()->shard(s).size(), pre_crash_sizes[s]) << s;
+    }
+  }
+  EXPECT_TRUE(p.sharded()->last_recovery().resumed_resize);
+
+  // Every completed insert survived; the interrupted one is absent.
+  Value v;
+  for (uint64_t i = 0; i < kBase; ++i) {
+    ASSERT_TRUE(p.table->search(make_key(i), &v)) << "lost preload key " << i;
+    ASSERT_TRUE(v == make_value(i)) << i;
+  }
+  for (uint64_t id : completed) {
+    ASSERT_TRUE(p.table->search(make_key(id), &v)) << "lost key " << id;
+  }
+  EXPECT_FALSE(p.table->search(make_key(crashed_at), &v));
+
+  // Per-shard deep integrity: the victim healed, the others were never hurt.
+  for (uint32_t s = 0; s < kShards; ++s) {
+    const auto rep = p.shard_hdnh(s)->check_integrity();
+    EXPECT_TRUE(rep.ok()) << "shard " << s;
+  }
+  const auto agg = p.sharded()->check_integrity();
+  EXPECT_TRUE(agg.ok());
+  EXPECT_EQ(agg.items, p.table->size());
+
+  // And the victim shard keeps growing afterwards.
+  ASSERT_TRUE(p.table->insert(make_key(crashed_at), make_value(crashed_at)));
+  for (uint64_t id : ids_for_shard(kVictim, kShards, 2000, 1 << 22)) {
+    ASSERT_TRUE(p.table->insert(make_key(id), make_value(id)));
+  }
+  EXPECT_TRUE(p.sharded()->check_integrity().ok());
+}
+
+TEST(ShardedTable, FactoryBuildsShardedVariants) {
+  nvm::PmemPool pool(512ull << 20);
+  nvm::PmemAllocator alloc(pool);
+  TableOptions opts;
+  opts.capacity = 4096;
+  opts.shards = 3;  // options channel, no @ suffix
+  auto t = create_table("level", alloc, opts);
+  EXPECT_STREQ(t->name(), "LEVEL@3");
+  ASSERT_TRUE(t->insert(make_key(1), make_value(1)));
+  Value v;
+  ASSERT_TRUE(t->search(make_key(1), &v));
+
+  // HDNH-only aggregates refuse non-HDNH shards loudly.
+  auto* st = static_cast<store::ShardedTable*>(t.get());
+  EXPECT_THROW(st->check_integrity(), std::logic_error);
+  EXPECT_THROW(st->resize_count(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hdnh

@@ -8,6 +8,10 @@
 // itself resumes any interrupted resize and replays armed update logs —
 // item counts and recovery timings. --deep additionally runs the full
 // OCF/NVT/hot-table coherence check.
+//
+// Sharded pools (created with an "hdnh@N" scheme) are detected via the
+// shard-map superblock: the doctor walks every shard region and runs the
+// same inspection per shard.
 #include <cstdio>
 #include <string>
 
@@ -15,8 +19,96 @@
 #include "hdnh/hdnh.h"
 #include "nvm/alloc.h"
 #include "nvm/pmem.h"
+#include "nvm/sharded_layout.h"
 
 using namespace hdnh;
+
+namespace {
+
+// Inspect one HDNH instance rooted in `alloc` (the whole pool for the
+// single-table layout, one shard region for sharded pools). Returns 0 when
+// healthy, 1 on missing/corrupt structures or failed integrity.
+int inspect_table(nvm::PmemPool& pool, nvm::PmemAllocator& alloc, bool deep,
+                  const char* ind) {
+  const uint64_t super_off = alloc.root(Hdnh::kSuperRoot);
+  if (super_off == 0) {
+    std::printf("%sno HDNH superblock root — region holds something else\n",
+                ind);
+    return 1;
+  }
+  auto* super = pool.to_ptr<HdnhSuper>(super_off);
+  if (super->magic != HdnhSuper::kMagic) {
+    std::printf("%ssuperblock magic mismatch (%016llx) — corrupt?\n", ind,
+                static_cast<unsigned long long>(super->magic));
+    return 1;
+  }
+
+  std::printf("%ssuperblock (pre-attach, as found on media):\n", ind);
+  std::printf("%s  buckets/segment : %llu (%llu B segments)\n", ind,
+              static_cast<unsigned long long>(super->buckets_per_seg),
+              static_cast<unsigned long long>(super->buckets_per_seg * 256));
+  for (int l = 0; l < 2; ++l) {
+    std::printf("%s  level %d         : %llu segments @ offset %llu\n", ind, l,
+                static_cast<unsigned long long>(super->level_segs[l]),
+                static_cast<unsigned long long>(super->level_off[l]));
+  }
+  const uint32_t ln = super->level_number.load();
+  std::printf("%s  resize state    : level_number=%u (%s), resizing_flag=%u, "
+              "rehash_progress=%llu\n",
+              ind, ln,
+              ln == 0   ? "steady"
+              : ln == 2 ? "resize started"
+              : ln == 3 ? "REHASH IN FLIGHT — will resume on attach"
+                        : "unknown",
+              super->resizing_flag,
+              static_cast<unsigned long long>(super->rehash_progress.load()));
+  std::printf("%s  clean shutdown  : %s (recorded count %llu)\n", ind,
+              super->clean_shutdown ? "yes" : "NO (crash or still open)",
+              static_cast<unsigned long long>(super->clean_item_count));
+
+  const uint64_t log_off = alloc.root(Hdnh::kLogRoot);
+  uint32_t armed = 0;
+  if (log_off != 0) {
+    auto* logs = pool.to_ptr<UpdateLogEntry>(log_off);
+    for (uint32_t i = 0; i < kUpdateLogSlots; ++i) {
+      if (logs[i].state.load() == 1) ++armed;
+    }
+  }
+  std::printf("%s  update log      : %u/%u entries armed%s\n", ind, armed,
+              kUpdateLogSlots,
+              armed ? " — attach will replay them" : "");
+
+  std::printf("%sattaching (runs §3.7 recovery)...\n", ind);
+  HdnhConfig cfg;
+  Hdnh table(alloc, cfg);
+  const auto rs = table.last_recovery();
+  std::printf("%s  recovered %llu items in %.2f ms (resumed resize: %s)\n",
+              ind, static_cast<unsigned long long>(rs.items), rs.total_ms,
+              rs.resumed_resize ? "yes" : "no");
+  std::printf("%s  load factor %.3f over %llu slots, hot table %llu slots\n",
+              ind, table.load_factor(),
+              static_cast<unsigned long long>(table.total_slots()),
+              static_cast<unsigned long long>(table.hot_table_slots()));
+
+  if (deep) {
+    std::printf("%sdeep integrity check...\n", ind);
+    auto rep = table.check_integrity();
+    std::printf("%s  items=%llu ocf_mismatch=%llu fp_mismatch=%llu busy=%llu "
+                "dups=%llu stale_hot=%llu armed_logs=%llu -> %s\n",
+                ind, static_cast<unsigned long long>(rep.items),
+                static_cast<unsigned long long>(rep.ocf_valid_mismatches),
+                static_cast<unsigned long long>(rep.fingerprint_mismatches),
+                static_cast<unsigned long long>(rep.stuck_busy_entries),
+                static_cast<unsigned long long>(rep.duplicate_keys),
+                static_cast<unsigned long long>(rep.hot_table_stale),
+                static_cast<unsigned long long>(rep.armed_log_entries),
+                rep.ok() ? "OK" : "PROBLEMS FOUND");
+    return rep.ok() ? 0 : 1;
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
@@ -49,79 +141,21 @@ int main(int argc, char** argv) {
               static_cast<long long>(pool_mb),
               static_cast<unsigned long long>(alloc.used()));
 
-  const uint64_t super_off = alloc.root(Hdnh::kSuperRoot);
-  if (super_off == 0) {
-    std::printf("no HDNH superblock root — pool holds something else\n");
-    return 1;
-  }
-  auto* super = pool.to_ptr<HdnhSuper>(super_off);
-  if (super->magic != HdnhSuper::kMagic) {
-    std::printf("superblock magic mismatch (%016llx) — corrupt?\n",
-                static_cast<unsigned long long>(super->magic));
-    return 1;
-  }
-
-  std::printf("\nsuperblock (pre-attach, as found on media):\n");
-  std::printf("  buckets/segment : %llu (%llu B segments)\n",
-              static_cast<unsigned long long>(super->buckets_per_seg),
-              static_cast<unsigned long long>(super->buckets_per_seg * 256));
-  for (int l = 0; l < 2; ++l) {
-    std::printf("  level %d         : %llu segments @ offset %llu\n", l,
-                static_cast<unsigned long long>(super->level_segs[l]),
-                static_cast<unsigned long long>(super->level_off[l]));
-  }
-  const uint32_t ln = super->level_number.load();
-  std::printf("  resize state    : level_number=%u (%s), resizing_flag=%u, "
-              "rehash_progress=%llu\n",
-              ln,
-              ln == 0   ? "steady"
-              : ln == 2 ? "resize started"
-              : ln == 3 ? "REHASH IN FLIGHT — will resume on attach"
-                        : "unknown",
-              super->resizing_flag,
-              static_cast<unsigned long long>(super->rehash_progress.load()));
-  std::printf("  clean shutdown  : %s (recorded count %llu)\n",
-              super->clean_shutdown ? "yes" : "NO (crash or still open)",
-              static_cast<unsigned long long>(super->clean_item_count));
-
-  const uint64_t log_off = alloc.root(Hdnh::kLogRoot);
-  uint32_t armed = 0;
-  if (log_off != 0) {
-    auto* logs = pool.to_ptr<UpdateLogEntry>(log_off);
-    for (uint32_t i = 0; i < kUpdateLogSlots; ++i) {
-      if (logs[i].state.load() == 1) ++armed;
+  if (nvm::ShardedPmemLayout::present(alloc)) {
+    // Sharded pool: the shard-map superblock lives in the parent allocator;
+    // each shard is a self-contained HDNH region.
+    nvm::ShardedPmemLayout layout(alloc, 1);
+    std::printf("\nshard map: %u shards\n", layout.shards());
+    int rc = 0;
+    for (uint32_t s = 0; s < layout.shards(); ++s) {
+      std::printf("\n-- shard %u: region [%llu, +%llu) --\n", s,
+                  static_cast<unsigned long long>(layout.shard_off(s)),
+                  static_cast<unsigned long long>(layout.shard_bytes(s)));
+      rc |= inspect_table(pool, layout.shard_alloc(s), deep, "  ");
     }
+    std::printf("\n%s\n", rc == 0 ? "all shards OK" : "PROBLEMS FOUND");
+    return rc;
   }
-  std::printf("  update log      : %u/%u entries armed%s\n", armed,
-              kUpdateLogSlots,
-              armed ? " — attach will replay them" : "");
-
-  std::printf("\nattaching (runs §3.7 recovery)...\n");
-  HdnhConfig cfg;
-  Hdnh table(alloc, cfg);
-  const auto rs = table.last_recovery();
-  std::printf("  recovered %llu items in %.2f ms (resumed resize: %s)\n",
-              static_cast<unsigned long long>(rs.items), rs.total_ms,
-              rs.resumed_resize ? "yes" : "no");
-  std::printf("  load factor %.3f over %llu slots, hot table %llu slots\n",
-              table.load_factor(),
-              static_cast<unsigned long long>(table.total_slots()),
-              static_cast<unsigned long long>(table.hot_table_slots()));
-
-  if (deep) {
-    std::printf("\ndeep integrity check...\n");
-    auto rep = table.check_integrity();
-    std::printf("  items=%llu ocf_mismatch=%llu fp_mismatch=%llu busy=%llu "
-                "dups=%llu stale_hot=%llu armed_logs=%llu -> %s\n",
-                static_cast<unsigned long long>(rep.items),
-                static_cast<unsigned long long>(rep.ocf_valid_mismatches),
-                static_cast<unsigned long long>(rep.fingerprint_mismatches),
-                static_cast<unsigned long long>(rep.stuck_busy_entries),
-                static_cast<unsigned long long>(rep.duplicate_keys),
-                static_cast<unsigned long long>(rep.hot_table_stale),
-                static_cast<unsigned long long>(rep.armed_log_entries),
-                rep.ok() ? "OK" : "PROBLEMS FOUND");
-    return rep.ok() ? 0 : 1;
-  }
-  return 0;
+  std::printf("\n");
+  return inspect_table(pool, alloc, deep, "");
 }
