@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Run the read-path benchmark suite and aggregate every BENCH_JSON line the
+# benches emit into a single checked-in evidence file, BENCH_results.json.
+#
+#   scripts/run_bench_suite.sh [quick|default]
+#
+# quick   — small sizes, one rep (CI smoke; numbers are indicative only)
+# default — the sizes EXPERIMENTS.md records, best-of-3 in the microbench
+#
+# The aggregate carries the acceptance numbers for the vectorized-probe /
+# batched-multiget PR: micro_probe.probe_simd_speedup (negative lookups
+# isolate the probe kernel) and micro_multiget.multiget_batch_speedup.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PROFILE="${1:-default}"
+case "$PROFILE" in
+  quick)   ARGS="--preload=20000 --ops=80000"; PROBE_ARGS="--preload=20000 --ops=40000 --reps=1" ;;
+  default) ARGS="";                            PROBE_ARGS="--reps=3" ;;
+  *) echo "usage: $0 [quick|default]" >&2; exit 2 ;;
+esac
+
+cmake -B build -S . >/dev/null
+cmake --build build -j >/dev/null
+
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+
+run() {
+  echo "===== $1 =====" >&2
+  shift
+  # Keep the human-readable tables on stderr; collect only BENCH_JSON lines.
+  "$@" | tee /dev/stderr | grep '^BENCH_JSON ' >>"$OUT" || true
+}
+
+run "probe kernel + multiget pipeline" ./build/bench/bench_micro_probe $PROBE_ARGS
+run "Figure 13 single-thread"          ./build/bench/bench_fig13_single_thread $ARGS
+run "Figure 14 concurrency"            ./build/bench/bench_fig14_concurrency $ARGS
+run "YCSB suite (serial reads)"        ./build/bench/bench_ycsb_suite $ARGS
+run "YCSB suite (batched reads)"       ./build/bench/bench_ycsb_suite $ARGS --read_batch=32
+
+python3 - "$OUT" <<'PY'
+import json, sys
+
+runs = []
+with open(sys.argv[1]) as f:
+    for line in f:
+        runs.append(json.loads(line[len("BENCH_JSON "):]))
+
+# Headline acceptance numbers, pulled out of the run list for quick reading.
+headline = {}
+for r in runs:
+    if r.get("bench") == "micro_probe" and r.get("case") == "negative":
+        headline["probe_simd_speedup"] = r["probe_simd_speedup"]
+        headline["probe_simd_level"] = r["simd_level"]
+    if r.get("bench") == "micro_multiget":
+        headline["multiget_batch_speedup"] = r["multiget_batch_speedup"]
+        headline["overlapped_read_fraction"] = r["overlapped_read_fraction"]
+
+doc = {"suite": "read-path", "headline": headline, "runs": runs}
+with open("BENCH_results.json", "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+print(f"wrote BENCH_results.json ({len(runs)} runs)")
+print("headline:", json.dumps(headline))
+PY

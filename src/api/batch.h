@@ -1,0 +1,53 @@
+// Batch helpers shared by the phased multiget implementations (Hdnh and
+// the ShardedTable facade).
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "api/types.h"
+
+namespace hdnh {
+
+// Maps every batch position to the first position holding the same key:
+// rep[i] == i for the first occurrence, and rep[i] < i for duplicates.
+// Callers resolve only the representatives and fan the answers out, so a
+// key repeated K times in one batch pays one probe instead of K (Zipfian
+// read batches repeat hot keys constantly). h1[i] must be
+// key_hash1(keys[i]) — already computed by every caller for routing or
+// placement, so dedup adds no extra hashing.
+//
+// O(n) via a small open-addressed table of positions, reused across calls
+// (thread-local scratch): this runs on every multiget, so it must stay a
+// few ns per key or it eats the latency the pipeline wins back.
+inline void dedup_batch_positions(const Key* keys, size_t n,
+                                  const uint64_t* h1, uint32_t* rep) {
+  if (n < 2) {
+    for (size_t i = 0; i < n; ++i) rep[i] = static_cast<uint32_t>(i);
+    return;
+  }
+  size_t cap = 2;  // >= 2n slots keeps probe chains short
+  while (cap < 2 * n) cap <<= 1;
+  static thread_local std::vector<uint32_t> slots;  // position + 1; 0 empty
+  slots.assign(cap, 0);
+  const size_t mask = cap - 1;
+  for (size_t i = 0; i < n; ++i) {
+    size_t s = h1[i] & mask;
+    for (;;) {
+      const uint32_t occ = slots[s];
+      if (occ == 0) {
+        slots[s] = static_cast<uint32_t>(i) + 1;
+        rep[i] = static_cast<uint32_t>(i);
+        break;
+      }
+      const uint32_t j = occ - 1;
+      if (h1[j] == h1[i] && keys[j] == keys[i]) {
+        rep[i] = j;  // first occurrence stays the representative
+        break;
+      }
+      s = (s + 1) & mask;
+    }
+  }
+}
+
+}  // namespace hdnh

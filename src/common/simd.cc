@@ -1,0 +1,63 @@
+#include "common/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace hdnh::simd {
+
+namespace {
+
+int clamp_to_compiled(IsaLevel l) {
+  int v = static_cast<int>(l);
+  const int max = static_cast<int>(compiled_level());
+  if (v > max) v = max;
+  if (v < 0) v = 0;
+  return v;
+}
+
+int initial_level() {
+  // HDNH_SIMD=scalar|sse2|avx2 pins the starting level (clamped to what the
+  // binary supports); anything else — including unset — means "best".
+  const char* env = std::getenv("HDNH_SIMD");
+  if (env) {
+    if (std::strcmp(env, "scalar") == 0) {
+      return clamp_to_compiled(IsaLevel::kScalar);
+    }
+    if (std::strcmp(env, "sse2") == 0) {
+      return clamp_to_compiled(IsaLevel::kSse2);
+    }
+    if (std::strcmp(env, "avx2") == 0) {
+      return clamp_to_compiled(IsaLevel::kAvx2);
+    }
+  }
+  return static_cast<int>(compiled_level());
+}
+
+}  // namespace
+
+namespace detail {
+std::atomic<int> g_active{initial_level()};
+}  // namespace detail
+
+IsaLevel active_level() {
+  return static_cast<IsaLevel>(
+      detail::g_active.load(std::memory_order_relaxed));
+}
+
+void force_level(IsaLevel l) {
+  detail::g_active.store(clamp_to_compiled(l), std::memory_order_relaxed);
+}
+
+const char* level_name(IsaLevel l) {
+  switch (l) {
+    case IsaLevel::kScalar:
+      return "scalar";
+    case IsaLevel::kSse2:
+      return "sse2";
+    case IsaLevel::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+}  // namespace hdnh::simd

@@ -1,0 +1,210 @@
+// Portable SIMD shim for the 16-bit slot-state words both DRAM filters are
+// built from (the OCF over the non-volatile table, the hot table's state
+// array). A bucket's words are contiguous, so "which slots could hold this
+// key" is one masked 16-byte compare instead of an eight-iteration scalar
+// scan — the Dash-style bucket-wide fingerprint match.
+//
+// Three tiers, selected at compile time and overridable at runtime:
+//   * kAvx2   — 16-lane kernels (256-bit) where a caller has 16 words;
+//   * kSse2   — 8-lane kernels (128-bit), the x86-64 baseline;
+//   * kScalar — per-lane relaxed atomic loads, bit-identical results.
+// force_level() clamps to what the binary was compiled with; the env var
+// HDNH_SIMD=scalar|sse2|avx2 sets the initial level (CI runs the parity
+// suite under both paths this way).
+//
+// Concurrency contract: the vector kernels read racing memory with plain
+// (non-atomic) wide loads. They are ONLY a pre-filter — every caller must
+// re-load any matched word through its std::atomic and re-verify before
+// acting, exactly as the scalar probe protocol already does. Torn or stale
+// lanes therefore cost at most a wasted verify or a missed *concurrent*
+// insert, both of which the optimistic protocol tolerates by design. The
+// kernels are excluded from TSan instrumentation for this reason (see
+// tsan.supp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+#define HDNH_NO_SANITIZE_THREAD __attribute__((no_sanitize_thread))
+#else
+#define HDNH_NO_SANITIZE_THREAD
+#endif
+
+namespace hdnh::simd {
+
+enum class IsaLevel : int { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+constexpr IsaLevel compiled_level() {
+#if defined(__AVX2__)
+  return IsaLevel::kAvx2;
+#elif defined(__SSE2__)
+  return IsaLevel::kSse2;
+#else
+  return IsaLevel::kScalar;
+#endif
+}
+
+const char* level_name(IsaLevel l);
+
+// Active level: starts at compiled_level() unless HDNH_SIMD overrides it;
+// force_level() (clamped to the compiled level) changes it at runtime for
+// parity testing. Reads are relaxed — flipping mid-traffic is safe, both
+// paths compute the same masks.
+IsaLevel active_level();
+void force_level(IsaLevel l);
+
+namespace detail {
+extern std::atomic<int> g_active;  // initialised from HDNH_SIMD in simd.cc
+
+inline bool vector_active() {
+  return g_active.load(std::memory_order_relaxed) >=
+         static_cast<int>(IsaLevel::kSse2);
+}
+inline bool avx2_active() {
+  return g_active.load(std::memory_order_relaxed) >=
+         static_cast<int>(IsaLevel::kAvx2);
+}
+
+inline uint32_t match8_scalar(const uint16_t* w, uint16_t mask,
+                              uint16_t pattern) {
+  uint32_t m = 0;
+  for (uint32_t i = 0; i < 8; ++i) {
+    const uint16_t v = __atomic_load_n(&w[i], __ATOMIC_RELAXED);
+    m |= static_cast<uint32_t>((v & mask) == pattern) << i;
+  }
+  return m;
+}
+
+#if defined(__SSE2__)
+// 0xFFFF/0x0000 16-bit lanes -> one bit per lane.
+HDNH_NO_SANITIZE_THREAD inline uint32_t movemask16x8(__m128i eq) {
+  return static_cast<uint32_t>(_mm_movemask_epi8(
+             _mm_packs_epi16(eq, _mm_setzero_si128()))) &
+         0xFFu;
+}
+
+HDNH_NO_SANITIZE_THREAD inline uint32_t match8_sse2(const uint16_t* w,
+                                                    uint16_t mask,
+                                                    uint16_t pattern) {
+  const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(w));
+  const __m128i eq =
+      _mm_cmpeq_epi16(_mm_and_si128(v, _mm_set1_epi16(static_cast<short>(mask))),
+                      _mm_set1_epi16(static_cast<short>(pattern)));
+  return movemask16x8(eq);
+}
+#endif
+
+#if defined(__AVX2__)
+HDNH_NO_SANITIZE_THREAD inline uint32_t match16_avx2(const uint16_t* w,
+                                                     uint16_t mask,
+                                                     uint16_t pattern) {
+  const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+  const __m256i eq = _mm256_cmpeq_epi16(
+      _mm256_and_si256(v, _mm256_set1_epi16(static_cast<short>(mask))),
+      _mm256_set1_epi16(static_cast<short>(pattern)));
+  // packs operates within 128-bit halves; permute stitches the two 8-byte
+  // results back into lane order before the byte movemask.
+  const __m256i packed = _mm256_packs_epi16(eq, _mm256_setzero_si256());
+  const __m256i ordered = _mm256_permute4x64_epi64(packed, 0xD8);
+  return static_cast<uint32_t>(
+             _mm_movemask_epi8(_mm256_castsi256_si128(ordered))) &
+         0xFFFFu;
+}
+#endif
+}  // namespace detail
+
+// Bit i (i < n, n <= 8) set iff (words[i] & mask) == pattern. The caller
+// guarantees 16 readable bytes at `words` (pad trailing buckets); lanes at
+// or beyond n are masked out of the result.
+inline uint32_t match8x16_prefix(const uint16_t* words, uint32_t n,
+                                 uint16_t mask, uint16_t pattern) {
+  uint32_t m;
+#if defined(__SSE2__)
+  if (detail::vector_active()) {
+    m = detail::match8_sse2(words, mask, pattern);
+  } else {
+    m = detail::match8_scalar(words, mask, pattern);
+  }
+#else
+  m = detail::match8_scalar(words, mask, pattern);
+#endif
+  return n >= 8 ? m : m & ((1u << n) - 1);
+}
+
+// 16-lane variant for 16-word buckets (the hot table's spb=16 sweep point):
+// bit i (i < 16) set iff (words[i] & mask) == pattern. Requires 32 readable
+// bytes.
+inline uint32_t match16x16(const uint16_t* words, uint16_t mask,
+                           uint16_t pattern) {
+#if defined(__AVX2__)
+  if (detail::avx2_active()) return detail::match16_avx2(words, mask, pattern);
+#endif
+  return match8x16_prefix(words, 8, mask, pattern) |
+         (match8x16_prefix(words + 8, 8, mask, pattern) << 8);
+}
+
+// One-pass classification of the 8 OCF words of a non-volatile bucket.
+// candidate: (w & cand_mask) == cand_pattern — the lanes worth an NVM probe
+// (valid, not busy, fingerprint equal when the OCF is enabled);
+// busy: writer-owned lanes the authoritative pass must spin on;
+// valid: lanes holding a live record (for the filtered-probe statistics).
+struct OcfMasks {
+  uint32_t candidate;
+  uint32_t busy;
+  uint32_t valid;
+};
+
+namespace detail {
+inline OcfMasks prefilter8_scalar(const uint16_t* w, uint16_t cand_mask,
+                                  uint16_t cand_pattern, uint16_t busy_bit,
+                                  uint16_t valid_bit) {
+  OcfMasks m{0, 0, 0};
+  for (uint32_t i = 0; i < 8; ++i) {
+    const uint16_t v = __atomic_load_n(&w[i], __ATOMIC_RELAXED);
+    const uint32_t bit = 1u << i;
+    if ((v & cand_mask) == cand_pattern) m.candidate |= bit;
+    if (v & busy_bit) m.busy |= bit;
+    if (v & valid_bit) m.valid |= bit;
+  }
+  return m;
+}
+
+#if defined(__SSE2__)
+HDNH_NO_SANITIZE_THREAD inline OcfMasks prefilter8_sse2(
+    const uint16_t* w, uint16_t cand_mask, uint16_t cand_pattern,
+    uint16_t busy_bit, uint16_t valid_bit) {
+  const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(w));
+  const __m128i cand = _mm_cmpeq_epi16(
+      _mm_and_si128(v, _mm_set1_epi16(static_cast<short>(cand_mask))),
+      _mm_set1_epi16(static_cast<short>(cand_pattern)));
+  const __m128i busyv = _mm_set1_epi16(static_cast<short>(busy_bit));
+  const __m128i busy = _mm_cmpeq_epi16(_mm_and_si128(v, busyv), busyv);
+  const __m128i validv = _mm_set1_epi16(static_cast<short>(valid_bit));
+  const __m128i valid = _mm_cmpeq_epi16(_mm_and_si128(v, validv), validv);
+  return OcfMasks{movemask16x8(cand), movemask16x8(busy), movemask16x8(valid)};
+}
+#endif
+}  // namespace detail
+
+inline OcfMasks ocf_prefilter8(const uint16_t* words, uint16_t cand_mask,
+                               uint16_t cand_pattern, uint16_t busy_bit,
+                               uint16_t valid_bit) {
+#if defined(__SSE2__)
+  if (detail::vector_active()) {
+    return detail::prefilter8_sse2(words, cand_mask, cand_pattern, busy_bit,
+                                   valid_bit);
+  }
+#endif
+  return detail::prefilter8_scalar(words, cand_mask, cand_pattern, busy_bit,
+                                   valid_bit);
+}
+
+}  // namespace hdnh::simd

@@ -5,7 +5,9 @@
 #include <cstring>
 #include <vector>
 
+#include "api/batch.h"
 #include "common/clock.h"
+#include "common/simd.h"
 #include "common/threads.h"
 
 namespace hdnh {
@@ -38,6 +40,7 @@ Hdnh::Hdnh(nvm::PmemAllocator& alloc, HdnhConfig cfg)
     throw std::invalid_argument("segment_bytes must be a multiple of 256");
   }
   bps_ = cfg_.segment_bytes / kNvBucketBytes;
+  bps_mask_ = (bps_ & (bps_ - 1)) == 0 ? bps_ - 1 : 0;
 
   if (alloc_.root(kSuperRoot) != 0) {
     attach_and_recover();
@@ -81,6 +84,7 @@ Hdnh::Level Hdnh::make_level_view(uint64_t off, uint64_t segs) {
   Level lv;
   lv.off = off;
   lv.segs = segs;
+  lv.seg_mask = (segs & (segs - 1)) == 0 ? segs - 1 : 0;
   lv.buckets = segs * bps_;
   lv.arr = pool_.to_ptr<NvBucket>(off);
   lv.ocf = zero_ocf(lv.buckets);
@@ -129,6 +133,7 @@ void Hdnh::attach_and_recover() {
     throw std::runtime_error("Hdnh: pool root is not an HDNH superblock");
   }
   bps_ = super_->buckets_per_seg;
+  bps_mask_ = (bps_ & (bps_ - 1)) == 0 ? bps_ - 1 : 0;
   cfg_.segment_bytes = bps_ * kNvBucketBytes;
 
   bool resumed = false;
@@ -300,14 +305,18 @@ int Hdnh::candidates(const Level& lv, uint64_t h1, uint64_t h2,
                      uint64_t out[4]) const {
   // 2-cuckoo at segment granularity, then 2-cuckoo bucket choice inside
   // each segment: four candidate buckets per level (§3.2). Distinct bit
-  // ranges keep segment and bucket choices decorrelated.
-  const uint64_t s1 = (h1 >> 32) % lv.segs;
-  const uint64_t s2 = (h2 >> 32) % lv.segs;
+  // ranges keep segment and bucket choices decorrelated. Counts are powers
+  // of two in every standard configuration, so the modulus is almost always
+  // a mask — this runs on every probe of every operation.
+  const uint64_t s1 = lv.seg_mask ? (h1 >> 32) & lv.seg_mask : (h1 >> 32) % lv.segs;
+  const uint64_t s2 = lv.seg_mask ? (h2 >> 32) & lv.seg_mask : (h2 >> 32) % lv.segs;
   // Bucket choice starts at bit 8: bits 0..7 of h1 are the fingerprint, and
   // overlapping them would correlate a bucket's residents with the probe
   // key's fingerprint, inflating the OCF false-positive rate ~16x.
-  const uint64_t b1 = ((h1 >> 8) & 0xFFFFFFu) % bps_;
-  const uint64_t b2 = ((h2 >> 8) & 0xFFFFFFu) % bps_;
+  const uint64_t b1 =
+      bps_mask_ ? (h1 >> 8) & bps_mask_ : ((h1 >> 8) & 0xFFFFFFu) % bps_;
+  const uint64_t b2 =
+      bps_mask_ ? (h2 >> 8) & bps_mask_ : ((h2 >> 8) & 0xFFFFFFu) % bps_;
   uint64_t cand[4] = {s1 * bps_ + b1, s1 * bps_ + b2, s2 * bps_ + b1,
                       s2 * bps_ + b2};
   int n = 0;
@@ -323,10 +332,75 @@ int Hdnh::candidates(const Level& lv, uint64_t h1, uint64_t h2,
 // Probe / claim primitives
 // ---------------------------------------------------------------------------
 
+bool Hdnh::verify_slot(uint32_t l, uint64_t b, uint32_t i, const Key& key,
+                       uint8_t fp, Value* out, SlotLoc* loc, bool lock_found,
+                       uint16_t* snapshot) {
+  auto& st = nvm::Stats::local();
+  Level& lv = lv_[l];
+  NvBucket& nb = lv.arr[b];
+  std::atomic<uint16_t>* ent = ocf_entry(lv, b, i);
+  for (;;) {
+    uint16_t e = ent->load(std::memory_order_acquire);
+    if (ocf::busy(e)) {
+      // A writer owns the slot; it clears busy before leaving its critical
+      // section, so a brief spin is safe.
+      st.lock_waits++;
+      cpu_pause();
+      continue;
+    }
+    if (!ocf::valid(e)) return false;
+    if (cfg_.enable_ocf && ocf::fp_of(e) != fp) {
+      // The whole point of the OCF: this comparison happened in DRAM and an
+      // NVM slot probe was avoided.
+      st.ocf_filtered++;
+      return false;
+    }
+    pool_.on_read(&nb.slots[i], sizeof(KVPair));
+    if (!(nb.slots[i].key == key)) {
+      if (cfg_.enable_ocf) st.ocf_false_positive++;
+      // Revalidate: if the slot changed under us, rescan it.
+      if (ent->load(std::memory_order_acquire) != e) continue;
+      return false;
+    }
+    Value v = nb.slots[i].value;
+    const uint16_t e2 = ent->load(std::memory_order_acquire);
+    if (e2 != e) {
+      st.lock_waits++;
+      continue;  // concurrent writer; re-examine the slot
+    }
+    if (lock_found) {
+      uint16_t expected = e;
+      if (!ent->compare_exchange_strong(expected,
+                                        static_cast<uint16_t>(e | ocf::kBusy),
+                                        std::memory_order_acq_rel)) {
+        st.lock_waits++;
+        continue;
+      }
+    }
+    if (loc) {
+      loc->level = l;
+      loc->bucket = b;
+      loc->slot = i;
+    }
+    if (snapshot) *snapshot = e;
+    if (out) *out = v;
+    return true;
+  }
+}
+
 bool Hdnh::probe_find(uint64_t h1, uint64_t h2, const Key& key, uint8_t fp,
                       Value* out, SlotLoc* loc, bool lock_found,
                       uint16_t* snapshot) {
   auto& st = nvm::Stats::local();
+  // Vector pre-filter pattern: with the OCF on, a slot is worth probing only
+  // when it is valid, not writer-owned, and its fingerprint matches; the
+  // no-OCF ablation probes every valid slot.
+  const uint16_t want_mask = cfg_.enable_ocf
+                                 ? static_cast<uint16_t>(
+                                       ocf::kValid | ocf::kBusy | ocf::kFpMask)
+                                 : static_cast<uint16_t>(ocf::kValid | ocf::kBusy);
+  const uint16_t want_pattern =
+      cfg_.enable_ocf ? static_cast<uint16_t>(ocf::kValid | fp) : ocf::kValid;
   for (;;) {
   const uint64_t move_seq_before = move_seq_.load(std::memory_order_acquire);
   for (uint32_t l = 0; l < 2; ++l) {
@@ -335,54 +409,25 @@ bool Hdnh::probe_find(uint64_t h1, uint64_t h2, const Key& key, uint8_t fp,
     const int n = candidates(lv, h1, h2, cand);
     for (int c = 0; c < n; ++c) {
       const uint64_t b = cand[c];
-      NvBucket& nb = lv.arr[b];
-      for (uint32_t i = 0; i < kNvSlots; ++i) {
-        std::atomic<uint16_t>* ent = ocf_entry(lv, b, i);
-        for (;;) {
-          uint16_t e = ent->load(std::memory_order_acquire);
-          if (ocf::busy(e)) {
-            // A writer owns the slot; it clears busy before leaving its
-            // critical section, so a brief spin is safe.
-            st.lock_waits++;
-            cpu_pause();
-            continue;
-          }
-          if (!ocf::valid(e)) break;
-          if (cfg_.enable_ocf && ocf::fp_of(e) != fp) {
-            // The whole point of the OCF: this comparison happened in DRAM
-            // and an NVM slot probe was avoided.
-            st.ocf_filtered++;
-            break;
-          }
-          pool_.on_read(&nb.slots[i], sizeof(KVPair));
-          if (!(nb.slots[i].key == key)) {
-            if (cfg_.enable_ocf) st.ocf_false_positive++;
-            // Revalidate: if the slot changed under us, rescan it.
-            if (ent->load(std::memory_order_acquire) != e) continue;
-            break;
-          }
-          Value v = nb.slots[i].value;
-          const uint16_t e2 = ent->load(std::memory_order_acquire);
-          if (e2 != e) {
-            st.lock_waits++;
-            continue;  // concurrent writer; re-examine the slot
-          }
-          if (lock_found) {
-            uint16_t expected = e;
-            if (!ent->compare_exchange_strong(
-                    expected, static_cast<uint16_t>(e | ocf::kBusy),
-                    std::memory_order_acq_rel)) {
-              st.lock_waits++;
-              continue;
-            }
-          }
-          if (loc) {
-            loc->level = l;
-            loc->bucket = b;
-            loc->slot = i;
-          }
-          if (snapshot) *snapshot = e;
-          if (out) *out = v;
+      // One 16-byte compare classifies all 8 OCF entries of the bucket.
+      // This is only a pre-filter over a racy snapshot: every surviving
+      // lane (and every writer-owned lane, whose post-release state we
+      // cannot see yet) still goes through the authoritative per-slot
+      // atomic snapshot/verify loop below.
+      const simd::OcfMasks pre = simd::ocf_prefilter8(
+          reinterpret_cast<const uint16_t*>(ocf_entry(lv, b, 0)), want_mask,
+          want_pattern, ocf::kBusy, ocf::kValid);
+      if (cfg_.enable_ocf) {
+        // Valid, unowned lanes whose fingerprint ruled them out: each is an
+        // NVM slot probe the DRAM filter saved.
+        st.ocf_filtered += static_cast<uint64_t>(
+            std::popcount(pre.valid & ~pre.busy & ~pre.candidate));
+      }
+      uint32_t pending = pre.candidate | pre.busy;
+      while (pending) {
+        const uint32_t i = static_cast<uint32_t>(std::countr_zero(pending));
+        pending &= pending - 1;
+        if (verify_slot(l, b, i, key, fp, out, loc, lock_found, snapshot)) {
           return true;
         }
       }
@@ -400,8 +445,16 @@ bool Hdnh::probe_find(uint64_t h1, uint64_t h2, const Key& key, uint8_t fp,
 bool Hdnh::claim_empty_in_bucket(uint32_t level, uint64_t bucket,
                                  uint32_t skip, SlotLoc* loc) {
   Level& lv = lv_[level];
-  for (uint32_t i = 0; i < kNvSlots; ++i) {
-    if (i == skip) continue;
+  // Vector scan for unclaimed lanes (valid and busy both clear); the CAS
+  // below re-reads each lane authoritatively, so a stale mask only costs a
+  // failed attempt.
+  uint32_t free_mask = simd::match8x16_prefix(
+      reinterpret_cast<const uint16_t*>(ocf_entry(lv, bucket, 0)), kNvSlots,
+      static_cast<uint16_t>(ocf::kValid | ocf::kBusy), 0);
+  if (skip < kNvSlots) free_mask &= ~(1u << skip);
+  while (free_mask) {
+    const uint32_t i = static_cast<uint32_t>(std::countr_zero(free_mask));
+    free_mask &= free_mask - 1;
     std::atomic<uint16_t>* ent = ocf_entry(lv, bucket, i);
     uint16_t e = ent->load(std::memory_order_acquire);
     if (e & (ocf::kValid | ocf::kBusy)) continue;
@@ -509,51 +562,175 @@ bool Hdnh::search(const Key& key, Value* out) {
 }
 
 size_t Hdnh::multiget(const Key* keys, size_t n, Value* values, bool* found) {
+  if (n == 0) return 0;
   std::shared_lock<std::shared_mutex> lock(resize_mu_);
   auto& st = nvm::Stats::local();
 
-  // Phase 1: hash everything once.
-  std::vector<uint64_t> h1(n), h2(n);
+  // Phase A: hash once, dedup (duplicates resolve once and fan out at the
+  // end), and warm the DRAM cachelines the next phases will walk. Scratch
+  // is thread-local: per-call allocations would eat the latency the
+  // pipeline overlaps away at typical batch sizes.
+  static thread_local std::vector<uint64_t> h1_scratch, h2_scratch;
+  static thread_local std::vector<uint32_t> rep_scratch;
+  static thread_local std::vector<uint32_t> pending;
+  auto& h1 = h1_scratch;
+  auto& h2 = h2_scratch;
+  auto& rep = rep_scratch;
+  h1.resize(n);
+  h2.resize(n);
+  rep.resize(n);
   for (size_t i = 0; i < n; ++i) {
     h1[i] = key_hash1(keys[i]);
-    h2[i] = key_hash2(keys[i]);
     found[i] = false;
   }
+  dedup_batch_positions(keys, n, h1.data(), rep.data());
 
-  // Phase 2: hot-table pass.
-  size_t hits = 0;
+  pending.clear();  // unique positions not yet resolved
+  pending.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rep[i] != i) continue;
+    pending.push_back(static_cast<uint32_t>(i));
+    if (hot_) hot_->prefetch(h1[i]);
+  }
+
+  // Phase B: hot-table pass over the unique keys.
   if (hot_) {
-    for (size_t i = 0; i < n; ++i) {
-      if (hot_->search(keys[i], &values[i])) {
+    size_t out = 0;
+    for (const uint32_t u : pending) {
+      if (hot_->search(keys[u], &values[u])) {
         st.dram_hot_hits++;
-        found[i] = true;
-        ++hits;
+        found[u] = true;
+      } else {
+        pending[out++] = u;
+      }
+    }
+    pending.resize(out);
+  }
+
+  // The misses go to the OCF/NVT path: compute secondary hashes and warm
+  // the OCF cachelines of every candidate bucket before touching them.
+  for (const uint32_t u : pending) {
+    h2[u] = key_hash2(keys[u]);
+    for (uint32_t l = 0; l < 2; ++l) {
+      uint64_t cand[4];
+      const int nc = candidates(lv_[l], h1[u], h2[u], cand);
+      for (int c = 0; c < nc; ++c) {
+        __builtin_prefetch(ocf_entry(lv_[l], cand[c], 0));
       }
     }
   }
 
-  // Phase 3: OCF + non-volatile table for the misses, with promotion.
-  for (size_t i = 0; i < n; ++i) {
-    if (found[i]) continue;
-    SlotLoc loc;
-    uint16_t snap;
-    if (!probe_find(h1[i], h2[i], keys[i], fingerprint(h1[i]), &values[i],
-                    &loc, false, &snap)) {
-      continue;
-    }
-    found[i] = true;
-    ++hits;
-    if (hot_ && cfg_.promote_on_search) {
-      std::atomic<uint16_t>* ent =
-          ocf_entry(lv_[loc.level], loc.bucket, loc.slot);
-      uint16_t expected = snap;
-      if (ent->compare_exchange_strong(
-              expected, static_cast<uint16_t>(snap | ocf::kBusy),
-              std::memory_order_acq_rel)) {
-        hot_->put(KVPair{keys[i], values[i]});
-        ent->store(snap, std::memory_order_release);
+  // Phases C+D in windows: C pre-filters each key's candidate buckets in
+  // DRAM, issues NVM block reads-ahead for every bucket that has a
+  // surviving (or writer-owned) lane, and records those buckets as the
+  // key's probe plan; D walks the plan through the authoritative per-slot
+  // verify, its media reads landing on the in-flight blocks and paying only
+  // the residual latency — the window stalls roughly once, not once per
+  // key. Consuming the plan (instead of re-running probe_find's own scan)
+  // halves the DRAM filter work per key; the plan is a stale snapshot, but
+  // verify_slot re-derives everything from the live OCF word, and a key
+  // relocated between C and D is caught by the move_seq_ fallback below.
+  const uint16_t busy_or_valid = ocf::kValid | ocf::kBusy;
+  constexpr size_t kWindow = 16;
+  struct BucketPlan {
+    uint32_t level;
+    uint32_t lanes;  // candidate | busy at phase C time
+    uint64_t bucket;
+  };
+  struct KeyPlan {
+    uint32_t nb;
+    BucketPlan b[8];  // both levels' candidate buckets, probe order
+  };
+  static thread_local std::vector<KeyPlan> plans;
+  plans.resize(kWindow);
+  for (size_t w = 0; w < pending.size(); w += kWindow) {
+    const size_t we = std::min(pending.size(), w + kWindow);
+    const uint64_t window_seq = move_seq_.load(std::memory_order_acquire);
+    for (size_t j = w; j < we; ++j) {
+      const uint32_t u = pending[j];
+      KeyPlan& plan = plans[j - w];
+      plan.nb = 0;
+      const uint16_t want_pattern =
+          cfg_.enable_ocf
+              ? static_cast<uint16_t>(ocf::kValid | fingerprint(h1[u]))
+              : static_cast<uint16_t>(ocf::kValid);
+      const uint16_t want_mask =
+          cfg_.enable_ocf ? static_cast<uint16_t>(busy_or_valid | ocf::kFpMask)
+                          : busy_or_valid;
+      for (uint32_t l = 0; l < 2; ++l) {
+        Level& lv = lv_[l];
+        uint64_t cand[4];
+        const int nc = candidates(lv, h1[u], h2[u], cand);
+        for (int c = 0; c < nc; ++c) {
+          const simd::OcfMasks pre = simd::ocf_prefilter8(
+              reinterpret_cast<const uint16_t*>(ocf_entry(lv, cand[c], 0)),
+              want_mask, want_pattern, ocf::kBusy, ocf::kValid);
+          if (cfg_.enable_ocf) {
+            st.ocf_filtered += static_cast<uint64_t>(
+                std::popcount(pre.valid & ~pre.busy & ~pre.candidate));
+          }
+          const uint32_t lanes = pre.candidate | pre.busy;
+          if (lanes) {
+            pool_.prefetch_block(&lv.arr[cand[c]], kNvBucketBytes);
+            plan.b[plan.nb++] = BucketPlan{l, lanes, cand[c]};
+          }
+        }
       }
     }
+    for (size_t j = w; j < we; ++j) {
+      const uint32_t u = pending[j];
+      const KeyPlan& plan = plans[j - w];
+      const uint8_t fp = fingerprint(h1[u]);
+      SlotLoc loc;
+      uint16_t snap;
+      bool hit = false;
+      for (uint32_t pb = 0; pb < plan.nb && !hit; ++pb) {
+        uint32_t lanes = plan.b[pb].lanes;
+        while (lanes) {
+          const uint32_t i = static_cast<uint32_t>(std::countr_zero(lanes));
+          lanes &= lanes - 1;
+          if (verify_slot(plan.b[pb].level, plan.b[pb].bucket, i, keys[u], fp,
+                          &values[u], &loc, false, &snap)) {
+            hit = true;
+            break;
+          }
+        }
+      }
+      if (!hit) {
+        // The plan can legally miss a key that moved (out-of-place update)
+        // or was published after phase C scanned its bucket. probe_find
+        // re-scans from live state and carries its own move_seq_ loop.
+        if (move_seq_.load(std::memory_order_acquire) != window_seq &&
+            probe_find(h1[u], h2[u], keys[u], fp, &values[u], &loc, false,
+                       &snap)) {
+          hit = true;
+        }
+      }
+      if (!hit) continue;
+      found[u] = true;
+      if (hot_ && cfg_.promote_on_search) {
+        std::atomic<uint16_t>* ent =
+            ocf_entry(lv_[loc.level], loc.bucket, loc.slot);
+        uint16_t expected = snap;
+        if (ent->compare_exchange_strong(
+                expected, static_cast<uint16_t>(snap | ocf::kBusy),
+                std::memory_order_acq_rel)) {
+          hot_->put(KVPair{keys[u], values[u]});
+          ent->store(snap, std::memory_order_release);
+        }
+      }
+    }
+  }
+
+  // Fan the representatives' answers out to their duplicates; every
+  // position (duplicates included) counts its own hit.
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (rep[i] != i) {
+      found[i] = found[rep[i]];
+      if (found[i]) values[i] = values[rep[i]];
+    }
+    if (found[i]) ++hits;
   }
   return hits;
 }

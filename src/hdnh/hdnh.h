@@ -134,6 +134,7 @@ class Hdnh final : public HashTable {
   struct Level {
     uint64_t off = 0;
     uint64_t segs = 0;
+    uint64_t seg_mask = 0;  // segs-1 when segs is a power of two, else 0
     uint64_t buckets = 0;
     NvBucket* arr = nullptr;
     std::unique_ptr<std::atomic<uint16_t>[]> ocf;  // buckets * kNvSlots
@@ -167,6 +168,14 @@ class Hdnh final : public HashTable {
   bool probe_find(uint64_t h1, uint64_t h2, const Key& key, uint8_t fp,
                   Value* out, SlotLoc* loc, bool lock_found,
                   uint16_t* snapshot = nullptr);
+  // The authoritative per-slot verify shared by probe_find and the batched
+  // pipeline: atomic OCF snapshot, busy spin, fingerprint check, NVM read,
+  // version revalidation (and busy CAS with lock_found). The caller's
+  // pre-filter may be arbitrarily stale — this re-derives everything from
+  // the live OCF word.
+  bool verify_slot(uint32_t l, uint64_t b, uint32_t i, const Key& key,
+                   uint8_t fp, Value* out, SlotLoc* loc, bool lock_found,
+                   uint16_t* snapshot);
   bool claim_empty(uint64_t h1, uint64_t h2, SlotLoc* loc,
                    const SlotLoc* exclude_bucket_of);
   bool claim_empty_in_bucket(uint32_t level, uint64_t bucket, uint32_t skip,
@@ -191,7 +200,8 @@ class Hdnh final : public HashTable {
   nvm::PmemAllocator& alloc_;
   nvm::PmemPool& pool_;
   HdnhConfig cfg_;
-  uint64_t bps_ = 0;  // buckets per segment
+  uint64_t bps_ = 0;       // buckets per segment
+  uint64_t bps_mask_ = 0;  // bps_-1 when bps_ is a power of two, else 0
 
   HdnhSuper* super_ = nullptr;
   Level lv_[2];  // [0] = top, [1] = bottom

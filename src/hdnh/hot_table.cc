@@ -1,8 +1,10 @@
 #include "hdnh/hot_table.h"
 
+#include <bit>
 #include <cstring>
 
 #include "common/random.h"
+#include "common/simd.h"
 
 namespace hdnh {
 
@@ -39,9 +41,12 @@ HotTable::HotTable(uint64_t total_slots, uint32_t slots_per_bucket,
 void HotTable::alloc_level(Level& lv, uint64_t buckets) {
   lv.buckets = buckets;
   const uint64_t slots = buckets * spb_;
-  lv.state = std::make_unique<std::atomic<uint16_t>[]>(slots);
+  // The vector bucket scan loads 8 state lanes at a time regardless of
+  // spb_, so the state array carries 8 zeroed (never-valid) padding lanes
+  // past the last bucket.
+  lv.state = std::make_unique<std::atomic<uint16_t>[]>(slots + 8);
   lv.kv = std::make_unique<KVPair[]>(slots);
-  for (uint64_t i = 0; i < slots; ++i)
+  for (uint64_t i = 0; i < slots + 8; ++i)
     lv.state[i].store(0, std::memory_order_relaxed);
   if (policy_ == HdnhConfig::HotPolicy::kLru) {
     lv.ts = std::make_unique<std::atomic<uint64_t>[]>(slots);
@@ -88,21 +93,47 @@ void HotTable::touch(Level& lv, uint64_t slot_idx, uint16_t observed) {
 
 bool HotTable::search_level(Level& lv, uint64_t h, const Key& key, Value* out) {
   const uint64_t base = bucket_of(lv, h) * spb_;
-  for (uint32_t i = 0; i < spb_; ++i) {
-    const uint64_t idx = base + i;
-    for (int attempt = 0; attempt < 4; ++attempt) {
-      uint16_t s = lv.state[idx].load(std::memory_order_acquire);
-      if (!(s & kHValid) || (s & kHBusy)) break;  // cache miss / in flux
-      if (!(lv.kv[idx].key == key)) break;
-      Value v = lv.kv[idx].value;
-      uint16_t s2 = lv.state[idx].load(std::memory_order_acquire);
-      if (s2 != s) continue;  // concurrent writer; retry the slot
-      *out = v;
-      touch(lv, idx, s);
-      return true;
+  // Vector pre-filter: lanes that are valid and not writer-owned, exactly
+  // the slots the scalar scan would inspect. The per-slot verify below
+  // re-loads the state atomically, so a stale mask only costs a retry —
+  // same optimistic protocol as before, minus the per-lane branching.
+  for (uint32_t chunk = 0; chunk < spb_; chunk += 8) {
+    const uint32_t lanes = spb_ - chunk < 8 ? spb_ - chunk : 8;
+    uint32_t m = (spb_ == 16 && chunk == 0)
+                     ? simd::match16x16(
+                           reinterpret_cast<const uint16_t*>(&lv.state[base]),
+                           kHValid | kHBusy, kHValid)
+                     : simd::match8x16_prefix(
+                           reinterpret_cast<const uint16_t*>(
+                               &lv.state[base + chunk]),
+                           lanes, kHValid | kHBusy, kHValid);
+    if (spb_ == 16 && chunk == 0) chunk = 8;  // 16-lane scan covered both
+    while (m) {
+      const uint32_t i = static_cast<uint32_t>(std::countr_zero(m));
+      m &= m - 1;
+      const uint64_t idx = base + (spb_ == 16 ? i : chunk + i);
+      for (int attempt = 0; attempt < 4; ++attempt) {
+        uint16_t s = lv.state[idx].load(std::memory_order_acquire);
+        if (!(s & kHValid) || (s & kHBusy)) break;  // cache miss / in flux
+        if (!(lv.kv[idx].key == key)) break;
+        Value v = lv.kv[idx].value;
+        uint16_t s2 = lv.state[idx].load(std::memory_order_acquire);
+        if (s2 != s) continue;  // concurrent writer; retry the slot
+        *out = v;
+        touch(lv, idx, s);
+        return true;
+      }
     }
   }
   return false;
+}
+
+void HotTable::prefetch(uint64_t h) const {
+  for (const Level& lv : lv_) {
+    const uint64_t base = bucket_of(lv, h) * spb_;
+    __builtin_prefetch(&lv.state[base]);
+    __builtin_prefetch(&lv.kv[base]);
+  }
 }
 
 bool HotTable::search(const Key& key, Value* out) {

@@ -42,6 +42,11 @@ class HotTable {
   // its timestamp (LRU), and returns true.
   bool search(const Key& key, Value* out);
 
+  // Warm the cachelines a search(h) would touch (both levels' candidate
+  // buckets). The batched read path calls this for a whole window of keys
+  // before the first lookup.
+  void prefetch(uint64_t h) const;
+
   // Upsert: update in place when the key is cached, otherwise insert,
   // evicting per the replacement policy when the candidate buckets are
   // full. Best-effort — a slot contended by another writer may cause the

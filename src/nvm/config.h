@@ -22,6 +22,11 @@ namespace hdnh::nvm {
 inline constexpr uint64_t kCacheLine = 64;
 inline constexpr uint64_t kNvmBlock = 256;  // AEP internal access granularity
 
+// Capacity (in blocks) of the per-thread read-ahead window that
+// PmemPool::prefetch_block feeds — the emulated device's read buffer.
+// Power of two; the window is direct-mapped on the block number.
+inline constexpr uint64_t kPrefetchWindowBlocks = 128;
+
 struct NvmConfig {
   // Emulate latency with spin-waits. Off → only counters are maintained
   // (used by unit tests, which care about semantics, not timing).

@@ -13,6 +13,93 @@
 
 namespace hdnh::nvm {
 
+namespace {
+
+// Per-thread window of in-flight block reads-ahead (prefetch_block). Sized
+// like a device read buffer: direct-mapped on the block number, so issuing
+// more than kCap blocks (or two blocks colliding on a slot) evicts —
+// bounded memory-level parallelism. Entries are keyed by absolute block
+// number, so one window serves every pool a thread touches (sharded stores
+// run one pool per shard). `ready_ns` is the absolute completion deadline;
+// a stale entry whose deadline long passed simply charges zero residual
+// latency — the block is still sitting in the device buffer, which is
+// exactly how the AEP read buffer behaves for recently fetched blocks.
+// Direct mapping keeps both insert and lookup O(1): this sits on the
+// hottest read path of the emulator and a scan would eat the latency the
+// window exists to hide.
+struct PrefetchWindow {
+  static constexpr uint64_t kCap = kPrefetchWindowBlocks;
+  struct Ent {
+    uint64_t block = 0;  // absolute address / kNvmBlock + 1; 0 == empty
+    uint64_t ready_ns = 0;
+  };
+  Ent ents[kCap];
+  uint32_t live = 0;  // nonzero entries
+};
+
+thread_local PrefetchWindow t_prefetch;
+
+}  // namespace
+
+void PmemPool::prefetch_block(const void* p, uint64_t len) {
+  auto& c = Stats::local();
+  auto& w = t_prefetch;
+  const uint64_t block_ns = static_cast<uint64_t>(
+      static_cast<double>(cfg_.read_ns_per_block) * cfg_.latency_scale);
+  const uint64_t now = cfg_.emulate_latency ? now_ns() : 0;
+  const uint64_t a = reinterpret_cast<uint64_t>(p);
+  const uint64_t first = a / kNvmBlock;
+  const uint64_t last = (a + (len ? len - 1 : 0)) / kNvmBlock;
+  for (uint64_t blk = first; blk <= last; ++blk) {
+    // Real CPU prefetch of the block's cachelines: the emulator models the
+    // media latency, the hardware still has to move the bytes.
+    const char* lp = reinterpret_cast<const char*>(blk * kNvmBlock);
+    for (uint64_t o = 0; o < kNvmBlock; o += kCacheLine) {
+      __builtin_prefetch(lp + o);
+    }
+    c.nvm_prefetch_issued++;
+    const uint64_t key = blk + 1;
+    PrefetchWindow::Ent& slot = w.ents[blk & (PrefetchWindow::kCap - 1)];
+    // Already in flight (or buffered): keep the earlier deadline.
+    if (slot.block == key) continue;
+    if (slot.block == 0) w.live++;
+    slot.block = key;
+    slot.ready_ns = cfg_.emulate_latency ? now + block_ns : 0;
+  }
+}
+
+void PmemPool::charge_read_latency(const void* p, uint64_t len,
+                                   uint64_t blocks, Stats::Counters& c) {
+  auto& w = t_prefetch;
+  const uint64_t block_ns = static_cast<uint64_t>(
+      static_cast<double>(cfg_.read_ns_per_block) * cfg_.latency_scale);
+  if (w.live == 0) {
+    c.nvm_read_blocks_stalled += blocks;
+    if (cfg_.emulate_latency) spin_for_ns(blocks * block_ns);
+    return;
+  }
+  uint64_t stalled = 0;
+  uint64_t residual_ns = 0;
+  const uint64_t now = cfg_.emulate_latency ? now_ns() : 0;
+  const uint64_t a = reinterpret_cast<uint64_t>(p);
+  const uint64_t first = a / kNvmBlock;
+  const uint64_t last = (a + (len ? len - 1 : 0)) / kNvmBlock;
+  for (uint64_t blk = first; blk <= last; ++blk) {
+    PrefetchWindow::Ent& e = w.ents[blk & (PrefetchWindow::kCap - 1)];
+    if (e.block != blk + 1) {
+      ++stalled;
+      continue;
+    }
+    c.nvm_read_blocks_overlapped++;
+    if (e.ready_ns > now) residual_ns += e.ready_ns - now;
+    e.block = 0;  // consumed
+    w.live--;
+  }
+  c.nvm_read_blocks_stalled += stalled;
+  const uint64_t charge_ns = residual_ns + stalled * block_ns;
+  if (cfg_.emulate_latency && charge_ns) spin_for_ns(charge_ns);
+}
+
 PmemPool::PmemPool(uint64_t size, NvmConfig cfg, const std::string& backing_file)
     : cfg_(cfg) {
   size_ = (size + kNvmBlock - 1) / kNvmBlock * kNvmBlock;

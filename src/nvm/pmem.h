@@ -64,17 +64,28 @@ class PmemPool {
   // ---- access annotations ----------------------------------------------
 
   // A media read of [p, p+len). Charges one block cost per distinct 256 B
-  // block touched (AEP read amplification) and counts it.
+  // block touched (AEP read amplification) and counts it. A block covered
+  // by an earlier prefetch_block() on this thread only pays the remainder
+  // of its in-flight latency (see charge_read_latency).
   void on_read(const void* p, uint64_t len) {
     auto& c = Stats::local();
     c.nvm_read_ops++;
     const uint64_t blocks = span_units(p, len, kNvmBlock);
     c.nvm_read_blocks += blocks;
-    if (cfg_.emulate_latency) {
-      spin_for_ns(static_cast<uint64_t>(
-          static_cast<double>(blocks * cfg_.read_ns_per_block) * cfg_.latency_scale));
-    }
+    charge_read_latency(p, len, blocks, c);
   }
+
+  // Issue an asynchronous media read-ahead of the blocks covering
+  // [p, p+len) — the emulator's stand-in for the memory-level parallelism a
+  // batched read path gets from real hardware. Models the device's read
+  // buffer: each block is recorded per-thread as in flight with a
+  // completion deadline of now + one block latency; the matching on_read()
+  // then charges only the not-yet-elapsed remainder, so a window of K
+  // independent prefetched reads costs ~one block latency instead of K.
+  // Charges NO read traffic (nvm_read_ops/nvm_read_blocks are counted by
+  // on_read as always — pipelining overlaps latency, it must not change
+  // traffic) and also issues real CPU prefetches for the covered lines.
+  void prefetch_block(const void* p, uint64_t len);
 
   // Accounting-only annotation of a store range (durability cost is charged
   // at persist time, mirroring ADR semantics).
@@ -138,6 +149,13 @@ class PmemPool {
   void simulate_crash();
 
  private:
+  // Latency (not traffic) accounting of a read, prefetch-window aware:
+  // blocks found in the calling thread's prefetch window count as
+  // overlapped and spin only until their in-flight deadline; cold blocks
+  // count as stalled and spin the full block latency.
+  void charge_read_latency(const void* p, uint64_t len, uint64_t blocks,
+                           Stats::Counters& c);
+
   static uint64_t span_units(const void* p, uint64_t len, uint64_t unit) {
     const uint64_t a = reinterpret_cast<uint64_t>(p);
     const uint64_t first = a / unit;

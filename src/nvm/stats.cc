@@ -40,6 +40,9 @@ StatsSnapshot Stats::snapshot() {
     s.ocf_filtered += b->ocf_filtered;
     s.ocf_false_positive += b->ocf_false_positive;
     s.lock_waits += b->lock_waits;
+    s.nvm_prefetch_issued += b->nvm_prefetch_issued;
+    s.nvm_read_blocks_overlapped += b->nvm_read_blocks_overlapped;
+    s.nvm_read_blocks_stalled += b->nvm_read_blocks_stalled;
   }
   return s;
 }

@@ -25,6 +25,14 @@ struct StatsSnapshot {
   uint64_t ocf_filtered = 0;     // NVM probes avoided by OCF fingerprints
   uint64_t ocf_false_positive = 0;  // fingerprint matched, key did not
   uint64_t lock_waits = 0;       // contended lock/version retries
+  // Batched-read pipelining (prefetch_block): block reads-ahead issued, and
+  // how later on_read() calls resolved — against an in-flight/buffered
+  // prefetch (overlapped: only the residual latency is charged) or cold
+  // (stalled: the full block latency is charged). overlapped + stalled ==
+  // nvm_read_blocks; the split changes latency only, never traffic.
+  uint64_t nvm_prefetch_issued = 0;
+  uint64_t nvm_read_blocks_overlapped = 0;
+  uint64_t nvm_read_blocks_stalled = 0;
 
   StatsSnapshot& operator-=(const StatsSnapshot& rhs) {
     nvm_read_ops -= rhs.nvm_read_ops;
@@ -36,6 +44,9 @@ struct StatsSnapshot {
     ocf_filtered -= rhs.ocf_filtered;
     ocf_false_positive -= rhs.ocf_false_positive;
     lock_waits -= rhs.lock_waits;
+    nvm_prefetch_issued -= rhs.nvm_prefetch_issued;
+    nvm_read_blocks_overlapped -= rhs.nvm_read_blocks_overlapped;
+    nvm_read_blocks_stalled -= rhs.nvm_read_blocks_stalled;
     return *this;
   }
 };
@@ -54,6 +65,9 @@ class Stats {
     uint64_t ocf_filtered = 0;
     uint64_t ocf_false_positive = 0;
     uint64_t lock_waits = 0;
+    uint64_t nvm_prefetch_issued = 0;
+    uint64_t nvm_read_blocks_overlapped = 0;
+    uint64_t nvm_read_blocks_stalled = 0;
   };
 
   // The calling thread's counter block (created and registered on first use).

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "api/batch.h"
+
 namespace hdnh::store {
 
 ShardedTable::ShardedTable(std::unique_ptr<nvm::ShardedPmemLayout> layout,
@@ -38,14 +40,21 @@ size_t ShardedTable::multiget(const Key* keys, size_t n, Value* values,
   const uint32_t ns = shards();
   if (ns == 1) return shards_[0]->multiget(keys, n, values, found);
 
-  // Group positions by shard, then run one phased batch per touched shard
+  // Hash each key once, collapse duplicate keys to their first position
+  // (a key repeated K times crosses the shard boundary once), then group
+  // the representatives by shard so each inner table sees one phased batch
   // and scatter the answers back.
+  std::vector<uint64_t> h1(n);
+  for (size_t i = 0; i < n; ++i) h1[i] = key_hash1(keys[i]);
+  std::vector<uint32_t> rep(n);
+  dedup_batch_positions(keys, n, h1.data(), rep.data());
+
   std::vector<std::vector<uint32_t>> groups(ns);
   for (size_t i = 0; i < n; ++i) {
-    groups[shard_of(keys[i])].push_back(static_cast<uint32_t>(i));
+    if (rep[i] != i) continue;
+    groups[shard_of_hash(h1[i], ns)].push_back(static_cast<uint32_t>(i));
   }
 
-  size_t hits = 0;
   std::vector<Key> skeys;
   std::vector<Value> svalues;
   std::vector<uint8_t> sfound;
@@ -57,12 +66,23 @@ size_t ShardedTable::multiget(const Key* keys, size_t n, Value* values,
     for (uint32_t i : idx) skeys.push_back(keys[i]);
     svalues.resize(idx.size());
     sfound.assign(idx.size(), 0);
-    hits += shards_[s]->multiget(skeys.data(), idx.size(), svalues.data(),
-                                 reinterpret_cast<bool*>(sfound.data()));
+    shards_[s]->multiget(skeys.data(), idx.size(), svalues.data(),
+                         reinterpret_cast<bool*>(sfound.data()));
     for (size_t j = 0; j < idx.size(); ++j) {
       found[idx[j]] = sfound[j] != 0;
       if (sfound[j]) values[idx[j]] = svalues[j];
     }
+  }
+
+  // Fan duplicates out from their representatives; every position (dupes
+  // included) counts its own hit, matching the serial-get semantics.
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (rep[i] != i) {
+      found[i] = found[rep[i]];
+      if (found[i]) values[i] = values[rep[i]];
+    }
+    if (found[i]) ++hits;
   }
   return hits;
 }

@@ -32,13 +32,18 @@
 
 namespace hdnh::store {
 
-// Stable routing function: which of `shards` partitions owns `key`.
-inline uint32_t shard_of_key(const Key& key, uint32_t shards) {
+// Stable routing function on a precomputed primary hash — batch paths hash
+// each key once and route on the result.
+inline uint32_t shard_of_hash(uint64_t h1, uint32_t shards) {
   // Remix so the modulus consumes bits independent from the placement
   // hashes (mix64 is bijective; conditioning on the shard leaves the inner
   // tables' h1/h2 uniform).
-  return static_cast<uint32_t>(
-      mix64(key_hash1(key) ^ 0x9E3779B97F4A7C15ULL) % shards);
+  return static_cast<uint32_t>(mix64(h1 ^ 0x9E3779B97F4A7C15ULL) % shards);
+}
+
+// Stable routing function: which of `shards` partitions owns `key`.
+inline uint32_t shard_of_key(const Key& key, uint32_t shards) {
+  return shard_of_hash(key_hash1(key), shards);
 }
 
 class ShardedTable final : public HashTable {

@@ -1,0 +1,134 @@
+#include "common/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/random.h"
+
+namespace hdnh::simd {
+namespace {
+
+// Every test that forces a level restores the compiled default on exit so
+// test order never leaks a slow (or fast) path into unrelated tests.
+struct LevelGuard {
+  ~LevelGuard() { force_level(compiled_level()); }
+};
+
+uint32_t ref_match(const uint16_t* w, uint32_t n, uint16_t mask,
+                   uint16_t pattern) {
+  uint32_t m = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    if ((w[i] & mask) == pattern) m |= 1u << i;
+  }
+  return m;
+}
+
+TEST(Simd, ForceLevelClampsToCompiled) {
+  LevelGuard g;
+  force_level(IsaLevel::kAvx2);
+  EXPECT_LE(static_cast<int>(active_level()),
+            static_cast<int>(compiled_level()));
+  force_level(IsaLevel::kScalar);
+  EXPECT_EQ(active_level(), IsaLevel::kScalar);
+  force_level(compiled_level());
+  EXPECT_EQ(active_level(), compiled_level());
+}
+
+TEST(Simd, LevelNamesAreStable) {
+  EXPECT_STREQ(level_name(IsaLevel::kScalar), "scalar");
+  EXPECT_STREQ(level_name(IsaLevel::kSse2), "sse2");
+  EXPECT_STREQ(level_name(IsaLevel::kAvx2), "avx2");
+}
+
+TEST(Simd, RandomizedMatchParityAcrossLevels) {
+  LevelGuard g;
+  Rng rng(0x51D0u ^ 42);
+  const IsaLevel levels[] = {IsaLevel::kScalar, IsaLevel::kSse2,
+                             IsaLevel::kAvx2};
+  for (int iter = 0; iter < 50000; ++iter) {
+    alignas(32) uint16_t w[16];
+    for (auto& x : w) x = static_cast<uint16_t>(rng.next());
+    const uint16_t mask = static_cast<uint16_t>(rng.next());
+    // Half the time pick a pattern reachable under the mask and plant it in
+    // a few lanes so matches actually occur; otherwise leave it arbitrary
+    // (often unreachable -> both paths must agree on "no match" too).
+    uint16_t pattern = static_cast<uint16_t>(rng.next());
+    if (iter & 1) {
+      pattern &= mask;
+      for (int p = 0; p < 3; ++p) {
+        uint16_t& lane = w[rng.next_below(16)];
+        lane = static_cast<uint16_t>((lane & ~mask) | pattern);
+      }
+    }
+    const uint32_t n = 1 + static_cast<uint32_t>(rng.next_below(8));
+    const uint32_t want_n = ref_match(w, n, mask, pattern);
+    const uint32_t want_16 = ref_match(w, 16, mask, pattern);
+    for (IsaLevel l : levels) {
+      force_level(l);
+      ASSERT_EQ(match8x16_prefix(w, n, mask, pattern), want_n)
+          << "iter " << iter << " level " << level_name(active_level());
+      ASSERT_EQ(match8x16_prefix(w, 8, mask, pattern), want_16 & 0xFFu)
+          << "iter " << iter << " level " << level_name(active_level());
+      ASSERT_EQ(match16x16(w, mask, pattern), want_16)
+          << "iter " << iter << " level " << level_name(active_level());
+    }
+  }
+}
+
+TEST(Simd, PrefixMasksLanesAtAndBeyondN) {
+  LevelGuard g;
+  alignas(16) uint16_t w[8];
+  for (auto& x : w) x = 0x8001;  // every lane matches
+  for (IsaLevel l : {IsaLevel::kScalar, compiled_level()}) {
+    force_level(l);
+    for (uint32_t n = 1; n <= 8; ++n) {
+      EXPECT_EQ(match8x16_prefix(w, n, 0x8001, 0x8001), (1u << n) - 1) << n;
+    }
+  }
+}
+
+TEST(Simd, RandomizedOcfPrefilterParity) {
+  LevelGuard g;
+  Rng rng(1234);
+  // The real OCF layout's bits, plus fully random ones.
+  const uint16_t kValid = 0x8000, kBusy = 0x4000, kFpMask = 0x00FF;
+  for (int iter = 0; iter < 50000; ++iter) {
+    alignas(16) uint16_t w[8];
+    for (auto& x : w) x = static_cast<uint16_t>(rng.next());
+    uint16_t cand_mask, cand_pattern, busy_bit, valid_bit;
+    if (iter & 1) {
+      const uint16_t fp = static_cast<uint16_t>(rng.next()) & kFpMask;
+      cand_mask = kValid | kBusy | kFpMask;
+      cand_pattern = kValid | fp;
+      busy_bit = kBusy;
+      valid_bit = kValid;
+      // Plant a guaranteed candidate and a busy lane.
+      w[rng.next_below(8)] = static_cast<uint16_t>(kValid | fp);
+      w[rng.next_below(8)] |= kBusy;
+    } else {
+      cand_mask = static_cast<uint16_t>(rng.next());
+      cand_pattern = static_cast<uint16_t>(rng.next()) & cand_mask;
+      busy_bit = static_cast<uint16_t>(1u << rng.next_below(16));
+      valid_bit = static_cast<uint16_t>(1u << rng.next_below(16));
+    }
+    OcfMasks want{0, 0, 0};
+    for (uint32_t i = 0; i < 8; ++i) {
+      if ((w[i] & cand_mask) == cand_pattern) want.candidate |= 1u << i;
+      if (w[i] & busy_bit) want.busy |= 1u << i;
+      if (w[i] & valid_bit) want.valid |= 1u << i;
+    }
+    for (IsaLevel l : {IsaLevel::kScalar, compiled_level()}) {
+      force_level(l);
+      const OcfMasks got =
+          ocf_prefilter8(w, cand_mask, cand_pattern, busy_bit, valid_bit);
+      ASSERT_EQ(got.candidate, want.candidate) << iter;
+      ASSERT_EQ(got.busy, want.busy) << iter;
+      ASSERT_EQ(got.valid, want.valid) << iter;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hdnh::simd
