@@ -14,6 +14,8 @@ int main(int argc, char** argv) {
   Env env = standard_env(cli, 150000, 600000);
   const uint32_t read_batch = static_cast<uint32_t>(cli.get_int(
       "read_batch", 0, "issue point reads through multiget in batches"));
+  const bool latency = cli.get_bool(
+      "latency", true, "record per-op latency percentiles into BENCH_JSON");
   cli.finish();
   print_env("YCSB A/B/C suite", env);
 
@@ -40,6 +42,7 @@ int main(int argc, char** argv) {
       ro.threads = env.threads;
       ro.seed = env.seed;
       ro.read_batch = read_batch;
+      ro.measure_latency = latency;
       auto r = ycsb::run(*t.table, c.spec, env.preload, env.ops, ro);
       print_run_row(std::string(t.table->name()), r);
       print_json_run(c.name, std::string(t.table->name()), env.threads,

@@ -82,10 +82,25 @@ void print_json_run(const std::string& bench, const std::string& scheme,
   std::printf(
       "BENCH_JSON {\"bench\":\"%s\",\"scheme\":\"%s\",\"threads\":%u,"
       "\"shards\":%u,\"mops\":%.4f,\"nvm_reads_per_op\":%.4f,"
-      "\"nvm_writes_per_op\":%.4f}\n",
+      "\"nvm_writes_per_op\":%.4f",
       bench.c_str(), scheme.c_str(), threads, shards, r.mops(),
       static_cast<double>(r.nvm.nvm_read_ops) / ops,
       static_cast<double>(r.nvm.nvm_write_ops) / ops);
+  if (r.latency.count() > 0) {
+    // Latency percentiles ride along whenever the run recorded a histogram
+    // (RunOptions.measure_latency), so suite aggregations can plot the Fig
+    // 15-style tail without a separate pass.
+    std::printf(
+        ",\"lat_mean_ns\":%.0f,\"lat_p50_ns\":%llu,\"lat_p90_ns\":%llu,"
+        "\"lat_p99_ns\":%llu,\"lat_p999_ns\":%llu,\"lat_max_ns\":%llu",
+        r.latency.mean(),
+        static_cast<unsigned long long>(r.latency.percentile(0.5)),
+        static_cast<unsigned long long>(r.latency.percentile(0.9)),
+        static_cast<unsigned long long>(r.latency.percentile(0.99)),
+        static_cast<unsigned long long>(r.latency.percentile(0.999)),
+        static_cast<unsigned long long>(r.latency.max()));
+  }
+  std::printf("}\n");
   std::fflush(stdout);
 }
 

@@ -25,6 +25,7 @@
 #include "hdnh/hdnh.h"
 #include "nvm/alloc.h"
 #include "nvm/pmem.h"
+#include "obs/obs.h"
 #include "store/sharded_table.h"
 
 using namespace hdnh;
@@ -33,7 +34,7 @@ namespace {
 
 int usage(const char* prog) {
   std::fprintf(stderr,
-               "usage: %s [--pool=PATH] [--shards=N] "
+               "usage: %s [--pool=PATH] [--shards=N] [--metrics_out=FILE] "
                "(put K V | get K | del K | stats)\n",
                prog);
   return 2;
@@ -43,6 +44,7 @@ int usage(const char* prog) {
 
 int main(int argc, char** argv) {
   std::string pool_path = "/tmp/hdnh_demo.pool";
+  std::string metrics_out;
   uint32_t shards = 1;
   int arg = 1;
   while (arg < argc && std::strncmp(argv[arg], "--", 2) == 0) {
@@ -50,6 +52,8 @@ int main(int argc, char** argv) {
       pool_path = argv[arg] + 7;
     } else if (std::strncmp(argv[arg], "--shards=", 9) == 0) {
       shards = static_cast<uint32_t>(std::strtoul(argv[arg] + 9, nullptr, 10));
+    } else if (std::strncmp(argv[arg], "--metrics_out=", 14) == 0) {
+      metrics_out = argv[arg] + 14;
     } else {
       return usage(argv[0]);
     }
@@ -74,6 +78,10 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(rs.items), rs.total_ms);
   }
 
+  // Command dispatch runs inside a lambda so the table's metrics (table
+  // gauges + the nvm counter deltas of the command itself) can be dumped
+  // once, on every exit path, while the table is still alive.
+  auto run_cmd = [&]() -> int {
   if (cmd == "put" && arg + 1 < argc) {
     const uint64_t k = std::strtoull(argv[arg], nullptr, 10);
     const uint64_t v = std::strtoull(argv[arg + 1], nullptr, 10);
@@ -127,4 +135,13 @@ int main(int argc, char** argv) {
     return 0;
   }
   return usage(argv[0]);
+  };
+
+  const int rc = run_cmd();
+  if (!metrics_out.empty() &&
+      !obs::write_file_atomic(metrics_out, obs::Metrics::json())) {
+    std::fprintf(stderr, "failed to write --metrics_out=%s\n",
+                 metrics_out.c_str());
+  }
+  return rc;
 }

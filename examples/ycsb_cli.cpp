@@ -11,6 +11,7 @@
 #include "common/cli.h"
 #include "nvm/alloc.h"
 #include "nvm/pmem.h"
+#include "obs/obs.h"
 #include "ycsb/runner.h"
 
 using namespace hdnh;
@@ -44,6 +45,12 @@ int main(int argc, char** argv) {
   const uint32_t read_batch = static_cast<uint32_t>(cli.get_int(
       "read_batch", 0, "issue point reads through multiget in batches"));
   const uint64_t seed = static_cast<uint64_t>(cli.get_int("seed", 42, "seed"));
+  const std::string metrics_out = cli.get_str(
+      "metrics_out", "", "write metrics JSON here (refreshed during the run)");
+  const std::string metrics_prom = cli.get_str(
+      "metrics_prom", "", "write Prometheus text exposition here");
+  const std::string trace_out = cli.get_str(
+      "trace_out", "", "write Chrome trace_event JSON here at exit");
   cli.finish();
   try {
     if (shards > 1 && parse_scheme(scheme).shards == 0) {
@@ -114,7 +121,15 @@ int main(int argc, char** argv) {
   ro.seed = seed;
   ro.measure_latency = latency;
   ro.read_batch = read_batch;
+  ro.metrics_json_out = metrics_out;
+  ro.metrics_prom_out = metrics_prom;
   auto r = ycsb::run(*table, spec, preload, ops, ro);
+
+  if (!trace_out.empty() &&
+      !obs::write_file_atomic(trace_out, obs::Tracer::dump_json())) {
+    std::fprintf(stderr, "failed to write --trace_out=%s\n",
+                 trace_out.c_str());
+  }
 
   std::printf("throughput: %.3f Mops/s  (%.3f s, %llu/%llu effective)\n",
               r.mops(), r.seconds, static_cast<unsigned long long>(r.hits),

@@ -39,7 +39,15 @@ run "Figure 14 concurrency"            ./build/bench/bench_fig14_concurrency $AR
 run "YCSB suite (serial reads)"        ./build/bench/bench_ycsb_suite $ARGS
 run "YCSB suite (batched reads)"       ./build/bench/bench_ycsb_suite $ARGS --read_batch=32
 
-python3 - "$OUT" <<'PY'
+# Provenance stamps: numbers without the tree/build that produced them are
+# unreviewable, so record the git SHA, the build type from the CMake cache,
+# and the detected SIMD level alongside the runs.
+GIT_SHA="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+GIT_DIRTY="$(git status --porcelain 2>/dev/null | grep -q . && echo true || echo false)"
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' build/CMakeCache.txt | head -n1)"
+OBS="$(sed -n 's/^HDNH_OBS:BOOL=//p' build/CMakeCache.txt | head -n1)"
+
+python3 - "$OUT" "$PROFILE" "$GIT_SHA" "$GIT_DIRTY" "${BUILD_TYPE:-unspecified}" "${OBS:-ON}" <<'PY'
 import json, sys
 
 runs = []
@@ -57,10 +65,22 @@ for r in runs:
         headline["multiget_batch_speedup"] = r["multiget_batch_speedup"]
         headline["overlapped_read_fraction"] = r["overlapped_read_fraction"]
 
-doc = {"suite": "read-path", "headline": headline, "runs": runs}
+meta = {
+    "profile": sys.argv[2],
+    "git_sha": sys.argv[3],
+    "git_dirty": sys.argv[4] == "true",
+    "build_type": sys.argv[5],
+    "obs_compiled": sys.argv[6].upper() in ("ON", "1", "TRUE", "YES"),
+    # The probe bench reports what the binary actually dispatched to, which
+    # beats re-deriving it from compiler flags.
+    "simd_level": headline.get("probe_simd_level", "unknown"),
+}
+
+doc = {"suite": "read-path", "meta": meta, "headline": headline, "runs": runs}
 with open("BENCH_results.json", "w") as f:
     json.dump(doc, f, indent=1)
     f.write("\n")
 print(f"wrote BENCH_results.json ({len(runs)} runs)")
+print("meta:", json.dumps(meta))
 print("headline:", json.dumps(headline))
 PY

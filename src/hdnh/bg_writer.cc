@@ -1,5 +1,7 @@
 #include "hdnh/bg_writer.h"
 
+#include "obs/metrics.h"
+
 namespace hdnh {
 
 BgWriter::BgWriter(HotTable* hot, uint32_t workers) : hot_(hot) {
@@ -10,9 +12,17 @@ BgWriter::BgWriter(HotTable* hot, uint32_t workers) : hot_(hot) {
     Worker& w = *workers_.back();
     w.thread = std::thread([this, &w] { run(w); });
   }
+  if constexpr (obs::kCompiledIn) {
+    obs_gauge_ = obs::Metrics::add_gauge(
+        "hdnh_bg_queue_depth",
+        "writer=\"" + std::to_string(obs::Metrics::next_instance_id()) + "\"",
+        "Hot-table mirror requests submitted but not yet applied",
+        [this] { return static_cast<double>(queue_depth()); });
+  }
 }
 
 BgWriter::~BgWriter() {
+  if (obs_gauge_) obs::Metrics::remove_gauge(obs_gauge_);
   stop_.store(true, std::memory_order_release);
   for (auto& w : workers_) {
     {
@@ -25,6 +35,7 @@ BgWriter::~BgWriter() {
 
 void BgWriter::submit(Op op, const KVPair& kv, uint64_t key_hash,
                       SyncWriteSignal* signal) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
   Worker& w = *workers_[key_hash % workers_.size()];
   {
     std::lock_guard<std::mutex> lock(w.mu);
@@ -33,9 +44,23 @@ void BgWriter::submit(Op op, const KVPair& kv, uint64_t key_hash,
   w.cv.notify_one();
 }
 
+void BgWriter::apply(const Request& req) {
+  switch (req.op) {
+    case Op::kPut:
+      hot_->put(req.kv);
+      break;
+    case Op::kErase:
+      hot_->erase(req.kv.key);
+      break;
+  }
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (req.signal) req.signal->complete();
+}
+
 void BgWriter::run(Worker& w) {
+  std::deque<Request> batch;
   for (;;) {
-    Request req;
+    batch.clear();
     {
       std::unique_lock<std::mutex> lock(w.mu);
       w.cv.wait(lock, [&] {
@@ -45,18 +70,14 @@ void BgWriter::run(Worker& w) {
         if (stop_.load(std::memory_order_acquire)) return;
         continue;
       }
-      req = w.queue.front();
-      w.queue.pop_front();
+      // Drain everything queued in one go: under bursty submission the
+      // mutex is taken once per batch instead of once per request, and the
+      // batch shows up as a single bg_flush span rather than per-request
+      // noise.
+      batch.swap(w.queue);
     }
-    switch (req.op) {
-      case Op::kPut:
-        hot_->put(req.kv);
-        break;
-      case Op::kErase:
-        hot_->erase(req.kv.key);
-        break;
-    }
-    if (req.signal) req.signal->complete();
+    HDNH_OBS_SPAN("bg", "bg_flush");
+    for (const Request& req : batch) apply(req);
   }
 }
 

@@ -62,6 +62,14 @@ class BgWriter {
   void submit(Op op, const KVPair& kv, uint64_t key_hash,
               SyncWriteSignal* signal);
 
+  // Requests submitted but not yet applied, across all workers. Sampled by
+  // the hdnh_bg_queue_depth metrics gauge; transiently stale by design.
+  uint64_t queue_depth() const {
+    const uint64_t s = submitted_.load(std::memory_order_relaxed);
+    const uint64_t c = completed_.load(std::memory_order_relaxed);
+    return s > c ? s - c : 0;
+  }
+
  private:
   struct Request {
     Op op;
@@ -76,9 +84,13 @@ class BgWriter {
   };
 
   void run(Worker& w);
+  void apply(const Request& req);
 
   HotTable* hot_;
   std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  uint64_t obs_gauge_ = 0;  // 0 = none registered
   std::vector<std::unique_ptr<Worker>> workers_;
 };
 

@@ -9,6 +9,7 @@
 #include "common/clock.h"
 #include "common/simd.h"
 #include "common/threads.h"
+#include "obs/metrics.h"
 
 namespace hdnh {
 
@@ -57,9 +58,11 @@ Hdnh::Hdnh(nvm::PmemAllocator& alloc, HdnhConfig cfg)
   if (cfg_.enable_hot_table && cfg_.sync_mode == HdnhConfig::SyncMode::kBackground) {
     bg_ = std::make_unique<BgWriter>(hot_.get(), cfg_.bg_workers);
   }
+  register_obs_gauges();
 }
 
 Hdnh::~Hdnh() {
+  unregister_obs_gauges();  // gauge callbacks capture `this`
   bg_.reset();  // drain background mirrors before marking clean
   if (super_) {
     super_->clean_item_count = count_.load(std::memory_order_relaxed);
@@ -128,6 +131,7 @@ void Hdnh::create_fresh() {
 }
 
 void Hdnh::attach_and_recover() {
+  HDNH_OBS_SPAN("recovery", "attach_recover");
   super_ = pool_.to_ptr<HdnhSuper>(alloc_.root(kSuperRoot));
   if (super_->magic != HdnhSuper::kMagic) {
     throw std::runtime_error("Hdnh: pool root is not an HDNH superblock");
@@ -217,6 +221,7 @@ UpdateLogEntry* Hdnh::log_entry(uint32_t idx) const {
 }
 
 void Hdnh::replay_update_logs() {
+  HDNH_OBS_SPAN("recovery", "log_replay");
   for (uint32_t i = 0; i < kUpdateLogSlots; ++i) {
     UpdateLogEntry* e = log_entry(i);
     if (e->state.load(std::memory_order_relaxed) != 1) continue;
@@ -273,6 +278,7 @@ void Hdnh::rebuild_pass(uint32_t threads, bool do_ocf, bool do_hot) {
 }
 
 Hdnh::RecoveryStats Hdnh::rebuild_volatile(uint32_t threads, bool merged) {
+  HDNH_OBS_SPAN("recovery", "rebuild_volatile");
   RecoveryStats rs;
   // Start from empty volatile structures, as after a restart.
   lv_[0].ocf = zero_ocf(lv_[0].buckets);
@@ -531,6 +537,7 @@ void Hdnh::hot_mirror(BgWriter::Op op, const KVPair& kv, uint64_t h1) {
 // ---------------------------------------------------------------------------
 
 bool Hdnh::search(const Key& key, Value* out) {
+  HDNH_OBS_OP_SCOPE(obs::Op::kGet);
   std::shared_lock<std::shared_mutex> lock(resize_mu_);
   if (hot_ && hot_->search(key, out)) {
     nvm::Stats::local().dram_hot_hits++;
@@ -563,6 +570,8 @@ bool Hdnh::search(const Key& key, Value* out) {
 
 size_t Hdnh::multiget(const Key* keys, size_t n, Value* values, bool* found) {
   if (n == 0) return 0;
+  HDNH_OBS_OP_SCOPE(obs::Op::kMultiget);
+  HDNH_OBS_COUNT(obs::Op::kMultigetKeys, n);
   std::shared_lock<std::shared_mutex> lock(resize_mu_);
   auto& st = nvm::Stats::local();
 
@@ -736,6 +745,7 @@ size_t Hdnh::multiget(const Key* keys, size_t n, Value* values, bool* found) {
 }
 
 bool Hdnh::insert(const Key& key, const Value& value) {
+  HDNH_OBS_OP_SCOPE(obs::Op::kPut);
   const uint64_t h1 = key_hash1(key);
   const uint64_t h2 = key_hash2(key);
   const uint8_t fp = fingerprint(h1);
@@ -771,6 +781,7 @@ bool Hdnh::insert(const Key& key, const Value& value) {
 }
 
 bool Hdnh::update(const Key& key, const Value& value) {
+  HDNH_OBS_OP_SCOPE(obs::Op::kUpdate);
   const uint64_t h1 = key_hash1(key);
   const uint64_t h2 = key_hash2(key);
   const uint8_t fp = fingerprint(h1);
@@ -867,6 +878,7 @@ bool Hdnh::update(const Key& key, const Value& value) {
 }
 
 bool Hdnh::erase(const Key& key) {
+  HDNH_OBS_OP_SCOPE(obs::Op::kDelete);
   const uint64_t h1 = key_hash1(key);
   const uint64_t h2 = key_hash2(key);
   std::shared_lock<std::shared_mutex> lock(resize_mu_);
@@ -896,6 +908,7 @@ void Hdnh::do_resize(uint64_t expected_gen) {
   if (gen_.load(std::memory_order_relaxed) != expected_gen) {
     return;  // another thread already resized
   }
+  HDNH_OBS_SPAN("resize", "resize");
 
   // 1. Snapshot the current layout so recovery can replay the swap from any
   //    crash point, then enter state 2.
@@ -964,6 +977,7 @@ void Hdnh::do_resize(uint64_t expected_gen) {
 }
 
 void Hdnh::rehash_level(const Level& old_level, bool check_dup) {
+  HDNH_OBS_SPAN("resize", "rehash_level");
   const uint64_t start =
       super_->rehash_progress.load(std::memory_order_relaxed);
 
@@ -1076,6 +1090,44 @@ double Hdnh::load_factor() const {
   return slots ? static_cast<double>(count_.load(std::memory_order_relaxed)) /
                      static_cast<double>(slots)
                : 0.0;
+}
+
+void Hdnh::register_obs_gauges() {
+  if constexpr (!obs::kCompiledIn) return;
+  obs_label_ = "table=\"" + std::to_string(obs::Metrics::next_instance_id()) +
+               "\"";
+  auto add = [&](const char* name, const char* help,
+                 std::function<double()> fn) {
+    obs_gauges_.push_back(
+        obs::Metrics::add_gauge(name, obs_label_, help, std::move(fn)));
+  };
+  add("hdnh_items", "Live records in the table",
+      [this] { return static_cast<double>(size()); });
+  add("hdnh_total_slots", "Slots across both non-volatile levels",
+      [this] { return static_cast<double>(total_slots()); });
+  add("hdnh_load_factor", "items / total_slots",
+      [this] { return load_factor(); });
+  add("hdnh_resizes", "Structural resizes completed since attach",
+      [this] { return static_cast<double>(resizes_); });
+  add("hdnh_resize_phase",
+      "Resize state machine: 0 steady, 2 swap armed, 3 rehashing", [this] {
+        return static_cast<double>(
+            super_ ? super_->level_number.load(std::memory_order_relaxed) : 0);
+      });
+  if (hot_) {
+    add("hdnh_hot_occupancy_ratio",
+        "Hot-table cached items / hot-table slots", [this] {
+          const uint64_t slots = hot_->total_slots();
+          return slots ? static_cast<double>(hot_->occupied()) /
+                             static_cast<double>(slots)
+                       : 0.0;
+        });
+  }
+}
+
+void Hdnh::unregister_obs_gauges() {
+  for (const uint64_t id : obs_gauges_) obs::Metrics::remove_gauge(id);
+  obs_gauges_.clear();
 }
 
 void Hdnh::for_each(const std::function<void(const KVPair&)>& fn) const {

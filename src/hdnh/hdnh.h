@@ -28,6 +28,8 @@
 #include <functional>
 #include <memory>
 #include <shared_mutex>
+#include <string>
+#include <vector>
 
 #include "api/hash_table.h"
 #include "hdnh/bg_writer.h"
@@ -197,6 +199,14 @@ class Hdnh final : public HashTable {
 
   void hot_mirror(BgWriter::Op op, const KVPair& kv, uint64_t h1);
 
+  // ---- observability (src/obs) ----
+  // Registers this instance's live gauges (items, load factor, hot-table
+  // occupancy, resize phase) with the metrics registry; no-ops in gated-out
+  // builds. The gauge callbacks capture `this`, so the destructor removes
+  // them before any member teardown.
+  void register_obs_gauges();
+  void unregister_obs_gauges();
+
   nvm::PmemAllocator& alloc_;
   nvm::PmemPool& pool_;
   HdnhConfig cfg_;
@@ -220,6 +230,11 @@ class Hdnh final : public HashTable {
   uint64_t resizes_ = 0;
   std::atomic<uint64_t> log_free_mask_{~0ULL};
   RecoveryStats last_recovery_;
+
+  // Metrics-registry gauge handles owned by this instance (empty when the
+  // HDNH_OBS gate is off), plus the `table="<id>"` label they share.
+  std::vector<uint64_t> obs_gauges_;
+  std::string obs_label_;
 };
 
 }  // namespace hdnh

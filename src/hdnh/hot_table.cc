@@ -5,6 +5,7 @@
 
 #include "common/random.h"
 #include "common/simd.h"
+#include "obs/trace.h"
 
 namespace hdnh {
 
@@ -56,6 +57,7 @@ void HotTable::alloc_level(Level& lv, uint64_t buckets) {
 }
 
 void HotTable::reset(uint64_t total_slots) {
+  HDNH_OBS_SPAN("resize", "hot_reset");
   const uint64_t total_buckets =
       total_slots / spb_ >= 3 ? total_slots / spb_ : 3;
   bl_buckets_ = total_buckets / 3 ? total_buckets / 3 : 1;

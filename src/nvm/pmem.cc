@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "common/random.h"
+#include "obs/trace.h"
 
 namespace hdnh::nvm {
 
@@ -153,6 +154,7 @@ void PmemPool::persist(const void* p, uint64_t len) {
 
 void PmemPool::enable_crash_sim() {
   if (shadow_) return;
+  HDNH_OBS_SPAN("crash_sim", "enable_crash_sim");
   shadow_ = static_cast<char*>(::malloc(size_));
   if (!shadow_) throw std::runtime_error("PmemPool: shadow alloc failed");
   std::memcpy(shadow_, base_, size_);
@@ -165,6 +167,7 @@ void PmemPool::disable_crash_sim() {
 
 void PmemPool::evict_random_lines(uint64_t n, uint64_t seed) {
   if (!shadow_) return;
+  HDNH_OBS_SPAN("crash_sim", "evict_random_lines");
   Rng rng(seed);
   const uint64_t lines = size_ / kCacheLine;
   for (uint64_t i = 0; i < n; ++i) {
@@ -175,6 +178,7 @@ void PmemPool::evict_random_lines(uint64_t n, uint64_t seed) {
 }
 
 void PmemPool::simulate_crash() {
+  HDNH_OBS_SPAN("crash_sim", "simulate_crash");
   if (!shadow_) throw std::runtime_error("simulate_crash without crash sim");
   std::memcpy(base_, shadow_, size_);
 }

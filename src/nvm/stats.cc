@@ -7,6 +7,11 @@ namespace hdnh::nvm {
 struct Stats::Registry {
   std::mutex mu;
   std::vector<std::unique_ptr<Counters>> blocks;
+  // Raw aggregate captured by the last reset(); snapshot() subtracts it.
+  // Guarded by mu. Counters only grow, so raw - baseline never underflows
+  // (up to the long-documented benign raciness of the nonatomic per-thread
+  // increments, which tearing-free uint64 loads keep transient).
+  StatsSnapshot baseline;
 };
 
 Stats::Registry& Stats::registry() {
@@ -26,11 +31,9 @@ Stats::Counters& Stats::local() {
   return *block;
 }
 
-StatsSnapshot Stats::snapshot() {
+StatsSnapshot Stats::raw_aggregate_locked() {
   StatsSnapshot s;
-  Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
-  for (const auto& b : r.blocks) {
+  for (const auto& b : registry().blocks) {
     s.nvm_read_ops += b->nvm_read_ops;
     s.nvm_read_blocks += b->nvm_read_blocks;
     s.nvm_write_ops += b->nvm_write_ops;
@@ -47,10 +50,18 @@ StatsSnapshot Stats::snapshot() {
   return s;
 }
 
+StatsSnapshot Stats::snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  StatsSnapshot s = raw_aggregate_locked();
+  s -= r.baseline;
+  return s;
+}
+
 void Stats::reset() {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
-  for (auto& b : r.blocks) *b = Counters{};
+  r.baseline = raw_aggregate_locked();
 }
 
 }  // namespace hdnh::nvm

@@ -74,15 +74,43 @@ class Stats {
   static Counters& local();
 
   // Sum of all thread counters ever registered (including exited threads'
-  // final values).
+  // final values), minus the baseline captured by the last reset().
   static StatsSnapshot snapshot();
 
-  // Zero all registered counters (single-threaded phases only).
+  // Logically zero the aggregate, safe to call at any time from any
+  // thread: instead of writing other threads' counter blocks (a data race
+  // with their nonatomic fast-path increments), reset() swaps in the
+  // current raw aggregate as a baseline that snapshot() subtracts.
   static void reset();
 
  private:
   struct Registry;
   static Registry& registry();
+  static StatsSnapshot raw_aggregate_locked();
+};
+
+// RAII delta over the global counters: captures a baseline at construction,
+// delta() reports what accrued since. Replaces the hand-rolled
+// snapshot/subtract pattern in benches and tests:
+//
+//   ScopedStatsDelta d;
+//   ... workload ...
+//   const StatsSnapshot used = d.delta();
+class ScopedStatsDelta {
+ public:
+  ScopedStatsDelta() : before_(Stats::snapshot()) {}
+
+  StatsSnapshot delta() const {
+    StatsSnapshot s = Stats::snapshot();
+    s -= before_;
+    return s;
+  }
+
+  // Re-arm the baseline at "now" (next phase of a multi-phase bench).
+  void rebase() { before_ = Stats::snapshot(); }
+
+ private:
+  StatsSnapshot before_;
 };
 
 }  // namespace hdnh::nvm

@@ -1,0 +1,136 @@
+// Minimal streaming JSON writer used by the metrics serializers, the YCSB
+// reporter, and hdnh_doctor --json. Produces strictly valid JSON (comma
+// placement tracked by a container stack, strings escaped, non-finite
+// doubles mapped to null); deliberately write-only — parsing/validation
+// belongs to the consumers (python in CI, the test-side validator).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hdnh::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  // Object member key; follow with exactly one value (or container).
+  JsonWriter& key(const std::string& k) {
+    comma();
+    append_string(k);
+    out_ += ':';
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(const std::string& v) {
+    comma();
+    append_string(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(uint64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(int64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<int64_t>(v)); }
+  JsonWriter& value(uint32_t v) { return value(static_cast<uint64_t>(v)); }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    comma();
+    if (!std::isfinite(v)) {
+      out_ += "null";  // JSON has no inf/nan
+    } else {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.10g", v);
+      out_ += buf;
+    }
+    return *this;
+  }
+  JsonWriter& null() {
+    comma();
+    out_ += "null";
+    return *this;
+  }
+
+  // Splice a pre-serialized JSON value verbatim (e.g. a nested document
+  // produced by another serializer). The caller guarantees validity.
+  JsonWriter& raw(const std::string& json) {
+    comma();
+    out_ += json;
+    return *this;
+  }
+
+  template <typename T>
+  JsonWriter& kv(const std::string& k, T v) {
+    return key(k).value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  JsonWriter& open(char c) {
+    comma();
+    out_ += c;
+    first_.push_back(true);
+    return *this;
+  }
+  JsonWriter& close(char c) {
+    out_ += c;
+    first_.pop_back();
+    return *this;
+  }
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;  // value follows its key directly
+      return;
+    }
+    if (!first_.empty()) {
+      if (!first_.back()) out_ += ',';
+      first_.back() = false;
+    }
+  }
+  void append_string(const std::string& s) {
+    out_ += '"';
+    for (const char ch : s) {
+      switch (ch) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+            out_ += buf;
+          } else {
+            out_ += ch;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> first_;
+  bool pending_value_ = false;
+};
+
+}  // namespace hdnh::obs

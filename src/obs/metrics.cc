@@ -1,0 +1,286 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace hdnh::obs {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kGet: return "get";
+    case Op::kPut: return "put";
+    case Op::kUpdate: return "update";
+    case Op::kDelete: return "delete";
+    case Op::kMultiget: return "multiget";
+    case Op::kMultigetKeys: return "multiget_keys";
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct GaugeEntry {
+  std::string name;
+  std::string labels;
+  std::string help;
+  std::function<double()> fn;
+};
+
+}  // namespace
+
+struct Metrics::Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadBlock>> blocks;
+  std::map<uint64_t, GaugeEntry> gauges;
+  uint64_t next_gauge_id = 1;
+  std::atomic<uint64_t> next_instance{0};
+};
+
+Metrics::Registry& Metrics::registry() {
+  static Registry* r = new Registry();  // leaked: outlives all threads
+  return *r;
+}
+
+Metrics::ThreadBlock& Metrics::local() {
+  if (tl_block_ == nullptr) {
+    auto owned = std::make_unique<ThreadBlock>();
+    ThreadBlock* raw = owned.get();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.blocks.push_back(std::move(owned));
+    tl_block_ = raw;
+  }
+  return *tl_block_;
+}
+
+void Metrics::record_latency(Op op, uint64_t ns) {
+  ThreadBlock& b = local();
+  if (!b.hist) b.hist = std::make_unique<Histogram[]>(kOpCount);
+  b.hist[static_cast<uint32_t>(op)].record(ns);
+}
+
+uint64_t Metrics::add_gauge(std::string name, std::string labels,
+                            std::string help, std::function<double()> fn) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const uint64_t id = r.next_gauge_id++;
+  r.gauges.emplace(id, GaugeEntry{std::move(name), std::move(labels),
+                                  std::move(help), std::move(fn)});
+  return id;
+}
+
+void Metrics::remove_gauge(uint64_t id) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.gauges.erase(id);
+}
+
+uint64_t Metrics::next_instance_id() {
+  return registry().next_instance.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Metrics::op_snapshot(std::array<OpSnapshot, kOpCount>* out) {
+  for (auto& s : *out) s = OpSnapshot{};
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& b : r.blocks) {
+    for (uint32_t i = 0; i < kOpCount; ++i) {
+      (*out)[i].count += b->counts[i];
+      if (b->hist) (*out)[i].latency.merge(b->hist[i]);
+    }
+  }
+}
+
+void Metrics::reset_ops() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& b : r.blocks) {
+    b->counts.fill(0);
+    b->hist.reset();
+  }
+}
+
+namespace {
+
+// The nvm counter names, in stats.h declaration order, paired with a getter
+// so both serializers walk one list.
+struct NvmField {
+  const char* name;
+  uint64_t nvm::StatsSnapshot::* field;
+};
+constexpr NvmField kNvmFields[] = {
+    {"nvm_read_ops", &nvm::StatsSnapshot::nvm_read_ops},
+    {"nvm_read_blocks", &nvm::StatsSnapshot::nvm_read_blocks},
+    {"nvm_write_ops", &nvm::StatsSnapshot::nvm_write_ops},
+    {"nvm_write_lines", &nvm::StatsSnapshot::nvm_write_lines},
+    {"fences", &nvm::StatsSnapshot::fences},
+    {"dram_hot_hits", &nvm::StatsSnapshot::dram_hot_hits},
+    {"ocf_filtered", &nvm::StatsSnapshot::ocf_filtered},
+    {"ocf_false_positive", &nvm::StatsSnapshot::ocf_false_positive},
+    {"lock_waits", &nvm::StatsSnapshot::lock_waits},
+    {"nvm_prefetch_issued", &nvm::StatsSnapshot::nvm_prefetch_issued},
+    {"nvm_read_blocks_overlapped",
+     &nvm::StatsSnapshot::nvm_read_blocks_overlapped},
+    {"nvm_read_blocks_stalled", &nvm::StatsSnapshot::nvm_read_blocks_stalled},
+};
+
+constexpr double kQuantiles[] = {0.5, 0.9, 0.99, 0.999};
+
+struct Derived {
+  double hot_hit_ratio;          // DRAM hot-table hits / point lookups
+  double ocf_false_positive_rate;  // fp matches that missed / NVM reads
+  double overlapped_read_fraction;  // pipelined blocks / all blocks
+};
+
+Derived derive(const nvm::StatsSnapshot& s,
+               const std::array<Metrics::OpSnapshot, kOpCount>& ops) {
+  auto ratio = [](double num, double den) { return den > 0 ? num / den : 0.0; };
+  const double lookups =
+      static_cast<double>(ops[static_cast<uint32_t>(Op::kGet)].count +
+                          ops[static_cast<uint32_t>(Op::kMultigetKeys)].count);
+  Derived d;
+  d.hot_hit_ratio = ratio(static_cast<double>(s.dram_hot_hits), lookups);
+  d.ocf_false_positive_rate = ratio(static_cast<double>(s.ocf_false_positive),
+                                    static_cast<double>(s.nvm_read_ops));
+  d.overlapped_read_fraction =
+      ratio(static_cast<double>(s.nvm_read_blocks_overlapped),
+            static_cast<double>(s.nvm_read_blocks_overlapped +
+                                s.nvm_read_blocks_stalled));
+  return d;
+}
+
+}  // namespace
+
+std::string Metrics::prometheus() {
+  const nvm::StatsSnapshot nvm = nvm::Stats::snapshot();
+  std::array<OpSnapshot, kOpCount> ops;
+  op_snapshot(&ops);
+
+  std::string out;
+  char buf[256];
+  auto line = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    out += buf;
+  };
+
+  for (const NvmField& f : kNvmFields) {
+    line("# TYPE hdnh_%s_total counter\n", f.name);
+    line("hdnh_%s_total %llu\n", f.name,
+         static_cast<unsigned long long>(nvm.*f.field));
+  }
+
+  out += "# HELP hdnh_ops_total operations issued, by kind\n";
+  out += "# TYPE hdnh_ops_total counter\n";
+  for (uint32_t i = 0; i < kOpCount; ++i) {
+    line("hdnh_ops_total{op=\"%s\"} %llu\n", op_name(static_cast<Op>(i)),
+         static_cast<unsigned long long>(ops[i].count));
+  }
+
+  out += "# HELP hdnh_op_latency_ns per-operation latency (recorded while "
+         "latency capture is enabled)\n";
+  out += "# TYPE hdnh_op_latency_ns summary\n";
+  for (uint32_t i = 0; i < kOpCount; ++i) {
+    const Histogram& h = ops[i].latency;
+    if (h.count() == 0) continue;
+    const char* op = op_name(static_cast<Op>(i));
+    for (const double q : kQuantiles) {
+      line("hdnh_op_latency_ns{op=\"%s\",quantile=\"%g\"} %llu\n", op, q,
+           static_cast<unsigned long long>(h.percentile(q)));
+    }
+    line("hdnh_op_latency_ns_sum{op=\"%s\"} %.0f\n", op,
+         h.mean() * static_cast<double>(h.count()));
+    line("hdnh_op_latency_ns_count{op=\"%s\"} %llu\n", op,
+         static_cast<unsigned long long>(h.count()));
+  }
+
+  {
+    // Gauges, grouped by metric name so each TYPE header appears once.
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    std::map<std::string, std::vector<const GaugeEntry*>> by_name;
+    for (const auto& [id, g] : r.gauges) by_name[g.name].push_back(&g);
+    for (const auto& [name, entries] : by_name) {
+      if (!entries.front()->help.empty()) {
+        line("# HELP %s %s\n", name.c_str(), entries.front()->help.c_str());
+      }
+      line("# TYPE %s gauge\n", name.c_str());
+      for (const GaugeEntry* g : entries) {
+        if (g->labels.empty()) {
+          line("%s %.10g\n", name.c_str(), g->fn());
+        } else {
+          line("%s{%s} %.10g\n", name.c_str(), g->labels.c_str(), g->fn());
+        }
+      }
+    }
+  }
+
+  const Derived d = derive(nvm, ops);
+  out += "# TYPE hdnh_hot_hit_ratio gauge\n";
+  line("hdnh_hot_hit_ratio %.10g\n", d.hot_hit_ratio);
+  out += "# TYPE hdnh_ocf_false_positive_rate gauge\n";
+  line("hdnh_ocf_false_positive_rate %.10g\n", d.ocf_false_positive_rate);
+  out += "# TYPE hdnh_overlapped_read_fraction gauge\n";
+  line("hdnh_overlapped_read_fraction %.10g\n", d.overlapped_read_fraction);
+  return out;
+}
+
+std::string Metrics::json() {
+  const nvm::StatsSnapshot nvm = nvm::Stats::snapshot();
+  std::array<OpSnapshot, kOpCount> ops;
+  op_snapshot(&ops);
+
+  JsonWriter w;
+  w.begin_object();
+
+  w.key("nvm").begin_object();
+  for (const NvmField& f : kNvmFields) w.kv(f.name, nvm.*f.field);
+  w.end_object();
+
+  w.key("ops").begin_object();
+  for (uint32_t i = 0; i < kOpCount; ++i) {
+    const Histogram& h = ops[i].latency;
+    w.key(op_name(static_cast<Op>(i))).begin_object();
+    w.kv("count", ops[i].count);
+    if (h.count() > 0) {
+      w.kv("latency_count", h.count());
+      w.kv("mean_ns", h.mean());
+      w.kv("p50_ns", h.percentile(0.5));
+      w.kv("p90_ns", h.percentile(0.9));
+      w.kv("p99_ns", h.percentile(0.99));
+      w.kv("p999_ns", h.percentile(0.999));
+      w.kv("max_ns", h.max());
+    }
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("gauges").begin_array();
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (const auto& [id, g] : r.gauges) {
+      w.begin_object();
+      w.kv("name", g.name);
+      if (!g.labels.empty()) w.kv("labels", g.labels);
+      w.kv("value", g.fn());
+      w.end_object();
+    }
+  }
+  w.end_array();
+
+  const Derived d = derive(nvm, ops);
+  w.key("derived").begin_object();
+  w.kv("hot_hit_ratio", d.hot_hit_ratio);
+  w.kv("ocf_false_positive_rate", d.ocf_false_positive_rate);
+  w.kv("overlapped_read_fraction", d.overlapped_read_fraction);
+  w.end_object();
+
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace hdnh::obs

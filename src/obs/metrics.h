@@ -1,0 +1,153 @@
+// Store-wide metrics registry: one scrape point unifying
+//   * the emulated-NVM counters (nvm::Stats — reads/writes/fences, OCF
+//     filtering, hot-table hits, prefetch overlap),
+//   * per-operation counts and latency histograms (per-thread recording,
+//     merge on scrape, common/histogram.h),
+//   * live gauges registered by the components themselves (per-table
+//     occupancy, resize phase, bg-writer backlog, shard count, ...),
+//   * derived ratios the paper's claims are stated in (hot-table hit
+//     ratio, OCF false-positive rate, overlapped-read fraction),
+// exposed through both Prometheus text exposition and a JSON document.
+//
+// Hot-path cost model: counting an operation is a thread-local nonatomic
+// increment; latency histograms are recorded only while
+// set_latency_enabled(true) (one relaxed atomic load per op otherwise).
+// Scrape-side work (merging thread blocks, walking gauges) happens only
+// when a serializer is called. The instrumentation macros at the bottom
+// compile to nothing when the HDNH_OBS gate is off.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "nvm/stats.h"
+#include "obs/trace.h"
+
+namespace hdnh::obs {
+
+// Operation kinds tracked by the registry. kMultiget counts batched calls;
+// kMultigetKeys counts the keys those calls carried (the per-key
+// denominator for hit-ratio math).
+enum class Op : uint32_t {
+  kGet = 0,
+  kPut,
+  kUpdate,
+  kDelete,
+  kMultiget,
+  kMultigetKeys,
+};
+inline constexpr uint32_t kOpCount = 6;
+const char* op_name(Op op);
+
+class Metrics {
+ public:
+  struct OpSnapshot {
+    uint64_t count = 0;
+    Histogram latency;
+  };
+
+  // ---- hot path ---------------------------------------------------------
+
+  static bool latency_enabled() {
+    return latency_enabled_.load(std::memory_order_relaxed);
+  }
+  // Turn per-op latency histogram recording on/off (off by default; the
+  // YCSB runner enables it for runs that request metrics output).
+  static void set_latency_enabled(bool on) {
+    latency_enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  // Inline fast path: a constant-initialized thread_local pointer (no TLS
+  // init guard on access) plus a nonatomic array bump. The slow branch
+  // (first call on a thread) registers the block and caches the pointer.
+  static void count_op(Op op, uint64_t n = 1) {
+    ThreadBlock* b = tl_block_;
+    if (b == nullptr) b = &local();
+    b->counts[static_cast<uint32_t>(op)] += n;
+  }
+  static void record_latency(Op op, uint64_t ns);
+
+  // ---- gauges -----------------------------------------------------------
+
+  // Register a live gauge sampled at scrape time. `name` is the Prometheus
+  // metric name (e.g. "hdnh_load_factor"), `labels` the label body without
+  // braces (e.g. "table=\"0\"", may be empty). The callback must stay
+  // callable until remove_gauge and must not re-enter the registry.
+  // Returns a handle for remove_gauge.
+  static uint64_t add_gauge(std::string name, std::string labels,
+                            std::string help, std::function<double()> fn);
+  static void remove_gauge(uint64_t id);
+
+  // Monotone id used by components to label their per-instance gauges.
+  static uint64_t next_instance_id();
+
+  // ---- scrape -----------------------------------------------------------
+
+  // Merged per-op counters/histograms since start (or reset_ops).
+  static void op_snapshot(std::array<OpSnapshot, kOpCount>* out);
+
+  // Prometheus text exposition format (counters, summaries, gauges).
+  static std::string prometheus();
+  // The same data as one JSON document:
+  // {"nvm":{...},"ops":{...},"gauges":[...],"derived":{...}}.
+  static std::string json();
+
+  // Zero op counters and histograms. Requires quiescence of instrumented
+  // operations (test harness / between benchmark phases); gauges and the
+  // nvm::Stats counters are not touched (use nvm::Stats::reset()).
+  static void reset_ops();
+
+ private:
+  struct ThreadBlock {
+    std::array<uint64_t, kOpCount> counts{};
+    std::unique_ptr<Histogram[]> hist;  // [kOpCount], lazily allocated
+  };
+  struct Registry;
+  static Registry& registry();
+  // Registers this thread's block (first call) and caches it in tl_block_.
+  static ThreadBlock& local();
+
+  // Blocks are owned by the (leaked) registry, so the cached pointer can
+  // never dangle; constant initialization keeps the access guard-free.
+  inline static thread_local ThreadBlock* tl_block_ = nullptr;
+  inline static std::atomic<bool> latency_enabled_{false};
+};
+
+// RAII per-operation hook: bumps the op counter at scope exit and, when
+// latency recording is enabled, times the scope into the op's histogram.
+class OpTimer {
+ public:
+  explicit OpTimer(Op op)
+      : op_(op), start_(Metrics::latency_enabled() ? now_ns() : 0) {}
+  ~OpTimer() {
+    Metrics::count_op(op_);
+    if (start_) Metrics::record_latency(op_, now_ns() - start_);
+  }
+  OpTimer(const OpTimer&) = delete;
+  OpTimer& operator=(const OpTimer&) = delete;
+
+ private:
+  Op op_;
+  uint64_t start_;
+};
+
+}  // namespace hdnh::obs
+
+#if defined(HDNH_OBS)
+#define HDNH_OBS_OP_SCOPE(op) \
+  ::hdnh::obs::OpTimer HDNH_OBS_CONCAT(obs_op_, __COUNTER__)(op)
+#define HDNH_OBS_COUNT(op, n) ::hdnh::obs::Metrics::count_op(op, n)
+#else
+#define HDNH_OBS_OP_SCOPE(op) \
+  do {                        \
+  } while (0)
+#define HDNH_OBS_COUNT(op, n) \
+  do {                        \
+  } while (0)
+#endif

@@ -1,0 +1,14 @@
+// Umbrella header for the observability layer (docs/observability.md):
+//   * obs/metrics.h — metrics registry (counters, latency histograms,
+//     gauges, Prometheus/JSON scrape) + HDNH_OBS_OP_SCOPE/HDNH_OBS_COUNT
+//   * obs/trace.h   — event tracer (per-thread span rings, Chrome
+//     trace_event dump) + HDNH_OBS_SPAN/HDNH_OBS_INSTANT
+//   * obs/report.h  — periodic file reporter
+//
+// All instrumentation macros compile to nothing under -DHDNH_OBS=OFF;
+// obs::kCompiledIn reflects the gate at runtime.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"

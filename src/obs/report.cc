@@ -1,0 +1,59 @@
+#include "obs/report.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace hdnh::obs {
+
+bool write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (!f) return false;
+  const bool wrote =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+PeriodicReporter::PeriodicReporter(Options opts) : opts_(std::move(opts)) {
+  flush();
+  thread_ = std::thread([this] { run(); });
+}
+
+PeriodicReporter::~PeriodicReporter() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  flush();
+}
+
+void PeriodicReporter::flush() {
+  if (!opts_.json_path.empty()) {
+    write_file_atomic(opts_.json_path, Metrics::json());
+  }
+  if (!opts_.prom_path.empty()) {
+    write_file_atomic(opts_.prom_path, Metrics::prometheus());
+  }
+}
+
+void PeriodicReporter::run() {
+  const auto interval = std::chrono::duration<double>(
+      opts_.interval_s > 0 ? opts_.interval_s : 1.0);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!cv_.wait_for(lock, interval, [this] { return stop_; })) {
+    lock.unlock();
+    flush();
+    lock.lock();
+  }
+}
+
+}  // namespace hdnh::obs

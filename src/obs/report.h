@@ -1,0 +1,53 @@
+// Periodic stats reporter: a background thread that snapshots the metrics
+// registry on a fixed cadence and (re)writes the snapshot to files, so an
+// external collector — or a human with `watch cat` — always sees a fresh,
+// complete document. Files are written atomically (temp + rename): a reader
+// never observes a torn snapshot.
+//
+// Used by the YCSB runner's --metrics_out plumbing; cheap enough to leave
+// running for the life of a long process (all cost is on the reporter
+// thread, at scrape granularity).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace hdnh::obs {
+
+// Write `content` to `path` via a sibling temp file + rename. Returns false
+// (and leaves any previous file intact) on I/O failure.
+bool write_file_atomic(const std::string& path, const std::string& content);
+
+class PeriodicReporter {
+ public:
+  struct Options {
+    std::string json_path;  // Metrics::json() target ("" = skip)
+    std::string prom_path;  // Metrics::prometheus() target ("" = skip)
+    double interval_s = 1.0;
+  };
+
+  // Starts the reporter thread; writes a first snapshot immediately.
+  explicit PeriodicReporter(Options opts);
+  // Writes a final snapshot, then stops.
+  ~PeriodicReporter();
+
+  PeriodicReporter(const PeriodicReporter&) = delete;
+  PeriodicReporter& operator=(const PeriodicReporter&) = delete;
+
+  // Snapshot + write now, off-schedule (also used for the final write).
+  void flush();
+
+ private:
+  void run();
+
+  Options opts_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace hdnh::obs

@@ -1,0 +1,198 @@
+// Event tracer: lock-free per-thread span rings, dumped on demand as Chrome
+// trace_event JSON (load the dump in chrome://tracing or Perfetto).
+//
+// Recording is designed for the store's *coarse* events — resize and its
+// phases, segment rehash, background flush batches, update-log replay,
+// recovery passes, crash simulation — not per-operation spans: a record is
+// two clock reads plus a nonatomic store into the calling thread's own
+// fixed-size ring, so leaving tracing enabled in production costs nothing
+// measurable at those rates. Each thread owns its ring exclusively; the
+// global registry mutex is taken only on first use per thread and on dump.
+// Rings wrap, overwriting the oldest events (the per-ring `dropped` count
+// is reported in the dump so truncation is never silent).
+//
+// Span names/categories must be string literals (or otherwise outlive the
+// tracer): rings store the pointers, not copies.
+//
+// This header is intentionally header-only and depends only on common/ so
+// the NVM emulator (a lower layer than the metrics registry) can record
+// spans without a dependency cycle.
+//
+// Dumping and clearing assume quiescence of *tracing* activity (spans in
+// flight on other threads may be partially visible); the store itself may
+// keep serving traffic.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace hdnh::obs {
+
+// True when the HDNH_OBS compile-time gate is on, i.e. the instrumentation
+// macros below expand to real code. Tests use this to skip wiring checks in
+// gated-out builds; the obs classes themselves are always available.
+#if defined(HDNH_OBS)
+inline constexpr bool kCompiledIn = true;
+#else
+inline constexpr bool kCompiledIn = false;
+#endif
+
+class Tracer {
+ public:
+  struct Event {
+    const char* cat = nullptr;
+    const char* name = nullptr;
+    uint64_t start_ns = 0;
+    uint64_t dur_ns = 0;
+  };
+  // Per-thread capacity. 4096 complete events cover thousands of resizes /
+  // flush batches; older events are overwritten, newest always retained.
+  static constexpr uint64_t kRingEvents = 4096;
+
+  static bool enabled() {
+    return state().enabled.load(std::memory_order_relaxed);
+  }
+  static void set_enabled(bool on) {
+    state().enabled.store(on, std::memory_order_relaxed);
+  }
+
+  static void record(const char* cat, const char* name, uint64_t start_ns,
+                     uint64_t dur_ns) {
+    Ring& r = ring();
+    r.ev[r.next % kRingEvents] = Event{cat, name, start_ns, dur_ns};
+    r.next++;
+  }
+
+  // Zero-duration marker event.
+  static void instant(const char* cat, const char* name) {
+    record(cat, name, now_ns(), 0);
+  }
+
+  // Chrome trace_event JSON: {"traceEvents":[{"ph":"X",...},...]}.
+  // Timestamps are microseconds on the process monotonic clock.
+  static std::string dump_json() {
+    State& s = state();
+    std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    std::lock_guard<std::mutex> lock(s.mu);
+    bool first = true;
+    char buf[256];
+    for (const Ring* r : s.rings) {
+      const uint64_t n = r->next;
+      const uint64_t lo = n > kRingEvents ? n - kRingEvents : 0;
+      for (uint64_t i = lo; i < n; ++i) {
+        const Event& e = r->ev[i % kRingEvents];
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                      "\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f}",
+                      first ? "" : ",", e.name, e.cat, r->tid,
+                      static_cast<double>(e.start_ns) / 1e3,
+                      static_cast<double>(e.dur_ns) / 1e3);
+        out += buf;
+        first = false;
+      }
+    }
+    out += "],\"otherData\":{\"dropped_events\":";
+    uint64_t dropped = 0;
+    for (const Ring* r : s.rings) {
+      if (r->next > kRingEvents) dropped += r->next - kRingEvents;
+    }
+    out += std::to_string(dropped);
+    out += "}}";
+    return out;
+  }
+
+  // Forget all recorded events (rings stay registered). Quiescence of
+  // tracing activity assumed, as for dump_json().
+  static void clear() {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (Ring* r : s.rings) r->next = 0;
+  }
+
+  // Events currently retained across all rings (post-wrap), for tests.
+  static uint64_t event_count() {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    uint64_t n = 0;
+    for (const Ring* r : s.rings) n += std::min(r->next, kRingEvents);
+    return n;
+  }
+
+ private:
+  struct Ring {
+    std::array<Event, kRingEvents> ev;
+    uint64_t next = 0;  // monotone write index; ev[next % kRingEvents]
+    uint32_t tid = 0;
+  };
+  struct State {
+    std::atomic<bool> enabled{true};
+    std::mutex mu;
+    std::vector<Ring*> rings;  // leaked blocks: outlive their threads
+    uint32_t next_tid = 1;
+  };
+
+  static State& state() {
+    static State* s = new State();  // leaked: usable during any thread exit
+    return *s;
+  }
+
+  static Ring& ring() {
+    thread_local Ring* r = [] {
+      auto* owned = new Ring();
+      State& s = state();
+      std::lock_guard<std::mutex> lock(s.mu);
+      owned->tid = s.next_tid++;
+      s.rings.push_back(owned);
+      return owned;
+    }();
+    return *r;
+  }
+};
+
+// RAII span: times its scope and records it at destruction. Skips the clock
+// reads entirely while tracing is disabled.
+class Span {
+ public:
+  Span(const char* cat, const char* name)
+      : cat_(cat), name_(name), start_(Tracer::enabled() ? now_ns() : 0) {}
+  ~Span() {
+    if (start_) Tracer::record(cat_, name_, start_, now_ns() - start_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* cat_;
+  const char* name_;
+  uint64_t start_;
+};
+
+}  // namespace hdnh::obs
+
+// Instrumentation macros: compile to nothing when the HDNH_OBS gate is off
+// (cmake -DHDNH_OBS=OFF), so the hot path carries zero observability cost
+// in gated-out builds.
+#define HDNH_OBS_CONCAT_(a, b) a##b
+#define HDNH_OBS_CONCAT(a, b) HDNH_OBS_CONCAT_(a, b)
+
+#if defined(HDNH_OBS)
+#define HDNH_OBS_SPAN(cat, name) \
+  ::hdnh::obs::Span HDNH_OBS_CONCAT(obs_span_, __COUNTER__)(cat, name)
+#define HDNH_OBS_INSTANT(cat, name) ::hdnh::obs::Tracer::instant(cat, name)
+#else
+#define HDNH_OBS_SPAN(cat, name) \
+  do {                           \
+  } while (0)
+#define HDNH_OBS_INSTANT(cat, name) \
+  do {                              \
+  } while (0)
+#endif

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "api/batch.h"
+#include "obs/metrics.h"
 
 namespace hdnh::store {
 
@@ -16,6 +17,20 @@ ShardedTable::ShardedTable(std::unique_ptr<nvm::ShardedPmemLayout> layout,
   if (layout_ && layout_->shards() != shards_.size()) {
     throw std::invalid_argument("layout/table shard count mismatch");
   }
+  if constexpr (obs::kCompiledIn) {
+    obs_label_ = "store=\"" + name_ + "\"";
+    obs_gauges_.push_back(obs::Metrics::add_gauge(
+        "hdnh_store_shards", obs_label_, "Shard count of the store facade",
+        [this] { return static_cast<double>(this->shards()); }));
+    obs_gauges_.push_back(obs::Metrics::add_gauge(
+        "hdnh_store_load_factor", obs_label_,
+        "Aggregate items / aggregate slots across shards",
+        [this] { return load_factor(); }));
+  }
+}
+
+ShardedTable::~ShardedTable() {
+  for (const uint64_t id : obs_gauges_) obs::Metrics::remove_gauge(id);
 }
 
 bool ShardedTable::insert(const Key& key, const Value& value) {
@@ -121,6 +136,7 @@ void ShardedTable::for_each(
 }
 
 Hdnh::IntegrityReport ShardedTable::check_integrity() {
+  HDNH_OBS_SPAN("integrity", "store_check_integrity");
   Hdnh::IntegrityReport agg;
   for (uint32_t s = 0; s < shards(); ++s) {
     const Hdnh::IntegrityReport r = hdnh_shard(s).check_integrity();

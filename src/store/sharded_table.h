@@ -53,6 +53,7 @@ class ShardedTable final : public HashTable {
   ShardedTable(std::unique_ptr<nvm::ShardedPmemLayout> layout,
                std::vector<std::unique_ptr<HashTable>> shards,
                std::string name);
+  ~ShardedTable() override;
 
   bool insert(const Key& key, const Value& value) override;
   bool search(const Key& key, Value* out) override;
@@ -99,6 +100,10 @@ class ShardedTable final : public HashTable {
   std::unique_ptr<nvm::ShardedPmemLayout> layout_;
   std::vector<std::unique_ptr<HashTable>> shards_;
   std::string name_;
+  // Metrics-registry gauges owned by the facade (shard count, aggregate
+  // load factor); empty when the HDNH_OBS gate is off.
+  std::vector<uint64_t> obs_gauges_;
+  std::string obs_label_;
 };
 
 }  // namespace hdnh::store

@@ -1,11 +1,14 @@
 #include "ycsb/runner.h"
 
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/threads.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
 
 namespace hdnh::ycsb {
 
@@ -29,9 +32,28 @@ RunResult run(HashTable& table, const WorkloadSpec& spec, uint64_t preloaded,
   std::atomic<uint64_t> next_delete{0};
   std::atomic<uint64_t> total_hits{0};
 
+  // Metrics surfacing: turn on per-op latency capture and start the
+  // periodic file reporter for the duration of the run when the caller
+  // asked for metrics output.
+  const bool want_metrics =
+      !opts.metrics_json_out.empty() || !opts.metrics_prom_out.empty();
+  // Metrics output implies latency capture in the result histogram too, so
+  // the BENCH_JSON/percentile consumers see the same run they scraped.
+  const bool measure = opts.measure_latency || want_metrics;
+  const bool latency_was = obs::Metrics::latency_enabled();
+  std::unique_ptr<obs::PeriodicReporter> reporter;
+  if (want_metrics) {
+    obs::Metrics::set_latency_enabled(true);
+    obs::PeriodicReporter::Options ropts;
+    ropts.json_path = opts.metrics_json_out;
+    ropts.prom_path = opts.metrics_prom_out;
+    ropts.interval_s = opts.metrics_interval_s;
+    reporter = std::make_unique<obs::PeriodicReporter>(ropts);
+  }
+
   std::vector<Histogram> hists(threads);
   SpinBarrier barrier(threads);
-  const nvm::StatsSnapshot before = nvm::Stats::snapshot();
+  const nvm::ScopedStatsDelta nvm_delta;
   std::atomic<uint64_t> t_start{0};
   std::atomic<uint64_t> t_end{0};
 
@@ -49,11 +71,11 @@ RunResult run(HashTable& table, const WorkloadSpec& spec, uint64_t preloaded,
     if (batch) batch_keys.reserve(batch);
     auto flush_reads = [&] {
       if (batch_keys.empty()) return;
-      const uint64_t t0 = opts.measure_latency ? now_ns() : 0;
+      const uint64_t t0 = measure ? now_ns() : 0;
       hits += table.multiget(batch_keys.data(), batch_keys.size(),
                              batch_vals.data(),
                              reinterpret_cast<bool*>(batch_found.data()));
-      if (opts.measure_latency) {
+      if (measure) {
         const uint64_t per = (now_ns() - t0) / batch_keys.size();
         for (size_t j = 0; j < batch_keys.size(); ++j) hist.record(per);
       }
@@ -69,7 +91,7 @@ RunResult run(HashTable& table, const WorkloadSpec& spec, uint64_t preloaded,
 
     for (uint64_t i = 0; i < my_ops; ++i) {
       const double dice = op_rng.next_double();
-      const uint64_t t0 = opts.measure_latency ? now_ns() : 0;
+      const uint64_t t0 = measure ? now_ns() : 0;
       bool ok = false;
       if (dice < p_read) {
         const uint64_t id = spec.negative_read
@@ -94,7 +116,7 @@ RunResult run(HashTable& table, const WorkloadSpec& spec, uint64_t preloaded,
         const uint64_t id = next_delete.fetch_add(1, std::memory_order_relaxed);
         ok = table.erase(make_key(id % (preloaded ? preloaded : 1)));
       }
-      if (opts.measure_latency) hist.record(now_ns() - t0);
+      if (measure) hist.record(now_ns() - t0);
       hits += ok ? 1 : 0;
     }
     flush_reads();
@@ -117,9 +139,11 @@ RunResult run(HashTable& table, const WorkloadSpec& spec, uint64_t preloaded,
   r.ops = ops;
   r.hits = total_hits.load();
   r.seconds = static_cast<double>(t_end.load() - t_start.load()) / 1e9;
-  r.nvm = nvm::Stats::snapshot();
-  r.nvm -= before;
+  r.nvm = nvm_delta.delta();
   for (auto& h : hists) r.latency.merge(h);
+
+  reporter.reset();  // final snapshot now that the workload is complete
+  if (want_metrics) obs::Metrics::set_latency_enabled(latency_was);
   return r;
 }
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "api/hash_table.h"
 #include "common/histogram.h"
@@ -21,6 +22,15 @@ struct RunOptions {
   // HashTable::multiget in batches of this size (sharded tables regroup
   // each batch by shard). 0/1 keeps per-key search().
   uint32_t read_batch = 0;
+  // Observability plumbing (src/obs): when either path is set, per-op
+  // latency histogram recording is switched on for the run and an
+  // obs::PeriodicReporter atomically rewrites the file(s) every
+  // metrics_interval_s during the timed region, with a final snapshot once
+  // the run completes. Paths: metrics_json_out gets Metrics::json(),
+  // metrics_prom_out gets the Prometheus text exposition.
+  std::string metrics_json_out;
+  std::string metrics_prom_out;
+  double metrics_interval_s = 1.0;
 };
 
 struct RunResult {

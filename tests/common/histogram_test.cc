@@ -73,6 +73,73 @@ TEST(Histogram, CdfMonotoneAndEndsAtOne) {
   EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
 }
 
+TEST(Histogram, SingleSamplePercentilesAllCollapse) {
+  Histogram h;
+  h.record(777);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 777u);
+  EXPECT_EQ(h.max(), 777u);
+  EXPECT_DOUBLE_EQ(h.mean(), 777.0);
+  // q=0/q=1 report exact min/max; mid quantiles all land in the single
+  // occupied bucket (~1.6% representative-value resolution).
+  EXPECT_EQ(h.percentile(0.0), 777u);
+  EXPECT_EQ(h.percentile(1.0), 777u);
+  for (double q : {0.25, 0.5, 0.99, 0.999}) {
+    EXPECT_NEAR(static_cast<double>(h.percentile(q)), 777.0, 777.0 * 0.02)
+        << "q=" << q;
+  }
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentityBothWays) {
+  Histogram a, empty;
+  for (uint64_t v = 1; v <= 50; ++v) a.record(v);
+  const uint64_t p50_before = a.percentile(0.5);
+  a.merge(empty);  // rhs empty: nothing changes
+  EXPECT_EQ(a.count(), 50u);
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.max(), 50u);
+  EXPECT_EQ(a.percentile(0.5), p50_before);
+
+  Histogram b;  // lhs empty: adopts rhs wholesale
+  b.merge(a);
+  EXPECT_EQ(b.count(), 50u);
+  EXPECT_EQ(b.min(), 1u);
+  EXPECT_EQ(b.max(), 50u);
+  EXPECT_DOUBLE_EQ(b.mean(), a.mean());
+}
+
+TEST(Histogram, MergeTwoEmptiesStaysEmpty) {
+  Histogram a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.percentile(0.5), 0u);
+}
+
+TEST(Histogram, OverflowBucketStillRanksPercentiles) {
+  // Values past the last bucket boundary clamp into the overflow bucket;
+  // exact max/min must survive and high quantiles must land there.
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(10);  // bulk at the bottom
+  h.record(UINT64_MAX);
+  h.record(UINT64_MAX - 1);
+  EXPECT_EQ(h.count(), 102u);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+  EXPECT_EQ(h.percentile(1.0), UINT64_MAX);
+  EXPECT_LE(h.percentile(0.5), 11u);
+  EXPECT_GT(h.percentile(0.999), 1ULL << 62);
+}
+
+TEST(Histogram, MergePropagatesOverflowBucketAndExtremes) {
+  Histogram a, b;
+  a.record(5);
+  b.record(UINT64_MAX);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), UINT64_MAX);
+  EXPECT_EQ(a.percentile(1.0), UINT64_MAX);
+}
+
 TEST(Histogram, MergeMatchesCombinedRecording) {
   Histogram a, b, combined;
   Rng r(13);

@@ -1,0 +1,51 @@
+// Structural JSON sanity checker shared by the obs tests. Not a full
+// parser — it verifies what the serializers can realistically get wrong:
+// bracket balance, string/escape handling, and that the document is exactly
+// one top-level value with no trailing garbage. Semantic checks (key
+// presence, values) stay in the tests themselves via substring matching.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hdnh::testutil {
+
+inline bool json_well_formed(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  bool seen_root = false;
+  for (const char c : s) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control char inside a string
+      }
+      continue;
+    }
+    if (seen_root) {  // only whitespace may follow the root container
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': stack.push_back('}'); break;
+      case '[': stack.push_back(']'); break;
+      case '}':
+      case ']':
+        if (stack.empty() || stack.back() != c) return false;
+        stack.pop_back();
+        if (stack.empty()) seen_root = true;
+        break;
+      default: break;
+    }
+  }
+  return seen_root && stack.empty() && !in_string;
+}
+
+}  // namespace hdnh::testutil

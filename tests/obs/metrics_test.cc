@@ -1,0 +1,219 @@
+// Metrics registry: op counting across threads, latency gating, gauge
+// lifecycle, and both serializers (Prometheus text exposition + JSON).
+// These tests exercise the registry API directly — the wiring into the
+// store (HDNH_OBS_OP_SCOPE in hdnh.cc etc.) is covered by obs_e2e_test.cc.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_sanity.h"
+#include "obs/json.h"
+
+namespace hdnh::obs {
+namespace {
+
+using testutil::json_well_formed;
+
+uint64_t op_count(Op op) {
+  std::array<Metrics::OpSnapshot, kOpCount> ops;
+  Metrics::op_snapshot(&ops);
+  return ops[static_cast<uint32_t>(op)].count;
+}
+
+TEST(OpName, CoversEveryOp) {
+  for (uint32_t i = 0; i < kOpCount; ++i) {
+    EXPECT_STRNE(op_name(static_cast<Op>(i)), "unknown") << i;
+  }
+}
+
+TEST(Metrics, CountOpAggregatesAcrossThreads) {
+  const uint64_t before = op_count(Op::kGet);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < 1000; ++i) Metrics::count_op(Op::kGet);
+    });
+  }
+  for (auto& w : workers) w.join();
+  Metrics::count_op(Op::kGet, 7);  // the n>1 overload
+  EXPECT_EQ(op_count(Op::kGet), before + 4 * 1000 + 7);
+}
+
+TEST(Metrics, ExitedThreadsCountsAreRetained) {
+  const uint64_t before = op_count(Op::kDelete);
+  std::thread([] { Metrics::count_op(Op::kDelete, 13); }).join();
+  EXPECT_EQ(op_count(Op::kDelete), before + 13);
+}
+
+TEST(Metrics, OpTimerCountsAlwaysTimesOnlyWhenEnabled) {
+  Metrics::reset_ops();
+  Metrics::set_latency_enabled(false);
+  { OpTimer t(Op::kPut); }
+  std::array<Metrics::OpSnapshot, kOpCount> ops;
+  Metrics::op_snapshot(&ops);
+  EXPECT_EQ(ops[static_cast<uint32_t>(Op::kPut)].count, 1u);
+  EXPECT_EQ(ops[static_cast<uint32_t>(Op::kPut)].latency.count(), 0u);
+
+  Metrics::set_latency_enabled(true);
+  { OpTimer t(Op::kPut); }
+  Metrics::set_latency_enabled(false);
+  Metrics::op_snapshot(&ops);
+  EXPECT_EQ(ops[static_cast<uint32_t>(Op::kPut)].count, 2u);
+  EXPECT_EQ(ops[static_cast<uint32_t>(Op::kPut)].latency.count(), 1u);
+}
+
+TEST(Metrics, LatencyHistogramsMergeAcrossThreads) {
+  Metrics::reset_ops();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 1; i <= 100; ++i) {
+        Metrics::record_latency(Op::kGet,
+                                static_cast<uint64_t>(t * 1000 + i));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  std::array<Metrics::OpSnapshot, kOpCount> ops;
+  Metrics::op_snapshot(&ops);
+  const Histogram& h = ops[static_cast<uint32_t>(Op::kGet)].latency;
+  EXPECT_EQ(h.count(), 300u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_GE(h.max(), 2100u);
+}
+
+TEST(Metrics, ResetOpsZerosCountsAndHistograms) {
+  Metrics::count_op(Op::kUpdate, 5);
+  Metrics::record_latency(Op::kUpdate, 42);
+  Metrics::reset_ops();
+  std::array<Metrics::OpSnapshot, kOpCount> ops;
+  Metrics::op_snapshot(&ops);
+  for (uint32_t i = 0; i < kOpCount; ++i) {
+    EXPECT_EQ(ops[i].count, 0u) << op_name(static_cast<Op>(i));
+    EXPECT_EQ(ops[i].latency.count(), 0u);
+  }
+}
+
+TEST(Metrics, GaugeLifecycleInBothSerializers) {
+  const uint64_t id = Metrics::add_gauge(
+      "hdnh_test_gauge", "kind=\"unit\"", "a test gauge", [] { return 2.5; });
+  std::string prom = Metrics::prometheus();
+  EXPECT_NE(prom.find("# TYPE hdnh_test_gauge gauge"), std::string::npos);
+  EXPECT_NE(prom.find("hdnh_test_gauge{kind=\"unit\"} 2.5"),
+            std::string::npos);
+  std::string js = Metrics::json();
+  EXPECT_NE(js.find("\"hdnh_test_gauge\""), std::string::npos);
+
+  Metrics::remove_gauge(id);
+  prom = Metrics::prometheus();
+  EXPECT_EQ(prom.find("hdnh_test_gauge"), std::string::npos);
+  EXPECT_EQ(Metrics::json().find("hdnh_test_gauge"), std::string::npos);
+}
+
+TEST(Metrics, PrometheusTypeHeaderOncePerMetricName) {
+  // Two instances of the same metric name (different labels) must share one
+  // TYPE header — Prometheus rejects duplicate metadata lines.
+  const uint64_t a = Metrics::add_gauge("hdnh_test_multi", "i=\"0\"", "",
+                                        [] { return 1.0; });
+  const uint64_t b = Metrics::add_gauge("hdnh_test_multi", "i=\"1\"", "",
+                                        [] { return 2.0; });
+  const std::string prom = Metrics::prometheus();
+  size_t n = 0;
+  for (size_t pos = prom.find("# TYPE hdnh_test_multi gauge");
+       pos != std::string::npos;
+       pos = prom.find("# TYPE hdnh_test_multi gauge", pos + 1)) {
+    ++n;
+  }
+  EXPECT_EQ(n, 1u);
+  EXPECT_NE(prom.find("hdnh_test_multi{i=\"0\"} 1"), std::string::npos);
+  EXPECT_NE(prom.find("hdnh_test_multi{i=\"1\"} 2"), std::string::npos);
+  Metrics::remove_gauge(a);
+  Metrics::remove_gauge(b);
+}
+
+TEST(Metrics, PrometheusCarriesNvmCountersAndOpCounts) {
+  const std::string prom = Metrics::prometheus();
+  EXPECT_NE(prom.find("# TYPE hdnh_nvm_read_ops_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE hdnh_ops_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("hdnh_ops_total{op=\"get\"}"), std::string::npos);
+  EXPECT_NE(prom.find("hdnh_hot_hit_ratio"), std::string::npos);
+  EXPECT_NE(prom.find("hdnh_ocf_false_positive_rate"), std::string::npos);
+  EXPECT_NE(prom.find("hdnh_overlapped_read_fraction"), std::string::npos);
+}
+
+TEST(Metrics, PrometheusSummaryEmittedOnlyWithSamples) {
+  Metrics::reset_ops();
+  EXPECT_EQ(Metrics::prometheus().find("hdnh_op_latency_ns{"),
+            std::string::npos);
+  Metrics::record_latency(Op::kGet, 1234);
+  const std::string prom = Metrics::prometheus();
+  EXPECT_NE(prom.find("hdnh_op_latency_ns{op=\"get\",quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("hdnh_op_latency_ns_count{op=\"get\"} 1"),
+            std::string::npos);
+  Metrics::reset_ops();
+}
+
+TEST(Metrics, JsonIsWellFormedAndCarriesSections) {
+  Metrics::count_op(Op::kGet);
+  Metrics::record_latency(Op::kGet, 500);
+  const std::string js = Metrics::json();
+  EXPECT_TRUE(json_well_formed(js)) << js;
+  for (const char* key : {"\"nvm\"", "\"ops\"", "\"gauges\"", "\"derived\"",
+                          "\"hot_hit_ratio\"", "\"p99_ns\""}) {
+    EXPECT_NE(js.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(Metrics, InstanceIdsAreMonotone) {
+  const uint64_t a = Metrics::next_instance_id();
+  const uint64_t b = Metrics::next_instance_id();
+  EXPECT_LT(a, b);
+}
+
+// ---- JsonWriter --------------------------------------------------------
+
+TEST(JsonWriter, NestedContainersAndCommas) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("a", static_cast<uint64_t>(1));
+  w.key("b").begin_array().value(2).value(3).end_array();
+  w.key("c").begin_object().kv("d", true).end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"b\":[2,3],\"c\":{\"d\":true}}");
+  EXPECT_TRUE(json_well_formed(w.str()));
+}
+
+TEST(JsonWriter, EscapesStringsAndMapsNonFiniteToNull) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("s", std::string("a\"b\\c\nd"));
+  w.kv("inf", 1.0 / 0.0);
+  w.kv("neg", -1.5);
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"s\":\"a\\\"b\\\\c\\nd\",\"inf\":null,\"neg\":-1.5}");
+  EXPECT_TRUE(json_well_formed(w.str()));
+}
+
+TEST(JsonWriter, RawSplicesNestedDocument) {
+  JsonWriter inner;
+  inner.begin_object().kv("x", static_cast<uint64_t>(9)).end_object();
+  JsonWriter w;
+  w.begin_object();
+  w.kv("pre", static_cast<uint64_t>(1));
+  w.key("inner").raw(inner.str());
+  w.kv("post", static_cast<uint64_t>(2));
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"pre\":1,\"inner\":{\"x\":9},\"post\":2}");
+  EXPECT_TRUE(json_well_formed(w.str()));
+}
+
+}  // namespace
+}  // namespace hdnh::obs

@@ -1,0 +1,153 @@
+// End-to-end acceptance for the observability layer: a YCSB run against the
+// background-sync scheme ("hdnh-bg") that forces at least one resize must
+// leave (a) "resize" and "bg_flush" spans in the tracer, (b) a valid
+// Prometheus scrape and JSON metrics document with the run's op counts, and
+// (c) --metrics-out-style files written by the runner's reporter plumbing.
+//
+// The wiring (HDNH_OBS_OP_SCOPE / HDNH_OBS_SPAN call sites) compiles to
+// nothing under -DHDNH_OBS=OFF, so those assertions are skipped there; the
+// registry/tracer APIs themselves are exercised unconditionally by
+// metrics_test.cc and trace_test.cc.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "api/factory.h"
+#include "hdnh/hdnh.h"
+#include "json_sanity.h"
+#include "nvm/alloc.h"
+#include "nvm/pmem.h"
+#include "obs/obs.h"
+#include "ycsb/runner.h"
+
+namespace hdnh {
+namespace {
+
+using testutil::json_well_formed;
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+struct BgPack {
+  // Small initial capacity so the insert phase below outgrows it — the run
+  // must cross at least one resize for the span assertions to mean
+  // anything.
+  BgPack() : pool(512ull << 20), alloc(pool) {
+    TableOptions opts;
+    opts.capacity = 1 << 12;
+    table = create_table("hdnh-bg", alloc, opts);
+  }
+  nvm::PmemPool pool;
+  nvm::PmemAllocator alloc;
+  std::unique_ptr<HashTable> table;
+};
+
+TEST(ObsE2e, YcsbRunProducesSpansMetricsAndFiles) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with -DHDNH_OBS=OFF";
+
+  BgPack p;
+  ycsb::preload(*p.table, 4096);
+  obs::Tracer::clear();
+  obs::Metrics::reset_ops();
+
+  const std::string json_path = testing::TempDir() + "obs_e2e_metrics.json";
+  const std::string prom_path = testing::TempDir() + "obs_e2e_metrics.prom";
+  std::remove(json_path.c_str());
+  std::remove(prom_path.c_str());
+
+  ycsb::RunOptions opts;
+  opts.threads = 2;
+  opts.metrics_json_out = json_path;
+  opts.metrics_prom_out = prom_path;
+  const uint64_t kOps = 20000;
+  auto r = ycsb::run(*p.table, ycsb::WorkloadSpec::InsertOnly(), 4096, kOps,
+                     opts);
+  EXPECT_EQ(r.ops, kOps);
+
+  // The insert volume must have outgrown the 4096-slot initial table.
+  auto* h = dynamic_cast<Hdnh*>(p.table.get());
+  ASSERT_NE(h, nullptr);
+  EXPECT_GT(h->resize_count(), 0u);
+
+  // (a) spans: resize from do_resize, bg_flush from the writer's drain.
+  const std::string trace = obs::Tracer::dump_json();
+  EXPECT_TRUE(json_well_formed(trace));
+  EXPECT_NE(trace.find("\"name\":\"resize\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"bg_flush\""), std::string::npos);
+
+  // (b) live scrape: op counts of the run, in both formats.
+  const std::string prom = obs::Metrics::prometheus();
+  EXPECT_NE(prom.find("hdnh_ops_total{op=\"put\"} " + std::to_string(kOps)),
+            std::string::npos);
+  const std::string js = obs::Metrics::json();
+  EXPECT_TRUE(json_well_formed(js));
+  EXPECT_NE(js.find("\"put\":{\"count\":" + std::to_string(kOps)),
+            std::string::npos);
+  // Setting a metrics path switches latency recording on for the run.
+  EXPECT_NE(js.find("\"p99_ns\""), std::string::npos);
+  EXPECT_EQ(r.latency.count(), kOps);
+
+  // (c) reporter files: written, atomic, parseable.
+  const std::string file_js = slurp(json_path);
+  ASSERT_FALSE(file_js.empty());
+  EXPECT_TRUE(json_well_formed(file_js));
+  EXPECT_NE(file_js.find("\"ops\""), std::string::npos);
+  const std::string file_prom = slurp(prom_path);
+  EXPECT_NE(file_prom.find("# TYPE hdnh_ops_total counter"),
+            std::string::npos);
+}
+
+TEST(ObsE2e, TableGaugesRegisterAndUnregisterWithLifetime) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with -DHDNH_OBS=OFF";
+
+  std::string label;
+  {
+    BgPack p;
+    ycsb::preload(*p.table, 1000);
+    const std::string prom = obs::Metrics::prometheus();
+    // Per-table occupancy gauges plus the bg writer's backlog gauge.
+    for (const char* name :
+         {"hdnh_items", "hdnh_load_factor", "hdnh_resize_phase",
+          "hdnh_bg_queue_depth"}) {
+      const size_t pos = prom.find(std::string(name) + "{");
+      EXPECT_NE(pos, std::string::npos) << name;
+    }
+    // Remember this instance's label so the post-destruction check below
+    // can't be satisfied by a table from another test.
+    const size_t pos = prom.find("hdnh_items{");
+    ASSERT_NE(pos, std::string::npos);
+    label = prom.substr(pos, prom.find('}', pos) - pos);
+  }
+  // Table destroyed: its gauges must be gone (a scrape now would otherwise
+  // call into freed memory).
+  EXPECT_EQ(obs::Metrics::prometheus().find(label), std::string::npos);
+}
+
+TEST(ObsE2e, RecoverySpansOnReattach) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with -DHDNH_OBS=OFF";
+
+  nvm::PmemPool pool(256ull << 20);
+  nvm::PmemAllocator alloc(pool);
+  HdnhConfig cfg;
+  cfg.initial_capacity = 1 << 12;
+  { Hdnh t(alloc, cfg); ycsb::preload(t, 2000); }
+  obs::Tracer::clear();
+  {
+    Hdnh t(alloc, cfg);  // re-attach runs §3.7 recovery
+    EXPECT_EQ(t.size(), 2000u);
+  }
+  const std::string trace = obs::Tracer::dump_json();
+  EXPECT_NE(trace.find("\"name\":\"attach_recover\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"rebuild_volatile\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hdnh

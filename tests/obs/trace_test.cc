@@ -1,0 +1,101 @@
+// Event tracer: ring recording, wrap/dropped accounting, the RAII Span, and
+// the Chrome trace_event dump format. All tests clear the (global,
+// per-process) rings first; gtest runs them on one thread so the counts
+// below are exact.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "json_sanity.h"
+
+namespace hdnh::obs {
+namespace {
+
+using testutil::json_well_formed;
+
+TEST(Tracer, RecordClearAndCount) {
+  Tracer::clear();
+  EXPECT_EQ(Tracer::event_count(), 0u);
+  Tracer::record("cat", "ev", 100, 50);
+  Tracer::instant("cat", "marker");
+  EXPECT_EQ(Tracer::event_count(), 2u);
+  Tracer::clear();
+  EXPECT_EQ(Tracer::event_count(), 0u);
+}
+
+TEST(Tracer, SpanRecordsScopeWithDuration) {
+  Tracer::clear();
+  Tracer::set_enabled(true);
+  { Span s("resize", "unit_span"); }
+  EXPECT_EQ(Tracer::event_count(), 1u);
+  const std::string dump = Tracer::dump_json();
+  EXPECT_NE(dump.find("\"name\":\"unit_span\""), std::string::npos);
+  EXPECT_NE(dump.find("\"cat\":\"resize\""), std::string::npos);
+  EXPECT_NE(dump.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(Tracer, DisabledSpansRecordNothing) {
+  Tracer::clear();
+  Tracer::set_enabled(false);
+  { Span s("cat", "invisible"); }
+  EXPECT_EQ(Tracer::event_count(), 0u);
+  Tracer::set_enabled(true);
+}
+
+TEST(Tracer, RingWrapsKeepingNewestAndReportsDropped) {
+  Tracer::clear();
+  const uint64_t extra = 100;
+  for (uint64_t i = 0; i < Tracer::kRingEvents + extra; ++i) {
+    Tracer::record("cat", i < extra ? "old" : "new", i, 1);
+  }
+  // Capacity retained, oldest overwritten, loss reported — never silent.
+  EXPECT_EQ(Tracer::event_count(), Tracer::kRingEvents);
+  const std::string dump = Tracer::dump_json();
+  EXPECT_EQ(dump.find("\"name\":\"old\""), std::string::npos);
+  EXPECT_NE(dump.find("\"name\":\"new\""), std::string::npos);
+  EXPECT_NE(dump.find("\"dropped_events\":100"), std::string::npos);
+  Tracer::clear();
+}
+
+TEST(Tracer, ThreadsGetDistinctTids) {
+  Tracer::clear();
+  Tracer::record("cat", "main_thread_ev", 1, 1);
+  std::thread([] { Tracer::record("cat", "worker_ev", 2, 1); }).join();
+  const std::string dump = Tracer::dump_json();
+  EXPECT_NE(dump.find("\"name\":\"main_thread_ev\""), std::string::npos);
+  EXPECT_NE(dump.find("\"name\":\"worker_ev\""), std::string::npos);
+  // Two rings, two tids: the events must not share a tid value.
+  const size_t a = dump.find("\"tid\":");
+  const size_t b = dump.find("\"tid\":", a + 1);
+  ASSERT_NE(b, std::string::npos);
+  EXPECT_NE(dump.substr(a, dump.find(',', a) - a),
+            dump.substr(b, dump.find(',', b) - b));
+  Tracer::clear();
+}
+
+TEST(Tracer, DumpIsWellFormedChromeTraceJson) {
+  Tracer::clear();
+  Tracer::record("resize", "r1", 1000, 2000);
+  Tracer::instant("crash_sim", "marker");
+  const std::string dump = Tracer::dump_json();
+  EXPECT_TRUE(json_well_formed(dump)) << dump;
+  EXPECT_NE(dump.find("\"traceEvents\":["), std::string::npos);
+  // ts/dur are microseconds: 1000ns span starting at 1000ns -> ts 1, dur 2.
+  EXPECT_NE(dump.find("\"ts\":1.000"), std::string::npos);
+  EXPECT_NE(dump.find("\"dur\":2.000"), std::string::npos);
+  Tracer::clear();
+}
+
+TEST(Tracer, EmptyDumpIsStillValid) {
+  Tracer::clear();
+  const std::string dump = Tracer::dump_json();
+  EXPECT_TRUE(json_well_formed(dump)) << dump;
+  EXPECT_NE(dump.find("\"traceEvents\":[]"), std::string::npos);
+  EXPECT_NE(dump.find("\"dropped_events\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hdnh::obs

@@ -2,16 +2,25 @@
 //
 //   $ ./tools/hdnh_doctor --pool=/tmp/store.pool            # inspect + verify
 //   $ ./tools/hdnh_doctor --pool=/tmp/store.pool --deep     # + full integrity
+//   $ ./tools/hdnh_doctor --pool=/tmp/store.pool --stats --json | jq .
 //
 // Prints the superblock (level geometry, resize state machine, clean-
 // shutdown marker), the update-log occupancy, and — after attaching, which
 // itself resumes any interrupted resize and replays armed update logs —
 // item counts and recovery timings. --deep additionally runs the full
-// OCF/NVT/hot-table coherence check.
+// OCF/NVT/hot-table coherence check. --stats appends the unified metrics
+// scrape (src/obs) of the attached table(s); with --json, stdout carries
+// exactly one machine-readable JSON document (all narration moves to
+// stderr), so `hdnh_doctor --stats --json | python3 -m json.tool` always
+// works.
 //
 // Sharded pools (created with an "hdnh@N" scheme) are detected via the
 // shard-map superblock: the doctor walks every shard region and runs the
 // same inspection per shard.
+//
+// Exit codes: 0 healthy (or fresh/empty pool), 2 usage error, 3 missing or
+// corrupt superblock / not an HDNH pool, 4 deep integrity check failed.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -20,51 +29,76 @@
 #include "nvm/alloc.h"
 #include "nvm/pmem.h"
 #include "nvm/sharded_layout.h"
+#include "obs/json.h"
+#include "obs/obs.h"
 
 using namespace hdnh;
 
 namespace {
 
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+constexpr int kExitCorrupt = 3;    // missing/invalid superblock structures
+constexpr int kExitIntegrity = 4;  // --deep coherence check found problems
+
+// Narration sink: stdout normally, stderr in --json mode (stdout is then
+// reserved for the single JSON document).
+FILE* g_out = nullptr;
+
 // Inspect one HDNH instance rooted in `alloc` (the whole pool for the
-// single-table layout, one shard region for sharded pools). Returns 0 when
-// healthy, 1 on missing/corrupt structures or failed integrity.
+// single-table layout, one shard region for sharded pools). Returns an exit
+// code; when `jw` is non-null, appends one JSON object describing the
+// region to the (already-open) array.
 int inspect_table(nvm::PmemPool& pool, nvm::PmemAllocator& alloc, bool deep,
-                  const char* ind) {
+                  const char* ind, obs::JsonWriter* jw) {
   const uint64_t super_off = alloc.root(Hdnh::kSuperRoot);
   if (super_off == 0) {
-    std::printf("%sno HDNH superblock root — region holds something else\n",
-                ind);
-    return 1;
+    std::fprintf(g_out,
+                 "%sno HDNH superblock root — region holds something else\n",
+                 ind);
+    if (jw) {
+      jw->begin_object();
+      jw->kv("status", "no_superblock");
+      jw->end_object();
+    }
+    return kExitCorrupt;
   }
   auto* super = pool.to_ptr<HdnhSuper>(super_off);
   if (super->magic != HdnhSuper::kMagic) {
-    std::printf("%ssuperblock magic mismatch (%016llx) — corrupt?\n", ind,
-                static_cast<unsigned long long>(super->magic));
-    return 1;
+    std::fprintf(g_out, "%ssuperblock magic mismatch (%016llx) — corrupt?\n",
+                 ind, static_cast<unsigned long long>(super->magic));
+    if (jw) {
+      jw->begin_object();
+      jw->kv("status", "corrupt_superblock");
+      jw->end_object();
+    }
+    return kExitCorrupt;
   }
 
-  std::printf("%ssuperblock (pre-attach, as found on media):\n", ind);
-  std::printf("%s  buckets/segment : %llu (%llu B segments)\n", ind,
-              static_cast<unsigned long long>(super->buckets_per_seg),
-              static_cast<unsigned long long>(super->buckets_per_seg * 256));
+  std::fprintf(g_out, "%ssuperblock (pre-attach, as found on media):\n", ind);
+  std::fprintf(g_out, "%s  buckets/segment : %llu (%llu B segments)\n", ind,
+               static_cast<unsigned long long>(super->buckets_per_seg),
+               static_cast<unsigned long long>(super->buckets_per_seg * 256));
   for (int l = 0; l < 2; ++l) {
-    std::printf("%s  level %d         : %llu segments @ offset %llu\n", ind, l,
-                static_cast<unsigned long long>(super->level_segs[l]),
-                static_cast<unsigned long long>(super->level_off[l]));
+    std::fprintf(g_out, "%s  level %d         : %llu segments @ offset %llu\n",
+                 ind, l, static_cast<unsigned long long>(super->level_segs[l]),
+                 static_cast<unsigned long long>(super->level_off[l]));
   }
   const uint32_t ln = super->level_number.load();
-  std::printf("%s  resize state    : level_number=%u (%s), resizing_flag=%u, "
-              "rehash_progress=%llu\n",
-              ind, ln,
-              ln == 0   ? "steady"
-              : ln == 2 ? "resize started"
-              : ln == 3 ? "REHASH IN FLIGHT — will resume on attach"
-                        : "unknown",
-              super->resizing_flag,
-              static_cast<unsigned long long>(super->rehash_progress.load()));
-  std::printf("%s  clean shutdown  : %s (recorded count %llu)\n", ind,
-              super->clean_shutdown ? "yes" : "NO (crash or still open)",
-              static_cast<unsigned long long>(super->clean_item_count));
+  std::fprintf(g_out,
+               "%s  resize state    : level_number=%u (%s), resizing_flag=%u, "
+               "rehash_progress=%llu\n",
+               ind, ln,
+               ln == 0   ? "steady"
+               : ln == 2 ? "resize started"
+               : ln == 3 ? "REHASH IN FLIGHT — will resume on attach"
+                         : "unknown",
+               super->resizing_flag,
+               static_cast<unsigned long long>(super->rehash_progress.load()));
+  const bool clean = super->clean_shutdown != 0;
+  std::fprintf(g_out, "%s  clean shutdown  : %s (recorded count %llu)\n", ind,
+               clean ? "yes" : "NO (crash or still open)",
+               static_cast<unsigned long long>(super->clean_item_count));
 
   const uint64_t log_off = alloc.root(Hdnh::kLogRoot);
   uint32_t armed = 0;
@@ -74,38 +108,68 @@ int inspect_table(nvm::PmemPool& pool, nvm::PmemAllocator& alloc, bool deep,
       if (logs[i].state.load() == 1) ++armed;
     }
   }
-  std::printf("%s  update log      : %u/%u entries armed%s\n", ind, armed,
-              kUpdateLogSlots,
-              armed ? " — attach will replay them" : "");
+  std::fprintf(g_out, "%s  update log      : %u/%u entries armed%s\n", ind,
+               armed, kUpdateLogSlots,
+               armed ? " — attach will replay them" : "");
 
-  std::printf("%sattaching (runs §3.7 recovery)...\n", ind);
+  std::fprintf(g_out, "%sattaching (runs §3.7 recovery)...\n", ind);
   HdnhConfig cfg;
   Hdnh table(alloc, cfg);
   const auto rs = table.last_recovery();
-  std::printf("%s  recovered %llu items in %.2f ms (resumed resize: %s)\n",
-              ind, static_cast<unsigned long long>(rs.items), rs.total_ms,
-              rs.resumed_resize ? "yes" : "no");
-  std::printf("%s  load factor %.3f over %llu slots, hot table %llu slots\n",
-              ind, table.load_factor(),
-              static_cast<unsigned long long>(table.total_slots()),
-              static_cast<unsigned long long>(table.hot_table_slots()));
+  std::fprintf(g_out,
+               "%s  recovered %llu items in %.2f ms (resumed resize: %s)\n",
+               ind, static_cast<unsigned long long>(rs.items), rs.total_ms,
+               rs.resumed_resize ? "yes" : "no");
+  std::fprintf(g_out,
+               "%s  load factor %.3f over %llu slots, hot table %llu slots\n",
+               ind, table.load_factor(),
+               static_cast<unsigned long long>(table.total_slots()),
+               static_cast<unsigned long long>(table.hot_table_slots()));
 
-  if (deep) {
-    std::printf("%sdeep integrity check...\n", ind);
-    auto rep = table.check_integrity();
-    std::printf("%s  items=%llu ocf_mismatch=%llu fp_mismatch=%llu busy=%llu "
-                "dups=%llu stale_hot=%llu armed_logs=%llu -> %s\n",
-                ind, static_cast<unsigned long long>(rep.items),
-                static_cast<unsigned long long>(rep.ocf_valid_mismatches),
-                static_cast<unsigned long long>(rep.fingerprint_mismatches),
-                static_cast<unsigned long long>(rep.stuck_busy_entries),
-                static_cast<unsigned long long>(rep.duplicate_keys),
-                static_cast<unsigned long long>(rep.hot_table_stale),
-                static_cast<unsigned long long>(rep.armed_log_entries),
-                rep.ok() ? "OK" : "PROBLEMS FOUND");
-    return rep.ok() ? 0 : 1;
+  if (jw) {
+    jw->begin_object();
+    jw->kv("status", "ok");
+    jw->kv("clean_shutdown", clean);
+    jw->kv("resize_level_number", ln);
+    jw->kv("armed_log_entries", static_cast<uint64_t>(armed));
+    jw->kv("items", table.size());
+    jw->kv("total_slots", table.total_slots());
+    jw->kv("load_factor", table.load_factor());
+    jw->kv("recovery_ms", rs.total_ms);
+    jw->kv("resumed_resize", rs.resumed_resize);
   }
-  return 0;
+
+  int rc = kExitOk;
+  if (deep) {
+    std::fprintf(g_out, "%sdeep integrity check...\n", ind);
+    auto rep = table.check_integrity();
+    std::fprintf(
+        g_out,
+        "%s  items=%llu ocf_mismatch=%llu fp_mismatch=%llu busy=%llu "
+        "dups=%llu stale_hot=%llu armed_logs=%llu -> %s\n",
+        ind, static_cast<unsigned long long>(rep.items),
+        static_cast<unsigned long long>(rep.ocf_valid_mismatches),
+        static_cast<unsigned long long>(rep.fingerprint_mismatches),
+        static_cast<unsigned long long>(rep.stuck_busy_entries),
+        static_cast<unsigned long long>(rep.duplicate_keys),
+        static_cast<unsigned long long>(rep.hot_table_stale),
+        static_cast<unsigned long long>(rep.armed_log_entries),
+        rep.ok() ? "OK" : "PROBLEMS FOUND");
+    if (jw) {
+      jw->key("integrity").begin_object();
+      jw->kv("ok", rep.ok());
+      jw->kv("ocf_valid_mismatches", rep.ocf_valid_mismatches);
+      jw->kv("fingerprint_mismatches", rep.fingerprint_mismatches);
+      jw->kv("stuck_busy_entries", rep.stuck_busy_entries);
+      jw->kv("duplicate_keys", rep.duplicate_keys);
+      jw->kv("hot_table_stale", rep.hot_table_stale);
+      jw->kv("armed_log_entries", rep.armed_log_entries);
+      jw->end_object();
+    }
+    if (!rep.ok()) rc = kExitIntegrity;
+  }
+  if (jw) jw->end_object();
+  return rc;
 }
 
 }  // namespace
@@ -117,45 +181,92 @@ int main(int argc, char** argv) {
   const int64_t pool_mb =
       cli.get_int("pool_mb", 256, "pool size in MiB (must match creator)");
   const bool deep = cli.get_bool("deep", false, "run full integrity check");
+  const bool stats =
+      cli.get_bool("stats", false, "append the unified metrics scrape");
+  const bool json = cli.get_bool(
+      "json", false, "emit one JSON document on stdout (narration -> stderr)");
   cli.finish();
+  g_out = json ? stderr : stdout;
   if (pool_path.empty()) {
     std::fprintf(stderr, "need --pool=PATH (see --help)\n");
-    return 2;
+    return kExitUsage;
   }
+
+  obs::JsonWriter jw;
+  obs::JsonWriter* jwp = json ? &jw : nullptr;
+  if (jwp) {
+    jw.begin_object();
+    jw.kv("pool", pool_path);
+  }
+  // Emits the accumulated document (closing the root object) and returns
+  // `rc` — the single exit point for every post-parse path.
+  auto finish = [&](int rc, const char* status) -> int {
+    if (jwp) {
+      jw.kv("status", status);
+      jw.kv("exit_code", rc);
+      if (stats) {
+        // Raw passthrough: the metrics registry serializes itself. Captured
+        // here so any tables still in scope would be included; with the
+        // doctor's scoped attaches this carries the global counters (nvm
+        // traffic of every inspection) and any gauges still live.
+        jw.key("metrics").raw(obs::Metrics::json());
+      }
+      jw.end_object();
+      std::printf("%s\n", jw.str().c_str());
+    } else if (stats) {
+      std::printf("\n-- metrics scrape --\n%s", obs::Metrics::prometheus().c_str());
+    }
+    return rc;
+  };
 
   nvm::PmemPool pool(static_cast<uint64_t>(pool_mb) << 20, nvm::NvmConfig{},
                      pool_path);
   if (!pool.recovered()) {
-    std::printf("%s: fresh/empty pool (no prior contents)\n",
-                pool_path.c_str());
-    return 0;
+    std::fprintf(g_out, "%s: fresh/empty pool (no prior contents)\n",
+                 pool_path.c_str());
+    return finish(kExitOk, "fresh");
   }
   nvm::PmemAllocator alloc(pool);
   if (!alloc.attached_existing()) {
-    std::printf("%s: no allocator superblock — not an HDNH pool\n",
-                pool_path.c_str());
-    return 1;
+    std::fprintf(g_out, "%s: no allocator superblock — not an HDNH pool\n",
+                 pool_path.c_str());
+    return finish(kExitCorrupt, "not_hdnh");
   }
 
-  std::printf("pool: %s (%lld MiB, %llu bytes allocated)\n", pool_path.c_str(),
-              static_cast<long long>(pool_mb),
-              static_cast<unsigned long long>(alloc.used()));
+  std::fprintf(g_out, "pool: %s (%lld MiB, %llu bytes allocated)\n",
+               pool_path.c_str(), static_cast<long long>(pool_mb),
+               static_cast<unsigned long long>(alloc.used()));
 
+  int rc = kExitOk;
   if (nvm::ShardedPmemLayout::present(alloc)) {
     // Sharded pool: the shard-map superblock lives in the parent allocator;
     // each shard is a self-contained HDNH region.
     nvm::ShardedPmemLayout layout(alloc, 1);
-    std::printf("\nshard map: %u shards\n", layout.shards());
-    int rc = 0;
-    for (uint32_t s = 0; s < layout.shards(); ++s) {
-      std::printf("\n-- shard %u: region [%llu, +%llu) --\n", s,
-                  static_cast<unsigned long long>(layout.shard_off(s)),
-                  static_cast<unsigned long long>(layout.shard_bytes(s)));
-      rc |= inspect_table(pool, layout.shard_alloc(s), deep, "  ");
+    std::fprintf(g_out, "\nshard map: %u shards\n", layout.shards());
+    if (jwp) {
+      jw.kv("shards", static_cast<uint64_t>(layout.shards()));
+      jw.key("tables").begin_array();
     }
-    std::printf("\n%s\n", rc == 0 ? "all shards OK" : "PROBLEMS FOUND");
-    return rc;
+    for (uint32_t s = 0; s < layout.shards(); ++s) {
+      std::fprintf(g_out, "\n-- shard %u: region [%llu, +%llu) --\n", s,
+                   static_cast<unsigned long long>(layout.shard_off(s)),
+                   static_cast<unsigned long long>(layout.shard_bytes(s)));
+      rc = std::max(rc, inspect_table(pool, layout.shard_alloc(s), deep, "  ",
+                                      jwp));
+    }
+    if (jwp) jw.end_array();
+    std::fprintf(g_out, "\n%s\n", rc == kExitOk ? "all shards OK"
+                                                : "PROBLEMS FOUND");
+  } else {
+    std::fprintf(g_out, "\n");
+    if (jwp) {
+      jw.kv("shards", static_cast<uint64_t>(1));
+      jw.key("tables").begin_array();
+    }
+    rc = inspect_table(pool, alloc, deep, "", jwp);
+    if (jwp) jw.end_array();
   }
-  std::printf("\n");
-  return inspect_table(pool, alloc, deep, "");
+  return finish(rc, rc == kExitOk          ? "ok"
+                    : rc == kExitIntegrity ? "integrity_failed"
+                                           : "corrupt");
 }
