@@ -1,0 +1,212 @@
+// bench_net — closed-loop load generator for hdnh_server.
+//
+// N connections (one driver thread each) keep a depth-D pipeline of
+// requests in flight: each connection sends D commands, then issues one
+// new command per reply, so exactly D are outstanding — the classic
+// closed-loop shape whose offered load is conns × depth. The workload is
+// a GET/SET mix over a fixed keyspace (default 95/5, the read-heavy
+// serving mix of the acceptance run), with an optional MGET fraction to
+// drive the server's batched read path.
+//
+// Reports throughput and per-request latency percentiles (latency of a
+// pipelined request includes its queueing turn — that is the number a
+// remote caller experiences) plus a BENCH_JSON line:
+//   BENCH_JSON {"bench":"net","conns":32,"depth":8,...,"p99_ns":...}
+// Protocol errors (RESP -ERR replies, malformed frames) are counted and
+// make the exit code nonzero — CI asserts zero.
+//
+//   $ ./bench/bench_net --port=6399 --conns=32 --depth=8 --ops=500000
+#include <atomic>
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "common/random.h"
+#include "net/client.h"
+
+using namespace hdnh;
+
+namespace {
+
+std::string key_name(uint64_t id) { return "k" + std::to_string(id); }
+
+struct ConnResult {
+  uint64_t ops = 0;
+  uint64_t hits = 0;
+  uint64_t errors = 0;
+  Histogram lat;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::string host = cli.get_str("host", "127.0.0.1", "server host");
+  const uint16_t port =
+      static_cast<uint16_t>(cli.get_int("port", 6399, "server port"));
+  const uint32_t conns =
+      static_cast<uint32_t>(cli.get_int("conns", 32, "client connections"));
+  const uint32_t depth = static_cast<uint32_t>(
+      cli.get_int("depth", 8, "pipelined requests in flight per connection"));
+  const uint64_t ops = static_cast<uint64_t>(
+      cli.get_int("ops", 500000, "total operations across all connections"));
+  const uint64_t keys = static_cast<uint64_t>(
+      cli.get_int("keys", 100000, "keyspace size (preloaded via SET)"));
+  const double get_ratio =
+      cli.get_double("get_ratio", 0.95, "fraction of GETs (rest are SETs)");
+  const double mget_ratio = cli.get_double(
+      "mget_ratio", 0.0, "fraction of GETs issued as one MGET batch");
+  const uint32_t mget_batch = static_cast<uint32_t>(
+      cli.get_int("mget_batch", 16, "keys per MGET when mget_ratio > 0"));
+  const bool do_preload =
+      cli.get_bool("preload", true, "SET the whole keyspace first");
+  const uint64_t seed = static_cast<uint64_t>(cli.get_int("seed", 42, "rng seed"));
+  cli.finish();
+
+  // Preload the keyspace over the wire, deeply pipelined on one connection.
+  if (do_preload) {
+    net::Client c;
+    c.connect(host, port);
+    const uint64_t t0 = now_ns();
+    uint64_t inflight = 0, answered = 0;
+    for (uint64_t id = 0; id < keys; ++id) {
+      c.pipeline({"SET", key_name(id), "v" + std::to_string(id)});
+      if (++inflight == 512) {
+        c.flush();
+        while (inflight > 0) {
+          const net::RespValue v = c.read_reply();
+          if (v.is_error()) {
+            std::fprintf(stderr, "preload error: %s\n", v.str.c_str());
+            return 1;
+          }
+          --inflight;
+          ++answered;
+        }
+      }
+    }
+    c.flush();
+    while (answered < keys) {
+      if (c.read_reply().is_error()) return 1;
+      ++answered;
+    }
+    std::printf("# preloaded %llu keys in %.2fs\n",
+                static_cast<unsigned long long>(keys),
+                static_cast<double>(now_ns() - t0) / 1e9);
+  }
+
+  const uint64_t per_conn = ops / (conns ? conns : 1);
+  std::vector<ConnResult> results(conns);
+  std::vector<std::thread> drivers;
+  drivers.reserve(conns);
+  std::atomic<bool> failed{false};
+  const uint64_t bench_t0 = now_ns();
+
+  for (uint32_t ci = 0; ci < conns; ++ci) {
+    drivers.emplace_back([&, ci] {
+      ConnResult& res = results[ci];
+      try {
+        net::Client c;
+        c.connect(host, port);
+        Rng rng(seed ^ (0x9E3779B97F4A7C15ULL * (ci + 1)));
+        // FIFO of (send timestamp, keys carried): replies come back in
+        // order, so front() is always the reply being read.
+        std::deque<std::pair<uint64_t, uint32_t>> inflight;
+        uint64_t sent_keys = 0, done_keys = 0;
+        const uint64_t quota = per_conn + (ci < ops % conns ? 1 : 0);
+
+        auto issue_one = [&] {
+          const double dice = rng.next_double();
+          uint32_t carried = 1;
+          if (dice < get_ratio * mget_ratio) {
+            std::vector<std::string> args;
+            carried = mget_batch;
+            if (sent_keys + carried > quota) {
+              carried = static_cast<uint32_t>(quota - sent_keys);
+            }
+            args.reserve(carried + 1);
+            args.emplace_back("MGET");
+            for (uint32_t j = 0; j < carried; ++j) {
+              args.push_back(key_name(rng.next_below(keys)));
+            }
+            c.pipeline(args);
+          } else if (dice < get_ratio) {
+            c.pipeline({"GET", key_name(rng.next_below(keys))});
+          } else {
+            const uint64_t id = rng.next_below(keys);
+            c.pipeline({"SET", key_name(id), "w" + std::to_string(id)});
+          }
+          inflight.emplace_back(now_ns(), carried);
+          sent_keys += carried;
+        };
+
+        while (done_keys < quota) {
+          while (sent_keys < quota && inflight.size() < depth) issue_one();
+          c.flush();
+          const net::RespValue v = c.read_reply();
+          const auto [t_sent, carried] = inflight.front();
+          inflight.pop_front();
+          res.lat.record(now_ns() - t_sent);
+          done_keys += carried;
+          res.ops += carried;
+          if (v.is_error()) {
+            ++res.errors;
+          } else if (v.type == net::RespValue::Type::kArray) {
+            for (const auto& e : v.elems) res.hits += !e.is_nil();
+          } else if (!v.is_nil()) {
+            ++res.hits;
+          }
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "conn %u: %s\n", ci, e.what());
+        ++res.errors;
+        failed.store(true);
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+  const double seconds = static_cast<double>(now_ns() - bench_t0) / 1e9;
+
+  ConnResult total;
+  for (const auto& r : results) {
+    total.ops += r.ops;
+    total.hits += r.hits;
+    total.errors += r.errors;
+    total.lat.merge(r.lat);
+  }
+  const double mops = seconds > 0 ? static_cast<double>(total.ops) / seconds / 1e6
+                                  : 0;
+
+  std::printf(
+      "# net: conns=%u depth=%u ops=%llu get_ratio=%.2f -> %.3f Mops/s, "
+      "p50=%llu ns p95=%llu ns p99=%llu ns p999=%llu ns, errors=%llu\n",
+      conns, depth, static_cast<unsigned long long>(total.ops), get_ratio,
+      mops, static_cast<unsigned long long>(total.lat.percentile(0.50)),
+      static_cast<unsigned long long>(total.lat.percentile(0.95)),
+      static_cast<unsigned long long>(total.lat.percentile(0.99)),
+      static_cast<unsigned long long>(total.lat.percentile(0.999)),
+      static_cast<unsigned long long>(total.errors));
+
+  bench::print_json_line(
+      "net",
+      {{"conns", std::to_string(conns)},
+       {"depth", std::to_string(depth)},
+       {"ops", std::to_string(total.ops)},
+       {"keys", std::to_string(keys)},
+       {"get_ratio", std::to_string(get_ratio)},
+       {"mget_ratio", std::to_string(mget_ratio)},
+       {"seconds", std::to_string(seconds)},
+       {"mops", std::to_string(mops)},
+       {"hits", std::to_string(total.hits)},
+       {"errors", std::to_string(total.errors)},
+       {"p50_ns", std::to_string(total.lat.percentile(0.50))},
+       {"p95_ns", std::to_string(total.lat.percentile(0.95))},
+       {"p99_ns", std::to_string(total.lat.percentile(0.99))},
+       {"p999_ns", std::to_string(total.lat.percentile(0.999))}});
+
+  return (total.errors > 0 || failed.load()) ? 1 : 0;
+}

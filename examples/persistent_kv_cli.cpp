@@ -85,18 +85,24 @@ int main(int argc, char** argv) {
   if (cmd == "put" && arg + 1 < argc) {
     const uint64_t k = std::strtoull(argv[arg], nullptr, 10);
     const uint64_t v = std::strtoull(argv[arg + 1], nullptr, 10);
-    if (table->insert(make_key(k), make_value(v))) {
+    // Status surface (API v2): a full pool reports kTableFull here instead
+    // of a TableFullError unwinding through main.
+    const Status ins = table->insert_s(make_key(k), make_value(v));
+    if (ins.ok()) {
       std::printf("inserted %llu\n", static_cast<unsigned long long>(k));
-    } else {
-      table->update(make_key(k), make_value(v));
+    } else if (ins == StatusCode::kExists) {
+      table->update_s(make_key(k), make_value(v));
       std::printf("updated %llu\n", static_cast<unsigned long long>(k));
+    } else {
+      std::fprintf(stderr, "put failed: %s\n", ins.to_string().c_str());
+      return 1;
     }
     return 0;
   }
   if (cmd == "get" && arg < argc) {
     const uint64_t k = std::strtoull(argv[arg], nullptr, 10);
     Value v;
-    if (!table->search(make_key(k), &v)) {
+    if (!table->search_s(make_key(k), &v).ok()) {
       std::printf("(not found)\n");
       return 1;
     }
@@ -113,7 +119,8 @@ int main(int argc, char** argv) {
   }
   if (cmd == "del" && arg < argc) {
     const uint64_t k = std::strtoull(argv[arg], nullptr, 10);
-    std::printf(table->erase(make_key(k)) ? "deleted\n" : "(not found)\n");
+    std::printf(table->erase_s(make_key(k)).ok() ? "deleted\n"
+                                                 : "(not found)\n");
     return 0;
   }
   if (cmd == "stats") {

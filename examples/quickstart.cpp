@@ -22,28 +22,41 @@ int main() {
   cfg.initial_capacity = 100000;
   Hdnh table(alloc, cfg);
 
-  // 3. The four operations. Keys are 16 bytes, values 15 bytes.
-  table.insert(make_key(1), make_value(100));
-  table.insert(make_key(2), make_value(200));
+  // 3. The four operations, on the Status surface (API v2): every outcome
+  //    — hit, miss, duplicate, table-full — is a value, never an exception.
+  //    Keys are 16 bytes, values 15 bytes.
+  Status s = table.insert_s(make_key(1), make_value(100));
+  std::printf("insert(1): %s\n", s.code_name());
+  s = table.insert_s(make_key(1), make_value(100));
+  std::printf("insert(1) again: %s (duplicate keys are reported, not lost)\n",
+              s.code_name());
+  table.insert_s(make_key(2), make_value(200));
 
   Value v;
-  if (table.search(make_key(1), &v)) {
+  if (table.search_s(make_key(1), &v).ok()) {
     std::printf("search(1): hit (value id %s)\n",
                 v == make_value(100) ? "100 - correct" : "unexpected!");
   }
 
-  table.update(make_key(1), make_value(101));
-  table.search(make_key(1), &v);
+  table.update_s(make_key(1), make_value(101));
+  table.search_s(make_key(1), &v);
   std::printf("after update(1): value is 101? %s\n",
               v == make_value(101) ? "yes" : "no");
 
-  table.erase(make_key(2));
-  std::printf("after erase(2): search(2) hits? %s\n",
-              table.search(make_key(2), &v) ? "yes" : "no");
+  table.erase_s(make_key(2));
+  std::printf("after erase(2): search(2) -> %s\n",
+              table.search_s(make_key(2), &v).code_name());
 
-  // 4. Bulk load and observe the structures at work.
+  // 4. Bulk load and observe the structures at work. A full table would
+  //    come back as Status::kTableFull here instead of a thrown
+  //    TableFullError (the pool below is sized so it never happens).
   for (uint64_t i = 10; i < 50000; ++i) {
-    table.insert(make_key(i), make_value(i));
+    s = table.insert_s(make_key(i), make_value(i));
+    if (!s.ok()) {
+      std::printf("bulk load stopped at id %llu: %s\n",
+                  static_cast<unsigned long long>(i), s.to_string().c_str());
+      return 1;
+    }
   }
   std::printf("\nitems=%llu  load_factor=%.2f  resizes=%llu  hot_slots=%llu\n",
               static_cast<unsigned long long>(table.size()),
@@ -54,12 +67,12 @@ int main() {
   // 5. The emulated device counts every NVM access — the OCF's job is to
   //    keep nvm_read_ops low.
   nvm::Stats::reset();
-  for (uint64_t i = 10; i < 10000; ++i) table.search(make_key(i), &v);
-  auto s = nvm::Stats::snapshot();
+  for (uint64_t i = 10; i < 10000; ++i) table.search_s(make_key(i), &v);
+  auto snap = nvm::Stats::snapshot();
   std::printf("10k searches: nvm reads=%llu, served from DRAM hot table=%llu, "
               "filtered by OCF=%llu\n",
-              static_cast<unsigned long long>(s.nvm_read_ops),
-              static_cast<unsigned long long>(s.dram_hot_hits),
-              static_cast<unsigned long long>(s.ocf_filtered));
+              static_cast<unsigned long long>(snap.nvm_read_ops),
+              static_cast<unsigned long long>(snap.dram_hot_hits),
+              static_cast<unsigned long long>(snap.ocf_filtered));
   return 0;
 }

@@ -3,11 +3,29 @@
 #pragma once
 
 #include <cstring>
+#include <span>
+#include <stdexcept>
 #include <vector>
 
+#include "api/hash_table.h"
 #include "api/types.h"
 
 namespace hdnh {
+
+// Span-style batched lookup (API v2): bounds travel with the data, and the
+// found flags are explicit bytes rather than a bool* whose width the caller
+// has to vouch for. Delegates to the virtual pointer overload, so every
+// scheme's phased implementation (HDNH pipeline, sharded regrouping) is
+// reached unchanged. values/found must be at least keys.size() long.
+inline size_t multiget(HashTable& table, std::span<const Key> keys,
+                       std::span<Value> values, std::span<uint8_t> found) {
+  if (values.size() < keys.size() || found.size() < keys.size()) {
+    throw std::invalid_argument("multiget: output spans shorter than keys");
+  }
+  static_assert(sizeof(bool) == 1, "found bytes alias bool flags");
+  return table.multiget(keys.data(), keys.size(), values.data(),
+                        reinterpret_cast<bool*>(found.data()));
+}
 
 // Maps every batch position to the first position holding the same key:
 // rep[i] == i for the first occurrence, and rep[i] < i for duplicates.

@@ -11,11 +11,20 @@
 // unless a scheme documents otherwise. Tables grow themselves (except PATH,
 // which is static per the original design) and throw std::bad_alloc /
 // TableFullError when the pool or structure is exhausted.
+//
+// API v2: the *_s methods express the same operations as Status values
+// (miss vs. exists vs. table-full vs. transient-retry) and guarantee no
+// scheme exception crosses the API boundary — the surface remote callers
+// (src/net) and batch pipelines build on. The bool methods remain the
+// compact local interface; default _s shims adapt them, and schemes with a
+// native implementation (HDNH, the sharded facade) override.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <new>
 #include <stdexcept>
+#include <utility>
 
 #include "api/types.h"
 
@@ -34,6 +43,45 @@ class HashTable {
   virtual bool search(const Key& key, Value* out) = 0;
   virtual bool update(const Key& key, const Value& value) = 0;
   virtual bool erase(const Key& key) = 0;
+
+  // ---- Status surface (API v2) ----
+  // Same operations with the outcome as a value: kOk on success, kExists
+  // for a duplicate insert, kNotFound for a miss, and kTableFull instead of
+  // a TableFullError/bad_alloc escaping. The default shims adapt the bool
+  // methods through guard(), so every factory-created table — including the
+  // baselines, which throw from deep inside their rehash paths — already
+  // honours the no-exception contract.
+  virtual Status insert_s(const Key& key, const Value& value) {
+    return guard([&] {
+      return insert(key, value) ? Status::Ok() : Status::Exists();
+    });
+  }
+  virtual Status search_s(const Key& key, Value* out) {
+    return guard([&] {
+      return search(key, out) ? Status::Ok() : Status::NotFound();
+    });
+  }
+  virtual Status update_s(const Key& key, const Value& value) {
+    return guard([&] {
+      return update(key, value) ? Status::Ok() : Status::NotFound();
+    });
+  }
+  virtual Status erase_s(const Key& key) {
+    return guard([&] { return erase(key) ? Status::Ok() : Status::NotFound(); });
+  }
+
+  // Upsert in Status terms: insert, falling back to update when the key is
+  // already present. The two-step race (concurrent erase between the steps)
+  // resolves to kRetry so remote callers can re-issue.
+  Status put_s(const Key& key, const Value& value) {
+    Status s = insert_s(key, value);
+    if (s != StatusCode::kExists) return s;
+    s = update_s(key, value);
+    if (s == StatusCode::kNotFound) {
+      return Status::Retry("key vanished during upsert");
+    }
+    return s;
+  }
 
   // Batched lookup: values[i]/found[i] for each keys[i]; returns the number
   // of hits. Duplicate keys within one batch each get their own answer.
@@ -56,6 +104,22 @@ class HashTable {
   virtual double load_factor() const = 0;
 
   virtual const char* name() const = 0;
+
+ protected:
+  // The API-boundary exception firewall: runs `fn` and converts the legacy
+  // capacity exceptions (TableFullError thrown by a scheme, bad_alloc from
+  // the pmem allocator underneath it) into Status::kTableFull. Every _s
+  // implementation — shim or native override — routes through this.
+  template <typename Fn>
+  static Status guard(Fn&& fn) {
+    try {
+      return std::forward<Fn>(fn)();
+    } catch (const TableFullError& e) {
+      return Status::TableFull(e.what());
+    } catch (const std::bad_alloc&) {
+      return Status::TableFull("pmem pool exhausted");
+    }
+  }
 };
 
 }  // namespace hdnh

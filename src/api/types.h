@@ -75,4 +75,80 @@ inline uint64_t key_id(const Key& k) {
 inline uint64_t key_hash1(const Key& k) { return hash64(k.b, kKeyBytes, kSeed1); }
 inline uint64_t key_hash2(const Key& k) { return hash64(k.b, kKeyBytes, kSeed2); }
 
+// ---------------------------------------------------------------------------
+// Status — the API v2 operation outcome.
+//
+// The bool interface collapses every non-success into `false` and reports
+// capacity exhaustion by throwing from deep inside a scheme; a caller that
+// must *report* outcomes (the network server, batch pipelines) needs them
+// as distinct values. Status carries exactly the outcomes the schemes can
+// produce; the _s methods on HashTable guarantee no scheme exception
+// crosses the API boundary.
+// ---------------------------------------------------------------------------
+
+enum class StatusCode : uint8_t {
+  kOk = 0,        // operation succeeded
+  kNotFound,      // key absent (search/update/erase miss)
+  kExists,        // insert of a key that is already present
+  kTableFull,     // structure or pool exhausted (was TableFullError/bad_alloc)
+  kRetry,         // transient conflict; the caller may retry
+  kIOError,       // backing media / socket failure
+};
+
+inline const char* status_code_name(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kExists: return "exists";
+    case StatusCode::kTableFull: return "table_full";
+    case StatusCode::kRetry: return "retry";
+    case StatusCode::kIOError: return "io_error";
+  }
+  return "unknown";
+}
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // kOk
+
+  static Status Ok() { return Status(); }
+  static Status NotFound() { return Status(StatusCode::kNotFound); }
+  static Status Exists() { return Status(StatusCode::kExists); }
+  static Status TableFull(std::string msg = {}) {
+    return Status(StatusCode::kTableFull, std::move(msg));
+  }
+  static Status Retry(std::string msg = {}) {
+    return Status(StatusCode::kRetry, std::move(msg));
+  }
+  static Status IOError(std::string msg = {}) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const char* code_name() const { return status_code_name(code_); }
+  // Detail for humans/logs (may be empty); never needed to branch on.
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    return message_.empty() ? std::string(code_name())
+                            : std::string(code_name()) + ": " + message_;
+  }
+
+  // Two statuses compare by code: the message is advisory detail.
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+  friend bool operator==(const Status& a, StatusCode c) {
+    return a.code_ == c;
+  }
+
+ private:
+  explicit Status(StatusCode code, std::string msg = {})
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
 }  // namespace hdnh

@@ -780,6 +780,29 @@ bool Hdnh::insert(const Key& key, const Value& value) {
   }
 }
 
+Status Hdnh::insert_s(const Key& key, const Value& value) {
+  return guard(
+      [&] { return insert(key, value) ? Status::Ok() : Status::Exists(); });
+}
+
+Status Hdnh::search_s(const Key& key, Value* out) {
+  // The read path never allocates: no guard needed, but keep the contract
+  // uniform (a future read-triggered promotion growing the hot table must
+  // not start throwing across the boundary).
+  return guard(
+      [&] { return search(key, out) ? Status::Ok() : Status::NotFound(); });
+}
+
+Status Hdnh::update_s(const Key& key, const Value& value) {
+  return guard(
+      [&] { return update(key, value) ? Status::Ok() : Status::NotFound(); });
+}
+
+Status Hdnh::erase_s(const Key& key) {
+  return guard(
+      [&] { return erase(key) ? Status::Ok() : Status::NotFound(); });
+}
+
 bool Hdnh::update(const Key& key, const Value& value) {
   HDNH_OBS_OP_SCOPE(obs::Op::kUpdate);
   const uint64_t h1 = key_hash1(key);

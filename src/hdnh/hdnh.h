@@ -66,6 +66,14 @@ class Hdnh final : public HashTable {
   bool update(const Key& key, const Value& value) override;
   bool erase(const Key& key) override;
 
+  // Status surface (API v2): native overrides so the contract is explicit
+  // rather than inherited — the resize path's TableFullError (pathological
+  // rehash skew) and allocator bad_alloc both surface as kTableFull.
+  Status insert_s(const Key& key, const Value& value) override;
+  Status search_s(const Key& key, Value* out) override;
+  Status update_s(const Key& key, const Value& value) override;
+  Status erase_s(const Key& key) override;
+
   // Batched positive lookup: values[i]/found[i] for each keys[i]. One
   // resize-lock acquisition for the whole batch, with the work phased
   // (hash all -> hot-table pass -> OCF/NVT pass for the misses) so the

@@ -1,0 +1,72 @@
+// IoBuffer — the per-connection byte queue both sides of a socket use.
+//
+// A flat ring with lazy compaction: bytes are appended at the tail and
+// consumed from the head; instead of shifting on every consume, the head
+// index advances and the dead prefix is reclaimed either when the buffer
+// drains (free) or when it dominates the footprint (one memmove). This is
+// the shape partial socket I/O wants: a short read appends whatever
+// arrived, a short write consumes whatever the kernel took, and the bytes
+// in between never move.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+namespace hdnh::net {
+
+class IoBuffer {
+ public:
+  const char* data() const { return buf_.data() + head_; }
+  size_t size() const { return buf_.size() - head_; }
+  bool empty() const { return head_ == buf_.size(); }
+  std::string_view view() const { return {data(), size()}; }
+
+  void append(const void* p, size_t n) {
+    const char* c = static_cast<const char*>(p);
+    buf_.insert(buf_.end(), c, c + n);
+  }
+  void append(std::string_view s) { append(s.data(), s.size()); }
+
+  // Writable tail of `n` bytes for a read(2) to land in; commit() the
+  // count that actually arrived.
+  char* reserve(size_t n) {
+    maybe_compact();
+    const size_t used = buf_.size();
+    buf_.resize(used + n);
+    return buf_.data() + used;
+  }
+  void commit(size_t n, size_t reserved) {
+    buf_.resize(buf_.size() - (reserved - n));
+  }
+
+  // Drop `n` bytes from the front (parsed input / written output).
+  void consume(size_t n) {
+    head_ += n;
+    if (head_ == buf_.size()) {
+      buf_.clear();
+      head_ = 0;
+    }
+  }
+
+  void clear() {
+    buf_.clear();
+    head_ = 0;
+  }
+
+ private:
+  void maybe_compact() {
+    // Reclaim the dead prefix once it is both large and the majority of
+    // the allocation — amortized O(1) per byte through the buffer.
+    if (head_ > 4096 && head_ * 2 > buf_.size()) {
+      buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+  std::vector<char> buf_;
+  size_t head_ = 0;
+};
+
+}  // namespace hdnh::net

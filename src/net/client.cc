@@ -1,0 +1,199 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace hdnh::net {
+
+namespace {
+constexpr size_t kReadChunk = 16 * 1024;
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + strerror(errno));
+}
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& o) noexcept
+    : fd_(std::exchange(o.fd_, -1)),
+      out_(std::move(o.out_)),
+      in_(std::move(o.in_)) {}
+
+Client& Client::operator=(Client&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = std::exchange(o.fd_, -1);
+    out_ = std::move(o.out_);
+    in_ = std::move(o.in_);
+  }
+  return *this;
+}
+
+void Client::connect(const std::string& host, uint16_t port, bool tcp_nodelay) {
+  close();
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &res);
+  if (rc != 0 || !res) {
+    throw std::runtime_error("resolve " + host + ": " + gai_strerror(rc));
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                  ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    throw std::runtime_error("connect " + host + ":" + std::to_string(port) +
+                             ": " + strerror(errno));
+  }
+  if (tcp_nodelay) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  fd_ = fd;
+  out_.clear();
+  in_.clear();
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  out_.clear();
+  in_.clear();
+}
+
+void Client::pipeline(const std::vector<std::string>& args) {
+  append_command(&out_, args);
+}
+
+void Client::flush() {
+  size_t off = 0;
+  while (off < out_.size()) {
+    const ssize_t sent = ::send(fd_, out_.data() + off, out_.size() - off,
+                                MSG_NOSIGNAL);
+    if (sent > 0) {
+      off += static_cast<size_t>(sent);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw_errno("send");
+  }
+  out_.clear();
+}
+
+RespValue Client::read_reply() {
+  for (;;) {
+    if (!in_.empty()) {
+      RespValue v;
+      size_t consumed = 0;
+      std::string err;
+      const ParseResult r =
+          parse_value(in_.data(), in_.size(), &consumed, &v, &err);
+      if (r == ParseResult::kOk) {
+        in_.consume(consumed);
+        return v;
+      }
+      if (r == ParseResult::kError) {
+        throw std::runtime_error("malformed reply: " + err);
+      }
+    }
+    char* dst = in_.reserve(kReadChunk);
+    const ssize_t got = ::recv(fd_, dst, kReadChunk, 0);
+    if (got > 0) {
+      in_.commit(static_cast<size_t>(got), kReadChunk);
+      continue;
+    }
+    in_.commit(0, kReadChunk);
+    if (got == 0) throw std::runtime_error("connection closed by server");
+    if (errno == EINTR) continue;
+    throw_errno("recv");
+  }
+}
+
+RespValue Client::command(const std::vector<std::string>& args) {
+  pipeline(args);
+  flush();
+  return read_reply();
+}
+
+RespValue Client::command_checked(const std::vector<std::string>& args) {
+  RespValue v = command(args);
+  if (v.is_error()) {
+    throw std::runtime_error("server error for '" + args[0] + "': " + v.str);
+  }
+  return v;
+}
+
+bool Client::ping() {
+  const RespValue v = command({"PING"});
+  return v.type == RespValue::Type::kSimple && v.str == "PONG";
+}
+
+void Client::set(std::string_view key, std::string_view value) {
+  command_checked({"SET", std::string(key), std::string(value)});
+}
+
+bool Client::setnx(std::string_view key, std::string_view value) {
+  return command_checked({"SETNX", std::string(key), std::string(value)})
+             .integer == 1;
+}
+
+bool Client::get(std::string_view key, std::string* out) {
+  const RespValue v = command_checked({"GET", std::string(key)});
+  if (v.is_nil()) return false;
+  if (out) *out = v.str;
+  return true;
+}
+
+int64_t Client::del(std::string_view key) {
+  return command_checked({"DEL", std::string(key)}).integer;
+}
+
+int64_t Client::exists(std::string_view key) {
+  return command_checked({"EXISTS", std::string(key)}).integer;
+}
+
+std::vector<std::optional<std::string>> Client::mget(
+    const std::vector<std::string>& keys) {
+  std::vector<std::string> args;
+  args.reserve(keys.size() + 1);
+  args.emplace_back("MGET");
+  args.insert(args.end(), keys.begin(), keys.end());
+  const RespValue v = command_checked(args);
+  std::vector<std::optional<std::string>> out;
+  out.reserve(v.elems.size());
+  for (const auto& e : v.elems) {
+    if (e.is_nil()) {
+      out.emplace_back(std::nullopt);
+    } else {
+      out.emplace_back(e.str);
+    }
+  }
+  return out;
+}
+
+int64_t Client::dbsize() { return command_checked({"DBSIZE"}).integer; }
+
+std::string Client::info() { return command_checked({"INFO"}).str; }
+
+}  // namespace hdnh::net

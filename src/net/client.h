@@ -1,0 +1,77 @@
+// hdnh::net::Client — a blocking RESP2 client with explicit pipelining.
+//
+// Two layers:
+//   * the pipelining core: pipeline() queues a command's wire bytes
+//     locally, flush() pushes the queue to the socket, read_reply() blocks
+//     for the next reply. Replies arrive in request order (RESP has no
+//     ids), so a caller keeping K requests in flight pops K replies in the
+//     order it sent them — this is what bench_net's depth-D closed loop
+//     and the server's MGET-heavy workloads are built on;
+//   * convenience round trips (set/get/mget/...) that pipeline one
+//     command, flush, and read one reply — the redis-cli-style surface.
+//
+// One Client is one connection and is not thread-safe; use a Client per
+// thread (they are cheap).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/buffer.h"
+#include "net/resp.h"
+
+namespace hdnh::net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& o) noexcept;
+  Client& operator=(Client&& o) noexcept;
+
+  // Blocking connect; throws std::runtime_error on failure.
+  void connect(const std::string& host, uint16_t port, bool tcp_nodelay = true);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  // ---- pipelining core ----
+  // Queue one command locally (no I/O).
+  void pipeline(const std::vector<std::string>& args);
+  size_t pending_bytes() const { return out_.size(); }
+  // Write the queued bytes to the socket (blocking until accepted).
+  void flush();
+  // Block until one complete reply is available and return it. Throws
+  // std::runtime_error on connection loss or a malformed reply. A RESP
+  // error reply is returned as a value (type kError), not thrown: protocol
+  // errors are data to a load generator.
+  RespValue read_reply();
+
+  // ---- convenience round trips ----
+  RespValue command(const std::vector<std::string>& args);
+  bool ping();
+  // True if newly stored or overwritten; throws on a RESP error reply
+  // (e.g. "-ERR table full") — see command_checked.
+  void set(std::string_view key, std::string_view value);
+  bool setnx(std::string_view key, std::string_view value);
+  bool get(std::string_view key, std::string* out);  // false on miss
+  int64_t del(std::string_view key);
+  int64_t exists(std::string_view key);
+  std::vector<std::optional<std::string>> mget(
+      const std::vector<std::string>& keys);
+  int64_t dbsize();
+  std::string info();
+
+ private:
+  RespValue command_checked(const std::vector<std::string>& args);
+
+  int fd_ = -1;
+  std::string out_;  // queued, not-yet-flushed request bytes
+  IoBuffer in_;      // unparsed reply bytes
+};
+
+}  // namespace hdnh::net

@@ -1,0 +1,220 @@
+#include "net/resp.h"
+
+#include <cstdlib>
+
+namespace hdnh::net {
+
+namespace {
+
+ParseResult fail(std::string* err, const char* why) {
+  if (err) *err = why;
+  return ParseResult::kError;
+}
+
+// Find "\r\n" starting at `from`; npos if not present.
+size_t find_crlf(const char* data, size_t len, size_t from) {
+  for (size_t i = from; i + 1 < len; ++i) {
+    if (data[i] == '\r' && data[i + 1] == '\n') return i;
+  }
+  return std::string::npos;
+}
+
+// Parse the signed decimal between data[from] and the CRLF at `end`.
+// RESP length headers are small; 19 digits bounds them well inside int64.
+bool parse_int_line(const char* data, size_t from, size_t end, int64_t* out) {
+  if (from == end) return false;
+  bool neg = false;
+  size_t i = from;
+  if (data[i] == '-') {
+    neg = true;
+    ++i;
+  }
+  if (i == end || end - i > 19) return false;
+  int64_t v = 0;
+  for (; i < end; ++i) {
+    if (data[i] < '0' || data[i] > '9') return false;
+    v = v * 10 + (data[i] - '0');
+  }
+  *out = neg ? -v : v;
+  return true;
+}
+
+ParseResult parse_value_rec(const char* data, size_t len, size_t* consumed,
+                            RespValue* out, std::string* err, int depth) {
+  if (len == 0) return ParseResult::kNeedMore;
+  if (depth > kMaxParseDepth) return fail(err, "nesting too deep");
+
+  const char type = data[0];
+  const size_t line_end = find_crlf(data, len, 1);
+
+  switch (type) {
+    case '+':
+    case '-': {
+      if (line_end == std::string::npos) {
+        if (len > kMaxInlineLen) return fail(err, "line too long");
+        return ParseResult::kNeedMore;
+      }
+      out->type = type == '+' ? RespValue::Type::kSimple
+                              : RespValue::Type::kError;
+      out->str.assign(data + 1, line_end - 1);
+      *consumed = line_end + 2;
+      return ParseResult::kOk;
+    }
+    case ':': {
+      if (line_end == std::string::npos) {
+        if (len > kMaxInlineLen) return fail(err, "line too long");
+        return ParseResult::kNeedMore;
+      }
+      out->type = RespValue::Type::kInteger;
+      if (!parse_int_line(data, 1, line_end, &out->integer)) {
+        return fail(err, "bad integer");
+      }
+      *consumed = line_end + 2;
+      return ParseResult::kOk;
+    }
+    case '$': {
+      if (line_end == std::string::npos) {
+        if (len > kMaxInlineLen) return fail(err, "line too long");
+        return ParseResult::kNeedMore;
+      }
+      int64_t blen;
+      if (!parse_int_line(data, 1, line_end, &blen) || blen < -1) {
+        return fail(err, "bad bulk length");
+      }
+      if (blen == -1) {
+        out->type = RespValue::Type::kNil;
+        *consumed = line_end + 2;
+        return ParseResult::kOk;
+      }
+      if (static_cast<uint64_t>(blen) > kMaxBulkLen) {
+        return fail(err, "bulk length too large");
+      }
+      const size_t need = line_end + 2 + static_cast<size_t>(blen) + 2;
+      if (len < need) return ParseResult::kNeedMore;
+      if (data[need - 2] != '\r' || data[need - 1] != '\n') {
+        return fail(err, "bulk not CRLF-terminated");
+      }
+      out->type = RespValue::Type::kBulk;
+      out->str.assign(data + line_end + 2, static_cast<size_t>(blen));
+      *consumed = need;
+      return ParseResult::kOk;
+    }
+    case '*': {
+      if (line_end == std::string::npos) {
+        if (len > kMaxInlineLen) return fail(err, "line too long");
+        return ParseResult::kNeedMore;
+      }
+      int64_t n;
+      if (!parse_int_line(data, 1, line_end, &n) || n < -1) {
+        return fail(err, "bad array length");
+      }
+      out->type = n == -1 ? RespValue::Type::kNil : RespValue::Type::kArray;
+      out->elems.clear();
+      size_t pos = line_end + 2;
+      if (n > 0) {
+        if (static_cast<uint64_t>(n) > kMaxArrayLen) {
+          return fail(err, "array length too large");
+        }
+        out->elems.reserve(static_cast<size_t>(n));
+        for (int64_t i = 0; i < n; ++i) {
+          RespValue elem;
+          size_t used = 0;
+          const ParseResult r = parse_value_rec(data + pos, len - pos, &used,
+                                                &elem, err, depth + 1);
+          if (r != ParseResult::kOk) return r;
+          out->elems.push_back(std::move(elem));
+          pos += used;
+        }
+      }
+      *consumed = pos;
+      return ParseResult::kOk;
+    }
+    default:
+      return fail(err, "unknown type byte");
+  }
+}
+
+}  // namespace
+
+ParseResult parse_value(const char* data, size_t len, size_t* consumed,
+                        RespValue* out, std::string* err) {
+  return parse_value_rec(data, len, consumed, out, err, 0);
+}
+
+ParseResult parse_request(const char* data, size_t len, size_t* consumed,
+                          std::vector<std::string>* args, std::string* err) {
+  args->clear();
+  if (len == 0) return ParseResult::kNeedMore;
+
+  if (data[0] != '*') {
+    // Inline command: one line, whitespace-separated words.
+    const size_t nl = find_crlf(data, len, 0);
+    if (nl == std::string::npos) {
+      if (len > kMaxInlineLen) return fail(err, "inline command too long");
+      return ParseResult::kNeedMore;
+    }
+    size_t i = 0;
+    while (i < nl) {
+      while (i < nl && (data[i] == ' ' || data[i] == '\t')) ++i;
+      size_t start = i;
+      while (i < nl && data[i] != ' ' && data[i] != '\t') ++i;
+      if (i > start) args->emplace_back(data + start, i - start);
+    }
+    *consumed = nl + 2;
+    return ParseResult::kOk;  // possibly empty: caller skips blank lines
+  }
+
+  RespValue v;
+  const ParseResult r = parse_value(data, len, consumed, &v, err);
+  if (r != ParseResult::kOk) return r;
+  if (v.type == RespValue::Type::kNil) return ParseResult::kOk;  // *-1: skip
+  args->reserve(v.elems.size());
+  for (auto& e : v.elems) {
+    if (e.type != RespValue::Type::kBulk) {
+      return fail(err, "request array element is not a bulk string");
+    }
+    args->push_back(std::move(e.str));
+  }
+  return ParseResult::kOk;
+}
+
+void append_simple(std::string* out, std::string_view s) {
+  out->push_back('+');
+  out->append(s);
+  out->append("\r\n");
+}
+
+void append_error(std::string* out, std::string_view msg) {
+  out->push_back('-');
+  out->append(msg);
+  out->append("\r\n");
+}
+
+void append_integer(std::string* out, int64_t v) {
+  out->push_back(':');
+  out->append(std::to_string(v));
+  out->append("\r\n");
+}
+
+void append_bulk(std::string* out, std::string_view payload) {
+  out->push_back('$');
+  out->append(std::to_string(payload.size()));
+  out->append("\r\n");
+  out->append(payload);
+  out->append("\r\n");
+}
+
+void append_nil(std::string* out) { out->append("$-1\r\n"); }
+
+void append_array_header(std::string* out, size_t n) {
+  out->push_back('*');
+  out->append(std::to_string(n));
+  out->append("\r\n");
+}
+
+void append_command(std::string* out, const std::vector<std::string>& args) {
+  append_array_header(out, args.size());
+  for (const auto& a : args) append_bulk(out, a);
+}
+
+}  // namespace hdnh::net

@@ -1,0 +1,67 @@
+// RESP2 wire framing (the Redis serialization protocol, v2 subset) for the
+// network service layer — see docs/server.md for the protocol contract.
+//
+// Parsing is incremental and non-destructive: callers hand in whatever
+// bytes have arrived; a complete frame parses to a value plus its consumed
+// length, an incomplete one reports kNeedMore without consuming anything
+// (the caller re-offers the buffer once more bytes land), and a malformed
+// or oversized frame reports kError with a reason — the server answers
+// with a RESP error and closes, it never crashes or over-allocates on
+// attacker-controlled lengths.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hdnh::net {
+
+// Hard frame limits: declared lengths beyond these are protocol errors
+// *before* any allocation happens. Generous for a 16 B-key store; raise
+// deliberately if the record format ever grows.
+inline constexpr size_t kMaxBulkLen = 1 << 20;     // bytes per bulk string
+inline constexpr size_t kMaxArrayLen = 64 * 1024;  // elements per array
+inline constexpr size_t kMaxInlineLen = 64 * 1024; // inline command line
+inline constexpr int kMaxParseDepth = 8;           // nested arrays
+
+struct RespValue {
+  enum class Type { kSimple, kError, kInteger, kBulk, kNil, kArray };
+  Type type = Type::kNil;
+  std::string str;               // kSimple / kError / kBulk payload
+  int64_t integer = 0;           // kInteger
+  std::vector<RespValue> elems;  // kArray
+
+  bool is_error() const { return type == Type::kError; }
+  bool is_nil() const { return type == Type::kNil; }
+};
+
+enum class ParseResult { kOk, kNeedMore, kError };
+
+// Parse one complete RESP value from data[0, len). On kOk, *consumed is
+// the frame's byte count and *out holds the value. On kNeedMore nothing
+// was consumed. On kError, *err (optional) explains the rejection.
+ParseResult parse_value(const char* data, size_t len, size_t* consumed,
+                        RespValue* out, std::string* err = nullptr);
+
+// Server-side request framing: a RESP array of bulk strings, with the
+// redis-compatible inline fallback (a bare "PING\r\n" line split on
+// whitespace). An empty inline line parses to kOk with empty *args — the
+// caller skips it, as redis does.
+ParseResult parse_request(const char* data, size_t len, size_t* consumed,
+                          std::vector<std::string>* args,
+                          std::string* err = nullptr);
+
+// ---- serializers: append one reply element's wire form to *out ----
+void append_simple(std::string* out, std::string_view s);   // +s\r\n
+void append_error(std::string* out, std::string_view msg);  // -msg\r\n
+void append_integer(std::string* out, int64_t v);           // :v\r\n
+void append_bulk(std::string* out, std::string_view payload);
+void append_nil(std::string* out);                          // $-1\r\n
+void append_array_header(std::string* out, size_t n);       // *n\r\n
+
+// Client-side request framing: one command as an array of bulk strings.
+void append_command(std::string* out, const std::vector<std::string>& args);
+
+}  // namespace hdnh::net

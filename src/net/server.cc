@@ -1,0 +1,773 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include "api/batch.h"
+#include "common/clock.h"
+#include "net/buffer.h"
+#include "net/kv_codec.h"
+#include "net/resp.h"
+#include "obs/obs.h"
+
+namespace hdnh::net {
+
+namespace {
+
+constexpr size_t kReadChunk = 16 * 1024;
+
+int set_nonblocking_listener(const std::string& bind_addr, uint16_t port,
+                             uint16_t* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw std::runtime_error("socket: " + std::string(strerror(errno)));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind_addr.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("bad bind address: " + bind_addr);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("bind " + bind_addr + ":" + std::to_string(port) +
+                             ": " + err);
+  }
+  if (::listen(fd, 1024) != 0) {
+    const std::string err = strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("listen: " + err);
+  }
+  sockaddr_in actual{};
+  socklen_t alen = sizeof(actual);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &alen) == 0) {
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return fd;
+}
+
+Cmd lookup_cmd(std::string& word) {
+  for (char& ch : word) {
+    if (ch >= 'a' && ch <= 'z') ch = static_cast<char>(ch - 'a' + 'A');
+  }
+  if (word == "GET") return Cmd::kGet;
+  if (word == "SET") return Cmd::kSet;
+  if (word == "SETNX") return Cmd::kSetnx;
+  if (word == "DEL") return Cmd::kDel;
+  if (word == "MGET") return Cmd::kMget;
+  if (word == "EXISTS") return Cmd::kExists;
+  if (word == "DBSIZE") return Cmd::kDbsize;
+  if (word == "PING") return Cmd::kPing;
+  if (word == "INFO") return Cmd::kInfo;
+  if (word == "COMMAND") return Cmd::kCommand;
+  if (word == "QUIT") return Cmd::kQuit;
+  if (word == "SHUTDOWN") return Cmd::kShutdown;
+  return Cmd::kUnknown;
+}
+
+}  // namespace
+
+const char* cmd_name(Cmd c) {
+  switch (c) {
+    case Cmd::kGet: return "get";
+    case Cmd::kSet: return "set";
+    case Cmd::kSetnx: return "setnx";
+    case Cmd::kDel: return "del";
+    case Cmd::kMget: return "mget";
+    case Cmd::kExists: return "exists";
+    case Cmd::kDbsize: return "dbsize";
+    case Cmd::kPing: return "ping";
+    case Cmd::kInfo: return "info";
+    case Cmd::kCommand: return "command";
+    case Cmd::kQuit: return "quit";
+    case Cmd::kShutdown: return "shutdown";
+    case Cmd::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Internal structures
+// ---------------------------------------------------------------------------
+
+struct Server::Conn {
+  int fd = -1;
+  IoBuffer in;
+  IoBuffer out;
+  bool want_write = false;       // EPOLLOUT currently registered
+  bool close_after_flush = false;
+};
+
+struct Server::Reactor {
+  uint32_t id = 0;
+  int epfd = -1;
+  int wake_fd = -1;
+  std::thread thread;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns;
+
+  // Written by the reactor thread, read by scrapers (INFO, gauges).
+  std::array<std::atomic<uint64_t>, kCmdCount> cmd_counts{};
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> closed{0};
+  std::atomic<uint64_t> proto_errors{0};
+  std::atomic<uint64_t> table_full{0};
+
+  // Latency histograms: recorded by the reactor, merged by scrapers; the
+  // mutex is uncontended except during a scrape.
+  mutable std::mutex hist_mu;
+  std::vector<Histogram> hist{kCmdCount};
+
+  // Per-reactor scratch (reply serialization, MGET batch staging).
+  std::string reply;
+  std::vector<std::string> args;
+  std::vector<Key> mkeys;
+  std::vector<Value> mvals;
+  std::vector<uint8_t> mfound;
+  std::vector<uint8_t> mvalid;
+};
+
+namespace {
+// wait()/request_stop() rendezvous, keyed by server instance. A plain
+// member would do, but the header stays free of <condition_variable>.
+struct StopGate {
+  std::mutex mu;
+  std::condition_variable cv;
+};
+std::mutex g_gates_mu;
+std::unordered_map<const void*, std::shared_ptr<StopGate>> g_gates;
+
+std::shared_ptr<StopGate> gate_for(const void* key) {
+  std::lock_guard<std::mutex> lock(g_gates_mu);
+  auto& g = g_gates[key];
+  if (!g) g = std::make_shared<StopGate>();
+  return g;
+}
+void drop_gate(const void* key) {
+  std::lock_guard<std::mutex> lock(g_gates_mu);
+  g_gates.erase(key);
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+Server::Server(HashTable& table, ServerOptions opts)
+    : table_(table), opts_(std::move(opts)) {
+  if (opts_.threads == 0) opts_.threads = 1;
+  listen_fd_ = set_nonblocking_listener(opts_.bind, opts_.port, &port_);
+  reactors_.reserve(opts_.threads);
+  for (uint32_t i = 0; i < opts_.threads; ++i) {
+    auto r = std::make_unique<Reactor>();
+    r->id = i;
+    r->epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    r->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (r->epfd < 0 || r->wake_fd < 0) {
+      throw std::runtime_error("epoll/eventfd: " + std::string(strerror(errno)));
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = r->wake_fd;
+    ::epoll_ctl(r->epfd, EPOLL_CTL_ADD, r->wake_fd, &ev);
+
+    // EPOLLEXCLUSIVE: the kernel wakes one reactor per pending accept, so
+    // the listener needs no dispatcher thread. Pre-4.5 kernels reject the
+    // flag; fall back to thundering-herd wakeups (correct, just noisier).
+    ev.events = EPOLLIN | EPOLLEXCLUSIVE;
+    ev.data.fd = listen_fd_;
+    if (::epoll_ctl(r->epfd, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+      ev.events = EPOLLIN;
+      ::epoll_ctl(r->epfd, EPOLL_CTL_ADD, listen_fd_, &ev);
+    }
+    reactors_.push_back(std::move(r));
+  }
+  register_gauges();
+}
+
+Server::~Server() {
+  stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (auto& r : reactors_) {
+    if (r->wake_fd >= 0) ::close(r->wake_fd);
+    if (r->epfd >= 0) ::close(r->epfd);
+  }
+  for (const uint64_t id : obs_gauges_) obs::Metrics::remove_gauge(id);
+  drop_gate(this);
+}
+
+void Server::register_gauges() {
+  if constexpr (!obs::kCompiledIn) return;
+  obs_label_ = "port=\"" + std::to_string(port_) + "\"";
+  obs_gauges_.push_back(obs::Metrics::add_gauge(
+      "hdnh_net_connected_clients", obs_label_,
+      "Currently open client connections",
+      [this] { return static_cast<double>(counters().active_connections); }));
+  obs_gauges_.push_back(obs::Metrics::add_gauge(
+      "hdnh_net_connections_total", obs_label_,
+      "Client connections accepted since start",
+      [this] { return static_cast<double>(counters().connections_accepted); }));
+  obs_gauges_.push_back(obs::Metrics::add_gauge(
+      "hdnh_net_protocol_errors_total", obs_label_,
+      "Malformed or oversized RESP frames rejected",
+      [this] { return static_cast<double>(counters().protocol_errors); }));
+  obs_gauges_.push_back(obs::Metrics::add_gauge(
+      "hdnh_net_table_full_total", obs_label_,
+      "Commands answered with -ERR table full",
+      [this] { return static_cast<double>(counters().table_full_errors); }));
+  for (uint32_t i = 0; i < kCmdCount; ++i) {
+    obs_gauges_.push_back(obs::Metrics::add_gauge(
+        "hdnh_net_commands_total",
+        obs_label_ + ",cmd=\"" + cmd_name(static_cast<Cmd>(i)) + "\"",
+        "Commands processed by the server, per command",
+        [this, i] {
+          uint64_t n = 0;
+          for (const auto& r : reactors_) {
+            n += r->cmd_counts[i].load(std::memory_order_relaxed);
+          }
+          return static_cast<double>(n);
+        }));
+  }
+}
+
+void Server::start() {
+  if (started_.exchange(true)) return;
+  running_.store(true, std::memory_order_release);
+  start_ns_ = now_ns();
+  for (auto& r : reactors_) {
+    r->thread = std::thread([this, rp = r.get()] { reactor_loop(*rp); });
+  }
+}
+
+bool Server::running() const {
+  return running_.load(std::memory_order_acquire);
+}
+
+void Server::wait() {
+  auto gate = gate_for(this);
+  std::unique_lock<std::mutex> lock(gate->mu);
+  gate->cv.wait(lock, [this] { return !running(); });
+}
+
+void Server::stop() {
+  // Phase 1 (request): flip the flag and wake every reactor. Also what a
+  // SHUTDOWN command triggers from inside a reactor thread.
+  running_.store(false, std::memory_order_release);
+  {
+    auto gate = gate_for(this);
+    std::lock_guard<std::mutex> lock(gate->mu);
+    gate->cv.notify_all();
+  }
+  for (auto& r : reactors_) {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t ignored = ::write(r->wake_fd, &one, sizeof(one));
+  }
+  // Phase 2 (join): only meaningful from outside the reactors.
+  if (!started_.load()) return;
+  for (auto& r : reactors_) {
+    if (r->thread.joinable() &&
+        r->thread.get_id() != std::this_thread::get_id()) {
+      r->thread.join();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
+
+void Server::reactor_loop(Reactor& r) {
+  epoll_event evs[128];
+  while (running_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(r.epfd, evs, 128, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = evs[i].data.fd;
+      if (fd == r.wake_fd) {
+        uint64_t junk;
+        while (::read(r.wake_fd, &junk, sizeof(junk)) > 0) {
+        }
+        continue;  // loop condition re-checked above
+      }
+      if (fd == listen_fd_) {
+        accept_ready(r);
+        continue;
+      }
+      auto it = r.conns.find(fd);
+      if (it == r.conns.end()) continue;
+      Conn* c = it->second.get();
+      if (evs[i].events & (EPOLLHUP | EPOLLERR)) {
+        close_conn(r, *c);
+        continue;
+      }
+      if (evs[i].events & EPOLLIN) {
+        conn_readable(r, *c);
+        // The handler may have closed the connection; re-resolve before
+        // touching it again.
+        it = r.conns.find(fd);
+        if (it == r.conns.end()) continue;
+        c = it->second.get();
+      }
+      if (evs[i].events & EPOLLOUT) conn_writable(r, *c);
+    }
+  }
+  // Drain: close every connection this reactor owns.
+  for (auto& [fd, c] : r.conns) {
+    ::epoll_ctl(r.epfd, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    r.closed.fetch_add(1, std::memory_order_relaxed);
+  }
+  r.conns.clear();
+}
+
+void Server::accept_ready(Reactor& r) {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // EMFILE etc.: shed and retry on the next wakeup
+    }
+    if (opts_.tcp_nodelay) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(r.epfd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    r.conns.emplace(fd, std::move(conn));
+    r.accepted.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::close_conn(Reactor& r, Conn& c) {
+  ::epoll_ctl(r.epfd, EPOLL_CTL_DEL, c.fd, nullptr);
+  ::close(c.fd);
+  r.closed.fetch_add(1, std::memory_order_relaxed);
+  r.conns.erase(c.fd);  // frees c
+}
+
+void Server::conn_readable(Reactor& r, Conn& c) {
+  for (;;) {
+    char* dst = c.in.reserve(kReadChunk);
+    const ssize_t got = ::recv(c.fd, dst, kReadChunk, 0);
+    if (got > 0) {
+      c.in.commit(static_cast<size_t>(got), kReadChunk);
+      if (static_cast<size_t>(got) < kReadChunk) break;
+      continue;
+    }
+    c.in.commit(0, kReadChunk);
+    if (got == 0) {
+      close_conn(r, c);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_conn(r, c);
+    return;
+  }
+
+  // Parse-and-execute until the input no longer holds a complete frame.
+  while (!c.close_after_flush) {
+    size_t consumed = 0;
+    std::string perr;
+    const ParseResult pr = parse_request(c.in.data(), c.in.size(), &consumed,
+                                         &r.args, &perr);
+    if (pr == ParseResult::kNeedMore) break;
+    if (pr == ParseResult::kError) {
+      r.proto_errors.fetch_add(1, std::memory_order_relaxed);
+      r.reply.clear();
+      append_error(&r.reply, "ERR protocol error: " + perr);
+      c.out.append(r.reply);
+      c.close_after_flush = true;
+      break;
+    }
+    c.in.consume(consumed);
+    if (r.args.empty()) continue;  // blank inline line
+    execute(r, c, r.args);
+  }
+  flush_output(r, c);
+}
+
+void Server::conn_writable(Reactor& r, Conn& c) { flush_output(r, c); }
+
+void Server::flush_output(Reactor& r, Conn& c) {
+  while (!c.out.empty()) {
+    const ssize_t sent =
+        ::send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
+    if (sent > 0) {
+      c.out.consume(static_cast<size_t>(sent));
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (c.out.size() > opts_.max_output_bytes) {
+        // The peer stopped reading; shed it rather than buffer unboundedly.
+        close_conn(r, c);
+        return;
+      }
+      if (!c.want_write) {
+        c.want_write = true;
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLOUT;
+        ev.data.fd = c.fd;
+        ::epoll_ctl(r.epfd, EPOLL_CTL_MOD, c.fd, &ev);
+      }
+      return;
+    }
+    close_conn(r, c);
+    return;
+  }
+  // Output drained.
+  if (c.want_write) {
+    c.want_write = false;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = c.fd;
+    ::epoll_ctl(r.epfd, EPOLL_CTL_MOD, c.fd, &ev);
+  }
+  if (c.close_after_flush) close_conn(r, c);
+}
+
+// ---------------------------------------------------------------------------
+// Command execution: Status -> RESP
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void append_wrong_args(std::string* out, const char* cmd) {
+  append_error(out, std::string("ERR wrong number of arguments for '") + cmd +
+                        "' command");
+}
+
+// The Status->RESP error mapping of API v2. kOk/kNotFound/kExists never
+// reach here — they are command-specific replies, not errors.
+void append_status_error(std::string* out, const Status& s,
+                         std::atomic<uint64_t>& table_full_counter) {
+  switch (s.code()) {
+    case StatusCode::kTableFull:
+      table_full_counter.fetch_add(1, std::memory_order_relaxed);
+      append_error(out, "ERR table full");
+      break;
+    case StatusCode::kRetry:
+      append_error(out, "ERR retry: transient conflict, please retry");
+      break;
+    case StatusCode::kIOError:
+      append_error(out, "ERR io error: " + s.message());
+      break;
+    default:
+      append_error(out, "ERR " + s.to_string());
+      break;
+  }
+}
+
+}  // namespace
+
+void Server::execute(Reactor& r, Conn& c, std::vector<std::string>& args) {
+  const uint64_t t0 = opts_.measure_latency ? now_ns() : 0;
+  const Cmd cmd = lookup_cmd(args[0]);
+  r.cmd_counts[static_cast<uint32_t>(cmd)].fetch_add(
+      1, std::memory_order_relaxed);
+  std::string& reply = r.reply;
+  reply.clear();
+
+  // The Status surface guarantees no scheme exception reaches this frame;
+  // the catch below is a last-ditch guard for unexpected failures (e.g.
+  // reply allocation) so one connection's error cannot take the server down.
+  try {
+    switch (cmd) {
+      case Cmd::kGet: {
+        if (args.size() != 2) {
+          append_wrong_args(&reply, "get");
+          break;
+        }
+        Key k;
+        Value v;
+        if (!encode_key(args[1], &k)) {
+          append_nil(&reply);  // a key that cannot exist in the store
+          break;
+        }
+        const Status s = table_.search_s(k, &v);
+        if (s.ok()) {
+          append_bulk(&reply, decode_value(v));
+        } else if (s == StatusCode::kNotFound) {
+          append_nil(&reply);
+        } else {
+          append_status_error(&reply, s, r.table_full);
+        }
+        break;
+      }
+      case Cmd::kSet: {
+        if (args.size() != 3) {
+          append_wrong_args(&reply, "set");
+          break;
+        }
+        Key k;
+        Value v;
+        if (!encode_key(args[1], &k)) {
+          append_error(&reply, "ERR key too long (max 15 bytes)");
+          break;
+        }
+        if (!encode_value(args[2], &v)) {
+          append_error(&reply, "ERR value too long (max 14 bytes)");
+          break;
+        }
+        const Status s = table_.put_s(k, v);
+        if (s.ok()) {
+          append_simple(&reply, "OK");
+        } else {
+          append_status_error(&reply, s, r.table_full);
+        }
+        break;
+      }
+      case Cmd::kSetnx: {
+        if (args.size() != 3) {
+          append_wrong_args(&reply, "setnx");
+          break;
+        }
+        Key k;
+        Value v;
+        if (!encode_key(args[1], &k)) {
+          append_error(&reply, "ERR key too long (max 15 bytes)");
+          break;
+        }
+        if (!encode_value(args[2], &v)) {
+          append_error(&reply, "ERR value too long (max 14 bytes)");
+          break;
+        }
+        const Status s = table_.insert_s(k, v);
+        if (s.ok()) {
+          append_integer(&reply, 1);
+        } else if (s == StatusCode::kExists) {
+          append_integer(&reply, 0);
+        } else {
+          append_status_error(&reply, s, r.table_full);
+        }
+        break;
+      }
+      case Cmd::kDel: {
+        if (args.size() < 2) {
+          append_wrong_args(&reply, "del");
+          break;
+        }
+        int64_t removed = 0;
+        for (size_t i = 1; i < args.size(); ++i) {
+          Key k;
+          if (encode_key(args[i], &k) && table_.erase_s(k).ok()) ++removed;
+        }
+        append_integer(&reply, removed);
+        break;
+      }
+      case Cmd::kExists: {
+        if (args.size() < 2) {
+          append_wrong_args(&reply, "exists");
+          break;
+        }
+        int64_t found = 0;
+        Value v;
+        for (size_t i = 1; i < args.size(); ++i) {
+          Key k;
+          if (encode_key(args[i], &k) && table_.search_s(k, &v).ok()) ++found;
+        }
+        append_integer(&reply, found);
+        break;
+      }
+      case Cmd::kMget: {
+        if (args.size() < 2) {
+          append_wrong_args(&reply, "mget");
+          break;
+        }
+        // One span multiget for the whole request: the batch hits the
+        // store's phased pipeline (sharded regrouping, OCF prefilter, NVM
+        // read-ahead) instead of n serial probes. Unencodable keys are
+        // structural misses and skip the store entirely.
+        const size_t n = args.size() - 1;
+        r.mkeys.resize(n);
+        r.mvals.resize(n);
+        r.mfound.assign(n, 0);
+        r.mvalid.resize(n);
+        size_t m = 0;  // encodable keys, packed to the front
+        for (size_t i = 0; i < n; ++i) {
+          r.mvalid[i] = encode_key(args[i + 1], &r.mkeys[m]) ? 1 : 0;
+          if (r.mvalid[i]) ++m;
+        }
+        hdnh::multiget(table_, std::span<const Key>(r.mkeys.data(), m),
+                       std::span<Value>(r.mvals.data(), m),
+                       std::span<uint8_t>(r.mfound.data(), m));
+        append_array_header(&reply, n);
+        size_t j = 0;
+        for (size_t i = 0; i < n; ++i) {
+          if (r.mvalid[i] && r.mfound[j]) {
+            append_bulk(&reply, decode_value(r.mvals[j]));
+          } else {
+            append_nil(&reply);
+          }
+          j += r.mvalid[i];
+        }
+        break;
+      }
+      case Cmd::kDbsize:
+        append_integer(&reply, static_cast<int64_t>(table_.size()));
+        break;
+      case Cmd::kPing:
+        if (args.size() == 1) {
+          append_simple(&reply, "PONG");
+        } else {
+          append_bulk(&reply, args[1]);
+        }
+        break;
+      case Cmd::kInfo:
+        append_bulk(&reply, info_text());
+        break;
+      case Cmd::kCommand:
+        // Enough COMMAND support for redis-cli handshakes: the top-level
+        // form lists our verbs; subcommand forms (DOCS, INFO, ...) answer
+        // an empty array.
+        if (args.size() > 1) {
+          append_array_header(&reply, 0);
+        } else {
+          append_array_header(&reply, kCmdCount - 1);
+          for (uint32_t i = 0; i + 1 < kCmdCount; ++i) {
+            append_bulk(&reply, cmd_name(static_cast<Cmd>(i)));
+          }
+        }
+        break;
+      case Cmd::kQuit:
+        append_simple(&reply, "OK");
+        c.close_after_flush = true;
+        break;
+      case Cmd::kShutdown: {
+        append_simple(&reply, "OK");
+        c.close_after_flush = true;
+        // Request-only: joining must happen on the owner's thread (stop()).
+        running_.store(false, std::memory_order_release);
+        auto gate = gate_for(this);
+        std::lock_guard<std::mutex> lock(gate->mu);
+        gate->cv.notify_all();
+        for (auto& other : reactors_) {
+          const uint64_t one = 1;
+          [[maybe_unused]] ssize_t ignored =
+              ::write(other->wake_fd, &one, sizeof(one));
+        }
+        break;
+      }
+      case Cmd::kUnknown:
+        append_error(&reply, "ERR unknown command '" + args[0] + "'");
+        break;
+    }
+  } catch (const std::exception& e) {
+    reply.clear();
+    append_error(&reply, std::string("ERR internal: ") + e.what());
+    c.close_after_flush = true;
+  }
+
+  c.out.append(reply);
+  if (t0) {
+    std::lock_guard<std::mutex> lock(r.hist_mu);
+    r.hist[static_cast<uint32_t>(cmd)].record(now_ns() - t0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+Server::Counters Server::counters() const {
+  Counters c;
+  for (const auto& r : reactors_) {
+    c.connections_accepted += r->accepted.load(std::memory_order_relaxed);
+    c.connections_closed += r->closed.load(std::memory_order_relaxed);
+    c.protocol_errors += r->proto_errors.load(std::memory_order_relaxed);
+    c.table_full_errors += r->table_full.load(std::memory_order_relaxed);
+    for (uint32_t i = 0; i < kCmdCount; ++i) {
+      const uint64_t n = r->cmd_counts[i].load(std::memory_order_relaxed);
+      c.per_command[i] += n;
+      c.commands_processed += n;
+    }
+  }
+  c.active_connections = c.connections_accepted - c.connections_closed;
+  return c;
+}
+
+std::vector<Histogram> Server::latency_snapshot() const {
+  std::vector<Histogram> merged(kCmdCount);
+  for (const auto& r : reactors_) {
+    std::lock_guard<std::mutex> lock(r->hist_mu);
+    for (uint32_t i = 0; i < kCmdCount; ++i) merged[i].merge(r->hist[i]);
+  }
+  return merged;
+}
+
+std::string Server::info_text() const {
+  const Counters c = counters();
+  const std::vector<Histogram> lat = latency_snapshot();
+  std::string s;
+  s += "# Server\r\n";
+  s += "server:hdnh_server\r\n";
+  s += "store:" + std::string(table_.name()) + "\r\n";
+  s += "tcp_port:" + std::to_string(port_) + "\r\n";
+  s += "reactor_threads:" + std::to_string(opts_.threads) + "\r\n";
+  s += "uptime_seconds:" +
+       std::to_string(start_ns_ ? (now_ns() - start_ns_) / 1000000000ull : 0) +
+       "\r\n";
+  s += "\r\n# Clients\r\n";
+  s += "connected_clients:" + std::to_string(c.active_connections) + "\r\n";
+  s += "total_connections_received:" +
+       std::to_string(c.connections_accepted) + "\r\n";
+  s += "\r\n# Stats\r\n";
+  s += "total_commands_processed:" + std::to_string(c.commands_processed) +
+       "\r\n";
+  s += "protocol_errors:" + std::to_string(c.protocol_errors) + "\r\n";
+  s += "table_full_errors:" + std::to_string(c.table_full_errors) + "\r\n";
+  for (uint32_t i = 0; i < kCmdCount; ++i) {
+    if (c.per_command[i] == 0) continue;
+    s += "cmd_" + std::string(cmd_name(static_cast<Cmd>(i))) +
+         ":calls=" + std::to_string(c.per_command[i]);
+    if (lat[i].count() > 0) {
+      s += ",p50_ns=" + std::to_string(lat[i].percentile(0.50)) +
+           ",p99_ns=" + std::to_string(lat[i].percentile(0.99));
+    }
+    s += "\r\n";
+  }
+  s += "\r\n# Store\r\n";
+  s += "items:" + std::to_string(table_.size()) + "\r\n";
+  char lf[32];
+  std::snprintf(lf, sizeof(lf), "%.4f", table_.load_factor());
+  s += "load_factor:" + std::string(lf) + "\r\n";
+  if constexpr (obs::kCompiledIn) {
+    // The full Prometheus exposition, inline: a scrape away for anything
+    // that can speak RESP but not HTTP.
+    s += "\r\n# Metrics\r\n";
+    s += obs::Metrics::prometheus();
+  }
+  return s;
+}
+
+}  // namespace hdnh::net

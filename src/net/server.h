@@ -1,0 +1,134 @@
+// hdnh::net::Server — the epoll-based TCP front end of the store.
+//
+// Threading model (docs/server.md): reactor-per-thread. Each of
+// `opts.threads` reactors owns one epoll instance; the shared listening
+// socket is registered in every reactor with EPOLLEXCLUSIVE, so the kernel
+// wakes exactly one reactor per pending accept and connections distribute
+// across reactors without a dispatcher thread. A connection lives and dies
+// on the reactor that accepted it: all of its I/O, parsing, and command
+// execution happen there, so per-connection state needs no locks. The
+// store itself is the concurrent object (HashTable ops are thread-safe),
+// which is what lets N reactors execute commands in parallel.
+//
+// I/O is non-blocking throughout, with per-connection input/output byte
+// queues (net/buffer.h) absorbing partial reads and writes; EPOLLOUT
+// interest is registered only while output is actually backed up.
+//
+// Commands are the RESP2 subset GET / SET / SETNX / DEL / MGET / EXISTS /
+// DBSIZE / PING / INFO / COMMAND (+ QUIT / SHUTDOWN). Execution speaks the
+// Status surface of API v2: outcomes map to RESP replies
+// (kNotFound -> nil, kTableFull -> "-ERR table full", ...) and no scheme
+// exception can cross into the event loop. MGET routes through the span
+// multiget, so a batched network read hits the store's phased pipeline
+// (one resize-lock acquisition, OCF prefilter, NVM reads overlapped).
+#pragma once
+
+#include <atomic>
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/hash_table.h"
+#include "common/histogram.h"
+
+namespace hdnh::net {
+
+// Commands, in the order counters/INFO report them.
+enum class Cmd : uint8_t {
+  kGet = 0,
+  kSet,
+  kSetnx,
+  kDel,
+  kMget,
+  kExists,
+  kDbsize,
+  kPing,
+  kInfo,
+  kCommand,
+  kQuit,
+  kShutdown,
+  kUnknown,
+};
+inline constexpr uint32_t kCmdCount = 13;
+const char* cmd_name(Cmd c);
+
+struct ServerOptions {
+  std::string bind = "127.0.0.1";
+  uint16_t port = 6399;   // 0 = ephemeral; Server::port() reports the pick
+  uint32_t threads = 4;   // reactor threads
+  bool tcp_nodelay = true;
+  // A connection whose unsent output exceeds this is dropped (a client
+  // that stops reading must not buffer the server into the ground).
+  size_t max_output_bytes = 64u << 20;
+  // Record per-command latency histograms (a few ns per command; INFO
+  // reports the percentiles).
+  bool measure_latency = true;
+};
+
+class Server {
+ public:
+  struct Counters {
+    uint64_t connections_accepted = 0;
+    uint64_t connections_closed = 0;
+    uint64_t active_connections = 0;
+    uint64_t protocol_errors = 0;   // malformed/oversized frames
+    uint64_t table_full_errors = 0; // commands answered "-ERR table full"
+    uint64_t commands_processed = 0;
+    std::array<uint64_t, kCmdCount> per_command{};
+  };
+
+  // Binds + listens immediately (throws std::runtime_error on failure) so
+  // port() is valid before start(); `table` must outlive the server.
+  Server(HashTable& table, ServerOptions opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Spawns the reactor threads. Idempotent.
+  void start();
+  // Graceful stop: closes the listener, wakes every reactor, closes the
+  // connections, joins. Idempotent; also triggered by a SHUTDOWN command.
+  void stop();
+  // True between start() and stop()/SHUTDOWN.
+  bool running() const;
+  // Blocks until the server leaves the running state (stop() from another
+  // thread, or a SHUTDOWN command). The hdnh_server binary parks here.
+  void wait();
+
+  uint16_t port() const { return port_; }
+
+  Counters counters() const;
+  // Merged per-command latency histogram snapshots (index = Cmd).
+  std::vector<Histogram> latency_snapshot() const;
+  // The same text INFO serves over the wire.
+  std::string info_text() const;
+
+ private:
+  struct Conn;
+  struct Reactor;
+
+  void reactor_loop(Reactor& r);
+  void accept_ready(Reactor& r);
+  void conn_readable(Reactor& r, Conn& c);
+  void conn_writable(Reactor& r, Conn& c);
+  void close_conn(Reactor& r, Conn& c);
+  void flush_output(Reactor& r, Conn& c);
+  void execute(Reactor& r, Conn& c, std::vector<std::string>& args);
+  void register_gauges();
+
+  HashTable& table_;
+  ServerOptions opts_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> started_{false};
+  uint64_t start_ns_ = 0;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::vector<uint64_t> obs_gauges_;
+  std::string obs_label_;
+};
+
+}  // namespace hdnh::net

@@ -49,6 +49,22 @@ bool ShardedTable::erase(const Key& key) {
   return shards_[shard_of(key)]->erase(key);
 }
 
+Status ShardedTable::insert_s(const Key& key, const Value& value) {
+  return guard([&] { return shards_[shard_of(key)]->insert_s(key, value); });
+}
+
+Status ShardedTable::search_s(const Key& key, Value* out) {
+  return guard([&] { return shards_[shard_of(key)]->search_s(key, out); });
+}
+
+Status ShardedTable::update_s(const Key& key, const Value& value) {
+  return guard([&] { return shards_[shard_of(key)]->update_s(key, value); });
+}
+
+Status ShardedTable::erase_s(const Key& key) {
+  return guard([&] { return shards_[shard_of(key)]->erase_s(key); });
+}
+
 size_t ShardedTable::multiget(const Key* keys, size_t n, Value* values,
                               bool* found) {
   if (n == 0) return 0;

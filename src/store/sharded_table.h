@@ -60,6 +60,15 @@ class ShardedTable final : public HashTable {
   bool update(const Key& key, const Value& value) override;
   bool erase(const Key& key) override;
 
+  // Status surface (API v2): routes to the owning shard's _s method, so an
+  // inner table's native override is used and its exceptions are converted
+  // at the inner boundary. guard() wraps the routing too — a shard that
+  // only implements the bool interface still cannot leak a throw.
+  Status insert_s(const Key& key, const Value& value) override;
+  Status search_s(const Key& key, Value* out) override;
+  Status update_s(const Key& key, const Value& value) override;
+  Status erase_s(const Key& key) override;
+
   // Groups the batch by shard so each inner table sees one phased batch
   // (one resize-lock acquisition per touched shard, not per key).
   size_t multiget(const Key* keys, size_t n, Value* values,

@@ -2,9 +2,11 @@
 
 #include <atomic>
 #include <memory>
+#include <span>
 #include <thread>
 #include <vector>
 
+#include "api/batch.h"
 #include "common/clock.h"
 #include "common/threads.h"
 #include "obs/metrics.h"
@@ -72,9 +74,10 @@ RunResult run(HashTable& table, const WorkloadSpec& spec, uint64_t preloaded,
     auto flush_reads = [&] {
       if (batch_keys.empty()) return;
       const uint64_t t0 = measure ? now_ns() : 0;
-      hits += table.multiget(batch_keys.data(), batch_keys.size(),
-                             batch_vals.data(),
-                             reinterpret_cast<bool*>(batch_found.data()));
+      hits += hdnh::multiget(
+          table, std::span<const Key>(batch_keys),
+          std::span<Value>(batch_vals.data(), batch_keys.size()),
+          std::span<uint8_t>(batch_found.data(), batch_keys.size()));
       if (measure) {
         const uint64_t per = (now_ns() - t0) / batch_keys.size();
         for (size_t j = 0; j < batch_keys.size(); ++j) hist.record(per);

@@ -1,0 +1,221 @@
+// API v2 Status surface: value semantics of hdnh::Status, the default
+// bool→Status shims on HashTable, the guard() exception firewall
+// (TableFullError / bad_alloc → kTableFull, nothing escapes), and the
+// native overrides on Hdnh and the sharded facade via the factory.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <new>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/batch.h"
+#include "api/factory.h"
+#include "api/types.h"
+#include "nvm/alloc.h"
+#include "nvm/pmem.h"
+#include "../test_util.h"
+
+namespace hdnh {
+namespace {
+
+TEST(Status, ValueSemantics) {
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_FALSE(Status::NotFound().ok());
+  EXPECT_EQ(Status::Ok().code(), StatusCode::kOk);
+  EXPECT_EQ(Status::NotFound(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Exists(), StatusCode::kExists);
+
+  // Equality compares codes, not messages.
+  EXPECT_EQ(Status::TableFull("a"), Status::TableFull("b"));
+  EXPECT_NE(Status::TableFull(), Status::Retry());
+
+  const Status s = Status::TableFull("segment 7 out of space");
+  EXPECT_EQ(s.code_name(), std::string("table_full"));
+  EXPECT_EQ(s.message(), "segment 7 out of space");
+  EXPECT_NE(s.to_string().find("segment 7"), std::string::npos);
+  EXPECT_EQ(Status::Ok().to_string(), "ok");
+
+  EXPECT_EQ(std::string(status_code_name(StatusCode::kIOError)), "io_error");
+}
+
+// Minimal table with only the bool interface: everything Status-side must
+// come from the default shims.
+class BoolOnlyTable : public HashTable {
+ public:
+  bool insert(const Key& key, const Value& value) override {
+    for (auto& [k, v] : items_) {
+      if (k == key) return false;
+    }
+    items_.emplace_back(key, value);
+    return true;
+  }
+  bool search(const Key& key, Value* out) override {
+    for (auto& [k, v] : items_) {
+      if (k == key) {
+        *out = v;
+        return true;
+      }
+    }
+    return false;
+  }
+  bool update(const Key& key, const Value& value) override {
+    for (auto& [k, v] : items_) {
+      if (k == key) {
+        v = value;
+        return true;
+      }
+    }
+    return false;
+  }
+  bool erase(const Key& key) override {
+    for (auto it = items_.begin(); it != items_.end(); ++it) {
+      if (it->first == key) {
+        items_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+  uint64_t size() const override { return items_.size(); }
+  double load_factor() const override { return 0; }
+  const char* name() const override { return "bool-only"; }
+
+ private:
+  std::vector<std::pair<Key, Value>> items_;
+};
+
+TEST(Status, DefaultShimSemantics) {
+  BoolOnlyTable t;
+  const Key k = make_key(7);
+
+  EXPECT_EQ(t.update_s(k, make_value(1)), StatusCode::kNotFound);
+  EXPECT_EQ(t.erase_s(k), StatusCode::kNotFound);
+  Value out;
+  EXPECT_EQ(t.search_s(k, &out), StatusCode::kNotFound);
+
+  EXPECT_TRUE(t.insert_s(k, make_value(1)).ok());
+  EXPECT_EQ(t.insert_s(k, make_value(2)), StatusCode::kExists);
+  EXPECT_TRUE(t.search_s(k, &out).ok());
+  EXPECT_EQ(out, make_value(1));
+
+  EXPECT_TRUE(t.update_s(k, make_value(3)).ok());
+  EXPECT_TRUE(t.search_s(k, &out).ok());
+  EXPECT_EQ(out, make_value(3));
+
+  // put_s is insert-then-update upsert.
+  EXPECT_TRUE(t.put_s(k, make_value(4)).ok());
+  EXPECT_TRUE(t.search_s(k, &out).ok());
+  EXPECT_EQ(out, make_value(4));
+  EXPECT_TRUE(t.put_s(make_key(8), make_value(8)).ok());  // fresh key path
+  EXPECT_EQ(t.size(), 2u);
+
+  EXPECT_TRUE(t.erase_s(k).ok());
+  EXPECT_EQ(t.erase_s(k), StatusCode::kNotFound);
+}
+
+// Tables that throw the two exception shapes the boundary must absorb.
+class ThrowingTable : public BoolOnlyTable {
+ public:
+  enum class Mode { kTableFull, kBadAlloc };
+  explicit ThrowingTable(Mode m) : mode_(m) {}
+  bool insert(const Key&, const Value&) override { return boom(); }
+  bool update(const Key&, const Value&) override { return boom(); }
+  const char* name() const override { return "throwing"; }
+
+ private:
+  bool boom() {
+    if (mode_ == Mode::kTableFull) throw TableFullError("no segment space");
+    throw std::bad_alloc();
+  }
+  Mode mode_;
+};
+
+TEST(Status, GuardConvertsExceptionsAtTheBoundary) {
+  ThrowingTable full(ThrowingTable::Mode::kTableFull);
+  Status s = full.insert_s(make_key(1), make_value(1));
+  EXPECT_EQ(s, StatusCode::kTableFull);
+  EXPECT_EQ(s.message(), "no segment space");
+  EXPECT_EQ(full.update_s(make_key(1), make_value(1)), StatusCode::kTableFull);
+  EXPECT_EQ(full.put_s(make_key(1), make_value(1)), StatusCode::kTableFull);
+
+  ThrowingTable oom(ThrowingTable::Mode::kBadAlloc);
+  s = oom.insert_s(make_key(1), make_value(1));
+  EXPECT_EQ(s, StatusCode::kTableFull);
+  EXPECT_FALSE(s.message().empty());
+}
+
+// The native overrides (Hdnh directly, and sharded facade routing to
+// per-shard overrides) must agree with the shim semantics.
+class StatusSchemes : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StatusSchemes, NativeOverridesMatchShimSemantics) {
+  const std::string scheme = GetParam();
+  nvm::PmemPool pool(pool_bytes_hint(scheme, 1 << 16));
+  nvm::PmemAllocator alloc(pool);
+  TableOptions topts;
+  topts.capacity = 1 << 14;
+  auto table = create_table(scheme, alloc, topts);
+
+  constexpr uint64_t kN = 2000;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(table->insert_s(make_key(i), make_value(i)).ok()) << i;
+  }
+  EXPECT_EQ(table->insert_s(make_key(5), make_value(5)), StatusCode::kExists);
+  EXPECT_EQ(table->size(), kN);
+
+  Value out;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(table->search_s(make_key(i), &out).ok()) << i;
+    ASSERT_EQ(out, make_value(i));
+  }
+  EXPECT_EQ(table->search_s(make_key(kN + 1), &out), StatusCode::kNotFound);
+
+  EXPECT_TRUE(table->update_s(make_key(3), make_value(333)).ok());
+  ASSERT_TRUE(table->search_s(make_key(3), &out).ok());
+  EXPECT_EQ(out, make_value(333));
+  EXPECT_EQ(table->update_s(make_key(kN + 1), make_value(1)),
+            StatusCode::kNotFound);
+
+  EXPECT_TRUE(table->erase_s(make_key(3)).ok());
+  EXPECT_EQ(table->erase_s(make_key(3)), StatusCode::kNotFound);
+  EXPECT_EQ(table->search_s(make_key(3), &out), StatusCode::kNotFound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, StatusSchemes,
+                         ::testing::Values("hdnh", "hdnh@4", "cceh", "level"));
+
+TEST(SpanMultiget, DelegatesToPointerMultiget) {
+  testutil::HdnhPack pack(64 << 20, testutil::small_config(1 << 14));
+  constexpr uint64_t kN = 4000;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(pack.table->insert(make_key(i), make_value(i)));
+  }
+
+  std::vector<Key> keys;
+  for (uint64_t i = 0; i < 128; ++i) keys.push_back(make_key(i * 31));
+  keys.push_back(make_key(kN + 99));  // miss
+  std::vector<Value> vals(keys.size());
+  std::vector<uint8_t> found(keys.size(), 2);  // poison
+
+  const size_t hits = multiget(*pack.table, std::span<const Key>(keys),
+                               std::span<Value>(vals),
+                               std::span<uint8_t>(found));
+  EXPECT_EQ(hits, 128u);
+  for (uint64_t i = 0; i < 128; ++i) {
+    ASSERT_EQ(found[i], 1) << i;
+    EXPECT_EQ(vals[i], make_value(i * 31));
+  }
+  EXPECT_EQ(found.back(), 0);
+
+  // Undersized output spans are a caller bug, reported loudly.
+  std::vector<Value> short_vals(keys.size() - 1);
+  EXPECT_THROW(multiget(*pack.table, std::span<const Key>(keys),
+                        std::span<Value>(short_vals),
+                        std::span<uint8_t>(found)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hdnh

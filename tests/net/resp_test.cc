@@ -1,0 +1,240 @@
+// RESP2 framing tests: serialize→parse round-trips, incremental feeding
+// with frames split at every possible byte boundary, and rejection of
+// malformed or oversized input without over-allocation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/resp.h"
+
+namespace hdnh::net {
+namespace {
+
+RespValue must_parse(const std::string& wire) {
+  RespValue v;
+  size_t consumed = 0;
+  std::string err;
+  EXPECT_EQ(parse_value(wire.data(), wire.size(), &consumed, &v, &err),
+            ParseResult::kOk)
+      << err;
+  EXPECT_EQ(consumed, wire.size());
+  return v;
+}
+
+TEST(RespParse, SimpleString) {
+  RespValue v = must_parse("+OK\r\n");
+  EXPECT_EQ(v.type, RespValue::Type::kSimple);
+  EXPECT_EQ(v.str, "OK");
+}
+
+TEST(RespParse, Error) {
+  RespValue v = must_parse("-ERR table full\r\n");
+  EXPECT_TRUE(v.is_error());
+  EXPECT_EQ(v.str, "ERR table full");
+}
+
+TEST(RespParse, Integer) {
+  EXPECT_EQ(must_parse(":0\r\n").integer, 0);
+  EXPECT_EQ(must_parse(":42\r\n").integer, 42);
+  EXPECT_EQ(must_parse(":-7\r\n").integer, -7);
+}
+
+TEST(RespParse, Bulk) {
+  RespValue v = must_parse("$5\r\nhello\r\n");
+  EXPECT_EQ(v.type, RespValue::Type::kBulk);
+  EXPECT_EQ(v.str, "hello");
+  // Empty bulk is a value, not nil.
+  RespValue e = must_parse("$0\r\n\r\n");
+  EXPECT_EQ(e.type, RespValue::Type::kBulk);
+  EXPECT_TRUE(e.str.empty());
+  EXPECT_FALSE(e.is_nil());
+}
+
+TEST(RespParse, BulkWithBinaryPayload) {
+  std::string payload("a\r\nb\0c", 6);
+  std::string wire = "$6\r\n" + payload + "\r\n";
+  RespValue v = must_parse(wire);
+  EXPECT_EQ(v.str, payload);
+}
+
+TEST(RespParse, NilBulkAndNilArray) {
+  EXPECT_TRUE(must_parse("$-1\r\n").is_nil());
+  EXPECT_TRUE(must_parse("*-1\r\n").is_nil());
+}
+
+TEST(RespParse, Array) {
+  RespValue v = must_parse("*3\r\n$3\r\nGET\r\n:5\r\n$-1\r\n");
+  ASSERT_EQ(v.type, RespValue::Type::kArray);
+  ASSERT_EQ(v.elems.size(), 3u);
+  EXPECT_EQ(v.elems[0].str, "GET");
+  EXPECT_EQ(v.elems[1].integer, 5);
+  EXPECT_TRUE(v.elems[2].is_nil());
+}
+
+TEST(RespParse, NestedArray) {
+  RespValue v = must_parse("*2\r\n*1\r\n+a\r\n*0\r\n");
+  ASSERT_EQ(v.elems.size(), 2u);
+  EXPECT_EQ(v.elems[0].elems[0].str, "a");
+  EXPECT_TRUE(v.elems[1].elems.empty());
+}
+
+// The property that makes the server's partial-read handling correct:
+// for every split point of a valid frame, the prefix reports kNeedMore
+// with nothing consumed, and prefix+suffix parses identically to the
+// whole. Exercised byte-at-a-time over several frame shapes.
+TEST(RespParse, EverySplitBoundary) {
+  const std::string frames[] = {
+      "+OK\r\n",
+      "-ERR nope\r\n",
+      ":12345\r\n",
+      "$11\r\nhello world\r\n",
+      "$-1\r\n",
+      "*2\r\n$3\r\nSET\r\n$2\r\nk1\r\n",
+      "*3\r\n*1\r\n:1\r\n$0\r\n\r\n+x\r\n",
+  };
+  for (const std::string& wire : frames) {
+    RespValue whole = must_parse(wire);
+    for (size_t cut = 0; cut < wire.size(); ++cut) {
+      size_t consumed = 999;
+      RespValue v;
+      EXPECT_EQ(parse_value(wire.data(), cut, &consumed, &v),
+                ParseResult::kNeedMore)
+          << "frame " << wire << " cut at " << cut;
+      RespValue full;
+      consumed = 0;
+      ASSERT_EQ(parse_value(wire.data(), wire.size(), &consumed, &full),
+                ParseResult::kOk);
+      EXPECT_EQ(consumed, wire.size());
+      EXPECT_EQ(full.type, whole.type);
+      EXPECT_EQ(full.str, whole.str);
+    }
+  }
+}
+
+TEST(RespParse, ConsumesExactlyOneFrame) {
+  std::string two = "+first\r\n+second\r\n";
+  size_t consumed = 0;
+  RespValue v;
+  ASSERT_EQ(parse_value(two.data(), two.size(), &consumed, &v),
+            ParseResult::kOk);
+  EXPECT_EQ(v.str, "first");
+  EXPECT_EQ(consumed, 8u);
+  ASSERT_EQ(parse_value(two.data() + consumed, two.size() - consumed,
+                        &consumed, &v),
+            ParseResult::kOk);
+  EXPECT_EQ(v.str, "second");
+}
+
+void expect_reject(const std::string& wire) {
+  size_t consumed = 0;
+  RespValue v;
+  std::string err;
+  EXPECT_EQ(parse_value(wire.data(), wire.size(), &consumed, &v, &err),
+            ParseResult::kError)
+      << "accepted: " << wire;
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(RespParse, RejectsMalformed) {
+  expect_reject("?weird\r\n");          // unknown type byte
+  expect_reject(":12a\r\n");            // non-digit in integer
+  expect_reject(":\r\n");               // empty integer
+  expect_reject("$5\r\nhelloXX");       // bulk not CRLF-terminated
+  expect_reject("$-2\r\n");             // negative length other than -1
+  expect_reject("*-2\r\n");
+  expect_reject(":99999999999999999999999\r\n");  // integer overflow
+}
+
+TEST(RespParse, RejectsOversizedBeforeAllocating) {
+  // Declared lengths beyond the limits must be rejected from the header
+  // alone — the payload bytes never arrive.
+  expect_reject("$1073741824\r\n");     // 1 GiB bulk
+  expect_reject("*1000000\r\n");        // 1M-element array
+  std::string deep;
+  for (int i = 0; i < kMaxParseDepth + 1; ++i) deep += "*1\r\n";
+  expect_reject(deep + ":1\r\n");       // nesting bomb
+}
+
+TEST(RespRequest, ArrayOfBulks) {
+  std::string wire = "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n";
+  std::vector<std::string> args;
+  size_t consumed = 0;
+  ASSERT_EQ(parse_request(wire.data(), wire.size(), &consumed, &args),
+            ParseResult::kOk);
+  EXPECT_EQ(consumed, wire.size());
+  ASSERT_EQ(args.size(), 3u);
+  EXPECT_EQ(args[0], "SET");
+  EXPECT_EQ(args[2], "v");
+}
+
+TEST(RespRequest, InlineFallback) {
+  std::string wire = "PING\r\n";
+  std::vector<std::string> args;
+  size_t consumed = 0;
+  ASSERT_EQ(parse_request(wire.data(), wire.size(), &consumed, &args),
+            ParseResult::kOk);
+  ASSERT_EQ(args.size(), 1u);
+  EXPECT_EQ(args[0], "PING");
+
+  // Empty inline line: consumed, zero args — caller skips it.
+  wire = "\r\nPING\r\n";
+  ASSERT_EQ(parse_request(wire.data(), wire.size(), &consumed, &args),
+            ParseResult::kOk);
+  EXPECT_TRUE(args.empty());
+  EXPECT_EQ(consumed, 2u);
+}
+
+TEST(RespRequest, RejectsNonBulkElements) {
+  std::string wire = "*1\r\n:5\r\n";  // requests must be arrays of bulks
+  std::vector<std::string> args;
+  size_t consumed = 0;
+  std::string err;
+  EXPECT_EQ(parse_request(wire.data(), wire.size(), &consumed, &args, &err),
+            ParseResult::kError);
+}
+
+TEST(RespRoundTrip, SerializersParseBack) {
+  std::string out;
+  append_simple(&out, "PONG");
+  append_error(&out, "ERR boom");
+  append_integer(&out, -3);
+  append_bulk(&out, std::string("bin\r\n\0", 6));
+  append_nil(&out);
+  append_array_header(&out, 2);
+  append_bulk(&out, "a");
+  append_bulk(&out, "b");
+
+  const char* p = out.data();
+  size_t left = out.size(), consumed = 0;
+  RespValue v;
+  auto next = [&] {
+    EXPECT_EQ(parse_value(p, left, &consumed, &v), ParseResult::kOk);
+    p += consumed;
+    left -= consumed;
+    return v;
+  };
+  EXPECT_EQ(next().str, "PONG");
+  EXPECT_TRUE(next().is_error());
+  EXPECT_EQ(next().integer, -3);
+  EXPECT_EQ(next().str, std::string("bin\r\n\0", 6));
+  EXPECT_TRUE(next().is_nil());
+  RespValue arr = next();
+  ASSERT_EQ(arr.elems.size(), 2u);
+  EXPECT_EQ(arr.elems[1].str, "b");
+  EXPECT_EQ(left, 0u);
+}
+
+TEST(RespRoundTrip, CommandFraming) {
+  std::string out;
+  append_command(&out, {"MGET", "k1", "k2"});
+  std::vector<std::string> args;
+  size_t consumed = 0;
+  ASSERT_EQ(parse_request(out.data(), out.size(), &consumed, &args),
+            ParseResult::kOk);
+  EXPECT_EQ(consumed, out.size());
+  EXPECT_EQ(args, (std::vector<std::string>{"MGET", "k1", "k2"}));
+}
+
+}  // namespace
+}  // namespace hdnh::net

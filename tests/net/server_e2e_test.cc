@@ -1,0 +1,362 @@
+// Loopback end-to-end tests for the epoll server: a real Server on an
+// ephemeral port over a real sharded store, driven by net::Client over
+// TCP. Covers the command surface, concurrent pipelined clients, MGET
+// routing through the store's phased multiget (the NVM prefetch counters
+// move), INFO/counter accounting, and the table-full fault firewall
+// (a throwing store surfaces as Status::kTableFull locally and
+// "-ERR table full" on the wire — never as an escaped exception).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/factory.h"
+#include "net/client.h"
+#include "net/kv_codec.h"
+#include "net/server.h"
+#include "nvm/alloc.h"
+#include "nvm/pmem.h"
+#include "nvm/stats.h"
+
+namespace hdnh::net {
+namespace {
+
+// Pool + sharded table + running server on an ephemeral port.
+struct ServerPack {
+  explicit ServerPack(const std::string& scheme = "hdnh@4",
+                      uint64_t capacity = 1 << 16, uint32_t threads = 2)
+      : pool(pool_bytes_hint(scheme, capacity * 2)), alloc(pool) {
+    TableOptions topts;
+    topts.capacity = capacity;
+    table = create_table(scheme, alloc, topts);
+    ServerOptions sopts;
+    sopts.port = 0;  // ephemeral
+    sopts.threads = threads;
+    server = std::make_unique<Server>(*table, sopts);
+    server->start();
+  }
+  ~ServerPack() { server->stop(); }
+
+  Client client() {
+    Client c;
+    c.connect("127.0.0.1", server->port());
+    return c;
+  }
+
+  nvm::PmemPool pool;
+  nvm::PmemAllocator alloc;
+  std::unique_ptr<HashTable> table;
+  std::unique_ptr<Server> server;
+};
+
+TEST(ServerE2E, CommandSurface) {
+  ServerPack pack;
+  Client c = pack.client();
+
+  EXPECT_TRUE(c.ping());
+  EXPECT_EQ(c.dbsize(), 0);
+
+  c.set("alpha", "1");
+  std::string v;
+  ASSERT_TRUE(c.get("alpha", &v));
+  EXPECT_EQ(v, "1");
+  EXPECT_FALSE(c.get("missing", &v));
+
+  c.set("alpha", "2");  // overwrite through put_s
+  ASSERT_TRUE(c.get("alpha", &v));
+  EXPECT_EQ(v, "2");
+
+  EXPECT_TRUE(c.setnx("beta", "b"));
+  EXPECT_FALSE(c.setnx("beta", "ignored"));
+  ASSERT_TRUE(c.get("beta", &v));
+  EXPECT_EQ(v, "b");
+
+  EXPECT_EQ(c.exists("alpha"), 1);
+  EXPECT_EQ(c.dbsize(), 2);
+  EXPECT_EQ(c.del("alpha"), 1);
+  EXPECT_EQ(c.del("alpha"), 0);
+  EXPECT_EQ(c.exists("alpha"), 0);
+  EXPECT_EQ(c.dbsize(), 1);
+  EXPECT_EQ(pack.table->size(), 1u);
+
+  // Store state is shared across connections.
+  Client c2 = pack.client();
+  ASSERT_TRUE(c2.get("beta", &v));
+  EXPECT_EQ(v, "b");
+
+  RespValue info = c.command({"INFO"});
+  EXPECT_EQ(info.type, RespValue::Type::kBulk);
+  EXPECT_NE(info.str.find("# Stats"), std::string::npos);
+  RespValue cmds = c.command({"COMMAND"});
+  EXPECT_EQ(cmds.type, RespValue::Type::kArray);
+}
+
+TEST(ServerE2E, WireLimitsAndErrors) {
+  ServerPack pack;
+  Client c = pack.client();
+
+  const std::string long_key(kMaxWireKeyLen + 1, 'k');
+  const std::string long_val(kMaxWireValueLen + 1, 'v');
+
+  // Oversized key/value on SET: a RESP error, connection stays usable.
+  EXPECT_TRUE(c.command({"SET", long_key, "v"}).is_error());
+  EXPECT_TRUE(c.command({"SET", "k", long_val}).is_error());
+  // Oversized key on GET: structurally a miss.
+  EXPECT_TRUE(c.command({"GET", long_key}).is_nil());
+
+  // Arity and unknown-command errors.
+  EXPECT_TRUE(c.command({"SET", "only-key"}).is_error());
+  EXPECT_TRUE(c.command({"GET"}).is_error());
+  EXPECT_TRUE(c.command({"FLUSHALL"}).is_error());
+
+  // Max-size key and value round-trip fine.
+  const std::string max_key(kMaxWireKeyLen, 'K');
+  const std::string max_val(kMaxWireValueLen, 'V');
+  c.set(max_key, max_val);
+  std::string v;
+  ASSERT_TRUE(c.get(max_key, &v));
+  EXPECT_EQ(v, max_val);
+  EXPECT_TRUE(c.ping());  // still alive after all the errors
+}
+
+TEST(ServerE2E, MgetRoutesThroughPhasedMultiget) {
+  ServerPack pack("hdnh@4", 1 << 16);
+  Client c = pack.client();
+
+  // Load well past the hot table's reach (hot_capacity_ratio covers ~25%
+  // of slots) so MGET must read NVM — that is what makes the prefetch /
+  // overlapped-read counters observable.
+  constexpr int kKeys = 8192;
+  for (int i = 0; i < kKeys; ++i) {
+    c.pipeline({"SET", "k" + std::to_string(i), "v" + std::to_string(i)});
+    if (i % 256 == 255) {
+      c.flush();
+      for (int j = 0; j < 256; ++j) ASSERT_FALSE(c.read_reply().is_error());
+    }
+  }
+
+  nvm::ScopedStatsDelta d;
+  int hits = 0;
+  for (int base = 0; base < kKeys; base += 64) {
+    std::vector<std::string> keys;
+    for (int j = 0; j < 64; ++j) keys.push_back("k" + std::to_string(base + j));
+    keys.push_back("nope" + std::to_string(base));  // one guaranteed miss
+    auto vals = c.mget(keys);
+    ASSERT_EQ(vals.size(), keys.size());
+    for (int j = 0; j < 64; ++j) {
+      ASSERT_TRUE(vals[j].has_value()) << keys[j];
+      EXPECT_EQ(*vals[j], "v" + std::to_string(base + j));
+      ++hits;
+    }
+    EXPECT_FALSE(vals.back().has_value());
+  }
+  EXPECT_EQ(hits, kKeys);
+
+  // The acceptance check: batched network reads reach the store's phased
+  // pipeline, visible as issued prefetches and overlapped block reads.
+  const nvm::StatsSnapshot used = d.delta();
+  EXPECT_GT(used.nvm_prefetch_issued, 0u);
+  EXPECT_GT(used.nvm_read_blocks_overlapped, 0u);
+
+  const Server::Counters sc = pack.server->counters();
+  EXPECT_EQ(sc.per_command[static_cast<size_t>(Cmd::kMget)], kKeys / 64);
+}
+
+TEST(ServerE2E, ConcurrentPipelinedClients) {
+  ServerPack pack("hdnh@4", 1 << 16, /*threads=*/3);
+  constexpr int kThreads = 6;
+  constexpr int kOpsPer = 500;
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      try {
+        Client c;
+        c.connect("127.0.0.1", pack.server->port());
+        // Disjoint key ranges per thread: every GET-after-SET must hit.
+        for (int i = 0; i < kOpsPer; ++i) {
+          const std::string key = "t" + std::to_string(t) + "-" +
+                                  std::to_string(i % 97);
+          c.pipeline({"SET", key, std::to_string(i)});
+          c.pipeline({"GET", key});
+          c.pipeline({"MGET", key, "absent"});
+          c.flush();
+          const RespValue set_r = c.read_reply();
+          const RespValue get_r = c.read_reply();
+          const RespValue mget_r = c.read_reply();
+          if (set_r.is_error() || get_r.is_nil() ||
+              get_r.str != std::to_string(i) ||
+              mget_r.elems.size() != 2 || mget_r.elems[0].is_nil() ||
+              !mget_r.elems[1].is_nil()) {
+            ++failures;
+            return;
+          }
+        }
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const Server::Counters sc = pack.server->counters();
+  EXPECT_EQ(sc.connections_accepted, kThreads);
+  EXPECT_EQ(sc.protocol_errors, 0u);
+  EXPECT_EQ(sc.per_command[static_cast<size_t>(Cmd::kSet)],
+            uint64_t{kThreads} * kOpsPer);
+  EXPECT_EQ(sc.per_command[static_cast<size_t>(Cmd::kGet)],
+            uint64_t{kThreads} * kOpsPer);
+  EXPECT_EQ(sc.commands_processed, uint64_t{kThreads} * kOpsPer * 3);
+
+  // INFO carries the same accounting over the wire.
+  Client c = pack.client();
+  const std::string info = c.info();
+  EXPECT_NE(info.find("cmd_set:calls=" +
+                      std::to_string(uint64_t{kThreads} * kOpsPer)),
+            std::string::npos)
+      << info;
+  EXPECT_NE(info.find("connected_clients"), std::string::npos);
+}
+
+// Raw TCP helper for sending deliberately malformed bytes the Client's
+// typed surface cannot produce.
+struct RawConn {
+  explicit RawConn(uint16_t port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+  }
+  ~RawConn() {
+    if (fd >= 0) ::close(fd);
+  }
+  void send_all(std::string_view bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                         MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      off += static_cast<size_t>(n);
+    }
+  }
+  // Read until EOF; returns everything the server said before closing.
+  std::string drain() {
+    std::string all;
+    char buf[4096];
+    for (;;) {
+      ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      all.append(buf, static_cast<size_t>(n));
+    }
+    return all;
+  }
+  int fd = -1;
+};
+
+TEST(ServerE2E, ProtocolErrorsCountedAndConnectionDropped) {
+  ServerPack pack;
+
+  // A declared 1 GiB bulk: rejected from the header alone — the server
+  // answers with a RESP error and closes the connection (EOF follows the
+  // error, never a hang or an allocation).
+  {
+    RawConn raw(pack.server->port());
+    raw.send_all("*1\r\n$1073741824\r\n");
+    const std::string reply = raw.drain();
+    ASSERT_FALSE(reply.empty());
+    EXPECT_EQ(reply[0], '-') << reply;
+  }
+  // Garbage type byte.
+  {
+    RawConn raw(pack.server->port());
+    raw.send_all("*1\r\n?boom\r\n");
+    const std::string reply = raw.drain();
+    ASSERT_FALSE(reply.empty());
+    EXPECT_EQ(reply[0], '-') << reply;
+  }
+
+  EXPECT_GE(pack.server->counters().protocol_errors, 2u);
+
+  // A well-behaved client is unaffected by its neighbours' garbage.
+  Client c = pack.client();
+  EXPECT_TRUE(c.ping());
+}
+
+TEST(ServerE2E, ShutdownCommandStopsServer) {
+  ServerPack pack;
+  Client c = pack.client();
+  c.set("persist", "1");
+  c.pipeline({"SHUTDOWN"});
+  c.flush();
+  // Server leaves the running state; wait() returns.
+  pack.server->wait();
+  EXPECT_FALSE(pack.server->running());
+  pack.server->stop();  // join threads; idempotent
+  EXPECT_EQ(pack.table->size(), 1u);  // store unaffected by shutdown
+}
+
+// ---- table-full fault firewall ----
+
+// A store whose writes always throw TableFullError: models a full pmem
+// pool. Inherits the default Status shims, so this also proves guard()
+// catches at the API boundary (no override involved).
+class FullTable final : public HashTable {
+ public:
+  bool insert(const Key&, const Value&) override {
+    throw TableFullError("stub table is always full");
+  }
+  bool search(const Key&, Value*) override { return false; }
+  bool update(const Key&, const Value&) override {
+    throw TableFullError("stub table is always full");
+  }
+  bool erase(const Key&) override { return false; }
+  uint64_t size() const override { return 0; }
+  double load_factor() const override { return 1.0; }
+  const char* name() const override { return "full-stub"; }
+};
+
+TEST(ServerE2E, TableFullStatusLocallyAndOverTheWire) {
+  FullTable full;
+
+  // Locally: the exception is converted, not propagated.
+  Status s = full.insert_s(make_key(1), make_value(1));
+  EXPECT_EQ(s, StatusCode::kTableFull);
+  EXPECT_EQ(full.put_s(make_key(1), make_value(1)), StatusCode::kTableFull);
+
+  // Over the wire: "-ERR table full", connection survives, counter moves.
+  ServerOptions sopts;
+  sopts.port = 0;
+  sopts.threads = 1;
+  Server server(full, sopts);
+  server.start();
+  Client c;
+  c.connect("127.0.0.1", server.port());
+
+  RespValue r = c.command({"SET", "k", "v"});
+  ASSERT_TRUE(r.is_error());
+  EXPECT_EQ(r.str, "ERR table full");
+  r = c.command({"SETNX", "k", "v"});
+  ASSERT_TRUE(r.is_error());
+  EXPECT_EQ(r.str, "ERR table full");
+  EXPECT_TRUE(c.ping());  // the reactor thread survived the exception path
+
+  const Server::Counters sc = server.counters();
+  EXPECT_EQ(sc.table_full_errors, 2u);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace hdnh::net

@@ -1,0 +1,123 @@
+// hdnh_server — the store behind a TCP port (docs/server.md).
+//
+//   $ ./tools/hdnh_server --scheme=hdnh@4 --port=6399 --threads=4
+//   hdnh_server listening on 127.0.0.1:6399 (scheme=HDNH@4, threads=4)
+//
+// Speaks the RESP2 subset GET/SET/SETNX/DEL/MGET/EXISTS/DBSIZE/PING/INFO/
+// COMMAND, so redis-cli and our own net::Client both work against it.
+// --pool=PATH serves a file-backed pool (data survives restarts; attach
+// runs recovery); the default is an anonymous emulated pool. SIGINT /
+// SIGTERM / a SHUTDOWN command stop it gracefully: connections drain, a
+// final stats line prints, metrics files get a last snapshot, exit 0.
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "api/factory.h"
+#include "common/cli.h"
+#include "net/server.h"
+#include "nvm/alloc.h"
+#include "nvm/pmem.h"
+#include "obs/obs.h"
+
+using namespace hdnh;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::string scheme =
+      cli.get_str("scheme", "hdnh@4", "table scheme (factory name, @N shards)");
+  const std::string bind = cli.get_str("bind", "127.0.0.1", "bind address");
+  const uint16_t port = static_cast<uint16_t>(
+      cli.get_int("port", 6399, "TCP port (0 = ephemeral, printed at start)"));
+  const uint32_t threads = static_cast<uint32_t>(
+      cli.get_int("threads", 4, "reactor threads"));
+  const uint64_t capacity = static_cast<uint64_t>(
+      cli.get_int("capacity", 1 << 20, "items the store should accommodate"));
+  const std::string pool_path =
+      cli.get_str("pool", "", "file-backed pool path (default: anonymous)");
+  const uint64_t pool_mb = static_cast<uint64_t>(
+      cli.get_int("pool_mb", 0, "pool size in MiB (0 = sized from capacity)"));
+  const bool emulate =
+      cli.get_bool("emulate", false, "emulate AEP latency (spin-waits)");
+  const bool nodelay = cli.get_bool("tcp_nodelay", true, "set TCP_NODELAY");
+  const std::string metrics_out =
+      cli.get_str("metrics_out", "", "periodic metrics JSON file");
+  const std::string metrics_prom =
+      cli.get_str("metrics_prom", "", "periodic Prometheus text file");
+  const double metrics_interval =
+      cli.get_double("metrics_interval_s", 1.0, "metrics rewrite cadence");
+  cli.finish();
+
+  // Block the termination signals before any thread exists, so every
+  // reactor inherits the mask and only the sigwait below sees them.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  uint64_t pool_bytes = pool_mb ? pool_mb << 20
+                                : pool_bytes_hint(scheme, capacity + capacity / 2);
+  nvm::NvmConfig ncfg;
+  ncfg.emulate_latency = emulate;
+  nvm::PmemPool pool(pool_bytes, ncfg, pool_path);
+  nvm::PmemAllocator alloc(pool);
+  TableOptions topts;
+  topts.capacity = capacity;
+  auto table = create_table(scheme, alloc, topts);
+  if (pool.recovered()) {
+    std::printf("(attached existing pool %s: %llu items)\n", pool_path.c_str(),
+                static_cast<unsigned long long>(table->size()));
+  }
+
+  net::ServerOptions sopts;
+  sopts.bind = bind;
+  sopts.port = port;
+  sopts.threads = threads;
+  sopts.tcp_nodelay = nodelay;
+  net::Server server(*table, sopts);
+
+  std::unique_ptr<obs::PeriodicReporter> reporter;
+  if (!metrics_out.empty() || !metrics_prom.empty()) {
+    obs::Metrics::set_latency_enabled(true);
+    obs::PeriodicReporter::Options ropts;
+    ropts.json_path = metrics_out;
+    ropts.prom_path = metrics_prom;
+    ropts.interval_s = metrics_interval;
+    reporter = std::make_unique<obs::PeriodicReporter>(ropts);
+  }
+
+  server.start();
+  std::printf("hdnh_server listening on %s:%u (scheme=%s, threads=%u)\n",
+              bind.c_str(), server.port(), table->name(), threads);
+  std::fflush(stdout);
+
+  // One thread turns a delivered signal into a stop request; main parks in
+  // wait(), which a SHUTDOWN command also releases. After wait() returns,
+  // re-raise SIGTERM so the signal thread always unblocks and joins.
+  std::thread sig_thread([&] {
+    int sig = 0;
+    sigwait(&sigs, &sig);
+    server.stop();
+  });
+  server.wait();
+  ::kill(::getpid(), SIGTERM);
+  sig_thread.join();
+  server.stop();
+
+  const net::Server::Counters c = server.counters();
+  std::printf(
+      "hdnh_server stopped: %llu commands, %llu connections, "
+      "%llu protocol errors, %llu table-full errors, %llu items\n",
+      static_cast<unsigned long long>(c.commands_processed),
+      static_cast<unsigned long long>(c.connections_accepted),
+      static_cast<unsigned long long>(c.protocol_errors),
+      static_cast<unsigned long long>(c.table_full_errors),
+      static_cast<unsigned long long>(table->size()));
+  reporter.reset();  // final metrics snapshot
+  return 0;
+}
