@@ -9,6 +9,7 @@
 #include "common/clock.h"
 #include "common/simd.h"
 #include "common/threads.h"
+#include "nvm/fault.h"
 #include "obs/metrics.h"
 
 namespace hdnh {
@@ -59,6 +60,12 @@ Hdnh::Hdnh(nvm::PmemAllocator& alloc, HdnhConfig cfg)
     bg_ = std::make_unique<BgWriter>(hot_.get(), cfg_.bg_workers);
   }
   register_obs_gauges();
+}
+
+void Hdnh::abandon_after_crash() {
+  unregister_obs_gauges();
+  bg_.reset();
+  super_ = nullptr;  // destructor must not touch the crash image
 }
 
 Hdnh::~Hdnh() {
@@ -132,6 +139,10 @@ void Hdnh::create_fresh() {
 
 void Hdnh::attach_and_recover() {
   HDNH_OBS_SPAN("recovery", "attach_recover");
+  // Everything recovery persists is itself a crash point: tag the whole
+  // attach so sweeps can target "crash during recovery" (the inner resize
+  // swap / rehash / log-replay tags OR in on top).
+  nvm::FaultScope recovery_tag(nvm::kFaultRecovery);
   super_ = pool_.to_ptr<HdnhSuper>(alloc_.root(kSuperRoot));
   if (super_->magic != HdnhSuper::kMagic) {
     throw std::runtime_error("Hdnh: pool root is not an HDNH superblock");
@@ -150,6 +161,7 @@ void Hdnh::attach_and_recover() {
       // Re-derive the final pointer layout from the prev_* snapshot (§3.7:
       // "the recovery thread applies for the new level again and lets the
       // pointer of top level point to the new level").
+      nvm::FaultScope swap_tag(nvm::kFaultResizeSwap);
       if (super_->new_level_off == 0) {
         super_->new_level_segs = 2 * super_->prev_tl_segs;
         super_->new_level_off = alloc_level_nvm(super_->new_level_segs);
@@ -190,8 +202,24 @@ void Hdnh::attach_and_recover() {
       rehash_level(old_bl, /*check_dup=*/true);
       alloc_.free_block(super_->prev_bl_off,
                         old_bl.buckets * kNvBucketBytes);
+      nvm::FaultScope finish_tag(nvm::kFaultResizeFinish);
       super_->level_number.store(0, std::memory_order_relaxed);
       pool_.persist_fence(&super_->level_number, sizeof(uint32_t));
+      super_->resizing_flag = 0;
+      pool_.persist_fence(&super_->resizing_flag, sizeof(uint32_t));
+    } else if (ln != 2) {
+      // level_number is 0 while resizing_flag is still set: the crash
+      // landed in a one-sided window where the steady state was already
+      // (re)published but the flag's clear never reached media — either at
+      // the very tail of a resize (level_number := 0 persisted first) or
+      // right at its start (flag set, state 2 not yet durable; level_off
+      // untouched either way). The levels under level_off are final and
+      // complete, so treating this as an interrupted resize would rebuild
+      // from the prev_* snapshot and silently drop every record in them.
+      // Attach steady views and retire the stale flag.
+      lv_[0] = make_level_view(super_->level_off[0], super_->level_segs[0]);
+      lv_[1] = make_level_view(super_->level_off[1], super_->level_segs[1]);
+      nvm::FaultScope finish_tag(nvm::kFaultResizeFinish);
       super_->resizing_flag = 0;
       pool_.persist_fence(&super_->resizing_flag, sizeof(uint32_t));
     }
@@ -222,6 +250,7 @@ UpdateLogEntry* Hdnh::log_entry(uint32_t idx) const {
 
 void Hdnh::replay_update_logs() {
   HDNH_OBS_SPAN("recovery", "log_replay");
+  nvm::FaultScope replay_tag(nvm::kFaultLogReplay);
   for (uint32_t i = 0; i < kUpdateLogSlots; ++i) {
     UpdateLogEntry* e = log_entry(i);
     if (e->state.load(std::memory_order_relaxed) != 1) continue;
@@ -764,7 +793,17 @@ bool Hdnh::insert(const Key& key, const Value& value) {
         if (bg_) {
           SyncWriteSignal sig;
           bg_->submit(BgWriter::Op::kPut, kv, h1, &sig);
-          publish_nvt(loc, kv);
+          try {
+            publish_nvt(loc, kv);
+          } catch (...) {
+            // Once submitted, the worker holds a pointer to the stack
+            // signal until it completes it. An exception unwinding out of
+            // the durable work (an injected crash point inside
+            // publish_nvt) must still rendezvous first, or the worker
+            // writes into a dead stack frame.
+            sig.wait();
+            throw;
+          }
           sig.wait();
         } else {
           publish_nvt(loc, kv);
@@ -933,6 +972,11 @@ void Hdnh::do_resize(uint64_t expected_gen) {
   }
   HDNH_OBS_SPAN("resize", "resize");
 
+  // Steps 1-3 are the swap phase: crash-point sweeps target it through the
+  // scope tag (allocator-commit events inside keep their own bit too).
+  Level old_bl;
+  {
+  nvm::FaultScope swap_tag(nvm::kFaultResizeSwap);
   // 1. Snapshot the current layout so recovery can replay the swap from any
   //    crash point, then enter state 2.
   super_->prev_tl_off = super_->level_off[0];
@@ -975,19 +1019,26 @@ void Hdnh::do_resize(uint64_t expected_gen) {
   // Volatile views: the old TL keeps its OCF as it slides to the bottom
   // role — its entries stay valid because items are reused in place without
   // rehashing (the Level-hashing trick the paper inherits).
-  Level old_bl = std::move(lv_[1]);
+  old_bl = std::move(lv_[1]);
   lv_[1] = std::move(lv_[0]);
   lv_[0] = make_level_view(new_off, new_segs);
+  }
 
   // 4. Drain the old bottom level into the new two-level structure.
   rehash_level(old_bl, /*check_dup=*/false);
   alloc_.free_block(old_bl.off, old_bl.buckets * kNvBucketBytes);
 
-  // 5. Back to steady state.
-  super_->level_number.store(0, std::memory_order_relaxed);
-  pool_.persist_fence(&super_->level_number, sizeof(uint32_t));
-  super_->resizing_flag = 0;
-  pool_.persist_fence(&super_->resizing_flag, sizeof(uint32_t));
+  // 5. Back to steady state. Ordering note: level_number first, flag last —
+  //    a crash between the two persists leaves resizing_flag == 1 with
+  //    level_number == 0, which recovery must read as "resize complete"
+  //    (see attach_and_recover), not as a resumable state.
+  {
+    nvm::FaultScope finish_tag(nvm::kFaultResizeFinish);
+    super_->level_number.store(0, std::memory_order_relaxed);
+    pool_.persist_fence(&super_->level_number, sizeof(uint32_t));
+    super_->resizing_flag = 0;
+    pool_.persist_fence(&super_->resizing_flag, sizeof(uint32_t));
+  }
 
   // The hot table scales with the non-volatile table ("hot table is
   // adjustable", §3.3); it restarts cold and refills from traffic.
@@ -1001,6 +1052,7 @@ void Hdnh::do_resize(uint64_t expected_gen) {
 
 void Hdnh::rehash_level(const Level& old_level, bool check_dup) {
   HDNH_OBS_SPAN("resize", "rehash_level");
+  nvm::FaultScope rehash_tag(nvm::kFaultRehash);
   const uint64_t start =
       super_->rehash_progress.load(std::memory_order_relaxed);
 

@@ -96,6 +96,19 @@ class Hdnh final : public HashTable {
   uint64_t resize_count() const { return resizes_; }
   uint64_t hot_table_slots() const { return hot_ ? hot_->total_slots() : 0; }
   RecoveryStats last_recovery() const { return last_recovery_; }
+  // Hot-table mirror requests submitted but not yet applied (0 without a
+  // background writer). Crash tests assert this is 0 after an injected
+  // crash unwinds an op — no worker may still hold a dead stack signal.
+  uint64_t bg_queue_depth() const { return bg_ ? bg_->queue_depth() : 0; }
+
+  // After a simulated crash this object's volatile state (OCF, hot table,
+  // counters) no longer matches the pool, and its destructor would write a
+  // clean-shutdown marker into the crash image. abandon_after_crash() joins
+  // the background workers (they touch DRAM only — always safe) and severs
+  // the superblock pointer so the destructor becomes pool-neutral; the
+  // object can then be destroyed normally and a fresh Hdnh constructed over
+  // the pool to run recovery.
+  void abandon_after_crash();
 
   // Drop and rebuild OCF + hot table from the non-volatile table, as a
   // restart would. `merged` rebuilds both in one traversal (the §3.7

@@ -28,6 +28,7 @@ void PmemAllocator::format_or_attach() {
     attached_ = true;
     return;
   }
+  FaultScope tag(kFaultAllocCommit);
   std::memset(static_cast<void*>(h), 0, sizeof(Header));  // raw media format
   h->pool_size = bytes_;
   h->bump.store(base_ + header_bytes(), std::memory_order_relaxed);
@@ -63,6 +64,7 @@ uint64_t PmemAllocator::alloc(uint64_t size, uint64_t align) {
   }
   // Persist the advanced bump so a post-crash attach never re-hands-out
   // space a pre-crash caller may have linked into a durable structure.
+  FaultScope tag(kFaultAllocCommit);
   pool_.persist_fence(&h->bump, sizeof(h->bump));
   return off;
 }
@@ -79,7 +81,11 @@ uint64_t PmemAllocator::root_size(int slot) const {
 }
 
 void PmemAllocator::set_root(int slot, uint64_t off, uint64_t size) {
+  FaultScope tag(kFaultRootCommit);
   Header* h = hdr();
+  // root_size first, root_off last: the off word is the publication guard,
+  // so a crash between the two persists leaves the slot unpublished (a size
+  // without an offset is never read) rather than half-published.
   h->root_size[slot] = size;
   pool_.persist_fence(&h->root_size[slot], sizeof(uint64_t));
   h->root_off[slot] = off;

@@ -1,0 +1,17 @@
+#include "nvm/fault.h"
+
+namespace hdnh::nvm {
+
+namespace {
+thread_local uint32_t t_fault_scope_bits = 0;
+}  // namespace
+
+FaultScope::FaultScope(uint32_t bits) : prev_(t_fault_scope_bits) {
+  t_fault_scope_bits = prev_ | bits;
+}
+
+FaultScope::~FaultScope() { t_fault_scope_bits = prev_; }
+
+uint32_t fault_scope_bits() { return t_fault_scope_bits; }
+
+}  // namespace hdnh::nvm

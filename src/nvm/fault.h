@@ -1,0 +1,106 @@
+// Deterministic crash-point fault injection.
+//
+// The emulated ADR model gives us something real Optane setups lack: every
+// durability event — a persist (CLWB set), a fence (SFENCE), an allocator
+// bump/root commit — passes through PmemPool, so a test can crash the pool
+// at *exactly the k-th event* and replay that point forever. A FaultPlan
+// armed on a pool counts matching events and, at the chosen index, runs an
+// optional adversarial eviction burst, snaps the live image to the media
+// image (simulate_crash) and throws InjectedCrash to unwind the operation
+// in flight — precisely what power loss at that instant would leave behind.
+//
+// Event taxonomy: each event carries a mechanical kind bit (persist/fence;
+// persist_fence is simply both, back to back) OR-ed with the calling
+// thread's FaultScope bits — the logical phase the persistence stack is in
+// (allocator commit, resize swap, rehash drain, log replay, recovery).
+// Plans filter on any subset via `mask`, so a sweep can target "every event
+// inside the rehash drain" without counting the workload around it.
+//
+// Determinism contract: with single-writer workloads (background hot-table
+// mirroring included — bg writers never touch the pool) the event sequence
+// is a pure function of the op stream, so a failing crash point is fully
+// reproduced by its (scenario, event_index, seed) triple. See
+// docs/crash_testing.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+
+namespace hdnh::nvm {
+
+// Event taxonomy bits. Low bits are the mechanical event kind (set by the
+// pool itself), high bits are logical-phase tags contributed by FaultScope.
+enum FaultKind : uint32_t {
+  kFaultPersist = 1u << 0,  // persist() entry (before lines reach media)
+  kFaultFence = 1u << 1,    // fence() entry (before the ordering point)
+  // Phase tags (FaultScope):
+  kFaultAllocCommit = 1u << 8,   // PmemAllocator bump persist / format
+  kFaultRootCommit = 1u << 9,    // PmemAllocator root-slot publish
+  kFaultResizeSwap = 1u << 10,   // resize steps 1-3: snapshot/alloc/swap
+  kFaultRehash = 1u << 11,       // old-level drain (fresh or resumed)
+  kFaultResizeFinish = 1u << 12, // steady-state republish tail of a resize
+  kFaultLogReplay = 1u << 13,    // update-log replay during recovery
+  kFaultRecovery = 1u << 14,     // anywhere inside attach_and_recover
+  kFaultAnyKind = 0xFFFFFFFFu,
+};
+
+// Thrown by the pool when a FaultPlan fires: the operation in flight must
+// unwind and the table object be abandoned (the media image already holds
+// the crash state). guard() deliberately does not convert this — it must
+// reach the test harness.
+struct InjectedCrash : public std::exception {
+  const char* what() const noexcept override {
+    return "injected crash (nvm::FaultPlan fired)";
+  }
+};
+
+// A crash-point plan, armed on a PmemPool via set_fault_plan(). The pool
+// counts every durability event whose taxonomy bits intersect `mask` (and,
+// when range_len != 0, whose address range intersects
+// [range_off, range_off+range_len) — address-less events, i.e. plain
+// fences, never match a range filter). At counted index `crash_at` the
+// plan fires once: optional eviction burst, simulate_crash(), throw
+// InjectedCrash. With crash_at == kNever the plan only counts — a probe
+// run that measures how many crash points a scenario has.
+struct FaultPlan {
+  static constexpr uint64_t kNever = ~0ull;
+
+  uint64_t crash_at = kNever;     // 0-based counted-event index to crash at
+  uint32_t mask = kFaultAnyKind;  // taxonomy filter
+  uint64_t range_off = 0;         // optional pool-offset filter (per-shard
+  uint64_t range_len = 0;         //   injection); 0 len = no filter
+  // Adversarial cache pressure: every `evict_every`-th counted event evicts
+  // `evict_lines` random live lines to media, and `evict_lines_at_crash`
+  // more land right before the crash fires — spontaneous writebacks are
+  // legal at any time on real hardware, so no oracle may depend on a line
+  // staying volatile.
+  uint64_t evict_every = 0;
+  uint64_t evict_lines = 0;
+  uint64_t evict_lines_at_crash = 0;
+  uint64_t seed = 0;  // derives the eviction line choices
+
+  std::atomic<uint64_t> count{0};  // counted events so far
+  std::atomic<bool> fired{false};  // the crash has been injected
+
+  uint64_t events() const { return count.load(std::memory_order_relaxed); }
+};
+
+// RAII logical-phase tag for the calling thread: events it emits while the
+// scope is live carry `bits` OR-ed into their taxonomy. Scopes nest by
+// OR-ing (an allocator commit inside recovery is both).
+class FaultScope {
+ public:
+  explicit FaultScope(uint32_t bits);
+  ~FaultScope();
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  uint32_t prev_;
+};
+
+// The calling thread's current phase bits (0 outside any FaultScope).
+uint32_t fault_scope_bits();
+
+}  // namespace hdnh::nvm

@@ -133,6 +133,9 @@ PmemPool::~PmemPool() {
 }
 
 void PmemPool::persist(const void* p, uint64_t len) {
+  if (FaultPlan* plan = fault_plan_.load(std::memory_order_acquire)) {
+    fault_event(plan, kFaultPersist, p, len);
+  }
   auto& c = Stats::local();
   const uint64_t lines = span_units(p, len, kCacheLine);
   c.nvm_write_lines += lines;
@@ -181,6 +184,39 @@ void PmemPool::simulate_crash() {
   HDNH_OBS_SPAN("crash_sim", "simulate_crash");
   if (!shadow_) throw std::runtime_error("simulate_crash without crash sim");
   std::memcpy(base_, shadow_, size_);
+}
+
+void PmemPool::fault_event(FaultPlan* plan, uint32_t kind, const void* p,
+                           uint64_t len) {
+  const uint32_t kinds = kind | fault_scope_bits();
+  if ((kinds & plan->mask) == 0) return;
+  if (plan->range_len != 0) {
+    // Per-shard injection: only persists touching the range count. Plain
+    // fences carry no address, so a range-filtered plan never counts them.
+    if (p == nullptr) return;
+    const uint64_t off = to_off(p);
+    if (off + len <= plan->range_off ||
+        off >= plan->range_off + plan->range_len) {
+      return;
+    }
+  }
+  const uint64_t idx = plan->count.fetch_add(1, std::memory_order_relaxed);
+  Stats::local().fault_events++;
+  if (plan->evict_every != 0 && plan->evict_lines != 0 &&
+      (idx + 1) % plan->evict_every == 0) {
+    evict_random_lines(plan->evict_lines,
+                       plan->seed ^ (idx * 0x9E3779B97F4A7C15ull));
+  }
+  if (idx == plan->crash_at &&
+      !plan->fired.exchange(true, std::memory_order_acq_rel)) {
+    if (plan->evict_lines_at_crash != 0) {
+      evict_random_lines(plan->evict_lines_at_crash, plan->seed ^ idx);
+    }
+    Stats::local().fault_crashes++;
+    HDNH_OBS_INSTANT("crash_sim", "fault_crash");
+    simulate_crash();
+    throw InjectedCrash();
+  }
 }
 
 }  // namespace hdnh::nvm

@@ -24,6 +24,7 @@
 
 #include "common/clock.h"
 #include "nvm/config.h"
+#include "nvm/fault.h"
 #include "nvm/stats.h"
 
 namespace hdnh::nvm {
@@ -100,6 +101,9 @@ class PmemPool {
 
   // SFENCE.
   void fence() {
+    if (FaultPlan* plan = fault_plan_.load(std::memory_order_acquire)) {
+      fault_event(plan, kFaultFence, nullptr, 0);
+    }
     std::atomic_thread_fence(std::memory_order_seq_cst);
     auto& c = Stats::local();
     c.fences++;
@@ -148,7 +152,26 @@ class PmemPool {
   // media image is untouched, so recovery work is itself tracked.
   void simulate_crash();
 
+  // ---- crash-point fault injection (nvm/fault.h) -------------------------
+
+  // Arm `plan` (not owned; must outlive the arming) so every subsequent
+  // durability event is counted against it — and, at plan->crash_at, the
+  // pool crashes and throws InjectedCrash. nullptr disarms. Requires crash
+  // sim to be enabled before the plan can fire. Arm/disarm from a quiescent
+  // point; counting itself is thread-safe.
+  void set_fault_plan(FaultPlan* plan) {
+    fault_plan_.store(plan, std::memory_order_release);
+  }
+  FaultPlan* fault_plan() const {
+    return fault_plan_.load(std::memory_order_acquire);
+  }
+
  private:
+  // The armed plan's event hook, called at the entry of persist()/fence()
+  // BEFORE the durable action: crash point k means "event k never reached
+  // media". Throws InjectedCrash when the plan fires.
+  void fault_event(FaultPlan* plan, uint32_t kind, const void* p,
+                   uint64_t len);
   // Latency (not traffic) accounting of a read, prefetch-window aware:
   // blocks found in the calling thread's prefetch window count as
   // overlapped and spin only until their in-flight deadline; cold blocks
@@ -167,6 +190,7 @@ class PmemPool {
   uint64_t size_ = 0;
   char* base_ = nullptr;
   char* shadow_ = nullptr;  // media image when crash sim is on
+  std::atomic<FaultPlan*> fault_plan_{nullptr};
   int fd_ = -1;
   bool recovered_ = false;
 };

@@ -46,6 +46,8 @@ StatsSnapshot Stats::raw_aggregate_locked() {
     s.nvm_prefetch_issued += b->nvm_prefetch_issued;
     s.nvm_read_blocks_overlapped += b->nvm_read_blocks_overlapped;
     s.nvm_read_blocks_stalled += b->nvm_read_blocks_stalled;
+    s.fault_events += b->fault_events;
+    s.fault_crashes += b->fault_crashes;
   }
   return s;
 }

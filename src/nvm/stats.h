@@ -33,6 +33,10 @@ struct StatsSnapshot {
   uint64_t nvm_prefetch_issued = 0;
   uint64_t nvm_read_blocks_overlapped = 0;
   uint64_t nvm_read_blocks_stalled = 0;
+  // Crash-point fault injection (nvm/fault.h): durability events counted by
+  // an armed FaultPlan, and injected crashes that actually fired.
+  uint64_t fault_events = 0;
+  uint64_t fault_crashes = 0;
 
   StatsSnapshot& operator-=(const StatsSnapshot& rhs) {
     nvm_read_ops -= rhs.nvm_read_ops;
@@ -47,6 +51,8 @@ struct StatsSnapshot {
     nvm_prefetch_issued -= rhs.nvm_prefetch_issued;
     nvm_read_blocks_overlapped -= rhs.nvm_read_blocks_overlapped;
     nvm_read_blocks_stalled -= rhs.nvm_read_blocks_stalled;
+    fault_events -= rhs.fault_events;
+    fault_crashes -= rhs.fault_crashes;
     return *this;
   }
 };
@@ -68,6 +74,8 @@ class Stats {
     uint64_t nvm_prefetch_issued = 0;
     uint64_t nvm_read_blocks_overlapped = 0;
     uint64_t nvm_read_blocks_stalled = 0;
+    uint64_t fault_events = 0;
+    uint64_t fault_crashes = 0;
   };
 
   // The calling thread's counter block (created and registered on first use).

@@ -126,6 +126,8 @@ constexpr NvmField kNvmFields[] = {
     {"nvm_read_blocks_overlapped",
      &nvm::StatsSnapshot::nvm_read_blocks_overlapped},
     {"nvm_read_blocks_stalled", &nvm::StatsSnapshot::nvm_read_blocks_stalled},
+    {"fault_events", &nvm::StatsSnapshot::fault_events},
+    {"fault_crashes", &nvm::StatsSnapshot::fault_crashes},
 };
 
 constexpr double kQuantiles[] = {0.5, 0.9, 0.99, 0.999};

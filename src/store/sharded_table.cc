@@ -186,4 +186,8 @@ uint64_t ShardedTable::resize_count() const {
   return total;
 }
 
+void ShardedTable::abandon_after_crash() {
+  for (uint32_t s = 0; s < shards(); ++s) hdnh_shard(s).abandon_after_crash();
+}
+
 }  // namespace hdnh::store

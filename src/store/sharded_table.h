@@ -101,6 +101,11 @@ class ShardedTable final : public HashTable {
   // Total structural resizes across shards.
   uint64_t resize_count() const;
 
+  // After a simulated crash, severs every shard from the pool (see
+  // Hdnh::abandon_after_crash) so destroying the facade writes no
+  // clean-shutdown markers into the crash image.
+  void abandon_after_crash();
+
  private:
   Hdnh& hdnh_shard(uint32_t s) const;
 

@@ -1,0 +1,390 @@
+#include "testing/crash_scenarios.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace hdnh::crashtest {
+
+// ---------------------------------------------------------------------------
+// ScenarioEnv
+// ---------------------------------------------------------------------------
+
+bool ScenarioEnv::ins(uint64_t id, uint64_t vid) {
+  pending = {PendingOp::kInsert, id, 0, vid};
+  const bool ok = table->insert(make_key(id), make_value(vid));
+  pending.kind = PendingOp::kNone;
+  if (ok) model[id] = vid;
+  return ok;
+}
+
+bool ScenarioEnv::upd(uint64_t id, uint64_t vid) {
+  const auto it = model.find(id);
+  pending = {PendingOp::kUpdate, id, it == model.end() ? 0 : it->second, vid};
+  const bool ok = table->update(make_key(id), make_value(vid));
+  pending.kind = PendingOp::kNone;
+  if (ok) model[id] = vid;
+  return ok;
+}
+
+bool ScenarioEnv::del(uint64_t id) {
+  const auto it = model.find(id);
+  pending = {PendingOp::kErase, id, it == model.end() ? 0 : it->second, 0};
+  const bool ok = table->erase(make_key(id));
+  pending.kind = PendingOp::kNone;
+  if (ok) model.erase(id);
+  return ok;
+}
+
+void ScenarioEnv::crash_reattach() {
+  if (table) {
+    table->abandon_after_crash();
+    table.reset();
+  }
+  alloc = std::make_unique<nvm::PmemAllocator>(*pool);
+  table = std::make_unique<Hdnh>(*alloc, cfg);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario workloads. Key ids are salted with the seed so placement (and
+// therefore which buckets fill, which inserts move keys, which updates go
+// cross-bucket) varies across seeds while staying fully deterministic for
+// any one (scenario, seed).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+uint64_t base_id(uint64_t seed) { return (seed & 0xFFFFull) << 32; }
+
+HdnhConfig cfg_cap(uint64_t cap) {
+  HdnhConfig cfg;
+  cfg.initial_capacity = cap;
+  cfg.segment_bytes = 4 * 1024;
+  return cfg;
+}
+
+HdnhConfig cfg_mid() { return cfg_cap(2048); }    // ~3072 slots
+HdnhConfig cfg_small() { return cfg_cap(256); }   // ~384 slots, resizes fast
+HdnhConfig cfg_bg() {
+  HdnhConfig cfg = cfg_cap(2048);
+  cfg.sync_mode = HdnhConfig::SyncMode::kBackground;
+  cfg.bg_workers = 2;
+  return cfg;
+}
+
+void preload(ScenarioEnv& env, uint64_t seed, uint64_t n) {
+  const uint64_t b = base_id(seed);
+  for (uint64_t i = 1; i <= n; ++i) {
+    if (!env.ins(b + i, i)) throw std::runtime_error("preload insert failed");
+  }
+}
+
+void setup_mid(ScenarioEnv& env, uint64_t seed) { preload(env, seed, 1200); }
+void setup_small(ScenarioEnv& env, uint64_t seed) { preload(env, seed, 250); }
+void setup_bg(ScenarioEnv& env, uint64_t seed) { preload(env, seed, 600); }
+// Dense enough that some buckets are full, so updates exercise the
+// cross-bucket (update-log) path, not just the same-bucket two-bit flip.
+void setup_dense(ScenarioEnv& env, uint64_t seed) { preload(env, seed, 1800); }
+
+void ops_insert(ScenarioEnv& env, uint64_t seed) {
+  const uint64_t b = base_id(seed);
+  for (uint64_t i = 0; i < 32; ++i) env.ins(b + 500000 + i, 500000 + i);
+}
+
+void ops_update(ScenarioEnv& env, uint64_t seed) {
+  const uint64_t b = base_id(seed);
+  for (uint64_t i = 0; i < 24; ++i) {
+    env.upd(b + 1 + (i * 53) % 1800, 900000 + i);
+  }
+}
+
+void ops_erase(ScenarioEnv& env, uint64_t seed) {
+  const uint64_t b = base_id(seed);
+  for (uint64_t i = 0; i < 24; ++i) env.del(b + 1 + (i * 97) % 1200);
+}
+
+// Insert until a resize fires; the resize (level swap + old-bottom-level
+// drain) runs inside the ins() call whose claim found all candidates full.
+void ops_fill_to_resize(ScenarioEnv& env, uint64_t seed) {
+  const uint64_t b = base_id(seed);
+  const uint64_t before = env.table->resize_count();
+  for (uint64_t i = 0; env.table->resize_count() == before; ++i) {
+    if (i > 20000) throw std::runtime_error("resize never triggered");
+    env.ins(b + 700000 + i, 700000 + i);
+  }
+}
+
+void ops_bg_mix(ScenarioEnv& env, uint64_t seed) {
+  const uint64_t b = base_id(seed);
+  for (uint64_t i = 0; i < 16; ++i) env.ins(b + 500000 + i, 500000 + i);
+  for (uint64_t i = 0; i < 8; ++i) env.upd(b + 1 + (i * 67) % 600, 910000 + i);
+  for (uint64_t i = 0; i < 8; ++i) env.del(b + 1 + (i * 41) % 600);
+}
+
+// Stage A for crash-during-recovery (resumed resize): crash partway through
+// the rehash drain, leaving media with level_number=3 and a batch-granular
+// rehash_progress high-water mark. The swept stage is the recovery that
+// must resume (and survive a second crash at any of its own events).
+void stage_a_resize(ScenarioEnv& env, uint64_t seed) {
+  nvm::FaultPlan plan;
+  plan.mask = nvm::kFaultRehash;
+  plan.crash_at = 25;
+  plan.seed = seed;
+  env.pool->set_fault_plan(&plan);
+  bool crashed = false;
+  try {
+    ops_fill_to_resize(env, seed);
+  } catch (const nvm::InjectedCrash&) {
+    crashed = true;
+  }
+  env.pool->set_fault_plan(nullptr);
+  if (!crashed) throw std::runtime_error("stage A rehash crash never fired");
+}
+
+// Stage A for crash-during-recovery (log replay): crash exactly when a
+// cross-bucket update's log entry is armed — new record persisted, both
+// validity bits still in the pre-op state — so recovery must complete the
+// two-bit flip by replaying the log (idempotently, at every crash point).
+void stage_a_replay(ScenarioEnv& env, uint64_t seed) {
+  env.table->test_hook = [&env](const char* pt) {
+    if (std::strcmp(pt, "update-log-armed") == 0) {
+      env.pool->simulate_crash();
+      throw nvm::InjectedCrash();
+    }
+  };
+  const uint64_t b = base_id(seed);
+  for (uint64_t i = 0; i < 1800; ++i) {
+    try {
+      env.upd(b + 1 + (i * 37) % 1800, 940000 + i);
+    } catch (const nvm::InjectedCrash&) {
+      return;  // env.pending still holds the in-flight update
+    }
+  }
+  throw std::runtime_error("no cross-bucket update occurred");
+}
+
+const std::vector<Scenario>& scenario_table() {
+  static const std::vector<Scenario> kScenarios = {
+      {"insert", "fresh inserts with OCF claim/publish movement",
+       nvm::kFaultAnyKind, false, cfg_mid, 32ull << 20, setup_mid, ops_insert,
+       nullptr},
+      {"update", "out-of-place updates: same-bucket and logged cross-bucket",
+       nvm::kFaultAnyKind, false, cfg_mid, 32ull << 20, setup_dense,
+       ops_update, nullptr},
+      {"erase", "erases (single validity-bit retirement)", nvm::kFaultAnyKind,
+       false, cfg_mid, 32ull << 20, setup_mid, ops_erase, nullptr},
+      {"rehash", "old-bottom-level drain during resize",
+       nvm::kFaultRehash, false, cfg_small, 8ull << 20, setup_small,
+       ops_fill_to_resize, nullptr},
+      {"resize-swap", "resize level-swap and finish protocol",
+       nvm::kFaultResizeSwap | nvm::kFaultResizeFinish, false, cfg_small,
+       8ull << 20, setup_small, ops_fill_to_resize, nullptr},
+      {"bg-flush", "mixed ops with background hot-table mirroring",
+       nvm::kFaultAnyKind, false, cfg_bg, 32ull << 20, setup_bg, ops_bg_mix,
+       nullptr},
+      {"recovery-resize", "crash during recovery of a mid-rehash image",
+       nvm::kFaultRecovery, true, cfg_small, 8ull << 20, setup_small, nullptr,
+       stage_a_resize},
+      {"recovery-replay", "crash during recovery of an armed-update-log image",
+       nvm::kFaultRecovery, true, cfg_mid, 32ull << 20, setup_dense, nullptr,
+       stage_a_replay},
+  };
+  return kScenarios;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& scenarios() { return scenario_table(); }
+
+const Scenario* find_scenario(const std::string& name) {
+  for (const Scenario& s : scenarios()) {
+    if (name == s.name) return &s;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Sweep driver
+// ---------------------------------------------------------------------------
+
+ScenarioEnv make_env(const Scenario& s, uint64_t seed) {
+  ScenarioEnv env;
+  env.cfg = s.config();
+  env.pool = std::make_unique<nvm::PmemPool>(s.pool_bytes);
+  env.pool->enable_crash_sim();
+  env.alloc = std::make_unique<nvm::PmemAllocator>(*env.pool);
+  env.table = std::make_unique<Hdnh>(*env.alloc, env.cfg);
+  if (s.setup) s.setup(env, seed);
+  return env;
+}
+
+uint64_t probe_events(const Scenario& s, uint64_t seed) {
+  ScenarioEnv env = make_env(s, seed);
+  nvm::FaultPlan plan;  // crash_at = kNever: count only
+  plan.mask = s.mask;
+  plan.seed = seed;
+  if (s.sweep_recovery) {
+    s.stage_a(env, seed);
+    env.pool->set_fault_plan(&plan);
+    env.crash_reattach();
+  } else {
+    env.pool->set_fault_plan(&plan);
+    s.ops(env, seed);
+  }
+  env.pool->set_fault_plan(nullptr);
+  return plan.events();
+}
+
+PointResult run_crash_point(const Scenario& s, uint64_t seed,
+                            uint64_t crash_at, uint64_t evict_lines) {
+  ScenarioEnv env = make_env(s, seed);
+  PointResult r;
+
+  nvm::FaultPlan plan;
+  plan.crash_at = crash_at;
+  plan.mask = s.mask;
+  plan.seed = seed ^ (crash_at * 0x9E3779B97F4A7C15ull);
+  if (evict_lines != 0) {
+    plan.evict_every = 7;
+    plan.evict_lines = evict_lines;
+    plan.evict_lines_at_crash = evict_lines;
+  }
+
+  if (s.sweep_recovery) {
+    s.stage_a(env, seed);
+    env.pool->set_fault_plan(&plan);
+    try {
+      env.crash_reattach();  // the swept stage: recovery itself
+    } catch (const nvm::InjectedCrash&) {
+      r.crashed = true;
+    }
+  } else {
+    env.pool->set_fault_plan(&plan);
+    try {
+      s.ops(env, seed);
+    } catch (const nvm::InjectedCrash&) {
+      r.crashed = true;
+    }
+  }
+  env.pool->set_fault_plan(nullptr);
+  r.events = plan.events();
+
+  if (r.crashed) {
+    // No background worker may still hold a pointer to an unwound stack
+    // signal: the queue must have drained before the exception escaped.
+    if (env.table && env.table->bg_queue_depth() != 0) {
+      r.failure = "background queue non-empty after injected crash";
+      return r;
+    }
+    env.crash_reattach();
+  }
+  r.failure = check_oracle(env);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Oracle
+// ---------------------------------------------------------------------------
+
+std::string check_oracle(ScenarioEnv& env) {
+  Hdnh& t = *env.table;
+
+  const auto rep = t.check_integrity();
+  if (!rep.ok()) {
+    return "deep integrity failed: ocf=" +
+           std::to_string(rep.ocf_valid_mismatches) +
+           " fp=" + std::to_string(rep.fingerprint_mismatches) +
+           " busy=" + std::to_string(rep.stuck_busy_entries) +
+           " dup=" + std::to_string(rep.duplicate_keys) +
+           " hot=" + std::to_string(rep.hot_table_stale) +
+           " log=" + std::to_string(rep.armed_log_entries);
+  }
+
+  // Fold the single in-flight op into the model: entirely-old or
+  // entirely-new state is acceptable, anything torn is not.
+  const PendingOp p = env.pending;
+  env.pending.kind = PendingOp::kNone;
+  if (p.kind != PendingOp::kNone) {
+    Value v{};
+    const bool found = t.search(make_key(p.id), &v);
+    switch (p.kind) {
+      case PendingOp::kInsert:
+        if (found) {
+          if (!(v == make_value(p.new_vid))) {
+            return "torn in-flight insert for id " + std::to_string(p.id);
+          }
+          env.model[p.id] = p.new_vid;
+        }
+        break;
+      case PendingOp::kUpdate: {
+        const auto it = env.model.find(p.id);
+        if (it == env.model.end()) {
+          if (found) return "update of absent key materialized a record";
+          break;
+        }
+        if (!found) {
+          return "in-flight update lost key " + std::to_string(p.id);
+        }
+        if (v == make_value(p.new_vid)) {
+          it->second = p.new_vid;
+        } else if (!(v == make_value(it->second))) {
+          return "torn in-flight update for id " + std::to_string(p.id);
+        }
+        break;
+      }
+      case PendingOp::kErase: {
+        const auto it = env.model.find(p.id);
+        if (it == env.model.end()) {
+          if (found) return "erase of absent key materialized a record";
+          break;
+        }
+        if (found) {
+          if (!(v == make_value(it->second))) {
+            return "torn in-flight erase for id " + std::to_string(p.id);
+          }
+        } else {
+          env.model.erase(it);
+        }
+        break;
+      }
+      case PendingOp::kNone:
+        break;
+    }
+  }
+
+  if (t.size() != env.model.size()) {
+    return "size mismatch: table=" + std::to_string(t.size()) +
+           " model=" + std::to_string(env.model.size());
+  }
+  for (const auto& [id, vid] : env.model) {
+    Value v{};
+    if (!t.search(make_key(id), &v)) {
+      return "acknowledged key missing: id " + std::to_string(id);
+    }
+    if (!(v == make_value(vid))) {
+      return "acknowledged value wrong: id " + std::to_string(id);
+    }
+  }
+
+  // Ghost/duplicate scan: every live record must be an acknowledged one.
+  std::string err;
+  uint64_t live = 0;
+  t.for_each([&](const KVPair& kv) {
+    ++live;
+    if (!err.empty()) return;
+    const uint64_t id = key_id(kv.key);
+    const auto it = env.model.find(id);
+    if (it == env.model.end()) {
+      err = "ghost record: id " + std::to_string(id);
+    } else if (!(kv.value == make_value(it->second))) {
+      err = "ghost value: id " + std::to_string(id);
+    }
+  });
+  if (!err.empty()) return err;
+  if (live != env.model.size()) {
+    return "live-record count mismatch: scanned " + std::to_string(live) +
+           " model " + std::to_string(env.model.size());
+  }
+  return "";
+}
+
+}  // namespace hdnh::crashtest

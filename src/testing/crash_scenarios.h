@@ -1,0 +1,114 @@
+// Crash-point scenario library shared by the sweep tool and the crash tests.
+//
+// A Scenario is a deterministic workload over a fresh HDNH table whose
+// durability-event stream (see nvm/fault.h) is a pure function of
+// (scenario, seed): only the foreground thread emits persist/fence events
+// (background writers are DRAM-only, resize_threads=1 rehashes inline), so
+// every crash point is reproducible from the (scenario, event_index, seed)
+// triple alone.
+//
+// The sweep protocol for one point:
+//   1. build the environment and run the scenario's setup (plan disarmed);
+//   2. arm a FaultPlan{crash_at = k, mask = scenario mask} and run the
+//      scenario ops (or, for crash-during-recovery scenarios, run stage A
+//      to produce a crashed image first and arm the plan across recovery);
+//   3. if InjectedCrash fired: assert no background request is in flight,
+//      then reattach — fresh allocator (volatile free lists die with the
+//      crash) and fresh table over the rolled-back media image;
+//   4. run the durability oracle: deep integrity, recovered state equals
+//      the model of acknowledged ops modulo the single in-flight op (which
+//      may surface entirely-old or entirely-new, never torn), no ghost or
+//      duplicate records.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hdnh/hdnh.h"
+#include "nvm/alloc.h"
+#include "nvm/fault.h"
+#include "nvm/pmem.h"
+
+namespace hdnh::crashtest {
+
+// The single operation that may be in flight when a crash fires. The oracle
+// accepts either the pre-op or the post-op state for it — anything else
+// (torn value, lost pre-existing key) is a durability hole.
+struct PendingOp {
+  enum Kind { kNone, kInsert, kUpdate, kErase };
+  Kind kind = kNone;
+  uint64_t id = 0;
+  uint64_t old_vid = 0;  // acknowledged value before the op (update/erase)
+  uint64_t new_vid = 0;  // value the op was installing (insert/update)
+};
+
+// Pool + allocator + table + model-of-acknowledged-ops for one sweep point.
+struct ScenarioEnv {
+  std::unique_ptr<nvm::PmemPool> pool;
+  std::unique_ptr<nvm::PmemAllocator> alloc;
+  std::unique_ptr<Hdnh> table;
+  std::map<uint64_t, uint64_t> model;  // id -> value id, acknowledged ops only
+  PendingOp pending;
+  HdnhConfig cfg;
+
+  // Model-tracked operations: mark the op pending, run it, and fold it into
+  // the model only once acknowledged. If the table throws (InjectedCrash),
+  // `pending` keeps the in-flight op for the oracle.
+  bool ins(uint64_t id, uint64_t vid);
+  bool upd(uint64_t id, uint64_t vid);
+  bool del(uint64_t id);
+
+  // Post-crash reattach: abandon the dead table object, then rebuild the
+  // allocator (a real crash loses its volatile free lists too — a stale
+  // list could re-hand-out a block the rolled-back image still references)
+  // and construct a fresh table, which runs recovery.
+  void crash_reattach();
+};
+
+struct Scenario {
+  const char* name;
+  const char* what;  // one-line description for --list
+  // FaultPlan mask for the swept stage (kFaultAnyKind, or a phase subset
+  // such as kFaultRehash to put every point inside one mechanism).
+  uint32_t mask;
+  // True for crash-during-recovery scenarios: stage_a produces a crashed
+  // media image, and the swept stage is the *recovery* reattach itself.
+  bool sweep_recovery;
+  HdnhConfig (*config)();
+  uint64_t pool_bytes;
+  void (*setup)(ScenarioEnv&, uint64_t seed);    // plan disarmed (may be null)
+  void (*ops)(ScenarioEnv&, uint64_t seed);      // swept stage (normal scenarios)
+  void (*stage_a)(ScenarioEnv&, uint64_t seed);  // pre-crash stage (recovery scenarios)
+};
+
+const std::vector<Scenario>& scenarios();
+const Scenario* find_scenario(const std::string& name);
+
+// Builds the environment and runs setup (and stage_a for recovery
+// scenarios happens inside probe/run, not here).
+ScenarioEnv make_env(const Scenario& s, uint64_t seed);
+
+// Counts the swept stage's durability events without crashing (FaultPlan
+// probe mode): the sweep enumerates crash points 0 .. probe_events()-1.
+uint64_t probe_events(const Scenario& s, uint64_t seed);
+
+struct PointResult {
+  bool crashed = false;   // the plan fired (crash_at < event count)
+  uint64_t events = 0;    // events observed before return/crash
+  std::string failure;    // empty = oracle passed
+};
+
+// Runs one crash point end-to-end (setup, armed ops, reattach, oracle).
+// evict_lines > 0 additionally evicts that many random cachelines to media
+// every 7th event and at the crash itself (adversarial writeback).
+PointResult run_crash_point(const Scenario& s, uint64_t seed,
+                            uint64_t crash_at, uint64_t evict_lines);
+
+// The durability oracle; returns "" on pass, else a description of the
+// violation. Folds env.pending into the model (old or new state accepted).
+std::string check_oracle(ScenarioEnv& env);
+
+}  // namespace hdnh::crashtest

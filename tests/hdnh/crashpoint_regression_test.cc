@@ -1,0 +1,87 @@
+// Pinned (scenario, event_index, seed) regression triples for the
+// durability holes the crash-point sweep exposed. Each test documents the
+// pre-fix failure mode; all reproduce standalone via
+//   hdnh_crashpoint --scenario=<name> --seed=<seed> --only=<event_index>
+#include <gtest/gtest.h>
+
+#include "testing/crash_scenarios.h"
+
+namespace hdnh::crashtest {
+namespace {
+
+void expect_point_ok(const char* name, uint64_t seed, uint64_t k) {
+  const Scenario* s = find_scenario(name);
+  ASSERT_NE(s, nullptr);
+  const PointResult r = run_crash_point(*s, seed, k, 0);
+  EXPECT_TRUE(r.crashed) << "event_index=" << k << " never fired";
+  EXPECT_EQ(r.failure, "")
+      << "scenario=" << name << " event_index=" << k << " seed=" << seed;
+}
+
+// Bug: a crash could persist `resizing_flag = 1` while `level_number` was
+// still 0 on media — at the very start of a resize (flag persisted, state 2
+// not yet) or at its very tail (level_number := 0 persisted first, the
+// flag's clear never landed). Recovery treated any set flag as an
+// interrupted resize but had no branch for level_number == 0, attached NO
+// level views, and died (division by zero on zero buckets) or came back
+// empty. Fixed in Hdnh::attach_and_recover by treating flag==1/ln==0 as
+// "steady state published, stale flag": attach the level_off views and
+// retire the flag.
+//
+// Pinned triples: (resize-swap, 1, 1) hits the start-of-resize window
+// (event 0 persists the flag, the crash at event 1 — the fence — leaves
+// flag=1/ln=0 on media); the tail window is the last persist of the finish
+// protocol, at event N-2.
+TEST(CrashpointRegressionTest, StaleResizingFlagStartWindow) {
+  expect_point_ok("resize-swap", 1, 1);
+}
+
+TEST(CrashpointRegressionTest, StaleResizingFlagTailWindow) {
+  const Scenario* s = find_scenario("resize-swap");
+  ASSERT_NE(s, nullptr);
+  const uint64_t n = probe_events(*s, 1);
+  ASSERT_GE(n, 4u);
+  expect_point_ok("resize-swap", 1, n - 2);
+}
+
+// Bug: background-mode insert submitted a pointer to a stack-allocated
+// SyncWriteSignal to the BgWriter and only then ran the NVT publish; an
+// injected crash unwinding out of publish_nvt destroyed the signal while a
+// worker could still dereference it (use-after-scope), and the queue could
+// drain into a dead object. Fixed by waiting for the signal before
+// re-throwing. run_crash_point asserts bg_queue_depth() == 0 at every
+// injected crash; pre-fix, crash points inside the insert publish window
+// (the first 16 ops of bg-flush are inserts, 4 events each) tripped it.
+TEST(CrashpointRegressionTest, BgSubmitSignalDrainedOnCrash) {
+  for (uint64_t k = 0; k < 64; k += 2) {
+    expect_point_ok("bg-flush", 1, k);
+  }
+}
+
+// Crash-during-recovery idempotence: replaying an armed update log must
+// tolerate a second crash at every one of its own durability events (the
+// two-bit flip redo is idempotent), and a recovery resuming a mid-rehash
+// image must tolerate a second crash anywhere in the resumed drain without
+// double-applying records or losing the prev_* snapshot.
+TEST(CrashpointRegressionTest, LogReplayRecoveryIdempotent) {
+  const Scenario* s = find_scenario("recovery-replay");
+  ASSERT_NE(s, nullptr);
+  const uint64_t n = probe_events(*s, 1);
+  for (uint64_t k = 0; k < n; ++k) {
+    expect_point_ok("recovery-replay", 1, k);
+  }
+}
+
+TEST(CrashpointRegressionTest, ResumedResizeRecoveryIdempotent) {
+  const Scenario* s = find_scenario("recovery-resize");
+  ASSERT_NE(s, nullptr);
+  const uint64_t n = probe_events(*s, 1);
+  ASSERT_GE(n, 8u);
+  for (const uint64_t k : {uint64_t{0}, uint64_t{1}, uint64_t{5}, n / 2,
+                           n - 2, n - 1}) {
+    expect_point_ok("recovery-resize", 1, k);
+  }
+}
+
+}  // namespace
+}  // namespace hdnh::crashtest

@@ -1,0 +1,165 @@
+// FaultPlan unit tests: event counting, kind/scope masks, address-range
+// filtering, exact-index crash firing, fire-once, and determinism.
+#include <gtest/gtest.h>
+
+#include "nvm/fault.h"
+#include "nvm/pmem.h"
+
+namespace hdnh::nvm {
+namespace {
+
+TEST(FaultPlanTest, CountsPersistAndFenceEvents) {
+  PmemPool pool(1 << 20);
+  char* p = pool.to_ptr<char>(4096);
+  FaultPlan plan;  // crash_at = kNever: probe mode
+  pool.set_fault_plan(&plan);
+  p[0] = 1;
+  pool.persist(p, 64);        // event 0
+  pool.fence();               // event 1
+  pool.persist_fence(p, 64);  // events 2 (persist) + 3 (fence)
+  pool.set_fault_plan(nullptr);
+  EXPECT_EQ(plan.events(), 4u);
+  pool.persist_fence(p, 64);  // disarmed: not counted
+  EXPECT_EQ(plan.events(), 4u);
+}
+
+TEST(FaultPlanTest, MaskSelectsMechanicalKinds) {
+  PmemPool pool(1 << 20);
+  char* p = pool.to_ptr<char>(4096);
+  FaultPlan plan;
+  plan.mask = kFaultFence;
+  pool.set_fault_plan(&plan);
+  pool.persist(p, 64);  // persist: filtered out
+  pool.fence();         // counted
+  pool.fence();         // counted
+  pool.set_fault_plan(nullptr);
+  EXPECT_EQ(plan.events(), 2u);
+}
+
+TEST(FaultPlanTest, ScopeBitsTagEvents) {
+  PmemPool pool(1 << 20);
+  char* p = pool.to_ptr<char>(4096);
+  FaultPlan plan;
+  plan.mask = kFaultRehash;  // only events inside a rehash scope
+  pool.set_fault_plan(&plan);
+  pool.persist_fence(p, 64);  // untagged: filtered
+  {
+    FaultScope tag(kFaultRehash);
+    pool.persist_fence(p, 64);  // 2 events
+    {
+      // Nested scopes OR together; the outer bit still matches.
+      FaultScope inner(kFaultAllocCommit);
+      pool.persist(p, 64);  // 1 event
+    }
+  }
+  pool.persist_fence(p, 64);  // scope closed: filtered
+  pool.set_fault_plan(nullptr);
+  EXPECT_EQ(plan.events(), 3u);
+}
+
+TEST(FaultPlanTest, RangeFilterMatchesOverlappingPersistsOnly) {
+  PmemPool pool(1 << 20);
+  FaultPlan plan;
+  plan.range_off = 4096;
+  plan.range_len = 64;
+  pool.set_fault_plan(&plan);
+  pool.persist(pool.to_ptr<char>(4096), 64);  // inside: counted
+  pool.persist(pool.to_ptr<char>(4064), 64);  // straddles the start: counted
+  pool.persist(pool.to_ptr<char>(8192), 64);  // outside: filtered
+  pool.persist(pool.to_ptr<char>(4160), 64);  // just past the end: filtered
+  pool.fence();  // fences carry no address: filtered under a range
+  pool.set_fault_plan(nullptr);
+  EXPECT_EQ(plan.events(), 2u);
+}
+
+TEST(FaultPlanTest, CrashFiresAtExactIndexBeforeReachingMedia) {
+  PmemPool pool(1 << 20);
+  pool.enable_crash_sim();
+  char* p = pool.to_ptr<char>(4096);
+  p[0] = 1;
+  pool.persist_fence(p, 64);  // durable baseline, plan not yet armed
+
+  FaultPlan plan;
+  plan.crash_at = 2;
+  pool.set_fault_plan(&plan);
+  p[0] = 2;
+  pool.persist(p, 64);  // event 0: reaches media
+  pool.fence();         // event 1
+  p[0] = 3;
+  // Event 2 fires at the ENTRY of persist(): the write must NOT reach media.
+  EXPECT_THROW(pool.persist(p, 64), InjectedCrash);
+  EXPECT_TRUE(plan.fired.load());
+  // simulate_crash() already rolled the pool back to the media image.
+  EXPECT_EQ(p[0], 2);
+
+  // The plan fires exactly once: further events count but never re-crash.
+  p[0] = 4;
+  EXPECT_NO_THROW(pool.persist_fence(p, 64));
+  pool.set_fault_plan(nullptr);
+  EXPECT_EQ(plan.events(), 5u);
+}
+
+TEST(FaultPlanTest, ProbeThenSweepCountsAgree) {
+  auto workload = [](PmemPool& pool) {
+    char* p = pool.to_ptr<char>(8192);
+    for (int i = 0; i < 7; ++i) {
+      p[i] = static_cast<char>(i);
+      pool.persist_fence(&p[i], 1);
+    }
+  };
+  uint64_t probe_count;
+  {
+    PmemPool pool(1 << 20);
+    FaultPlan plan;
+    pool.set_fault_plan(&plan);
+    workload(pool);
+    pool.set_fault_plan(nullptr);
+    probe_count = plan.events();
+  }
+  EXPECT_EQ(probe_count, 14u);
+  // Every index below the probe count crashes; the index at the count does
+  // not (determinism of the event stream across runs).
+  for (uint64_t k : {uint64_t{0}, probe_count - 1, probe_count}) {
+    PmemPool pool(1 << 20);
+    pool.enable_crash_sim();
+    FaultPlan plan;
+    plan.crash_at = k;
+    pool.set_fault_plan(&plan);
+    bool crashed = false;
+    try {
+      workload(pool);
+    } catch (const InjectedCrash&) {
+      crashed = true;
+    }
+    pool.set_fault_plan(nullptr);
+    EXPECT_EQ(crashed, k < probe_count) << "k=" << k;
+  }
+}
+
+TEST(FaultPlanTest, PeriodicEvictionBurstsAreLegalWritebacks) {
+  PmemPool pool(1 << 20);
+  pool.enable_crash_sim();
+  char* p = pool.to_ptr<char>(4096);
+  p[0] = 7;
+  pool.persist_fence(p, 64);
+
+  FaultPlan plan;
+  plan.evict_every = 2;
+  plan.evict_lines = 16;
+  plan.seed = 42;
+  pool.set_fault_plan(&plan);
+  char* q = pool.to_ptr<char>(16384);
+  for (int i = 0; i < 10; ++i) {
+    q[i] = static_cast<char>(i);
+    pool.persist_fence(&q[i], 1);
+  }
+  pool.set_fault_plan(nullptr);
+  EXPECT_EQ(plan.events(), 20u);
+  // Spontaneous evictions only push already-written lines to media; a
+  // simulated crash afterwards must still land on a legal state.
+  pool.simulate_crash();
+  EXPECT_EQ(p[0], 7);
+}
+
+}  // namespace
+}  // namespace hdnh::nvm

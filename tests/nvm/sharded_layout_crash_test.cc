@@ -1,0 +1,77 @@
+// Crash-point sweep of the ShardedPmemLayout carve (the root-slot-last
+// protocol): at EVERY durability event of a fresh carve, a crash must leave
+// the pool in one of exactly two recoverable states — a complete shard map
+// (root slot set, magic valid, every region's allocator header intact) or
+// no shard map at all (root slot still empty; the next construction
+// re-formats and the partial carve leaks, which is the documented
+// crash-leak semantics). A half-published map is never observable.
+#include <gtest/gtest.h>
+
+#include "nvm/alloc.h"
+#include "nvm/fault.h"
+#include "nvm/pmem.h"
+#include "nvm/sharded_layout.h"
+
+namespace hdnh::nvm {
+namespace {
+
+constexpr uint64_t kPoolBytes = 16ull << 20;
+constexpr uint32_t kShards = 4;
+constexpr uint64_t kBytesPerShard = 256 * 1024;
+
+TEST(ShardedLayoutCrashTest, RootSlotLastHoldsAtEveryCrashPoint) {
+  // Probe: count the carve's durability events.
+  uint64_t events;
+  {
+    PmemPool pool(kPoolBytes);
+    PmemAllocator parent(pool);
+    FaultPlan plan;
+    pool.set_fault_plan(&plan);
+    ShardedPmemLayout layout(parent, kShards, kBytesPerShard);
+    pool.set_fault_plan(nullptr);
+    events = plan.events();
+  }
+  ASSERT_GT(events, 10u);
+
+  for (uint64_t k = 0; k < events; ++k) {
+    SCOPED_TRACE("event_index=" + std::to_string(k));
+    PmemPool pool(kPoolBytes);
+    pool.enable_crash_sim();
+    {
+      PmemAllocator parent(pool);  // formatted before the plan is armed
+      FaultPlan plan;
+      plan.crash_at = k;
+      pool.set_fault_plan(&plan);
+      bool crashed = false;
+      try {
+        ShardedPmemLayout layout(parent, kShards, kBytesPerShard);
+      } catch (const InjectedCrash&) {
+        crashed = true;
+      }
+      pool.set_fault_plan(nullptr);
+      ASSERT_TRUE(crashed);
+    }
+
+    // Post-crash: a fresh parent allocator over the rolled-back image.
+    PmemAllocator parent(pool);
+    ASSERT_TRUE(parent.attached_existing());
+    const bool present = ShardedPmemLayout::present(parent);
+
+    // Either way, constructing the layout again must succeed: attach to the
+    // complete persisted carve, or re-format from scratch.
+    ShardedPmemLayout layout(parent, kShards, kBytesPerShard);
+    EXPECT_EQ(layout.attached_existing(), present);
+    ASSERT_EQ(layout.shards(), kShards);
+    for (uint32_t s = 0; s < kShards; ++s) {
+      // Every shard region must be a fully usable allocation domain. On the
+      // attach path the regions must carry their persisted headers; on the
+      // re-format path they are freshly formatted (the partial carve leaks).
+      if (present) EXPECT_TRUE(layout.shard_alloc(s).attached_existing());
+      EXPECT_GE(layout.shard_bytes(s), kBytesPerShard);
+      EXPECT_NO_THROW((void)layout.shard_alloc(s).alloc(256));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hdnh::nvm

@@ -21,10 +21,11 @@ struct HdnhPack {
   }
 
   // Abandon the current table object (after an injected crash its volatile
-  // state is garbage) and re-attach a fresh one, running recovery.
+  // state is garbage and its destructor must not write to the pool) and
+  // re-attach a fresh one, running recovery.
   void reattach(HdnhConfig cfg = {}) {
-    table.release();  // intentional leak: post-crash object must not run
-                      // its destructor (it would write to the pool)
+    if (table) table->abandon_after_crash();
+    table.reset();
     table = std::make_unique<Hdnh>(alloc, cfg);
   }
 

@@ -1,0 +1,191 @@
+// hdnh_crashpoint — deterministic crash-point sweep driver.
+//
+// For each scenario (see src/testing/crash_scenarios.h) the tool counts the
+// durability events of the swept stage with a probe run, then enumerates
+// crash points 0..N-1 (optionally strided and/or capped): each point builds
+// a fresh pool, runs the workload with a FaultPlan armed at that event
+// index, recovers from the resulting media image, and checks the durability
+// oracle. Any failure is reported as its (scenario, event_index, seed)
+// triple, which reproduces it exactly:
+//
+//   hdnh_crashpoint --scenario=<name> --seed=<seed> --only=<event_index>
+//
+// Exit status: 0 = all points passed, 1 = at least one oracle failure,
+// 2 = usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "testing/crash_scenarios.h"
+
+namespace {
+
+using hdnh::crashtest::PointResult;
+using hdnh::crashtest::Scenario;
+
+struct Options {
+  std::vector<std::string> names;  // empty = all
+  uint64_t seed = 1;
+  uint64_t stride = 1;
+  uint64_t max_points = 0;  // 0 = unlimited
+  uint64_t evict_lines = 0;
+  int64_t only = -1;  // >= 0: run exactly this event index
+  bool verbose = false;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: hdnh_crashpoint [options]\n"
+               "  --scenario=NAME[,NAME...]  scenarios to sweep (default: all)\n"
+               "  --seed=N                   workload seed (default 1)\n"
+               "  --stride=N                 test every Nth crash point\n"
+               "  --max_points=N             cap points per scenario (0 = all)\n"
+               "  --evict_lines=N            adversarial random-line evictions\n"
+               "  --only=N                   run a single event index\n"
+               "  --list                     list scenarios and exit\n"
+               "  --verbose                  print every point\n");
+}
+
+bool parse_u64(const char* s, uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  bool list_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto val = [&](const char* prefix) -> const char* {
+      return arg.c_str() + std::strlen(prefix);
+    };
+    if (arg.rfind("--scenario=", 0) == 0) {
+      std::string rest = val("--scenario=");
+      size_t pos = 0;
+      while (pos != std::string::npos) {
+        const size_t comma = rest.find(',', pos);
+        const std::string name = rest.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        if (!name.empty() && name != "all") opt.names.push_back(name);
+        pos = comma == std::string::npos ? comma : comma + 1;
+      }
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      if (!parse_u64(val("--seed="), &opt.seed)) { usage(); return 2; }
+    } else if (arg.rfind("--stride=", 0) == 0) {
+      if (!parse_u64(val("--stride="), &opt.stride) || opt.stride == 0) {
+        usage();
+        return 2;
+      }
+    } else if (arg.rfind("--max_points=", 0) == 0) {
+      if (!parse_u64(val("--max_points="), &opt.max_points)) {
+        usage();
+        return 2;
+      }
+    } else if (arg.rfind("--evict_lines=", 0) == 0) {
+      if (!parse_u64(val("--evict_lines="), &opt.evict_lines)) {
+        usage();
+        return 2;
+      }
+    } else if (arg.rfind("--only=", 0) == 0) {
+      uint64_t v;
+      if (!parse_u64(val("--only="), &v)) { usage(); return 2; }
+      opt.only = static_cast<int64_t>(v);
+    } else if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  if (list_only) {
+    for (const Scenario& s : hdnh::crashtest::scenarios()) {
+      std::printf("%-16s %s\n", s.name, s.what);
+    }
+    return 0;
+  }
+
+  std::vector<const Scenario*> selected;
+  if (opt.names.empty()) {
+    for (const Scenario& s : hdnh::crashtest::scenarios()) selected.push_back(&s);
+  } else {
+    for (const std::string& n : opt.names) {
+      const Scenario* s = hdnh::crashtest::find_scenario(n);
+      if (!s) {
+        std::fprintf(stderr, "unknown scenario '%s' (see --list)\n", n.c_str());
+        return 2;
+      }
+      selected.push_back(s);
+    }
+  }
+
+  uint64_t total_points = 0, total_crashed = 0, total_failed = 0;
+  auto secs = [] { return static_cast<double>(hdnh::now_ns()) * 1e-9; };
+  const double t0 = secs();
+  for (const Scenario* s : selected) {
+    uint64_t n = 0;
+    try {
+      n = hdnh::crashtest::probe_events(*s, opt.seed);
+    } catch (const std::exception& e) {
+      std::printf("FAIL %s: probe threw: %s\n", s->name, e.what());
+      ++total_failed;
+      continue;
+    }
+    uint64_t points = 0, crashed = 0, failed = 0;
+    const double s0 = secs();
+    for (uint64_t k = (opt.only >= 0 ? static_cast<uint64_t>(opt.only) : 0);
+         k < n; k += opt.stride) {
+      if (opt.max_points != 0 && points >= opt.max_points) break;
+      ++points;
+      PointResult r;
+      try {
+        r = hdnh::crashtest::run_crash_point(*s, opt.seed, k, opt.evict_lines);
+      } catch (const std::exception& e) {
+        r.failure = std::string("exception: ") + e.what();
+      }
+      if (r.crashed) ++crashed;
+      if (!r.failure.empty()) {
+        ++failed;
+        std::printf("FAIL scenario=%s event_index=%llu seed=%llu: %s\n",
+                    s->name, static_cast<unsigned long long>(k),
+                    static_cast<unsigned long long>(opt.seed),
+                    r.failure.c_str());
+      } else if (opt.verbose) {
+        std::printf("ok   scenario=%s event_index=%llu crashed=%d\n", s->name,
+                    static_cast<unsigned long long>(k), r.crashed ? 1 : 0);
+      }
+      if (opt.only >= 0) break;
+    }
+    std::printf(
+        "%-16s events=%-6llu points=%-5llu crashed=%-5llu failed=%llu "
+        "(%.1fs)\n",
+        s->name, static_cast<unsigned long long>(n),
+        static_cast<unsigned long long>(points),
+        static_cast<unsigned long long>(crashed),
+        static_cast<unsigned long long>(failed), secs() - s0);
+    total_points += points;
+    total_crashed += crashed;
+    total_failed += failed;
+  }
+
+  std::printf(
+      "CRASHPOINT_JSON {\"seed\":%llu,\"stride\":%llu,\"points\":%llu,"
+      "\"crashed\":%llu,\"failed\":%llu,\"secs\":%.1f}\n",
+      static_cast<unsigned long long>(opt.seed),
+      static_cast<unsigned long long>(opt.stride),
+      static_cast<unsigned long long>(total_points),
+      static_cast<unsigned long long>(total_crashed),
+      static_cast<unsigned long long>(total_failed), secs() - t0);
+  return total_failed == 0 ? 0 : 1;
+}
