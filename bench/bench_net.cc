@@ -35,6 +35,26 @@ namespace {
 
 std::string key_name(uint64_t id) { return "k" + std::to_string(id); }
 
+// Deterministic value payload. value_bytes == 0 keeps the historic tiny
+// values ("v<id>" / "w<id>", they fit a fixed-record store); otherwise the
+// value is exactly value_bytes of id-derived text, exercising the
+// variable-length path end to end.
+std::string value_payload(char tag, uint64_t id, uint64_t value_bytes) {
+  std::string v;
+  v += tag;
+  v += std::to_string(id);
+  if (value_bytes == 0) return v;
+  if (v.size() > value_bytes) {
+    v.resize(value_bytes);
+    return v;
+  }
+  v.reserve(value_bytes);
+  while (v.size() < value_bytes) {
+    v += static_cast<char>('a' + (id + v.size()) % 26);
+  }
+  return v;
+}
+
 struct ConnResult {
   uint64_t ops = 0;
   uint64_t hits = 0;
@@ -65,6 +85,9 @@ int main(int argc, char** argv) {
       cli.get_int("mget_batch", 16, "keys per MGET when mget_ratio > 0"));
   const bool do_preload =
       cli.get_bool("preload", true, "SET the whole keyspace first");
+  const uint64_t value_bytes = static_cast<uint64_t>(cli.get_int(
+      "value_bytes", 0,
+      "exact value size (0 = tiny fixed-record-compatible values)"));
   const uint64_t seed = static_cast<uint64_t>(cli.get_int("seed", 42, "rng seed"));
   cli.finish();
 
@@ -75,7 +98,7 @@ int main(int argc, char** argv) {
     const uint64_t t0 = now_ns();
     uint64_t inflight = 0, answered = 0;
     for (uint64_t id = 0; id < keys; ++id) {
-      c.pipeline({"SET", key_name(id), "v" + std::to_string(id)});
+      c.pipeline({"SET", key_name(id), value_payload('v', id, value_bytes)});
       if (++inflight == 512) {
         c.flush();
         while (inflight > 0) {
@@ -138,7 +161,8 @@ int main(int argc, char** argv) {
             c.pipeline({"GET", key_name(rng.next_below(keys))});
           } else {
             const uint64_t id = rng.next_below(keys);
-            c.pipeline({"SET", key_name(id), "w" + std::to_string(id)});
+            c.pipeline(
+                {"SET", key_name(id), value_payload('w', id, value_bytes)});
           }
           inflight.emplace_back(now_ns(), carried);
           sent_keys += carried;
@@ -199,6 +223,7 @@ int main(int argc, char** argv) {
        {"keys", std::to_string(keys)},
        {"get_ratio", std::to_string(get_ratio)},
        {"mget_ratio", std::to_string(mget_ratio)},
+       {"value_bytes", std::to_string(value_bytes)},
        {"seconds", std::to_string(seconds)},
        {"mops", std::to_string(mops)},
        {"hits", std::to_string(total.hits)},

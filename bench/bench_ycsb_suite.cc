@@ -1,13 +1,39 @@
 // YCSB suite: workloads A (50r/50u), B (95r/5u) and C (100r), zipfian 0.99,
 // across all four schemes — the abstract's claim is "HDNH outperforms its
 // counterparts by up to 2.9x under various YCSB workloads".
+//
+// --value_sweep=16,128,1024,65536 additionally runs the same workloads over
+// the variable-length value-log store (create_kv_store "vkv") at each exact
+// value size, emitting BENCH_JSON rows with a "value_bytes" field — the
+// large-value trajectory the fixed 15-byte record cannot express.
 #include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "common/bench_util.h"
 
 using namespace hdnh;
 using namespace hdnh::bench;
+
+namespace {
+
+std::vector<uint64_t> parse_sizes(const std::string& csv) {
+  std::vector<uint64_t> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    const size_t comma = csv.find(',', pos);
+    const std::string tok =
+        csv.substr(pos, comma == std::string::npos ? std::string::npos
+                                                   : comma - pos);
+    if (!tok.empty()) out.push_back(std::strtoull(tok.c_str(), nullptr, 10));
+    pos = comma == std::string::npos ? csv.size() : comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
@@ -16,6 +42,11 @@ int main(int argc, char** argv) {
       "read_batch", 0, "issue point reads through multiget in batches"));
   const bool latency = cli.get_bool(
       "latency", true, "record per-op latency percentiles into BENCH_JSON");
+  const std::string value_sweep = cli.get_str(
+      "value_sweep", "",
+      "comma-separated value sizes to run over the vkv store (empty = skip)");
+  const bool fixed = cli.get_bool(
+      "fixed", true, "run the fixed-record scheme comparison section");
   cli.finish();
   print_env("YCSB A/B/C suite", env);
 
@@ -31,6 +62,7 @@ int main(int argc, char** argv) {
 
   std::map<std::string, std::map<std::string, double>> mops;
   for (const Case& c : cases) {
+    if (!fixed) break;
     std::printf("\n== %s ==\n", c.name);
     print_run_header();
     for (const std::string& scheme : paper_schemes()) {
@@ -51,12 +83,65 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("\n== HDNH speedups (abstract: 'up to 2.9x') ==\n");
-  for (const Case& c : cases) {
-    auto& m = mops[c.name];
-    std::printf("%-18s vs CCEH %.2fx  vs LEVEL %.2fx  vs PATH %.2fx\n",
-                c.name, m["hdnh"] / m["cceh"], m["hdnh"] / m["level"],
-                m["hdnh"] / m["path"]);
+  if (fixed) {
+    std::printf("\n== HDNH speedups (abstract: 'up to 2.9x') ==\n");
+    for (const Case& c : cases) {
+      auto& m = mops[c.name];
+      std::printf("%-18s vs CCEH %.2fx  vs LEVEL %.2fx  vs PATH %.2fx\n",
+                  c.name, m["hdnh"] / m["cceh"], m["hdnh"] / m["level"],
+                  m["hdnh"] / m["path"]);
+    }
+  }
+
+  // ---- variable-length value sweep over the vkv store ----
+  for (const uint64_t vb : parse_sizes(value_sweep)) {
+    // Large values shrink the keyspace and op count so one sweep point
+    // keeps a laptop-friendly footprint (~256 MB of live values).
+    const uint64_t budget = 256ull << 20;
+    const uint64_t per_rec = vb + 64;  // record header + handle slack
+    uint64_t preload = env.preload;
+    if (preload * per_rec > budget) preload = budget / per_rec;
+    if (preload < 1024) preload = 1024;
+    uint64_t ops = env.ops;
+    if (ops > 4 * preload) ops = 4 * preload;
+
+    const uint64_t capacity = preload + preload / 2;
+    const std::string scheme =
+        env.shards > 1 ? "vkv@" + std::to_string(env.shards) : "vkv";
+    std::printf("\n== vkv value sweep: %llu B values (preload=%llu ops=%llu) ==\n",
+                static_cast<unsigned long long>(vb),
+                static_cast<unsigned long long>(preload),
+                static_cast<unsigned long long>(ops));
+    print_run_header();
+    for (const Case& c : cases) {
+      nvm::NvmConfig cfg;
+      cfg.emulate_latency = env.emulate;
+      cfg.latency_scale = env.lat_scale;
+      nvm::PmemPool pool(kv_pool_bytes_hint(scheme, capacity, vb), cfg);
+      nvm::PmemAllocator alloc(pool);
+      TableOptions topts;
+      topts.capacity = capacity;
+      topts.log_bytes = 2 * capacity * per_rec + (32ull << 20);
+      auto store = create_kv_store(scheme, alloc, topts);
+
+      pool.set_emulate_latency(false);
+      ycsb::preload(*store, preload, vb, env.threads);
+      pool.set_emulate_latency(env.emulate);
+
+      ycsb::RunOptions ro;
+      ro.threads = env.threads;
+      ro.seed = env.seed;
+      ro.read_batch = read_batch;
+      ro.measure_latency = latency;
+      ro.value_bytes = vb;
+      auto r = ycsb::run(*store, c.spec, preload, ops, ro);
+      const std::string label =
+          std::string(store->name()) + " " + std::to_string(vb) + "B";
+      print_run_row(label, r);
+      print_json_run(c.name, std::string(store->name()), env.threads,
+                     env.shards ? env.shards : 1, r,
+                     {{"value_bytes", std::to_string(vb)}});
+    }
   }
   return 0;
 }

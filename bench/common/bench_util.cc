@@ -75,9 +75,10 @@ void print_run_row(const std::string& label, const ycsb::RunResult& r) {
   std::fflush(stdout);
 }
 
-void print_json_run(const std::string& bench, const std::string& scheme,
-                    uint32_t threads, uint32_t shards,
-                    const ycsb::RunResult& r) {
+void print_json_run(
+    const std::string& bench, const std::string& scheme, uint32_t threads,
+    uint32_t shards, const ycsb::RunResult& r,
+    const std::vector<std::pair<std::string, std::string>>& extra) {
   const double ops = static_cast<double>(r.ops ? r.ops : 1);
   std::printf(
       "BENCH_JSON {\"bench\":\"%s\",\"scheme\":\"%s\",\"threads\":%u,"
@@ -99,6 +100,9 @@ void print_json_run(const std::string& bench, const std::string& scheme,
         static_cast<unsigned long long>(r.latency.percentile(0.99)),
         static_cast<unsigned long long>(r.latency.percentile(0.999)),
         static_cast<unsigned long long>(r.latency.max()));
+  }
+  for (const auto& [k, v] : extra) {
+    std::printf(",\"%s\":%s", k.c_str(), v.c_str());
   }
   std::printf("}\n");
   std::fflush(stdout);

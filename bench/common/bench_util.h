@@ -65,12 +65,14 @@ void print_run_header();
 //   BENCH_JSON {...}
 // record per run, greppable out of the human-readable output.
 // `print_json_run` covers the standard runner metrics (scheme, threads,
-// shards, Mops/s, NVM read/write blocks per op); `print_json_line` emits
-// arbitrary extra fields — values are written verbatim, so callers quote
-// string values themselves.
-void print_json_run(const std::string& bench, const std::string& scheme,
-                    uint32_t threads, uint32_t shards,
-                    const ycsb::RunResult& r);
+// shards, Mops/s, NVM read/write blocks per op), plus any caller-supplied
+// `extra` fields (values written verbatim — quote strings yourself);
+// `print_json_line` emits arbitrary extra fields under the same verbatim
+// rule.
+void print_json_run(
+    const std::string& bench, const std::string& scheme, uint32_t threads,
+    uint32_t shards, const ycsb::RunResult& r,
+    const std::vector<std::pair<std::string, std::string>>& extra = {});
 void print_json_line(
     const std::string& bench,
     const std::vector<std::pair<std::string, std::string>>& fields);

@@ -56,8 +56,8 @@ int main() {
 
   store.get("user:9:profile", &doc);
   std::printf("5) post-compaction check: user:9:profile -> %s\n", doc.c_str());
-  std::printf("   index load factor %.2f over %llu slots\n",
+  std::printf("   index load factor %.2f over %llu records\n",
               store.index().load_factor(),
-              static_cast<unsigned long long>(store.index().total_slots()));
+              static_cast<unsigned long long>(store.index().size()));
   return 0;
 }

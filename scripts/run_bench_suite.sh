@@ -15,8 +15,12 @@ cd "$(dirname "$0")/.."
 
 PROFILE="${1:-default}"
 case "$PROFILE" in
-  quick)   ARGS="--preload=20000 --ops=80000"; PROBE_ARGS="--preload=20000 --ops=40000 --reps=1" ;;
-  default) ARGS="";                            PROBE_ARGS="--reps=3" ;;
+  quick)   ARGS="--preload=20000 --ops=80000"; PROBE_ARGS="--preload=20000 --ops=40000 --reps=1"
+           VALUE_ARGS="--preload=10000 --ops=20000 --value_sweep=16,128,1024,65536"
+           NET_OPS=50000 ;;
+  default) ARGS="";                            PROBE_ARGS="--reps=3"
+           VALUE_ARGS="--value_sweep=16,128,1024,65536"
+           NET_OPS=200000 ;;
   *) echo "usage: $0 [quick|default]" >&2; exit 2 ;;
 esac
 
@@ -38,6 +42,20 @@ run "Figure 13 single-thread"          ./build/bench/bench_fig13_single_thread $
 run "Figure 14 concurrency"            ./build/bench/bench_fig14_concurrency $ARGS
 run "YCSB suite (serial reads)"        ./build/bench/bench_ycsb_suite $ARGS
 run "YCSB suite (batched reads)"       ./build/bench/bench_ycsb_suite $ARGS --read_batch=32
+run "YCSB value-size sweep (vkv)"      ./build/bench/bench_ycsb_suite $VALUE_ARGS --fixed=false --threads=4
+
+# Large values over the wire: a vkv-backed server and bench_net at 1 KiB and
+# 64 KiB payloads (the fixed-record wire path caps out at 14 B).
+for VB in 1024 65536; do
+  ./build/tools/hdnh_server --scheme=vkv --port=6431 --capacity=20000 \
+    --avg_value_bytes=$VB >/dev/null &
+  SRV=$!
+  sleep 0.5
+  run "net value sweep ${VB}B" ./build/bench/bench_net --port=6431 \
+    --conns=4 --depth=8 --ops=$NET_OPS --keys=5000 --value_bytes=$VB
+  kill "$SRV" 2>/dev/null || true
+  wait "$SRV" 2>/dev/null || true
+done
 
 # Provenance stamps: numbers without the tree/build that produced them are
 # unreviewable, so record the git SHA, the build type from the CMake cache,

@@ -9,6 +9,7 @@
 #include "hdnh/hdnh.h"
 #include "nvm/sharded_layout.h"
 #include "store/sharded_table.h"
+#include "vkv/vkv_store.h"
 
 namespace hdnh {
 
@@ -134,6 +135,40 @@ std::unique_ptr<HashTable> create_table(const std::string& scheme,
       std::string(tables[0]->name()) + "@" + std::to_string(actual);
   return std::make_unique<store::ShardedTable>(
       std::move(layout), std::move(tables), std::move(name));
+}
+
+std::unique_ptr<KvStore> create_kv_store(const std::string& scheme,
+                                         nvm::PmemAllocator& alloc,
+                                         const TableOptions& opts) {
+  const SchemeSpec spec = parse_scheme(scheme);
+  if (spec.base == "vkv" || opts.value_log) {
+    vkv::VkvStore::Options vopts;
+    vopts.expected_records = opts.capacity;
+    if (opts.log_bytes) vopts.log_bytes = opts.log_bytes;
+    vopts.segment_bytes = opts.log_segment_bytes;
+    vopts.shards = spec.shards ? spec.shards : opts.shards;
+    vopts.index = opts.hdnh;
+    return std::make_unique<vkv::VkvStore>(alloc, vopts);
+  }
+  return std::make_unique<FixedTableKv>(create_table(scheme, alloc, opts));
+}
+
+uint64_t kv_pool_bytes_hint(const std::string& scheme, uint64_t max_items,
+                            uint64_t avg_value_bytes) {
+  const SchemeSpec spec = parse_scheme(scheme);
+  if (spec.base != "vkv") return pool_bytes_hint(scheme, max_items);
+  // Index: HDNH shards sized as the table factory does. Log: records carry
+  // a 10-byte header plus key bytes (~32 conservative); double for GC
+  // headroom (relocation appends before the victim frees), plus a couple of
+  // spare segments.
+  const uint32_t shards = spec.shards ? spec.shards : 1;
+  const uint64_t per_shard = (max_items + shards - 1) / shards;
+  const uint64_t index_bytes =
+      shards * Hdnh::pool_bytes_hint(per_shard + per_shard / 4, HdnhConfig{}) +
+      (shards > 1 ? nvm::ShardedPmemLayout::overhead_bytes(shards) : 0);
+  const uint64_t log_bytes =
+      2 * max_items * (avg_value_bytes + 48) + (16ull << 20);
+  return index_bytes + log_bytes + nvm::PmemAllocator::header_bytes();
 }
 
 uint64_t pool_bytes_hint(const std::string& scheme, uint64_t max_items) {

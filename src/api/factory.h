@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "api/hash_table.h"
+#include "api/kv_store.h"
 #include "hdnh/config.h"
 #include "nvm/alloc.h"
 
@@ -38,6 +39,15 @@ struct TableOptions {
   // Hash-partition the table across this many independent shards (1 = the
   // plain single table). An "@N" suffix on the scheme name takes precedence.
   uint32_t shards = 1;
+
+  // ---- create_kv_store only ----
+  // Force the value-log-backed store (equivalent to the "vkv" scheme name):
+  // variable-length keys/values, small values inlined in the fixed record.
+  bool value_log = false;
+  // Cap on total value-log bytes (0 = VkvStore's default).
+  uint64_t log_bytes = 0;
+  // Per-segment capacity (0 = derived from log_bytes).
+  uint64_t log_segment_bytes = 0;
 };
 
 // A scheme name split into its base scheme and shard count ("hdnh@8" ->
@@ -63,6 +73,20 @@ std::unique_ptr<HashTable> create_table(const std::string& scheme,
 // including — for "@N" names — the shard-map superblock and per-shard
 // allocator metadata.
 uint64_t pool_bytes_hint(const std::string& scheme, uint64_t max_items);
+
+// Builds the variable-length KvStore surface for a scheme name. "vkv[@N]"
+// (or TableOptions::value_log) selects the value-log-backed store — keys to
+// 64 KiB, values to 16 MiB; any table scheme from known_schemes() yields a
+// FixedTableKv wrapping create_table() (wire keys <= 15 B, values <= 14 B).
+std::unique_ptr<KvStore> create_kv_store(const std::string& scheme,
+                                         nvm::PmemAllocator& alloc,
+                                         const TableOptions& opts);
+
+// Conservative PmemPool size for `max_items` records of ~avg_value_bytes
+// through create_kv_store(scheme): index structures plus — for "vkv" — the
+// value log with GC headroom.
+uint64_t kv_pool_bytes_hint(const std::string& scheme, uint64_t max_items,
+                            uint64_t avg_value_bytes);
 
 // The four paper schemes, in the paper's presentation order.
 std::vector<std::string> paper_schemes();

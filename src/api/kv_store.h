@@ -1,0 +1,212 @@
+// KvStore — the variable-length key/value surface of API v2.
+//
+// HashTable speaks fixed 16 B keys / 15 B values (the paper's record
+// shape); everything above the storage layer — the RESP server, the YCSB
+// runner, client tools — wants arbitrary byte strings. KvStore is that
+// surface: Status-based string operations with per-store limits the caller
+// can introspect (max_key_len / max_value_len), so protocol error messages
+// derive from the store instead of hard-coding the paper's toy sizes.
+//
+// Two implementations exist:
+//   * FixedTableKv (here) — wraps any HashTable behind the fixed-record
+//     codec: strings are packed into the 16/15-byte boxes with their length
+//     in the last byte (wire keys 0..15 bytes, values 0..14 bytes; distinct
+//     strings map to distinct records, decode recovers exact bytes).
+//     Oversized payloads are rejected with kInvalidArgument, never
+//     truncated.
+//   * vkv::VkvStore (src/vkv) — the value-log-backed store: keys up to
+//     64 KiB, values up to 16 MiB, small values still inlined in the fixed
+//     record to preserve the paper's read path.
+//
+// This header is intentionally header-only so lower layers (src/vkv) can
+// implement the interface without linking hdnh_api.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/batch.h"
+#include "api/hash_table.h"
+#include "api/types.h"
+
+namespace hdnh {
+
+class KvStore {
+ public:
+  virtual ~KvStore() = default;
+
+  virtual const char* name() const = 0;
+  virtual uint64_t size() const = 0;
+  virtual double load_factor() const = 0;
+
+  // Inclusive byte limits for keys/values this store accepts. Callers
+  // (the server) build their protocol errors from these.
+  virtual size_t max_key_len() const = 0;
+  virtual size_t max_value_len() const = 0;
+
+  // Upsert. kOk whether the key was new or replaced.
+  virtual Status put(std::string_view key, std::string_view value) = 0;
+  // Insert-if-absent. kExists when the key is present.
+  virtual Status insert(std::string_view key, std::string_view value) = 0;
+  // Point lookup; assigns *out on kOk. kNotFound on miss.
+  virtual Status get(std::string_view key, std::string* out) = 0;
+  // kNotFound when the key is absent.
+  virtual Status erase(std::string_view key) = 0;
+
+  // Batched lookup: values[i]/found[i] for each keys[i]; returns the
+  // number of hits. Implementations route through the index's phased
+  // multiget where they can; the default is n independent gets.
+  virtual size_t multiget(const std::string_view* keys, size_t n,
+                          std::string* values, uint8_t* found) {
+    size_t hits = 0;
+    for (size_t i = 0; i < n; ++i) {
+      found[i] = get(keys[i], &values[i]).ok() ? 1 : 0;
+      hits += found[i];
+    }
+    return hits;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Fixed-record codec: strings <-> the paper's 16/15-byte boxes. Length in
+// the last byte, zero padding in between.
+// ---------------------------------------------------------------------------
+
+inline constexpr size_t kMaxWireKeyLen = kKeyBytes - 1;      // 15
+inline constexpr size_t kMaxWireValueLen = kValueBytes - 1;  // 14
+
+inline bool encode_key(std::string_view s, Key* out) {
+  if (s.size() > kMaxWireKeyLen) return false;
+  std::memset(out->b, 0, kKeyBytes);
+  std::memcpy(out->b, s.data(), s.size());
+  out->b[kKeyBytes - 1] = static_cast<uint8_t>(s.size());
+  return true;
+}
+
+inline bool encode_value(std::string_view s, Value* out) {
+  if (s.size() > kMaxWireValueLen) return false;
+  std::memset(out->b, 0, kValueBytes);
+  std::memcpy(out->b, s.data(), s.size());
+  out->b[kValueBytes - 1] = static_cast<uint8_t>(s.size());
+  return true;
+}
+
+inline std::string decode_value(const Value& v) {
+  const size_t len = v.b[kValueBytes - 1];
+  return std::string(reinterpret_cast<const char*>(v.b),
+                     len > kMaxWireValueLen ? kMaxWireValueLen : len);
+}
+
+inline std::string decode_key(const Key& k) {
+  const size_t len = k.b[kKeyBytes - 1];
+  return std::string(reinterpret_cast<const char*>(k.b),
+                     len > kMaxWireKeyLen ? kMaxWireKeyLen : len);
+}
+
+// ---------------------------------------------------------------------------
+// FixedTableKv — any HashTable behind the KvStore surface.
+// ---------------------------------------------------------------------------
+
+class FixedTableKv final : public KvStore {
+ public:
+  explicit FixedTableKv(HashTable& table) : table_(&table) {}
+  explicit FixedTableKv(std::unique_ptr<HashTable> table)
+      : owned_(std::move(table)), table_(owned_.get()) {}
+
+  HashTable& table() { return *table_; }
+
+  const char* name() const override { return table_->name(); }
+  uint64_t size() const override { return table_->size(); }
+  double load_factor() const override { return table_->load_factor(); }
+  size_t max_key_len() const override { return kMaxWireKeyLen; }
+  size_t max_value_len() const override { return kMaxWireValueLen; }
+
+  Status put(std::string_view key, std::string_view value) override {
+    Key k;
+    Value v;
+    Status s = encode(key, value, &k, &v);
+    return s.ok() ? table_->put_s(k, v) : s;
+  }
+
+  Status insert(std::string_view key, std::string_view value) override {
+    Key k;
+    Value v;
+    Status s = encode(key, value, &k, &v);
+    return s.ok() ? table_->insert_s(k, v) : s;
+  }
+
+  Status get(std::string_view key, std::string* out) override {
+    Key k;
+    if (!encode_key(key, &k)) return Status::NotFound();  // cannot exist
+    Value v;
+    const Status s = table_->search_s(k, &v);
+    if (s.ok() && out) *out = decode_value(v);
+    return s;
+  }
+
+  Status erase(std::string_view key) override {
+    Key k;
+    if (!encode_key(key, &k)) return Status::NotFound();
+    return table_->erase_s(k);
+  }
+
+  size_t multiget(const std::string_view* keys, size_t n,
+                  std::string* values, uint8_t* found) override {
+    // One span multiget for the encodable keys, packed to the front, so a
+    // batched caller hits the store's phased pipeline (sharded regrouping,
+    // OCF prefilter, overlapped NVM reads) instead of n serial probes.
+    thread_local std::vector<Key> mkeys;
+    thread_local std::vector<Value> mvals;
+    thread_local std::vector<uint8_t> mfound;
+    thread_local std::vector<uint8_t> mvalid;
+    mkeys.resize(n);
+    mvals.resize(n);
+    mfound.assign(n, 0);
+    mvalid.resize(n);
+    size_t m = 0;
+    for (size_t i = 0; i < n; ++i) {
+      mvalid[i] = encode_key(keys[i], &mkeys[m]) ? 1 : 0;
+      if (mvalid[i]) ++m;
+    }
+    hdnh::multiget(*table_, std::span<const Key>(mkeys.data(), m),
+                   std::span<Value>(mvals.data(), m),
+                   std::span<uint8_t>(mfound.data(), m));
+    size_t hits = 0, j = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (mvalid[i] && mfound[j]) {
+        values[i] = decode_value(mvals[j]);
+        found[i] = 1;
+        ++hits;
+      } else {
+        found[i] = 0;
+      }
+      j += mvalid[i];
+    }
+    return hits;
+  }
+
+ private:
+  static Status encode(std::string_view key, std::string_view value, Key* k,
+                       Value* v) {
+    if (!encode_key(key, k)) {
+      return Status::InvalidArgument("key too long (max " +
+                                     std::to_string(kMaxWireKeyLen) +
+                                     " bytes)");
+    }
+    if (!encode_value(value, v)) {
+      return Status::InvalidArgument("value too long (max " +
+                                     std::to_string(kMaxWireValueLen) +
+                                     " bytes)");
+    }
+    return Status::Ok();
+  }
+
+  std::unique_ptr<HashTable> owned_;
+  HashTable* table_;
+};
+
+}  // namespace hdnh

@@ -93,6 +93,8 @@ enum class StatusCode : uint8_t {
   kTableFull,     // structure or pool exhausted (was TableFullError/bad_alloc)
   kRetry,         // transient conflict; the caller may retry
   kIOError,       // backing media / socket failure
+  kLogFull,       // value log exhausted (GC found nothing to reclaim)
+  kInvalidArgument,  // request outside the store's limits (oversize key/value)
 };
 
 inline const char* status_code_name(StatusCode c) {
@@ -103,6 +105,8 @@ inline const char* status_code_name(StatusCode c) {
     case StatusCode::kTableFull: return "table_full";
     case StatusCode::kRetry: return "retry";
     case StatusCode::kIOError: return "io_error";
+    case StatusCode::kLogFull: return "log_full";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
   }
   return "unknown";
 }
@@ -122,6 +126,12 @@ class [[nodiscard]] Status {
   }
   static Status IOError(std::string msg = {}) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status LogFull(std::string msg = {}) {
+    return Status(StatusCode::kLogFull, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = {}) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

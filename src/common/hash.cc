@@ -56,4 +56,48 @@ uint64_t hash64(const void* data, size_t len, uint64_t seed) {
   return h;
 }
 
+
+namespace {
+
+// Slicing-by-4 CRC-32C tables, generated once at first use. Polynomial
+// 0x1EDC6F41 reflected = 0x82F63B78.
+struct Crc32cTables {
+  uint32_t t[4][256];
+  Crc32cTables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (c >> 1) ^ 0x82F63B78u : c >> 1;
+      }
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFF];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFF];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFF];
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t crc32c(const void* data, size_t len, uint32_t seed) {
+  static const Crc32cTables tables;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = ~seed;
+  while (len >= 4) {
+    uint32_t w;
+    std::memcpy(&w, p, 4);
+    c ^= w;
+    c = tables.t[3][c & 0xFF] ^ tables.t[2][(c >> 8) & 0xFF] ^
+        tables.t[1][(c >> 16) & 0xFF] ^ tables.t[0][c >> 24];
+    p += 4;
+    len -= 4;
+  }
+  while (len--) {
+    c = (c >> 8) ^ tables.t[0][(c ^ *p++) & 0xFF];
+  }
+  return ~c;
+}
+
 }  // namespace hdnh

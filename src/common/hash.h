@@ -51,6 +51,17 @@ inline uint64_t merge_round(uint64_t acc, uint64_t val) {
 // Hash `len` bytes at `data` with `seed`. xxHash64 algorithm.
 uint64_t hash64(const void* data, size_t len, uint64_t seed = 0);
 
+// CRC-32C (Castagnoli polynomial, reflected). Software table implementation
+// — no SSE4.2 dependency. `seed` is the running CRC state, so checksums can
+// be chained and callers can fold a per-record salt into the initial state
+// (the value log seeds each record's CRC with its segment salt and offset,
+// so a stale record from a recycled segment can never false-match).
+uint32_t crc32c(const void* data, size_t len, uint32_t seed = 0);
+
+inline uint32_t crc32c(std::string_view sv, uint32_t seed = 0) {
+  return crc32c(sv.data(), sv.size(), seed);
+}
+
 inline uint64_t hash64(std::string_view sv, uint64_t seed = 0) {
   return hash64(sv.data(), sv.size(), seed);
 }

@@ -1,51 +1,20 @@
-// Wire <-> record codec. The store's records are fixed-size (16 B keys,
-// 15 B values — the paper's 256 B-bucket packing); the wire carries
-// arbitrary byte strings. The codec packs a string into the fixed box with
-// its length in the last byte and zero padding in between, so:
-//   * wire keys are 0..15 bytes, wire values 0..14 bytes;
-//   * distinct strings map to distinct records ("a" != "a\0");
-//   * decode recovers the exact bytes, not a padded approximation.
-// Oversized payloads are rejected at the protocol boundary (RESP error),
-// never truncated.
+// Compatibility shim: the fixed-record wire codec moved to api/kv_store.h
+// when the KvStore surface was introduced (the server now derives its
+// limits from the store, and the codec is the FixedTableKv adapter's
+// concern). Existing includes of net/kv_codec.h keep working through these
+// aliases.
 #pragma once
 
-#include <cstring>
-#include <string>
-#include <string_view>
-
-#include "api/types.h"
+#include "api/kv_store.h"
 
 namespace hdnh::net {
 
-inline constexpr size_t kMaxWireKeyLen = kKeyBytes - 1;      // 15
-inline constexpr size_t kMaxWireValueLen = kValueBytes - 1;  // 14
+using hdnh::kMaxWireKeyLen;
+using hdnh::kMaxWireValueLen;
 
-inline bool encode_key(std::string_view s, Key* out) {
-  if (s.size() > kMaxWireKeyLen) return false;
-  std::memset(out->b, 0, kKeyBytes);
-  std::memcpy(out->b, s.data(), s.size());
-  out->b[kKeyBytes - 1] = static_cast<uint8_t>(s.size());
-  return true;
-}
-
-inline bool encode_value(std::string_view s, Value* out) {
-  if (s.size() > kMaxWireValueLen) return false;
-  std::memset(out->b, 0, kValueBytes);
-  std::memcpy(out->b, s.data(), s.size());
-  out->b[kValueBytes - 1] = static_cast<uint8_t>(s.size());
-  return true;
-}
-
-inline std::string decode_value(const Value& v) {
-  const size_t len = v.b[kValueBytes - 1];
-  return std::string(reinterpret_cast<const char*>(v.b),
-                     len > kMaxWireValueLen ? kMaxWireValueLen : len);
-}
-
-inline std::string decode_key(const Key& k) {
-  const size_t len = k.b[kKeyBytes - 1];
-  return std::string(reinterpret_cast<const char*>(k.b),
-                     len > kMaxWireKeyLen ? kMaxWireKeyLen : len);
-}
+using hdnh::decode_key;
+using hdnh::decode_value;
+using hdnh::encode_key;
+using hdnh::encode_value;
 
 }  // namespace hdnh::net

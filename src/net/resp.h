@@ -19,9 +19,11 @@
 namespace hdnh::net {
 
 // Hard frame limits: declared lengths beyond these are protocol errors
-// *before* any allocation happens. Generous for a 16 B-key store; raise
-// deliberately if the record format ever grows.
-inline constexpr size_t kMaxBulkLen = 1 << 20;     // bytes per bulk string
+// *before* any allocation happens. The bulk cap matches the value-log
+// store's 16 MiB value ceiling (vkv::LogStore::kMaxValue) so every
+// storable value is also servable; oversize payloads for a given store are
+// rejected at the command layer with the store's own limits.
+inline constexpr size_t kMaxBulkLen = 16u << 20;   // bytes per bulk string
 inline constexpr size_t kMaxArrayLen = 64 * 1024;  // elements per array
 inline constexpr size_t kMaxInlineLen = 64 * 1024; // inline command line
 inline constexpr int kMaxParseDepth = 8;           // nested arrays

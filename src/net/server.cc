@@ -13,15 +13,12 @@
 #include <cstdio>
 #include <cstring>
 #include <mutex>
-#include <span>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
 
-#include "api/batch.h"
 #include "common/clock.h"
 #include "net/buffer.h"
-#include "net/kv_codec.h"
 #include "net/resp.h"
 #include "obs/obs.h"
 
@@ -137,11 +134,11 @@ struct Server::Reactor {
 
   // Per-reactor scratch (reply serialization, MGET batch staging).
   std::string reply;
+  std::string value;
   std::vector<std::string> args;
-  std::vector<Key> mkeys;
-  std::vector<Value> mvals;
+  std::vector<std::string_view> mkeys;
+  std::vector<std::string> mvals;
   std::vector<uint8_t> mfound;
-  std::vector<uint8_t> mvalid;
 };
 
 namespace {
@@ -170,8 +167,19 @@ void drop_gate(const void* key) {
 // Lifecycle
 // ---------------------------------------------------------------------------
 
+Server::Server(KvStore& store, ServerOptions opts)
+    : store_(store), opts_(std::move(opts)) {
+  init_reactors();
+}
+
 Server::Server(HashTable& table, ServerOptions opts)
-    : table_(table), opts_(std::move(opts)) {
+    : owned_store_(std::make_unique<FixedTableKv>(table)),
+      store_(*owned_store_),
+      opts_(std::move(opts)) {
+  init_reactors();
+}
+
+void Server::init_reactors() {
   if (opts_.threads == 0) opts_.threads = 1;
   listen_fd_ = set_nonblocking_listener(opts_.bind, opts_.port, &port_);
   reactors_.reserve(opts_.threads);
@@ -476,6 +484,16 @@ void append_status_error(std::string* out, const Status& s,
       table_full_counter.fetch_add(1, std::memory_order_relaxed);
       append_error(out, "ERR table full");
       break;
+    case StatusCode::kLogFull:
+      // Same capacity-exhaustion bucket as table full for the counters.
+      table_full_counter.fetch_add(1, std::memory_order_relaxed);
+      append_error(out, "ERR log full");
+      break;
+    case StatusCode::kInvalidArgument:
+      append_error(out, "ERR " + (s.message().empty()
+                                      ? std::string("invalid argument")
+                                      : s.message()));
+      break;
     case StatusCode::kRetry:
       append_error(out, "ERR retry: transient conflict, please retry");
       break;
@@ -508,15 +526,9 @@ void Server::execute(Reactor& r, Conn& c, std::vector<std::string>& args) {
           append_wrong_args(&reply, "get");
           break;
         }
-        Key k;
-        Value v;
-        if (!encode_key(args[1], &k)) {
-          append_nil(&reply);  // a key that cannot exist in the store
-          break;
-        }
-        const Status s = table_.search_s(k, &v);
+        const Status s = store_.get(args[1], &r.value);
         if (s.ok()) {
-          append_bulk(&reply, decode_value(v));
+          append_bulk(&reply, r.value);
         } else if (s == StatusCode::kNotFound) {
           append_nil(&reply);
         } else {
@@ -529,17 +541,21 @@ void Server::execute(Reactor& r, Conn& c, std::vector<std::string>& args) {
           append_wrong_args(&reply, "set");
           break;
         }
-        Key k;
-        Value v;
-        if (!encode_key(args[1], &k)) {
-          append_error(&reply, "ERR key too long (max 15 bytes)");
+        // Limits derive from the store, never hard-coded: a fixed-record
+        // table rejects 16-byte values here, a value-log store takes MiBs.
+        if (args[1].size() > store_.max_key_len()) {
+          append_error(&reply,
+                       "ERR key too long (max " +
+                           std::to_string(store_.max_key_len()) + " bytes)");
           break;
         }
-        if (!encode_value(args[2], &v)) {
-          append_error(&reply, "ERR value too long (max 14 bytes)");
+        if (args[2].size() > store_.max_value_len()) {
+          append_error(&reply,
+                       "ERR value too long (max " +
+                           std::to_string(store_.max_value_len()) + " bytes)");
           break;
         }
-        const Status s = table_.put_s(k, v);
+        const Status s = store_.put(args[1], args[2]);
         if (s.ok()) {
           append_simple(&reply, "OK");
         } else {
@@ -552,17 +568,19 @@ void Server::execute(Reactor& r, Conn& c, std::vector<std::string>& args) {
           append_wrong_args(&reply, "setnx");
           break;
         }
-        Key k;
-        Value v;
-        if (!encode_key(args[1], &k)) {
-          append_error(&reply, "ERR key too long (max 15 bytes)");
+        if (args[1].size() > store_.max_key_len()) {
+          append_error(&reply,
+                       "ERR key too long (max " +
+                           std::to_string(store_.max_key_len()) + " bytes)");
           break;
         }
-        if (!encode_value(args[2], &v)) {
-          append_error(&reply, "ERR value too long (max 14 bytes)");
+        if (args[2].size() > store_.max_value_len()) {
+          append_error(&reply,
+                       "ERR value too long (max " +
+                           std::to_string(store_.max_value_len()) + " bytes)");
           break;
         }
-        const Status s = table_.insert_s(k, v);
+        const Status s = store_.insert(args[1], args[2]);
         if (s.ok()) {
           append_integer(&reply, 1);
         } else if (s == StatusCode::kExists) {
@@ -579,8 +597,7 @@ void Server::execute(Reactor& r, Conn& c, std::vector<std::string>& args) {
         }
         int64_t removed = 0;
         for (size_t i = 1; i < args.size(); ++i) {
-          Key k;
-          if (encode_key(args[i], &k) && table_.erase_s(k).ok()) ++removed;
+          if (store_.erase(args[i]).ok()) ++removed;
         }
         append_integer(&reply, removed);
         break;
@@ -591,10 +608,8 @@ void Server::execute(Reactor& r, Conn& c, std::vector<std::string>& args) {
           break;
         }
         int64_t found = 0;
-        Value v;
         for (size_t i = 1; i < args.size(); ++i) {
-          Key k;
-          if (encode_key(args[i], &k) && table_.search_s(k, &v).ok()) ++found;
+          if (store_.get(args[i], nullptr).ok()) ++found;
         }
         append_integer(&reply, found);
         break;
@@ -604,37 +619,27 @@ void Server::execute(Reactor& r, Conn& c, std::vector<std::string>& args) {
           append_wrong_args(&reply, "mget");
           break;
         }
-        // One span multiget for the whole request: the batch hits the
-        // store's phased pipeline (sharded regrouping, OCF prefilter, NVM
-        // read-ahead) instead of n serial probes. Unencodable keys are
-        // structural misses and skip the store entirely.
+        // One store multiget for the whole request: the batch hits the
+        // phased pipeline (sharded regrouping, OCF prefilter, NVM
+        // read-ahead) instead of n serial probes.
         const size_t n = args.size() - 1;
         r.mkeys.resize(n);
         r.mvals.resize(n);
         r.mfound.assign(n, 0);
-        r.mvalid.resize(n);
-        size_t m = 0;  // encodable keys, packed to the front
-        for (size_t i = 0; i < n; ++i) {
-          r.mvalid[i] = encode_key(args[i + 1], &r.mkeys[m]) ? 1 : 0;
-          if (r.mvalid[i]) ++m;
-        }
-        hdnh::multiget(table_, std::span<const Key>(r.mkeys.data(), m),
-                       std::span<Value>(r.mvals.data(), m),
-                       std::span<uint8_t>(r.mfound.data(), m));
+        for (size_t i = 0; i < n; ++i) r.mkeys[i] = args[i + 1];
+        store_.multiget(r.mkeys.data(), n, r.mvals.data(), r.mfound.data());
         append_array_header(&reply, n);
-        size_t j = 0;
         for (size_t i = 0; i < n; ++i) {
-          if (r.mvalid[i] && r.mfound[j]) {
-            append_bulk(&reply, decode_value(r.mvals[j]));
+          if (r.mfound[i]) {
+            append_bulk(&reply, r.mvals[i]);
           } else {
             append_nil(&reply);
           }
-          j += r.mvalid[i];
         }
         break;
       }
       case Cmd::kDbsize:
-        append_integer(&reply, static_cast<int64_t>(table_.size()));
+        append_integer(&reply, static_cast<int64_t>(store_.size()));
         break;
       case Cmd::kPing:
         if (args.size() == 1) {
@@ -731,7 +736,9 @@ std::string Server::info_text() const {
   std::string s;
   s += "# Server\r\n";
   s += "server:hdnh_server\r\n";
-  s += "store:" + std::string(table_.name()) + "\r\n";
+  s += "store:" + std::string(store_.name()) + "\r\n";
+  s += "max_key_len:" + std::to_string(store_.max_key_len()) + "\r\n";
+  s += "max_value_len:" + std::to_string(store_.max_value_len()) + "\r\n";
   s += "tcp_port:" + std::to_string(port_) + "\r\n";
   s += "reactor_threads:" + std::to_string(opts_.threads) + "\r\n";
   s += "uptime_seconds:" +
@@ -757,9 +764,9 @@ std::string Server::info_text() const {
     s += "\r\n";
   }
   s += "\r\n# Store\r\n";
-  s += "items:" + std::to_string(table_.size()) + "\r\n";
+  s += "items:" + std::to_string(store_.size()) + "\r\n";
   char lf[32];
-  std::snprintf(lf, sizeof(lf), "%.4f", table_.load_factor());
+  std::snprintf(lf, sizeof(lf), "%.4f", store_.load_factor());
   s += "load_factor:" + std::string(lf) + "\r\n";
   if constexpr (obs::kCompiledIn) {
     // The full Prometheus exposition, inline: a scrape away for anything

@@ -16,11 +16,15 @@
 //
 // Commands are the RESP2 subset GET / SET / SETNX / DEL / MGET / EXISTS /
 // DBSIZE / PING / INFO / COMMAND (+ QUIT / SHUTDOWN). Execution speaks the
-// Status surface of API v2: outcomes map to RESP replies
+// KvStore surface of API v2: outcomes map to RESP replies
 // (kNotFound -> nil, kTableFull -> "-ERR table full", ...) and no scheme
-// exception can cross into the event loop. MGET routes through the span
-// multiget, so a batched network read hits the store's phased pipeline
-// (one resize-lock acquisition, OCF prefilter, NVM reads overlapped).
+// exception can cross into the event loop. Key/value size limits — and the
+// error messages that report them — derive from the store
+// (max_key_len/max_value_len), so a value-log-backed store serves multi-KiB
+// payloads through the same handlers that reject a 16-byte value on a
+// fixed-record table. MGET routes through the store's multiget, so a
+// batched network read hits the phased pipeline (one resize-lock
+// acquisition, OCF prefilter, NVM reads overlapped).
 #pragma once
 
 #include <atomic>
@@ -30,7 +34,7 @@
 #include <string>
 #include <vector>
 
-#include "api/hash_table.h"
+#include "api/kv_store.h"
 #include "common/histogram.h"
 
 namespace hdnh::net {
@@ -80,7 +84,10 @@ class Server {
   };
 
   // Binds + listens immediately (throws std::runtime_error on failure) so
-  // port() is valid before start(); `table` must outlive the server.
+  // port() is valid before start(); `store` must outlive the server.
+  Server(KvStore& store, ServerOptions opts);
+  // Convenience: serve a bare HashTable through the fixed-record codec
+  // (owns the adapter, not the table).
   Server(HashTable& table, ServerOptions opts);
   ~Server();
 
@@ -117,9 +124,12 @@ class Server {
   void close_conn(Reactor& r, Conn& c);
   void flush_output(Reactor& r, Conn& c);
   void execute(Reactor& r, Conn& c, std::vector<std::string>& args);
+  void init_reactors();
   void register_gauges();
 
-  HashTable& table_;
+  // owned_store_ declared first: store_ may bind to it.
+  std::unique_ptr<KvStore> owned_store_;
+  KvStore& store_;
   ServerOptions opts_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;

@@ -42,6 +42,9 @@ enum FaultKind : uint32_t {
   kFaultResizeFinish = 1u << 12, // steady-state republish tail of a resize
   kFaultLogReplay = 1u << 13,    // update-log replay during recovery
   kFaultRecovery = 1u << 14,     // anywhere inside attach_and_recover
+  kFaultVkvAppend = 1u << 15,    // value-log record write (vkv::LogStore)
+  kFaultVkvSeal = 1u << 16,      // value-log segment state transition
+  kFaultVkvGc = 1u << 17,        // value-log GC relocate/retire
   kFaultAnyKind = 0xFFFFFFFFu,
 };
 

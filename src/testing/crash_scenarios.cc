@@ -387,4 +387,293 @@ std::string check_oracle(ScenarioEnv& env) {
   return "";
 }
 
+// ---------------------------------------------------------------------------
+// Value-log (VkvStore) scenarios
+// ---------------------------------------------------------------------------
+
+bool VkvScenarioEnv::put(const std::string& key, const std::string& value) {
+  const auto it = model.find(key);
+  pending.kind = VkvPendingOp::kPut;
+  pending.key = key;
+  pending.new_value = value;
+  pending.had_old = it != model.end();
+  pending.old_value = pending.had_old ? it->second : std::string();
+  const bool ok = store->put(key, value).ok();
+  pending.kind = VkvPendingOp::kNone;
+  if (ok) model[key] = value;
+  return ok;
+}
+
+bool VkvScenarioEnv::del(const std::string& key) {
+  const auto it = model.find(key);
+  pending.kind = VkvPendingOp::kErase;
+  pending.key = key;
+  pending.new_value.clear();
+  pending.had_old = it != model.end();
+  pending.old_value = pending.had_old ? it->second : std::string();
+  const bool ok = store->erase(key).ok();
+  pending.kind = VkvPendingOp::kNone;
+  if (ok) model.erase(key);
+  return ok;
+}
+
+void VkvScenarioEnv::crash_reattach() {
+  if (store) {
+    store->abandon_after_crash();
+    store.reset();
+  }
+  alloc = std::make_unique<nvm::PmemAllocator>(*pool);
+  store = std::make_unique<vkv::VkvStore>(*alloc, opts);
+}
+
+namespace {
+
+std::string vkv_key(uint64_t seed, uint64_t i) {
+  return "key" + std::to_string(seed & 0xFF) + "_" + std::to_string(i);
+}
+
+// Deterministic value of exactly `len` bytes, distinct per (seed, i, tag).
+std::string vkv_val(uint64_t seed, uint64_t i, char tag, size_t len) {
+  std::string v;
+  v += tag;
+  v += std::to_string(seed & 0xFFFF);
+  v += '_';
+  v += std::to_string(i);
+  if (v.size() > len) {
+    v.resize(len);
+    return v;
+  }
+  while (v.size() < len) {
+    v += static_cast<char>('a' + (i + v.size()) % 26);
+  }
+  return v;
+}
+
+vkv::VkvStore::Options vopts_mixed() {
+  vkv::VkvStore::Options o;
+  o.expected_records = 4096;
+  o.log_bytes = 8ull << 20;
+  o.segment_bytes = 32 * 1024;
+  o.auto_gc = false;  // GC events belong to the vkv_gc sweep only
+  return o;
+}
+
+vkv::VkvStore::Options vopts_tiny_segments() {
+  vkv::VkvStore::Options o;
+  o.expected_records = 4096;
+  o.log_bytes = 4ull << 20;
+  o.segment_bytes = 4 * 1024;  // ~5 records of 700 B per segment
+  o.auto_gc = false;
+  return o;
+}
+
+// Mixed sizes: inline (<= 14 B, no log record at all), small, and
+// multi-KiB log records.
+constexpr size_t kVkvSizes[] = {8, 14, 60, 300, 2000};
+
+void setup_vkv_mixed(VkvScenarioEnv& env, uint64_t seed) {
+  for (uint64_t i = 0; i < 24; ++i) {
+    const size_t len = kVkvSizes[i % (sizeof(kVkvSizes) / sizeof(*kVkvSizes))];
+    if (!env.put(vkv_key(seed, i), vkv_val(seed, i, 'p', len))) {
+      throw std::runtime_error("vkv setup put failed");
+    }
+  }
+}
+
+void ops_vkv_append(VkvScenarioEnv& env, uint64_t seed) {
+  // New keys, overwrites (inline->log and log->log), erases: every append
+  // crash point with a different pre-state.
+  for (uint64_t i = 0; i < 12; ++i) {
+    const size_t len = kVkvSizes[(i + 2) % (sizeof(kVkvSizes) / sizeof(*kVkvSizes))];
+    env.put(vkv_key(seed, 100 + i), vkv_val(seed, 100 + i, 'n', len));
+  }
+  for (uint64_t i = 0; i < 8; ++i) {
+    env.put(vkv_key(seed, (i * 5) % 24), vkv_val(seed, i, 'o', 200));
+  }
+  for (uint64_t i = 0; i < 6; ++i) {
+    env.del(vkv_key(seed, (i * 7) % 24));
+  }
+}
+
+void setup_vkv_seal(VkvScenarioEnv& env, uint64_t seed) {
+  for (uint64_t i = 0; i < 5; ++i) {
+    if (!env.put(vkv_key(seed, i), vkv_val(seed, i, 'p', 700))) {
+      throw std::runtime_error("vkv setup put failed");
+    }
+  }
+}
+
+void ops_vkv_seal(VkvScenarioEnv& env, uint64_t seed) {
+  // 700 B records through 4 KiB segments: every ~5th put seals the active
+  // segment and activates a fresh one, so the sweep lands inside the
+  // seal/activate directory transitions.
+  for (uint64_t i = 0; i < 30; ++i) {
+    env.put(vkv_key(seed, 200 + i), vkv_val(seed, 200 + i, 's', 700));
+  }
+}
+
+void setup_vkv_gc(VkvScenarioEnv& env, uint64_t seed) {
+  // ~20 tiny segments of 700 B records, then overwrite two of every three
+  // keys: each early segment ends up mostly-dead but still holds live
+  // records, so the armed GC pass must *relocate* (append + republish)
+  // before it can retire a victim — the crash points land inside that
+  // move, not just the trivially-free fully-dead case.
+  for (uint64_t i = 0; i < 60; ++i) {
+    if (!env.put(vkv_key(seed, i), vkv_val(seed, i, 'p', 700))) {
+      throw std::runtime_error("vkv setup put failed");
+    }
+  }
+  for (uint64_t i = 0; i < 60; ++i) {
+    if (i % 3 == 0) continue;  // keep every third original record live
+    if (!env.put(vkv_key(seed, i), vkv_val(seed, i, 'q', 700))) {
+      throw std::runtime_error("vkv setup overwrite failed");
+    }
+  }
+}
+
+void ops_vkv_gc(VkvScenarioEnv& env, uint64_t seed) {
+  // The swept stage is the GC pass itself: victim relocation appends, the
+  // index republish of each moved handle, and the retire transition all
+  // carry the kFaultVkvGc scope bit. The trailing puts verify the store
+  // keeps working after (a crash during) GC.
+  env.store->gc(/*max_segments=*/16, /*min_dead_fraction=*/0.05);
+  for (uint64_t i = 0; i < 4; ++i) {
+    env.put(vkv_key(seed, 300 + i), vkv_val(seed, 300 + i, 'g', 700));
+  }
+}
+
+const std::vector<VkvScenario>& vkv_scenario_table() {
+  static const std::vector<VkvScenario> kScenarios = {
+      {"vkv_append",
+       "value-log appends: mixed-size puts, overwrites, erases (torn records)",
+       nvm::kFaultVkvAppend, vopts_mixed, 64ull << 20, setup_vkv_mixed,
+       ops_vkv_append},
+      {"vkv_seal",
+       "segment seal/activate directory transitions under tiny segments",
+       nvm::kFaultVkvSeal, vopts_tiny_segments, 64ull << 20, setup_vkv_seal,
+       ops_vkv_seal},
+      {"vkv_gc",
+       "crash during concurrent GC: relocation, republish, segment retire",
+       nvm::kFaultVkvGc, vopts_tiny_segments, 64ull << 20, setup_vkv_gc,
+       ops_vkv_gc},
+  };
+  return kScenarios;
+}
+
+}  // namespace
+
+const std::vector<VkvScenario>& vkv_scenarios() { return vkv_scenario_table(); }
+
+const VkvScenario* find_vkv_scenario(const std::string& name) {
+  for (const VkvScenario& s : vkv_scenarios()) {
+    if (name == s.name) return &s;
+  }
+  return nullptr;
+}
+
+VkvScenarioEnv make_vkv_env(const VkvScenario& s, uint64_t seed) {
+  VkvScenarioEnv env;
+  env.opts = s.options();
+  env.pool = std::make_unique<nvm::PmemPool>(s.pool_bytes);
+  env.pool->enable_crash_sim();
+  env.alloc = std::make_unique<nvm::PmemAllocator>(*env.pool);
+  env.store = std::make_unique<vkv::VkvStore>(*env.alloc, env.opts);
+  if (s.setup) s.setup(env, seed);
+  return env;
+}
+
+uint64_t probe_vkv_events(const VkvScenario& s, uint64_t seed) {
+  VkvScenarioEnv env = make_vkv_env(s, seed);
+  nvm::FaultPlan plan;  // crash_at = kNever: count only
+  plan.mask = s.mask;
+  plan.seed = seed;
+  env.pool->set_fault_plan(&plan);
+  s.ops(env, seed);
+  env.pool->set_fault_plan(nullptr);
+  return plan.events();
+}
+
+PointResult run_vkv_crash_point(const VkvScenario& s, uint64_t seed,
+                                uint64_t crash_at, uint64_t evict_lines) {
+  VkvScenarioEnv env = make_vkv_env(s, seed);
+  PointResult r;
+
+  nvm::FaultPlan plan;
+  plan.crash_at = crash_at;
+  plan.mask = s.mask;
+  plan.seed = seed ^ (crash_at * 0x9E3779B97F4A7C15ull);
+  if (evict_lines != 0) {
+    plan.evict_every = 7;
+    plan.evict_lines = evict_lines;
+    plan.evict_lines_at_crash = evict_lines;
+  }
+
+  env.pool->set_fault_plan(&plan);
+  try {
+    s.ops(env, seed);
+  } catch (const nvm::InjectedCrash&) {
+    r.crashed = true;
+  }
+  env.pool->set_fault_plan(nullptr);
+  r.events = plan.events();
+
+  if (r.crashed) env.crash_reattach();
+  r.failure = check_vkv_oracle(env);
+  return r;
+}
+
+std::string check_vkv_oracle(VkvScenarioEnv& env) {
+  vkv::VkvStore& st = *env.store;
+  if (!st.check_index_integrity()) return "index deep integrity failed";
+
+  // Fold the single in-flight op: entirely-old or entirely-new state is
+  // acceptable, a torn or lost value is a durability hole. A torn log
+  // record can never surface as a value at all — the per-record CRC fails
+  // and the recovery scan discards it — so "torn" here would mean the
+  // index published a handle before its bytes were durable.
+  const VkvPendingOp p = env.pending;
+  env.pending.kind = VkvPendingOp::kNone;
+  if (p.kind != VkvPendingOp::kNone) {
+    std::string v;
+    const Status s = st.get(p.key, &v);
+    if (!s.ok() && s.code() != StatusCode::kNotFound) {
+      return "get of in-flight key failed: " + s.to_string();
+    }
+    const bool found = s.ok();
+    if (p.kind == VkvPendingOp::kPut) {
+      if (found) {
+        if (v == p.new_value) {
+          env.model[p.key] = p.new_value;
+        } else if (!(p.had_old && v == p.old_value)) {
+          return "torn in-flight put for key " + p.key;
+        }
+      } else if (p.had_old) {
+        return "in-flight put lost key " + p.key;
+      }
+    } else {  // kErase
+      if (found) {
+        if (!(p.had_old && v == p.old_value)) {
+          return "torn in-flight erase for key " + p.key;
+        }
+      } else if (p.had_old) {
+        env.model.erase(p.key);
+      }
+    }
+  }
+
+  if (st.size() != env.model.size()) {
+    return "size mismatch: store=" + std::to_string(st.size()) +
+           " model=" + std::to_string(env.model.size());
+  }
+  for (const auto& [k, v] : env.model) {
+    std::string got;
+    const Status s = st.get(k, &got);
+    if (!s.ok()) {
+      return "acknowledged key missing: " + k + " (" + s.to_string() + ")";
+    }
+    if (got != v) return "acknowledged value wrong or torn: " + k;
+  }
+  return "";
+}
+
 }  // namespace hdnh::crashtest

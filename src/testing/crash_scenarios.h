@@ -31,6 +31,7 @@
 #include "nvm/alloc.h"
 #include "nvm/fault.h"
 #include "nvm/pmem.h"
+#include "vkv/vkv_store.h"
 
 namespace hdnh::crashtest {
 
@@ -110,5 +111,63 @@ PointResult run_crash_point(const Scenario& s, uint64_t seed,
 // The durability oracle; returns "" on pass, else a description of the
 // violation. Folds env.pending into the model (old or new state accepted).
 std::string check_oracle(ScenarioEnv& env);
+
+// ---------------------------------------------------------------------------
+// Value-log (VkvStore) crash scenarios.
+//
+// Same sweep protocol as above, over the variable-length store: the swept
+// events are the value log's tagged durability points (kFaultVkvAppend /
+// kFaultVkvSeal / kFaultVkvGc, see nvm/fault.h). The oracle is the value
+// log's durability contract: acknowledged values are never lost or torn
+// (a record's bytes are durable before its handle is published), a torn
+// tail is detected by checksum and discarded on recovery, and a crash at
+// any point of a GC pass leaves every acknowledged key readable (relocation
+// republishes through the index's crash-atomic update before the victim is
+// retired).
+// ---------------------------------------------------------------------------
+
+// The single vkv operation that may be in flight at the crash.
+struct VkvPendingOp {
+  enum Kind { kNone, kPut, kErase };
+  Kind kind = kNone;
+  std::string key;
+  std::string old_value;  // acknowledged value before the op (if had_old)
+  std::string new_value;  // value a put was installing
+  bool had_old = false;
+};
+
+struct VkvScenarioEnv {
+  std::unique_ptr<nvm::PmemPool> pool;
+  std::unique_ptr<nvm::PmemAllocator> alloc;
+  std::unique_ptr<vkv::VkvStore> store;
+  std::map<std::string, std::string> model;  // acknowledged ops only
+  VkvPendingOp pending;
+  vkv::VkvStore::Options opts;
+
+  // Model-tracked operations (see ScenarioEnv::ins/upd/del).
+  bool put(const std::string& key, const std::string& value);
+  bool del(const std::string& key);
+
+  void crash_reattach();
+};
+
+struct VkvScenario {
+  const char* name;
+  const char* what;
+  uint32_t mask;  // FaultPlan mask (the kFaultVkv* taxonomy bits)
+  vkv::VkvStore::Options (*options)();
+  uint64_t pool_bytes;
+  void (*setup)(VkvScenarioEnv&, uint64_t seed);  // plan disarmed (may be null)
+  void (*ops)(VkvScenarioEnv&, uint64_t seed);    // swept stage
+};
+
+const std::vector<VkvScenario>& vkv_scenarios();
+const VkvScenario* find_vkv_scenario(const std::string& name);
+
+VkvScenarioEnv make_vkv_env(const VkvScenario& s, uint64_t seed);
+uint64_t probe_vkv_events(const VkvScenario& s, uint64_t seed);
+PointResult run_vkv_crash_point(const VkvScenario& s, uint64_t seed,
+                                uint64_t crash_at, uint64_t evict_lines);
+std::string check_vkv_oracle(VkvScenarioEnv& env);
 
 }  // namespace hdnh::crashtest

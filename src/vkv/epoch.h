@@ -1,0 +1,98 @@
+// Epoch-based reclamation for the value log's segment GC.
+//
+// Readers resolve a handle from the index and then dereference log bytes
+// with no lock; GC must therefore never hand a segment's space back to the
+// allocator while such a reader might still be inside it. The protocol is
+// the classic grace-period one:
+//
+//   reader:  Guard g = tracker.pin();      // BEFORE reading the index
+//            <read index, read log bytes>
+//            // guard drops on scope exit
+//
+//   gc:      <republish every live handle out of the victim segment>
+//            tracker.synchronize();        // wait out pinned readers
+//            <free the segment's block>
+//
+// A reader pinned before synchronize() started may still hold a stale
+// handle into the victim — synchronize() waits for it to unpin, and the
+// bytes stay mapped and intact until then. A reader that pins afterwards
+// re-reads the index and only sees relocated handles. Pool memory is never
+// unmapped, so the hazard is reuse-tearing, not a fault — which is exactly
+// what the grace period excludes.
+//
+// Slots are claimed by CAS with linear probing, so more threads than slots
+// degrade (probe longer) rather than break, and a thread id colliding after
+// wraparound cannot corrupt another thread's pin.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace hdnh::vkv {
+
+class EpochTracker {
+ public:
+  static constexpr uint32_t kSlots = 256;
+
+  class Guard {
+   public:
+    Guard(EpochTracker* t, uint32_t slot) : t_(t), slot_(slot) {}
+    ~Guard() {
+      if (t_) t_->slots_[slot_].e.store(0, std::memory_order_seq_cst);
+    }
+    Guard(Guard&& o) noexcept : t_(o.t_), slot_(o.slot_) { o.t_ = nullptr; }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    Guard& operator=(Guard&&) = delete;
+
+   private:
+    EpochTracker* t_;
+    uint32_t slot_;
+  };
+
+  // Pin the calling thread at the current epoch. Cheap (one CAS on an
+  // uncontended, thread-affine slot).
+  Guard pin() {
+    const uint64_t e = global_.load(std::memory_order_seq_cst);
+    uint32_t s = preferred_slot();
+    for (;;) {
+      uint64_t expected = 0;
+      if (slots_[s].e.compare_exchange_strong(expected, e,
+                                              std::memory_order_seq_cst)) {
+        return Guard(this, s);
+      }
+      s = (s + 1) & (kSlots - 1);
+    }
+  }
+
+  // Advance the global epoch and wait until every reader pinned before the
+  // advance has unpinned. Callers (GC) are expected to be rare and patient.
+  void synchronize() {
+    const uint64_t target = global_.fetch_add(1, std::memory_order_seq_cst) + 1;
+    for (uint32_t s = 0; s < kSlots; ++s) {
+      for (;;) {
+        const uint64_t v = slots_[s].e.load(std::memory_order_seq_cst);
+        if (v == 0 || v >= target) break;
+        std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> e{0};  // 0 = unpinned, else the pinned epoch
+  };
+
+  static uint32_t preferred_slot() {
+    static std::atomic<uint32_t> next{0};
+    thread_local uint32_t slot =
+        next.fetch_add(1, std::memory_order_relaxed) & (kSlots - 1);
+    return slot;
+  }
+
+  std::atomic<uint64_t> global_{1};  // pinned epochs are always nonzero
+  Slot slots_[kSlots];
+};
+
+}  // namespace hdnh::vkv

@@ -1,99 +1,447 @@
 #include "vkv/log_store.h"
 
+#include <algorithm>
 #include <cstring>
 #include <new>
 #include <stdexcept>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "nvm/fault.h"
+#include "nvm/pmem.h"
 
 namespace hdnh::vkv {
 
+thread_local bool LogStore::gc_thread_ = false;
+
+namespace {
+
+// The directory lives in pool memory and is read by lock-free readers
+// (handle->segment resolution) while the directory mutex serializes
+// writers; all cross-thread field accesses go through atomic_ref so the
+// races are ordered (and TSan-clean). Fields are naturally aligned inside
+// the packed structs, which atomic_ref requires.
+template <typename T>
+inline T aload(const T& field) {
+  return std::atomic_ref<T>(const_cast<T&>(field))
+      .load(std::memory_order_acquire);
+}
+template <typename T>
+inline void astore(T& field, T v) {
+  std::atomic_ref<T>(field).store(v, std::memory_order_release);
+}
+
+std::atomic<uint64_t> g_instance_gen{1};
+std::atomic<uint64_t> g_thread_tokens{1};
+
+}  // namespace
+
 LogStore::LogStore(nvm::PmemAllocator& alloc, uint64_t existing_super_off,
-                   uint64_t capacity_bytes)
+                   Options opts)
     : alloc_(alloc), pool_(alloc.pool()) {
+  instance_gen_.store(g_instance_gen.fetch_add(1, std::memory_order_relaxed),
+                      std::memory_order_relaxed);
   if (existing_super_off != 0) {
     super_ = pool_.to_ptr<Super>(existing_super_off);
     if (super_->magic != kMagic) {
       throw std::runtime_error("LogStore: offset is not a value log super");
     }
-    capacity_ = super_->capacity;
+    // Recovery: CRC-scan every segment. Previously-active segments are
+    // sealed at their last valid record — the dense-prefix property of
+    // single-writer segments means everything past the scan point is a
+    // torn tail (or never-written space), which is discarded here and can
+    // never be handed out again.
+    nvm::FaultScope scope(nvm::kFaultVkvSeal);
+    for (uint32_t i = 0; i < kMaxSegments; ++i) {
+      SegmentEntry& e = super_->seg[i];
+      const uint32_t state = aload(e.state);
+      if (state == kSegFree) continue;
+      const uint64_t limit =
+          state == kSegSealed ? std::min(e.sealed_tail, e.capacity)
+                              : e.capacity;
+      const uint64_t valid = scan_valid_prefix(e, limit, nullptr);
+      if (state == kSegActive || valid != e.sealed_tail) {
+        astore(e.sealed_tail, valid);
+        pool_.persist_fence(&e.sealed_tail, sizeof(e.sealed_tail));
+        astore(e.state, kSegSealed);
+        pool_.persist_fence(&e.state, sizeof(e.state));
+      }
+      seg_state_[i].vtail.store(valid, std::memory_order_relaxed);
+    }
     return;
   }
+
+  if (opts.segment_bytes < kMinSegmentBytes) {
+    opts.segment_bytes = kMinSegmentBytes;
+  }
   const uint64_t super_off = alloc_.alloc(sizeof(Super));
-  const uint64_t data = alloc_.alloc(capacity_bytes);
   super_ = pool_.to_ptr<Super>(super_off);
   std::memset(static_cast<void*>(super_), 0, sizeof(Super));
-  super_->data_off = data;
-  super_->capacity = capacity_bytes;
-  super_->tail.store(0, std::memory_order_relaxed);
+  super_->segment_bytes = opts.segment_bytes;
+  super_->max_total_bytes = opts.max_total_bytes;
   pool_.persist(super_, sizeof(Super));
   pool_.fence();
   super_->magic = kMagic;
   pool_.persist_fence(&super_->magic, sizeof(uint64_t));
-  capacity_ = capacity_bytes;
 }
 
-uint64_t LogStore::data_off() const { return super_->data_off; }
-
-void LogStore::retire() {
-  alloc_.free_block(super_->data_off, capacity_);
-  super_->magic = 0;
-  pool_.persist_fence(&super_->magic, sizeof(uint64_t));
-  alloc_.free_block(pool_.to_off(super_), sizeof(Super));
+uint32_t LogStore::record_seed(uint32_t salt, uint64_t seg_pos) const {
+  return static_cast<uint32_t>(
+      mix64((static_cast<uint64_t>(salt) << 32) | seg_pos));
 }
 
-Handle LogStore::append(std::string_view key, std::string_view value) {
-  if (key.size() > kMaxKey || value.size() > kMaxValue) {
-    throw std::invalid_argument("LogStore: record too large");
+uint32_t LogStore::next_salt(int idx) {
+  const uint32_t old = super_->seg[idx].salt;
+  uint32_t s = old * 2654435761u +
+               static_cast<uint32_t>(idx + 1) * 0x9E3779B9u +
+               salt_seq_.fetch_add(1, std::memory_order_relaxed);
+  return s == 0 ? 1u : s;
+}
+
+LogStore::Head& LogStore::my_head() {
+  // Per-thread cache of "my head slot in store generation G". Generations
+  // are process-unique, so a destroyed store's stale cache entries can
+  // never alias a new one.
+  thread_local std::unordered_map<uint64_t, uint32_t> cache;
+  const uint64_t gen = instance_gen_.load(std::memory_order_relaxed);
+  if (auto it = cache.find(gen); it != cache.end()) return heads_[it->second];
+
+  thread_local uint64_t token =
+      g_thread_tokens.fetch_add(1, std::memory_order_relaxed);
+  uint32_t s = static_cast<uint32_t>(token % kMaxHeads);
+  for (uint32_t probes = 0; probes < kMaxHeads; ++probes) {
+    uint64_t expected = 0;
+    if (heads_[s].owner.compare_exchange_strong(expected, token,
+                                                std::memory_order_acq_rel)) {
+      cache.emplace(gen, s);
+      return heads_[s];
+    }
+    s = (s + 1) % kMaxHeads;
   }
-  const uint64_t need = sizeof(RecordHeader) + key.size() + value.size();
-  // Reserve space with a CAS on the volatile-side of tail; durability of
-  // the advanced tail is ensured before the handle escapes.
-  uint64_t pos = super_->tail.load(std::memory_order_relaxed);
-  for (;;) {
-    if (pos + need > capacity_) throw std::bad_alloc();
-    if (super_->tail.compare_exchange_weak(pos, pos + need,
-                                           std::memory_order_relaxed)) {
-      break;
+  throw std::runtime_error("LogStore: more than kMaxHeads appending threads");
+}
+
+void LogStore::seal_locked(Head& head) {
+  if (head.seg < 0) return;
+  SegmentEntry& e = super_->seg[head.seg];
+  if (head.pos == 0) {
+    // Nothing was ever written here (a record bigger than the fresh
+    // segment forced an immediate jumbo switch): return it to the free
+    // pool instead of sealing an empty segment.
+    const uint64_t off = e.off;
+    const uint64_t cap = e.capacity;
+    astore(e.state, kSegFree);
+    pool_.persist_fence(&e.state, sizeof(e.state));
+    alloc_.free_block(off, cap);
+    head.seg = -1;
+    return;
+  }
+  // Tail first, state second — a crash in between leaves the segment
+  // active, and recovery re-derives the tail by scanning.
+  astore(e.sealed_tail, head.pos);
+  pool_.persist_fence(&e.sealed_tail, sizeof(e.sealed_tail));
+  astore(e.state, kSegSealed);
+  pool_.persist_fence(&e.state, sizeof(e.state));
+  head.seg = -1;
+}
+
+bool LogStore::acquire_segment(Head& head, uint64_t need) {
+  const uint64_t cap = std::max(super_->segment_bytes, need);
+  int free_idx = -1;
+  uint32_t free_count = 0;
+  uint64_t in_use = 0;
+  for (uint32_t i = 0; i < kMaxSegments; ++i) {
+    const SegmentEntry& e = super_->seg[i];
+    if (aload(e.state) == kSegFree) {
+      ++free_count;
+      if (free_idx < 0) free_idx = static_cast<int>(i);
+    } else {
+      in_use += e.capacity;
     }
   }
-
-  char* rec = pool_.to_ptr<char>(super_->data_off + pos);
-  RecordHeader hdr{static_cast<uint16_t>(key.size()),
-                   static_cast<uint32_t>(value.size())};
-  std::memcpy(rec, &hdr, sizeof(hdr));
-  std::memcpy(rec + sizeof(hdr), key.data(), key.size());
-  std::memcpy(rec + sizeof(hdr) + key.size(), value.data(), value.size());
-  pool_.on_write(rec, need);
-  pool_.persist(rec, need);
+  if (free_idx < 0) return false;
+  // GC headroom: normal appends stop kGcReservedSegments short of the
+  // directory/byte limit so relocation always has space to move live
+  // records into (GcScope appends may use it). Logs too small to spare the
+  // reserve — under four segments of budget — skip it.
+  if (!gc_thread_ && free_count <= kGcReservedSegments) return false;
+  uint64_t reserve = 0;
+  if (!gc_thread_ && super_->max_total_bytes != 0) {
+    reserve = uint64_t{kGcReservedSegments} * super_->segment_bytes;
+    if (super_->max_total_bytes < 2 * reserve) reserve = 0;
+  }
+  if (super_->max_total_bytes != 0 &&
+      in_use + cap + reserve > super_->max_total_bytes) {
+    return false;
+  }
+  uint64_t off;
+  try {
+    off = alloc_.alloc(cap);
+  } catch (const std::bad_alloc&) {
+    return false;
+  }
+  SegmentEntry& e = super_->seg[free_idx];
+  // Identity fields first, state last: a crash in between leaves the entry
+  // free (the block leaks, the allocator's documented crash-leak
+  // semantics) rather than active-with-garbage. Atomic stores, not plain:
+  // a reader that captured this entry's previous (pre-free) state may
+  // still be aload-ing the identity fields; it gets old or new bytes —
+  // either fails its bounds/CRC checks — but never a torn word.
+  astore(e.off, off);
+  astore(e.capacity, cap);
+  astore(e.sealed_tail, uint64_t{0});
+  astore(e.salt, next_salt(free_idx));
+  pool_.persist(&e, sizeof(e));
   pool_.fence();
-  // Persist the tail so a recovered log never re-hands-out these bytes.
-  pool_.persist_fence(&super_->tail, sizeof(uint64_t));
+  astore(e.state, kSegActive);
+  pool_.persist_fence(&e.state, sizeof(e.state));
 
-  Handle h;
-  h.off = super_->data_off + pos;
-  h.klen = hdr.klen;
-  h.vlen = hdr.vlen;
-  return h;
+  seg_state_[free_idx].vtail.store(0, std::memory_order_relaxed);
+  seg_state_[free_idx].dead.store(0, std::memory_order_relaxed);
+  head.seg = free_idx;
+  head.pos = 0;
+  head.end = cap;
+  return true;
+}
+
+Status LogStore::append(std::string_view key, std::string_view value,
+                        Handle* out) {
+  if (key.size() > kMaxKey || value.size() > kMaxValue) {
+    return Status::InvalidArgument("record exceeds value-log limits");
+  }
+  const uint64_t need = kRecordHeaderBytes + key.size() + value.size();
+  Head& head = my_head();
+  if (head.seg < 0 || head.pos + need > head.end) {
+    std::lock_guard<std::mutex> lock(dir_mu_);
+    nvm::FaultScope scope(nvm::kFaultVkvSeal);
+    seal_locked(head);
+    if (!acquire_segment(head, need)) {
+      return Status::LogFull("value log full");
+    }
+  }
+  const SegmentEntry& e = super_->seg[head.seg];
+  char* rec = pool_.to_ptr<char>(e.off + head.pos);
+  RecordHeader hdr{0, static_cast<uint16_t>(key.size()),
+                   static_cast<uint32_t>(value.size())};
+  uint32_t crc = crc32c(&hdr.klen, sizeof(hdr.klen) + sizeof(hdr.vlen),
+                        record_seed(aload(e.salt), head.pos));
+  crc = crc32c(key.data(), key.size(), crc);
+  crc = crc32c(value.data(), value.size(), crc);
+  if (crc == 0) crc = 1;  // 0 is reserved for "never written"
+  hdr.crc = crc;
+  {
+    // The entire hot-path durability cost: persisting the record's own
+    // bytes. No shared persistent metadata is touched.
+    nvm::FaultScope scope(nvm::kFaultVkvAppend);
+    std::memcpy(rec, &hdr, sizeof(hdr));
+    std::memcpy(rec + sizeof(hdr), key.data(), key.size());
+    std::memcpy(rec + sizeof(hdr) + key.size(), value.data(), value.size());
+    pool_.on_write(rec, need);
+    pool_.persist(rec, need);
+    pool_.fence();
+  }
+  out->off = e.off + head.pos;
+  out->klen = hdr.klen;
+  out->vlen = hdr.vlen;
+  head.pos += need;
+  seg_state_[head.seg].vtail.store(head.pos, std::memory_order_release);
+  return Status::Ok();
+}
+
+int LogStore::find_segment_of(uint64_t off) const {
+  for (uint32_t i = 0; i < kMaxSegments; ++i) {
+    const SegmentEntry& e = super_->seg[i];
+    if (aload(e.state) == kSegFree) continue;
+    const uint64_t base = aload(e.off);
+    if (off >= base && off < base + aload(e.capacity)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+bool LogStore::read(const Handle& h, std::string_view* key,
+                    std::string_view* value) const {
+  const int idx = find_segment_of(h.off);
+  if (idx < 0) return false;
+  const SegmentEntry& e = super_->seg[idx];
+  const uint64_t base = aload(e.off);
+  const uint64_t total = kRecordHeaderBytes + h.klen + h.vlen;
+  if (h.off - base + total > aload(e.capacity)) return false;
+  const char* rec = pool_.to_ptr<char>(h.off);
+  pool_.on_read(rec, total);
+  RecordHeader hdr;
+  std::memcpy(&hdr, rec, sizeof(hdr));
+  if (hdr.klen != h.klen || hdr.vlen != h.vlen) return false;
+  uint32_t crc =
+      crc32c(rec + sizeof(uint32_t), sizeof(hdr.klen) + sizeof(hdr.vlen) +
+                                         h.klen + h.vlen,
+             record_seed(aload(e.salt), h.off - base));
+  if (crc == 0) crc = 1;
+  if (crc != hdr.crc) return false;
+  *key = {rec + sizeof(RecordHeader), h.klen};
+  *value = {rec + sizeof(RecordHeader) + h.klen, h.vlen};
+  return true;
 }
 
 std::string_view LogStore::key_of(const Handle& h) const {
   const char* rec = pool_.to_ptr<char>(h.off);
-  pool_.on_read(rec, sizeof(RecordHeader) + h.klen);
+  pool_.on_read(rec, kRecordHeaderBytes + h.klen);
   return {rec + sizeof(RecordHeader), h.klen};
 }
 
 std::string_view LogStore::value_of(const Handle& h) const {
   const char* rec = pool_.to_ptr<char>(h.off);
-  pool_.on_read(rec, sizeof(RecordHeader) + h.klen + h.vlen);
+  pool_.on_read(rec, kRecordHeaderBytes + h.klen + h.vlen);
   return {rec + sizeof(RecordHeader) + h.klen, h.vlen};
 }
 
 void LogStore::note_dead(const Handle& h) {
-  dead_bytes_.fetch_add(sizeof(RecordHeader) + h.klen + h.vlen,
-                        std::memory_order_relaxed);
+  const int idx = find_segment_of(h.off);
+  if (idx < 0) return;
+  seg_state_[idx].dead.fetch_add(kRecordHeaderBytes + h.klen + h.vlen,
+                                 std::memory_order_relaxed);
 }
 
 uint64_t LogStore::used_bytes() const {
-  return super_->tail.load(std::memory_order_relaxed);
+  uint64_t used = 0;
+  for (uint32_t i = 0; i < kMaxSegments; ++i) {
+    const SegmentEntry& e = super_->seg[i];
+    const uint32_t state = aload(e.state);
+    if (state == kSegFree) continue;
+    used += state == kSegSealed
+                ? aload(e.sealed_tail)
+                : seg_state_[i].vtail.load(std::memory_order_relaxed);
+  }
+  return used;
+}
+
+uint64_t LogStore::dead_bytes() const {
+  uint64_t dead = 0;
+  for (uint32_t i = 0; i < kMaxSegments; ++i) {
+    if (aload(super_->seg[i].state) == kSegFree) continue;
+    dead += seg_state_[i].dead.load(std::memory_order_relaxed);
+  }
+  return dead;
+}
+
+uint64_t LogStore::capacity_bytes() const {
+  uint64_t cap = 0;
+  for (uint32_t i = 0; i < kMaxSegments; ++i) {
+    const SegmentEntry& e = super_->seg[i];
+    if (aload(e.state) != kSegFree) cap += aload(e.capacity);
+  }
+  return cap;
+}
+
+uint32_t LogStore::segments_in_use() const {
+  uint32_t n = 0;
+  for (uint32_t i = 0; i < kMaxSegments; ++i) {
+    if (aload(super_->seg[i].state) != kSegFree) ++n;
+  }
+  return n;
+}
+
+int LogStore::pick_victim(double min_dead_fraction) const {
+  std::lock_guard<std::mutex> lock(dir_mu_);
+  int best = -1;
+  double best_frac = min_dead_fraction;
+  for (uint32_t i = 0; i < kMaxSegments; ++i) {
+    const SegmentEntry& e = super_->seg[i];
+    if (aload(e.state) != kSegSealed) continue;
+    const uint64_t tail = aload(e.sealed_tail);
+    if (tail == 0) continue;
+    const uint64_t dead = seg_state_[i].dead.load(std::memory_order_relaxed);
+    if (dead == 0) continue;
+    const double frac = static_cast<double>(dead) / static_cast<double>(tail);
+    if (frac >= best_frac) {
+      best_frac = frac;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+uint64_t LogStore::scan_valid_prefix(
+    const SegmentEntry& e, uint64_t limit,
+    const std::function<void(const Handle&, std::string_view,
+                             std::string_view)>* fn) const {
+  const uint64_t base = aload(e.off);
+  const uint32_t salt = aload(e.salt);
+  uint64_t pos = 0;
+  while (pos + kRecordHeaderBytes <= limit) {
+    const char* rec = pool_.to_ptr<char>(base + pos);
+    pool_.on_read(rec, kRecordHeaderBytes);
+    RecordHeader hdr;
+    std::memcpy(&hdr, rec, sizeof(hdr));
+    if (hdr.crc == 0) break;
+    if (hdr.klen > kMaxKey || hdr.vlen > kMaxValue) break;
+    const uint64_t need = kRecordHeaderBytes + hdr.klen + hdr.vlen;
+    if (pos + need > limit) break;
+    pool_.on_read(rec + kRecordHeaderBytes, hdr.klen + hdr.vlen);
+    uint32_t crc = crc32c(rec + sizeof(uint32_t),
+                          sizeof(hdr.klen) + sizeof(hdr.vlen) + hdr.klen +
+                              hdr.vlen,
+                          record_seed(salt, pos));
+    if (crc == 0) crc = 1;
+    if (crc != hdr.crc) break;
+    if (fn) {
+      Handle h;
+      h.off = base + pos;
+      h.klen = hdr.klen;
+      h.vlen = hdr.vlen;
+      (*fn)(h, {rec + sizeof(RecordHeader), hdr.klen},
+            {rec + sizeof(RecordHeader) + hdr.klen, hdr.vlen});
+    }
+    pos += need;
+  }
+  return pos;
+}
+
+void LogStore::scan_segment(
+    int idx, const std::function<void(const Handle&, std::string_view,
+                                      std::string_view)>& fn) const {
+  const SegmentEntry& e = super_->seg[idx];
+  if (aload(e.state) != kSegSealed) return;
+  scan_valid_prefix(e, std::min(aload(e.sealed_tail), aload(e.capacity)),
+                    &fn);
+}
+
+void LogStore::for_each_record(
+    const std::function<void(const Handle&, std::string_view,
+                             std::string_view)>& fn) const {
+  for (uint32_t i = 0; i < kMaxSegments; ++i) {
+    const SegmentEntry& e = super_->seg[i];
+    const uint32_t state = aload(e.state);
+    if (state == kSegFree) continue;
+    const uint64_t limit =
+        state == kSegSealed
+            ? std::min(aload(e.sealed_tail), aload(e.capacity))
+            : seg_state_[i].vtail.load(std::memory_order_acquire);
+    scan_valid_prefix(e, limit, &fn);
+  }
+}
+
+uint64_t LogStore::free_segment(int idx) {
+  uint64_t off, cap, freed;
+  {
+    std::lock_guard<std::mutex> lock(dir_mu_);
+    SegmentEntry& e = super_->seg[idx];
+    if (aload(e.state) != kSegSealed) return 0;
+    off = aload(e.off);
+    cap = aload(e.capacity);
+    freed = aload(e.sealed_tail);
+    nvm::FaultScope scope(nvm::kFaultVkvGc);
+    astore(e.state, kSegFree);
+    pool_.persist_fence(&e.state, sizeof(e.state));
+  }
+  // Grace period: every reader that resolved a handle into this segment
+  // before the entry went free must unpin before the space is reusable.
+  epochs_.synchronize();
+  alloc_.free_block(off, cap);
+  seg_state_[idx].dead.store(0, std::memory_order_relaxed);
+  seg_state_[idx].vtail.store(0, std::memory_order_relaxed);
+  return freed;
 }
 
 }  // namespace hdnh::vkv

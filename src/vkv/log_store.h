@@ -1,21 +1,49 @@
-// A persistent append-only record log inside a PmemPool — the substrate
-// that lets HDNH (fixed 31-byte records) index variable-length key/value
-// data: the log holds the real bytes, the hash table holds 15-byte handles.
+// A persistent, segmented append-only record log inside a PmemPool — the
+// substrate that lets HDNH (fixed 31-byte records) index variable-length
+// key/value data: the log holds the real bytes, the hash table holds
+// 15-byte handles.
 //
-// Record layout (packed):   [u16 klen][u32 vlen][key bytes][value bytes]
-// A record is immutable once published. Appends are crash-consistent: the
-// record bytes are persisted before the caller publishes its handle in the
-// index, and the log's persisted tail is advanced before the handle is
-// returned — so a handle that exists anywhere durable always points at a
-// fully-persisted record, and a crash between append and publish merely
-// orphans bytes that compaction reclaims.
+// Layout. The log is a persisted directory of up to kMaxSegments segments,
+// each an independently allocated block. A directory entry carries the
+// segment's pool offset, capacity, state (free / active / sealed), the
+// sealed tail, and a per-activation salt. Records are packed
+//
+//   [u32 crc][u16 klen][u32 vlen][key bytes][value bytes]
+//
+// where crc is CRC-32C over everything after it, seeded with the segment's
+// salt mixed with the record's in-segment offset — so a stale record left
+// over from a recycled segment, or bytes sheared by a torn write, can never
+// verify. Records are immutable once published.
+//
+// Hot path. Every appending thread owns one active segment exclusively and
+// bump-allocates inside it thread-locally: an append writes and persists
+// only the record's own bytes, touching no shared persistent metadata (the
+// Dash lesson — shared PM cachelines on the hot path serialize everything
+// behind them). Shared persistent state changes only at segment-granular
+// events: sealing a full segment, activating a fresh one, retiring a dead
+// one — all rare, all under a directory mutex, all tagged kFaultVkvSeal /
+// kFaultVkvGc for the crash sweeps.
+//
+// Crash consistency. A record's bytes are persisted and fenced before its
+// handle escapes append(); owners publish handles through the index's
+// crash-atomic update afterwards. A crash mid-append leaves a torn record
+// past the last acknowledged one; because each segment has a single writer,
+// records within a segment form a dense prefix, so recovery scans each
+// segment from the start, CRC-verifying every record, and seals the segment
+// at the first invalid byte — the torn tail is detected and discarded,
+// never replayed. Handles held by a recovered index always point below that
+// scan point.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <mutex>
 #include <string_view>
 
+#include "api/types.h"
 #include "nvm/alloc.h"
+#include "vkv/epoch.h"
 
 namespace hdnh::vkv {
 
@@ -31,63 +59,174 @@ class LogStore {
  public:
   static constexpr uint64_t kMaxKey = 64 * 1024;
   static constexpr uint64_t kMaxValue = 16 * 1024 * 1024;
+  static constexpr uint32_t kMaxSegments = 64;
+  static constexpr uint64_t kMinSegmentBytes = 4 * 1024;
+  static constexpr uint32_t kMaxHeads = 256;
+  // Segments of headroom normal appends must leave unprovisioned so GC can
+  // relocate live records out of a victim even when the log is otherwise
+  // full. Without the reserve a full directory jams: GC needs append space
+  // to free anything, and appends need GC to free space.
+  static constexpr uint32_t kGcReservedSegments = 2;
 
-  // Creates a fresh log of `capacity_bytes`, or — when `existing_super_off`
-  // is non-zero — attaches to one created earlier. Owners (VkvStore) keep
-  // the returned super_off() in a root slot of their choosing; keeping it
-  // out of this class lets compaction build a replacement log before
-  // atomically publishing it.
+  // Appends made while a GcScope is alive on the calling thread may consume
+  // the reserved headroom (VkvStore::gc wraps relocation in one).
+  class GcScope {
+   public:
+    GcScope() : prev_(gc_thread_) { gc_thread_ = true; }
+    ~GcScope() { gc_thread_ = prev_; }
+    GcScope(const GcScope&) = delete;
+    GcScope& operator=(const GcScope&) = delete;
+
+   private:
+    bool prev_;
+  };
+
+  struct Options {
+    // Per-segment capacity. Records larger than this get a dedicated
+    // "jumbo" segment sized to fit.
+    uint64_t segment_bytes = 8ull << 20;
+    // Cap on the sum of segment capacities (0 = directory/allocator
+    // limited). Appends return kLogFull beyond it.
+    uint64_t max_total_bytes = 0;
+  };
+
+  // Creates a fresh log, or — when `existing_super_off` is non-zero —
+  // attaches to one created earlier, scanning every segment to verify
+  // record checksums and seal previously-active segments at their last
+  // valid record (torn tails are discarded here). Owners (VkvStore) keep
+  // the returned super_off() in a root slot of their choosing.
+  LogStore(nvm::PmemAllocator& alloc, uint64_t existing_super_off)
+      : LogStore(alloc, existing_super_off, Options()) {}
   LogStore(nvm::PmemAllocator& alloc, uint64_t existing_super_off,
-           uint64_t capacity_bytes);
+           Options opts);
 
-  // Pool offset of this log's superblock (stable across re-attach).
+  // Pool offset of this log's directory superblock (stable across
+  // re-attach).
   uint64_t super_off() const { return pool_.to_off(super_); }
-  uint64_t data_off() const;
 
-  // Release the log's pool space back to the allocator (after compaction
-  // has migrated every live record elsewhere).
-  void retire();
+  // Append a record. On success fills *out with the handle after the
+  // record's bytes are durable. Returns kInvalidArgument for oversize
+  // records and kLogFull when no segment can be provisioned (directory
+  // full, byte budget reached, or pool exhausted) — never throws for
+  // capacity. Safe to call from any number of threads.
+  Status append(std::string_view key, std::string_view value, Handle* out);
 
-  // Append a record; returns its handle after the bytes and the log tail
-  // are durable. Throws std::bad_alloc when the log segment is full
-  // (callers run compact() or provision a bigger log).
-  Handle append(std::string_view key, std::string_view value);
+  // CRC-verified read of a record: fills *key / *value (views into the
+  // pool) after recomputing the record checksum. Returns false if the
+  // checksum does not match (never true for torn or recycled bytes).
+  // Callers needing GC-safety must hold an epochs() guard across the call
+  // and the use of the views.
+  bool read(const Handle& h, std::string_view* key,
+            std::string_view* value) const;
 
-  // Read back a record's key / value. The handle must come from append()
-  // on this log (or a recovered index). Reads are charged as NVM traffic.
+  // Unverified views (hot paths that already trust the handle, e.g. a key
+  // compare under the owner's stripe lock).
   std::string_view key_of(const Handle& h) const;
   std::string_view value_of(const Handle& h) const;
 
-  // Accounting for compaction decisions.
+  // Accounting for GC decisions.
   void note_dead(const Handle& h);  // a record became unreachable
   uint64_t used_bytes() const;
-  uint64_t dead_bytes() const { return dead_bytes_.load(std::memory_order_relaxed); }
-  uint64_t capacity_bytes() const { return capacity_; }
+  uint64_t dead_bytes() const;
+  uint64_t capacity_bytes() const;  // sum of live segment capacities
 
-  // Begin-from-zero reset used by compaction (caller rewrites live records
-  // into a fresh log and swaps).
+  // GC surface. pick_victim() returns the sealed segment with the highest
+  // dead fraction (at least `min_dead_fraction` of its sealed bytes), or
+  // -1. scan_segment() walks a segment's valid records in order.
+  // free_segment() retires a fully-relocated segment: persists the
+  // directory entry free, waits out pinned readers (epochs().synchronize())
+  // and releases the block to the allocator; returns the sealed bytes
+  // reclaimed.
+  int pick_victim(double min_dead_fraction = 0.25) const;
+  void scan_segment(int idx,
+                    const std::function<void(const Handle&, std::string_view,
+                                             std::string_view)>& fn) const;
+  uint64_t free_segment(int idx);
+
+  // Walk every valid record in every segment (recovery accounting).
+  void for_each_record(
+      const std::function<void(const Handle&, std::string_view,
+                               std::string_view)>& fn) const;
+
+  // Reader reclamation domain (see epoch.h).
+  EpochTracker& epochs() { return epochs_; }
+
+  uint32_t segments_in_use() const;
+
   nvm::PmemAllocator& allocator() { return alloc_; }
 
  private:
 #pragma pack(push, 1)
   struct RecordHeader {
+    uint32_t crc;
     uint16_t klen;
     uint32_t vlen;
   };
+  struct SegmentEntry {   // 32 bytes; entries are cacheline-contained
+    uint64_t off;         // pool offset of the segment's data block
+    uint64_t capacity;
+    uint64_t sealed_tail; // valid when state == kSealed
+    uint32_t salt;        // CRC seed component; changes on (re)activation
+    uint32_t state;       // kSegFree / kSegActive / kSegSealed
+  };
   struct Super {
     uint64_t magic;
-    uint64_t data_off;
-    uint64_t capacity;
-    std::atomic<uint64_t> tail;  // persisted high-water mark
+    uint64_t segment_bytes;
+    uint64_t max_total_bytes;
+    uint64_t reserved;
+    SegmentEntry seg[kMaxSegments];
   };
 #pragma pack(pop)
+  static_assert(sizeof(SegmentEntry) == 32);
   static constexpr uint64_t kMagic = 0x48444E485F4C4F47ULL;  // "HDNH_LOG"
+  static constexpr uint32_t kSegFree = 0;
+  static constexpr uint32_t kSegActive = 1;
+  static constexpr uint32_t kSegSealed = 2;
+  static constexpr uint64_t kRecordHeaderBytes = sizeof(RecordHeader);
+
+  // Volatile per-segment state.
+  struct SegState {
+    std::atomic<uint64_t> vtail{0};  // owner's bump point (active segments)
+    std::atomic<uint64_t> dead{0};   // dead record bytes
+  };
+
+  // Per-thread append head: the segment this thread owns and its bump
+  // cursor. Claimed by CAS so thread-id collisions probe instead of race.
+  struct alignas(64) Head {
+    std::atomic<uint64_t> owner{0};  // 0 = unclaimed, else thread token
+    int32_t seg = -1;
+    uint64_t pos = 0;  // in-segment offset of the next record
+    uint64_t end = 0;  // segment capacity
+  };
+
+  Head& my_head();
+  uint32_t record_seed(uint32_t salt, uint64_t seg_pos) const;
+  // Seals `head.seg` at head.pos (persisted); no-op for -1.
+  void seal_locked(Head& head);
+  // Finds/activates a segment with >= need free bytes for `head`. Returns
+  // false when the log cannot grow (kLogFull).
+  bool acquire_segment(Head& head, uint64_t need);
+  // Scans one segment's records up to `limit`, returning the offset of the
+  // first invalid byte (== valid prefix length).
+  uint64_t scan_valid_prefix(const SegmentEntry& e, uint64_t limit,
+                             const std::function<void(const Handle&,
+                                                      std::string_view,
+                                                      std::string_view)>* fn)
+      const;
+  int find_segment_of(uint64_t off) const;
+  uint32_t next_salt(int idx);
+
+  static thread_local bool gc_thread_;
 
   nvm::PmemAllocator& alloc_;
   nvm::PmemPool& pool_;
   Super* super_ = nullptr;
-  uint64_t capacity_ = 0;
-  std::atomic<uint64_t> dead_bytes_{0};
+  mutable std::mutex dir_mu_;  // segment state transitions + victim scan
+  SegState seg_state_[kMaxSegments];
+  Head heads_[kMaxHeads];
+  std::atomic<uint64_t> instance_gen_;
+  std::atomic<uint32_t> salt_seq_{1};
+  EpochTracker epochs_;
 };
 
 }  // namespace hdnh::vkv

@@ -1,19 +1,63 @@
 #include "vkv/vkv_store.h"
 
+#include <algorithm>
 #include <cstring>
+#include <span>
 #include <vector>
+
+#include "nvm/fault.h"
+#include "nvm/sharded_layout.h"
+#include "store/sharded_table.h"
 
 namespace hdnh::vkv {
 
 VkvStore::VkvStore(nvm::PmemAllocator& alloc, Options opts)
     : alloc_(alloc), opts_(opts) {
   HdnhConfig cfg = opts_.index;
-  cfg.initial_capacity = opts_.expected_records;
-  index_ = std::make_unique<Hdnh>(alloc_, cfg);  // attaches + recovers
+  uint32_t shards = opts_.shards;
+  // A pool that already holds a shard map stays sharded (same rule as the
+  // table factory): re-opening with the wrong shard count must not format
+  // a second, overlapping index.
+  if (shards <= 1 && nvm::ShardedPmemLayout::present(alloc_)) shards = 2;
+  if (shards > 1) {
+    const uint64_t per_shard_items =
+        std::max<uint64_t>(opts_.expected_records / shards, 64);
+    cfg.initial_capacity = per_shard_items;
+    // Explicit per-shard bytes: the default carve would hand the ENTIRE
+    // remaining pool to the index regions, leaving the value log nothing
+    // to allocate segments from.
+    const uint64_t per_shard_bytes =
+        Hdnh::pool_bytes_hint(per_shard_items + per_shard_items / 4, cfg);
+    auto layout = std::make_unique<nvm::ShardedPmemLayout>(alloc_, shards,
+                                                           per_shard_bytes);
+    const uint32_t actual = layout->shards();
+    std::vector<std::unique_ptr<HashTable>> tables;
+    tables.reserve(actual);
+    for (uint32_t s = 0; s < actual; ++s) {
+      tables.push_back(std::make_unique<Hdnh>(layout->shard_alloc(s), cfg));
+    }
+    std::string name =
+        std::string(tables[0]->name()) + "@" + std::to_string(actual);
+    index_ = std::make_unique<store::ShardedTable>(
+        std::move(layout), std::move(tables), std::move(name));
+  } else {
+    cfg.initial_capacity = std::max<uint64_t>(opts_.expected_records, 64);
+    index_ = std::make_unique<Hdnh>(alloc_, cfg);  // attaches + recovers
+  }
+  name_ = std::string("vkv(") + index_->name() + ")";
+
+  LogStore::Options lopts;
+  lopts.segment_bytes =
+      opts_.segment_bytes
+          ? opts_.segment_bytes
+          : std::clamp<uint64_t>(opts_.log_bytes / 16, 64 * 1024, 8ull << 20);
+  lopts.max_total_bytes = opts_.log_bytes;
   const uint64_t existing = alloc_.root(kLogRoot);
-  log_ = std::make_unique<LogStore>(alloc_, existing, opts_.log_bytes);
+  log_ = std::make_unique<LogStore>(alloc_, existing, lopts);
   if (existing == 0) {
     alloc_.set_root(kLogRoot, log_->super_off(), 0);
+  } else {
+    rebuild_dead_accounting();
   }
 }
 
@@ -26,16 +70,31 @@ Key VkvStore::digest(std::string_view key) {
   return k;
 }
 
-Value VkvStore::encode(const Handle& h) {
-  // 15 bytes: off(8) + vlen(4) + klen(2) + 1 spare.
+Value VkvStore::encode_inline(std::string_view value) {
+  // Tag byte 0..14 = inline length; handles set bit 7 instead (their tag is
+  // 0x80, and inline lengths never reach it).
+  Value v{};
+  std::memcpy(v.b, value.data(), value.size());
+  v.b[kValueBytes - 1] = static_cast<uint8_t>(value.size());
+  return v;
+}
+
+std::string VkvStore::decode_inline(const Value& v) {
+  const size_t len = std::min<size_t>(v.b[kValueBytes - 1], kInlineMax);
+  return std::string(reinterpret_cast<const char*>(v.b), len);
+}
+
+Value VkvStore::encode_handle(const Handle& h) {
+  // 15 bytes: off(8) + vlen(4) + klen(2) + tag.
   Value v{};
   std::memcpy(v.b, &h.off, 8);
   std::memcpy(v.b + 8, &h.vlen, 4);
   std::memcpy(v.b + 12, &h.klen, 2);
+  v.b[kValueBytes - 1] = 0x80;
   return v;
 }
 
-Handle VkvStore::decode(const Value& v) {
+Handle VkvStore::decode_handle(const Value& v) {
   Handle h;
   std::memcpy(&h.off, v.b, 8);
   std::memcpy(&h.vlen, v.b + 8, 4);
@@ -43,84 +102,253 @@ Handle VkvStore::decode(const Value& v) {
   return h;
 }
 
-bool VkvStore::put(std::string_view key, std::string_view value) {
-  const Key dk = digest(key);
-  // Fetch the old handle (if any) so its bytes can be marked dead.
+std::mutex& VkvStore::stripe(const Key& dk) {
+  uint64_t a;
+  std::memcpy(&a, dk.b, 8);
+  return stripes_[a % stripes_.size()];
+}
+
+Status VkvStore::put_once(const Key& dk, std::string_view key,
+                          std::string_view value, bool upsert) {
+  std::lock_guard<std::mutex> lock(stripe(dk));
   Value old_v;
-  const bool existed = index_->search(dk, &old_v);
+  const Status found = index_->search_s(dk, &old_v);
+  if (!found.ok() && found.code() != StatusCode::kNotFound) return found;
+  const bool existed = found.ok();
+  if (existed && !upsert) return Status::Exists();
 
-  const Handle h = log_->append(key, value);  // durable before publication
-  const Value encoded = encode(h);
-  if (existed) {
-    index_->update(dk, encoded);
-    log_->note_dead(decode(old_v));
-    return false;
+  Value nv;
+  Handle nh{};
+  if (value.size() <= kInlineMax) {
+    nv = encode_inline(value);
+  } else {
+    const Status as = log_->append(key, value, &nh);
+    if (!as.ok()) return as;
+    nv = encode_handle(nh);
   }
-  if (!index_->insert(dk, encoded)) {
-    // Raced with a concurrent put of the same new key: fall back to update.
-    Value racer;
-    if (index_->search(dk, &racer)) {
-      index_->update(dk, encoded);
-      log_->note_dead(decode(racer));
-    }
-    return false;
+  const Status ps =
+      existed ? index_->update_s(dk, nv) : index_->insert_s(dk, nv);
+  if (!ps.ok()) {
+    // Index rejection (e.g. kTableFull) orphans the freshly appended
+    // record; account it dead so GC can reclaim it.
+    if (nh.valid()) log_->note_dead(nh);
+    return ps;
   }
-  return true;
+  if (existed && !is_inline(old_v)) log_->note_dead(decode_handle(old_v));
+  return Status::Ok();
 }
 
-bool VkvStore::get(std::string_view key, std::string* out) {
-  Value v;
-  if (!index_->search(digest(key), &v)) return false;
-  const Handle h = decode(v);
-  // Verify the full key bytes: digests collide only astronomically rarely,
-  // but correctness should not rest on probability.
-  if (log_->key_of(h) != key) return false;
-  if (out) out->assign(log_->value_of(h));
-  return true;
+Status VkvStore::put(std::string_view key, std::string_view value) {
+  if (key.size() > max_key_len()) {
+    return Status::InvalidArgument(
+        "key too long (max " + std::to_string(max_key_len()) + " bytes)");
+  }
+  if (value.size() > max_value_len()) {
+    return Status::InvalidArgument(
+        "value too long (max " + std::to_string(max_value_len()) + " bytes)");
+  }
+  return put_with_gc(digest(key), key, value, /*upsert=*/true);
 }
 
-bool VkvStore::erase(std::string_view key) {
+Status VkvStore::insert(std::string_view key, std::string_view value) {
+  if (key.size() > max_key_len()) {
+    return Status::InvalidArgument(
+        "key too long (max " + std::to_string(max_key_len()) + " bytes)");
+  }
+  if (value.size() > max_value_len()) {
+    return Status::InvalidArgument(
+        "value too long (max " + std::to_string(max_value_len()) + " bytes)");
+  }
+  return put_with_gc(digest(key), key, value, /*upsert=*/false);
+}
+
+Status VkvStore::put_with_gc(const Key& dk, std::string_view key,
+                             std::string_view value, bool upsert) {
+  Status s = put_once(dk, key, value, upsert);
+  if (!opts_.auto_gc) return s;
+  // A full log triggers GC and a retry. Deliberately NOT conditioned on our
+  // own pass reclaiming bytes: a thread that waited on gc_mu_ behind
+  // another thread's pass reclaims nothing itself but usually has space
+  // now, and bounded rounds keep a genuinely full log from looping.
+  for (int round = 0; round < 3 && s.code() == StatusCode::kLogFull; ++round) {
+    (void)gc(LogStore::kMaxSegments, 0.0);
+    s = put_once(dk, key, value, upsert);
+  }
+  return s;
+}
+
+Status VkvStore::get(std::string_view key, std::string* out) {
+  if (key.size() > max_key_len()) return Status::NotFound();
   const Key dk = digest(key);
+  // The epoch pin is taken BEFORE the index read, so any segment the
+  // returned handle points into stays resident (free_segment waits for our
+  // pin). A failed CRC read therefore means exactly one thing: GC
+  // republished the key between our index read and our log read.
+  // Re-pinning and re-reading the index observes the relocated handle.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    auto guard = log_->epochs().pin();
+    Value v;
+    const Status s = index_->search_s(dk, &v);
+    if (!s.ok()) return s;
+    if (is_inline(v)) {
+      if (out) *out = decode_inline(v);
+      return Status::Ok();
+    }
+    const Handle h = decode_handle(v);
+    std::string_view rk, rv;
+    if (log_->read(h, &rk, &rv)) {
+      // Full key bytes are stored with the record: digest collisions
+      // (~2^-128 per pair) cannot return a wrong value.
+      if (rk != key) return Status::NotFound();
+      if (out) out->assign(rv);
+      return Status::Ok();
+    }
+  }
+  return Status::Retry("value relocated repeatedly during read");
+}
+
+Status VkvStore::erase(std::string_view key) {
+  if (key.size() > max_key_len()) return Status::NotFound();
+  const Key dk = digest(key);
+  std::lock_guard<std::mutex> lock(stripe(dk));
   Value v;
-  if (!index_->search(dk, &v)) return false;
-  if (log_->key_of(decode(v)) != key) return false;
-  if (!index_->erase(dk)) return false;
-  log_->note_dead(decode(v));
-  return true;
+  const Status s = index_->search_s(dk, &v);
+  if (!s.ok()) return s;
+  if (!is_inline(v)) {
+    // The stripe lock makes this safe without an epoch pin: GC must
+    // relocate every live record (including this one) before it can retire
+    // the segment, and relocating this key takes this stripe.
+    const Handle h = decode_handle(v);
+    if (log_->key_of(h) != key) return Status::NotFound();
+  }
+  const Status es = index_->erase_s(dk);
+  if (es.ok() && !is_inline(v)) log_->note_dead(decode_handle(v));
+  return es;
+}
+
+size_t VkvStore::multiget(const std::string_view* keys, size_t n,
+                          std::string* values, uint8_t* found) {
+  thread_local std::vector<Key> dks;
+  thread_local std::vector<Value> vals;
+  thread_local std::vector<uint8_t> f8;
+  dks.resize(n);
+  vals.resize(n);
+  f8.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) dks[i] = digest(keys[i]);
+
+  auto guard = log_->epochs().pin();
+  hdnh::multiget(*index_, std::span<const Key>(dks.data(), n),
+                 std::span<Value>(vals.data(), n),
+                 std::span<uint8_t>(f8.data(), n));
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    found[i] = 0;
+    if (!f8[i]) continue;
+    if (is_inline(vals[i])) {
+      values[i] = decode_inline(vals[i]);
+      found[i] = 1;
+      ++hits;
+      continue;
+    }
+    const Handle h = decode_handle(vals[i]);
+    std::string_view rk, rv;
+    if (log_->read(h, &rk, &rv)) {
+      if (rk != keys[i]) continue;  // digest collision: miss
+      values[i].assign(rv);
+      found[i] = 1;
+      ++hits;
+    } else if (get(keys[i], &values[i]).ok()) {
+      // GC moved the record after the batched index read; the point get
+      // retries with a fresh pin.
+      found[i] = 1;
+      ++hits;
+    }
+  }
+  return hits;
 }
 
 double VkvStore::log_utilization() const {
   const uint64_t used = log_->used_bytes();
   if (used == 0) return 1.0;
-  return 1.0 - static_cast<double>(log_->dead_bytes()) /
-                   static_cast<double>(used);
+  return 1.0 -
+         static_cast<double>(log_->dead_bytes()) / static_cast<double>(used);
+}
+
+uint64_t VkvStore::gc(uint32_t max_segments, double min_dead_fraction) {
+  std::lock_guard<std::mutex> gl(gc_mu_);
+  uint64_t reclaimed = 0;
+  for (uint32_t round = 0; round < max_segments; ++round) {
+    const int victim = log_->pick_victim(min_dead_fraction);
+    if (victim < 0) break;
+    nvm::FaultScope scope(nvm::kFaultVkvGc);
+    LogStore::GcScope gc_scope;  // relocation may use the reserved headroom
+    bool aborted = false;
+    log_->scan_segment(
+        victim, [&](const Handle& h, std::string_view k, std::string_view v) {
+          if (aborted) return;
+          const Key dk = digest(k);
+          // Per-record stripe lock: the read-check-republish below is
+          // atomic against a racing put/erase of the same key.
+          std::lock_guard<std::mutex> lock(stripe(dk));
+          Value cur;
+          if (!index_->search_s(dk, &cur).ok()) return;  // dead record
+          if (is_inline(cur)) return;                    // superseded
+          if (decode_handle(cur).off != h.off) return;   // superseded
+          Handle nh;
+          if (!log_->append(k, v, &nh).ok() ||
+              !index_->update_s(dk, encode_handle(nh)).ok()) {
+            // Cannot relocate (log/table full): leave the victim sealed —
+            // every index entry still points at valid bytes.
+            aborted = true;
+          }
+        });
+    if (aborted) break;
+    reclaimed += log_->free_segment(victim);
+  }
+  return reclaimed;
 }
 
 uint64_t VkvStore::compact() {
-  const uint64_t before = log_->used_bytes();
-  auto fresh = std::make_unique<LogStore>(alloc_, 0, opts_.log_bytes);
-
-  // Snapshot the live entries first (for_each holds the index's shared
-  // lock; updating from inside the visitor would re-enter it), then migrate
-  // each record and rewrite its handle through the index's crash-atomic
-  // update. A crash mid-compaction leaves a fully usable store whose
-  // entries point at a mix of old and new logs (both retained until the
-  // root swap below).
-  std::vector<KVPair> live;
-  live.reserve(index_->size());
-  index_->for_each([&](const KVPair& kv) { live.push_back(kv); });
-  for (const KVPair& kv : live) {
-    const Handle old = decode(kv.value);
-    const Handle moved =
-        fresh->append(log_->key_of(old), log_->value_of(old));
-    index_->update(kv.key, encode(moved));
+  uint64_t total = 0;
+  for (;;) {
+    const uint64_t got = gc(LogStore::kMaxSegments, 0.0);
+    if (got == 0) break;
+    total += got;
   }
+  return total;
+}
 
-  // Publish the new log, then retire the old one.
-  alloc_.set_root(kLogRoot, fresh->super_off(), 0);
-  log_->retire();
-  log_ = std::move(fresh);
-  return before - log_->used_bytes();
+bool VkvStore::check_index_integrity() {
+  if (auto* h = dynamic_cast<Hdnh*>(index_.get())) {
+    return h->check_integrity().ok();
+  }
+  if (auto* s = dynamic_cast<store::ShardedTable*>(index_.get())) {
+    return s->check_integrity().ok();
+  }
+  return true;
+}
+
+void VkvStore::abandon_after_crash() {
+  if (auto* h = dynamic_cast<Hdnh*>(index_.get())) {
+    h->abandon_after_crash();
+  } else if (auto* s = dynamic_cast<store::ShardedTable*>(index_.get())) {
+    s->abandon_after_crash();
+  }
+}
+
+void VkvStore::rebuild_dead_accounting() {
+  // The dead-byte counters are volatile; after re-attach, re-derive them by
+  // walking every valid record and asking the index whether it still points
+  // here. Unreferenced records (overwritten, erased, or orphaned by a crash
+  // between append and index publish) are dead.
+  log_->for_each_record(
+      [&](const Handle& h, std::string_view k, std::string_view) {
+        Value cur;
+        if (!index_->search_s(digest(k), &cur).ok() || is_inline(cur) ||
+            decode_handle(cur).off != h.off) {
+          log_->note_dead(h);
+        }
+      });
 }
 
 }  // namespace hdnh::vkv

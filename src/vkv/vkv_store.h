@@ -1,80 +1,134 @@
 // VkvStore — variable-length key/value storage on top of HDNH.
 //
 // The paper evaluates fixed 16 B keys / 15 B values; real key-value stores
-// need arbitrary sizes. VkvStore composes the two pieces this repository
-// already has:
-//   * a LogStore holds the real bytes (append-only, crash-consistent);
-//   * an Hdnh table indexes a 16-byte key digest -> 15-byte record handle.
-// Gets verify the stored key bytes against the request, so digest
-// collisions (~2^-128 per pair anyway) cannot return a wrong value.
+// need arbitrary sizes. VkvStore composes the pieces this repository
+// already has behind the KvStore surface of API v2:
+//   * a segmented LogStore holds the real bytes (append-only, per-record
+//     CRC, crash-consistent — see log_store.h);
+//   * an HDNH table (or a ShardedTable of them, Options::shards) indexes a
+//     16-byte key digest -> 15-byte entry.
+// Small values (<= 14 bytes) are inlined in the fixed record itself — the
+// paper's exact read path, no log access at all. Larger values live in the
+// log; the index entry's tag byte distinguishes the two encodings.
 //
 // Crash consistency is inherited: a record is appended and persisted
-// BEFORE its handle is published through HDNH's crash-atomic insert/update,
-// so recovery (re-attaching both structures) always sees index entries that
-// point at complete records; a crash in between only orphans log bytes,
-// which compact() reclaims.
+// BEFORE its handle is published through the index's crash-atomic
+// insert/update, so recovery (re-attaching both structures) always sees
+// index entries that point at complete, checksum-valid records; a crash in
+// between only orphans log bytes, which GC reclaims.
 //
-// compact() requires quiescence (no concurrent operations); everything
-// else is as thread-safe as the underlying Hdnh.
+// Concurrency. Point reads are lock-free: pin an epoch, read the index,
+// CRC-verify the record. Mutations (put/insert/erase) and GC relocation
+// serialize per key digest on a striped volatile lock, which is what makes
+// GC's read-check-republish atomic against a racing overwrite. GC itself
+// is concurrent with everything: it picks the sealed segment with the most
+// dead bytes, relocates the still-live records through the index's
+// crash-atomic update, and retires the segment under epoch-based
+// reclamation (log_store.h) so in-flight readers never observe freed
+// space. No quiescence anywhere.
 #pragma once
 
+#include <array>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 
+#include "api/kv_store.h"
 #include "hdnh/hdnh.h"
 #include "vkv/log_store.h"
 
 namespace hdnh::vkv {
 
-class VkvStore {
+class VkvStore final : public KvStore {
  public:
   struct Options {
-    // Expected live records (sizes the HDNH index).
+    // Expected live records (sizes the index).
     uint64_t expected_records = 1 << 16;
-    // Value-log segment size.
+    // Cap on total value-log bytes (segments are carved from this).
     uint64_t log_bytes = 64ull << 20;
+    // Per-segment capacity; 0 derives a sensible split of log_bytes.
+    uint64_t segment_bytes = 0;
+    // > 1: shard the index (ShardedTable over per-shard HDNH instances in
+    // their own allocator regions). The log stays shared — appends are
+    // already per-thread.
+    uint32_t shards = 1;
+    // A put that hits kLogFull runs one GC pass and retries before giving
+    // the status to the caller.
+    bool auto_gc = true;
     HdnhConfig index;
   };
 
-  // Root slot (in the allocator's directory) holding the current log.
+  // Root slot (in the allocator's directory) holding the log directory.
   static constexpr int kLogRoot = 3;
+  // Values up to this many bytes are stored inline in the index record.
+  static constexpr size_t kInlineMax = kValueBytes - 1;  // 14
 
-  // Creates a fresh store or re-attaches (running HDNH recovery) when the
-  // pool already holds one.
+  // Creates a fresh store or re-attaches (running index recovery and the
+  // log's checksum scan) when the pool already holds one.
   explicit VkvStore(nvm::PmemAllocator& alloc) : VkvStore(alloc, Options()) {}
   VkvStore(nvm::PmemAllocator& alloc, Options opts);
 
-  // Upsert. Returns true if the key was new. Throws std::bad_alloc when
-  // the value log is full (compact() or provision a larger log).
-  bool put(std::string_view key, std::string_view value);
-
-  // Point lookup; fills *out on hit.
-  bool get(std::string_view key, std::string* out);
-
-  bool erase(std::string_view key);
-
-  uint64_t size() const { return index_->size(); }
+  // ---- KvStore surface ----
+  const char* name() const override { return name_.c_str(); }
+  uint64_t size() const override { return index_->size(); }
+  double load_factor() const override { return index_->load_factor(); }
+  size_t max_key_len() const override { return LogStore::kMaxKey; }
+  size_t max_value_len() const override { return LogStore::kMaxValue; }
+  Status put(std::string_view key, std::string_view value) override;
+  Status insert(std::string_view key, std::string_view value) override;
+  Status get(std::string_view key, std::string* out) override;
+  Status erase(std::string_view key) override;
+  size_t multiget(const std::string_view* keys, size_t n,
+                  std::string* values, uint8_t* found) override;
 
   // live bytes / appended bytes — 1.0 means nothing to reclaim.
   double log_utilization() const;
 
-  // Rewrite every live record into a fresh log and retire the old one.
-  // Requires quiescence. Returns bytes reclaimed.
+  // One GC round: relocate + retire up to `max_segments` victim segments
+  // whose dead fraction is at least `min_dead_fraction`. Concurrent with
+  // reads and writes; one GC runs at a time. Returns bytes reclaimed.
+  uint64_t gc(uint32_t max_segments = 1, double min_dead_fraction = 0.25);
+
+  // Repeated GC until nothing reclaimable remains. Returns bytes
+  // reclaimed. (Unlike the quiescent compact() this replaced, it is safe
+  // under concurrent operations.)
   uint64_t compact();
 
-  Hdnh& index() { return *index_; }
+  // Deep integrity check of the index structure (test hook).
+  bool check_index_integrity();
+
+  // After a simulated crash, severs the index from the pool (see
+  // Hdnh::abandon_after_crash) so destroying the store writes no
+  // clean-shutdown markers into the crash image. The log itself writes
+  // nothing on destruction.
+  void abandon_after_crash();
+
+  HashTable& index() { return *index_; }
   LogStore& log() { return *log_; }
 
  private:
   static Key digest(std::string_view key);
-  static Value encode(const Handle& h);
-  static Handle decode(const Value& v);
+  static bool is_inline(const Value& v) { return (v.b[kValueBytes - 1] & 0x80) == 0; }
+  static Value encode_inline(std::string_view value);
+  static std::string decode_inline(const Value& v);
+  static Value encode_handle(const Handle& h);
+  static Handle decode_handle(const Value& v);
+  std::mutex& stripe(const Key& dk);
+
+  Status put_once(const Key& dk, std::string_view key, std::string_view value,
+                  bool upsert);
+  Status put_with_gc(const Key& dk, std::string_view key,
+                     std::string_view value, bool upsert);
+  void rebuild_dead_accounting();
 
   nvm::PmemAllocator& alloc_;
   Options opts_;
-  std::unique_ptr<Hdnh> index_;
+  std::unique_ptr<HashTable> index_;
   std::unique_ptr<LogStore> log_;
+  std::string name_;
+  std::array<std::mutex, 64> stripes_;
+  std::mutex gc_mu_;  // one GC round at a time
 };
 
 }  // namespace hdnh::vkv

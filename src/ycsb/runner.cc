@@ -17,6 +17,28 @@ namespace hdnh::ycsb {
 namespace {
 // Negative-read keys live far above any id the runner ever inserts.
 constexpr uint64_t kNegativeBase = 1ULL << 40;
+
+std::string kv_key(uint64_t id) { return "k" + std::to_string(id); }
+
+// Deterministic value of exactly `len` bytes (0 = tiny "v<id>"); `tag`
+// distinguishes updated values from the preloaded ones.
+std::string kv_value(uint64_t id, uint64_t tag, uint64_t len) {
+  std::string v = "v" + std::to_string(id);
+  if (tag) {
+    v += '.';
+    v += std::to_string(tag);
+  }
+  if (len == 0) return v;
+  if (v.size() > len) {
+    v.resize(len);
+    return v;
+  }
+  v.reserve(len);
+  while (v.size() < len) {
+    v += static_cast<char>('a' + (id + v.size()) % 26);
+  }
+  return v;
+}
 }  // namespace
 
 void preload(HashTable& table, uint64_t n, uint32_t threads) {
@@ -147,6 +169,116 @@ RunResult run(HashTable& table, const WorkloadSpec& spec, uint64_t preloaded,
 
   reporter.reset();  // final snapshot now that the workload is complete
   if (want_metrics) obs::Metrics::set_latency_enabled(latency_was);
+  return r;
+}
+
+void preload(KvStore& store, uint64_t n, uint64_t value_bytes,
+             uint32_t threads) {
+  parallel_for(n, threads, [&](uint32_t, uint64_t begin, uint64_t end) {
+    for (uint64_t id = begin; id < end; ++id) {
+      (void)store.insert(kv_key(id), kv_value(id, 0, value_bytes));
+    }
+  });
+}
+
+RunResult run(KvStore& store, const WorkloadSpec& spec, uint64_t preloaded,
+              uint64_t ops, const RunOptions& opts) {
+  const uint32_t threads = opts.threads ? opts.threads : 1;
+  const uint64_t vb = opts.value_bytes;
+  std::atomic<uint64_t> next_insert{preloaded};
+  std::atomic<uint64_t> next_delete{0};
+  std::atomic<uint64_t> total_hits{0};
+  const bool measure = opts.measure_latency;
+
+  std::vector<Histogram> hists(threads);
+  SpinBarrier barrier(threads);
+  const nvm::ScopedStatsDelta nvm_delta;
+  std::atomic<uint64_t> t_start{0};
+  std::atomic<uint64_t> t_end{0};
+
+  auto worker = [&](uint32_t tid, uint64_t my_ops) {
+    auto chooser = make_chooser(spec, preloaded ? preloaded : 1,
+                                opts.seed + 1000003ULL * tid);
+    Rng op_rng(opts.seed ^ (0x1234567ULL * (tid + 1)));
+    Histogram& hist = hists[tid];
+    uint64_t hits = 0;
+    std::string scratch;
+
+    const size_t batch = opts.read_batch > 1 ? opts.read_batch : 0;
+    std::vector<std::string> batch_key_store(batch);
+    std::vector<std::string_view> batch_keys;
+    std::vector<std::string> batch_vals(batch);
+    std::vector<uint8_t> batch_found(batch);
+    if (batch) batch_keys.reserve(batch);
+    auto flush_reads = [&] {
+      if (batch_keys.empty()) return;
+      const uint64_t t0 = measure ? now_ns() : 0;
+      hits += store.multiget(batch_keys.data(), batch_keys.size(),
+                             batch_vals.data(), batch_found.data());
+      if (measure) {
+        const uint64_t per = (now_ns() - t0) / batch_keys.size();
+        for (size_t j = 0; j < batch_keys.size(); ++j) hist.record(per);
+      }
+      batch_keys.clear();
+    };
+
+    barrier.arrive_and_wait();
+    if (tid == 0) t_start.store(now_ns(), std::memory_order_relaxed);
+
+    const double p_read = spec.read;
+    const double p_insert = p_read + spec.insert;
+    const double p_update = p_insert + spec.update;
+
+    for (uint64_t i = 0; i < my_ops; ++i) {
+      const double dice = op_rng.next_double();
+      const uint64_t t0 = measure ? now_ns() : 0;
+      bool ok = false;
+      if (dice < p_read) {
+        const uint64_t id = spec.negative_read
+                                ? kNegativeBase + chooser->next()
+                                : chooser->next();
+        if (batch) {
+          std::string& slot = batch_key_store[batch_keys.size()];
+          slot = kv_key(id);
+          batch_keys.push_back(slot);
+          if (batch_keys.size() == batch) flush_reads();
+          continue;  // hits and latency are accounted at flush time
+        }
+        ok = store.get(kv_key(id), &scratch).ok();
+      } else if (dice < p_insert) {
+        const uint64_t id = next_insert.fetch_add(1, std::memory_order_relaxed);
+        ok = store.insert(kv_key(id), kv_value(id, 0, vb)).ok();
+      } else if (dice < p_update) {
+        const uint64_t id = chooser->next();
+        ok = store.put(kv_key(id), kv_value(id, i + 1, vb)).ok();
+      } else {
+        const uint64_t id = next_delete.fetch_add(1, std::memory_order_relaxed);
+        ok = store.erase(kv_key(id % (preloaded ? preloaded : 1))).ok();
+      }
+      if (measure) hist.record(now_ns() - t0);
+      hits += ok ? 1 : 0;
+    }
+    flush_reads();
+    total_hits.fetch_add(hits, std::memory_order_relaxed);
+    t_end.store(now_ns(), std::memory_order_relaxed);
+  };
+
+  const uint64_t per = ops / threads;
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (uint32_t t = 1; t < threads; ++t) {
+    const uint64_t my = per + (t < ops % threads ? 1 : 0);
+    pool.emplace_back(worker, t, my);
+  }
+  worker(0, per + (0 < ops % threads ? 1 : 0));
+  for (auto& th : pool) th.join();
+
+  RunResult r;
+  r.ops = ops;
+  r.hits = total_hits.load();
+  r.seconds = static_cast<double>(t_end.load() - t_start.load()) / 1e9;
+  r.nvm = nvm_delta.delta();
+  for (auto& h : hists) r.latency.merge(h);
   return r;
 }
 

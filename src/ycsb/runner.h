@@ -8,6 +8,7 @@
 #include <string>
 
 #include "api/hash_table.h"
+#include "api/kv_store.h"
 #include "common/histogram.h"
 #include "nvm/stats.h"
 #include "ycsb/workload.h"
@@ -31,6 +32,9 @@ struct RunOptions {
   std::string metrics_json_out;
   std::string metrics_prom_out;
   double metrics_interval_s = 1.0;
+  // Variable-length runs only (the KvStore overloads below): exact value
+  // size in bytes. 0 keeps the historic tiny "v<id>" values.
+  uint64_t value_bytes = 0;
 };
 
 struct RunResult {
@@ -53,6 +57,15 @@ void preload(HashTable& table, uint64_t n, uint32_t threads = 1);
 // consume distinct preloaded ids; negative reads probe a key range that is
 // never inserted.
 RunResult run(HashTable& table, const WorkloadSpec& spec, uint64_t preloaded,
+              uint64_t ops, const RunOptions& opts = {});
+
+// Variable-length twins of preload/run over the KvStore surface (string
+// keys "k<id>", values of exactly value_bytes id-derived bytes; 0 = tiny
+// "v<id>"). Same workload mix semantics; read_batch goes through
+// KvStore::multiget.
+void preload(KvStore& store, uint64_t n, uint64_t value_bytes,
+             uint32_t threads = 1);
+RunResult run(KvStore& store, const WorkloadSpec& spec, uint64_t preloaded,
               uint64_t ops, const RunOptions& opts = {});
 
 }  // namespace hdnh::ycsb

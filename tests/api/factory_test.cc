@@ -136,5 +136,75 @@ TEST(Factory, PaperSchemesOrdered) {
   EXPECT_EQ(schemes[3], "hdnh");
 }
 
+// ---- create_kv_store: the variable-length surface ----
+
+TEST(Factory, KvStoreVkvSchemeSelectsValueLog) {
+  nvm::PmemPool pool(kv_pool_bytes_hint("vkv", 4096, 256));
+  nvm::PmemAllocator alloc(pool);
+  TableOptions opts;
+  opts.capacity = 4096;
+  auto kv = create_kv_store("vkv", alloc, opts);
+  ASSERT_NE(kv, nullptr);
+  EXPECT_EQ(std::string(kv->name()).rfind("vkv(", 0), 0u) << kv->name();
+  EXPECT_EQ(kv->max_key_len(), 64u * 1024);
+  EXPECT_EQ(kv->max_value_len(), 16u * 1024 * 1024);
+  ASSERT_TRUE(kv->put("a-key-longer-than-fixed-records-allow",
+                      std::string(5000, 'v'))
+                  .ok());
+  std::string v;
+  ASSERT_TRUE(kv->get("a-key-longer-than-fixed-records-allow", &v).ok());
+  EXPECT_EQ(v, std::string(5000, 'v'));
+}
+
+TEST(Factory, KvStoreVkvShardSuffixShardsTheIndex) {
+  nvm::PmemPool pool(kv_pool_bytes_hint("vkv@2", 4096, 256));
+  nvm::PmemAllocator alloc(pool);
+  TableOptions opts;
+  opts.capacity = 4096;
+  auto kv = create_kv_store("vkv@2", alloc, opts);
+  ASSERT_NE(kv, nullptr);
+  EXPECT_NE(std::string(kv->name()).find("@2"), std::string::npos)
+      << kv->name();
+  ASSERT_TRUE(kv->put("k", "v").ok());
+}
+
+TEST(Factory, KvStoreValueLogFlagSelectsVkvForAnyScheme) {
+  nvm::PmemPool pool(kv_pool_bytes_hint("vkv", 4096, 256));
+  nvm::PmemAllocator alloc(pool);
+  TableOptions opts;
+  opts.capacity = 4096;
+  opts.value_log = true;
+  auto kv = create_kv_store("hdnh", alloc, opts);
+  ASSERT_NE(kv, nullptr);
+  EXPECT_EQ(std::string(kv->name()).rfind("vkv(", 0), 0u) << kv->name();
+  EXPECT_EQ(kv->max_value_len(), 16u * 1024 * 1024);
+}
+
+TEST(Factory, KvStoreFixedFallbackKeepsRecordLimits) {
+  nvm::PmemPool pool(pool_bytes_hint("hdnh@2", 8192));
+  nvm::PmemAllocator alloc(pool);
+  TableOptions opts;
+  opts.capacity = 4096;
+  auto kv = create_kv_store("hdnh@2", alloc, opts);
+  ASSERT_NE(kv, nullptr);
+  EXPECT_EQ(kv->max_key_len(), kMaxWireKeyLen);
+  EXPECT_EQ(kv->max_value_len(), kMaxWireValueLen);
+  ASSERT_TRUE(kv->put("short-key", "v").ok());
+  std::string v;
+  ASSERT_TRUE(kv->get("short-key", &v).ok());
+  EXPECT_EQ(v, "v");
+  EXPECT_EQ(kv->put("k", std::string(kMaxWireValueLen + 1, 'v')).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Factory, KvPoolHintsArePositiveAndScaleWithValueSize) {
+  const uint64_t small = kv_pool_bytes_hint("vkv", 10000, 64);
+  const uint64_t big_values = kv_pool_bytes_hint("vkv", 10000, 64 * 1024);
+  const uint64_t more_items = kv_pool_bytes_hint("vkv", 1000000, 64);
+  EXPECT_GT(small, 0u);
+  EXPECT_GT(big_values, small);
+  EXPECT_GT(more_items, small);
+}
+
 }  // namespace
 }  // namespace hdnh

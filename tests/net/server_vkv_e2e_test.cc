@@ -1,0 +1,201 @@
+// Loopback end-to-end tests for the server over the value-log store: the
+// acceptance path for variable-length KV is a RESP client SETting and
+// GETting a 64 KiB value through a live hdnh_server — codec v2 framing,
+// KvStore dispatch, and the vkv read/write paths all in one round trip.
+// Also checks that the wire limits are the *store's* limits (64 KiB keys /
+// 16 MiB values, not the fixed-record 15 B/14 B) and that the error
+// strings carry the derived bounds.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/factory.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "nvm/alloc.h"
+#include "nvm/pmem.h"
+#include "vkv/log_store.h"
+
+namespace hdnh::net {
+namespace {
+
+struct VkvServerPack {
+  explicit VkvServerPack(const std::string& scheme = "vkv@2",
+                         uint64_t capacity = 1 << 14,
+                         uint64_t avg_value_bytes = 4096,
+                         uint32_t threads = 2)
+      : pool(kv_pool_bytes_hint(scheme, capacity, avg_value_bytes)),
+        alloc(pool) {
+    TableOptions topts;
+    topts.capacity = capacity;
+    topts.log_bytes = 2 * capacity * avg_value_bytes + (64ull << 20);
+    store = create_kv_store(scheme, alloc, topts);
+    ServerOptions sopts;
+    sopts.port = 0;  // ephemeral
+    sopts.threads = threads;
+    server = std::make_unique<Server>(*store, sopts);
+    server->start();
+  }
+  ~VkvServerPack() { server->stop(); }
+
+  Client client() {
+    Client c;
+    c.connect("127.0.0.1", server->port());
+    return c;
+  }
+
+  nvm::PmemPool pool;
+  nvm::PmemAllocator alloc;
+  std::unique_ptr<KvStore> store;
+  std::unique_ptr<Server> server;
+};
+
+std::string patterned(size_t n, char seed) {
+  std::string s(n, ' ');
+  for (size_t i = 0; i < n; ++i) s[i] = static_cast<char>(seed + i % 23);
+  return s;
+}
+
+// The PR's acceptance check: a 64 KiB value set and read back byte-exact
+// over TCP, alone and inside an MGET batch.
+TEST(ServerVkvE2E, LargeValueRoundTrip64KiB) {
+  VkvServerPack pack("vkv@2", 1 << 12, /*avg_value_bytes=*/64 * 1024);
+  Client c = pack.client();
+
+  const std::string big = patterned(64 * 1024, 'A');
+  c.set("big", big);
+  std::string v;
+  ASSERT_TRUE(c.get("big", &v));
+  EXPECT_EQ(v, big);
+
+  // Mixed sizes in one MGET: inline (<= 14 B), a few KiB, and 64 KiB.
+  c.set("tiny", "v");
+  c.set("mid", patterned(3000, 'm'));
+  auto vals = c.mget({"tiny", "missing", "mid", "big"});
+  ASSERT_EQ(vals.size(), 4u);
+  ASSERT_TRUE(vals[0].has_value());
+  EXPECT_EQ(*vals[0], "v");
+  EXPECT_FALSE(vals[1].has_value());
+  ASSERT_TRUE(vals[2].has_value());
+  EXPECT_EQ(*vals[2], patterned(3000, 'm'));
+  ASSERT_TRUE(vals[3].has_value());
+  EXPECT_EQ(*vals[3], big);
+
+  // Overwrite with a different large value; the old record dies in the log.
+  const std::string big2 = patterned(70 * 1024, 'B');
+  c.set("big", big2);
+  ASSERT_TRUE(c.get("big", &v));
+  EXPECT_EQ(v, big2);
+  EXPECT_EQ(c.del("big"), 1);
+  EXPECT_FALSE(c.get("big", &v));
+}
+
+TEST(ServerVkvE2E, WireLimitsAreTheStoreLimits) {
+  VkvServerPack pack;
+  Client c = pack.client();
+
+  // Max-size key round-trips (the fixed-record server caps keys at 15 B).
+  const std::string max_key(vkv::LogStore::kMaxKey, 'K');
+  c.set(max_key, "long-key-value");
+  std::string v;
+  ASSERT_TRUE(c.get(max_key, &v));
+  EXPECT_EQ(v, "long-key-value");
+
+  // One byte over: a RESP error whose message carries the derived bound.
+  const std::string long_key(vkv::LogStore::kMaxKey + 1, 'k');
+  RespValue r = c.command({"SET", long_key, "v"});
+  ASSERT_TRUE(r.is_error());
+  EXPECT_NE(r.str.find("key too long"), std::string::npos) << r.str;
+  EXPECT_NE(r.str.find(std::to_string(vkv::LogStore::kMaxKey)),
+            std::string::npos)
+      << r.str;
+  // Oversized key on GET is structurally a miss.
+  EXPECT_TRUE(c.command({"GET", long_key}).is_nil());
+
+  // A 1 MiB value — far past the fixed-record cap — is just a normal
+  // write here. (kMaxValue itself equals the RESP parser's per-bulk cap, so an
+  // over-limit value can never reach the store check on a vkv server; the
+  // parser rejects the frame first.)
+  const std::string mib = patterned(1 << 20, 'M');
+  c.set("mib", mib);
+  ASSERT_TRUE(c.get("mib", &v));
+  EXPECT_EQ(v, mib);
+  EXPECT_TRUE(c.ping());
+}
+
+// The limits (and the numbers in the error strings) come from the store
+// behind the server, not from wire constants: the same server code over a
+// fixed-record KvStore enforces 15 B keys / 14 B values.
+TEST(ServerVkvE2E, LimitsFollowTheStoreNotTheWire) {
+  nvm::PmemPool pool(kv_pool_bytes_hint("hdnh@2", 1 << 12, 14));
+  nvm::PmemAllocator alloc(pool);
+  TableOptions topts;
+  topts.capacity = 1 << 12;
+  auto fixed = create_kv_store("hdnh@2", alloc, topts);
+  ServerOptions sopts;
+  sopts.port = 0;
+  sopts.threads = 1;
+  Server server(*fixed, sopts);
+  server.start();
+  Client c;
+  c.connect("127.0.0.1", server.port());
+
+  RespValue r = c.command({"SET", "k", std::string(fixed->max_value_len() + 1, 'v')});
+  ASSERT_TRUE(r.is_error());
+  EXPECT_NE(r.str.find("value too long"), std::string::npos) << r.str;
+  EXPECT_NE(r.str.find(std::to_string(fixed->max_value_len())),
+            std::string::npos)
+      << r.str;
+  r = c.command({"SET", std::string(fixed->max_key_len() + 1, 'k'), "v"});
+  ASSERT_TRUE(r.is_error());
+  EXPECT_NE(r.str.find("key too long"), std::string::npos) << r.str;
+  EXPECT_TRUE(c.ping());
+  server.stop();
+}
+
+TEST(ServerVkvE2E, ConcurrentPipelinedLargeValues) {
+  VkvServerPack pack("vkv@2", 1 << 12, /*avg_value_bytes=*/16 * 1024,
+                     /*threads=*/3);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPer = 60;
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      try {
+        Client c;
+        c.connect("127.0.0.1", pack.server->port());
+        // Disjoint keys; every GET-after-SET must return the exact bytes.
+        for (int i = 0; i < kOpsPer; ++i) {
+          const std::string key =
+              "t" + std::to_string(t) + "-" + std::to_string(i % 13);
+          const std::string val =
+              patterned(8 * 1024 + 512 * t + i, static_cast<char>('a' + t));
+          c.pipeline({"SET", key, val});
+          c.pipeline({"GET", key});
+          c.flush();
+          const RespValue set_r = c.read_reply();
+          const RespValue get_r = c.read_reply();
+          if (set_r.is_error() || get_r.is_nil() || get_r.str != val) {
+            ++failures;
+            return;
+          }
+        }
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(pack.server->counters().protocol_errors, 0u);
+  EXPECT_EQ(pack.store->size(), uint64_t{kThreads} * 13);
+}
+
+}  // namespace
+}  // namespace hdnh::net

@@ -1,0 +1,68 @@
+// Stride-sampled crash-point sweep over the value-log scenarios
+// (tools/hdnh_crashpoint runs the exhaustive version). Each sampled point
+// injects a crash at one tagged vkv durability event (append persist, seal,
+// GC relocate/retire), reattaches the store, and checks the variable-length
+// oracle: every key byte-exact against the fold-forward model, torn records
+// never surfacing as values. A failure prints the (scenario, event_index,
+// seed) triple, which reproduces standalone via
+//   hdnh_crashpoint --scenario=<name> --seed=<seed> --only=<event_index>
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "testing/crash_scenarios.h"
+
+namespace hdnh::crashtest {
+namespace {
+
+class VkvCrashpointTest : public ::testing::TestWithParam<const char*> {};
+
+void sweep(const char* name, uint64_t seed, uint64_t samples,
+           uint64_t evict_lines) {
+  const VkvScenario* s = find_vkv_scenario(name);
+  ASSERT_NE(s, nullptr) << name;
+  const uint64_t n = probe_vkv_events(*s, seed);
+  ASSERT_GT(n, 0u) << "scenario emitted no vkv durability events";
+  const uint64_t stride = std::max<uint64_t>(1, n / samples);
+  for (uint64_t k = 0; k < n; k += stride) {
+    const PointResult r = run_vkv_crash_point(*s, seed, k, evict_lines);
+    EXPECT_TRUE(r.crashed) << "plan never fired at k=" << k << " (of " << n
+                           << " probed events)";
+    EXPECT_EQ(r.failure, "")
+        << "scenario=" << s->name << " event_index=" << k << " seed=" << seed;
+    if (!r.failure.empty()) break;  // one triple is enough to debug
+  }
+}
+
+TEST_P(VkvCrashpointTest, StridedSweepPasses) {
+  sweep(GetParam(), /*seed=*/1, /*samples=*/24, /*evict_lines=*/0);
+}
+
+// Adversarial random-line evictions (legal spontaneous writebacks) every
+// 7th event and at the crash itself: an un-fenced record header or segment
+// directory entry reaching media early must still never decode as data.
+TEST_P(VkvCrashpointTest, EvictionBurstSweepPasses) {
+  sweep(GetParam(), /*seed=*/3, /*samples=*/10, /*evict_lines=*/8);
+}
+
+// Crash points at or past the event count never fire: the workload runs to
+// completion and the oracle holds on the live store.
+TEST_P(VkvCrashpointTest, PastEndPointDoesNotCrash) {
+  const VkvScenario* s = find_vkv_scenario(GetParam());
+  ASSERT_NE(s, nullptr);
+  const uint64_t n = probe_vkv_events(*s, 1);
+  const PointResult r = run_vkv_crash_point(*s, 1, n, 0);
+  EXPECT_FALSE(r.crashed);
+  EXPECT_EQ(r.failure, "");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, VkvCrashpointTest,
+    ::testing::Values("vkv_append", "vkv_seal", "vkv_gc"),
+    [](const ::testing::TestParamInfo<const char*>& pi) {
+      return std::string(pi.param);
+    });
+
+}  // namespace
+}  // namespace hdnh::crashtest

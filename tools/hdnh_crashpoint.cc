@@ -16,6 +16,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,40 @@ namespace {
 
 using hdnh::crashtest::PointResult;
 using hdnh::crashtest::Scenario;
+using hdnh::crashtest::VkvScenario;
+
+// One sweepable scenario from either table (fixed-record HDNH or the
+// variable-length value-log store) behind a uniform probe/run surface.
+struct SweepEntry {
+  const char* name;
+  const char* what;
+  std::function<uint64_t(uint64_t seed)> probe;
+  std::function<PointResult(uint64_t seed, uint64_t crash_at,
+                            uint64_t evict_lines)>
+      run;
+};
+
+std::vector<SweepEntry> all_entries() {
+  std::vector<SweepEntry> out;
+  for (const Scenario& s : hdnh::crashtest::scenarios()) {
+    out.push_back(
+        {s.name, s.what,
+         [&s](uint64_t seed) { return hdnh::crashtest::probe_events(s, seed); },
+         [&s](uint64_t seed, uint64_t k, uint64_t ev) {
+           return hdnh::crashtest::run_crash_point(s, seed, k, ev);
+         }});
+  }
+  for (const VkvScenario& s : hdnh::crashtest::vkv_scenarios()) {
+    out.push_back({s.name, s.what,
+                   [&s](uint64_t seed) {
+                     return hdnh::crashtest::probe_vkv_events(s, seed);
+                   },
+                   [&s](uint64_t seed, uint64_t k, uint64_t ev) {
+                     return hdnh::crashtest::run_vkv_crash_point(s, seed, k, ev);
+                   }});
+  }
+  return out;
+}
 
 struct Options {
   std::vector<std::string> names;  // empty = all
@@ -109,34 +144,39 @@ int main(int argc, char** argv) {
     }
   }
 
+  const std::vector<SweepEntry> entries = all_entries();
+
   if (list_only) {
-    for (const Scenario& s : hdnh::crashtest::scenarios()) {
-      std::printf("%-16s %s\n", s.name, s.what);
+    for (const SweepEntry& e : entries) {
+      std::printf("%-16s %s\n", e.name, e.what);
     }
     return 0;
   }
 
-  std::vector<const Scenario*> selected;
+  std::vector<const SweepEntry*> selected;
   if (opt.names.empty()) {
-    for (const Scenario& s : hdnh::crashtest::scenarios()) selected.push_back(&s);
+    for (const SweepEntry& e : entries) selected.push_back(&e);
   } else {
     for (const std::string& n : opt.names) {
-      const Scenario* s = hdnh::crashtest::find_scenario(n);
-      if (!s) {
+      const SweepEntry* found = nullptr;
+      for (const SweepEntry& e : entries) {
+        if (n == e.name) { found = &e; break; }
+      }
+      if (!found) {
         std::fprintf(stderr, "unknown scenario '%s' (see --list)\n", n.c_str());
         return 2;
       }
-      selected.push_back(s);
+      selected.push_back(found);
     }
   }
 
   uint64_t total_points = 0, total_crashed = 0, total_failed = 0;
   auto secs = [] { return static_cast<double>(hdnh::now_ns()) * 1e-9; };
   const double t0 = secs();
-  for (const Scenario* s : selected) {
+  for (const SweepEntry* s : selected) {
     uint64_t n = 0;
     try {
-      n = hdnh::crashtest::probe_events(*s, opt.seed);
+      n = s->probe(opt.seed);
     } catch (const std::exception& e) {
       std::printf("FAIL %s: probe threw: %s\n", s->name, e.what());
       ++total_failed;
@@ -150,7 +190,7 @@ int main(int argc, char** argv) {
       ++points;
       PointResult r;
       try {
-        r = hdnh::crashtest::run_crash_point(*s, opt.seed, k, opt.evict_lines);
+        r = s->run(opt.seed, k, opt.evict_lines);
       } catch (const std::exception& e) {
         r.failure = std::string("exception: ") + e.what();
       }

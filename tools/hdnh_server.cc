@@ -28,8 +28,9 @@ using namespace hdnh;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
-  const std::string scheme =
-      cli.get_str("scheme", "hdnh@4", "table scheme (factory name, @N shards)");
+  const std::string scheme = cli.get_str(
+      "scheme", "hdnh@4",
+      "store scheme (factory name, @N shards; \"vkv[@N]\" = value-log store)");
   const std::string bind = cli.get_str("bind", "127.0.0.1", "bind address");
   const uint16_t port = static_cast<uint16_t>(
       cli.get_int("port", 6399, "TCP port (0 = ephemeral, printed at start)"));
@@ -41,6 +42,10 @@ int main(int argc, char** argv) {
       cli.get_str("pool", "", "file-backed pool path (default: anonymous)");
   const uint64_t pool_mb = static_cast<uint64_t>(
       cli.get_int("pool_mb", 0, "pool size in MiB (0 = sized from capacity)"));
+  const uint64_t avg_value = static_cast<uint64_t>(cli.get_int(
+      "avg_value_bytes", 256, "expected value size (sizes the vkv log)"));
+  const uint64_t log_mb = static_cast<uint64_t>(cli.get_int(
+      "log_mb", 0, "vkv value-log cap in MiB (0 = sized from capacity)"));
   const bool emulate =
       cli.get_bool("emulate", false, "emulate AEP latency (spin-waits)");
   const bool nodelay = cli.get_bool("tcp_nodelay", true, "set TCP_NODELAY");
@@ -60,18 +65,21 @@ int main(int argc, char** argv) {
   sigaddset(&sigs, SIGTERM);
   pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
 
-  uint64_t pool_bytes = pool_mb ? pool_mb << 20
-                                : pool_bytes_hint(scheme, capacity + capacity / 2);
+  uint64_t pool_bytes =
+      pool_mb ? pool_mb << 20
+              : kv_pool_bytes_hint(scheme, capacity + capacity / 2, avg_value);
   nvm::NvmConfig ncfg;
   ncfg.emulate_latency = emulate;
   nvm::PmemPool pool(pool_bytes, ncfg, pool_path);
   nvm::PmemAllocator alloc(pool);
   TableOptions topts;
   topts.capacity = capacity;
-  auto table = create_table(scheme, alloc, topts);
+  topts.log_bytes = log_mb ? log_mb << 20
+                           : 2 * capacity * (avg_value + 48) + (16ull << 20);
+  auto store = create_kv_store(scheme, alloc, topts);
   if (pool.recovered()) {
     std::printf("(attached existing pool %s: %llu items)\n", pool_path.c_str(),
-                static_cast<unsigned long long>(table->size()));
+                static_cast<unsigned long long>(store->size()));
   }
 
   net::ServerOptions sopts;
@@ -79,7 +87,7 @@ int main(int argc, char** argv) {
   sopts.port = port;
   sopts.threads = threads;
   sopts.tcp_nodelay = nodelay;
-  net::Server server(*table, sopts);
+  net::Server server(*store, sopts);
 
   std::unique_ptr<obs::PeriodicReporter> reporter;
   if (!metrics_out.empty() || !metrics_prom.empty()) {
@@ -93,7 +101,7 @@ int main(int argc, char** argv) {
 
   server.start();
   std::printf("hdnh_server listening on %s:%u (scheme=%s, threads=%u)\n",
-              bind.c_str(), server.port(), table->name(), threads);
+              bind.c_str(), server.port(), store->name(), threads);
   std::fflush(stdout);
 
   // One thread turns a delivered signal into a stop request; main parks in
@@ -117,7 +125,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(c.connections_accepted),
       static_cast<unsigned long long>(c.protocol_errors),
       static_cast<unsigned long long>(c.table_full_errors),
-      static_cast<unsigned long long>(table->size()));
+      static_cast<unsigned long long>(store->size()));
   reporter.reset();  // final metrics snapshot
   return 0;
 }
