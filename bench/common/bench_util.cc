@@ -20,7 +20,28 @@ Env standard_env(Cli& cli, uint64_t def_preload, uint64_t def_ops,
   env.lat_scale =
       cli.get_double("lat_scale", 1.0, "scale all emulated latencies");
   env.seed = static_cast<uint64_t>(cli.get_int("seed", 42, "workload seed"));
+  env.dimms = static_cast<uint32_t>(
+      cli.get_int("dimms", 1, "emulated DIMM count (1 = flat device)"));
+  env.dimm_ig = static_cast<uint64_t>(cli.get_int(
+      "dimm_ig", 1 << 20, "DIMM interleave granularity in bytes (0: slices)"));
+  env.dimm_write_mbps = static_cast<uint64_t>(cli.get_int(
+      "dimm_write_mbps", 0, "per-DIMM write bandwidth cap, MB/s (0: uncapped)"));
+  env.dimm_read_mbps = static_cast<uint64_t>(cli.get_int(
+      "dimm_read_mbps", 0, "per-DIMM read bandwidth cap, MB/s (0: uncapped)"));
+  env.chunked = cli.get_bool(
+      "chunked", false, "per-thread chunked allocation (DIMM-affine claims)");
   return env;
+}
+
+nvm::NvmConfig nvm_config(const Env& env) {
+  nvm::NvmConfig cfg;
+  cfg.emulate_latency = env.emulate;
+  cfg.latency_scale = env.lat_scale;
+  cfg.dimm.dimms = env.dimms;
+  cfg.dimm.interleave_bytes = env.dimm_ig;
+  cfg.dimm.write_mbps = env.dimm_write_mbps;
+  cfg.dimm.read_mbps = env.dimm_read_mbps;
+  return cfg;
 }
 
 OwnedTable make_table(const std::string& scheme, uint64_t max_items,
@@ -33,12 +54,10 @@ OwnedTable make_table(const std::string& scheme, uint64_t max_items,
   if (spec.shards == 0 && env.shards > 1) {
     effective = spec.base + "@" + std::to_string(env.shards);
   }
-  nvm::NvmConfig cfg;
-  cfg.emulate_latency = env.emulate;
-  cfg.latency_scale = env.lat_scale;
   t.pool = std::make_unique<nvm::PmemPool>(
-      pool_bytes_hint(effective, max_items), cfg);
+      pool_bytes_hint(effective, max_items), nvm_config(env));
   t.alloc = std::make_unique<nvm::PmemAllocator>(*t.pool);
+  if (env.chunked) t.alloc->enable_chunked();
   if (opts.capacity == 0 || opts.capacity == TableOptions{}.capacity) {
     // PATH is static and must be sized for everything it will ever hold;
     // growing schemes start at the preload size, as the paper's runs do.
@@ -73,6 +92,17 @@ void print_run_row(const std::string& label, const ycsb::RunResult& r) {
               static_cast<double>(r.nvm.nvm_write_ops) / ops,
               static_cast<double>(r.nvm.dram_hot_hits) / ops);
   std::fflush(stdout);
+}
+
+std::vector<std::pair<std::string, std::string>> dimm_json_fields(
+    const Env& env) {
+  return {
+      {"dimms", std::to_string(env.dimms)},
+      {"dimm_ig", std::to_string(env.dimm_ig)},
+      {"dimm_write_mbps", std::to_string(env.dimm_write_mbps)},
+      {"dimm_read_mbps", std::to_string(env.dimm_read_mbps)},
+      {"chunked", env.chunked ? "true" : "false"},
+  };
 }
 
 void print_json_run(

@@ -34,11 +34,22 @@ struct Env {
   bool emulate = true;
   double lat_scale = 1.0;
   uint64_t seed = 42;
+  // DIMM topology axis (--dimms etc.): 1 = the flat legacy device. Caps of
+  // 0 attribute traffic per DIMM without ever stalling, so --dimms=N alone
+  // is latency- and traffic-neutral (the CI smoke relies on this).
+  uint32_t dimms = 1;
+  uint64_t dimm_ig = 1ull << 20;   // interleave granularity, bytes
+  uint64_t dimm_write_mbps = 0;    // per-DIMM caps, MB/s (0 = uncapped)
+  uint64_t dimm_read_mbps = 0;
+  bool chunked = false;  // per-thread chunked allocation (--chunked)
 };
 
 // Registers and reads the standard flags.
 Env standard_env(Cli& cli, uint64_t def_preload = 100000,
                  uint64_t def_ops = 900000, uint32_t def_threads = 1);
+
+// The NvmConfig a bench pool should run under: latency model + DIMM axis.
+nvm::NvmConfig nvm_config(const Env& env);
 
 // A pool + allocator + table bundle with the AEP latency model applied.
 struct OwnedTable {
@@ -69,6 +80,11 @@ void print_run_header();
 // `extra` fields (values written verbatim — quote strings yourself);
 // `print_json_line` emits arbitrary extra fields under the same verbatim
 // rule.
+// The DimmConfig fields of `env` as JSON extra fields ("dimms",
+// "dimm_ig", ...), for stamping every BENCH_JSON row of a dimm-axis run.
+std::vector<std::pair<std::string, std::string>> dimm_json_fields(
+    const Env& env);
+
 void print_json_run(
     const std::string& bench, const std::string& scheme, uint32_t threads,
     uint32_t shards, const ycsb::RunResult& r,

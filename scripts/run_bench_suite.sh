@@ -17,10 +17,10 @@ PROFILE="${1:-default}"
 case "$PROFILE" in
   quick)   ARGS="--preload=20000 --ops=80000"; PROBE_ARGS="--preload=20000 --ops=40000 --reps=1"
            VALUE_ARGS="--preload=10000 --ops=20000 --value_sweep=16,128,1024,65536"
-           NET_OPS=50000 ;;
+           NET_OPS=50000;  DIMM_ARGS="--thread_list=8" ;;
   default) ARGS="";                            PROBE_ARGS="--reps=3"
            VALUE_ARGS="--value_sweep=16,128,1024,65536"
-           NET_OPS=200000 ;;
+           NET_OPS=200000; DIMM_ARGS="--thread_list=1,2,4,8" ;;
   *) echo "usage: $0 [quick|default]" >&2; exit 2 ;;
 esac
 
@@ -43,6 +43,13 @@ run "Figure 14 concurrency"            ./build/bench/bench_fig14_concurrency $AR
 run "YCSB suite (serial reads)"        ./build/bench/bench_ycsb_suite $ARGS
 run "YCSB suite (batched reads)"       ./build/bench/bench_ycsb_suite $ARGS --read_batch=32
 run "YCSB value-size sweep (vkv)"      ./build/bench/bench_ycsb_suite $VALUE_ARGS --fixed=false --threads=4
+
+# DIMM-parallelism axis: the chunked-vs-shared allocator headline under the
+# default 6-DIMM bandwidth model (self-calibrating against this host), plus
+# one attribution-only pass of fig13 (--dimms with uncapped buckets is
+# traffic- and latency-neutral; CI asserts that separately).
+run "DIMM scaling (chunked vs shared)" ./build/bench/bench_dimm_scaling $DIMM_ARGS
+run "Figure 13 (per-DIMM attribution)" ./build/bench/bench_fig13_single_thread $ARGS --dimms=6
 
 # Large values over the wire: a vkv-backed server and bench_net at 1 KiB and
 # 64 KiB payloads (the fixed-record wire path caps out at 14 B).
@@ -82,6 +89,16 @@ for r in runs:
     if r.get("bench") == "micro_multiget":
         headline["multiget_batch_speedup"] = r["multiget_batch_speedup"]
         headline["overlapped_read_fraction"] = r["overlapped_read_fraction"]
+    if r.get("bench") == "dimm_scaling_headline":
+        headline["dimm_chunked_speedup"] = r["speedup"]
+
+# The DimmConfig the dimm-axis runs executed under (the bench calibrates
+# its per-DIMM caps against the host, so they belong in provenance).
+dimm_config = {}
+for r in runs:
+    if r.get("bench") == "dimm_scaling_headline":
+        dimm_config = {k: r[k] for k in
+                       ("dimms", "dimm_ig", "dimm_write_mbps", "dimm_read_mbps")}
 
 meta = {
     "profile": sys.argv[2],
@@ -92,6 +109,7 @@ meta = {
     # The probe bench reports what the binary actually dispatched to, which
     # beats re-deriving it from compiler flags.
     "simd_level": headline.get("probe_simd_level", "unknown"),
+    "dimm_config": dimm_config,
 }
 
 doc = {"suite": "read-path", "meta": meta, "headline": headline, "runs": runs}

@@ -2,8 +2,16 @@
 
 #include <new>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace hdnh::nvm {
+
+namespace {
+// Process-unique allocator generations and thread tokens for the
+// thread-chunk slot protocol (same scheme as LogStore's append heads).
+std::atomic<uint64_t> g_alloc_gen{1};
+std::atomic<uint64_t> g_alloc_thread_tokens{1};
+}  // namespace
 
 PmemAllocator::PmemAllocator(PmemPool& pool)
     : pool_(pool), base_(0), bytes_(pool.size()) {
@@ -23,9 +31,14 @@ PmemAllocator::PmemAllocator(PmemPool& pool, uint64_t region_off,
 }
 
 void PmemAllocator::format_or_attach() {
+  instance_gen_.store(g_alloc_gen.fetch_add(1, std::memory_order_relaxed),
+                      std::memory_order_relaxed);
   Header* h = hdr();
   if (h->magic == kMagic && h->pool_size == bytes_) {
     attached_ = true;
+    // A region formatted in chunked mode resumes it transparently: the
+    // chunk table is the recovery state (claimed chunks stay consumed).
+    if (h->root_off[kChunkTableRoot] != 0) attach_chunks();
     return;
   }
   FaultScope tag(kFaultAllocCommit);
@@ -50,6 +63,13 @@ uint64_t PmemAllocator::alloc(uint64_t size, uint64_t align) {
       return off;
     }
   }
+  if (chunks_ != nullptr) {
+    const uint64_t off = alloc_chunked(size, align);
+    if (off != 0) return off;
+    // Oversize, mid-size, or chunks/thread-slots exhausted: the shared
+    // persistent bump still works, it just pays the metadata persist.
+    Stats::local().alloc_shared_fallbacks++;
+  }
   Header* h = hdr();
   uint64_t off;
   // CAS loop to keep the bump pointer aligned for arbitrary align values.
@@ -71,8 +91,212 @@ uint64_t PmemAllocator::alloc(uint64_t size, uint64_t align) {
 
 void PmemAllocator::free_block(uint64_t off, uint64_t size) {
   size = (size + kNvmBlock - 1) / kNvmBlock * kNvmBlock;
+  if (chunks_ != nullptr) {
+    // A whole-chunk allocation returns to the persisted chunk table (so the
+    // space survives restart as reusable), anything else to the volatile
+    // free list as before. Whole chunks are recognizable exactly: chunk
+    // aligned inside the arena with a rounded size only the whole-chunk
+    // claim path can produce.
+    const uint64_t cb = chunks_->chunk_bytes;
+    const uint64_t arena = chunks_->arena_off;
+    const uint64_t arena_end = arena + chunks_->chunk_count * cb;
+    if (off >= arena && off < arena_end && (off - arena) % cb == 0 &&
+        size > cb / 2 && size <= cb) {
+      ChunkEntry& e = chunk_entries_[(off - arena) / cb];
+      e.state.store(0, std::memory_order_release);
+      FaultScope tag(kFaultAllocChunk);
+      pool_.persist_fence(&e.state, sizeof(e.state));
+      chunks_claimed_.fetch_sub(1, std::memory_order_relaxed);
+      return;
+    }
+  }
   std::lock_guard<std::mutex> lock(free_mu_);
   free_lists_[size].push_back(off);
+}
+
+void PmemAllocator::enable_chunked(const ChunkConfig& cfg) {
+  if (chunks_ != nullptr) return;
+  if (root(kChunkTableRoot) != 0) {
+    attach_chunks();
+    return;
+  }
+  format_chunks(cfg);
+}
+
+void PmemAllocator::format_chunks(const ChunkConfig& cfg) {
+  if (cfg.chunk_bytes < kNvmBlock * 16 ||
+      (cfg.chunk_bytes & (cfg.chunk_bytes - 1)) != 0) {
+    throw std::invalid_argument(
+        "ChunkConfig.chunk_bytes must be a power of two >= 4 KiB");
+  }
+  uint64_t count = cfg.chunk_count;
+  if (count == 0) {
+    const uint64_t avail = remaining();
+    const uint64_t reserve =
+        cfg.reserve_bytes != 0 ? cfg.reserve_bytes : avail / 8;
+    // Per chunk: the chunk itself plus its table entry; one extra
+    // chunk_bytes of headroom absorbs the super block and arena alignment.
+    if (avail < reserve + 2 * cfg.chunk_bytes) throw std::bad_alloc();
+    count = (avail - reserve - cfg.chunk_bytes) /
+            (cfg.chunk_bytes + sizeof(ChunkEntry));
+  }
+  if (count == 0) throw std::bad_alloc();
+  const uint64_t table_bytes = kNvmBlock + count * sizeof(ChunkEntry);
+  // Both allocations ride the shared bump path (chunks_ is still null), so
+  // their space is already excluded from it when chunked mode goes live.
+  const uint64_t table_off = alloc(table_bytes);
+  const uint64_t arena_off = alloc(count * cfg.chunk_bytes, cfg.chunk_bytes);
+  ChunkSuper* s = pool_.to_ptr<ChunkSuper>(table_off);
+  FaultScope tag(kFaultAllocChunk);
+  std::memset(static_cast<void*>(s), 0, table_bytes);
+  s->chunk_bytes = cfg.chunk_bytes;
+  s->chunk_count = count;
+  s->arena_off = arena_off;
+  s->small_max = cfg.small_max != 0 ? cfg.small_max : cfg.chunk_bytes / 8;
+  s->dimms = pool_.dimm_count();
+  s->interleave_bytes = pool_.config().dimm.interleave_bytes;
+  pool_.persist(s, table_bytes);
+  pool_.fence();
+  // Magic, then the root slot, last: a crash anywhere above leaves the
+  // allocator un-chunked with only bump space consumed — the same leak
+  // contract as any torn allocation.
+  s->magic = kChunkMagic;
+  pool_.persist_fence(&s->magic, sizeof(s->magic));
+  set_root(kChunkTableRoot, table_off, table_bytes);
+  chunks_ = s;
+  chunk_entries_ = pool_.to_ptr<ChunkEntry>(table_off + kNvmBlock);
+  chunks_claimed_.store(0, std::memory_order_relaxed);
+}
+
+void PmemAllocator::attach_chunks() {
+  const uint64_t table_off = hdr()->root_off[kChunkTableRoot];
+  ChunkSuper* s = pool_.to_ptr<ChunkSuper>(table_off);
+  pool_.on_read(s, sizeof(ChunkSuper));
+  if (s->magic != kChunkMagic || s->chunk_count == 0 ||
+      s->chunk_bytes == 0) {
+    throw std::runtime_error("PmemAllocator: corrupt chunk table super");
+  }
+  chunks_ = s;
+  chunk_entries_ = pool_.to_ptr<ChunkEntry>(table_off + kNvmBlock);
+  // Recovery: walk the table and rebuild free space exactly. A claimed
+  // entry stays consumed no matter what interior bump state the crash
+  // interrupted (bounded leak); a free entry is immediately claimable.
+  pool_.on_read(chunk_entries_, s->chunk_count * sizeof(ChunkEntry));
+  uint64_t claimed = 0;
+  for (uint64_t i = 0; i < s->chunk_count; ++i) {
+    if (chunk_entries_[i].state.load(std::memory_order_relaxed) != 0) {
+      ++claimed;
+    }
+  }
+  chunks_claimed_.store(claimed, std::memory_order_relaxed);
+}
+
+PmemAllocator::ThreadChunk* PmemAllocator::my_chunk() {
+  // Per-thread cache of "my slot in allocator generation G"; generations
+  // are process-unique so stale entries from a destroyed allocator can
+  // never alias a new one.
+  thread_local std::unordered_map<uint64_t, uint32_t> cache;
+  const uint64_t gen = instance_gen_.load(std::memory_order_relaxed);
+  if (auto it = cache.find(gen); it != cache.end()) {
+    return &thread_chunks_[it->second];
+  }
+  thread_local uint64_t token =
+      g_alloc_thread_tokens.fetch_add(1, std::memory_order_relaxed);
+  uint32_t s = static_cast<uint32_t>(token % kMaxThreadChunks);
+  for (uint32_t probes = 0; probes < kMaxThreadChunks; ++probes) {
+    uint64_t expected = 0;
+    if (thread_chunks_[s].owner.compare_exchange_strong(
+            expected, token, std::memory_order_acq_rel)) {
+      thread_chunks_[s].home_dimm =
+          next_home_.fetch_add(1, std::memory_order_relaxed) %
+          (pool_.dimm_count() != 0 ? pool_.dimm_count() : 1);
+      cache.emplace(gen, s);
+      return &thread_chunks_[s];
+    }
+    s = (s + 1) % kMaxThreadChunks;
+  }
+  return nullptr;  // more threads than slots: shared-path fallback
+}
+
+int64_t PmemAllocator::claim_chunk(uint32_t home_dimm) {
+  const uint64_t n = chunks_->chunk_count;
+  const uint64_t cb = chunks_->chunk_bytes;
+  const uint64_t arena = chunks_->arena_off;
+  const bool affine = pool_.dimm_count() > 1;
+  const uint64_t start = chunk_scan_.fetch_add(1, std::memory_order_relaxed);
+  for (int pass = affine ? 0 : 1; pass < 2; ++pass) {
+    for (uint64_t i = 0; i < n; ++i) {
+      const uint64_t idx = (start + i) % n;
+      // Pass 0 takes only home-DIMM chunks; pass 1 takes anything free.
+      if (pass == 0 && pool_.dimm_of(arena + idx * cb) != home_dimm) continue;
+      ChunkEntry& e = chunk_entries_[idx];
+      uint64_t expected = 0;
+      if (e.state.load(std::memory_order_relaxed) != 0) continue;
+      if (!e.state.compare_exchange_strong(expected, 1,
+                                           std::memory_order_acq_rel)) {
+        continue;
+      }
+      // Persist the claim BEFORE handing the chunk out: a crash here
+      // leaves the chunk free (claim never reached media — nothing can
+      // reference it yet) or claimed-but-empty (a bounded leak), never
+      // handed out twice.
+      FaultScope tag(kFaultAllocChunk);
+      pool_.persist_fence(&e.state, sizeof(e.state));
+      chunks_claimed_.fetch_add(1, std::memory_order_relaxed);
+      Stats::local().alloc_chunks_claimed++;
+      return static_cast<int64_t>(idx);
+    }
+  }
+  return -1;
+}
+
+uint64_t PmemAllocator::alloc_chunked(uint64_t size, uint64_t align) {
+  const uint64_t cb = chunks_->chunk_bytes;
+  if (size > cb || align > cb) return 0;
+  if (size > chunks_->small_max) {
+    if (size <= cb / 2) return 0;  // mid-size: not worth a whole chunk
+    // Chunk-sized request (value-log segments size themselves to match):
+    // claim a whole chunk, preferably on the thread's home DIMM.
+    ThreadChunk* tc = my_chunk();
+    const int64_t c = claim_chunk(tc != nullptr ? tc->home_dimm : 0);
+    if (c < 0) return 0;
+    return chunks_->arena_off + static_cast<uint64_t>(c) * cb;
+  }
+  ThreadChunk* tc = my_chunk();
+  if (tc == nullptr) return 0;
+  // The bump itself touches no shared state and persists nothing: the
+  // chunk claim already made the space unavailable to post-crash attaches.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const uint64_t off = (tc->cur + align - 1) / align * align;
+    if (tc->cur != 0 && off + size <= tc->end) {
+      tc->cur = off + size;
+      Stats::local().alloc_chunk_bytes += size;
+      return off;
+    }
+    const int64_t c = claim_chunk(tc->home_dimm);
+    if (c < 0) return 0;
+    tc->cur = chunks_->arena_off + static_cast<uint64_t>(c) * cb;
+    tc->end = tc->cur + cb;
+  }
+  return 0;
+}
+
+bool PmemAllocator::chunk_stats(ChunkStats* out) const {
+  if (chunks_ == nullptr) return false;
+  out->chunk_bytes = chunks_->chunk_bytes;
+  out->chunk_count = chunks_->chunk_count;
+  out->claimed = chunks_claimed_.load(std::memory_order_relaxed);
+  out->table_off = hdr()->root_off[kChunkTableRoot];
+  out->arena_off = chunks_->arena_off;
+  out->small_max = chunks_->small_max;
+  out->dimms = chunks_->dimms != 0 ? chunks_->dimms : 1;
+  out->interleave_bytes = chunks_->interleave_bytes;
+  return true;
+}
+
+bool PmemAllocator::chunk_claimed(uint64_t idx) const {
+  return chunks_ != nullptr && idx < chunks_->chunk_count &&
+         chunk_entries_[idx].state.load(std::memory_order_relaxed) != 0;
 }
 
 uint64_t PmemAllocator::root(int slot) const { return hdr()->root_off[slot]; }

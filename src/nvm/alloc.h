@@ -14,6 +14,20 @@
 // address through pool().to_ptr() exactly as before — but bound their bump
 // pointer to the region end, so one shard exhausting its slice throws
 // std::bad_alloc without touching its neighbours.
+//
+// Chunked mode (enable_chunked, the HESH/Halo ThreadMeta/DimmMeta design):
+// the region's free space is carved into power-of-two chunks fronted by a
+// persisted chunk table — one cacheline per chunk, anchored in root slot
+// kChunkTableRoot. Threads CAS-claim whole chunks (preferring chunks on
+// their home DIMM under the pool's DimmConfig) and bump-allocate inside
+// them, so the allocation hot path persists NO shared metadata: the shared
+// bump-pointer persist+fence of the default path happens once per chunk
+// instead of once per alloc. Chunk-sized requests (value-log segments)
+// claim whole chunks directly. Recovery walks the chunk table: claimed
+// chunks stay consumed whatever their interior bump state was, free chunks
+// are immediately claimable — free space is rebuilt exactly at chunk
+// granularity, the same leak-on-crash contract the bump pointer already
+// has, now bounded per crash by (threads x chunk_bytes).
 #pragma once
 
 #include <atomic>
@@ -72,6 +86,49 @@ class PmemAllocator {
   // region base before the first alloc()-able byte.
   static constexpr uint64_t header_bytes() { return kNvmBlock * 2; }
 
+  // ---- per-thread chunked allocation ------------------------------------
+
+  // Root slot anchoring the persisted chunk table (15 is the shard map).
+  static constexpr int kChunkTableRoot = 14;
+  static constexpr uint64_t kChunkMagic = 0x48444E4843484E4BULL;  // "HDNHCHNK"
+
+  struct ChunkConfig {
+    uint64_t chunk_bytes = 256 * 1024;  // power of two, >= 4 KiB
+    // Number of chunks to carve; 0 sizes from the region's remaining free
+    // space (minus reserve_bytes kept for the shared bump path).
+    uint64_t chunk_count = 0;
+    // Requests up to this size are served from the thread's bump chunk;
+    // 0 = chunk_bytes / 8. Larger requests claim a whole chunk when they
+    // fit in (chunk_bytes/2, chunk_bytes], else fall back to the shared
+    // path (counted in Stats::alloc_shared_fallbacks).
+    uint64_t small_max = 0;
+    uint64_t reserve_bytes = 0;  // 0 = remaining()/8
+  };
+
+  // Carve the chunk table + arena out of this allocator's free space and
+  // publish it in kChunkTableRoot — or, if the region already carries a
+  // chunk table (restart/recovery), attach to it, ignoring `cfg`. After a
+  // restart plain format_or_attach() re-attaches chunked mode
+  // automatically, so recovery code needs no special call.
+  void enable_chunked(const ChunkConfig& cfg);
+  void enable_chunked() { enable_chunked(ChunkConfig{}); }
+  bool chunked() const { return chunks_ != nullptr; }
+
+  struct ChunkStats {
+    uint64_t chunk_bytes = 0;
+    uint64_t chunk_count = 0;
+    uint64_t claimed = 0;      // chunks whose table entry is claimed
+    uint64_t table_off = 0;
+    uint64_t arena_off = 0;
+    uint64_t small_max = 0;
+    uint32_t dimms = 1;              // pool DIMM geometry at format time
+    uint64_t interleave_bytes = 0;
+  };
+  // False when chunked mode is off.
+  bool chunk_stats(ChunkStats* out) const;
+  // Claim state of chunk `idx` (doctor's placement map).
+  bool chunk_claimed(uint64_t idx) const;
+
  private:
   struct Header {
     uint64_t magic;
@@ -82,8 +139,48 @@ class PmemAllocator {
   };
   static_assert(sizeof(Header) <= kNvmBlock * 2, "header fits two blocks");
 
+  // Chunk-table superblock (first block of the table allocation; the
+  // ChunkEntry array starts at the next block boundary).
+  struct ChunkSuper {
+    uint64_t magic;
+    uint64_t chunk_bytes;
+    uint64_t chunk_count;
+    uint64_t arena_off;  // absolute pool offset of chunk 0 (chunk-aligned)
+    uint64_t small_max;
+    uint32_t dimms;  // pool geometry at format time, for offline inspection
+    uint32_t pad0;
+    uint64_t interleave_bytes;
+  };
+  static_assert(sizeof(ChunkSuper) <= kNvmBlock, "chunk super fits a block");
+
+  // One cacheline per chunk so concurrent claims of different chunks never
+  // contend on a persist of the same line. state: 0 = free, 1 = claimed.
+  struct ChunkEntry {
+    std::atomic<uint64_t> state;
+    uint64_t pad[7];
+  };
+  static_assert(sizeof(ChunkEntry) == kCacheLine, "one line per chunk");
+
+  // A thread's current bump chunk. Slots are CAS-owned by thread token
+  // (the LogStore head-claiming protocol); all fields past `owner` are
+  // owned exclusively by the claiming thread.
+  struct alignas(kCacheLine) ThreadChunk {
+    std::atomic<uint64_t> owner{0};
+    uint64_t cur = 0;  // next bump offset (absolute; 0 = no chunk yet)
+    uint64_t end = 0;
+    uint32_t home_dimm = 0;
+  };
+  static constexpr uint32_t kMaxThreadChunks = 64;
+
   Header* hdr() const { return pool_.to_ptr<Header>(base_); }
   void format_or_attach();
+  void format_chunks(const ChunkConfig& cfg);
+  void attach_chunks();
+  // Serve from the chunked paths; 0 = caller falls back to the shared path
+  // (offset 0 is always the pool/region header, never a valid allocation).
+  uint64_t alloc_chunked(uint64_t size, uint64_t align);
+  int64_t claim_chunk(uint32_t home_dimm);
+  ThreadChunk* my_chunk();
 
   PmemPool& pool_;
   uint64_t base_ = 0;
@@ -91,6 +188,14 @@ class PmemAllocator {
   bool attached_ = false;
   std::mutex free_mu_;
   std::map<uint64_t, std::vector<uint64_t>> free_lists_;  // size -> offsets
+  // Chunked mode (null when disabled). The super/entries live in the pool.
+  ChunkSuper* chunks_ = nullptr;
+  ChunkEntry* chunk_entries_ = nullptr;
+  std::atomic<uint64_t> chunks_claimed_{0};  // volatile mirror for gauges
+  std::atomic<uint64_t> chunk_scan_{0};      // claim-scan rotor
+  std::atomic<uint32_t> next_home_{0};       // round-robin home-DIMM dealer
+  std::atomic<uint64_t> instance_gen_{0};    // keys the thread-slot cache
+  ThreadChunk thread_chunks_[kMaxThreadChunks];
 };
 
 }  // namespace hdnh::nvm

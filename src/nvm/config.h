@@ -27,6 +27,40 @@ inline constexpr uint64_t kNvmBlock = 256;  // AEP internal access granularity
 // Power of two; the window is direct-mapped on the block number.
 inline constexpr uint64_t kPrefetchWindowBlocks = 128;
 
+// Upper bound on emulated DIMMs per pool; sizes the per-DIMM counter arrays
+// in nvm::Stats. Real AEP platforms top out at 6 DIMMs per socket.
+inline constexpr uint32_t kMaxDimms = 16;
+
+// Emulated DIMM topology and per-DIMM bandwidth ceilings. Peng et al.
+// ("System Evaluation of the Intel Optane Byte-addressable NVM") measure
+// per-DIMM bandwidth ceilings — ~2.3 GB/s write, ~6.6 GB/s read per module
+// — with throughput scaling across DIMMs only when traffic actually spreads
+// across them. With dimms > 1 every persist/read is attributed to the DIMM
+// owning its offset, and an optional token bucket per DIMM converts
+// oversubscription into stall time charged to the requesting thread.
+//
+// The default (dimms = 1, caps = 0) is the flat legacy device: no extra
+// latency, no per-DIMM state touched — byte-for-byte and ns-for-ns
+// identical to the pre-DIMM emulator.
+struct DimmConfig {
+  // Number of emulated DIMMs. 1 = flat model (all DIMM logic bypassed).
+  uint32_t dimms = 1;
+
+  // Interleave granularity: offset off lives on DIMM (off / interleave) %
+  // dimms, the classic striped "interleaved namespace" layout. 0 selects
+  // contiguous per-DIMM slices (size/dimms each) — the "dedicated
+  // namespace per DIMM" layout. Rounded up to a 256 B block multiple.
+  uint64_t interleave_bytes = 1ull << 20;
+
+  // Per-DIMM bandwidth caps in MB/s (1 MB/s == 1 byte/us). 0 = uncapped:
+  // bytes are attributed to DIMMs but no stall is ever charged. Calibrate
+  // against Peng et al.: ~2300 write / ~6600 read per DIMM, scaled down by
+  // the same factor as the latency constants when the host CPU cannot
+  // generate hardware-scale demand (see docs/nvm_emulation.md).
+  uint64_t write_mbps = 0;
+  uint64_t read_mbps = 0;
+};
+
 struct NvmConfig {
   // Emulate latency with spin-waits. Off → only counters are maintained
   // (used by unit tests, which care about semantics, not timing).
@@ -49,6 +83,9 @@ struct NvmConfig {
 
   // Scale all latency costs (bench sweeps); 0 disables like emulate_latency=false.
   double latency_scale = 1.0;
+
+  // DIMM topology + per-DIMM bandwidth model (flat single-DIMM by default).
+  DimmConfig dimm;
 };
 
 }  // namespace hdnh::nvm

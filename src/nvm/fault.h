@@ -45,6 +45,7 @@ enum FaultKind : uint32_t {
   kFaultVkvAppend = 1u << 15,    // value-log record write (vkv::LogStore)
   kFaultVkvSeal = 1u << 16,      // value-log segment state transition
   kFaultVkvGc = 1u << 17,        // value-log GC relocate/retire
+  kFaultAllocChunk = 1u << 18,   // chunk-table claim/free/format persist
   kFaultAnyKind = 0xFFFFFFFFu,
 };
 

@@ -5,9 +5,11 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
+#include <thread>
 
 #include "common/random.h"
 #include "obs/trace.h"
@@ -104,6 +106,19 @@ void PmemPool::charge_read_latency(const void* p, uint64_t len,
 PmemPool::PmemPool(uint64_t size, NvmConfig cfg, const std::string& backing_file)
     : cfg_(cfg) {
   size_ = (size + kNvmBlock - 1) / kNvmBlock * kNvmBlock;
+  if (cfg_.dimm.dimms == 0) cfg_.dimm.dimms = 1;
+  if (cfg_.dimm.dimms > kMaxDimms) {
+    throw std::invalid_argument("PmemPool: DimmConfig.dimms exceeds kMaxDimms");
+  }
+  if (cfg_.dimm.interleave_bytes != 0) {
+    // Stripe boundaries must fall on media-block (hence cacheline) edges so
+    // per-stripe unit counts sum exactly to the flat counts.
+    cfg_.dimm.interleave_bytes =
+        (cfg_.dimm.interleave_bytes + kNvmBlock - 1) / kNvmBlock * kNvmBlock;
+  } else if (cfg_.dimm.dimms > 1) {
+    dimm_slice_bytes_ = size_ / cfg_.dimm.dimms / kNvmBlock * kNvmBlock;
+    if (dimm_slice_bytes_ == 0) dimm_slice_bytes_ = kNvmBlock;
+  }
   int flags = MAP_ANONYMOUS | MAP_PRIVATE;
   if (!backing_file.empty()) {
     struct stat st{};
@@ -152,6 +167,80 @@ void PmemPool::persist(const void* p, uint64_t len) {
   if (cfg_.emulate_latency) {
     spin_for_ns(static_cast<uint64_t>(
         static_cast<double>(lines * cfg_.write_ns_per_line) * cfg_.latency_scale));
+  }
+  if (cfg_.dimm.dimms > 1) account_dimm(p, len, kCacheLine, true, c);
+}
+
+void PmemPool::account_dimm(const void* p, uint64_t len, uint64_t unit,
+                            bool write, Stats::Counters& c) {
+  const DimmConfig& dc = cfg_.dimm;
+  const uint64_t stripe =
+      dc.interleave_bytes != 0 ? dc.interleave_bytes : dimm_slice_bytes_;
+  const uint64_t off0 = to_off(p);
+  const uint64_t end = off0 + (len ? len : 1);
+  const uint64_t mbps = write ? dc.write_mbps : dc.read_mbps;
+  uint64_t cur = off0;
+  while (cur < end) {
+    uint64_t seg_end = (cur / stripe + 1) * stripe;
+    if (seg_end > end) seg_end = end;
+    const uint32_t d = dimm_of(cur);
+    const uint64_t units = span_units(base_ + cur, seg_end - cur, unit);
+    const uint64_t bytes = units * unit;
+    if (write) {
+      c.nvm_dimm_write_bytes[d] += bytes;
+    } else {
+      c.nvm_dimm_read_bytes[d] += bytes;
+    }
+    if (mbps != 0 && cfg_.emulate_latency) {
+      charge_dimm_bandwidth(d, bytes, mbps, write, c);
+    }
+    cur = seg_end;
+  }
+}
+
+void PmemPool::charge_dimm_bandwidth(uint32_t dimm, uint64_t bytes,
+                                     uint64_t mbps, bool write,
+                                     Stats::Counters& c) {
+  // 1 MB/s == 1 byte/us, so service time is bytes * 1000 / mbps ns.
+  // latency_scale slows the device the same way it slows the flat charges.
+  const uint64_t service = static_cast<uint64_t>(
+      static_cast<double>(bytes) * 1000.0 / static_cast<double>(mbps) *
+      cfg_.latency_scale);
+  if (service == 0) return;
+  const uint64_t now = now_ns();
+  auto& busy = dimm_state_[dimm].busy_until_ns;
+  uint64_t prev = busy.load(std::memory_order_relaxed);
+  uint64_t start;
+  do {
+    start = prev > now ? prev : now;
+  } while (!busy.compare_exchange_weak(prev, start + service,
+                                       std::memory_order_relaxed));
+  const uint64_t stall = start - now;
+  if (stall == 0) return;
+  if (write) {
+    c.nvm_dimm_write_stall_ns[dimm] += stall;
+  } else {
+    c.nvm_dimm_read_stall_ns[dimm] += stall;
+  }
+  // Backlog at arrival, in units of this request's own service time — i.e.
+  // how many like-sized requests were queued ahead.
+  c.nvm_dimm_queue_depth[dimm] += (stall + service - 1) / service;
+
+  // Unlike the flat latency charges (CLWB/fence stalls the issuing core, so
+  // spinning is the honest emulation), bandwidth backpressure is queueing
+  // at the *device*: the core is free while the backlog drains. Sleep
+  // instead of spin, so threads stalled on different DIMMs drain their
+  // buckets in parallel — on few-core hosts a spin here would serialize
+  // every bucket through the one core and no amount of traffic spreading
+  // could ever help. Sub-quantum stalls accumulate into a per-thread debt
+  // so we never ask the OS for sleeps below its timer resolution.
+  constexpr uint64_t kSleepQuantumNs = 100 * 1000;
+  static thread_local uint64_t stall_debt_ns = 0;
+  stall_debt_ns += stall;
+  if (stall_debt_ns >= kSleepQuantumNs) {
+    const uint64_t ns = stall_debt_ns;
+    stall_debt_ns = 0;
+    std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
   }
 }
 

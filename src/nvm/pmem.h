@@ -62,6 +62,24 @@ class PmemPool {
   void set_emulate_latency(bool on) { cfg_.emulate_latency = on; }
   void set_latency_scale(double s) { cfg_.latency_scale = s; }
 
+  // ---- DIMM model ---------------------------------------------------------
+
+  // Emulated DIMM count (1 = flat legacy device).
+  uint32_t dimm_count() const { return cfg_.dimm.dimms; }
+
+  // The DIMM owning pool offset `off` under the configured layout:
+  // interleaved stripes of interleave_bytes, or contiguous per-DIMM slices
+  // when interleave_bytes == 0. Always 0 on the flat model.
+  uint32_t dimm_of(uint64_t off) const {
+    const DimmConfig& d = cfg_.dimm;
+    if (d.dimms <= 1) return 0;
+    if (d.interleave_bytes != 0) {
+      return static_cast<uint32_t>((off / d.interleave_bytes) % d.dimms);
+    }
+    const uint32_t s = static_cast<uint32_t>(off / dimm_slice_bytes_);
+    return s < d.dimms ? s : d.dimms - 1;
+  }
+
   // ---- access annotations ----------------------------------------------
 
   // A media read of [p, p+len). Charges one block cost per distinct 256 B
@@ -74,6 +92,7 @@ class PmemPool {
     const uint64_t blocks = span_units(p, len, kNvmBlock);
     c.nvm_read_blocks += blocks;
     charge_read_latency(p, len, blocks, c);
+    if (cfg_.dimm.dimms > 1) account_dimm(p, len, kNvmBlock, false, c);
   }
 
   // Issue an asynchronous media read-ahead of the blocks covering
@@ -134,7 +153,7 @@ class PmemPool {
       spin_for_ns(static_cast<uint64_t>(
           static_cast<double>(cfg_.write_ns_per_line) * cfg_.latency_scale));
     }
-    (void)p;
+    if (cfg_.dimm.dimms > 1 && contains(p)) account_dimm(p, 1, kCacheLine, true, c);
   }
 
   // ---- crash simulation --------------------------------------------------
@@ -178,6 +197,16 @@ class PmemPool {
   // count as stalled and spin the full block latency.
   void charge_read_latency(const void* p, uint64_t len, uint64_t blocks,
                            Stats::Counters& c);
+  // DIMM attribution + token bucket for an access of [p, p+len): splits the
+  // range at stripe boundaries, counts whole media units (`unit` = 64 for
+  // writes, 256 for reads) against each owning DIMM, and — when the
+  // matching bandwidth cap is set and latency emulation is on — charges
+  // token-bucket stall time to the calling thread. Never touches the flat
+  // traffic counters; only called when dimms > 1.
+  void account_dimm(const void* p, uint64_t len, uint64_t unit, bool write,
+                    Stats::Counters& c);
+  void charge_dimm_bandwidth(uint32_t dimm, uint64_t bytes, uint64_t mbps,
+                             bool write, Stats::Counters& c);
 
   static uint64_t span_units(const void* p, uint64_t len, uint64_t unit) {
     const uint64_t a = reinterpret_cast<uint64_t>(p);
@@ -186,11 +215,22 @@ class PmemPool {
     return last - first + 1;
   }
 
+  // Virtual completion horizon of one emulated DIMM: the token bucket's
+  // "busy until" timestamp. A request arriving at `now` starts service at
+  // max(now, busy_until) and pushes the horizon by its service time; the
+  // gap is the stall the requesting thread spins out. Cacheline-aligned so
+  // independent DIMMs never false-share.
+  struct alignas(kCacheLine) DimmState {
+    std::atomic<uint64_t> busy_until_ns{0};
+  };
+
   NvmConfig cfg_;
   uint64_t size_ = 0;
+  uint64_t dimm_slice_bytes_ = 0;  // slice layout only (interleave_bytes == 0)
   char* base_ = nullptr;
   char* shadow_ = nullptr;  // media image when crash sim is on
   std::atomic<FaultPlan*> fault_plan_{nullptr};
+  DimmState dimm_state_[kMaxDimms];
   int fd_ = -1;
   bool recovered_ = false;
 };

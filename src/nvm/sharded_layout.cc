@@ -42,12 +42,27 @@ ShardedPmemLayout::ShardedPmemLayout(PmemAllocator& parent, uint32_t shards,
   map_ = pool.to_ptr<ShardMapSuper>(map_alloc);
   std::memset(static_cast<void*>(map_), 0, sizeof(ShardMapSuper));
 
+  // When the pool models multiple interleaved DIMMs, align each region base
+  // to a stripe boundary so consecutive shards start on consecutive DIMMs —
+  // a K-thread workload over K shards then spreads across all D DIMMs
+  // instead of having every region base share stripe 0's DIMM. Equal-split
+  // only: the stripe slack comes out of the per-shard budget, so callers'
+  // pool-size hints stay valid. An explicit bytes_per_shard keeps the old
+  // block alignment.
+  const uint32_t dimms = pool.dimm_count();
+  const uint64_t ig = pool.config().dimm.interleave_bytes;
+  uint64_t align = kNvmBlock;
+
   uint64_t per = bytes_per_shard;
   if (per == 0) {
-    // Equal split of everything still unallocated, keeping one block per
-    // shard for alignment slack inside alloc().
+    // Equal split of everything still unallocated, keeping one alignment
+    // unit per shard for slack inside alloc().
     const uint64_t avail = parent_.remaining();
-    const uint64_t slack = static_cast<uint64_t>(shards) * kNvmBlock;
+    if (dimms > 1 && ig > kNvmBlock &&
+        avail / 2 > static_cast<uint64_t>(shards) * ig) {
+      align = ig;
+    }
+    const uint64_t slack = static_cast<uint64_t>(shards) * align;
     if (avail <= slack) throw std::bad_alloc();
     per = (avail - slack) / shards / kNvmBlock * kNvmBlock;
   }
@@ -55,11 +70,14 @@ ShardedPmemLayout::ShardedPmemLayout(PmemAllocator& parent, uint32_t shards,
 
   shard_count_ = shards;
   map_->shard_count = shards;
+  map_->dimms = dimms;
+  map_->interleave_bytes = dimms > 1 ? ig : 0;
   allocs_.reserve(shards);
   for (uint32_t s = 0; s < shards; ++s) {
-    const uint64_t off = parent_.alloc(per, kNvmBlock);
+    const uint64_t off = parent_.alloc(per, align);
     map_->shard_off[s] = off;
     map_->shard_bytes[s] = per;
+    map_->shard_dimm[s] = static_cast<uint8_t>(pool.dimm_of(off));
     allocs_.push_back(std::make_unique<PmemAllocator>(pool, off, per));
   }
 

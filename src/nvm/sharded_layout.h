@@ -32,9 +32,13 @@ struct ShardMapSuper {
 
   uint64_t magic;
   uint32_t shard_count;
-  uint32_t reserved;
+  uint32_t dimms;                    // pool DIMM count at carve time (1 = flat)
   uint64_t shard_off[kMaxShards];    // region base, kNvmBlock-aligned
   uint64_t shard_bytes[kMaxShards];  // region size
+  // DIMM placement of the carve, persisted so offline tools (hdnh_doctor)
+  // can print the shard→DIMM map without knowing the pool's runtime config.
+  uint64_t interleave_bytes;         // stripe size; 0 = per-DIMM slices
+  uint8_t shard_dimm[kMaxShards];    // home DIMM of each region base
 };
 
 class ShardedPmemLayout {
@@ -56,6 +60,11 @@ class ShardedPmemLayout {
   PmemAllocator& shard_alloc(uint32_t s) { return *allocs_[s]; }
   uint64_t shard_off(uint32_t s) const { return map_->shard_off[s]; }
   uint64_t shard_bytes(uint32_t s) const { return map_->shard_bytes[s]; }
+  // Persisted home DIMM of shard s's region base (0 on a flat pool).
+  uint32_t shard_dimm(uint32_t s) const { return map_->shard_dimm[s]; }
+  // Persisted DIMM geometry of the carve (1 / 0 on a flat pool).
+  uint32_t dimms() const { return map_->dimms; }
+  uint64_t interleave_bytes() const { return map_->interleave_bytes; }
 
   // True if `parent` already carries a shard map in `root_slot`.
   static bool present(const PmemAllocator& parent,

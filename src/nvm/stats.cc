@@ -48,6 +48,16 @@ StatsSnapshot Stats::raw_aggregate_locked() {
     s.nvm_read_blocks_stalled += b->nvm_read_blocks_stalled;
     s.fault_events += b->fault_events;
     s.fault_crashes += b->fault_crashes;
+    for (uint32_t d = 0; d < kMaxDimms; ++d) {
+      s.nvm_dimm_read_bytes[d] += b->nvm_dimm_read_bytes[d];
+      s.nvm_dimm_write_bytes[d] += b->nvm_dimm_write_bytes[d];
+      s.nvm_dimm_read_stall_ns[d] += b->nvm_dimm_read_stall_ns[d];
+      s.nvm_dimm_write_stall_ns[d] += b->nvm_dimm_write_stall_ns[d];
+      s.nvm_dimm_queue_depth[d] += b->nvm_dimm_queue_depth[d];
+    }
+    s.alloc_chunks_claimed += b->alloc_chunks_claimed;
+    s.alloc_chunk_bytes += b->alloc_chunk_bytes;
+    s.alloc_shared_fallbacks += b->alloc_shared_fallbacks;
   }
   return s;
 }

@@ -13,6 +13,8 @@
 #include <mutex>
 #include <vector>
 
+#include "nvm/config.h"
+
 namespace hdnh::nvm {
 
 struct StatsSnapshot {
@@ -37,6 +39,26 @@ struct StatsSnapshot {
   // an armed FaultPlan, and injected crashes that actually fired.
   uint64_t fault_events = 0;
   uint64_t fault_crashes = 0;
+  // Per-DIMM device model (DimmConfig with dimms > 1). Bytes are attributed
+  // at media granularity (whole cachelines written, whole blocks read), so
+  // summing write_bytes across DIMMs equals nvm_write_lines * 64 and
+  // read_bytes equals nvm_read_blocks * 256 for a single-pool workload.
+  // Stall time is what the per-DIMM token bucket added on top of the flat
+  // latency charges; queue_depth sums, over stalled arrivals, the number of
+  // equal-sized requests already queued ahead (divide by stalled arrivals
+  // for an average depth).
+  uint64_t nvm_dimm_read_bytes[kMaxDimms] = {};
+  uint64_t nvm_dimm_write_bytes[kMaxDimms] = {};
+  uint64_t nvm_dimm_read_stall_ns[kMaxDimms] = {};
+  uint64_t nvm_dimm_write_stall_ns[kMaxDimms] = {};
+  uint64_t nvm_dimm_queue_depth[kMaxDimms] = {};
+  // Chunked PmemAllocator (alloc.h enable_chunked): chunks CAS-claimed from
+  // the persisted chunk table, bytes served from thread-local bump chunks
+  // (the zero-shared-persistent-writes hot path), and allocations that fell
+  // back to the shared bump/freelist path (oversize or chunks exhausted).
+  uint64_t alloc_chunks_claimed = 0;
+  uint64_t alloc_chunk_bytes = 0;
+  uint64_t alloc_shared_fallbacks = 0;
 
   StatsSnapshot& operator-=(const StatsSnapshot& rhs) {
     nvm_read_ops -= rhs.nvm_read_ops;
@@ -53,6 +75,16 @@ struct StatsSnapshot {
     nvm_read_blocks_stalled -= rhs.nvm_read_blocks_stalled;
     fault_events -= rhs.fault_events;
     fault_crashes -= rhs.fault_crashes;
+    for (uint32_t d = 0; d < kMaxDimms; ++d) {
+      nvm_dimm_read_bytes[d] -= rhs.nvm_dimm_read_bytes[d];
+      nvm_dimm_write_bytes[d] -= rhs.nvm_dimm_write_bytes[d];
+      nvm_dimm_read_stall_ns[d] -= rhs.nvm_dimm_read_stall_ns[d];
+      nvm_dimm_write_stall_ns[d] -= rhs.nvm_dimm_write_stall_ns[d];
+      nvm_dimm_queue_depth[d] -= rhs.nvm_dimm_queue_depth[d];
+    }
+    alloc_chunks_claimed -= rhs.alloc_chunks_claimed;
+    alloc_chunk_bytes -= rhs.alloc_chunk_bytes;
+    alloc_shared_fallbacks -= rhs.alloc_shared_fallbacks;
     return *this;
   }
 };
@@ -76,6 +108,14 @@ class Stats {
     uint64_t nvm_read_blocks_stalled = 0;
     uint64_t fault_events = 0;
     uint64_t fault_crashes = 0;
+    uint64_t nvm_dimm_read_bytes[kMaxDimms] = {};
+    uint64_t nvm_dimm_write_bytes[kMaxDimms] = {};
+    uint64_t nvm_dimm_read_stall_ns[kMaxDimms] = {};
+    uint64_t nvm_dimm_write_stall_ns[kMaxDimms] = {};
+    uint64_t nvm_dimm_queue_depth[kMaxDimms] = {};
+    uint64_t alloc_chunks_claimed = 0;
+    uint64_t alloc_chunk_bytes = 0;
+    uint64_t alloc_shared_fallbacks = 0;
   };
 
   // The calling thread's counter block (created and registered on first use).

@@ -128,7 +128,32 @@ constexpr NvmField kNvmFields[] = {
     {"nvm_read_blocks_stalled", &nvm::StatsSnapshot::nvm_read_blocks_stalled},
     {"fault_events", &nvm::StatsSnapshot::fault_events},
     {"fault_crashes", &nvm::StatsSnapshot::fault_crashes},
+    {"alloc_chunks_claimed", &nvm::StatsSnapshot::alloc_chunks_claimed},
+    {"alloc_chunk_bytes", &nvm::StatsSnapshot::alloc_chunk_bytes},
+    {"alloc_shared_fallbacks", &nvm::StatsSnapshot::alloc_shared_fallbacks},
 };
+
+// The per-DIMM counter arrays (DimmConfig with dimms > 1), walked the same
+// way. Serializers emit only DIMMs with any traffic, so the flat model
+// stays free of 16 all-zero series.
+struct NvmDimmField {
+  const char* name;
+  uint64_t (nvm::StatsSnapshot::*field)[nvm::kMaxDimms];
+};
+constexpr NvmDimmField kNvmDimmFields[] = {
+    {"nvm_dimm_read_bytes", &nvm::StatsSnapshot::nvm_dimm_read_bytes},
+    {"nvm_dimm_write_bytes", &nvm::StatsSnapshot::nvm_dimm_write_bytes},
+    {"nvm_dimm_read_stall_ns", &nvm::StatsSnapshot::nvm_dimm_read_stall_ns},
+    {"nvm_dimm_write_stall_ns", &nvm::StatsSnapshot::nvm_dimm_write_stall_ns},
+    {"nvm_dimm_queue_depth", &nvm::StatsSnapshot::nvm_dimm_queue_depth},
+};
+
+bool dimm_active(const nvm::StatsSnapshot& s, uint32_t d) {
+  for (const NvmDimmField& f : kNvmDimmFields) {
+    if ((s.*f.field)[d] != 0) return true;
+  }
+  return false;
+}
 
 constexpr double kQuantiles[] = {0.5, 0.9, 0.99, 0.999};
 
@@ -173,6 +198,19 @@ std::string Metrics::prometheus() {
     line("# TYPE hdnh_%s_total counter\n", f.name);
     line("hdnh_%s_total %llu\n", f.name,
          static_cast<unsigned long long>(nvm.*f.field));
+  }
+
+  for (const NvmDimmField& f : kNvmDimmFields) {
+    bool typed = false;
+    for (uint32_t d = 0; d < nvm::kMaxDimms; ++d) {
+      if (!dimm_active(nvm, d)) continue;
+      if (!typed) {
+        line("# TYPE hdnh_%s_total counter\n", f.name);
+        typed = true;
+      }
+      line("hdnh_%s_total{dimm=\"%u\"} %llu\n", f.name, d,
+           static_cast<unsigned long long>((nvm.*f.field)[d]));
+    }
   }
 
   out += "# HELP hdnh_ops_total operations issued, by kind\n";
@@ -241,6 +279,18 @@ std::string Metrics::json() {
   w.key("nvm").begin_object();
   for (const NvmField& f : kNvmFields) w.kv(f.name, nvm.*f.field);
   w.end_object();
+
+  w.key("nvm_dimms").begin_array();
+  for (uint32_t d = 0; d < nvm::kMaxDimms; ++d) {
+    if (!dimm_active(nvm, d)) continue;
+    w.begin_object();
+    w.kv("dimm", static_cast<uint64_t>(d));
+    for (const NvmDimmField& f : kNvmDimmFields) {
+      w.kv(f.name, (nvm.*f.field)[d]);
+    }
+    w.end_object();
+  }
+  w.end_array();
 
   w.key("ops").begin_object();
   for (uint32_t i = 0; i < kOpCount; ++i) {

@@ -26,6 +26,18 @@ ShardedTable::ShardedTable(std::unique_ptr<nvm::ShardedPmemLayout> layout,
         "hdnh_store_load_factor", obs_label_,
         "Aggregate items / aggregate slots across shards",
         [this] { return load_factor(); }));
+    // Under a multi-DIMM pool each shard region has a persisted home DIMM
+    // (the stripe its region base starts on); export the placement so a
+    // scrape can see how the carve spread across the device.
+    if (layout_ && layout_->shard_alloc(0).pool().dimm_count() > 1) {
+      for (uint32_t s = 0; s < layout_->shards(); ++s) {
+        obs_gauges_.push_back(obs::Metrics::add_gauge(
+            "hdnh_store_shard_home_dimm",
+            obs_label_ + ",shard=\"" + std::to_string(s) + "\"",
+            "Home DIMM of the shard's region base",
+            [this, s] { return static_cast<double>(this->layout_->shard_dimm(s)); }));
+      }
+    }
   }
 }
 

@@ -556,6 +556,18 @@ const std::vector<VkvScenario>& vkv_scenario_table() {
        "crash during concurrent GC: relocation, republish, segment retire",
        nvm::kFaultVkvGc, vopts_tiny_segments, 64ull << 20, setup_vkv_gc,
        ops_vkv_gc},
+      // Chunked allocator under the value log: 4 KiB segments over 4 KiB
+      // chunks, so every segment activation claims a fresh chunk from the
+      // persisted chunk table. The sweep lands between a chunk-claim
+      // persist and the first record persisted into it (claim must never
+      // hand out a chunk the media image still shows free *and* in use),
+      // and inside seal/append transitions whose segment lives in a
+      // freshly claimed chunk.
+      {"vkv_chunked",
+       "chunk-table claims interleaved with value-log appends and seals",
+       nvm::kFaultAllocChunk | nvm::kFaultVkvAppend | nvm::kFaultVkvSeal,
+       vopts_tiny_segments, 64ull << 20, setup_vkv_seal, ops_vkv_seal,
+       /*chunk_bytes=*/4 * 1024},
   };
   return kScenarios;
 }
@@ -574,9 +586,15 @@ const VkvScenario* find_vkv_scenario(const std::string& name) {
 VkvScenarioEnv make_vkv_env(const VkvScenario& s, uint64_t seed) {
   VkvScenarioEnv env;
   env.opts = s.options();
+  env.chunk_bytes = s.chunk_bytes;
   env.pool = std::make_unique<nvm::PmemPool>(s.pool_bytes);
   env.pool->enable_crash_sim();
   env.alloc = std::make_unique<nvm::PmemAllocator>(*env.pool);
+  if (env.chunk_bytes != 0) {
+    nvm::PmemAllocator::ChunkConfig cc;
+    cc.chunk_bytes = env.chunk_bytes;
+    env.alloc->enable_chunked(cc);
+  }
   env.store = std::make_unique<vkv::VkvStore>(*env.alloc, env.opts);
   if (s.setup) s.setup(env, seed);
   return env;

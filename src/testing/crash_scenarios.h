@@ -143,6 +143,7 @@ struct VkvScenarioEnv {
   std::map<std::string, std::string> model;  // acknowledged ops only
   VkvPendingOp pending;
   vkv::VkvStore::Options opts;
+  uint64_t chunk_bytes = 0;  // nonzero = allocator runs in chunked mode
 
   // Model-tracked operations (see ScenarioEnv::ins/upd/del).
   bool put(const std::string& key, const std::string& value);
@@ -154,11 +155,15 @@ struct VkvScenarioEnv {
 struct VkvScenario {
   const char* name;
   const char* what;
-  uint32_t mask;  // FaultPlan mask (the kFaultVkv* taxonomy bits)
+  uint32_t mask;  // FaultPlan mask (the kFaultVkv* / kFaultAllocChunk bits)
   vkv::VkvStore::Options (*options)();
   uint64_t pool_bytes;
   void (*setup)(VkvScenarioEnv&, uint64_t seed);  // plan disarmed (may be null)
   void (*ops)(VkvScenarioEnv&, uint64_t seed);    // swept stage
+  // Nonzero: enable chunked allocation (chunks of this size) before the
+  // store is built, so segment allocations and chunk-claim persists are
+  // part of the swept event stream.
+  uint64_t chunk_bytes = 0;
 };
 
 const std::vector<VkvScenario>& vkv_scenarios();

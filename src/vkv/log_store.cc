@@ -342,6 +342,21 @@ uint32_t LogStore::segments_in_use() const {
   return n;
 }
 
+bool LogStore::inspect(const nvm::PmemPool& pool, uint64_t super_off,
+                       const std::function<void(int, uint64_t, uint64_t,
+                                                uint32_t, uint64_t)>& fn) {
+  if (super_off == 0 || super_off + sizeof(Super) > pool.size()) return false;
+  const Super* s = pool.to_ptr<const Super>(super_off);
+  if (s->magic != kMagic) return false;
+  for (uint32_t i = 0; i < kMaxSegments; ++i) {
+    const SegmentEntry& e = s->seg[i];
+    const uint32_t state = aload(e.state);
+    if (state == kSegFree) continue;
+    fn(static_cast<int>(i), e.off, e.capacity, state, e.sealed_tail);
+  }
+  return true;
+}
+
 int LogStore::pick_victim(double min_dead_fraction) const {
   std::lock_guard<std::mutex> lock(dir_mu_);
   int best = -1;

@@ -155,6 +155,15 @@ class LogStore {
 
   nvm::PmemAllocator& allocator() { return alloc_; }
 
+  // Read-only walk of a persisted log directory for offline tools
+  // (hdnh_doctor's segment→DIMM placement map): calls
+  // fn(idx, off, capacity, state, sealed_tail) for every non-free entry,
+  // without the recovery scans a LogStore construction performs. Returns
+  // false when `super_off` does not hold a log superblock.
+  static bool inspect(const nvm::PmemPool& pool, uint64_t super_off,
+                      const std::function<void(int, uint64_t, uint64_t,
+                                               uint32_t, uint64_t)>& fn);
+
  private:
 #pragma pack(push, 1)
   struct RecordHeader {

@@ -59,6 +59,56 @@ TEST(Stats, SnapshotUnderConcurrentThreadChurn) {
   }
 }
 
+TEST(Stats, PerDimmArraysAggregateAcrossThreads) {
+  Stats::reset();
+  Stats::local().nvm_dimm_write_bytes[0] += 100;
+  Stats::local().nvm_dimm_write_stall_ns[3] += 7;
+  std::thread([] {
+    Stats::local().nvm_dimm_write_bytes[0] += 23;
+    Stats::local().nvm_dimm_read_bytes[5] += 11;
+    Stats::local().nvm_dimm_queue_depth[2] += 4;
+  }).join();
+  const StatsSnapshot s = Stats::snapshot();
+  EXPECT_EQ(s.nvm_dimm_write_bytes[0], 123u);
+  EXPECT_EQ(s.nvm_dimm_read_bytes[5], 11u);
+  EXPECT_EQ(s.nvm_dimm_write_stall_ns[3], 7u);
+  EXPECT_EQ(s.nvm_dimm_queue_depth[2], 4u);
+  EXPECT_EQ(s.nvm_dimm_write_bytes[1], 0u);
+}
+
+TEST(Stats, ResetCoversPerDimmArraysAndAllocCounters) {
+  Stats::reset();
+  Stats::local().nvm_dimm_write_bytes[4] += 50;
+  Stats::local().nvm_dimm_read_stall_ns[4] += 9;
+  Stats::local().alloc_chunks_claimed += 3;
+  Stats::local().alloc_chunk_bytes += 4096;
+  Stats::local().alloc_shared_fallbacks += 1;
+  Stats::reset();
+  const StatsSnapshot z = Stats::snapshot();
+  EXPECT_EQ(z.nvm_dimm_write_bytes[4], 0u);
+  EXPECT_EQ(z.nvm_dimm_read_stall_ns[4], 0u);
+  EXPECT_EQ(z.alloc_chunks_claimed, 0u);
+  EXPECT_EQ(z.alloc_chunk_bytes, 0u);
+  EXPECT_EQ(z.alloc_shared_fallbacks, 0u);
+  // Deltas after the reset are exact, per array slot.
+  Stats::local().nvm_dimm_write_bytes[4] += 6;
+  Stats::local().alloc_chunks_claimed += 2;
+  const StatsSnapshot s = Stats::snapshot();
+  EXPECT_EQ(s.nvm_dimm_write_bytes[4], 6u);
+  EXPECT_EQ(s.alloc_chunks_claimed, 2u);
+}
+
+TEST(Stats, ScopedDeltaCoversPerDimmArrays) {
+  Stats::reset();
+  Stats::local().nvm_dimm_write_bytes[1] += 1000;
+  ScopedStatsDelta d;
+  Stats::local().nvm_dimm_write_bytes[1] += 64;
+  Stats::local().nvm_dimm_queue_depth[1] += 2;
+  const StatsSnapshot s = d.delta();
+  EXPECT_EQ(s.nvm_dimm_write_bytes[1], 64u);
+  EXPECT_EQ(s.nvm_dimm_queue_depth[1], 2u);
+}
+
 TEST(Stats, ResetSwapsBaselineWithoutTouchingBlocks) {
   Stats::reset();
   Stats::local().nvm_read_blocks += 10;

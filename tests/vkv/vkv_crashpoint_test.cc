@@ -59,7 +59,7 @@ TEST_P(VkvCrashpointTest, PastEndPointDoesNotCrash) {
 
 INSTANTIATE_TEST_SUITE_P(
     All, VkvCrashpointTest,
-    ::testing::Values("vkv_append", "vkv_seal", "vkv_gc"),
+    ::testing::Values("vkv_append", "vkv_seal", "vkv_gc", "vkv_chunked"),
     [](const ::testing::TestParamInfo<const char*>& pi) {
       return std::string(pi.param);
     });

@@ -31,6 +31,8 @@
 #include "nvm/sharded_layout.h"
 #include "obs/json.h"
 #include "obs/obs.h"
+#include "vkv/log_store.h"
+#include "vkv/vkv_store.h"
 
 using namespace hdnh;
 
@@ -44,6 +46,107 @@ constexpr int kExitIntegrity = 4;  // --deep coherence check found problems
 // Narration sink: stdout normally, stderr in --json mode (stdout is then
 // reserved for the single JSON document).
 FILE* g_out = nullptr;
+
+// DIMM geometry used to map pool offsets offline. Resolved from (highest
+// precedence first) explicit --dimms/--dimm_ig flags, the persisted shard
+// map, or a persisted chunk-table super. Pools created with a flat config
+// carry neither and print no placement map.
+struct DimmGeom {
+  uint32_t dimms = 1;
+  uint64_t interleave = 0;  // 0 = contiguous per-DIMM slices
+  const char* source = "none";
+};
+
+uint32_t geom_dimm(const DimmGeom& g, uint64_t off, uint64_t pool_size) {
+  if (g.dimms <= 1) return 0;
+  if (g.interleave != 0) {
+    return static_cast<uint32_t>((off / g.interleave) % g.dimms);
+  }
+  uint64_t slice = pool_size / g.dimms / nvm::kNvmBlock * nvm::kNvmBlock;
+  if (slice == 0) slice = nvm::kNvmBlock;
+  const uint64_t s = off / slice;
+  return static_cast<uint32_t>(s < g.dimms ? s : g.dimms - 1);
+}
+
+// Placement map of one allocator region: its chunk table (if chunked) and
+// its value-log segment directory (if VkvStore's log root is set). Appends
+// one JSON object to the open "regions" array when there is anything to
+// report.
+void region_placement(nvm::PmemPool& pool, nvm::PmemAllocator& alloc,
+                      const DimmGeom& g, const std::string& region,
+                      obs::JsonWriter* jw) {
+  nvm::PmemAllocator::ChunkStats cs;
+  const bool chunked = alloc.chunk_stats(&cs);
+  const uint64_t log_super = alloc.root(vkv::VkvStore::kLogRoot);
+  if (!chunked && log_super == 0) return;
+  if (jw) {
+    jw->begin_object();
+    jw->kv("region", region);
+  }
+  if (chunked) {
+    uint64_t per_dimm[nvm::kMaxDimms] = {};
+    for (uint64_t i = 0; i < cs.chunk_count; ++i) {
+      if (alloc.chunk_claimed(i)) {
+        per_dimm[geom_dimm(g, cs.arena_off + i * cs.chunk_bytes,
+                           pool.size())]++;
+      }
+    }
+    std::fprintf(g_out,
+                 "  %s: chunk table %llu x %llu KiB chunks, %llu claimed\n",
+                 region.c_str(),
+                 static_cast<unsigned long long>(cs.chunk_count),
+                 static_cast<unsigned long long>(cs.chunk_bytes >> 10),
+                 static_cast<unsigned long long>(cs.claimed));
+    if (g.dimms > 1) {
+      std::fprintf(g_out, "    claimed per dimm:");
+      for (uint32_t d = 0; d < g.dimms; ++d) {
+        std::fprintf(g_out, " %llu",
+                     static_cast<unsigned long long>(per_dimm[d]));
+      }
+      std::fprintf(g_out, "\n");
+    }
+    if (jw) {
+      jw->key("chunk_table").begin_object();
+      jw->kv("chunk_bytes", cs.chunk_bytes);
+      jw->kv("chunk_count", cs.chunk_count);
+      jw->kv("claimed", cs.claimed);
+      jw->key("claimed_per_dimm").begin_array();
+      for (uint32_t d = 0; d < g.dimms; ++d) jw->value(per_dimm[d]);
+      jw->end_array();
+      jw->end_object();
+    }
+  }
+  if (log_super != 0) {
+    if (jw) jw->key("segments").begin_array();
+    std::fprintf(g_out, "  %s: value-log segments:\n", region.c_str());
+    const bool found = vkv::LogStore::inspect(
+        pool, log_super,
+        [&](int idx, uint64_t off, uint64_t cap, uint32_t state,
+            uint64_t tail) {
+          const uint32_t d = geom_dimm(g, off, pool.size());
+          std::fprintf(
+              g_out, "    seg %2d @ %12llu (+%llu) %s -> dimm %u\n", idx,
+              static_cast<unsigned long long>(off),
+              static_cast<unsigned long long>(cap),
+              state == 1 ? "active" : "sealed", d);
+          if (jw) {
+            jw->begin_object();
+            jw->kv("idx", static_cast<uint64_t>(idx));
+            jw->kv("off", off);
+            jw->kv("capacity", cap);
+            jw->kv("state", static_cast<uint64_t>(state));
+            jw->kv("sealed_tail", tail);
+            jw->kv("dimm", static_cast<uint64_t>(d));
+            jw->end_object();
+          }
+        });
+    if (!found) {
+      std::fprintf(g_out, "    (root slot set but no log magic)\n");
+    }
+    if (jw) jw->end_array();
+  }
+  if (jw) jw->end_object();
+}
 
 // Inspect one HDNH instance rooted in `alloc` (the whole pool for the
 // single-table layout, one shard region for sharded pools). Returns an exit
@@ -185,6 +288,10 @@ int main(int argc, char** argv) {
       cli.get_bool("stats", false, "append the unified metrics scrape");
   const bool json = cli.get_bool(
       "json", false, "emit one JSON document on stdout (narration -> stderr)");
+  const int64_t dimms_flag = cli.get_int(
+      "dimms", 0, "override DIMM count for placement maps (0 = use persisted)");
+  const int64_t dimm_ig_flag = cli.get_int(
+      "dimm_ig", 1 << 20, "interleave granularity in bytes (with --dimms)");
   cli.finish();
   g_out = json ? stderr : stdout;
   if (pool_path.empty()) {
@@ -237,16 +344,78 @@ int main(int argc, char** argv) {
                pool_path.c_str(), static_cast<long long>(pool_mb),
                static_cast<unsigned long long>(alloc.used()));
 
+  // Placement maps: chunk tables, shard→DIMM, value-log segment→DIMM. The
+  // doctor opens the pool with a flat config, so DIMM homes are computed
+  // offline from persisted geometry (shard map, then chunk-table super),
+  // overridable with --dimms/--dimm_ig.
+  auto placement = [&](nvm::ShardedPmemLayout* layout) {
+    DimmGeom g;
+    if (dimms_flag > 1) {
+      g = {static_cast<uint32_t>(dimms_flag),
+           static_cast<uint64_t>(dimm_ig_flag), "flags"};
+    } else if (layout && layout->dimms() > 1) {
+      g = {layout->dimms(), layout->interleave_bytes(), "shard_map"};
+    } else {
+      nvm::PmemAllocator::ChunkStats cs;
+      if (alloc.chunk_stats(&cs) && cs.dimms > 1) {
+        g = {cs.dimms, cs.interleave_bytes, "chunk_table"};
+      }
+    }
+    nvm::PmemAllocator::ChunkStats cs;
+    bool any = g.dimms > 1 || alloc.chunk_stats(&cs) ||
+               alloc.root(vkv::VkvStore::kLogRoot) != 0;
+    if (layout) {
+      for (uint32_t s = 0; !any && s < layout->shards(); ++s) {
+        any = layout->shard_alloc(s).chunk_stats(&cs) ||
+              layout->shard_alloc(s).root(vkv::VkvStore::kLogRoot) != 0;
+      }
+    }
+    if (!any) return;
+    std::fprintf(g_out, "\nplacement (%u dimm%s, geometry from %s):\n",
+                 g.dimms, g.dimms == 1 ? "" : "s", g.source);
+    if (jwp) {
+      jw.key("placement").begin_object();
+      jw.kv("dimms", static_cast<uint64_t>(g.dimms));
+      jw.kv("interleave_bytes", g.interleave);
+      jw.kv("source", g.source);
+    }
+    if (layout && g.dimms > 1) {
+      std::fprintf(g_out, "  shard homes:");
+      for (uint32_t s = 0; s < layout->shards(); ++s) {
+        std::fprintf(g_out, " %u->d%u", s, layout->shard_dimm(s));
+      }
+      std::fprintf(g_out, "\n");
+      if (jwp) {
+        jw.key("shard_dimm").begin_array();
+        for (uint32_t s = 0; s < layout->shards(); ++s) {
+          jw.value(static_cast<uint64_t>(layout->shard_dimm(s)));
+        }
+        jw.end_array();
+      }
+    }
+    if (jwp) jw.key("regions").begin_array();
+    region_placement(pool, alloc, g, "pool", jwp);
+    if (layout) {
+      for (uint32_t s = 0; s < layout->shards(); ++s) {
+        region_placement(pool, layout->shard_alloc(s), g,
+                         "shard " + std::to_string(s), jwp);
+      }
+    }
+    if (jwp) {
+      jw.end_array();
+      jw.end_object();
+    }
+  };
+
   int rc = kExitOk;
   if (nvm::ShardedPmemLayout::present(alloc)) {
     // Sharded pool: the shard-map superblock lives in the parent allocator;
     // each shard is a self-contained HDNH region.
     nvm::ShardedPmemLayout layout(alloc, 1);
     std::fprintf(g_out, "\nshard map: %u shards\n", layout.shards());
-    if (jwp) {
-      jw.kv("shards", static_cast<uint64_t>(layout.shards()));
-      jw.key("tables").begin_array();
-    }
+    if (jwp) jw.kv("shards", static_cast<uint64_t>(layout.shards()));
+    placement(&layout);
+    if (jwp) jw.key("tables").begin_array();
     for (uint32_t s = 0; s < layout.shards(); ++s) {
       std::fprintf(g_out, "\n-- shard %u: region [%llu, +%llu) --\n", s,
                    static_cast<unsigned long long>(layout.shard_off(s)),
@@ -259,10 +428,9 @@ int main(int argc, char** argv) {
                                                 : "PROBLEMS FOUND");
   } else {
     std::fprintf(g_out, "\n");
-    if (jwp) {
-      jw.kv("shards", static_cast<uint64_t>(1));
-      jw.key("tables").begin_array();
-    }
+    if (jwp) jw.kv("shards", static_cast<uint64_t>(1));
+    placement(nullptr);
+    if (jwp) jw.key("tables").begin_array();
     rc = inspect_table(pool, alloc, deep, "", jwp);
     if (jwp) jw.end_array();
   }
