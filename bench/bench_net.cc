@@ -62,6 +62,39 @@ struct ConnResult {
   Histogram lat;
 };
 
+// One METRICS scrape (the full Prometheus text) over its own connection;
+// "" if the server predates the command or the scrape fails — the bench
+// then reports zeros for the server-side fields rather than failing.
+std::string fetch_metrics(const std::string& host, uint16_t port) {
+  try {
+    net::Client c;
+    c.connect(host, port);
+    c.pipeline({"METRICS"});
+    c.flush();
+    const net::RespValue v = c.read_reply();
+    if (v.type == net::RespValue::Type::kBulk) return v.str;
+  } catch (const std::exception&) {
+  }
+  return "";
+}
+
+// Value of an exact Prometheus series (name + label body) in a scrape, 0.0
+// when absent.
+double prom_value(const std::string& text, const std::string& series) {
+  const std::string needle = series + " ";
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t eol = text.find('\n', pos);
+    const size_t len = (eol == std::string::npos ? text.size() : eol) - pos;
+    if (len > needle.size() && text.compare(pos, needle.size(), needle) == 0) {
+      return std::atof(text.c_str() + pos + needle.size());
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  return 0.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -121,6 +154,12 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(keys),
                 static_cast<double>(now_ns() - t0) / 1e9);
   }
+
+  // Server-side view: scrape METRICS before and after the measured run so
+  // the BENCH_JSON line carries the server's own counter deltas (what the
+  // store actually did) next to the client-side latency (what the caller
+  // saw).
+  const std::string scrape_before = fetch_metrics(host, port);
 
   const uint64_t per_conn = ops / (conns ? conns : 1);
   std::vector<ConnResult> results(conns);
@@ -194,6 +233,10 @@ int main(int argc, char** argv) {
   }
   for (auto& t : drivers) t.join();
   const double seconds = static_cast<double>(now_ns() - bench_t0) / 1e9;
+  const std::string scrape_after = fetch_metrics(host, port);
+  auto scrape_delta = [&](const std::string& series) {
+    return prom_value(scrape_after, series) - prom_value(scrape_before, series);
+  };
 
   ConnResult total;
   for (const auto& r : results) {
@@ -231,7 +274,25 @@ int main(int argc, char** argv) {
        {"p50_ns", std::to_string(total.lat.percentile(0.50))},
        {"p95_ns", std::to_string(total.lat.percentile(0.95))},
        {"p99_ns", std::to_string(total.lat.percentile(0.99))},
-       {"p999_ns", std::to_string(total.lat.percentile(0.999))}});
+       {"p999_ns", std::to_string(total.lat.percentile(0.999))},
+       // Server-side deltas over the measured interval (0 when the server
+       // has no METRICS command or scraping failed).
+       {"server_ops_get",
+        std::to_string(scrape_delta("hdnh_ops_total{op=\"get\"}"))},
+       {"server_ops_put",
+        std::to_string(scrape_delta("hdnh_ops_total{op=\"put\"}"))},
+       {"server_mget_keys",
+        std::to_string(scrape_delta("hdnh_ops_total{op=\"multiget_keys\"}"))},
+       {"server_nvm_read_blocks",
+        std::to_string(scrape_delta("hdnh_nvm_read_blocks_total"))},
+       {"server_nvm_write_lines",
+        std::to_string(scrape_delta("hdnh_nvm_write_lines_total"))},
+       {"server_window_hot_hit_ratio",
+        std::to_string(prom_value(scrape_after, "hdnh_window_hot_hit_ratio"))},
+       {"server_window_get_p99_ns",
+        std::to_string(prom_value(
+            scrape_after,
+            "hdnh_window_op_latency_ns{op=\"get\",quantile=\"0.99\"}"))}});
 
   return (total.errors > 0 || failed.load()) ? 1 : 0;
 }

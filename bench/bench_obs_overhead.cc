@@ -1,0 +1,109 @@
+// Cost of the always-on load-signal telemetry, measured where it hurts
+// most: NegativeSearch (every probe walks the full OCF, no NVM stall to
+// hide behind, so per-op bookkeeping is the largest possible fraction of
+// the op). Two configurations over the same id stream:
+//
+//   off — latency capture, heavy-hitter tracking, and slowlog admission
+//         all disabled at runtime (counters still tick; they always do)
+//   on  — latency recording + heavy-hitter sketch + slowlog threshold
+//         check enabled, i.e. the default server configuration
+//
+// Interleaved min-of-N (default 10) per tier; the BENCH_JSON line carries
+// the PR's acceptance number (obs_on_negative_search_overhead, a
+// fraction: 0.03 = 3% slower with telemetry on).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "common/clock.h"
+#include "common/random.h"
+#include "obs/obs.h"
+
+using namespace hdnh;
+using namespace hdnh::bench;
+
+namespace {
+
+// Timed negative-search loop; returns Mops/s.
+double run_negative(HashTable& t, const std::vector<uint64_t>& ids) {
+  Value v;
+  uint64_t hits = 0;
+  const uint64_t t0 = now_ns();
+  for (uint64_t id : ids) hits += t.search(make_key(id), &v) ? 1 : 0;
+  const uint64_t dt = now_ns() - t0;
+  (void)hits;
+  return dt ? static_cast<double>(ids.size()) * 1e3 / static_cast<double>(dt)
+            : 0.0;
+}
+
+void set_obs(bool on) {
+  obs::Metrics::set_latency_enabled(on);
+  obs::HeavyHitters::set_enabled(on);
+  // Threshold stays at its default either way — admission is the cheap
+  // rejecting compare we are charging for, not actual slowlog writes.
+}
+
+std::string fmt(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4f", x);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  Env env = standard_env(cli, 100000, 400000);
+  const int reps = static_cast<int>(
+      cli.get_int("reps", 10, "repetitions per tier (best is kept)"));
+  cli.finish();
+
+  print_env("Telemetry overhead: NegativeSearch, obs runtime on vs off", env);
+
+  if constexpr (!obs::kCompiledIn) {
+    std::printf("HDNH_OBS=OFF build: nothing to measure, overhead is 0.\n");
+    print_json_line("obs_overhead",
+                    {{"obs_compiled", "false"},
+                     {"obs_on_negative_search_overhead", "0.0"}});
+    return 0;
+  }
+
+  OwnedTable t = make_table("hdnh-nohot", env.preload, env);
+  for (uint64_t i = 0; i < env.preload; ++i)
+    t.table->insert(make_key(i), make_value(i));
+
+  Rng rng(env.seed);
+  std::vector<uint64_t> ids(env.ops);
+  for (auto& id : ids) id = (1ull << 40) + rng.next();
+
+  // Warm both tiers, then interleave the measured reps so a descheduling
+  // blip cannot decide the comparison either way.
+  set_obs(false);
+  run_negative(*t.table, ids);
+  set_obs(true);
+  run_negative(*t.table, ids);
+
+  double off = 0, on = 0;
+  for (int r = 0; r < reps; ++r) {
+    set_obs(false);
+    off = std::max(off, run_negative(*t.table, ids));
+    set_obs(true);
+    on = std::max(on, run_negative(*t.table, ids));
+  }
+  set_obs(true);  // leave the process in the default configuration
+
+  const double overhead = (off > 0 && on > 0) ? (off - on) / off : 0.0;
+  std::printf("%-6s %14s %14s %10s\n", "tier", "off Mops", "on Mops",
+              "overhead");
+  std::printf("%-6s %14.3f %14.3f %9.2f%%\n", "neg", off, on,
+              overhead * 100.0);
+  print_json_line("obs_overhead",
+                  {{"reps", std::to_string(reps)},
+                   {"ops", std::to_string(env.ops)},
+                   {"off_mops", fmt(off)},
+                   {"on_mops", fmt(on)},
+                   {"obs_on_negative_search_overhead", fmt(overhead)}});
+  return 0;
+}

@@ -17,10 +17,12 @@ PROFILE="${1:-default}"
 case "$PROFILE" in
   quick)   ARGS="--preload=20000 --ops=80000"; PROBE_ARGS="--preload=20000 --ops=40000 --reps=1"
            VALUE_ARGS="--preload=10000 --ops=20000 --value_sweep=16,128,1024,65536"
-           NET_OPS=50000;  DIMM_ARGS="--thread_list=8" ;;
+           NET_OPS=50000;  DIMM_ARGS="--thread_list=8"
+           OBS_ARGS="--preload=20000 --ops=40000 --reps=3" ;;
   default) ARGS="";                            PROBE_ARGS="--reps=3"
            VALUE_ARGS="--value_sweep=16,128,1024,65536"
-           NET_OPS=200000; DIMM_ARGS="--thread_list=1,2,4,8" ;;
+           NET_OPS=200000; DIMM_ARGS="--thread_list=1,2,4,8"
+           OBS_ARGS="--reps=10" ;;
   *) echo "usage: $0 [quick|default]" >&2; exit 2 ;;
 esac
 
@@ -38,6 +40,7 @@ run() {
 }
 
 run "probe kernel + multiget pipeline" ./build/bench/bench_micro_probe $PROBE_ARGS
+run "telemetry overhead (on vs off)"   ./build/bench/bench_obs_overhead $OBS_ARGS
 run "Figure 13 single-thread"          ./build/bench/bench_fig13_single_thread $ARGS
 run "Figure 14 concurrency"            ./build/bench/bench_fig14_concurrency $ARGS
 run "YCSB suite (serial reads)"        ./build/bench/bench_ycsb_suite $ARGS
@@ -91,6 +94,9 @@ for r in runs:
         headline["overlapped_read_fraction"] = r["overlapped_read_fraction"]
     if r.get("bench") == "dimm_scaling_headline":
         headline["dimm_chunked_speedup"] = r["speedup"]
+    if r.get("bench") == "obs_overhead":
+        headline["obs_on_negative_search_overhead"] = \
+            r["obs_on_negative_search_overhead"]
 
 # The DimmConfig the dimm-axis runs executed under (the bench calibrates
 # its per-DIMM caps against the host, so they belong in provenance).

@@ -53,7 +53,25 @@ class Histogram {
   // exactly what a CDF plot needs.
   std::vector<std::pair<uint64_t, double>> cdf() const;
 
- private:
+  // ---- external-bucket ingestion (obs/window.h) -------------------------
+  //
+  // The sliding-window layer keeps its per-thread live histograms as atomic
+  // bucket arrays sharing this class's bucket mapping, and folds them into
+  // plain Histograms on rotation. merge_bucket adds to one bucket only;
+  // merge_summary folds the externally-tracked count/sum/max/min. The two
+  // must be called consistently (same totals) or count() and the bucket sum
+  // drift apart.
+  void merge_bucket(int idx, uint64_t n) { counts_[idx] += n; }
+  void merge_summary(uint64_t count, uint64_t sum, uint64_t mx, uint64_t mn) {
+    count_ += count;
+    sum_ += sum;
+    if (count > 0) {
+      max_ = std::max(max_, mx);
+      min_ = std::min(min_, mn);
+    }
+  }
+
+  // Bucket mapping, public so external (atomic) bucket arrays can share it.
   static int index_for(uint64_t v) {
     if (v < kSub) return static_cast<int>(v);
     const int msb = 63 - __builtin_clzll(v);
@@ -71,6 +89,7 @@ class Histogram {
     return ((static_cast<uint64_t>(kSub) + sub) << shift) + (1ULL << shift) / 2;
   }
 
+ private:
   std::array<uint64_t, kBuckets> counts_{};
   uint64_t count_ = 0;
   uint64_t sum_ = 0;

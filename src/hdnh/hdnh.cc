@@ -11,6 +11,7 @@
 #include "common/threads.h"
 #include "nvm/fault.h"
 #include "obs/metrics.h"
+#include "obs/sample.h"
 
 namespace hdnh {
 
@@ -566,7 +567,7 @@ void Hdnh::hot_mirror(BgWriter::Op op, const KVPair& kv, uint64_t h1) {
 // ---------------------------------------------------------------------------
 
 bool Hdnh::search(const Key& key, Value* out) {
-  HDNH_OBS_OP_SCOPE(obs::Op::kGet);
+  HDNH_OBS_OP_SAMPLE(obs::Op::kGet, &key, obs_heat_, obs_shard_);
   std::shared_lock<std::shared_mutex> lock(resize_mu_);
   if (hot_ && hot_->search(key, out)) {
     nvm::Stats::local().dram_hot_hits++;
@@ -599,8 +600,9 @@ bool Hdnh::search(const Key& key, Value* out) {
 
 size_t Hdnh::multiget(const Key* keys, size_t n, Value* values, bool* found) {
   if (n == 0) return 0;
-  HDNH_OBS_OP_SCOPE(obs::Op::kMultiget);
+  HDNH_OBS_OP_SAMPLE_N(obs::Op::kMultiget, nullptr, obs_heat_, obs_shard_, n);
   HDNH_OBS_COUNT(obs::Op::kMultigetKeys, n);
+  HDNH_OBS_HOTKEYS(keys, n);
   std::shared_lock<std::shared_mutex> lock(resize_mu_);
   auto& st = nvm::Stats::local();
 
@@ -774,7 +776,7 @@ size_t Hdnh::multiget(const Key* keys, size_t n, Value* values, bool* found) {
 }
 
 bool Hdnh::insert(const Key& key, const Value& value) {
-  HDNH_OBS_OP_SCOPE(obs::Op::kPut);
+  HDNH_OBS_OP_SAMPLE(obs::Op::kPut, &key, obs_heat_, obs_shard_);
   const uint64_t h1 = key_hash1(key);
   const uint64_t h2 = key_hash2(key);
   const uint8_t fp = fingerprint(h1);
@@ -843,7 +845,7 @@ Status Hdnh::erase_s(const Key& key) {
 }
 
 bool Hdnh::update(const Key& key, const Value& value) {
-  HDNH_OBS_OP_SCOPE(obs::Op::kUpdate);
+  HDNH_OBS_OP_SAMPLE(obs::Op::kUpdate, &key, obs_heat_, obs_shard_);
   const uint64_t h1 = key_hash1(key);
   const uint64_t h2 = key_hash2(key);
   const uint8_t fp = fingerprint(h1);
@@ -940,7 +942,7 @@ bool Hdnh::update(const Key& key, const Value& value) {
 }
 
 bool Hdnh::erase(const Key& key) {
-  HDNH_OBS_OP_SCOPE(obs::Op::kDelete);
+  HDNH_OBS_OP_SAMPLE(obs::Op::kDelete, &key, obs_heat_, obs_shard_);
   const uint64_t h1 = key_hash1(key);
   const uint64_t h2 = key_hash2(key);
   std::shared_lock<std::shared_mutex> lock(resize_mu_);

@@ -40,6 +40,10 @@
 
 namespace hdnh {
 
+namespace obs {
+class ShardHeat;  // obs/window.h — per-shard windowed heat accumulator
+}
+
 class Hdnh final : public HashTable {
  public:
   // Timings of the volatile-structure rebuild, for the Table 1 experiment.
@@ -115,6 +119,15 @@ class Hdnh final : public HashTable {
   // optimization); otherwise each rebuild is timed separately. Requires
   // quiescence.
   RecoveryStats rebuild_volatile(uint32_t threads, bool merged);
+
+  // Installed by the owning ShardedTable so every op this instance serves
+  // is attributed to its shard in the windowed heat signal (obs/window.h).
+  // The heat object must outlive this table; unsharded stores leave it
+  // null. The pointer is read by op instrumentation only (HDNH_OBS builds).
+  void set_obs_heat(obs::ShardHeat* heat, uint32_t shard) {
+    obs_heat_ = heat;
+    obs_shard_ = shard;
+  }
 
   // Conservative pool-size estimate for holding `max_items` including
   // resize headroom (benches/examples use this to size their PmemPool).
@@ -256,6 +269,9 @@ class Hdnh final : public HashTable {
   // HDNH_OBS gate is off), plus the `table="<id>"` label they share.
   std::vector<uint64_t> obs_gauges_;
   std::string obs_label_;
+  // Shard attribution for the windowed heat signal (set_obs_heat).
+  obs::ShardHeat* obs_heat_ = nullptr;
+  uint32_t obs_shard_ = 0;
 };
 
 }  // namespace hdnh

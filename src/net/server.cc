@@ -77,7 +77,21 @@ Cmd lookup_cmd(std::string& word) {
   if (word == "COMMAND") return Cmd::kCommand;
   if (word == "QUIT") return Cmd::kQuit;
   if (word == "SHUTDOWN") return Cmd::kShutdown;
+  if (word == "SLOWLOG") return Cmd::kSlowlog;
+  if (word == "HOTKEYS") return Cmd::kHotkeys;
+  if (word == "LATENCY") return Cmd::kLatency;
+  if (word == "METRICS") return Cmd::kMetrics;
   return Cmd::kUnknown;
+}
+
+// 32-hex-char digest of the two key-digest halves, as SLOWLOG/HOTKEYS
+// print them.
+std::string digest_hex(uint64_t d0, uint64_t d1) {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(d0),
+                static_cast<unsigned long long>(d1));
+  return std::string(buf);
 }
 
 }  // namespace
@@ -96,6 +110,10 @@ const char* cmd_name(Cmd c) {
     case Cmd::kCommand: return "command";
     case Cmd::kQuit: return "quit";
     case Cmd::kShutdown: return "shutdown";
+    case Cmd::kSlowlog: return "slowlog";
+    case Cmd::kHotkeys: return "hotkeys";
+    case Cmd::kLatency: return "latency";
+    case Cmd::kMetrics: return "metrics";
     case Cmd::kUnknown: return "unknown";
   }
   return "?";
@@ -683,6 +701,89 @@ void Server::execute(Reactor& r, Conn& c, std::vector<std::string>& args) {
         }
         break;
       }
+      case Cmd::kSlowlog: {
+        // SLOWLOG GET [count] | RESET | LEN, Redis-shaped: GET returns an
+        // array of entries [id, ts_ns, latency_ns, op, key_digest, shard].
+        std::string sub = args.size() > 1 ? args[1] : std::string("GET");
+        for (char& ch : sub) {
+          if (ch >= 'a' && ch <= 'z') ch = static_cast<char>(ch - 'a' + 'A');
+        }
+        if (sub == "RESET") {
+          obs::SlowLog::reset();
+          append_simple(&reply, "OK");
+        } else if (sub == "LEN") {
+          append_integer(&reply, static_cast<int64_t>(obs::SlowLog::len()));
+        } else if (sub == "GET") {
+          uint32_t count = obs::SlowLog::kCapacity;
+          if (args.size() > 2) {
+            const long v = std::atol(args[2].c_str());
+            if (v <= 0) {
+              append_error(&reply, "ERR invalid SLOWLOG GET count");
+              break;
+            }
+            count = static_cast<uint32_t>(v);
+          }
+          const auto entries = obs::SlowLog::entries(count);
+          append_array_header(&reply, entries.size());
+          for (const auto& e : entries) {
+            append_array_header(&reply, 6);
+            append_integer(&reply, static_cast<int64_t>(e.id));
+            append_integer(&reply, static_cast<int64_t>(e.ts_ns));
+            append_integer(&reply, static_cast<int64_t>(e.latency_ns));
+            append_bulk(&reply, obs::op_name(e.op));
+            append_bulk(&reply, digest_hex(e.d0, e.d1));
+            append_integer(&reply, static_cast<int64_t>(e.shard));
+          }
+        } else {
+          append_error(&reply, "ERR unknown SLOWLOG subcommand '" + args[1] +
+                                   "' (GET|RESET|LEN)");
+        }
+        break;
+      }
+      case Cmd::kHotkeys: {
+        // HOTKEYS [k]: top-k key digests with approximate counts, hottest
+        // first, as an array of [digest, count] pairs.
+        uint32_t k = 8;
+        if (args.size() > 1) {
+          const long v = std::atol(args[1].c_str());
+          if (v <= 0 || v > 1024) {
+            append_error(&reply, "ERR invalid HOTKEYS count (1..1024)");
+            break;
+          }
+          k = static_cast<uint32_t>(v);
+        }
+        const auto hot = obs::HeavyHitters::top(k);
+        append_array_header(&reply, hot.size());
+        for (const auto& e : hot) {
+          append_array_header(&reply, 2);
+          append_bulk(&reply, digest_hex(e.d0, e.d1));
+          append_integer(&reply, static_cast<int64_t>(e.count));
+        }
+        break;
+      }
+      case Cmd::kLatency: {
+        // Windowed (not lifetime) store-op latency: one [op, count, p50,
+        // p99, p999] row per op kind. An idle window reads zeros.
+        obs::Windows::rotate_if_stale(2'000'000'000);
+        obs::Windows::Snapshot snap;
+        obs::Windows::snapshot(obs::Windows::kEpochs, &snap);
+        append_array_header(&reply, obs::kOpCount);
+        for (uint32_t i = 0; i < obs::kOpCount; ++i) {
+          const Histogram& h = snap.latency[i];
+          append_array_header(&reply, 5);
+          append_bulk(&reply, obs::op_name(static_cast<obs::Op>(i)));
+          append_integer(&reply, static_cast<int64_t>(snap.counts[i]));
+          append_integer(&reply, static_cast<int64_t>(h.percentile(0.5)));
+          append_integer(&reply, static_cast<int64_t>(h.percentile(0.99)));
+          append_integer(&reply, static_cast<int64_t>(h.percentile(0.999)));
+        }
+        break;
+      }
+      case Cmd::kMetrics:
+        // The full Prometheus exposition, for anything that can speak RESP
+        // but not HTTP (INFO stays compact).
+        append_bulk(&reply, obs::Metrics::prometheus());
+        break;
       case Cmd::kUnknown:
         append_error(&reply, "ERR unknown command '" + args[0] + "'");
         break;
@@ -769,10 +870,29 @@ std::string Server::info_text() const {
   std::snprintf(lf, sizeof(lf), "%.4f", store_.load_factor());
   s += "load_factor:" + std::string(lf) + "\r\n";
   if constexpr (obs::kCompiledIn) {
-    // The full Prometheus exposition, inline: a scrape away for anything
-    // that can speak RESP but not HTTP.
-    s += "\r\n# Metrics\r\n";
-    s += obs::Metrics::prometheus();
+    // Compact windowed signal only — the full Prometheus exposition moved
+    // to the METRICS command.
+    obs::Windows::rotate_if_stale(2'000'000'000);
+    obs::Windows::Snapshot snap;
+    obs::Windows::snapshot(obs::Windows::kEpochs, &snap);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(snap.window_ns) * 1e-9);
+    s += "\r\n# Window\r\n";
+    s += "window_seconds:" + std::string(buf) + "\r\n";
+    for (uint32_t i = 0; i < obs::kOpCount; ++i) {
+      if (snap.counts[i] == 0) continue;
+      s += "window_" + std::string(obs::op_name(static_cast<obs::Op>(i))) +
+           ":count=" + std::to_string(snap.counts[i]);
+      std::snprintf(buf, sizeof(buf), "%.0f", snap.rate(i));
+      s += ",rate=" + std::string(buf);
+      const Histogram& h = snap.latency[i];
+      if (h.count() > 0) {
+        s += ",p50_ns=" + std::to_string(h.percentile(0.50)) +
+             ",p99_ns=" + std::to_string(h.percentile(0.99));
+      }
+      s += "\r\n";
+    }
   }
   return s;
 }

@@ -15,7 +15,10 @@
 // interest is registered only while output is actually backed up.
 //
 // Commands are the RESP2 subset GET / SET / SETNX / DEL / MGET / EXISTS /
-// DBSIZE / PING / INFO / COMMAND (+ QUIT / SHUTDOWN). Execution speaks the
+// DBSIZE / PING / INFO / COMMAND (+ QUIT / SHUTDOWN), plus the telemetry
+// verbs SLOWLOG GET|RESET|LEN, HOTKEYS [k], LATENCY (windowed
+// percentiles), and METRICS (the full Prometheus scrape; INFO stays
+// compact). Execution speaks the
 // KvStore surface of API v2: outcomes map to RESP replies
 // (kNotFound -> nil, kTableFull -> "-ERR table full", ...) and no scheme
 // exception can cross into the event loop. Key/value size limits — and the
@@ -53,9 +56,13 @@ enum class Cmd : uint8_t {
   kCommand,
   kQuit,
   kShutdown,
+  kSlowlog,
+  kHotkeys,
+  kLatency,
+  kMetrics,
   kUnknown,
 };
-inline constexpr uint32_t kCmdCount = 13;
+inline constexpr uint32_t kCmdCount = 17;
 const char* cmd_name(Cmd c);
 
 struct ServerOptions {

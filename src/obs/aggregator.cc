@@ -1,0 +1,124 @@
+#include "obs/aggregator.h"
+
+#include <chrono>
+#include <string>
+
+#include "nvm/stats.h"
+#include "obs/metrics.h"
+#include "obs/window.h"
+
+namespace hdnh::obs {
+
+namespace {
+
+void ewma_update(Aggregator::Options& opts, std::atomic<double>& cell,
+                 bool& primed, double sample) {
+  if (!primed) {
+    cell.store(sample, std::memory_order_relaxed);
+    primed = true;
+    return;
+  }
+  const double prev = cell.load(std::memory_order_relaxed);
+  cell.store(opts.ewma_alpha * sample + (1.0 - opts.ewma_alpha) * prev,
+             std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Aggregator::Aggregator() : Aggregator(Options()) {}
+
+Aggregator::Aggregator(Options opts) : opts_(opts) {
+  rate_cells_.reserve(kOpCount);
+  for (uint32_t i = 0; i < kOpCount; ++i) {
+    rate_cells_.push_back(std::make_unique<Cell>());
+    Cell* c = rate_cells_.back().get();
+    gauge_ids_.push_back(Metrics::add_gauge(
+        "hdnh_window_rate_ewma",
+        "op=\"" + std::string(op_name(static_cast<Op>(i))) + "\"",
+        "EWMA of per-epoch op rate (ops/s)",
+        [c] { return c->value.load(std::memory_order_relaxed); }));
+  }
+  dimm_queue_cells_.reserve(nvm::kMaxDimms);
+  dimm_stall_cells_.reserve(nvm::kMaxDimms);
+  for (uint32_t d = 0; d < nvm::kMaxDimms; ++d) {
+    dimm_queue_cells_.push_back(std::make_unique<Cell>());
+    dimm_stall_cells_.push_back(std::make_unique<Cell>());
+  }
+  // Per-DIMM gauges are registered lazily on the first tick that sees
+  // traffic on that DIMM, so single-DIMM runs don't scrape 16 zero series.
+  if (opts_.interval_s > 0) {
+    thread_ = std::thread([this] { run(); });
+  }
+}
+
+Aggregator::~Aggregator() {
+  if (thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+  for (uint64_t id : gauge_ids_) Metrics::remove_gauge(id);
+}
+
+void Aggregator::run() {
+  const auto interval = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(opts_.interval_s));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_; })) break;
+    lock.unlock();
+    tick_now();
+    lock.lock();
+  }
+}
+
+void Aggregator::tick_now() {
+  Windows::rotate();
+  publish_from_last_epoch();
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Aggregator::publish_from_last_epoch() {
+  Windows::Snapshot s;
+  Windows::snapshot(1, &s);  // the epoch tick_now() just closed
+  if (s.epochs == 0 || s.window_ns == 0) return;
+  const double secs = static_cast<double>(s.window_ns) * 1e-9;
+
+  for (uint32_t i = 0; i < kOpCount; ++i) {
+    ewma_update(opts_, rate_cells_[i]->value, rate_cells_[i]->primed,
+                static_cast<double>(s.counts[i]) / secs);
+  }
+
+  for (uint32_t d = 0; d < nvm::kMaxDimms; ++d) {
+    const uint64_t stall =
+        s.nvm.nvm_dimm_read_stall_ns[d] + s.nvm.nvm_dimm_write_stall_ns[d];
+    const uint64_t queue = s.nvm.nvm_dimm_queue_depth[d];
+    const bool touched = stall != 0 || queue != 0 ||
+                         s.nvm.nvm_dimm_read_bytes[d] != 0 ||
+                         s.nvm.nvm_dimm_write_bytes[d] != 0;
+    Cell* qc = dimm_queue_cells_[d].get();
+    Cell* sc = dimm_stall_cells_[d].get();
+    if (!qc->primed && !touched) continue;  // idle DIMM: stay unregistered
+    if (!qc->primed) {
+      // First traffic on this DIMM: publish its gauges.
+      const std::string label = "dimm=\"" + std::to_string(d) + "\"";
+      gauge_ids_.push_back(Metrics::add_gauge(
+          "hdnh_dimm_queue_depth_ewma", label,
+          "EWMA of per-DIMM queued-requests accumulation (1/s)",
+          [qc] { return qc->value.load(std::memory_order_relaxed); }));
+      gauge_ids_.push_back(Metrics::add_gauge(
+          "hdnh_dimm_stall_ns_ewma", label,
+          "EWMA of per-DIMM bandwidth stall time (ns/s)",
+          [sc] { return sc->value.load(std::memory_order_relaxed); }));
+    }
+    ewma_update(opts_, qc->value, qc->primed,
+                static_cast<double>(queue) / secs);
+    ewma_update(opts_, sc->value, sc->primed,
+                static_cast<double>(stall) / secs);
+  }
+}
+
+}  // namespace hdnh::obs

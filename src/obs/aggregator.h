@@ -1,0 +1,74 @@
+// Background window rotation + derived EWMA gauges.
+//
+// An Aggregator owns the rotation cadence for obs/window.h: every
+// interval_s it calls Windows::rotate() (closing the current epoch) and
+// refreshes a set of EWMA gauges computed from the epoch just closed:
+//
+//   hdnh_window_rate_ewma{op=...}          smoothed ops/s per op kind
+//   hdnh_dimm_queue_depth_ewma{dimm=...}   smoothed per-DIMM queue pressure
+//   hdnh_dimm_stall_ns_ewma{dimm=...}      smoothed per-DIMM stall ns/s
+//                                          (read + write stalls combined)
+//
+// The per-DIMM EWMAs are the divergence signal ROADMAP names for adaptive
+// DIMM rebalancing; the rate EWMAs feed elastic resharding. Gauges are
+// plain atomic<double> cells registered with Metrics::add_gauge, so every
+// serializer (Prometheus, JSON, INFO, doctor) picks them up for free.
+//
+// Processes that never start an Aggregator (hdnh_doctor, one-shot tools)
+// can call tick_now() manually, or rely on Windows::rotate_if_stale() at
+// scrape time; interval_s <= 0 constructs without a thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hdnh::obs {
+
+class Aggregator {
+ public:
+  struct Options {
+    double interval_s = 1.0;   // <= 0: no background thread (manual ticks)
+    double ewma_alpha = 0.3;   // weight of the newest epoch
+  };
+
+  Aggregator();  // default Options
+  explicit Aggregator(Options opts);
+  ~Aggregator();
+
+  Aggregator(const Aggregator&) = delete;
+  Aggregator& operator=(const Aggregator&) = delete;
+
+  // One rotation + gauge refresh, synchronously on the caller's thread.
+  void tick_now();
+
+  uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+
+ private:
+  void run();
+  void publish_from_last_epoch();
+
+  Options opts_;
+  std::atomic<uint64_t> ticks_{0};
+
+  // EWMA cells read by the registered gauge callbacks.
+  struct Cell {
+    std::atomic<double> value{0.0};
+    bool primed = false;  // first sample seeds the EWMA (aggregator thread only)
+  };
+  std::vector<std::unique_ptr<Cell>> rate_cells_;        // [kOpCount]
+  std::vector<std::unique_ptr<Cell>> dimm_queue_cells_;  // [kMaxDimms]
+  std::vector<std::unique_ptr<Cell>> dimm_stall_cells_;  // [kMaxDimms]
+  std::vector<uint64_t> gauge_ids_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace hdnh::obs

@@ -1,0 +1,71 @@
+#include "obs/heavy_hitters.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+namespace hdnh::obs {
+
+struct HeavyHitters::Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Sketch>> sketches;
+};
+
+HeavyHitters::Registry& HeavyHitters::registry() {
+  static Registry* r = new Registry();  // leaked: outlives all threads
+  return *r;
+}
+
+HeavyHitters::Sketch& HeavyHitters::local() {
+  if (tl_sketch_ == nullptr) {
+    auto owned = std::make_unique<Sketch>();
+    Sketch* raw = owned.get();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.sketches.push_back(std::move(owned));
+    tl_sketch_ = raw;
+  }
+  return *tl_sketch_;
+}
+
+std::vector<HeavyHitters::Entry> HeavyHitters::top(uint32_t k) {
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> merged;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (const auto& s : r.sketches) {
+      for (const Slot& slot : s->slots) {
+        const uint64_t c = slot.count.load(std::memory_order_relaxed);
+        if (c == 0) continue;
+        merged[{slot.d0.load(std::memory_order_relaxed),
+                slot.d1.load(std::memory_order_relaxed)}] += c;
+      }
+    }
+  }
+  std::vector<Entry> all;
+  all.reserve(merged.size());
+  for (const auto& [digest, count] : merged) {
+    all.push_back(Entry{digest.first, digest.second, count});
+  }
+  std::sort(all.begin(), all.end(), [](const Entry& a, const Entry& b) {
+    return std::tie(b.count, a.d0, a.d1) < std::tie(a.count, b.d0, b.d1);
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+void HeavyHitters::reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& s : r.sketches) {
+    for (Slot& slot : s->slots) {
+      slot.count.store(0, std::memory_order_relaxed);
+      slot.d0.store(0, std::memory_order_relaxed);
+      slot.d1.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace hdnh::obs

@@ -5,9 +5,33 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/heavy_hitters.h"
 #include "obs/json.h"
+#include "obs/slowlog.h"
+#include "obs/window.h"
 
 namespace hdnh::obs {
+
+namespace {
+
+// A scrape in a process that never started an obs::Aggregator still wants
+// fresh windows: rotate when the in-progress epoch is older than this, so
+// back-to-back scrapes see scrape-to-scrape windows. Processes with an
+// Aggregator tick (1 s default) never trip it.
+constexpr uint64_t kScrapeRotateNs = 2'000'000'000;
+
+// Hot keys surfaced per scrape (HOTKEYS takes its own k).
+constexpr uint32_t kScrapeHotkeys = 8;
+
+double windowed_hot_hit_ratio(const Windows::Snapshot& s) {
+  const double lookups = static_cast<double>(
+      s.counts[static_cast<uint32_t>(Op::kGet)] +
+      s.counts[static_cast<uint32_t>(Op::kMultigetKeys)]);
+  return lookups > 0 ? static_cast<double>(s.nvm.dram_hot_hits) / lookups
+                     : 0.0;
+}
+
+}  // namespace
 
 const char* op_name(Op op) {
   switch (op) {
@@ -258,6 +282,107 @@ std::string Metrics::prometheus() {
     }
   }
 
+  {
+    // ---- windowed load signal (obs/window.h) ----------------------------
+    Windows::rotate_if_stale(kScrapeRotateNs);
+    Windows::Snapshot s;
+    Windows::snapshot(Windows::kEpochs, &s);
+    out += "# HELP hdnh_window_seconds wall time covered by the merged "
+           "completed epochs\n";
+    out += "# TYPE hdnh_window_seconds gauge\n";
+    line("hdnh_window_seconds %.6g\n",
+         static_cast<double>(s.window_ns) * 1e-9);
+    out += "# TYPE hdnh_window_epochs gauge\n";
+    line("hdnh_window_epochs %u\n", s.epochs);
+    out += "# HELP hdnh_window_ops operations inside the window, by kind\n";
+    out += "# TYPE hdnh_window_ops gauge\n";
+    for (uint32_t i = 0; i < kOpCount; ++i) {
+      line("hdnh_window_ops{op=\"%s\"} %llu\n", op_name(static_cast<Op>(i)),
+           static_cast<unsigned long long>(s.counts[i]));
+    }
+    out += "# HELP hdnh_window_op_rate windowed op rate (ops/s)\n";
+    out += "# TYPE hdnh_window_op_rate gauge\n";
+    for (uint32_t i = 0; i < kOpCount; ++i) {
+      line("hdnh_window_op_rate{op=\"%s\"} %.10g\n",
+           op_name(static_cast<Op>(i)), s.rate(i));
+    }
+    out += "# HELP hdnh_window_op_latency_ns windowed latency quantiles "
+           "(zero series are omitted; an idle window emits nothing)\n";
+    out += "# TYPE hdnh_window_op_latency_ns gauge\n";
+    for (uint32_t i = 0; i < kOpCount; ++i) {
+      const Histogram& h = s.latency[i];
+      if (h.count() == 0) continue;
+      const char* op = op_name(static_cast<Op>(i));
+      for (const double q : kQuantiles) {
+        line("hdnh_window_op_latency_ns{op=\"%s\",quantile=\"%g\"} %llu\n",
+             op, q, static_cast<unsigned long long>(h.percentile(q)));
+      }
+    }
+    out += "# HELP hdnh_window_hot_hit_ratio DRAM hot-table hits / point "
+           "lookups, inside the window\n";
+    out += "# TYPE hdnh_window_hot_hit_ratio gauge\n";
+    line("hdnh_window_hot_hit_ratio %.10g\n", windowed_hot_hit_ratio(s));
+
+    // ---- per-shard heat -------------------------------------------------
+    bool heat_typed = false;
+    Windows::visit_heats([&](const ShardHeat& heat) {
+      if (!heat_typed) {
+        out += "# HELP hdnh_shard_window_ops operations inside the window, "
+               "per shard\n";
+        out += "# TYPE hdnh_shard_window_ops gauge\n";
+        heat_typed = true;
+      }
+      const auto w = heat.window();
+      for (uint32_t sh = 0; sh < w.size(); ++sh) {
+        line("hdnh_shard_window_ops{%s,shard=\"%u\"} %llu\n",
+             heat.label().c_str(), sh,
+             static_cast<unsigned long long>(w[sh].ops));
+      }
+    });
+    bool heat_lat_typed = false;
+    Windows::visit_heats([&](const ShardHeat& heat) {
+      if (!heat_lat_typed) {
+        out += "# HELP hdnh_shard_window_mean_latency_ns windowed mean op "
+               "latency per shard (0 while latency capture is off)\n";
+        out += "# TYPE hdnh_shard_window_mean_latency_ns gauge\n";
+        heat_lat_typed = true;
+      }
+      const auto w = heat.window();
+      for (uint32_t sh = 0; sh < w.size(); ++sh) {
+        const double mean =
+            w[sh].lat_count
+                ? static_cast<double>(w[sh].lat_sum_ns) /
+                      static_cast<double>(w[sh].lat_count)
+                : 0.0;
+        line("hdnh_shard_window_mean_latency_ns{%s,shard=\"%u\"} %.10g\n",
+             heat.label().c_str(), sh, mean);
+      }
+    });
+
+    // ---- hot keys -------------------------------------------------------
+    const auto hot = HeavyHitters::top(kScrapeHotkeys);
+    out += "# HELP hdnh_hotkey_count heavy-hitter key digests with "
+           "approximate counts, hottest first\n";
+    out += "# TYPE hdnh_hotkey_count gauge\n";
+    for (uint32_t i = 0; i < hot.size(); ++i) {
+      line("hdnh_hotkey_count{rank=\"%u\",key=\"%016llx%016llx\"} %llu\n", i,
+           static_cast<unsigned long long>(hot[i].d0),
+           static_cast<unsigned long long>(hot[i].d1),
+           static_cast<unsigned long long>(hot[i].count));
+    }
+
+    // ---- slowlog --------------------------------------------------------
+    out += "# TYPE hdnh_slowlog_len gauge\n";
+    line("hdnh_slowlog_len %llu\n",
+         static_cast<unsigned long long>(SlowLog::len()));
+    out += "# TYPE hdnh_slowlog_total counter\n";
+    line("hdnh_slowlog_total %llu\n",
+         static_cast<unsigned long long>(SlowLog::total()));
+    out += "# TYPE hdnh_slowlog_threshold_ns gauge\n";
+    line("hdnh_slowlog_threshold_ns %llu\n",
+         static_cast<unsigned long long>(SlowLog::threshold_ns()));
+  }
+
   const Derived d = derive(nvm, ops);
   out += "# TYPE hdnh_hot_hit_ratio gauge\n";
   line("hdnh_hot_hit_ratio %.10g\n", d.hot_hit_ratio);
@@ -323,6 +448,87 @@ std::string Metrics::json() {
     }
   }
   w.end_array();
+
+  {
+    Windows::rotate_if_stale(kScrapeRotateNs);
+    Windows::Snapshot s;
+    Windows::snapshot(Windows::kEpochs, &s);
+    w.key("window").begin_object();
+    w.kv("seconds", static_cast<double>(s.window_ns) * 1e-9);
+    w.kv("epochs", static_cast<uint64_t>(s.epochs));
+    w.kv("rotations", Windows::rotations());
+    w.key("ops").begin_object();
+    for (uint32_t i = 0; i < kOpCount; ++i) {
+      const Histogram& h = s.latency[i];
+      w.key(op_name(static_cast<Op>(i))).begin_object();
+      w.kv("count", s.counts[i]);
+      w.kv("rate", s.rate(i));
+      if (h.count() > 0) {
+        w.kv("p50_ns", h.percentile(0.5));
+        w.kv("p90_ns", h.percentile(0.9));
+        w.kv("p99_ns", h.percentile(0.99));
+        w.kv("p999_ns", h.percentile(0.999));
+        w.kv("max_ns", h.max());
+      }
+      w.end_object();
+    }
+    w.end_object();
+    w.kv("hot_hit_ratio", windowed_hot_hit_ratio(s));
+    w.end_object();
+
+    w.key("shard_heat").begin_array();
+    Windows::visit_heats([&](const ShardHeat& heat) {
+      const auto win = heat.window();
+      for (uint32_t sh = 0; sh < win.size(); ++sh) {
+        w.begin_object();
+        w.kv("store", heat.label());
+        w.kv("shard", static_cast<uint64_t>(sh));
+        w.kv("window_ops", win[sh].ops);
+        w.kv("window_mean_latency_ns",
+             win[sh].lat_count
+                 ? static_cast<double>(win[sh].lat_sum_ns) /
+                       static_cast<double>(win[sh].lat_count)
+                 : 0.0);
+        w.end_object();
+      }
+    });
+    w.end_array();
+
+    w.key("hotkeys").begin_array();
+    for (const auto& e : HeavyHitters::top(kScrapeHotkeys)) {
+      char digest[33];
+      std::snprintf(digest, sizeof(digest), "%016llx%016llx",
+                    static_cast<unsigned long long>(e.d0),
+                    static_cast<unsigned long long>(e.d1));
+      w.begin_object();
+      w.kv("key", digest);
+      w.kv("count", e.count);
+      w.end_object();
+    }
+    w.end_array();
+
+    w.key("slowlog").begin_object();
+    w.kv("len", SlowLog::len());
+    w.kv("total", SlowLog::total());
+    w.kv("threshold_ns", SlowLog::threshold_ns());
+    w.key("entries").begin_array();
+    for (const auto& e : SlowLog::entries(16)) {
+      char digest[33];
+      std::snprintf(digest, sizeof(digest), "%016llx%016llx",
+                    static_cast<unsigned long long>(e.d0),
+                    static_cast<unsigned long long>(e.d1));
+      w.begin_object();
+      w.kv("id", e.id);
+      w.kv("op", op_name(e.op));
+      w.kv("latency_ns", e.latency_ns);
+      w.kv("key", digest);
+      w.kv("shard", static_cast<uint64_t>(e.shard));
+      w.kv("ts_ns", e.ts_ns);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
 
   const Derived d = derive(nvm, ops);
   w.key("derived").begin_object();

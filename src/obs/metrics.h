@@ -28,6 +28,7 @@
 #include "common/histogram.h"
 #include "nvm/stats.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 
 namespace hdnh::obs {
 
@@ -43,6 +44,8 @@ enum class Op : uint32_t {
   kMultigetKeys,
 };
 inline constexpr uint32_t kOpCount = 6;
+static_assert(kOpCount == kWindowOpCount,
+              "obs/window.h sizes its per-thread blocks off this");
 const char* op_name(Op op);
 
 class Metrics {
@@ -142,7 +145,11 @@ class OpTimer {
 #if defined(HDNH_OBS)
 #define HDNH_OBS_OP_SCOPE(op) \
   ::hdnh::obs::OpTimer HDNH_OBS_CONCAT(obs_op_, __COUNTER__)(op)
-#define HDNH_OBS_COUNT(op, n) ::hdnh::obs::Metrics::count_op(op, n)
+#define HDNH_OBS_COUNT(op, n)                  \
+  do {                                         \
+    ::hdnh::obs::Metrics::count_op(op, n);     \
+    ::hdnh::obs::Windows::count(op, n);        \
+  } while (0)
 #else
 #define HDNH_OBS_OP_SCOPE(op) \
   do {                        \

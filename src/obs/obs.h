@@ -1,14 +1,23 @@
 // Umbrella header for the observability layer (docs/observability.md):
-//   * obs/metrics.h — metrics registry (counters, latency histograms,
-//     gauges, Prometheus/JSON scrape) + HDNH_OBS_OP_SCOPE/HDNH_OBS_COUNT
-//   * obs/trace.h   — event tracer (per-thread span rings, Chrome
+//   * obs/metrics.h       — metrics registry (counters, latency histograms,
+//     gauges, Prometheus/JSON scrape) + HDNH_OBS_OP_SAMPLE/HDNH_OBS_COUNT
+//   * obs/window.h        — time-windowed aggregation (rotating epochs,
+//     windowed rates/percentiles, per-shard heat)
+//   * obs/heavy_hitters.h — always-on hot-key top-k sketch
+//   * obs/slowlog.h       — slow-operation capture ring
+//   * obs/aggregator.h    — background rotation tick + EWMA gauges
+//   * obs/trace.h         — event tracer (per-thread span rings, Chrome
 //     trace_event dump) + HDNH_OBS_SPAN/HDNH_OBS_INSTANT
-//   * obs/report.h  — periodic file reporter
+//   * obs/report.h        — periodic file reporter
 //
 // All instrumentation macros compile to nothing under -DHDNH_OBS=OFF;
 // obs::kCompiledIn reflects the gate at runtime.
 #pragma once
 
+#include "obs/aggregator.h"
+#include "obs/heavy_hitters.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/slowlog.h"
 #include "obs/trace.h"
+#include "obs/window.h"

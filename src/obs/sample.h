@@ -1,0 +1,163 @@
+// Per-operation sampling hook: the one RAII object an instrumented op site
+// carries. On scope exit it fans a single observation out to every load
+// signal (docs/observability.md):
+//   * lifetime op counter             (obs/metrics.h, every op)
+//   * current-epoch windowed counter  (obs/window.h, every op)
+//   * hot-key heavy-hitter sketch     (obs/heavy_hitters.h, sampled)
+//   * lifetime + windowed latency histograms, slow-op ring, per-shard heat
+//                                     (sampled; one clock pair shared by
+//                                      all four when the sample fires)
+//
+// Sampling is the load-bearing design decision here. A DRAM-resolved
+// negative search is ~100 ns end to end; a clock pair alone is ~40 ns and
+// a sketch probe ~20 ns, so timing every op would cost more than the op.
+// Instead a per-thread tick counter deterministically selects 1-in-N ops
+// (N a power of two): the latency path fires every kLatencyEvery-th op,
+// the heavy-hitter probe every kHotkeyEvery-th key. Unsampled ops pay one
+// thread-local increment and two predictable branches. Percentiles,
+// rates, and top-k ranks are statistics over the stream, so sampling
+// narrows them only by sqrt(N); the one real trade is that a slow op is
+// only *caught* when it lands on a latency sample — a recurring slow-op
+// class still surfaces within ~kLatencyEvery occurrences. Tests that
+// need exhaustive capture call Sampling::set_*_every(1).
+//
+// The key is passed as a pointer to the 16 B inner-index Key (whose bytes
+// are already a digest of the user key); nullptr for keyless/batched ops.
+// `heat`/`shard` come from the owning ShardedTable via set_obs_heat();
+// unsharded stores pass nullptr/0.
+#pragma once
+
+#include <atomic>
+#include <cstring>
+
+#include "common/clock.h"
+#include "obs/heavy_hitters.h"
+#include "obs/metrics.h"
+#include "obs/slowlog.h"
+#include "obs/window.h"
+
+namespace hdnh::obs {
+
+// Process-wide sampling periods, runtime-adjustable (rounded up to a power
+// of two; 0 and 1 both mean "every op"). Defaults keep the measured
+// NegativeSearch overhead of latency+hotkeys ON inside the 3% acceptance
+// budget (bench/bench_obs_overhead.cc).
+class Sampling {
+ public:
+  static constexpr uint32_t kLatencyEvery = 128;
+  static constexpr uint32_t kHotkeyEvery = 64;
+
+  static uint32_t latency_mask() {
+    return latency_mask_.load(std::memory_order_relaxed);
+  }
+  static uint32_t hotkey_mask() {
+    return hotkey_mask_.load(std::memory_order_relaxed);
+  }
+  static void set_latency_every(uint32_t n) {
+    latency_mask_.store(to_mask(n), std::memory_order_relaxed);
+  }
+  static void set_hotkey_every(uint32_t n) {
+    hotkey_mask_.store(to_mask(n), std::memory_order_relaxed);
+  }
+
+ private:
+  static uint32_t to_mask(uint32_t n) {
+    uint32_t pow2 = 1;
+    while (pow2 < n && pow2 < (1u << 30)) pow2 <<= 1;
+    return pow2 - 1;
+  }
+  inline static std::atomic<uint32_t> latency_mask_{kLatencyEvery - 1};
+  inline static std::atomic<uint32_t> hotkey_mask_{kHotkeyEvery - 1};
+};
+
+// Per-thread op tick driving both sampling decisions (and record_hotkeys'
+// per-key decision, so batched keys sample at the same rate as keyed ops).
+inline thread_local uint32_t tl_op_tick = 0;
+
+class OpSample {
+ public:
+  // `weight` is the per-shard heat op count (batched ops pass the batch
+  // size so heat reflects keys served, not calls).
+  OpSample(Op op, const void* key16, ShardHeat* heat, uint32_t shard,
+           uint64_t weight = 1)
+      : op_(op), key16_(key16), heat_(heat), shard_(shard), weight_(weight) {
+    const uint32_t tick = ++tl_op_tick;
+    if (Metrics::latency_enabled() &&
+        (tick & Sampling::latency_mask()) == 0) {
+      start_ = now_ns();
+    }
+    hh_ = key16 != nullptr && HeavyHitters::enabled() &&
+          (tick & Sampling::hotkey_mask()) == 0;
+  }
+
+  ~OpSample() {
+    Metrics::count_op(op_);
+    Windows::count(op_);
+    uint64_t d0 = 0, d1 = 0;
+    if ((hh_ || start_ != 0) && key16_ != nullptr) {
+      std::memcpy(&d0, key16_, 8);
+      std::memcpy(&d1, static_cast<const char*>(key16_) + 8, 8);
+    }
+    if (hh_) HeavyHitters::record(d0, d1);
+    if (start_ != 0) {
+      const uint64_t lat = now_ns() - start_;
+      Metrics::record_latency(op_, lat);
+      Windows::record_latency(op_, lat);
+      SlowLog::maybe_record(op_, lat, d0, d1, shard_);
+      if (heat_ != nullptr) heat_->record(shard_, lat, weight_);
+    } else if (heat_ != nullptr) {
+      heat_->record(shard_, 0, weight_);
+    }
+  }
+
+  OpSample(const OpSample&) = delete;
+  OpSample& operator=(const OpSample&) = delete;
+
+ private:
+  Op op_;
+  const void* key16_;
+  ShardHeat* heat_;
+  uint32_t shard_;
+  uint64_t weight_;
+  uint64_t start_ = 0;
+  bool hh_ = false;
+};
+
+// Batched heavy-hitter recording: `keys16` points at n contiguous 16 B
+// keys (the inner-index Key array a multiget carries). Each key advances
+// the same per-thread tick an OpSample would, so a workload's sampling
+// rate is identical whether its reads arrive one by one or batched.
+inline void record_hotkeys(const void* keys16, size_t n) {
+  if (!HeavyHitters::enabled()) return;
+  const uint32_t mask = Sampling::hotkey_mask();
+  const char* p = static_cast<const char*>(keys16);
+  for (size_t i = 0; i < n; ++i, p += 16) {
+    if ((++tl_op_tick & mask) != 0) continue;
+    uint64_t d0, d1;
+    std::memcpy(&d0, p, 8);
+    std::memcpy(&d1, p + 8, 8);
+    HeavyHitters::record(d0, d1);
+  }
+}
+
+}  // namespace hdnh::obs
+
+#if defined(HDNH_OBS)
+#define HDNH_OBS_OP_SAMPLE(op, key16, heat, shard) \
+  ::hdnh::obs::OpSample HDNH_OBS_CONCAT(obs_op_, __COUNTER__)( \
+      op, key16, heat, shard)
+#define HDNH_OBS_OP_SAMPLE_N(op, key16, heat, shard, n) \
+  ::hdnh::obs::OpSample HDNH_OBS_CONCAT(obs_op_, __COUNTER__)( \
+      op, key16, heat, shard, n)
+#define HDNH_OBS_HOTKEYS(keys16, n) ::hdnh::obs::record_hotkeys(keys16, n)
+#else
+#define HDNH_OBS_OP_SAMPLE(op, key16, heat, shard) \
+  do {                                             \
+  } while (0)
+#define HDNH_OBS_OP_SAMPLE_N(op, key16, heat, shard, n) \
+  do {                                                  \
+  } while (0)
+#define HDNH_OBS_HOTKEYS(keys16, n) \
+  do {                              \
+  } while (0)
+#endif

@@ -1,0 +1,73 @@
+#include "obs/slowlog.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/clock.h"
+
+namespace hdnh::obs {
+
+struct SlowLog::Ring {
+  std::mutex mu;
+  Entry entries[kCapacity];
+  uint64_t next_id = 1;   // also the count of entries ever admitted + 1
+  uint64_t base_id = 1;   // first id still considered live (reset() bumps)
+};
+
+SlowLog::Ring& SlowLog::ring() {
+  static Ring* r = new Ring();  // leaked: outlives all threads
+  return *r;
+}
+
+void SlowLog::record_slow(Op op, uint64_t latency_ns, uint64_t d0,
+                          uint64_t d1, uint32_t shard) {
+  const uint64_t ts = now_ns();
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const uint64_t id = r.next_id++;
+  Entry& e = r.entries[id % kCapacity];
+  e.id = id;
+  e.ts_ns = ts;
+  e.latency_ns = latency_ns;
+  e.op = op;
+  e.d0 = d0;
+  e.d1 = d1;
+  e.shard = shard;
+}
+
+std::vector<SlowLog::Entry> SlowLog::entries(uint32_t max) {
+  std::vector<Entry> out;
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const uint64_t newest = r.next_id - 1;
+  const uint64_t live =
+      newest >= r.base_id ? newest - r.base_id + 1 : 0;
+  const uint64_t n = std::min<uint64_t>({live, kCapacity, max});
+  out.reserve(n);
+  for (uint64_t k = 0; k < n; ++k) {
+    out.push_back(r.entries[(newest - k) % kCapacity]);
+  }
+  return out;
+}
+
+uint64_t SlowLog::len() {
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const uint64_t newest = r.next_id - 1;
+  const uint64_t live = newest >= r.base_id ? newest - r.base_id + 1 : 0;
+  return std::min<uint64_t>(live, kCapacity);
+}
+
+uint64_t SlowLog::total() {
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.next_id - 1;
+}
+
+void SlowLog::reset() {
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.base_id = r.next_id;  // ids stay monotone across resets, like Redis
+}
+
+}  // namespace hdnh::obs

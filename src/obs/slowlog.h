@@ -1,0 +1,65 @@
+// SLOWLOG-style slow-operation capture: a fixed FIFO ring of the most
+// recent operations whose latency exceeded a runtime threshold, each entry
+// carrying enough context (op kind, 16 B key digest, shard, latency,
+// monotonic timestamp) to chase the offender afterwards.
+//
+// Cost model: the hot path pays one relaxed atomic load (the threshold)
+// and a compare; only operations actually over the threshold take the ring
+// mutex. With the default 10 ms threshold that is never on the emulated-NVM
+// fast path, so leaving the check on is free next to an op's own work.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace hdnh::obs {
+
+class SlowLog {
+ public:
+  static constexpr uint32_t kCapacity = 128;
+  static constexpr uint64_t kDefaultThresholdNs = 10'000'000;  // 10 ms
+
+  struct Entry {
+    uint64_t id = 0;          // monotone, never reused (RESET keeps counting)
+    uint64_t ts_ns = 0;       // monotonic clock at completion
+    uint64_t latency_ns = 0;
+    Op op = Op::kGet;
+    uint64_t d0 = 0;          // key digest halves (0/0 for keyless ops)
+    uint64_t d1 = 0;
+    uint32_t shard = 0;       // owning shard, 0 for unsharded stores
+  };
+
+  static uint64_t threshold_ns() {
+    return threshold_ns_.load(std::memory_order_relaxed);
+  }
+  static void set_threshold_ns(uint64_t ns) {
+    threshold_ns_.store(ns, std::memory_order_relaxed);
+  }
+
+  // Hot path: cheap reject, locked append only for genuinely slow ops.
+  static void maybe_record(Op op, uint64_t latency_ns, uint64_t d0,
+                           uint64_t d1, uint32_t shard) {
+    if (latency_ns < threshold_ns()) return;
+    record_slow(op, latency_ns, d0, d1, shard);
+  }
+
+  // Entries newest-first (SLOWLOG GET order).
+  static std::vector<Entry> entries(uint32_t max = kCapacity);
+  static uint64_t len();
+  // Total entries ever admitted (monotone; survives reset()).
+  static uint64_t total();
+  static void reset();
+
+ private:
+  static void record_slow(Op op, uint64_t latency_ns, uint64_t d0,
+                          uint64_t d1, uint32_t shard);
+  struct Ring;
+  static Ring& ring();
+
+  inline static std::atomic<uint64_t> threshold_ns_{kDefaultThresholdNs};
+};
+
+}  // namespace hdnh::obs

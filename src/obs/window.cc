@@ -1,0 +1,271 @@
+#include "obs/window.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/clock.h"
+#include "obs/metrics.h"
+
+namespace hdnh::obs {
+
+void AtomicHistogram::drain_into(Histogram* out) {
+  const uint64_t c = count_.exchange(0, std::memory_order_relaxed);
+  if (c == 0) return;
+  const uint64_t s = sum_.exchange(0, std::memory_order_relaxed);
+  const uint64_t mx = max_.exchange(0, std::memory_order_relaxed);
+  uint64_t mn = mx;
+  bool min_set = false;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    if (counts_[i].load(std::memory_order_relaxed) == 0) continue;
+    const uint64_t n = counts_[i].exchange(0, std::memory_order_relaxed);
+    if (n == 0) continue;
+    if (!min_set) {
+      mn = Histogram::value_for(i);
+      min_set = true;
+    }
+    out->merge_bucket(i, n);
+  }
+  out->merge_summary(c, s, mx, mn);
+}
+
+// ---------------------------------------------------------------------------
+// Registry: thread blocks, shard heats, and the completed-epoch ring
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Epoch {
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  std::array<uint64_t, kWindowOpCount> counts{};
+  std::array<Histogram, kWindowOpCount> hist;
+  nvm::StatsSnapshot nvm{};
+};
+
+}  // namespace
+
+struct Windows::Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadBlock>> blocks;
+  std::vector<ShardHeat*> heats;
+  // Ring of the last kEpochs completed epochs; head is the next overwrite.
+  std::array<Epoch, kEpochs> ring;
+  uint32_t head = 0;
+  uint32_t filled = 0;
+  uint64_t rotations = 0;
+  uint64_t epoch_start_ns = 0;        // start of the in-progress epoch
+  nvm::StatsSnapshot nvm_baseline{};  // nvm totals at the last rotation
+  bool baseline_valid = false;
+};
+
+Windows::Registry& Windows::registry() {
+  static Registry* r = new Registry();  // leaked: outlives all threads
+  return *r;
+}
+
+Windows::ThreadBlock& Windows::local() {
+  if (tl_block_ == nullptr) {
+    auto owned = std::make_unique<ThreadBlock>();
+    ThreadBlock* raw = owned.get();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.blocks.push_back(std::move(owned));
+    tl_block_ = raw;
+  }
+  return *tl_block_;
+}
+
+void Windows::record_latency(Op op, uint64_t ns) {
+  ThreadBlock& b = local();
+  AtomicHistogram* h = b.hist.load(std::memory_order_acquire);
+  if (h == nullptr) {
+    h = new AtomicHistogram[kWindowOpCount];
+    b.hist.store(h, std::memory_order_release);
+  }
+  h[static_cast<uint32_t>(op)].record(ns);
+}
+
+void Windows::rotate() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const uint64_t now = now_ns();
+  Epoch& e = r.ring[r.head];
+  e = Epoch{};
+  e.start_ns = r.epoch_start_ns ? r.epoch_start_ns : now;
+  e.end_ns = now;
+
+  for (auto& b : r.blocks) {
+    for (uint32_t i = 0; i < kWindowOpCount; ++i) {
+      e.counts[i] += b->counts[i].exchange(0, std::memory_order_relaxed);
+    }
+    AtomicHistogram* h = b->hist.load(std::memory_order_acquire);
+    if (h != nullptr) {
+      for (uint32_t i = 0; i < kWindowOpCount; ++i) {
+        if (!h[i].idle()) h[i].drain_into(&e.hist[i]);
+      }
+    }
+  }
+
+  // nvm::Stats delta since the previous rotation (the first rotation's
+  // baseline is everything since process start, so recovery-time traffic
+  // lands in the first window rather than vanishing).
+  const nvm::StatsSnapshot total = nvm::Stats::snapshot();
+  if (r.baseline_valid) {
+    e.nvm = total;
+    e.nvm -= r.nvm_baseline;
+  } else {
+    e.nvm = total;
+  }
+  r.nvm_baseline = total;
+  r.baseline_valid = true;
+
+  for (ShardHeat* h : r.heats) h->rotate_locked();
+
+  r.head = (r.head + 1) % kEpochs;
+  r.filled = std::min(r.filled + 1, kEpochs);
+  r.rotations++;
+  r.epoch_start_ns = now;
+}
+
+bool Windows::rotate_if_stale(uint64_t max_age_ns) {
+  Registry& r = registry();
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    if (r.epoch_start_ns != 0 &&
+        now_ns() - r.epoch_start_ns < max_age_ns) {
+      return false;
+    }
+  }
+  rotate();
+  return true;
+}
+
+uint64_t Windows::rotations() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.rotations;
+}
+
+void Windows::reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& b : r.blocks) {
+    for (auto& c : b->counts) c.store(0, std::memory_order_relaxed);
+    AtomicHistogram* h = b->hist.load(std::memory_order_acquire);
+    if (h != nullptr) {
+      Histogram sink;
+      for (uint32_t i = 0; i < kWindowOpCount; ++i) h[i].drain_into(&sink);
+    }
+  }
+  for (Epoch& e : r.ring) e = Epoch{};
+  r.head = 0;
+  r.filled = 0;
+  r.epoch_start_ns = now_ns();
+  r.nvm_baseline = nvm::Stats::snapshot();
+  r.baseline_valid = true;
+  for (ShardHeat* h : r.heats) {
+    for (auto& c : h->cur_) {
+      c.ops.store(0, std::memory_order_relaxed);
+      c.lat_sum.store(0, std::memory_order_relaxed);
+      c.lat_count.store(0, std::memory_order_relaxed);
+    }
+    for (auto& ring : h->ring_) ring.fill(ShardHeat::Window{});
+    h->head_ = 0;
+    h->filled_ = 0;
+  }
+}
+
+void Windows::snapshot(uint32_t max_epochs, Snapshot* out) {
+  *out = Snapshot{};
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const uint32_t n = std::min(max_epochs, r.filled);
+  for (uint32_t k = 0; k < n; ++k) {
+    // Newest-first: head-1 is the most recently completed epoch.
+    const uint32_t idx = (r.head + kEpochs - 1 - k) % kEpochs;
+    const Epoch& e = r.ring[idx];
+    out->window_ns += e.end_ns - e.start_ns;
+    for (uint32_t i = 0; i < kWindowOpCount; ++i) {
+      out->counts[i] += e.counts[i];
+      out->latency[i].merge(e.hist[i]);
+    }
+    nvm::StatsSnapshot d = e.nvm;  // operator-= only; accumulate by hand
+    out->nvm.nvm_read_ops += d.nvm_read_ops;
+    out->nvm.nvm_read_blocks += d.nvm_read_blocks;
+    out->nvm.nvm_write_ops += d.nvm_write_ops;
+    out->nvm.nvm_write_lines += d.nvm_write_lines;
+    out->nvm.fences += d.fences;
+    out->nvm.dram_hot_hits += d.dram_hot_hits;
+    out->nvm.ocf_filtered += d.ocf_filtered;
+    out->nvm.ocf_false_positive += d.ocf_false_positive;
+    out->nvm.lock_waits += d.lock_waits;
+    out->nvm.nvm_prefetch_issued += d.nvm_prefetch_issued;
+    out->nvm.nvm_read_blocks_overlapped += d.nvm_read_blocks_overlapped;
+    out->nvm.nvm_read_blocks_stalled += d.nvm_read_blocks_stalled;
+    out->nvm.fault_events += d.fault_events;
+    out->nvm.fault_crashes += d.fault_crashes;
+    for (uint32_t dd = 0; dd < nvm::kMaxDimms; ++dd) {
+      out->nvm.nvm_dimm_read_bytes[dd] += d.nvm_dimm_read_bytes[dd];
+      out->nvm.nvm_dimm_write_bytes[dd] += d.nvm_dimm_write_bytes[dd];
+      out->nvm.nvm_dimm_read_stall_ns[dd] += d.nvm_dimm_read_stall_ns[dd];
+      out->nvm.nvm_dimm_write_stall_ns[dd] += d.nvm_dimm_write_stall_ns[dd];
+      out->nvm.nvm_dimm_queue_depth[dd] += d.nvm_dimm_queue_depth[dd];
+    }
+    out->nvm.alloc_chunks_claimed += d.alloc_chunks_claimed;
+    out->nvm.alloc_chunk_bytes += d.alloc_chunk_bytes;
+    out->nvm.alloc_shared_fallbacks += d.alloc_shared_fallbacks;
+  }
+  out->epochs = n;
+}
+
+void Windows::visit_heats(const std::function<void(const ShardHeat&)>& fn) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const ShardHeat* h : r.heats) fn(*h);
+}
+
+// ---------------------------------------------------------------------------
+// ShardHeat
+// ---------------------------------------------------------------------------
+
+ShardHeat::ShardHeat(uint32_t shards, std::string label)
+    : label_(std::move(label)), cur_(shards), ring_(shards) {
+  Windows::Registry& r = Windows::registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.heats.push_back(this);
+}
+
+ShardHeat::~ShardHeat() {
+  Windows::Registry& r = Windows::registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.heats.erase(std::remove(r.heats.begin(), r.heats.end(), this),
+                r.heats.end());
+}
+
+void ShardHeat::rotate_locked() {
+  for (uint32_t s = 0; s < shards(); ++s) {
+    Window& w = ring_[s][head_];
+    w.ops = cur_[s].ops.exchange(0, std::memory_order_relaxed);
+    w.lat_sum_ns = cur_[s].lat_sum.exchange(0, std::memory_order_relaxed);
+    w.lat_count = cur_[s].lat_count.exchange(0, std::memory_order_relaxed);
+  }
+  head_ = (head_ + 1) % kEpochs;
+  filled_ = std::min(filled_ + 1, kEpochs);
+}
+
+std::vector<ShardHeat::Window> ShardHeat::window() const {
+  // Called under the window registry lock (visit_heats) or from the owning
+  // store's scrape path; ring slots are only written under that same lock.
+  std::vector<Window> out(shards());
+  for (uint32_t s = 0; s < shards(); ++s) {
+    for (uint32_t k = 0; k < filled_; ++k) {
+      const Window& w = ring_[s][k];
+      out[s].ops += w.ops;
+      out[s].lat_sum_ns += w.lat_sum_ns;
+      out[s].lat_count += w.lat_count;
+    }
+  }
+  return out;
+}
+
+}  // namespace hdnh::obs

@@ -1,0 +1,202 @@
+// Time-windowed aggregation over the per-op counters and latency
+// histograms — the live load signal the lifetime counters in obs/metrics.h
+// cannot provide ("which shard is hot *right now*", "what was p99 over the
+// last few seconds", "did the hot-table hit ratio just collapse").
+//
+// Design (merge-on-rotate, lock-free recording):
+//
+//   * Each recording thread owns an atomic counter block (relaxed ops, no
+//     cross-thread RMW contention: one writer per block) holding the
+//     *current epoch's* per-op counts and — while latency capture is on —
+//     per-op atomic bucket arrays sharing common/histogram.h's bucket
+//     mapping.
+//   * Windows::rotate() (called by obs::Aggregator on a fixed tick, or
+//     manually by tests/tools) closes the current epoch: it drains every
+//     thread block (atomic exchange-to-zero per field, so recording never
+//     pauses), folds the result into one Epoch record together with the
+//     nvm::Stats delta accrued since the previous rotation, and pushes it
+//     onto a ring of the last kEpochs completed epochs.
+//   * Windows::snapshot(n) merges the most recent n completed epochs into
+//     plain counters/Histograms — per-window op rates and windowed
+//     p50/p99/p999 fall out. An idle window has count 0 and percentile 0:
+//     lifetime totals never bleed through.
+//
+// A record racing a rotation lands in either the closing or the next epoch
+// (never lost, never double-counted): windows are a telemetry signal, not
+// an accounting ledger, and that smear is bounded by one operation.
+//
+// Per-shard heat rides the same rotation: a ShardHeat (registered by
+// ShardedTable, one slot per shard) accumulates op counts and latency sums
+// into shared relaxed-atomic counters that rotate() drains into a per-shard
+// epoch ring, yielding windowed per-shard op rates and mean latency.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "nvm/stats.h"
+
+namespace hdnh::obs {
+
+enum class Op : uint32_t;  // obs/metrics.h
+inline constexpr uint32_t kWindowOpCount = 6;  // == obs::kOpCount
+
+// Atomic histogram sharing Histogram's bucket mapping. One writer thread
+// (relaxed adds), drained by rotate() with exchange-to-zero.
+class AtomicHistogram {
+ public:
+  void record(uint64_t v) {
+    counts_[Histogram::index_for(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    // Max via CAS (rare after warm-up); min is derived from the lowest
+    // non-empty bucket at drain time.
+    uint64_t m = max_.load(std::memory_order_relaxed);
+    while (v > m &&
+           !max_.compare_exchange_weak(m, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  bool idle() const { return count_.load(std::memory_order_relaxed) == 0; }
+
+  // Exchange every field to zero, folding the drained totals into `out`.
+  void drain_into(Histogram* out);
+
+ private:
+  std::array<std::atomic<uint64_t>, Histogram::kBuckets> counts_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+// Per-shard heat accumulator. Shared counters (not per-thread): a relaxed
+// fetch_add per op is noise next to an emulated-NVM probe, and it keeps the
+// footprint independent of thread count.
+class ShardHeat {
+ public:
+  static constexpr uint32_t kEpochs = 8;
+
+  struct Window {
+    uint64_t ops = 0;
+    uint64_t lat_sum_ns = 0;   // 0 when latency capture was off
+    uint64_t lat_count = 0;    // ops that carried a latency sample
+  };
+
+  // Registers with the window registry; label is the Prometheus label body
+  // identifying the owning store (e.g. store="hdnh@4").
+  ShardHeat(uint32_t shards, std::string label);
+  ~ShardHeat();
+
+  ShardHeat(const ShardHeat&) = delete;
+  ShardHeat& operator=(const ShardHeat&) = delete;
+
+  void record(uint32_t shard, uint64_t lat_ns, uint64_t ops = 1) {
+    Cell& c = cur_[shard];
+    c.ops.fetch_add(ops, std::memory_order_relaxed);
+    if (lat_ns) {
+      c.lat_sum.fetch_add(lat_ns, std::memory_order_relaxed);
+      c.lat_count.fetch_add(ops, std::memory_order_relaxed);
+    }
+  }
+
+  uint32_t shards() const { return static_cast<uint32_t>(cur_.size()); }
+  const std::string& label() const { return label_; }
+
+  // Merge of the completed-epoch ring (newest kEpochs rotations), per shard.
+  std::vector<Window> window() const;
+
+ private:
+  friend class Windows;
+  struct Cell {
+    std::atomic<uint64_t> ops{0};
+    std::atomic<uint64_t> lat_sum{0};
+    std::atomic<uint64_t> lat_count{0};
+  };
+  // Called by Windows::rotate() under the window registry lock.
+  void rotate_locked();
+
+  std::string label_;
+  std::vector<Cell> cur_;
+  // ring_[shard][slot]; head_ is the next slot to overwrite.
+  std::vector<std::array<Window, kEpochs>> ring_;
+  uint32_t head_ = 0;
+  uint32_t filled_ = 0;
+};
+
+class Windows {
+ public:
+  // Completed epochs retained; at the aggregator's default 1 s tick the
+  // full ring is an 8-second rolling window.
+  static constexpr uint32_t kEpochs = 8;
+
+  // ---- hot path ---------------------------------------------------------
+
+  static void count(Op op, uint64_t n = 1) {
+    local().counts[static_cast<uint32_t>(op)].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  static void record_latency(Op op, uint64_t ns);
+
+  // ---- rotation (Aggregator tick / tests / tools) -----------------------
+
+  // Close the current epoch: drain thread blocks and shard heats, capture
+  // the nvm::Stats delta, push onto the ring.
+  static void rotate();
+  // rotate() only if the current epoch is older than max_age_ns (serves
+  // scrapers in processes that never started an Aggregator). Returns
+  // whether it rotated.
+  static bool rotate_if_stale(uint64_t max_age_ns);
+  // Completed rotations since start (monotone).
+  static uint64_t rotations();
+  // Test support: discard all completed epochs and pending per-thread
+  // accumulation. Requires quiescence of recorded operations.
+  static void reset();
+
+  // ---- scrape -----------------------------------------------------------
+
+  struct Snapshot {
+    uint64_t window_ns = 0;  // wall time the merged epochs cover
+    uint32_t epochs = 0;     // completed epochs merged
+    std::array<uint64_t, kWindowOpCount> counts{};
+    std::array<Histogram, kWindowOpCount> latency;
+    nvm::StatsSnapshot nvm{};  // counter deltas accrued inside the window
+
+    double rate(uint32_t op) const {
+      return window_ns ? static_cast<double>(counts[op]) * 1e9 /
+                             static_cast<double>(window_ns)
+                       : 0.0;
+    }
+  };
+
+  // Merge the most recent min(max_epochs, available) completed epochs.
+  // The in-progress epoch is never included: an idle window reads zero.
+  static void snapshot(uint32_t max_epochs, Snapshot* out);
+
+  // Registered shard heats, for the serializers. The returned pointers stay
+  // valid only while the owning stores live; serializers copy under the
+  // registry lock via each heat's window().
+  static void visit_heats(
+      const std::function<void(const ShardHeat&)>& fn);
+
+ private:
+  friend class ShardHeat;
+  struct ThreadBlock {
+    std::array<std::atomic<uint64_t>, kWindowOpCount> counts{};
+    // Lazily allocated on the first latency record (atomic: the rotating
+    // thread dereferences it concurrently with the owner's lazy init).
+    std::atomic<AtomicHistogram*> hist{nullptr};
+  };
+  struct Registry;
+  static Registry& registry();
+  static ThreadBlock& local();
+
+  inline static thread_local ThreadBlock* tl_block_ = nullptr;
+};
+
+}  // namespace hdnh::obs

@@ -4,6 +4,7 @@
 
 #include "api/batch.h"
 #include "obs/metrics.h"
+#include "obs/window.h"
 
 namespace hdnh::store {
 
@@ -37,6 +38,27 @@ ShardedTable::ShardedTable(std::unique_ptr<nvm::ShardedPmemLayout> layout,
             "Home DIMM of the shard's region base",
             [this, s] { return static_cast<double>(this->layout_->shard_dimm(s)); }));
       }
+    }
+    // Windowed heat: one slot per shard, rotated by the obs aggregator.
+    // HDNH inners attribute every op they serve to their slot; other inner
+    // schemes simply leave theirs cold.
+    obs_heat_ = std::make_unique<obs::ShardHeat>(this->shards(), obs_label_);
+    for (uint32_t s = 0; s < this->shards(); ++s) {
+      if (auto* h = dynamic_cast<Hdnh*>(shards_[s].get())) {
+        h->set_obs_heat(obs_heat_.get(), s);
+      }
+      // Per-shard occupancy, so a scrape can tell a hot shard (windowed
+      // ops) from a full one.
+      obs_gauges_.push_back(obs::Metrics::add_gauge(
+          "hdnh_shard_items",
+          obs_label_ + ",shard=\"" + std::to_string(s) + "\"",
+          "Live items in the shard",
+          [this, s] { return static_cast<double>(this->shards_[s]->size()); }));
+      obs_gauges_.push_back(obs::Metrics::add_gauge(
+          "hdnh_shard_load_factor",
+          obs_label_ + ",shard=\"" + std::to_string(s) + "\"",
+          "Items / slots of the shard",
+          [this, s] { return this->shards_[s]->load_factor(); }));
     }
   }
 }

@@ -110,8 +110,10 @@ class ShardedTable final : public HashTable {
   Hdnh& hdnh_shard(uint32_t s) const;
 
   // layout_ declared before shards_ so the inner tables are destroyed
-  // before the regions they live in.
+  // before the regions they live in; obs_heat_ before shards_ because the
+  // HDNH inners hold a raw pointer into it (set_obs_heat).
   std::unique_ptr<nvm::ShardedPmemLayout> layout_;
+  std::unique_ptr<obs::ShardHeat> obs_heat_;
   std::vector<std::unique_ptr<HashTable>> shards_;
   std::string name_;
   // Metrics-registry gauges owned by the facade (shard count, aggregate

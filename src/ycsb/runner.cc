@@ -9,6 +9,7 @@
 #include "api/batch.h"
 #include "common/clock.h"
 #include "common/threads.h"
+#include "obs/aggregator.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 
@@ -66,8 +67,14 @@ RunResult run(HashTable& table, const WorkloadSpec& spec, uint64_t preloaded,
   const bool measure = opts.measure_latency || want_metrics;
   const bool latency_was = obs::Metrics::latency_enabled();
   std::unique_ptr<obs::PeriodicReporter> reporter;
+  std::unique_ptr<obs::Aggregator> aggregator;
   if (want_metrics) {
     obs::Metrics::set_latency_enabled(true);
+    // Rotate the load-signal windows for the reporter's scrapes (windowed
+    // rates/percentiles, per-shard heat, EWMA gauges ride the same tick).
+    obs::Aggregator::Options aopts;
+    aopts.interval_s = opts.metrics_interval_s;
+    aggregator = std::make_unique<obs::Aggregator>(aopts);
     obs::PeriodicReporter::Options ropts;
     ropts.json_path = opts.metrics_json_out;
     ropts.prom_path = opts.metrics_prom_out;
@@ -167,7 +174,9 @@ RunResult run(HashTable& table, const WorkloadSpec& spec, uint64_t preloaded,
   r.nvm = nvm_delta.delta();
   for (auto& h : hists) r.latency.merge(h);
 
+  if (aggregator) aggregator->tick_now();  // close the final partial window
   reporter.reset();  // final snapshot now that the workload is complete
+  aggregator.reset();
   if (want_metrics) obs::Metrics::set_latency_enabled(latency_was);
   return r;
 }

@@ -1,0 +1,214 @@
+// Loopback e2e for the telemetry command surface: SLOWLOG / HOTKEYS /
+// LATENCY / METRICS against a live server over TCP. The server runs
+// in-process, so tests can steer the obs runtime (sampling periods,
+// thresholds, manual window rotation) around the wire-level assertions.
+// The commands themselves exist in every build; assertions that need the
+// instrumentation macros are gated on obs::kCompiledIn.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/factory.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "nvm/alloc.h"
+#include "nvm/pmem.h"
+#include "obs/obs.h"
+#include "obs/sample.h"
+
+namespace hdnh::net {
+namespace {
+
+struct ServerPack {
+  explicit ServerPack(const std::string& scheme = "hdnh@4",
+                      uint64_t capacity = 1 << 16)
+      : pool(pool_bytes_hint(scheme, capacity * 2)), alloc(pool) {
+    TableOptions topts;
+    topts.capacity = capacity;
+    table = create_table(scheme, alloc, topts);
+    ServerOptions sopts;
+    sopts.port = 0;  // ephemeral
+    sopts.threads = 2;
+    server = std::make_unique<Server>(*table, sopts);
+    server->start();
+  }
+  ~ServerPack() { server->stop(); }
+
+  Client client() {
+    Client c;
+    c.connect("127.0.0.1", server->port());
+    return c;
+  }
+
+  nvm::PmemPool pool;
+  nvm::PmemAllocator alloc;
+  std::unique_ptr<HashTable> table;
+  std::unique_ptr<Server> server;
+};
+
+// Exhaustive-capture fixture: sampling periods and slowlog threshold are
+// global, so tests save/restore them to stay order-independent.
+class ObsCmds : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    latency_was_ = obs::Metrics::latency_enabled();
+    threshold_was_ = obs::SlowLog::threshold_ns();
+    obs::Sampling::set_latency_every(1);
+    obs::Sampling::set_hotkey_every(1);
+    obs::SlowLog::reset();
+    obs::HeavyHitters::reset();
+    obs::Windows::reset();
+  }
+  void TearDown() override {
+    obs::Sampling::set_latency_every(obs::Sampling::kLatencyEvery);
+    obs::Sampling::set_hotkey_every(obs::Sampling::kHotkeyEvery);
+    obs::SlowLog::set_threshold_ns(threshold_was_);
+    obs::Metrics::set_latency_enabled(latency_was_);
+    obs::SlowLog::reset();
+    obs::HeavyHitters::reset();
+  }
+  bool latency_was_ = false;
+  uint64_t threshold_was_ = 0;
+};
+
+TEST_F(ObsCmds, SlowlogGetResetLenOverTheWire) {
+  ServerPack pack;
+  Client c = pack.client();
+
+  // Empty log: LEN 0, GET [].
+  RespValue len = c.command({"SLOWLOG", "LEN"});
+  ASSERT_EQ(len.type, RespValue::Type::kInteger);
+  EXPECT_EQ(len.integer, 0);
+  RespValue get = c.command({"SLOWLOG", "GET"});
+  ASSERT_EQ(get.type, RespValue::Type::kArray);
+  EXPECT_TRUE(get.elems.empty());
+
+  if (obs::kCompiledIn) {
+    // Threshold 0 admits every sampled op; exhaustive sampling is set by
+    // the fixture, so each SET/GET lands one entry.
+    obs::Metrics::set_latency_enabled(true);
+    obs::SlowLog::set_threshold_ns(0);
+    c.set("k1", "v1");
+    std::string v;
+    c.get("k1", &v);
+
+    len = c.command({"SLOWLOG", "LEN"});
+    ASSERT_EQ(len.type, RespValue::Type::kInteger);
+    EXPECT_GE(len.integer, 2);
+
+    get = c.command({"SLOWLOG", "GET", "1"});
+    ASSERT_EQ(get.type, RespValue::Type::kArray);
+    ASSERT_EQ(get.elems.size(), 1u);
+    const RespValue& e = get.elems[0];
+    ASSERT_EQ(e.type, RespValue::Type::kArray);
+    ASSERT_EQ(e.elems.size(), 6u);  // id, ts, latency, op, digest, shard
+    EXPECT_EQ(e.elems[0].type, RespValue::Type::kInteger);
+    EXPECT_EQ(e.elems[3].type, RespValue::Type::kBulk);
+    EXPECT_EQ(e.elems[4].str.size(), 32u);  // 16 B digest as hex
+  }
+
+  EXPECT_EQ(c.command({"SLOWLOG", "RESET"}).type, RespValue::Type::kSimple);
+  len = c.command({"SLOWLOG", "LEN"});
+  EXPECT_EQ(len.integer, 0);
+
+  EXPECT_TRUE(c.command({"SLOWLOG", "BOGUS"}).is_error());
+  EXPECT_TRUE(c.command({"SLOWLOG", "GET", "-3"}).is_error());
+}
+
+TEST_F(ObsCmds, HotkeysReturnsHottestFirst) {
+  ServerPack pack;
+  Client c = pack.client();
+
+  // One flooded key against background singles.
+  std::string v;
+  for (int i = 0; i < 200; ++i) c.get("hotkey", &v);
+  for (int i = 0; i < 5; ++i) c.get("cold" + std::to_string(i), &v);
+
+  RespValue hot = c.command({"HOTKEYS", "4"});
+  ASSERT_EQ(hot.type, RespValue::Type::kArray);
+  if (obs::kCompiledIn) {
+    ASSERT_FALSE(hot.elems.empty());
+    const RespValue& top = hot.elems[0];
+    ASSERT_EQ(top.elems.size(), 2u);  // [digest, count]
+    EXPECT_EQ(top.elems[0].str.size(), 32u);
+    EXPECT_GE(top.elems[1].integer, 200);
+    // Counts are non-increasing down the ranking.
+    for (size_t i = 1; i < hot.elems.size(); ++i) {
+      EXPECT_GE(hot.elems[i - 1].elems[1].integer,
+                hot.elems[i].elems[1].integer);
+    }
+  } else {
+    EXPECT_TRUE(hot.elems.empty());
+  }
+
+  EXPECT_TRUE(c.command({"HOTKEYS", "0"}).is_error());
+  EXPECT_TRUE(c.command({"HOTKEYS", "9999"}).is_error());
+}
+
+TEST_F(ObsCmds, LatencyReportsWindowedPercentilesAndIdleZero) {
+  ServerPack pack;
+  Client c = pack.client();
+
+  // Idle window first: every op row reads zero (no lifetime bleed).
+  RespValue lat = c.command({"LATENCY"});
+  ASSERT_EQ(lat.type, RespValue::Type::kArray);
+  ASSERT_EQ(lat.elems.size(), size_t{obs::kOpCount});
+  for (const RespValue& row : lat.elems) {
+    ASSERT_EQ(row.elems.size(), 5u);  // op, count, p50, p99, p999
+    EXPECT_EQ(row.elems[1].integer, 0);
+    EXPECT_EQ(row.elems[3].integer, 0);
+  }
+
+  if (!obs::kCompiledIn) return;
+  obs::Metrics::set_latency_enabled(true);
+  std::string v;
+  c.set("a", "1");
+  for (int i = 0; i < 50; ++i) c.get("a", &v);
+  obs::Windows::rotate();  // close the epoch the ops landed in
+
+  lat = c.command({"LATENCY"});
+  bool saw_get = false;
+  for (const RespValue& row : lat.elems) {
+    if (row.elems[0].str == "get") {
+      saw_get = true;
+      EXPECT_GE(row.elems[1].integer, 50);
+      EXPECT_GT(row.elems[3].integer, 0);  // windowed p99
+    }
+  }
+  EXPECT_TRUE(saw_get);
+}
+
+TEST_F(ObsCmds, MetricsReturnsPrometheusAndInfoStaysCompact) {
+  ServerPack pack;
+  Client c = pack.client();
+  c.set("k", "v");
+  std::string v;
+  c.get("k", &v);
+
+  RespValue m = c.command({"METRICS"});
+  ASSERT_EQ(m.type, RespValue::Type::kBulk);
+  EXPECT_NE(m.str.find("# TYPE hdnh_ops_total counter"), std::string::npos);
+  if (obs::kCompiledIn) {
+    EXPECT_NE(m.str.find("hdnh_window_seconds"), std::string::npos);
+    EXPECT_NE(m.str.find("hdnh_slowlog_len"), std::string::npos);
+  }
+
+  // INFO no longer embeds the scrape — METRICS carries it.
+  const std::string info = c.info();
+  EXPECT_EQ(info.find("# TYPE hdnh_ops_total"), std::string::npos);
+  EXPECT_NE(info.find("# Stats"), std::string::npos);
+
+  // COMMAND advertises the new verbs.
+  RespValue cmds = c.command({"COMMAND"});
+  ASSERT_EQ(cmds.type, RespValue::Type::kArray);
+  for (const char* verb : {"slowlog", "hotkeys", "latency", "metrics"}) {
+    bool saw = false;
+    for (const RespValue& e : cmds.elems) saw = saw || e.str == verb;
+    EXPECT_TRUE(saw) << verb;
+  }
+}
+
+}  // namespace
+}  // namespace hdnh::net

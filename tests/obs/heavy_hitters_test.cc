@@ -1,0 +1,107 @@
+// Heavy-hitter sketch accuracy (obs/heavy_hitters.h): on a zipfian stream
+// the merged top-k must match the exact top-k computed with full counts,
+// SpaceSaving's overestimate-only guarantee must hold for the heavy keys,
+// and merging across recording threads must aggregate.
+#include "obs/heavy_hitters.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace hdnh::obs {
+namespace {
+
+// Stable synthetic digest for item id; mix64 scatters d0 the way the inner
+// index's key scrambling does (d0 doubles as the probe hash).
+std::pair<uint64_t, uint64_t> digest(uint64_t id) {
+  return {mix64(id + 1), id};
+}
+
+TEST(HeavyHitters, TopKMatchesExactCountsOnZipfStream) {
+  HeavyHitters::reset();
+  ASSERT_TRUE(HeavyHitters::enabled());
+
+  // zipf(0.99) over 1000 items, 200k draws — the HOTKEYS acceptance shape.
+  ZipfianChooser zipf(1000, 0.99, /*seed=*/7);
+  std::map<uint64_t, uint64_t> exact;
+  for (int i = 0; i < 200000; ++i) {
+    const uint64_t id = zipf.next();
+    exact[id]++;
+    const auto [d0, d1] = digest(id);
+    HeavyHitters::record(d0, d1);
+  }
+
+  // Exact top-8 ids by count (count desc, id asc on ties).
+  std::vector<std::pair<uint64_t, uint64_t>> ranked(exact.begin(),
+                                                    exact.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+
+  const std::vector<HeavyHitters::Entry> top = HeavyHitters::top(8);
+  ASSERT_EQ(top.size(), 8u);
+  // Count-descending output.
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].count, top[i].count);
+  }
+  // The sketch's top-8 digest set is exactly the true top-8.
+  std::vector<uint64_t> got, want;
+  for (const auto& e : top) got.push_back(e.d1);  // d1 carries the raw id
+  for (int i = 0; i < 8; ++i) want.push_back(ranked[i].first);
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+
+  // SpaceSaving never undercounts a surviving key.
+  for (const auto& e : top) {
+    EXPECT_GE(e.count, exact[e.d1]) << "id " << e.d1;
+  }
+}
+
+TEST(HeavyHitters, MergesAcrossThreadSketches) {
+  HeavyHitters::reset();
+  const auto [d0, d1] = digest(42);
+  auto hammer = [&] {
+    for (int i = 0; i < 1000; ++i) HeavyHitters::record(d0, d1);
+  };
+  std::thread a(hammer), b(hammer);
+  a.join();
+  b.join();
+
+  const std::vector<HeavyHitters::Entry> top = HeavyHitters::top(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].d0, d0);
+  EXPECT_EQ(top[0].d1, d1);
+  EXPECT_EQ(top[0].count, 2000u);
+}
+
+TEST(HeavyHitters, DisabledIsAScrapeTimeNoOp) {
+  HeavyHitters::reset();
+  HeavyHitters::set_enabled(false);
+  // The gate lives at the call sites (OpSample checks enabled() before
+  // record()); top() on an empty registry returns nothing.
+  EXPECT_TRUE(HeavyHitters::top(8).empty());
+  HeavyHitters::set_enabled(true);
+}
+
+TEST(HeavyHitters, TopTruncatesToDistinctKeys) {
+  HeavyHitters::reset();
+  for (uint64_t id = 0; id < 3; ++id) {
+    const auto [d0, d1] = digest(id);
+    for (uint64_t r = 0; r <= id; ++r) HeavyHitters::record(d0, d1);
+  }
+  const std::vector<HeavyHitters::Entry> top = HeavyHitters::top(100);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].count, 3u);
+  EXPECT_EQ(top[2].count, 1u);
+}
+
+}  // namespace
+}  // namespace hdnh::obs

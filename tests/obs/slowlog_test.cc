@@ -1,0 +1,91 @@
+// Slow-op ring semantics (obs/slowlog.h): threshold admission, FIFO
+// eviction once the 128-entry ring wraps, newest-first read-out, and ids
+// that stay monotone across RESET (Redis SLOWLOG behavior: RESET empties
+// the log but never reuses an id).
+#include "obs/slowlog.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hdnh::obs {
+namespace {
+
+class SlowLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SlowLog::reset();
+    saved_threshold_ = SlowLog::threshold_ns();
+  }
+  void TearDown() override {
+    SlowLog::reset();
+    SlowLog::set_threshold_ns(saved_threshold_);
+  }
+  uint64_t saved_threshold_ = 0;
+};
+
+TEST_F(SlowLogTest, ThresholdGatesAdmission) {
+  SlowLog::set_threshold_ns(1'000'000);  // 1 ms
+  SlowLog::maybe_record(Op::kGet, 999'999, 1, 2, 0);   // under: dropped
+  EXPECT_EQ(SlowLog::len(), 0u);
+  SlowLog::maybe_record(Op::kGet, 1'000'000, 1, 2, 0);  // at: admitted
+  SlowLog::maybe_record(Op::kPut, 5'000'000, 3, 4, 7);
+  EXPECT_EQ(SlowLog::len(), 2u);
+
+  const std::vector<SlowLog::Entry> e = SlowLog::entries();
+  ASSERT_EQ(e.size(), 2u);
+  // Newest first.
+  EXPECT_EQ(e[0].op, Op::kPut);
+  EXPECT_EQ(e[0].latency_ns, 5'000'000u);
+  EXPECT_EQ(e[0].d0, 3u);
+  EXPECT_EQ(e[0].d1, 4u);
+  EXPECT_EQ(e[0].shard, 7u);
+  EXPECT_EQ(e[1].op, Op::kGet);
+  EXPECT_GT(e[0].id, e[1].id);
+  EXPECT_GE(e[0].ts_ns, e[1].ts_ns);
+}
+
+TEST_F(SlowLogTest, RingEvictsOldestFirst) {
+  SlowLog::set_threshold_ns(1);
+  const uint64_t total0 = SlowLog::total();
+  const uint32_t n = SlowLog::kCapacity + 50;
+  // latency encodes the admission order so eviction order is observable.
+  for (uint32_t i = 0; i < n; ++i) {
+    SlowLog::maybe_record(Op::kDelete, 1000 + i, i, 0, 0);
+  }
+  EXPECT_EQ(SlowLog::len(), uint64_t{SlowLog::kCapacity});
+  EXPECT_EQ(SlowLog::total() - total0, uint64_t{n});
+
+  const std::vector<SlowLog::Entry> e = SlowLog::entries();
+  ASSERT_EQ(e.size(), size_t{SlowLog::kCapacity});
+  // Newest-first walk: entry 0 is the last admitted, the tail is the oldest
+  // survivor (the first 50 were evicted).
+  EXPECT_EQ(e.front().latency_ns, 1000u + n - 1);
+  EXPECT_EQ(e.back().latency_ns, 1000u + n - SlowLog::kCapacity);
+  for (size_t i = 1; i < e.size(); ++i) {
+    EXPECT_EQ(e[i - 1].id, e[i].id + 1);  // dense, strictly descending
+  }
+
+  // Bounded read-out takes the newest max entries.
+  const std::vector<SlowLog::Entry> few = SlowLog::entries(10);
+  ASSERT_EQ(few.size(), 10u);
+  EXPECT_EQ(few.front().id, e.front().id);
+}
+
+TEST_F(SlowLogTest, ResetEmptiesButIdsStayMonotone) {
+  SlowLog::set_threshold_ns(1);
+  SlowLog::maybe_record(Op::kGet, 1000, 0, 0, 0);
+  SlowLog::maybe_record(Op::kGet, 1000, 0, 0, 0);
+  const uint64_t last_id = SlowLog::entries().front().id;
+
+  SlowLog::reset();
+  EXPECT_EQ(SlowLog::len(), 0u);
+  EXPECT_TRUE(SlowLog::entries().empty());
+
+  SlowLog::maybe_record(Op::kGet, 1000, 0, 0, 0);
+  ASSERT_EQ(SlowLog::len(), 1u);
+  EXPECT_GT(SlowLog::entries().front().id, last_id);
+}
+
+}  // namespace
+}  // namespace hdnh::obs

@@ -1,0 +1,170 @@
+// Windowed-aggregation unit tests (obs/window.h): counts and latency
+// percentiles land in the epoch that was current when they were recorded,
+// merge correctly across a rotation boundary, an idle window reads exactly
+// zero, and — the tsan case — recording threads racing rotate() never lose
+// or double-count an operation.
+#include "obs/window.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace hdnh::obs {
+namespace {
+
+constexpr uint32_t kGet = static_cast<uint32_t>(Op::kGet);
+constexpr uint32_t kPut = static_cast<uint32_t>(Op::kPut);
+
+TEST(Window, CountsLandInTheCompletedEpoch) {
+  Windows::reset();
+  Windows::count(Op::kGet, 10);
+  Windows::count(Op::kPut, 3);
+
+  // Not yet rotated: the in-progress epoch is invisible to snapshots.
+  Windows::Snapshot s;
+  Windows::snapshot(Windows::kEpochs, &s);
+  EXPECT_EQ(s.epochs, 0u);
+  EXPECT_EQ(s.counts[kGet], 0u);
+
+  Windows::rotate();
+  Windows::snapshot(Windows::kEpochs, &s);
+  EXPECT_EQ(s.epochs, 1u);
+  EXPECT_EQ(s.counts[kGet], 10u);
+  EXPECT_EQ(s.counts[kPut], 3u);
+  EXPECT_GT(s.window_ns, 0u);
+  EXPECT_GT(s.rate(kGet), 0.0);
+}
+
+TEST(Window, IdleWindowReadsZero) {
+  Windows::reset();
+  Windows::count(Op::kGet, 100);
+  Windows::record_latency(Op::kGet, 5000);
+  Windows::rotate();  // epoch 1: busy
+  Windows::rotate();  // epoch 2: idle
+
+  // The newest completed epoch is idle: counts and percentiles are 0, no
+  // lifetime bleed-through.
+  Windows::Snapshot s;
+  Windows::snapshot(1, &s);
+  EXPECT_EQ(s.epochs, 1u);
+  EXPECT_EQ(s.counts[kGet], 0u);
+  EXPECT_EQ(s.latency[kGet].count(), 0u);
+  EXPECT_EQ(s.latency[kGet].percentile(0.99), 0u);
+
+  // Widening the window back over the busy epoch recovers the data.
+  Windows::snapshot(2, &s);
+  EXPECT_EQ(s.counts[kGet], 100u);
+  EXPECT_EQ(s.latency[kGet].count(), 1u);
+}
+
+TEST(Window, PercentilesMergeAcrossRotationBoundary) {
+  Windows::reset();
+  // Epoch 1: 99 fast ops at ~1 us.
+  for (int i = 0; i < 99; ++i) Windows::record_latency(Op::kGet, 1000);
+  Windows::rotate();
+  // Epoch 2: one slow op at ~1 ms.
+  Windows::record_latency(Op::kGet, 1000000);
+  Windows::rotate();
+
+  Windows::Snapshot s;
+  Windows::snapshot(Windows::kEpochs, &s);
+  ASSERT_EQ(s.latency[kGet].count(), 100u);
+  // p50 sits in the fast mode, p999 in the slow op — the merge must span
+  // the boundary. Bucket resolution is ~1.6% (kSubBits=6), hence the bands.
+  const uint64_t p50 = s.latency[kGet].percentile(0.50);
+  const uint64_t p999 = s.latency[kGet].percentile(0.999);
+  EXPECT_GE(p50, 900u);
+  EXPECT_LE(p50, 1100u);
+  EXPECT_GE(p999, 900000u);
+  EXPECT_LE(p999, 1100000u);
+  EXPECT_EQ(s.latency[kGet].max(), 1000000u);
+
+  // A 1-epoch window sees only the slow op.
+  Windows::snapshot(1, &s);
+  EXPECT_EQ(s.latency[kGet].count(), 1u);
+  EXPECT_GE(s.latency[kGet].percentile(0.50), 900000u);
+}
+
+TEST(Window, RingRetainsOnlyLastKEpochs) {
+  Windows::reset();
+  const uint64_t rot0 = Windows::rotations();  // monotone across reset()
+  for (uint32_t e = 0; e < Windows::kEpochs + 4; ++e) {
+    Windows::count(Op::kGet, 1);
+    Windows::rotate();
+  }
+  Windows::Snapshot s;
+  Windows::snapshot(Windows::kEpochs + 100, &s);  // asks for more than kept
+  EXPECT_EQ(s.epochs, Windows::kEpochs);
+  EXPECT_EQ(s.counts[kGet], uint64_t{Windows::kEpochs});
+  EXPECT_EQ(Windows::rotations() - rot0, uint64_t{Windows::kEpochs} + 4);
+}
+
+// tsan: recording threads race rotate(); every op lands in exactly one
+// epoch. Total rotations stay below kEpochs so nothing falls off the ring
+// and conservation is exact.
+TEST(Window, RotationRacingRecordingConservesCounts) {
+  Windows::reset();
+  constexpr uint32_t kThreads = 4;
+  constexpr uint64_t kPerThread = 50000;
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> pool;
+  for (uint32_t t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        Windows::count(Op::kGet);
+        if ((i & 1023) == 0) Windows::record_latency(Op::kGet, 1000 + i);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (int r = 0; r < 6; ++r) {
+    Windows::rotate();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (auto& th : pool) th.join();
+  Windows::rotate();  // close the tail
+
+  Windows::Snapshot s;
+  Windows::snapshot(Windows::kEpochs, &s);
+  EXPECT_EQ(s.counts[kGet], uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(s.latency[kGet].count(),
+            uint64_t{kThreads} * ((kPerThread + 1023) / 1024));
+}
+
+TEST(ShardHeatWindow, AccumulatesAndRotatesPerShard) {
+  Windows::reset();
+  ShardHeat heat(4, "store=\"t\"");
+  heat.record(1, 2000);
+  heat.record(1, 4000);
+  heat.record(3, 0, 5);  // latency capture off: ops only
+
+  // Nothing completed yet.
+  EXPECT_EQ(heat.window()[1].ops, 0u);
+
+  Windows::rotate();
+  const std::vector<ShardHeat::Window> w = heat.window();
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w[0].ops, 0u);
+  EXPECT_EQ(w[1].ops, 2u);
+  EXPECT_EQ(w[1].lat_sum_ns, 6000u);
+  EXPECT_EQ(w[1].lat_count, 2u);
+  EXPECT_EQ(w[3].ops, 5u);
+  EXPECT_EQ(w[3].lat_count, 0u);
+
+  // The heat is visible to scrapers via the registry while alive.
+  bool seen = false;
+  Windows::visit_heats([&](const ShardHeat& h) {
+    if (h.label() == "store=\"t\"") seen = true;
+  });
+  EXPECT_TRUE(seen);
+}
+
+}  // namespace
+}  // namespace hdnh::obs

@@ -305,9 +305,18 @@ int main(int argc, char** argv) {
     jw.begin_object();
     jw.kv("pool", pool_path);
   }
+  // One-shot aggregator (no background thread): a manual tick before the
+  // scrape closes the window over the doctor's own inspection traffic and
+  // publishes the per-DIMM queue-depth/stall EWMA gauges, so --stats shows
+  // the same families a live server exports.
+  obs::Aggregator::Options aopts;
+  aopts.interval_s = 0;
+  obs::Aggregator aggregator(aopts);
+
   // Emits the accumulated document (closing the root object) and returns
   // `rc` — the single exit point for every post-parse path.
   auto finish = [&](int rc, const char* status) -> int {
+    if (stats) aggregator.tick_now();
     if (jwp) {
       jw.kv("status", status);
       jw.kv("exit_code", rc);

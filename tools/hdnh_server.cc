@@ -55,6 +55,14 @@ int main(int argc, char** argv) {
       cli.get_str("metrics_prom", "", "periodic Prometheus text file");
   const double metrics_interval =
       cli.get_double("metrics_interval_s", 1.0, "metrics rewrite cadence");
+  const bool latency = cli.get_bool(
+      "latency", true, "record op latency (windows/LATENCY/SLOWLOG source)");
+  const bool hotkeys = cli.get_bool(
+      "hotkeys", true, "track hot-key heavy hitters (HOTKEYS command)");
+  const double slowlog_ms = cli.get_double(
+      "slowlog_ms", 10.0, "SLOWLOG admission threshold in milliseconds");
+  const double window_s = cli.get_double(
+      "window_s", 1.0, "obs window rotation tick (<=0 disables)");
   cli.finish();
 
   // Block the termination signals before any thread exists, so every
@@ -88,6 +96,20 @@ int main(int argc, char** argv) {
   sopts.threads = threads;
   sopts.tcp_nodelay = nodelay;
   net::Server server(*store, sopts);
+
+  // Load-signal plumbing: latency capture feeds the windows, LATENCY,
+  // SLOWLOG, and per-shard heat; the aggregator rotates the windows and
+  // publishes the EWMA gauges the serializers scrape.
+  obs::Metrics::set_latency_enabled(latency);
+  obs::HeavyHitters::set_enabled(hotkeys);
+  obs::SlowLog::set_threshold_ns(
+      static_cast<uint64_t>(slowlog_ms * 1'000'000.0));
+  std::unique_ptr<obs::Aggregator> aggregator;
+  if constexpr (obs::kCompiledIn) {
+    obs::Aggregator::Options aopts;
+    aopts.interval_s = window_s;
+    aggregator = std::make_unique<obs::Aggregator>(aopts);
+  }
 
   std::unique_ptr<obs::PeriodicReporter> reporter;
   if (!metrics_out.empty() || !metrics_prom.empty()) {
@@ -126,6 +148,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(c.protocol_errors),
       static_cast<unsigned long long>(c.table_full_errors),
       static_cast<unsigned long long>(store->size()));
-  reporter.reset();  // final metrics snapshot
+  reporter.reset();    // final metrics snapshot
+  aggregator.reset();  // stop the rotation tick before the store dies
   return 0;
 }
