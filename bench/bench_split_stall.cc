@@ -1,0 +1,177 @@
+// Split stall — the headline for elastic online resharding: p99 served-op
+// latency on the shards that are NOT splitting while a sibling shard
+// splits under load. The split migrates the victim shard's keys while
+// both source and target serve, and publishes via one crash-atomic
+// directory flip; the routing snapshots mean the other shards should
+// barely notice. Acceptance: non-victim p99 during the split < 2x the
+// no-split baseline.
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "store/sharded_table.h"
+
+using namespace hdnh;
+using namespace hdnh::bench;
+
+namespace {
+
+struct Windows {
+  Histogram calm;    // ops completed while no split is running
+  Histogram during;  // ops completed while the sibling split is running
+};
+
+// 90% search / 10% update over a private id pool, bucketed by the global
+// phase flag at op start.
+void worker(HashTable* t, const std::vector<uint64_t>& ids, uint64_t seed,
+            const std::atomic<bool>* stop, const std::atomic<int>* phase,
+            Windows* out) {
+  uint64_t x = seed | 1;
+  Value v;
+  while (!stop->load(std::memory_order_acquire)) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const uint64_t id = ids[x % ids.size()];
+    const int ph = phase->load(std::memory_order_acquire);
+    const uint64_t t0 = now_ns();
+    if (x % 10 == 0) {
+      t->update(make_key(id), make_value(id ^ x));
+    } else {
+      t->search(make_key(id), &v);
+    }
+    const uint64_t d = now_ns() - t0;
+    (ph ? out->during : out->calm).record(d);
+  }
+}
+
+// Unmeasured pressure on the victim shard, so the split races real writes.
+void victim_load(HashTable* t, const std::vector<uint64_t>& ids,
+                 const std::atomic<bool>* stop) {
+  uint64_t x = 0x9E3779B9u;
+  while (!stop->load(std::memory_order_acquire)) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const uint64_t id = ids[x % ids.size()];
+    t->update(make_key(id), make_value(id + x));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  Env env = standard_env(cli, 200000, 0, 4);
+  const uint32_t shards = static_cast<uint32_t>(
+      cli.get_int("initial_shards", 4, "shard count before the split"));
+  const uint32_t victim = static_cast<uint32_t>(
+      cli.get_int("victim", 0, "shard to split mid-run"));
+  const int warm_ms =
+      static_cast<int>(cli.get_int("warm_ms", 200, "per-window warmup"));
+  const int calm_ms = static_cast<int>(
+      cli.get_int("calm_ms", 400, "no-split baseline window length"));
+  cli.finish();
+  print_env("Split stall: non-victim p99 while a sibling shard splits", env);
+
+  TableOptions opts;
+  opts.capacity = env.preload;
+  opts.sharding.max_shards = shards * 2;
+  const std::string scheme = "hdnh@" + std::to_string(shards);
+  OwnedTable t = make_table(scheme, env.preload * 2, env, opts);
+  auto* st = dynamic_cast<store::ShardedTable*>(t.table.get());
+  if (st == nullptr) {
+    std::fprintf(stderr, "scheme %s did not build a sharded table\n",
+                 scheme.c_str());
+    return 1;
+  }
+
+  // Preload, then partition the ids by owning shard: the measured workers
+  // only ever touch keys the split does not move.
+  std::vector<uint64_t> other_ids, victim_ids;
+  for (uint64_t id = 0; id < env.preload; ++id) {
+    t.table->insert(make_key(id), make_value(id));
+    (st->route(make_key(id)).shard == victim ? victim_ids : other_ids)
+        .push_back(id);
+  }
+  if (victim_ids.empty() || other_ids.empty()) {
+    std::fprintf(stderr, "degenerate key partition (victim=%u)\n", victim);
+    return 1;
+  }
+
+  const uint32_t workers = env.threads == 0 ? 1 : env.threads;
+  std::atomic<bool> stop{false};
+  std::atomic<int> phase{0};
+  std::vector<Windows> wins(workers);
+  std::vector<std::thread> ts;
+  ts.reserve(workers + 1);
+  for (uint32_t w = 0; w < workers; ++w) {
+    ts.emplace_back(worker, t.table.get(), std::cref(other_ids),
+                    env.seed + w * 7919, &stop, &phase, &wins[w]);
+  }
+  ts.emplace_back(victim_load, t.table.get(), std::cref(victim_ids), &stop);
+
+  // Window 1: calm baseline. Window 2: the split itself, bracketed by the
+  // phase flag so only ops concurrent with the migration land in `during`.
+  std::this_thread::sleep_for(std::chrono::milliseconds(warm_ms));
+  for (auto& w : wins) w.calm = Histogram();
+  std::this_thread::sleep_for(std::chrono::milliseconds(calm_ms));
+
+  phase.store(1, std::memory_order_release);
+  const uint64_t s0 = now_ns();
+  const Status split = st->split_shard(victim);
+  const uint64_t split_ns = now_ns() - s0;
+  phase.store(0, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(warm_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& th : ts) th.join();
+
+  if (!split.ok()) {
+    std::fprintf(stderr, "split_shard(%u) failed: %s\n", victim,
+                 split.to_string().c_str());
+    return 1;
+  }
+
+  Histogram calm, during;
+  for (auto& w : wins) {
+    calm.merge(w.calm);
+    during.merge(w.during);
+  }
+  const double calm_p99 = static_cast<double>(calm.percentile(0.99)) / 1e3;
+  const double split_p99 = static_cast<double>(during.percentile(0.99)) / 1e3;
+  const double ratio = calm_p99 > 0 ? split_p99 / calm_p99 : 0.0;
+  const double split_ms = static_cast<double>(split_ns) / 1e6;
+
+  std::printf("\n%-22s %10s %10s %12s\n", "window", "ops", "p50(us)",
+              "p99(us)");
+  std::printf("%-22s %10llu %10.2f %12.2f\n", "calm (no split)",
+              static_cast<unsigned long long>(calm.count()),
+              static_cast<double>(calm.percentile(0.5)) / 1e3, calm_p99);
+  std::printf("%-22s %10llu %10.2f %12.2f\n", "during sibling split",
+              static_cast<unsigned long long>(during.count()),
+              static_cast<double>(during.percentile(0.5)) / 1e3, split_p99);
+  std::printf("\nsplit: shard %u -> %u shards in %.2f ms; moved %llu keys; "
+              "non-victim p99 ratio %.2fx (acceptance: < 2x)\n", victim,
+              st->shards(), split_ms,
+              static_cast<unsigned long long>(victim_ids.size()), ratio);
+
+  print_json_line(
+      "split_stall",
+      {{"scheme", "\"" + scheme + "\""},
+       {"threads", std::to_string(workers)},
+       {"preload", std::to_string(env.preload)},
+       {"victim", std::to_string(victim)},
+       {"shards_after", std::to_string(st->shards())},
+       {"split_ms", std::to_string(split_ms)},
+       {"calm_p99_us", std::to_string(calm_p99)},
+       {"split_p99_us", std::to_string(split_p99)},
+       {"p99_ratio", std::to_string(ratio)},
+       {"calm_ops", std::to_string(calm.count())},
+       {"split_ops", std::to_string(during.count())}});
+  return 0;
+}

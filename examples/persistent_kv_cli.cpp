@@ -66,7 +66,8 @@ int main(int argc, char** argv) {
   nvm::PmemAllocator alloc(pool);
   TableOptions topts;
   topts.capacity = 1 << 16;
-  topts.shards = shards;  // 1 = classic single-table layout (root slot 0)
+  // 1 = classic single-table layout (root slot 0)
+  topts.sharding.initial_shards = shards;
   auto table = create_table("hdnh", alloc, topts);
 
   if (pool.recovered()) {

@@ -18,11 +18,13 @@ case "$PROFILE" in
   quick)   ARGS="--preload=20000 --ops=80000"; PROBE_ARGS="--preload=20000 --ops=40000 --reps=1"
            VALUE_ARGS="--preload=10000 --ops=20000 --value_sweep=16,128,1024,65536"
            NET_OPS=50000;  DIMM_ARGS="--thread_list=8"
-           OBS_ARGS="--preload=20000 --ops=40000 --reps=3" ;;
+           OBS_ARGS="--preload=20000 --ops=40000 --reps=3"
+           SPLIT_ARGS="--preload=40000 --threads=2 --calm_ms=200" ;;
   default) ARGS="";                            PROBE_ARGS="--reps=3"
            VALUE_ARGS="--value_sweep=16,128,1024,65536"
            NET_OPS=200000; DIMM_ARGS="--thread_list=1,2,4,8"
-           OBS_ARGS="--reps=10" ;;
+           OBS_ARGS="--reps=10"
+           SPLIT_ARGS="--preload=100000 --threads=4" ;;
   *) echo "usage: $0 [quick|default]" >&2; exit 2 ;;
 esac
 
@@ -46,6 +48,10 @@ run "Figure 14 concurrency"            ./build/bench/bench_fig14_concurrency $AR
 run "YCSB suite (serial reads)"        ./build/bench/bench_ycsb_suite $ARGS
 run "YCSB suite (batched reads)"       ./build/bench/bench_ycsb_suite $ARGS --read_batch=32
 run "YCSB value-size sweep (vkv)"      ./build/bench/bench_ycsb_suite $VALUE_ARGS --fixed=false --threads=4
+
+# Elastic resharding headline: non-victim-shard p99 while a sibling shard
+# splits under load (acceptance: ratio < 2x the calm baseline).
+run "split stall (online reshard)"     ./build/bench/bench_split_stall $SPLIT_ARGS
 
 # DIMM-parallelism axis: the chunked-vs-shared allocator headline under the
 # default 6-DIMM bandwidth model (self-calibrating against this host), plus
@@ -94,6 +100,8 @@ for r in runs:
         headline["overlapped_read_fraction"] = r["overlapped_read_fraction"]
     if r.get("bench") == "dimm_scaling_headline":
         headline["dimm_chunked_speedup"] = r["speedup"]
+    if r.get("bench") == "split_stall":
+        headline["split_stall_p99_ratio"] = r["p99_ratio"]
     if r.get("bench") == "obs_overhead":
         headline["obs_on_negative_search_overhead"] = \
             r["obs_on_negative_search_overhead"]

@@ -109,21 +109,24 @@ std::unique_ptr<HashTable> create_table(const std::string& scheme,
                                 "\"; known schemes: " +
                                 known_schemes_message());
   }
-  uint32_t shards = spec.shards ? spec.shards : opts.shards;
+  uint32_t shards = spec.shards ? spec.shards : opts.sharding.initial_shards;
   // A pool that already holds a shard map stays sharded no matter what the
   // caller asks for — opening an "hdnh@4" pool with plain "hdnh" must not
   // format a second, overlapping table. The layout ctor below then adopts
-  // the persisted shard count the same way.
+  // the persisted directory the same way.
   if (shards <= 1 && nvm::ShardedPmemLayout::present(alloc)) shards = 2;
   if (shards <= 1) return create_single(spec.base, alloc, opts);
 
-  // Sharded store runtime: carve (or re-attach) per-shard regions, then
-  // build one inner table per region. On an attached pool the persisted
-  // carve wins, so the facade always matches what is on media.
-  auto layout = std::make_unique<nvm::ShardedPmemLayout>(alloc, shards);
+  // Sharded store runtime: carve (or re-attach) per-shard regions — with
+  // max_shards spares as split headroom — then build one inner table per
+  // active region. On an attached pool the persisted directory wins, so the
+  // facade always matches what is on media.
+  const uint32_t max_shards = std::max(opts.sharding.max_shards, shards);
+  auto layout = std::make_unique<nvm::ShardedPmemLayout>(
+      alloc, shards, 0, nvm::ShardedPmemLayout::kShardMapRoot, max_shards);
   const uint32_t actual = layout->shards();
   TableOptions inner = opts;
-  inner.shards = 1;
+  inner.sharding = ShardingOptions{};
   inner.capacity = std::max<uint64_t>(opts.capacity / actual, 64);
 
   std::vector<std::unique_ptr<HashTable>> tables;
@@ -133,8 +136,18 @@ std::unique_ptr<HashTable> create_table(const std::string& scheme,
   }
   std::string name =
       std::string(tables[0]->name()) + "@" + std::to_string(actual);
+  // The factory closure lets the facade grow new shards of the same scheme
+  // inside split-target regions it claims later.
+  store::ShardedTable::ShardFactory shard_factory =
+      [base = spec.base, inner](nvm::PmemAllocator& a) {
+        return create_single(base, a, inner);
+      };
+  store::ShardedTable::SplitOptions split;
+  split.auto_split = opts.sharding.auto_split;
+  split.split_load_threshold = opts.sharding.split_load_threshold;
   return std::make_unique<store::ShardedTable>(
-      std::move(layout), std::move(tables), std::move(name));
+      std::move(layout), std::move(tables), std::move(name),
+      std::move(shard_factory), split);
 }
 
 std::unique_ptr<KvStore> create_kv_store(const std::string& scheme,
@@ -146,7 +159,7 @@ std::unique_ptr<KvStore> create_kv_store(const std::string& scheme,
     vopts.expected_records = opts.capacity;
     if (opts.log_bytes) vopts.log_bytes = opts.log_bytes;
     vopts.segment_bytes = opts.log_segment_bytes;
-    vopts.shards = spec.shards ? spec.shards : opts.shards;
+    vopts.shards = spec.shards ? spec.shards : opts.sharding.initial_shards;
     vopts.index = opts.hdnh;
     return std::make_unique<vkv::VkvStore>(alloc, vopts);
   }
@@ -154,9 +167,10 @@ std::unique_ptr<KvStore> create_kv_store(const std::string& scheme,
 }
 
 uint64_t kv_pool_bytes_hint(const std::string& scheme, uint64_t max_items,
-                            uint64_t avg_value_bytes) {
+                            uint64_t avg_value_bytes,
+                            const ShardingOptions& sharding) {
   const SchemeSpec spec = parse_scheme(scheme);
-  if (spec.base != "vkv") return pool_bytes_hint(scheme, max_items);
+  if (spec.base != "vkv") return pool_bytes_hint(scheme, max_items, sharding);
   // Index: HDNH shards sized as the table factory does. Log: records carry
   // a 10-byte header plus key bytes (~32 conservative); double for GC
   // headroom (relocation appends before the victim frees), plus a couple of
@@ -172,14 +186,23 @@ uint64_t kv_pool_bytes_hint(const std::string& scheme, uint64_t max_items,
 }
 
 uint64_t pool_bytes_hint(const std::string& scheme, uint64_t max_items) {
+  return pool_bytes_hint(scheme, max_items, ShardingOptions{});
+}
+
+uint64_t pool_bytes_hint(const std::string& scheme, uint64_t max_items,
+                         const ShardingOptions& sharding) {
   const SchemeSpec spec = parse_scheme(scheme);
-  const uint32_t shards = spec.shards ? spec.shards : 1;
-  if (shards <= 1) return single_pool_bytes_hint(spec.base, max_items);
-  // Per-shard structures plus the carve's own metadata. The per-shard item
-  // count is rounded up so routing skew never overflows a region.
+  const uint32_t shards =
+      std::max(spec.shards ? spec.shards : sharding.initial_shards, 1u);
+  const uint32_t regions = std::max(sharding.max_shards, shards);
+  if (regions <= 1) return single_pool_bytes_hint(spec.base, max_items);
+  // Every carved region — spares included — is sized for an *initial*
+  // shard's share of the items, rounded up so routing skew never overflows
+  // a region and a split target can absorb half of any initial shard.
   const uint64_t per_shard = (max_items + shards - 1) / shards;
-  return shards * single_pool_bytes_hint(spec.base, per_shard + per_shard / 4) +
-         nvm::ShardedPmemLayout::overhead_bytes(shards) +
+  return regions *
+             single_pool_bytes_hint(spec.base, per_shard + per_shard / 4) +
+         nvm::ShardedPmemLayout::overhead_bytes(regions) +
          nvm::PmemAllocator::header_bytes();
 }
 

@@ -12,10 +12,11 @@
 //
 // Any base scheme accepts an "@N" suffix ("hdnh@8") selecting the sharded
 // store runtime: N independent inner tables behind a ShardedTable facade,
-// each in its own allocator region of the caller's pool (see
-// docs/sharding.md). "@N" overrides TableOptions::shards; either channel
-// with a value > 1 produces the facade. Capacity and pool-size hints are
-// split per shard.
+// each in its own allocator region of the caller's pool, routed through a
+// persisted extendible shard directory that can grow online (see
+// docs/sharding.md). "@N" is sugar for ShardingOptions::initial_shards and
+// takes precedence over it; either channel with a value > 1 produces the
+// facade. Capacity and pool-size hints are split per shard.
 #pragma once
 
 #include <memory>
@@ -29,6 +30,26 @@
 
 namespace hdnh {
 
+// Elastic sharding configuration (replaces the old flat
+// TableOptions::shards count). The store starts at initial_shards and can
+// grow online — shard by shard, via RESHARD or the load-driven controller —
+// up to max_shards, the number of pool regions carved up front.
+struct ShardingOptions {
+  // Shards the store starts with (1 = the plain single table unless the
+  // scheme name carries an "@N" suffix, which takes precedence).
+  uint32_t initial_shards = 1;
+  // Region-carve ceiling for online splits (0 = initial_shards: no split
+  // headroom). Capped at the layout's 64-shard maximum.
+  uint32_t max_shards = 0;
+  // Run the background controller that watches the windowed per-shard heat
+  // (hdnh_shard_window_*) and splits the hottest shard automatically.
+  // Requires max_shards headroom and an observability-enabled build.
+  bool auto_split = false;
+  // Windowed op share (0, 1] a single shard must carry to trigger an
+  // automatic split.
+  double split_load_threshold = 0.5;
+};
+
 struct TableOptions {
   // Items the table should accommodate before its first structural growth.
   // For sharded tables this is the aggregate across shards.
@@ -36,9 +57,9 @@ struct TableOptions {
   // Applied to the hdnh* schemes (capacity overrides initial_capacity).
   HdnhConfig hdnh;
   uint64_t cceh_segment_bytes = 16 * 1024;
-  // Hash-partition the table across this many independent shards (1 = the
-  // plain single table). An "@N" suffix on the scheme name takes precedence.
-  uint32_t shards = 1;
+  // Hash-partitioning across independent shards behind the elastic
+  // directory facade.
+  ShardingOptions sharding;
 
   // ---- create_kv_store only ----
   // Force the value-log-backed store (equivalent to the "vkv" scheme name):
@@ -74,6 +95,13 @@ std::unique_ptr<HashTable> create_table(const std::string& scheme,
 // allocator metadata.
 uint64_t pool_bytes_hint(const std::string& scheme, uint64_t max_items);
 
+// As above, but sized for the sharding plan: carves max_shards regions
+// (split headroom included), each big enough for its share of max_items
+// at the *initial* shard count — a split target must be able to absorb
+// half of an initial shard.
+uint64_t pool_bytes_hint(const std::string& scheme, uint64_t max_items,
+                         const ShardingOptions& sharding);
+
 // Builds the variable-length KvStore surface for a scheme name. "vkv[@N]"
 // (or TableOptions::value_log) selects the value-log-backed store — keys to
 // 64 KiB, values to 16 MiB; any table scheme from known_schemes() yields a
@@ -84,9 +112,11 @@ std::unique_ptr<KvStore> create_kv_store(const std::string& scheme,
 
 // Conservative PmemPool size for `max_items` records of ~avg_value_bytes
 // through create_kv_store(scheme): index structures plus — for "vkv" — the
-// value log with GC headroom.
+// value log with GC headroom. `sharding` carves split headroom for the
+// fixed-table schemes (the vkv index shards internally and ignores it).
 uint64_t kv_pool_bytes_hint(const std::string& scheme, uint64_t max_items,
-                            uint64_t avg_value_bytes);
+                            uint64_t avg_value_bytes,
+                            const ShardingOptions& sharding = {});
 
 // The four paper schemes, in the paper's presentation order.
 std::vector<std::string> paper_schemes();

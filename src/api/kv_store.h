@@ -31,6 +31,7 @@
 
 #include "api/batch.h"
 #include "api/hash_table.h"
+#include "api/shard_admin.h"
 #include "api/types.h"
 
 namespace hdnh {
@@ -38,6 +39,11 @@ namespace hdnh {
 class KvStore {
  public:
   virtual ~KvStore() = default;
+
+  // The shard-directory admin surface (SHARDS / RESHARD), when the store
+  // is elastically sharded; nullptr for single-table and value-log stores.
+  // The pointer shares the store's lifetime.
+  virtual ShardAdmin* shard_admin() { return nullptr; }
 
   virtual const char* name() const = 0;
   virtual uint64_t size() const = 0;
@@ -118,6 +124,10 @@ class FixedTableKv final : public KvStore {
       : owned_(std::move(table)), table_(owned_.get()) {}
 
   HashTable& table() { return *table_; }
+
+  ShardAdmin* shard_admin() override {
+    return dynamic_cast<ShardAdmin*>(table_);
+  }
 
   const char* name() const override { return table_->name(); }
   uint64_t size() const override { return table_->size(); }

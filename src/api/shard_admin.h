@@ -1,0 +1,60 @@
+// ShardAdmin — the administrative face of an elastically sharded store.
+//
+// The serving interfaces (HashTable, KvStore) deliberately hide the shard
+// directory: routing is an implementation detail of the facade. Admin
+// surfaces — the RESP server's SHARDS / RESHARD verbs, hdnh_doctor,
+// operators' scripts — need the opposite: a stable way to *see* the
+// directory (global depth, per-shard local depth / occupancy / heat) and
+// to *drive* it (trigger an online split). ShardAdmin is that contract,
+// defined here at the api layer so upper layers (src/net, tools) can
+// depend on the interface without linking the store facade; the facade
+// (store::ShardedTable) implements it, and KvStore::shard_admin() exposes
+// it when the underlying table is sharded.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "api/types.h"
+
+namespace hdnh {
+
+class ShardAdmin {
+ public:
+  struct ShardInfo {
+    uint32_t id = 0;
+    uint32_t local_depth = 0;
+    uint64_t items = 0;
+    // Windowed heat (obs::ShardHeat merge; zero when the obs gate is off
+    // or the window is idle).
+    uint64_t heat_ops = 0;
+    uint64_t heat_lat_sum_ns = 0;
+    uint64_t heat_lat_count = 0;
+  };
+
+  // A consistent point-in-time dump of the shard directory.
+  struct Directory {
+    uint32_t global_depth = 0;
+    uint32_t shard_count = 0;
+    uint32_t max_shards = 0;  // carved regions = split headroom ceiling
+    uint64_t epoch = 0;       // publish sequence; bumps once per split
+    bool split_active = false;
+    uint32_t split_source = 0;
+    uint32_t split_target = 0;
+    std::vector<uint8_t> entries;  // 2^global_depth entries -> shard id
+    std::vector<ShardInfo> shards;
+  };
+
+  virtual ~ShardAdmin() = default;
+
+  virtual Directory shard_directory() const = 0;
+
+  // Synchronous online split of `shard`: migrate its upper hash half to a
+  // freshly carved region and publish the retargeted directory. Returns
+  // kInvalidArgument when the shard cannot split (bad id, depth maxed, no
+  // spare region, or a split already in flight), kTableFull when the
+  // target region cannot hold the migrated keys.
+  virtual Status split_shard(uint32_t shard) = 0;
+};
+
+}  // namespace hdnh

@@ -81,6 +81,8 @@ Cmd lookup_cmd(std::string& word) {
   if (word == "HOTKEYS") return Cmd::kHotkeys;
   if (word == "LATENCY") return Cmd::kLatency;
   if (word == "METRICS") return Cmd::kMetrics;
+  if (word == "SHARDS") return Cmd::kShards;
+  if (word == "RESHARD") return Cmd::kReshard;
   return Cmd::kUnknown;
 }
 
@@ -114,6 +116,8 @@ const char* cmd_name(Cmd c) {
     case Cmd::kHotkeys: return "hotkeys";
     case Cmd::kLatency: return "latency";
     case Cmd::kMetrics: return "metrics";
+    case Cmd::kShards: return "shards";
+    case Cmd::kReshard: return "reshard";
     case Cmd::kUnknown: return "unknown";
   }
   return "?";
@@ -784,6 +788,64 @@ void Server::execute(Reactor& r, Conn& c, std::vector<std::string>& args) {
         // but not HTTP (INFO stays compact).
         append_bulk(&reply, obs::Metrics::prometheus());
         break;
+      case Cmd::kShards: {
+        // SHARDS: the extendible directory, as three nested arrays —
+        //   1) meta   [global_depth, epoch, shard_count, max_shards,
+        //              split_active]
+        //   2) entries (2^global_depth shard ids, top-hash-bits order)
+        //   3) shards  one [id, local_depth, items, heat_ops] per shard
+        ShardAdmin* admin = store_.shard_admin();
+        if (!admin) {
+          append_error(&reply, "ERR store is not sharded");
+          break;
+        }
+        const ShardAdmin::Directory dir = admin->shard_directory();
+        append_array_header(&reply, 3);
+        append_array_header(&reply, 5);
+        append_integer(&reply, dir.global_depth);
+        append_integer(&reply, static_cast<int64_t>(dir.epoch));
+        append_integer(&reply, dir.shard_count);
+        append_integer(&reply, dir.max_shards);
+        append_integer(&reply, dir.split_active ? 1 : 0);
+        append_array_header(&reply, dir.entries.size());
+        for (const uint8_t e : dir.entries) append_integer(&reply, e);
+        append_array_header(&reply, dir.shards.size());
+        for (const auto& s : dir.shards) {
+          append_array_header(&reply, 4);
+          append_integer(&reply, s.id);
+          append_integer(&reply, s.local_depth);
+          append_integer(&reply, static_cast<int64_t>(s.items));
+          append_integer(&reply, static_cast<int64_t>(s.heat_ops));
+        }
+        break;
+      }
+      case Cmd::kReshard: {
+        // RESHARD <shard>: split that shard online; +OK once the split is
+        // published and cleaned, -ERR with the refusal otherwise.
+        if (args.size() != 2) {
+          append_error(&reply,
+                       "ERR wrong number of arguments (RESHARD <shard>)");
+          break;
+        }
+        ShardAdmin* admin = store_.shard_admin();
+        if (!admin) {
+          append_error(&reply, "ERR store is not sharded");
+          break;
+        }
+        char* end = nullptr;
+        const long v = std::strtol(args[1].c_str(), &end, 10);
+        if (end == args[1].c_str() || *end != '\0' || v < 0) {
+          append_error(&reply, "ERR invalid shard id '" + args[1] + "'");
+          break;
+        }
+        const Status s = admin->split_shard(static_cast<uint32_t>(v));
+        if (s.ok()) {
+          append_simple(&reply, "OK");
+        } else {
+          append_error(&reply, "ERR " + s.to_string());
+        }
+        break;
+      }
       case Cmd::kUnknown:
         append_error(&reply, "ERR unknown command '" + args[0] + "'");
         break;

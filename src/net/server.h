@@ -18,7 +18,9 @@
 // DBSIZE / PING / INFO / COMMAND (+ QUIT / SHUTDOWN), plus the telemetry
 // verbs SLOWLOG GET|RESET|LEN, HOTKEYS [k], LATENCY (windowed
 // percentiles), and METRICS (the full Prometheus scrape; INFO stays
-// compact). Execution speaks the
+// compact), plus the shard admin verbs SHARDS (directory dump) and
+// RESHARD <shard> (online split) on elastically sharded stores.
+// Execution speaks the
 // KvStore surface of API v2: outcomes map to RESP replies
 // (kNotFound -> nil, kTableFull -> "-ERR table full", ...) and no scheme
 // exception can cross into the event loop. Key/value size limits — and the
@@ -60,9 +62,11 @@ enum class Cmd : uint8_t {
   kHotkeys,
   kLatency,
   kMetrics,
+  kShards,
+  kReshard,
   kUnknown,
 };
-inline constexpr uint32_t kCmdCount = 17;
+inline constexpr uint32_t kCmdCount = 19;
 const char* cmd_name(Cmd c);
 
 struct ServerOptions {

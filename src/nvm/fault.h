@@ -46,6 +46,8 @@ enum FaultKind : uint32_t {
   kFaultVkvSeal = 1u << 16,      // value-log segment state transition
   kFaultVkvGc = 1u << 17,        // value-log GC relocate/retire
   kFaultAllocChunk = 1u << 18,   // chunk-table claim/free/format persist
+  kFaultShardSplit = 1u << 19,   // shard-directory split machine (layout
+                                 //   begin/publish/abort + migration copies)
   kFaultAnyKind = 0xFFFFFFFFu,
 };
 

@@ -4,26 +4,72 @@
 #include <stdexcept>
 #include <string>
 
+#include "nvm/fault.h"
+
 namespace hdnh::nvm {
 
+bool ShardedPmemLayout::split_record(ShardDirRecord* rec, uint32_t src,
+                                     uint32_t tgt) {
+  const uint32_t ld = rec->local_depth[src];
+  if (ld >= ShardMapSuper::kMaxDepth) return false;
+  if (tgt != rec->shard_count || tgt >= ShardMapSuper::kMaxShards) {
+    return false;
+  }
+  if (ld == rec->global_depth) {
+    // Double: with high-bit addressing new[e] = old[e >> 1]; walk downward
+    // so the in-place expansion never reads an already-written slot.
+    const uint32_t n = 1u << rec->global_depth;
+    for (uint32_t e = 2 * n; e-- > 0;) rec->entry[e] = rec->entry[e >> 1];
+    rec->global_depth++;
+  }
+  // src owns the 2^(G-ld) entries sharing its ld-bit prefix; the half with
+  // the next prefix bit set moves to tgt.
+  const uint32_t g = rec->global_depth;
+  for (uint32_t e = 0; e < (1u << g); ++e) {
+    if (rec->entry[e] == src && ((e >> (g - ld - 1)) & 1u)) {
+      rec->entry[e] = static_cast<uint8_t>(tgt);
+    }
+  }
+  rec->local_depth[src] = static_cast<uint8_t>(ld + 1);
+  rec->local_depth[tgt] = static_cast<uint8_t>(ld + 1);
+  rec->shard_count = tgt + 1;
+  return true;
+}
+
 ShardedPmemLayout::ShardedPmemLayout(PmemAllocator& parent, uint32_t shards,
-                                     uint64_t bytes_per_shard, int root_slot)
+                                     uint64_t bytes_per_shard, int root_slot,
+                                     uint32_t max_shards)
     : parent_(parent) {
   PmemPool& pool = parent_.pool();
 
   const uint64_t map_off = parent_.root(root_slot);
   if (map_off != 0) {
     map_ = pool.to_ptr<ShardMapSuper>(map_off);
+    if (map_->magic == ShardMapSuper::kMagicV1) {
+      throw std::runtime_error(
+          "v1 shard map (pre-directory format): rebuild the pool");
+    }
     if (map_->magic != ShardMapSuper::kMagic) {
       throw std::runtime_error("shard map root set but magic mismatch");
     }
     attached_ = true;
-    shard_count_ = map_->shard_count;  // the carve on media wins
-    allocs_.reserve(shard_count_);
-    for (uint32_t s = 0; s < shard_count_; ++s) {
-      allocs_.push_back(std::make_unique<PmemAllocator>(
-          pool, map_->shard_off[s], map_->shard_bytes[s]));
-      if (!allocs_.back()->attached_existing()) {
+    // A crash between begin_split and the directory flip leaves the marker
+    // set but the target outside the active directory: the split never
+    // happened, so reset the target region for reuse. A marker with the
+    // target *inside* the directory is a published-but-uncleaned split; the
+    // facade finishes the idempotent cleanup and calls clear_split_state().
+    if (map_->split_state != 0 && !split_cleanup_pending()) {
+      FaultScope scope(kFaultShardSplit);
+      map_->split_state = 0;
+      pool.persist_fence(&map_->split_state, sizeof(map_->split_state));
+      reset_region(map_->split_target);
+    }
+    allocs_.resize(regions());  // spares stay null until begin_split
+    const uint32_t active = this->shards();  // param `shards` shadows
+    for (uint32_t s = 0; s < active; ++s) {
+      allocs_[s] = std::make_unique<PmemAllocator>(pool, map_->shard_off[s],
+                                                   map_->shard_bytes[s]);
+      if (!allocs_[s]->attached_existing()) {
         throw std::runtime_error("shard region lost its allocator header");
       }
     }
@@ -36,6 +82,14 @@ ShardedPmemLayout::ShardedPmemLayout(PmemAllocator& parent, uint32_t shards,
         std::to_string(ShardMapSuper::kMaxShards) + "], got " +
         std::to_string(shards));
   }
+  uint32_t region_count = max_shards == 0 ? shards : max_shards;
+  if (region_count < shards) region_count = shards;
+  if (region_count > ShardMapSuper::kMaxShards) {
+    throw std::invalid_argument(
+        "max_shards must be in [initial, " +
+        std::to_string(ShardMapSuper::kMaxShards) + "], got " +
+        std::to_string(region_count));
+  }
 
   const uint64_t map_alloc =
       parent_.alloc(sizeof(ShardMapSuper), kNvmBlock);
@@ -46,7 +100,7 @@ ShardedPmemLayout::ShardedPmemLayout(PmemAllocator& parent, uint32_t shards,
   // to a stripe boundary so consecutive shards start on consecutive DIMMs —
   // a K-thread workload over K shards then spreads across all D DIMMs
   // instead of having every region base share stripe 0's DIMM. Equal-split
-  // only: the stripe slack comes out of the per-shard budget, so callers'
+  // only: the stripe slack comes out of the per-region budget, so callers'
   // pool-size hints stay valid. An explicit bytes_per_shard keeps the old
   // block alignment.
   const uint32_t dimms = pool.dimm_count();
@@ -56,30 +110,47 @@ ShardedPmemLayout::ShardedPmemLayout(PmemAllocator& parent, uint32_t shards,
   uint64_t per = bytes_per_shard;
   if (per == 0) {
     // Equal split of everything still unallocated, keeping one alignment
-    // unit per shard for slack inside alloc().
+    // unit per region for slack inside alloc().
     const uint64_t avail = parent_.remaining();
     if (dimms > 1 && ig > kNvmBlock &&
-        avail / 2 > static_cast<uint64_t>(shards) * ig) {
+        avail / 2 > static_cast<uint64_t>(region_count) * ig) {
       align = ig;
     }
-    const uint64_t slack = static_cast<uint64_t>(shards) * align;
+    const uint64_t slack = static_cast<uint64_t>(region_count) * align;
     if (avail <= slack) throw std::bad_alloc();
-    per = (avail - slack) / shards / kNvmBlock * kNvmBlock;
+    per = (avail - slack) / region_count / kNvmBlock * kNvmBlock;
   }
   if (per < PmemAllocator::header_bytes() + kNvmBlock) throw std::bad_alloc();
 
-  shard_count_ = shards;
-  map_->shard_count = shards;
+  map_->region_count = region_count;
   map_->dimms = dimms;
   map_->interleave_bytes = dimms > 1 ? ig : 0;
-  allocs_.reserve(shards);
-  for (uint32_t s = 0; s < shards; ++s) {
+  allocs_.resize(region_count);
+  for (uint32_t s = 0; s < region_count; ++s) {
     const uint64_t off = parent_.alloc(per, align);
     map_->shard_off[s] = off;
     map_->shard_bytes[s] = per;
     map_->shard_dimm[s] = static_cast<uint8_t>(pool.dimm_of(off));
-    allocs_.push_back(std::make_unique<PmemAllocator>(pool, off, per));
+    // Only active shards get a formatted allocator now; spare regions are
+    // formatted when begin_split claims them.
+    if (s < shards) allocs_[s] = std::make_unique<PmemAllocator>(pool, off, per);
   }
+
+  // Initial directory: grow from one shard of depth 0 by repeatedly
+  // splitting the shallowest shard (ties to the lowest id), so non-power-
+  // of-two counts get the most balanced depth mix possible.
+  ShardDirRecord& rec0 = map_->dir[0];
+  rec0.global_depth = 0;
+  rec0.shard_count = 1;
+  rec0.seq = 1;
+  while (rec0.shard_count < shards) {
+    uint32_t src = 0;
+    for (uint32_t s = 1; s < rec0.shard_count; ++s) {
+      if (rec0.local_depth[s] < rec0.local_depth[src]) src = s;
+    }
+    split_record(&rec0, src, rec0.shard_count);
+  }
+  map_->dir_active = 0;
 
   pool.persist(map_, sizeof(ShardMapSuper));
   pool.fence();
@@ -87,6 +158,80 @@ ShardedPmemLayout::ShardedPmemLayout(PmemAllocator& parent, uint32_t shards,
   pool.persist_fence(&map_->magic, sizeof(map_->magic));
   // Root slot last: recovery either sees a complete map or no map at all.
   parent_.set_root(root_slot, map_alloc, sizeof(ShardMapSuper));
+}
+
+bool ShardedPmemLayout::can_split(uint32_t s) const {
+  return !split_in_progress() && s < shards() && shards() < regions() &&
+         local_depth(s) < ShardMapSuper::kMaxDepth;
+}
+
+uint32_t ShardedPmemLayout::begin_split(uint32_t source) {
+  if (!can_split(source)) {
+    throw std::logic_error("begin_split: shard cannot split (in-flight "
+                           "split, no spare region, or depth maxed)");
+  }
+  PmemPool& pool = parent_.pool();
+  FaultScope scope(kFaultShardSplit);
+  const uint32_t target = shards();
+  // Marker fields before the marker itself, so a set marker always names a
+  // valid (source, target) pair.
+  map_->split_source = source;
+  map_->split_target = target;
+  pool.persist(&map_->split_source, sizeof(uint32_t) * 2);
+  pool.fence();
+  map_->split_state = 1;
+  pool.persist_fence(&map_->split_state, sizeof(map_->split_state));
+  // The spare may hold a previous aborted split's half-built table; wipe
+  // its allocator header so construction formats it fresh.
+  reset_region(target);
+  allocs_[target] = std::make_unique<PmemAllocator>(
+      pool, map_->shard_off[target], map_->shard_bytes[target]);
+  return target;
+}
+
+void ShardedPmemLayout::publish_split() {
+  if (!split_in_progress() || split_cleanup_pending()) {
+    throw std::logic_error("publish_split without a migrating split");
+  }
+  PmemPool& pool = parent_.pool();
+  FaultScope scope(kFaultShardSplit);
+  ShardDirRecord& next = inactive_rec();
+  next = rec();
+  if (!split_record(&next, map_->split_source, map_->split_target)) {
+    throw std::logic_error("publish_split: directory retarget failed");
+  }
+  next.seq = rec().seq + 1;
+  pool.persist(&next, sizeof(next));
+  pool.fence();
+  // The commit point: one 8-byte selector flip.
+  map_->dir_active ^= 1;
+  pool.persist_fence(&map_->dir_active, sizeof(map_->dir_active));
+}
+
+void ShardedPmemLayout::abort_split() {
+  if (!split_in_progress() || split_cleanup_pending()) {
+    throw std::logic_error("abort_split after publish");
+  }
+  FaultScope scope(kFaultShardSplit);
+  const uint32_t target = map_->split_target;
+  map_->split_state = 0;
+  parent_.pool().persist_fence(&map_->split_state, sizeof(map_->split_state));
+  allocs_[target].reset();
+  reset_region(target);
+}
+
+void ShardedPmemLayout::clear_split_state() {
+  if (!split_in_progress()) return;
+  FaultScope scope(kFaultShardSplit);
+  map_->split_state = 0;
+  parent_.pool().persist_fence(&map_->split_state, sizeof(map_->split_state));
+}
+
+void ShardedPmemLayout::reset_region(uint32_t r) {
+  PmemPool& pool = parent_.pool();
+  void* base = pool.to_ptr<void>(map_->shard_off[r]);
+  std::memset(base, 0, PmemAllocator::header_bytes());
+  pool.persist_fence(base, PmemAllocator::header_bytes());
 }
 
 bool ShardedPmemLayout::present(const PmemAllocator& parent, int root_slot) {

@@ -1,4 +1,5 @@
-// Carves one PmemPool into N independent per-shard allocator regions.
+// Carves one PmemPool into independent per-shard allocator regions and
+// routes keys to them through a persisted extendible-hashing directory.
 //
 // The parent allocator (whole-pool header at offset 0) stays the owner of
 // the pool; the sharded layout allocates one large region per shard from it
@@ -9,13 +10,25 @@
 // shard 3's roots is invisible to shard 5, and shard 3 running out of space
 // throws without disturbing its neighbours.
 //
-// Crash safety mirrors the allocator's own format protocol: the shard map
-// is fully written and persisted before its magic, and the magic before the
-// parent root slot is set. A crash mid-format leaves the root slot empty
-// (the next construction re-formats; the partially carved regions leak,
-// which is the allocator's documented crash-leak semantics). On attach the
-// *persisted* shard count wins over the requested one — the carve is part
-// of the pool's durable identity, like a table's geometry.
+// v2 (format "HDNHSHR2") replaces the fixed shard count with an extendible
+// directory: 2^global_depth entries, each naming a shard, plus a per-shard
+// local depth. A key routes by the top global_depth bits of its remixed
+// primary hash, so doubling the directory is new[i] = old[i >> 1] and an
+// overloaded shard splits alone — its sibling entries retarget to a freshly
+// carved region while every other shard's routing bits stay untouched.
+// The directory is persisted as an A/B pair of ShardDirRecords selected by
+// a single 8-byte `dir_active` word: a split composes the successor record
+// in the inactive slot, persists it, and flips the selector — the one
+// crash-atomic commit point of the whole split, swept by crashkit under
+// the kFaultShardSplit taxonomy tag. Recovery therefore sees either the
+// pre-split directory (the carved target region is reset and reused) or
+// the fully published one (the facade finishes the idempotent cleanup).
+//
+// Regions are carved up-front for `max_shards` (the split headroom), but
+// only the directory's `shard_count` of them are active; `begin_split`
+// claims the next spare. The carve itself keeps the v1 format protocol:
+// regions and the map payload persist before the magic, the magic before
+// the parent root slot — a crash mid-format leaves no map at all.
 #pragma once
 
 #include <cstdint>
@@ -26,12 +39,24 @@
 
 namespace hdnh::nvm {
 
+// One self-contained directory state: flipping `dir_active` between the
+// two records in ShardMapSuper publishes a split atomically.
+struct ShardDirRecord {
+  uint32_t global_depth;
+  uint32_t shard_count;              // active shards (== regions in use)
+  uint64_t seq;                      // monotone publish epoch
+  uint8_t local_depth[64];
+  uint8_t entry[64];                 // dir entry -> shard id (2^depth used)
+};
+
 struct ShardMapSuper {
-  static constexpr uint64_t kMagic = 0x48444E485348524DULL;  // "HDNHSHRM"
+  static constexpr uint64_t kMagic = 0x48444E4853485232ULL;    // "HDNHSHR2"
+  static constexpr uint64_t kMagicV1 = 0x48444E485348524DULL;  // "HDNHSHRM"
   static constexpr uint32_t kMaxShards = 64;
+  static constexpr uint32_t kMaxDepth = 6;  // 2^6 = kMaxShards
 
   uint64_t magic;
-  uint32_t shard_count;
+  uint32_t region_count;             // carved regions (active + spares)
   uint32_t dimms;                    // pool DIMM count at carve time (1 = flat)
   uint64_t shard_off[kMaxShards];    // region base, kNvmBlock-aligned
   uint64_t shard_bytes[kMaxShards];  // region size
@@ -39,6 +64,19 @@ struct ShardMapSuper {
   // can print the shard→DIMM map without knowing the pool's runtime config.
   uint64_t interleave_bytes;         // stripe size; 0 = per-DIMM slices
   uint8_t shard_dimm[kMaxShards];    // home DIMM of each region base
+
+  // The extendible directory: dir[dir_active & 1] is live. Flipping
+  // dir_active is the split commit point.
+  uint64_t dir_active;
+  ShardDirRecord dir[2];
+
+  // Split progress marker — advisory only (the directory flip is the
+  // commit point): 1 while a split is between begin_split and the facade's
+  // post-publish cleanup. Recovery uses it to reset an unpublished target
+  // region or to finish the idempotent cleanup of a published one.
+  uint64_t split_state;
+  uint32_t split_source;
+  uint32_t split_target;
 };
 
 class ShardedPmemLayout {
@@ -47,16 +85,20 @@ class ShardedPmemLayout {
   // slots of their own per-shard allocators, so the top parent slot is free.
   static constexpr int kShardMapRoot = PmemAllocator::kRoots - 1;
 
-  // Formats a fresh carve of `shards` regions (equal split of the parent's
-  // remaining space, or `bytes_per_shard` each when nonzero), or attaches to
-  // the persisted shard map if the pool already carries one — in which case
-  // the persisted shard count overrides `shards`.
+  // Formats a fresh carve, or attaches to the persisted shard map if the
+  // pool already carries one — in which case the persisted directory
+  // overrides both `shards` and `max_shards`. A fresh format carves
+  // max(shards, max_shards) equal regions (of `bytes_per_shard` each when
+  // nonzero) and activates `shards` of them in the initial directory; the
+  // spares are the headroom begin_split() claims later.
   explicit ShardedPmemLayout(PmemAllocator& parent, uint32_t shards,
                              uint64_t bytes_per_shard = 0,
-                             int root_slot = kShardMapRoot);
+                             int root_slot = kShardMapRoot,
+                             uint32_t max_shards = 0);
 
   bool attached_existing() const { return attached_; }
-  uint32_t shards() const { return shard_count_; }
+  uint32_t shards() const { return rec().shard_count; }
+  uint32_t regions() const { return map_->region_count; }
   PmemAllocator& shard_alloc(uint32_t s) { return *allocs_[s]; }
   uint64_t shard_off(uint32_t s) const { return map_->shard_off[s]; }
   uint64_t shard_bytes(uint32_t s) const { return map_->shard_bytes[s]; }
@@ -66,11 +108,53 @@ class ShardedPmemLayout {
   uint32_t dimms() const { return map_->dimms; }
   uint64_t interleave_bytes() const { return map_->interleave_bytes; }
 
+  // ---- directory --------------------------------------------------------
+  uint32_t global_depth() const { return rec().global_depth; }
+  uint32_t local_depth(uint32_t s) const { return rec().local_depth[s]; }
+  uint32_t dir_entries() const { return 1u << rec().global_depth; }
+  // Shard owning directory entry e (e < dir_entries()). Keys address the
+  // directory by the top global_depth bits of their remixed primary hash
+  // (store::shard_route_entry), so doubling never moves a key.
+  uint32_t dir_shard(uint32_t e) const { return rec().entry[e]; }
+  // Publish epoch: bumps exactly once per published split.
+  uint64_t dir_seq() const { return rec().seq; }
+
+  // ---- split machine ----------------------------------------------------
+  // True while a split is between begin_split and clear_split_state.
+  bool split_in_progress() const { return map_->split_state != 0; }
+  uint32_t split_source() const { return map_->split_source; }
+  uint32_t split_target() const { return map_->split_target; }
+  // True when the split was published but the facade's source-side cleanup
+  // has not yet been confirmed (the state recovery hands to the facade).
+  bool split_cleanup_pending() const {
+    return split_in_progress() && map_->split_target < shards();
+  }
+
+  // A split of `s` can proceed: no split in flight, a spare region exists,
+  // and s's local depth is below kMaxDepth.
+  bool can_split(uint32_t s) const;
+  // Starts a split of `source`: persists the split marker, resets the next
+  // spare region and formats a fresh allocator over it. Returns the target
+  // shard id (== current shards()). The caller migrates the keys and then
+  // either publish_split() or abort_split(). Throws std::logic_error when
+  // !can_split(source).
+  uint32_t begin_split(uint32_t source);
+  // Composes the successor directory (target activated, depths bumped,
+  // entries retargeted, seq+1) in the inactive record and flips dir_active
+  // — the crash-atomic commit. split_state stays set until
+  // clear_split_state() confirms the facade's cleanup ran.
+  void publish_split();
+  // Abandons an unpublished split: clears the marker and resets the target
+  // region so a later split can reuse it.
+  void abort_split();
+  // Confirms the post-publish cleanup; clears the marker.
+  void clear_split_state();
+
   // True if `parent` already carries a shard map in `root_slot`.
   static bool present(const PmemAllocator& parent,
                       int root_slot = kShardMapRoot);
 
-  // Fixed metadata cost of an N-shard carve on top of the payload regions:
+  // Fixed metadata cost of an N-region carve on top of the payload regions:
   // the shard-map superblock, each region's allocator header, and one block
   // of alignment slack per region. pool_bytes_hint uses this so sized pools
   // do not overflow at high shard counts.
@@ -80,12 +164,23 @@ class ShardedPmemLayout {
     return map + shards * (PmemAllocator::header_bytes() + kNvmBlock);
   }
 
+  // Splits shard `src` inside a directory record: doubles the directory if
+  // src's local depth equals the global depth, retargets the upper half of
+  // src's entries to `tgt`, bumps both local depths and shard_count.
+  // Exposed for the directory unit tests; returns false when src is at
+  // kMaxDepth.
+  static bool split_record(ShardDirRecord* rec, uint32_t src, uint32_t tgt);
+
  private:
+  const ShardDirRecord& rec() const { return map_->dir[map_->dir_active & 1]; }
+  ShardDirRecord& inactive_rec() { return map_->dir[(map_->dir_active & 1) ^ 1]; }
+  // Zeroes a spare region's allocator header so construction re-formats it.
+  void reset_region(uint32_t r);
+
   PmemAllocator& parent_;
   ShardMapSuper* map_ = nullptr;
-  uint32_t shard_count_ = 0;
   bool attached_ = false;
-  std::vector<std::unique_ptr<PmemAllocator>> allocs_;
+  std::vector<std::unique_ptr<PmemAllocator>> allocs_;  // per region; spares null
 };
 
 }  // namespace hdnh::nvm

@@ -228,11 +228,25 @@ void Windows::visit_heats(const std::function<void(const ShardHeat&)>& fn) {
 // ShardHeat
 // ---------------------------------------------------------------------------
 
-ShardHeat::ShardHeat(uint32_t shards, std::string label)
-    : label_(std::move(label)), cur_(shards), ring_(shards) {
+ShardHeat::ShardHeat(uint32_t capacity, std::string label, uint32_t live)
+    : label_(std::move(label)), cur_(capacity), ring_(capacity) {
+  live_.store(live == 0 ? capacity : std::min(live, capacity),
+              std::memory_order_release);
   Windows::Registry& r = Windows::registry();
   std::lock_guard<std::mutex> lock(r.mu);
   r.heats.push_back(this);
+}
+
+void ShardHeat::set_live(uint32_t live) {
+  // Under the registry lock so neither a rotation nor a serializer sees
+  // the count move mid-scan.
+  Windows::Registry& r = Windows::registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const uint32_t cap = static_cast<uint32_t>(cur_.size());
+  if (live > cap) live = cap;
+  if (live > live_.load(std::memory_order_relaxed)) {
+    live_.store(live, std::memory_order_release);
+  }
 }
 
 ShardHeat::~ShardHeat() {

@@ -89,8 +89,11 @@ class ShardHeat {
   };
 
   // Registers with the window registry; label is the Prometheus label body
-  // identifying the owning store (e.g. store="hdnh@4").
-  ShardHeat(uint32_t shards, std::string label);
+  // identifying the owning store (e.g. store="hdnh@4"). `capacity` slots
+  // are allocated up front (the sharded store's split headroom); `live`
+  // says how many currently serve — set_live() grows it when a split
+  // publishes, so serializers never race a reallocation.
+  ShardHeat(uint32_t capacity, std::string label, uint32_t live = 0);
   ~ShardHeat();
 
   ShardHeat(const ShardHeat&) = delete;
@@ -105,7 +108,11 @@ class ShardHeat {
     }
   }
 
-  uint32_t shards() const { return static_cast<uint32_t>(cur_.size()); }
+  // Shards currently live (window() and the serializers report this many).
+  uint32_t shards() const { return live_.load(std::memory_order_acquire); }
+  uint32_t capacity() const { return static_cast<uint32_t>(cur_.size()); }
+  // Grow (never shrink) the live count after a split publishes.
+  void set_live(uint32_t live);
   const std::string& label() const { return label_; }
 
   // Merge of the completed-epoch ring (newest kEpochs rotations), per shard.
@@ -122,6 +129,7 @@ class ShardHeat {
   void rotate_locked();
 
   std::string label_;
+  std::atomic<uint32_t> live_{0};
   std::vector<Cell> cur_;
   // ring_[shard][slot]; head_ is the next slot to overwrite.
   std::vector<std::array<Window, kEpochs>> ring_;

@@ -1,175 +1,625 @@
 #include "store/sharded_table.h"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "api/batch.h"
+#include "nvm/fault.h"
 #include "obs/metrics.h"
 #include "obs/window.h"
 
 namespace hdnh::store {
 
+namespace {
+
+// Unwinds the fast-path announcement even when the inner op throws (a bool
+// insert may raise TableFullError); a leaked count would hang the split
+// machine's drain forever.
+struct InflightGuard {
+  std::atomic<uint32_t>& c;
+  explicit InflightGuard(std::atomic<uint32_t>& c) : c(c) {}
+  ~InflightGuard() { c.fetch_sub(1, std::memory_order_release); }
+};
+
+}  // namespace
+
 ShardedTable::ShardedTable(std::unique_ptr<nvm::ShardedPmemLayout> layout,
                            std::vector<std::unique_ptr<HashTable>> shards,
-                           std::string name)
+                           std::string name, ShardFactory shard_factory,
+                           SplitOptions split)
     : layout_(std::move(layout)),
       shards_(std::move(shards)),
-      name_(std::move(name)) {
-  if (shards_.empty()) throw std::invalid_argument("sharded table needs >= 1 shard");
-  if (layout_ && layout_->shards() != shards_.size()) {
+      name_(std::move(name)),
+      shard_factory_(std::move(shard_factory)),
+      split_opts_(split) {
+  if (!layout_) {
+    throw std::invalid_argument("sharded table needs a shard layout");
+  }
+  if (shards_.empty()) {
+    throw std::invalid_argument("sharded table needs >= 1 shard");
+  }
+  if (layout_->shards() != shards_.size()) {
     throw std::invalid_argument("layout/table shard count mismatch");
   }
+  // Index by region id; spares stay null until a split activates them.
+  shards_.resize(layout_->regions());
+
+  // A crash between the directory flip and the migration cleanup leaves the
+  // split marker set with the target already inside the directory: the
+  // split committed, only the source's stale copies remain. Finish the
+  // idempotent cleanup before serving.
+  if (layout_->split_cleanup_pending()) {
+    cleanup_published_split();
+    layout_->clear_split_state();
+  }
+
+  install_routing(snapshot_from(*layout_));
+  register_obs();
+  if (split_opts_.auto_split && shard_factory_ && obs_heat_) {
+    start_controller();
+  }
+}
+
+ShardedTable::~ShardedTable() {
+  stop_controller();
+  for (const uint64_t id : obs_gauges_) obs::Metrics::remove_gauge(id);
+}
+
+void ShardedTable::register_obs() {
   if constexpr (obs::kCompiledIn) {
     obs_label_ = "store=\"" + name_ + "\"";
     obs_gauges_.push_back(obs::Metrics::add_gauge(
-        "hdnh_store_shards", obs_label_, "Shard count of the store facade",
+        "hdnh_store_shards", obs_label_, "Live shard count of the store facade",
         [this] { return static_cast<double>(this->shards()); }));
     obs_gauges_.push_back(obs::Metrics::add_gauge(
         "hdnh_store_load_factor", obs_label_,
         "Aggregate items / aggregate slots across shards",
         [this] { return load_factor(); }));
-    // Under a multi-DIMM pool each shard region has a persisted home DIMM
-    // (the stripe its region base starts on); export the placement so a
-    // scrape can see how the carve spread across the device.
-    if (layout_ && layout_->shard_alloc(0).pool().dimm_count() > 1) {
-      for (uint32_t s = 0; s < layout_->shards(); ++s) {
+    obs_gauges_.push_back(obs::Metrics::add_gauge(
+        "hdnh_store_global_depth", obs_label_,
+        "Global depth of the extendible shard directory",
+        [this] { return static_cast<double>(this->routing()->global_depth); }));
+    obs_gauges_.push_back(obs::Metrics::add_gauge(
+        "hdnh_store_split_active", obs_label_,
+        "1 while an online shard split is in flight",
+        [this] { return this->routing()->split_active ? 1.0 : 0.0; }));
+    obs_gauges_.push_back(obs::Metrics::add_gauge(
+        "hdnh_store_splits_total", obs_label_,
+        "Shard splits published by this store instance",
+        [this] { return static_cast<double>(this->split_count()); }));
+    // Per-shard gauges cover every carved region up front — a split then
+    // activates slots without touching the registry. The live guard routes
+    // through the routing snapshot, which is what makes the target table
+    // pointer visible before its slot can report.
+    const bool dimms = layout_->shard_alloc(0).pool().dimm_count() > 1;
+    for (uint32_t s = 0; s < max_shards(); ++s) {
+      const std::string labels =
+          obs_label_ + ",shard=\"" + std::to_string(s) + "\"";
+      obs_gauges_.push_back(obs::Metrics::add_gauge(
+          "hdnh_shard_items", labels, "Live items in the shard", [this, s] {
+            const Routing* r = this->routing();
+            return s < r->shard_count
+                       ? static_cast<double>(this->shards_[s]->size())
+                       : 0.0;
+          }));
+      obs_gauges_.push_back(obs::Metrics::add_gauge(
+          "hdnh_shard_load_factor", labels, "Items / slots of the shard",
+          [this, s] {
+            const Routing* r = this->routing();
+            return s < r->shard_count ? this->shards_[s]->load_factor() : 0.0;
+          }));
+      obs_gauges_.push_back(obs::Metrics::add_gauge(
+          "hdnh_shard_local_depth", labels,
+          "Local depth of the shard in the directory", [this, s] {
+            const Routing* r = this->routing();
+            return s < r->shard_count
+                       ? static_cast<double>(this->layout_->local_depth(s))
+                       : 0.0;
+          }));
+      // Under a multi-DIMM pool each region has a persisted home DIMM (the
+      // stripe its base starts on); export the placement of live shards.
+      if (dimms) {
         obs_gauges_.push_back(obs::Metrics::add_gauge(
-            "hdnh_store_shard_home_dimm",
-            obs_label_ + ",shard=\"" + std::to_string(s) + "\"",
-            "Home DIMM of the shard's region base",
-            [this, s] { return static_cast<double>(this->layout_->shard_dimm(s)); }));
+            "hdnh_store_shard_home_dimm", labels,
+            "Home DIMM of the shard's region base", [this, s] {
+              const Routing* r = this->routing();
+              return s < r->shard_count
+                         ? static_cast<double>(this->layout_->shard_dimm(s))
+                         : 0.0;
+            }));
       }
     }
-    // Windowed heat: one slot per shard, rotated by the obs aggregator.
-    // HDNH inners attribute every op they serve to their slot; other inner
-    // schemes simply leave theirs cold.
-    obs_heat_ = std::make_unique<obs::ShardHeat>(this->shards(), obs_label_);
+    // Windowed heat: capacity for every region, live slots tracking the
+    // directory. HDNH inners attribute every op they serve to their slot;
+    // other inner schemes simply leave theirs cold.
+    obs_heat_ = std::make_unique<obs::ShardHeat>(max_shards(), obs_label_,
+                                                 this->shards());
     for (uint32_t s = 0; s < this->shards(); ++s) {
       if (auto* h = dynamic_cast<Hdnh*>(shards_[s].get())) {
         h->set_obs_heat(obs_heat_.get(), s);
       }
-      // Per-shard occupancy, so a scrape can tell a hot shard (windowed
-      // ops) from a full one.
-      obs_gauges_.push_back(obs::Metrics::add_gauge(
-          "hdnh_shard_items",
-          obs_label_ + ",shard=\"" + std::to_string(s) + "\"",
-          "Live items in the shard",
-          [this, s] { return static_cast<double>(this->shards_[s]->size()); }));
-      obs_gauges_.push_back(obs::Metrics::add_gauge(
-          "hdnh_shard_load_factor",
-          obs_label_ + ",shard=\"" + std::to_string(s) + "\"",
-          "Items / slots of the shard",
-          [this, s] { return this->shards_[s]->load_factor(); }));
     }
   }
 }
 
-ShardedTable::~ShardedTable() {
-  for (const uint64_t id : obs_gauges_) obs::Metrics::remove_gauge(id);
+// ---------------------------------------------------------------------------
+// Routing snapshots
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<ShardedTable::Routing> ShardedTable::snapshot_from(
+    const nvm::ShardedPmemLayout& layout) {
+  auto r = std::make_unique<Routing>();
+  r->global_depth = layout.global_depth();
+  r->shard_count = layout.shards();
+  r->seq = layout.dir_seq();
+  for (uint32_t e = 0; e < layout.dir_entries(); ++e) {
+    r->entry[e] = static_cast<uint8_t>(layout.dir_shard(e));
+  }
+  return r;
+}
+
+const ShardedTable::Routing* ShardedTable::install_routing(
+    std::unique_ptr<const Routing> r) {
+  const Routing* raw = r.get();
+  routing_history_.push_back(std::move(r));
+  routing_.store(raw);  // seq_cst: pairs with the writers' announce/re-check
+  return raw;
+}
+
+ShardedTable::ShardRoute ShardedTable::route(const Key& key) const {
+  const Routing* r = routing();
+  const uint32_t s = route_shard(*r, key_hash1(key));
+  return ShardRoute{s, r->seq, shards_[s].get()};
+}
+
+void ShardedTable::for_each_shard(
+    const std::function<void(uint32_t, HashTable&)>& fn) const {
+  const Routing* r = routing();
+  for (uint32_t s = 0; s < r->shard_count; ++s) fn(s, *shards_[s]);
+}
+
+// ---------------------------------------------------------------------------
+// Serving paths
+// ---------------------------------------------------------------------------
+
+template <typename Op>
+auto ShardedTable::write_routed(const Key& key, Op&& op)
+    -> std::invoke_result_t<Op&, HashTable&, HashTable*> {
+  const uint64_t h1 = key_hash1(key);
+  for (;;) {
+    const Routing* r = routing_.load();
+    const uint32_t s = route_shard(*r, h1);
+    if (r->split_active && s == r->split_source) break;  // slow path
+    // Announce, then re-check: the split machine publishes the split-active
+    // snapshot and then drains the source's announced writers before
+    // snapshotting it, so a write that read the routing just before the
+    // split began either lands before the snapshot or detects the change
+    // here and reroutes.
+    inflight_[s].fetch_add(1, std::memory_order_seq_cst);
+    InflightGuard guard(inflight_[s]);
+    if (routing_.load() == r) {
+      return op(*shards_[s], nullptr);
+    }
+    // Routing moved under us: retry against the current snapshot.
+  }
+  std::lock_guard<std::mutex> lock(split_mu_);
+  const Routing* r = routing_.load();
+  const uint32_t s = route_shard(*r, h1);
+  HashTable* mirror = nullptr;
+  if (r->split_active && s == r->split_source &&
+      in_split_upper_half(h1, r->split_depth)) {
+    mirror = shards_[r->split_target].get();
+  }
+  return op(*shards_[s], mirror);
+}
+
+void ShardedTable::mirror_put(HashTable* mirror, const Key& key,
+                              const Value& value) {
+  // Upsert: migration may or may not have copied the key yet. Under the
+  // exclusive split lock the two-step upsert cannot race, so any failure is
+  // a real capacity wall — flag the split for abort; the source write
+  // already succeeded and the source stays authoritative until publish.
+  const Status s = mirror->put_s(key, value);
+  if (!s.ok()) split_failed_.store(true, std::memory_order_relaxed);
+}
+
+void ShardedTable::mirror_erase(HashTable* mirror, const Key& key) {
+  mirror->erase_s(key);  // a miss just means migration hadn't copied it
 }
 
 bool ShardedTable::insert(const Key& key, const Value& value) {
-  return shards_[shard_of(key)]->insert(key, value);
-}
-
-bool ShardedTable::search(const Key& key, Value* out) {
-  return shards_[shard_of(key)]->search(key, out);
+  return write_routed(key, [&](HashTable& t, HashTable* mirror) {
+    const bool ok = t.insert(key, value);
+    if (ok && mirror) mirror_put(mirror, key, value);
+    return ok;
+  });
 }
 
 bool ShardedTable::update(const Key& key, const Value& value) {
-  return shards_[shard_of(key)]->update(key, value);
+  return write_routed(key, [&](HashTable& t, HashTable* mirror) {
+    const bool ok = t.update(key, value);
+    if (ok && mirror) mirror_put(mirror, key, value);
+    return ok;
+  });
 }
 
 bool ShardedTable::erase(const Key& key) {
-  return shards_[shard_of(key)]->erase(key);
+  return write_routed(key, [&](HashTable& t, HashTable* mirror) {
+    const bool ok = t.erase(key);
+    if (ok && mirror) mirror_erase(mirror, key);
+    return ok;
+  });
+}
+
+bool ShardedTable::search(const Key& key, Value* out) {
+  const uint64_t h1 = key_hash1(key);
+  // Seqlock-style: serve from the snapshot's owner, then re-check the
+  // snapshot. If an epoch change raced the lookup (a split published and
+  // its cleanup may already have erased the source's moved copies), retry —
+  // lookups are idempotent. Splits are rare and serialized, so this loops
+  // at most a handful of times over the facade's lifetime.
+  for (;;) {
+    const Routing* r = routing_.load();
+    const bool hit = shards_[route_shard(*r, h1)]->search(key, out);
+    if (routing_.load() == r) return hit;
+  }
 }
 
 Status ShardedTable::insert_s(const Key& key, const Value& value) {
-  return guard([&] { return shards_[shard_of(key)]->insert_s(key, value); });
-}
-
-Status ShardedTable::search_s(const Key& key, Value* out) {
-  return guard([&] { return shards_[shard_of(key)]->search_s(key, out); });
+  return guard([&] {
+    return write_routed(key, [&](HashTable& t, HashTable* mirror) {
+      const Status s = t.insert_s(key, value);
+      if (s.ok() && mirror) mirror_put(mirror, key, value);
+      return s;
+    });
+  });
 }
 
 Status ShardedTable::update_s(const Key& key, const Value& value) {
-  return guard([&] { return shards_[shard_of(key)]->update_s(key, value); });
+  return guard([&] {
+    return write_routed(key, [&](HashTable& t, HashTable* mirror) {
+      const Status s = t.update_s(key, value);
+      if (s.ok() && mirror) mirror_put(mirror, key, value);
+      return s;
+    });
+  });
 }
 
 Status ShardedTable::erase_s(const Key& key) {
-  return guard([&] { return shards_[shard_of(key)]->erase_s(key); });
+  return guard([&] {
+    return write_routed(key, [&](HashTable& t, HashTable* mirror) {
+      const Status s = t.erase_s(key);
+      if (s.ok() && mirror) mirror_erase(mirror, key);
+      return s;
+    });
+  });
+}
+
+Status ShardedTable::search_s(const Key& key, Value* out) {
+  return guard([&] {
+    const uint64_t h1 = key_hash1(key);
+    for (;;) {
+      const Routing* r = routing_.load();
+      const Status s = shards_[route_shard(*r, h1)]->search_s(key, out);
+      if (routing_.load() == r) return s;
+    }
+  });
 }
 
 size_t ShardedTable::multiget(const Key* keys, size_t n, Value* values,
                               bool* found) {
   if (n == 0) return 0;
-  const uint32_t ns = shards();
-  if (ns == 1) return shards_[0]->multiget(keys, n, values, found);
-
-  // Hash each key once, collapse duplicate keys to their first position
-  // (a key repeated K times crosses the shard boundary once), then group
-  // the representatives by shard so each inner table sees one phased batch
-  // and scatter the answers back.
-  std::vector<uint64_t> h1(n);
-  for (size_t i = 0; i < n; ++i) h1[i] = key_hash1(keys[i]);
-  std::vector<uint32_t> rep(n);
-  dedup_batch_positions(keys, n, h1.data(), rep.data());
-
-  std::vector<std::vector<uint32_t>> groups(ns);
-  for (size_t i = 0; i < n; ++i) {
-    if (rep[i] != i) continue;
-    groups[shard_of_hash(h1[i], ns)].push_back(static_cast<uint32_t>(i));
-  }
-
-  std::vector<Key> skeys;
-  std::vector<Value> svalues;
-  std::vector<uint8_t> sfound;
-  for (uint32_t s = 0; s < ns; ++s) {
-    const auto& idx = groups[s];
-    if (idx.empty()) continue;
-    skeys.clear();
-    skeys.reserve(idx.size());
-    for (uint32_t i : idx) skeys.push_back(keys[i]);
-    svalues.resize(idx.size());
-    sfound.assign(idx.size(), 0);
-    shards_[s]->multiget(skeys.data(), idx.size(), svalues.data(),
-                         reinterpret_cast<bool*>(sfound.data()));
-    for (size_t j = 0; j < idx.size(); ++j) {
-      found[idx[j]] = sfound[j] != 0;
-      if (sfound[j]) values[idx[j]] = svalues[j];
+  for (;;) {
+    const Routing* r = routing_.load();
+    const uint32_t ns = r->shard_count;
+    if (ns == 1 && !r->split_active) {
+      const size_t hits = shards_[r->entry[0]]->multiget(keys, n, values, found);
+      if (routing_.load() == r) return hits;
+      continue;
     }
-  }
 
-  // Fan duplicates out from their representatives; every position (dupes
-  // included) counts its own hit, matching the serial-get semantics.
-  size_t hits = 0;
-  for (size_t i = 0; i < n; ++i) {
-    if (rep[i] != i) {
-      found[i] = found[rep[i]];
-      if (found[i]) values[i] = values[rep[i]];
+    // Hash each key once, collapse duplicate keys to their first position
+    // (a key repeated K times crosses the shard boundary once), then group
+    // the representatives by shard so each inner table sees one phased
+    // batch and scatter the answers back.
+    std::vector<uint64_t> h1(n);
+    for (size_t i = 0; i < n; ++i) h1[i] = key_hash1(keys[i]);
+    std::vector<uint32_t> rep(n);
+    dedup_batch_positions(keys, n, h1.data(), rep.data());
+
+    std::vector<std::vector<uint32_t>> groups(ns);
+    for (size_t i = 0; i < n; ++i) {
+      if (rep[i] != i) continue;
+      groups[route_shard(*r, h1[i])].push_back(static_cast<uint32_t>(i));
     }
-    if (found[i]) ++hits;
+
+    std::vector<Key> skeys;
+    std::vector<Value> svalues;
+    std::vector<uint8_t> sfound;
+    for (uint32_t s = 0; s < ns; ++s) {
+      const auto& idx = groups[s];
+      if (idx.empty()) continue;
+      skeys.clear();
+      skeys.reserve(idx.size());
+      for (uint32_t i : idx) skeys.push_back(keys[i]);
+      svalues.resize(idx.size());
+      sfound.assign(idx.size(), 0);
+      shards_[s]->multiget(skeys.data(), idx.size(), svalues.data(),
+                           reinterpret_cast<bool*>(sfound.data()));
+      for (size_t j = 0; j < idx.size(); ++j) {
+        found[idx[j]] = sfound[j] != 0;
+        if (sfound[j]) values[idx[j]] = svalues[j];
+      }
+    }
+
+    // Fan duplicates out from their representatives; every position (dupes
+    // included) counts its own hit, matching the serial-get semantics.
+    size_t hits = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (rep[i] != i) {
+        found[i] = found[rep[i]];
+        if (found[i]) values[i] = values[rep[i]];
+      }
+      if (found[i]) ++hits;
+    }
+    if (routing_.load() == r) return hits;  // epoch change raced us: redo
   }
-  return hits;
 }
 
 uint64_t ShardedTable::size() const {
+  // Live shards under one snapshot: an in-flight split target is excluded
+  // (its contents duplicate the source until the publish).
+  const Routing* r = routing();
   uint64_t total = 0;
-  for (const auto& s : shards_) total += s->size();
+  for (uint32_t s = 0; s < r->shard_count; ++s) total += shards_[s]->size();
   return total;
 }
 
 double ShardedTable::load_factor() const {
   // Aggregate items / aggregate slots, recovering each shard's slot count
   // from its own ratio (the interface does not expose slots directly).
+  const Routing* r = routing();
   double slots = 0, items = 0;
-  for (const auto& s : shards_) {
-    const double lf = s->load_factor();
-    const double sz = static_cast<double>(s->size());
+  for (uint32_t s = 0; s < r->shard_count; ++s) {
+    const double lf = shards_[s]->load_factor();
+    const double sz = static_cast<double>(shards_[s]->size());
     items += sz;
     if (lf > 0) slots += sz / lf;
   }
   return slots > 0 ? items / slots : 0.0;
 }
+
+// ---------------------------------------------------------------------------
+// The online split machine
+// ---------------------------------------------------------------------------
+
+Status ShardedTable::split_shard(uint32_t shard) {
+  std::lock_guard<std::mutex> admin(split_admin_mu_);
+  if (!shard_factory_) {
+    return Status::InvalidArgument(
+        "store built without a shard factory: splits unavailable");
+  }
+  if (shard >= shards()) return Status::InvalidArgument("no such shard");
+  if (!layout_->can_split(shard)) {
+    return Status::InvalidArgument(
+        "shard cannot split (local depth maxed, no spare region, or a split "
+        "already in flight)");
+  }
+  auto* source_h = dynamic_cast<Hdnh*>(shards_[shard].get());
+  if (!source_h) {
+    return Status::InvalidArgument("online split requires an hdnh shard");
+  }
+
+  HDNH_OBS_SPAN("split", "shard_split");
+  // One scope for the whole split: every durability event underneath —
+  // marker writes, target format, migration copies, the directory flip,
+  // cleanup erases — carries kFaultShardSplit for mask-filtered sweeps.
+  nvm::FaultScope fault_scope(nvm::kFaultShardSplit);
+  split_failed_.store(false, std::memory_order_relaxed);
+
+  const uint32_t source = shard;
+  const uint32_t split_depth = layout_->local_depth(source);
+  uint32_t target = 0;
+  std::unique_ptr<HashTable> fresh;
+  try {
+    target = layout_->begin_split(source);
+    fresh = shard_factory_(layout_->shard_alloc(target));
+  } catch (const TableFullError& e) {
+    if (layout_->split_in_progress()) layout_->abort_split();
+    return Status::TableFull(e.what());
+  } catch (const std::bad_alloc&) {
+    if (layout_->split_in_progress()) layout_->abort_split();
+    return Status::TableFull("split target region too small for the scheme");
+  }
+
+  // Make the split visible: install the target table, then the split-active
+  // snapshot, then drain writers that pre-date it (they run un-mirrored).
+  {
+    std::lock_guard<std::mutex> lock(split_mu_);
+    if (auto* h = dynamic_cast<Hdnh*>(fresh.get())) {
+      h->set_obs_heat(obs_heat_.get(), target);
+    }
+    shards_[target] = std::move(fresh);
+    auto r = std::make_unique<Routing>(*routing());
+    r->split_active = true;
+    r->split_source = source;
+    r->split_target = target;
+    r->split_depth = split_depth;
+    install_routing(std::move(r));
+  }
+  while (inflight_[source].load() != 0) std::this_thread::yield();
+
+  // Snapshot the moving half's keys, then copy in small batches with the
+  // current value re-read under the lock; writers interleave between
+  // batches (and their mirror writes keep already-copied keys current).
+  std::vector<Key> moving;
+  {
+    std::lock_guard<std::mutex> lock(split_mu_);
+    source_h->for_each([&](const KVPair& kv) {
+      if (in_split_upper_half(key_hash1(kv.key), split_depth)) {
+        moving.push_back(kv.key);
+      }
+    });
+  }
+  constexpr size_t kBatch = 128;
+  Status fail = Status::Ok();
+  for (size_t i = 0; i < moving.size() && fail.ok(); i += kBatch) {
+    std::lock_guard<std::mutex> lock(split_mu_);
+    const size_t end = std::min(moving.size(), i + kBatch);
+    for (size_t j = i; j < end; ++j) {
+      Value v;
+      if (!shards_[source]->search(moving[j], &v)) continue;  // erased since
+      const Status s = shards_[target]->put_s(moving[j], v);
+      if (!s.ok()) {
+        fail = s;
+        break;
+      }
+    }
+  }
+  if (fail.ok() && split_failed_.load(std::memory_order_relaxed)) {
+    fail = Status::TableFull("mirror write overflowed the split target");
+  }
+
+  if (!fail.ok()) {
+    // Abort: unpublish the split snapshot first (stops mirroring), then
+    // tear the target down and release the region.
+    std::lock_guard<std::mutex> lock(split_mu_);
+    install_routing(snapshot_from(*layout_));
+    shards_[target].reset();
+    layout_->abort_split();
+    return fail;
+  }
+
+  // Publish: flip the persisted directory (the crash-atomic commit point)
+  // and swap in the post-split snapshot under the lock, so no write is in
+  // flight across the flip and the target is current the instant it owns
+  // its half.
+  {
+    std::lock_guard<std::mutex> lock(split_mu_);
+    layout_->publish_split();
+    install_routing(snapshot_from(*layout_));
+    splits_.fetch_add(1, std::memory_order_relaxed);
+    if (obs_heat_) obs_heat_->set_live(layout_->shards());
+  }
+
+  // The migrated keys now route to the target; drop the source's stale
+  // copies. Runs unlocked — post-publish writes to the source are lower-
+  // half only, disjoint from the upper-half victims — and is idempotent:
+  // a crash anywhere in here is replayed by the next attach.
+  cleanup_published_split();
+  layout_->clear_split_state();
+  return Status::Ok();
+}
+
+void ShardedTable::cleanup_published_split() {
+  const uint32_t src = layout_->split_source();
+  Hdnh& source = hdnh_shard(src);
+  const uint32_t g = layout_->global_depth();
+  std::array<uint8_t, nvm::ShardMapSuper::kMaxShards> entry{};
+  for (uint32_t e = 0; e < layout_->dir_entries(); ++e) {
+    entry[e] = static_cast<uint8_t>(layout_->dir_shard(e));
+  }
+  nvm::FaultScope fault_scope(nvm::kFaultShardSplit);
+  std::vector<Key> victims;
+  source.for_each([&](const KVPair& kv) {
+    if (entry[shard_route_entry(key_hash1(kv.key), g)] != src) {
+      victims.push_back(kv.key);
+    }
+  });
+  for (const Key& k : victims) source.erase(k);
+}
+
+ShardAdmin::Directory ShardedTable::shard_directory() const {
+  Directory d;
+  const Routing* r = routing();
+  d.global_depth = r->global_depth;
+  d.shard_count = r->shard_count;
+  d.max_shards = max_shards();
+  d.epoch = r->seq;
+  d.split_active = r->split_active;
+  d.split_source = r->split_source;
+  d.split_target = r->split_target;
+  d.entries.assign(r->entry.begin(),
+                   r->entry.begin() + (size_t{1} << r->global_depth));
+  std::vector<obs::ShardHeat::Window> heat;
+  if (obs_heat_) {
+    // window() must run under the registry lock; visit_heats provides it.
+    obs::Windows::visit_heats([&](const obs::ShardHeat& h) {
+      if (&h == obs_heat_.get()) heat = h.window();
+    });
+  }
+  for (uint32_t s = 0; s < d.shard_count; ++s) {
+    ShardInfo info;
+    info.id = s;
+    info.local_depth = layout_->local_depth(s);
+    info.items = shards_[s]->size();
+    if (s < heat.size()) {
+      info.heat_ops = heat[s].ops;
+      info.heat_lat_sum_ns = heat[s].lat_sum_ns;
+      info.heat_lat_count = heat[s].lat_count;
+    }
+    d.shards.push_back(info);
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Background split controller
+// ---------------------------------------------------------------------------
+
+void ShardedTable::start_controller() {
+  controller_ = std::thread([this] { controller_loop(); });
+}
+
+void ShardedTable::stop_controller() {
+  {
+    std::lock_guard<std::mutex> lk(ctl_mu_);
+    ctl_stop_ = true;
+  }
+  ctl_cv_.notify_all();
+  if (controller_.joinable()) controller_.join();
+}
+
+void ShardedTable::controller_loop() {
+  std::unique_lock<std::mutex> lk(ctl_mu_);
+  while (!ctl_stop_) {
+    ctl_cv_.wait_for(
+        lk, std::chrono::milliseconds(split_opts_.controller_period_ms));
+    if (ctl_stop_) break;
+    lk.unlock();
+    maybe_auto_split();
+    lk.lock();
+  }
+}
+
+void ShardedTable::maybe_auto_split() {
+  if (!obs_heat_) return;
+  std::vector<obs::ShardHeat::Window> w;
+  obs::Windows::visit_heats([&](const obs::ShardHeat& h) {
+    if (&h == obs_heat_.get()) w = h.window();
+  });
+  if (w.empty()) return;
+  uint64_t total = 0;
+  for (const auto& x : w) total += x.ops;
+  if (total < split_opts_.min_window_ops) return;
+  uint32_t hot = 0;
+  for (uint32_t s = 1; s < w.size(); ++s) {
+    if (w[s].ops > w[hot].ops) hot = s;
+  }
+  if (static_cast<double>(w[hot].ops) <
+      split_opts_.split_load_threshold * static_cast<double>(total)) {
+    return;
+  }
+  if (!layout_->can_split(hot)) return;
+  // Best effort: a losing race or a full target just means no split this
+  // tick; the next window re-evaluates.
+  split_shard(hot);
+}
+
+// ---------------------------------------------------------------------------
+// HDNH-shard aggregates
+// ---------------------------------------------------------------------------
 
 Hdnh& ShardedTable::hdnh_shard(uint32_t s) const {
   auto* h = dynamic_cast<Hdnh*>(shards_[s].get());
@@ -182,7 +632,8 @@ Hdnh& ShardedTable::hdnh_shard(uint32_t s) const {
 
 void ShardedTable::for_each(
     const std::function<void(const KVPair&)>& fn) const {
-  for (uint32_t s = 0; s < shards(); ++s) hdnh_shard(s).for_each(fn);
+  const Routing* r = routing();
+  for (uint32_t s = 0; s < r->shard_count; ++s) hdnh_shard(s).for_each(fn);
 }
 
 Hdnh::IntegrityReport ShardedTable::check_integrity() {
@@ -221,7 +672,13 @@ uint64_t ShardedTable::resize_count() const {
 }
 
 void ShardedTable::abandon_after_crash() {
-  for (uint32_t s = 0; s < shards(); ++s) hdnh_shard(s).abandon_after_crash();
+  stop_controller();
+  // Every constructed inner — including an in-flight split target beyond
+  // the live count — must sever from the pool before destruction.
+  for (auto& sp : shards_) {
+    if (!sp) continue;
+    if (auto* h = dynamic_cast<Hdnh*>(sp.get())) h->abandon_after_crash();
+  }
 }
 
 }  // namespace hdnh::store

@@ -1,58 +1,115 @@
-// ShardedTable — the multi-shard store runtime facade.
+// ShardedTable — the elastic multi-shard store runtime facade.
 //
-// Hash-partitions the keyspace across N independent inner tables (any
+// Hash-partitions the keyspace across independent inner tables (any
 // scheme), each living in its own ShardedPmemLayout region with its own
 // allocator, root directory, and — for HDNH shards — its own resize lock
 // and resize state machine. The facade implements the uniform HashTable
 // interface, so everything that drives a single table (test battery, YCSB
-// runner, benches) drives a sharded store unchanged.
+// runner, benches) drives a sharded store unchanged, plus the ShardAdmin
+// interface for the directory/split admin surface (SHARDS / RESHARD,
+// hdnh_doctor --shards).
 //
-// What sharding buys (see docs/sharding.md for the math):
-//   * a structural resize stops only its own shard — the stop-the-world
-//     pause inherited from Level hashing shrinks to ~1/N of the keyspace;
-//   * the N resize locks are taken shared by N disjoint key populations,
-//     multiplying lock throughput under contention;
-//   * recovery and integrity checking are per-shard and independently
-//     resumable — a crash during shard 3's resize replays only shard 3.
+// Routing is an extendible directory (nvm::ShardedPmemLayout v2): a key's
+// remixed primary hash addresses 2^global_depth entries by its top bits,
+// each entry naming a shard. Ops read an immutable Routing snapshot via a
+// lock-free atomic pointer — no lock on the serving path — and a published
+// split simply swaps in the successor snapshot. Readers re-check the
+// pointer after serving (retrying the idempotent lookup if an epoch change
+// raced them); writers announce themselves per shard and re-check before
+// committing to the lock-free path, so the split machine can drain them.
+//
+// Online split lifecycle (split_shard, driven by the background controller
+// or a RESHARD command):
+//   1. begin_split carves/claims the target region and persists the split
+//      marker; a split-in-progress Routing snapshot is published.
+//   2. Migration copies the source's upper hash half into the target in
+//      batches under split_mu_; writes to the splitting shard take the
+//      same lock, apply to the source first (it stays authoritative) and
+//      mirror to the target, so reads never block and never miss.
+//   3. publish_split flips the persisted directory selector — the single
+//      crash-atomic commit point — and the post-split snapshot goes live.
+//   4. An idempotent cleanup erases the migrated keys from the source,
+//      then the split marker clears. Crash recovery replays exactly this
+//      tail: pre-flip the target region is reset, post-flip the cleanup
+//      re-runs (tests/store, crashkit scenario "shard_split").
 //
 // Shard routing uses a dedicated mix of the primary hash (never the raw
-// h1 % N): the inner tables consume h1/h2 bits for bucket placement, and
+// h1): the inner tables consume h1/h2 bits for bucket placement, and
 // routing on a bijective remix keeps the per-shard hash distributions
-// uniform instead of conditioning the low bits.
+// uniform instead of conditioning the top bits.
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "api/hash_table.h"
+#include "api/shard_admin.h"
 #include "hdnh/hdnh.h"
 #include "nvm/sharded_layout.h"
 
 namespace hdnh::store {
 
-// Stable routing function on a precomputed primary hash — batch paths hash
-// each key once and route on the result.
-inline uint32_t shard_of_hash(uint64_t h1, uint32_t shards) {
-  // Remix so the modulus consumes bits independent from the placement
-  // hashes (mix64 is bijective; conditioning on the shard leaves the inner
-  // tables' h1/h2 uniform).
-  return static_cast<uint32_t>(mix64(h1 ^ 0x9E3779B97F4A7C15ULL) % shards);
+// Remix for directory addressing: bijective, so conditioning on a shard
+// leaves the inner tables' h1/h2 bits uniform.
+inline uint64_t shard_route_mix(uint64_t h1) {
+  return mix64(h1 ^ 0x9E3779B97F4A7C15ULL);
 }
 
-// Stable routing function: which of `shards` partitions owns `key`.
-inline uint32_t shard_of_key(const Key& key, uint32_t shards) {
-  return shard_of_hash(key_hash1(key), shards);
+// Directory entry for a precomputed primary hash: the top `global_depth`
+// bits of the remix (0 at depth 0).
+inline uint32_t shard_route_entry(uint64_t h1, uint32_t global_depth) {
+  if (global_depth == 0) return 0;
+  return static_cast<uint32_t>(shard_route_mix(h1) >> (64 - global_depth));
 }
 
-class ShardedTable final : public HashTable {
+struct SplitOptions {
+  // Background controller: watch the obs shard heat and split the
+  // hottest shard when its windowed op share exceeds the threshold.
+  bool auto_split = false;
+  // Fraction (0, 1] of the windowed ops a single shard must carry.
+  double split_load_threshold = 0.5;
+  // Ignore windows with fewer total ops than this (noise floor).
+  uint64_t min_window_ops = 1000;
+  // Controller poll cadence in milliseconds.
+  uint32_t controller_period_ms = 200;
+};
+
+class ShardedTable final : public HashTable, public ShardAdmin {
  public:
+  // Builds a fresh inner table inside a (fresh) split-target region;
+  // supplied by the factory so the facade can split without knowing the
+  // scheme. Null disables splitting.
+  using ShardFactory =
+      std::function<std::unique_ptr<HashTable>(nvm::PmemAllocator&)>;
+
+  using SplitOptions = store::SplitOptions;
+
+  // An epoch-consistent routing decision: the owning shard and inner table
+  // under directory epoch `seq`. Valid until the snapshot it came from is
+  // superseded — callers must not persist the index across splits.
+  struct ShardRoute {
+    uint32_t shard = 0;
+    uint64_t seq = 0;
+    HashTable* table = nullptr;
+  };
+
   // Takes ownership of the carve and the inner tables (shards[i] lives in
   // layout->shard_alloc(i)). Built by the factory for "scheme@N" names.
+  // When the layout reports a published-but-uncleaned split (crash between
+  // the directory flip and the cleanup), the constructor finishes the
+  // idempotent cleanup before serving.
   ShardedTable(std::unique_ptr<nvm::ShardedPmemLayout> layout,
                std::vector<std::unique_ptr<HashTable>> shards,
-               std::string name);
+               std::string name, ShardFactory shard_factory = nullptr,
+               SplitOptions split = SplitOptions());
   ~ShardedTable() override;
 
   bool insert(const Key& key, const Value& value) override;
@@ -78,11 +135,36 @@ class ShardedTable final : public HashTable {
   double load_factor() const override;  // aggregate items / aggregate slots
   const char* name() const override { return name_.c_str(); }
 
-  uint32_t shards() const { return static_cast<uint32_t>(shards_.size()); }
-  uint32_t shard_of(const Key& key) const {
-    return shard_of_key(key, shards());
-  }
+  // ---- directory-aware routing surface ----------------------------------
+
+  uint32_t shards() const { return layout_->shards(); }
+  uint32_t max_shards() const { return layout_->regions(); }
+
+  // Epoch-consistent route: where `key` lives right now. The epoch (seq)
+  // identifies the directory version the answer is valid under.
+  ShardRoute route(const Key& key) const;
+
+  // Visit every live shard (id, table) under one routing snapshot. The
+  // set visited is consistent even if a split publishes concurrently.
+  void for_each_shard(
+      const std::function<void(uint32_t, HashTable&)>& fn) const;
+
+  // ---- ShardAdmin --------------------------------------------------------
+
+  Directory shard_directory() const override;
+  // Synchronous online split (see the lifecycle above). Safe to call from
+  // any thread; concurrent split requests serialize and the losers get
+  // kInvalidArgument.
+  Status split_shard(uint32_t shard) override;
+
+  // ---- deprecation shims (pre-directory API) -----------------------------
+  // DEPRECATED: the shard index of a key is only stable within one
+  // directory epoch — use route(), which says which epoch it answered for.
+  uint32_t shard_of(const Key& key) const { return route(key).shard; }
+  // DEPRECATED: fixed-index access assumes a constant shard count — use
+  // for_each_shard() or route(key).table.
   HashTable& shard(uint32_t s) { return *shards_[s]; }
+
   const nvm::ShardedPmemLayout& layout() const { return *layout_; }
 
   // ---- HDNH-shard aggregates (throw std::logic_error on non-HDNH inners,
@@ -101,12 +183,70 @@ class ShardedTable final : public HashTable {
   // Total structural resizes across shards.
   uint64_t resize_count() const;
 
+  // Splits published by this facade instance (gauge source).
+  uint64_t split_count() const {
+    return splits_.load(std::memory_order_relaxed);
+  }
+
   // After a simulated crash, severs every shard from the pool (see
   // Hdnh::abandon_after_crash) so destroying the facade writes no
-  // clean-shutdown markers into the crash image.
+  // clean-shutdown markers into the crash image. Also stops the split
+  // controller and severs a half-built split target.
   void abandon_after_crash();
 
  private:
+  // Immutable routing snapshot; ops atomic-load it, splits swap it.
+  struct Routing {
+    uint32_t global_depth = 0;
+    uint32_t shard_count = 1;
+    uint64_t seq = 0;
+    bool split_active = false;
+    uint32_t split_source = 0;
+    uint32_t split_target = 0;
+    uint32_t split_depth = 0;  // source's local depth when the split began
+    std::array<uint8_t, nvm::ShardMapSuper::kMaxShards> entry{};
+  };
+
+  const Routing* routing() const {
+    return routing_.load(std::memory_order_acquire);
+  }
+  // Append to the history (snapshots are retained for the facade's
+  // lifetime, so readers never need a refcount) and make it current.
+  const Routing* install_routing(std::unique_ptr<const Routing> r);
+  static std::unique_ptr<Routing> snapshot_from(
+      const nvm::ShardedPmemLayout& layout);
+  uint32_t route_shard(const Routing& r, uint64_t h1) const {
+    return r.entry[shard_route_entry(h1, r.global_depth)];
+  }
+  // True when a key of hash h1 moves to the target of the active split.
+  static bool in_split_upper_half(uint64_t h1, uint32_t split_depth) {
+    return (shard_route_mix(h1) >> (63 - split_depth)) & 1u;
+  }
+
+  // Runs `op(primary, mirror)` on the shard owning `key`. Fast path (shard
+  // not splitting): announce in inflight_, re-check the routing, run with
+  // mirror == nullptr. Slow path (shard is the split source): serialize on
+  // split_mu_ and pass the split target as mirror when the key belongs to
+  // the moving half.
+  template <typename Op>
+  auto write_routed(const Key& key, Op&& op)
+      -> std::invoke_result_t<Op&, HashTable&, HashTable*>;
+
+  // Mirror-side effects of an acknowledged source mutation; a mirror
+  // capacity failure flags the split for abort instead of surfacing.
+  void mirror_put(HashTable* mirror, const Key& key, const Value& value);
+  void mirror_erase(HashTable* mirror, const Key& key);
+
+  // Erase every source-resident key that no longer routes to the source —
+  // the post-publish tail of a split, idempotent, also replayed by attach.
+  void cleanup_published_split();
+
+  void start_controller();
+  void stop_controller();
+  void controller_loop();
+  void maybe_auto_split();
+  void register_obs();
+
   Hdnh& hdnh_shard(uint32_t s) const;
 
   // layout_ declared before shards_ so the inner tables are destroyed
@@ -114,10 +254,40 @@ class ShardedTable final : public HashTable {
   // HDNH inners hold a raw pointer into it (set_obs_heat).
   std::unique_ptr<nvm::ShardedPmemLayout> layout_;
   std::unique_ptr<obs::ShardHeat> obs_heat_;
+  // Indexed by region id; entries beyond shards() are null until a split
+  // activates them.
   std::vector<std::unique_ptr<HashTable>> shards_;
   std::string name_;
+  ShardFactory shard_factory_;
+  SplitOptions split_opts_;
+
+  // Lock-free routing: readers load the current snapshot pointer; installs
+  // append to routing_history_ (mutated only in the constructor and under
+  // split_admin_mu_) so superseded snapshots stay valid for the facade's
+  // lifetime — at most a handful per split, bounded by kMaxShards splits.
+  std::atomic<const Routing*> routing_{nullptr};
+  std::vector<std::unique_ptr<const Routing>> routing_history_;
+  // Writers announce here before the no-split fast path and re-check the
+  // routing; the splitter drains the source's count after publishing the
+  // split-active snapshot, so no un-mirrored write can race the migration.
+  std::array<std::atomic<uint32_t>, nvm::ShardMapSuper::kMaxShards>
+      inflight_{};
+  // Serializes split phases against writes to the splitting shard. Reads
+  // never take it: the source stays authoritative until the publish.
+  std::mutex split_mu_;
+  // Serializes whole split_shard() calls against each other.
+  std::mutex split_admin_mu_;
+  // A mirror write hit the target's capacity wall: the split must abort.
+  std::atomic<bool> split_failed_{false};
+  std::atomic<uint64_t> splits_{0};
+
+  std::thread controller_;
+  std::mutex ctl_mu_;
+  std::condition_variable ctl_cv_;
+  bool ctl_stop_ = false;
+
   // Metrics-registry gauges owned by the facade (shard count, aggregate
-  // load factor); empty when the HDNH_OBS gate is off.
+  // load factor, split progress); empty when the HDNH_OBS gate is off.
   std::vector<uint64_t> obs_gauges_;
   std::string obs_label_;
 };

@@ -694,4 +694,224 @@ std::string check_vkv_oracle(VkvScenarioEnv& env) {
   return "";
 }
 
+// ---------------------------------------------------------------------------
+// Sharded store (online shard split) scenarios
+// ---------------------------------------------------------------------------
+
+bool StoreScenarioEnv::ins(uint64_t id, uint64_t vid) {
+  pending = {PendingOp::kInsert, id, 0, vid};
+  const bool ok = table->insert(make_key(id), make_value(vid));
+  pending.kind = PendingOp::kNone;
+  if (ok) model[id] = vid;
+  return ok;
+}
+
+bool StoreScenarioEnv::upd(uint64_t id, uint64_t vid) {
+  const auto it = model.find(id);
+  pending = {PendingOp::kUpdate, id, it == model.end() ? 0 : it->second, vid};
+  const bool ok = table->update(make_key(id), make_value(vid));
+  pending.kind = PendingOp::kNone;
+  if (ok) model[id] = vid;
+  return ok;
+}
+
+bool StoreScenarioEnv::del(uint64_t id) {
+  const auto it = model.find(id);
+  pending = {PendingOp::kErase, id, it == model.end() ? 0 : it->second, 0};
+  const bool ok = table->erase(make_key(id));
+  pending.kind = PendingOp::kNone;
+  if (ok) model.erase(id);
+  return ok;
+}
+
+void StoreScenarioEnv::build() {
+  alloc = std::make_unique<nvm::PmemAllocator>(*pool);
+  auto layout = std::make_unique<nvm::ShardedPmemLayout>(
+      *alloc, initial_shards, 0, nvm::ShardedPmemLayout::kShardMapRoot,
+      max_shards);
+  const uint32_t n = layout->shards();
+  std::vector<std::unique_ptr<HashTable>> inners;
+  inners.reserve(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    inners.push_back(std::make_unique<Hdnh>(layout->shard_alloc(s), cfg));
+  }
+  store::ShardedTable::ShardFactory factory =
+      [cfg = cfg](nvm::PmemAllocator& a) -> std::unique_ptr<HashTable> {
+    return std::make_unique<Hdnh>(a, cfg);
+  };
+  table = std::make_unique<store::ShardedTable>(
+      std::move(layout), std::move(inners), "HDNH@" + std::to_string(n),
+      std::move(factory));
+}
+
+void StoreScenarioEnv::crash_reattach() {
+  if (table) {
+    table->abandon_after_crash();
+    table.reset();
+  }
+  build();  // rebuilds the allocator too; attach replays the split tail
+}
+
+namespace {
+
+void store_setup_split(StoreScenarioEnv& env, uint64_t seed) {
+  const uint64_t b = base_id(seed);
+  for (uint64_t i = 1; i <= 700; ++i) {
+    if (!env.ins(b + i, i)) throw std::runtime_error("preload insert failed");
+  }
+  // A few erases so the migrated half contains holes the cleanup must not
+  // resurrect.
+  for (uint64_t i = 0; i < 40; ++i) env.del(b + 1 + (i * 37) % 700);
+}
+
+// The swept stage: one full online split of shard 0 — begin marker, target
+// region format, every migration persist, the directory flip, the cleanup
+// erases. All its durability events carry kFaultShardSplit, so the mask
+// puts every crash point inside the split machine.
+void store_ops_split(StoreScenarioEnv& env, uint64_t seed) {
+  (void)seed;
+  const Status s = env.table->split_shard(0);
+  if (!s.ok()) throw std::runtime_error("split refused: " + s.to_string());
+}
+
+const std::vector<StoreScenario>& store_scenario_table() {
+  static const std::vector<StoreScenario> kScenarios = {
+      {"shard_split",
+       "online shard split: marker, migration, directory flip, cleanup",
+       nvm::kFaultShardSplit, 24ull << 20, store_setup_split,
+       store_ops_split},
+  };
+  return kScenarios;
+}
+
+}  // namespace
+
+const std::vector<StoreScenario>& store_scenarios() {
+  return store_scenario_table();
+}
+
+const StoreScenario* find_store_scenario(const std::string& name) {
+  for (const StoreScenario& s : store_scenarios()) {
+    if (name == s.name) return &s;
+  }
+  return nullptr;
+}
+
+StoreScenarioEnv make_store_env(const StoreScenario& s, uint64_t seed) {
+  StoreScenarioEnv env;
+  env.cfg = cfg_cap(2048);
+  env.pool = std::make_unique<nvm::PmemPool>(s.pool_bytes);
+  env.pool->enable_crash_sim();
+  env.build();
+  if (s.setup) s.setup(env, seed);
+  return env;
+}
+
+uint64_t probe_store_events(const StoreScenario& s, uint64_t seed) {
+  StoreScenarioEnv env = make_store_env(s, seed);
+  nvm::FaultPlan plan;  // crash_at = kNever: count only
+  plan.mask = s.mask;
+  plan.seed = seed;
+  env.pool->set_fault_plan(&plan);
+  s.ops(env, seed);
+  env.pool->set_fault_plan(nullptr);
+  return plan.events();
+}
+
+PointResult run_store_crash_point(const StoreScenario& s, uint64_t seed,
+                                  uint64_t crash_at, uint64_t evict_lines) {
+  StoreScenarioEnv env = make_store_env(s, seed);
+  PointResult r;
+
+  nvm::FaultPlan plan;
+  plan.crash_at = crash_at;
+  plan.mask = s.mask;
+  plan.seed = seed ^ (crash_at * 0x9E3779B97F4A7C15ull);
+  if (evict_lines != 0) {
+    plan.evict_every = 7;
+    plan.evict_lines = evict_lines;
+    plan.evict_lines_at_crash = evict_lines;
+  }
+
+  env.pool->set_fault_plan(&plan);
+  try {
+    s.ops(env, seed);
+  } catch (const nvm::InjectedCrash&) {
+    r.crashed = true;
+  }
+  env.pool->set_fault_plan(nullptr);
+  r.events = plan.events();
+
+  if (r.crashed) env.crash_reattach();
+  r.failure = check_store_oracle(env);
+  return r;
+}
+
+std::string check_store_oracle(StoreScenarioEnv& env) {
+  store::ShardedTable& t = *env.table;
+
+  // Recovery must land on pre-split or fully-published: never a dangling
+  // split marker, never a shard count outside {initial, initial + 1}.
+  if (t.layout().split_in_progress()) {
+    return "split marker still set after recovery";
+  }
+  const uint32_t n = t.shards();
+  if (n != env.initial_shards && n != env.initial_shards + 1) {
+    return "recovered shard count " + std::to_string(n) +
+           " outside {pre-split, published}";
+  }
+
+  const auto rep = t.check_integrity();
+  if (!rep.ok()) {
+    return "deep integrity failed: ocf=" +
+           std::to_string(rep.ocf_valid_mismatches) +
+           " fp=" + std::to_string(rep.fingerprint_mismatches) +
+           " busy=" + std::to_string(rep.stuck_busy_entries) +
+           " dup=" + std::to_string(rep.duplicate_keys) +
+           " hot=" + std::to_string(rep.hot_table_stale) +
+           " log=" + std::to_string(rep.armed_log_entries);
+  }
+
+  // The split scenario has no user op in flight at the crash (the swept
+  // stage is the split machine itself), so the model is exact.
+  if (env.pending.kind != PendingOp::kNone) {
+    return "unexpected in-flight user op during split sweep";
+  }
+  if (t.size() != env.model.size()) {
+    return "size mismatch: table=" + std::to_string(t.size()) +
+           " model=" + std::to_string(env.model.size());
+  }
+  for (const auto& [id, vid] : env.model) {
+    Value v{};
+    if (!t.search(make_key(id), &v)) {
+      return "acknowledged key missing: id " + std::to_string(id);
+    }
+    if (!(v == make_value(vid))) {
+      return "acknowledged value wrong: id " + std::to_string(id);
+    }
+  }
+
+  // Ghost/duplicate scan across every region, and routing consistency:
+  // each live record must sit in the shard the directory routes it to.
+  std::string err;
+  uint64_t live = 0;
+  t.for_each([&](const KVPair& kv) {
+    ++live;
+    if (!err.empty()) return;
+    const uint64_t id = key_id(kv.key);
+    const auto it = env.model.find(id);
+    if (it == env.model.end()) {
+      err = "ghost record: id " + std::to_string(id);
+    } else if (!(kv.value == make_value(it->second))) {
+      err = "ghost value: id " + std::to_string(id);
+    }
+  });
+  if (!err.empty()) return err;
+  if (live != env.model.size()) {
+    return "live-record count mismatch: scanned " + std::to_string(live) +
+           " model " + std::to_string(env.model.size());
+  }
+  return "";
+}
+
 }  // namespace hdnh::crashtest

@@ -31,6 +31,7 @@
 #include "nvm/alloc.h"
 #include "nvm/fault.h"
 #include "nvm/pmem.h"
+#include "store/sharded_table.h"
 #include "vkv/vkv_store.h"
 
 namespace hdnh::crashtest {
@@ -174,5 +175,58 @@ uint64_t probe_vkv_events(const VkvScenario& s, uint64_t seed);
 PointResult run_vkv_crash_point(const VkvScenario& s, uint64_t seed,
                                 uint64_t crash_at, uint64_t evict_lines);
 std::string check_vkv_oracle(VkvScenarioEnv& env);
+
+// ---------------------------------------------------------------------------
+// Sharded store (online shard split) crash scenarios.
+//
+// Same sweep protocol over the ShardedTable facade: the swept events are
+// the split machine's kFaultShardSplit-tagged durability points — the
+// begin_split marker, the target region reset and format, every migration
+// persist, the directory publish flip, and the post-publish cleanup
+// erases. The oracle is the split's durability contract: recovery lands
+// on the pre-split directory (target reset for reuse) or the fully
+// published one (cleanup finished, idempotently re-run by attach), every
+// acknowledged key readable with its value through the facade at either
+// epoch, no ghost or duplicate record in any region.
+// ---------------------------------------------------------------------------
+
+struct StoreScenarioEnv {
+  std::unique_ptr<nvm::PmemPool> pool;
+  std::unique_ptr<nvm::PmemAllocator> alloc;
+  std::unique_ptr<store::ShardedTable> table;
+  std::map<uint64_t, uint64_t> model;  // id -> value id, acknowledged only
+  PendingOp pending;
+  HdnhConfig cfg;
+  uint32_t initial_shards = 2;
+  uint32_t max_shards = 4;
+
+  // Model-tracked operations (see ScenarioEnv::ins/upd/del).
+  bool ins(uint64_t id, uint64_t vid);
+  bool upd(uint64_t id, uint64_t vid);
+  bool del(uint64_t id);
+
+  // (Re)build layout + inner tables + facade over the current pool image.
+  // On a post-crash image the facade constructor replays the split tail.
+  void build();
+  void crash_reattach();
+};
+
+struct StoreScenario {
+  const char* name;
+  const char* what;
+  uint32_t mask;  // kFaultShardSplit for the split family
+  uint64_t pool_bytes;
+  void (*setup)(StoreScenarioEnv&, uint64_t seed);  // plan disarmed
+  void (*ops)(StoreScenarioEnv&, uint64_t seed);    // swept stage
+};
+
+const std::vector<StoreScenario>& store_scenarios();
+const StoreScenario* find_store_scenario(const std::string& name);
+
+StoreScenarioEnv make_store_env(const StoreScenario& s, uint64_t seed);
+uint64_t probe_store_events(const StoreScenario& s, uint64_t seed);
+PointResult run_store_crash_point(const StoreScenario& s, uint64_t seed,
+                                  uint64_t crash_at, uint64_t evict_lines);
+std::string check_store_oracle(StoreScenarioEnv& env);
 
 }  // namespace hdnh::crashtest

@@ -104,7 +104,7 @@ TEST(Factory, SuffixOverridesOptionsShards) {
   nvm::PmemAllocator alloc(pool);
   TableOptions opts;
   opts.capacity = 4096;
-  opts.shards = 8;
+  opts.sharding.initial_shards = 8;
   auto t = create_table("hdnh@2", alloc, opts);
   EXPECT_STREQ(t->name(), "HDNH@2");
 }

@@ -32,10 +32,14 @@ namespace {
 // Pool + sharded table + running server on an ephemeral port.
 struct ServerPack {
   explicit ServerPack(const std::string& scheme = "hdnh@4",
-                      uint64_t capacity = 1 << 16, uint32_t threads = 2)
-      : pool(pool_bytes_hint(scheme, capacity * 2)), alloc(pool) {
+                      uint64_t capacity = 1 << 16, uint32_t threads = 2,
+                      uint32_t max_shards = 0)
+      : pool(pool_bytes_hint(scheme, capacity * 2,
+                             ShardingOptions{1, max_shards})),
+        alloc(pool) {
     TableOptions topts;
     topts.capacity = capacity;
+    topts.sharding.max_shards = max_shards;
     table = create_table(scheme, alloc, topts);
     ServerOptions sopts;
     sopts.port = 0;  // ephemeral
@@ -356,6 +360,66 @@ TEST(ServerE2E, TableFullStatusLocallyAndOverTheWire) {
   const Server::Counters sc = server.counters();
   EXPECT_EQ(sc.table_full_errors, 2u);
   server.stop();
+}
+
+TEST(ServerE2E, ShardsAndReshardConserveKeysAcrossSplit) {
+  ServerPack pack("hdnh@2", 1 << 14, 2, /*max_shards=*/4);
+  Client c = pack.client();
+  constexpr int kN = 2000;
+  for (int i = 0; i < kN; ++i) {
+    c.set("key-" + std::to_string(i), std::to_string(i));
+  }
+  EXPECT_EQ(c.dbsize(), kN);
+
+  // SHARDS: [meta, entries, per-shard rows].
+  RespValue dir = c.command({"SHARDS"});
+  ASSERT_EQ(dir.type, RespValue::Type::kArray);
+  ASSERT_EQ(dir.elems.size(), 3u);
+  ASSERT_EQ(dir.elems[0].elems.size(), 5u);
+  EXPECT_EQ(dir.elems[0].elems[2].integer, 2);  // shard_count
+  EXPECT_EQ(dir.elems[0].elems[3].integer, 4);  // max_shards
+  EXPECT_EQ(dir.elems[0].elems[4].integer, 0);  // no split in flight
+  const int64_t epoch_before = dir.elems[0].elems[1].integer;
+  ASSERT_EQ(dir.elems[2].elems.size(), 2u);
+  int64_t items_before = 0;
+  for (const auto& row : dir.elems[2].elems) {
+    ASSERT_EQ(row.elems.size(), 4u);
+    items_before += row.elems[2].integer;
+  }
+  EXPECT_EQ(items_before, kN);
+
+  // Bad arguments are refusals, not crashes.
+  EXPECT_TRUE(c.command({"RESHARD"}).is_error());
+  EXPECT_TRUE(c.command({"RESHARD", "notanumber"}).is_error());
+  EXPECT_TRUE(c.command({"RESHARD", "9"}).is_error());
+
+  // A real online split over the wire.
+  RespValue ok = c.command({"RESHARD", "0"});
+  ASSERT_EQ(ok.type, RespValue::Type::kSimple) << ok.str;
+  EXPECT_EQ(ok.str, "OK");
+
+  dir = c.command({"SHARDS"});
+  ASSERT_EQ(dir.type, RespValue::Type::kArray);
+  EXPECT_EQ(dir.elems[0].elems[2].integer, 3);
+  EXPECT_GT(dir.elems[0].elems[1].integer, epoch_before);
+  // Key-count conservation: the per-shard items still sum to every SET.
+  int64_t items_after = 0;
+  for (const auto& row : dir.elems[2].elems) {
+    items_after += row.elems[2].integer;
+  }
+  EXPECT_EQ(items_after, kN);
+  EXPECT_EQ(c.dbsize(), kN);
+  std::string v;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(c.get("key-" + std::to_string(i), &v)) << i;
+    EXPECT_EQ(v, std::to_string(i)) << i;
+  }
+
+  // A single-table store refuses the shard verbs cleanly.
+  ServerPack flat("hdnh", 1 << 12, 1);
+  Client fc = flat.client();
+  EXPECT_TRUE(fc.command({"SHARDS"}).is_error());
+  EXPECT_TRUE(fc.command({"RESHARD", "0"}).is_error());
 }
 
 }  // namespace

@@ -1,0 +1,69 @@
+// Exhaustive crash-point sweep over the online shard split: every
+// kFaultShardSplit durability event — begin marker, target region format,
+// each migration persist, the directory flip, each cleanup erase — gets a
+// crash injected, the store reattaches, and the acked-op durability oracle
+// runs (src/testing/crash_scenarios.h, scenario "shard_split"). A failure
+// prints its (scenario, event_index, seed) triple, reproducible standalone:
+//   hdnh_crashpoint --scenario=shard_split --seed=<seed> --only=<k>
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testing/crash_scenarios.h"
+
+namespace hdnh::crashtest {
+namespace {
+
+TEST(ShardSplitCrashpoint, ExhaustiveSweepPassesOracle) {
+  const StoreScenario* s = find_store_scenario("shard_split");
+  ASSERT_NE(s, nullptr);
+  const uint64_t n = probe_store_events(*s, 1);
+  ASSERT_GT(n, 0u) << "split emitted no durability events";
+  for (uint64_t k = 0; k < n; ++k) {
+    const PointResult r = run_store_crash_point(*s, 1, k, 0);
+    EXPECT_TRUE(r.crashed) << "plan never fired at k=" << k << " (of " << n
+                           << " probed events)";
+    ASSERT_EQ(r.failure, "")
+        << "scenario=shard_split event_index=" << k << " seed=1";
+  }
+}
+
+// Adversarial random-line evictions (legal spontaneous writebacks) every
+// 7th event and at the crash itself must never surface un-fenced split
+// state — in particular not between the successor record's persist and the
+// dir_active flip.
+TEST(ShardSplitCrashpoint, EvictionBurstStridedSweepPasses) {
+  const StoreScenario* s = find_store_scenario("shard_split");
+  ASSERT_NE(s, nullptr);
+  const uint64_t n = probe_store_events(*s, 3);
+  ASSERT_GT(n, 0u);
+  const uint64_t stride = std::max<uint64_t>(1, n / 32);
+  for (uint64_t k = 0; k < n; k += stride) {
+    const PointResult r = run_store_crash_point(*s, 3, k, /*evict_lines=*/8);
+    EXPECT_TRUE(r.crashed) << k;
+    ASSERT_EQ(r.failure, "")
+        << "scenario=shard_split event_index=" << k << " seed=3 evict=8";
+  }
+}
+
+// A crash point at/past the event count never fires: the split runs to
+// completion and the oracle holds on the live (post-split) store.
+TEST(ShardSplitCrashpoint, PastEndPointDoesNotCrash) {
+  const StoreScenario* s = find_store_scenario("shard_split");
+  ASSERT_NE(s, nullptr);
+  const uint64_t n = probe_store_events(*s, 1);
+  const PointResult r = run_store_crash_point(*s, 1, n, 0);
+  EXPECT_FALSE(r.crashed);
+  EXPECT_EQ(r.failure, "");
+}
+
+// Determinism anchor: the event stream is a pure function of (scenario,
+// seed) — two probes agree, so (seed, event_index) triples reproduce.
+TEST(ShardSplitCrashpoint, ProbeIsDeterministic) {
+  const StoreScenario* s = find_store_scenario("shard_split");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(probe_store_events(*s, 7), probe_store_events(*s, 7));
+}
+
+}  // namespace
+}  // namespace hdnh::crashtest

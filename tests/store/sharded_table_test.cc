@@ -1,13 +1,18 @@
-// ShardedTable facade: routing, grouped multiget, per-shard resize
-// independence, and crash injection through the facade — one shard's
-// interrupted resize must recover without disturbing its neighbours.
+// ShardedTable facade: directory routing, grouped multiget, per-shard
+// resize independence, online shard splits (correctness under concurrent
+// traffic and key conservation), and crash injection through the facade —
+// one shard's interrupted resize must recover without disturbing its
+// neighbours.
 #include "store/sharded_table.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/factory.h"
@@ -21,11 +26,12 @@ namespace {
 // a simulated crash (mirrors testutil::HdnhPack for the facade).
 struct ShardedPack {
   ShardedPack(uint64_t pool_bytes, uint32_t shards, uint64_t capacity,
-              bool crash_sim = false)
+              bool crash_sim = false, uint32_t max_shards = 0)
       : pool(pool_bytes), scheme("hdnh@" + std::to_string(shards)) {
     if (crash_sim) pool.enable_crash_sim();
     opts.capacity = capacity;
     opts.hdnh.segment_bytes = 4 * 1024;
+    opts.sharding.max_shards = max_shards;
     attach();
   }
 
@@ -45,9 +51,16 @@ struct ShardedPack {
   store::ShardedTable* sharded() {
     return static_cast<store::ShardedTable*>(table.get());
   }
-  Hdnh* shard_hdnh(uint32_t s) {
-    return dynamic_cast<Hdnh*>(&sharded()->shard(s));
+  // Epoch-consistent fixed-index access for inspection, through the visitor
+  // (the deprecated shard(i) accessor stays untested on purpose).
+  HashTable* shard_table(uint32_t s) {
+    HashTable* out = nullptr;
+    sharded()->for_each_shard([&](uint32_t id, HashTable& t) {
+      if (id == s) out = &t;
+    });
+    return out;
   }
+  Hdnh* shard_hdnh(uint32_t s) { return dynamic_cast<Hdnh*>(shard_table(s)); }
 
   nvm::PmemPool pool;
   std::string scheme;
@@ -56,24 +69,26 @@ struct ShardedPack {
   std::unique_ptr<HashTable> table;
 };
 
-// First `n` ids routed to shard `target` of `shards`, starting at `from`.
-std::vector<uint64_t> ids_for_shard(uint32_t target, uint32_t shards,
+// First `n` ids the facade's directory routes to shard `target`, from `from`.
+std::vector<uint64_t> ids_for_shard(store::ShardedTable* t, uint32_t target,
                                     size_t n, uint64_t from = 0) {
   std::vector<uint64_t> ids;
   for (uint64_t id = from; ids.size() < n; ++id) {
-    if (store::shard_of_key(make_key(id), shards) == target) ids.push_back(id);
+    if (t->route(make_key(id)).shard == target) ids.push_back(id);
   }
   return ids;
 }
 
 TEST(ShardedTable, RoutingUsesEveryShardRoughlyEvenly) {
   constexpr uint32_t kShards = 8;
+  ShardedPack p(256ull << 20, kShards, 4096);
   std::vector<uint64_t> counts(kShards, 0);
   constexpr uint64_t kN = 40000;
   for (uint64_t id = 0; id < kN; ++id) {
-    const uint32_t s = store::shard_of_key(make_key(id), kShards);
-    ASSERT_LT(s, kShards);
-    counts[s]++;
+    const auto r = p.sharded()->route(make_key(id));
+    ASSERT_LT(r.shard, kShards);
+    ASSERT_NE(r.table, nullptr);
+    counts[r.shard]++;
   }
   for (uint32_t s = 0; s < kShards; ++s) {
     EXPECT_GT(counts[s], kN / kShards / 2) << s;
@@ -90,23 +105,23 @@ TEST(ShardedTable, OpsForwardToOwningShardOnly) {
   }
   EXPECT_EQ(p.table->size(), kN);
 
-  // Each record lives in exactly the shard the router names.
+  // Each record lives in exactly the shard the directory names.
   uint64_t sum = 0;
-  for (uint32_t s = 0; s < 4; ++s) {
-    const uint64_t n = p.sharded()->shard(s).size();
-    EXPECT_GT(n, 0u) << s;
-    sum += n;
-  }
+  p.sharded()->for_each_shard([&](uint32_t s, HashTable& t) {
+    EXPECT_GT(t.size(), 0u) << s;
+    sum += t.size();
+  });
   EXPECT_EQ(sum, kN);
   Value v;
   for (uint64_t i = 0; i < kN; ++i) {
-    const uint32_t owner = p.sharded()->shard_of(make_key(i));
-    ASSERT_TRUE(p.sharded()->shard(owner).search(make_key(i), &v)) << i;
-    for (uint32_t s = 0; s < 4; ++s) {
-      if (s != owner) {
-        ASSERT_FALSE(p.sharded()->shard(s).search(make_key(i), &v)) << i;
+    const auto r = p.sharded()->route(make_key(i));
+    ASSERT_TRUE(r.table->search(make_key(i), &v)) << i;
+    p.sharded()->for_each_shard([&](uint32_t s, HashTable& t) {
+      Value tmp;
+      if (s != r.shard) {
+        ASSERT_FALSE(t.search(make_key(i), &tmp)) << i;
       }
-    }
+    });
   }
 
   // update/erase route the same way.
@@ -188,7 +203,7 @@ TEST(ShardedTable, MultigetEdgeCases) {
 TEST(ShardedTable, ResizeDomainsAreIndependent) {
   ShardedPack p(256ull << 20, 4, 2048);
   // Hammer only shard 0's keyspace far past its share of the capacity.
-  const auto ids = ids_for_shard(0, 4, 6000);
+  const auto ids = ids_for_shard(p.sharded(), 0, 6000);
   for (uint64_t id : ids) {
     ASSERT_TRUE(p.table->insert(make_key(id), make_value(id)));
   }
@@ -242,7 +257,7 @@ TEST(ShardedTable, AttachAdoptsPersistedShardCount) {
   p.table.reset();  // clean shutdown of all shards
   p.alloc.reset();
 
-  // Ask for 8 shards over a 4-shard pool: the persisted carve wins.
+  // Ask for 8 shards over a 4-shard pool: the persisted directory wins.
   p.scheme = "hdnh@8";
   p.attach();
   EXPECT_EQ(p.sharded()->shards(), 4u);
@@ -251,6 +266,185 @@ TEST(ShardedTable, AttachAdoptsPersistedShardCount) {
   Value v;
   for (uint64_t i = 0; i < 500; ++i)
     ASSERT_TRUE(p.table->search(make_key(i), &v)) << i;
+}
+
+// ---------------------------------------------------------------------------
+// Online shard splits
+// ---------------------------------------------------------------------------
+
+TEST(ShardedTable, ManualSplitConservesEveryKey) {
+  ShardedPack p(512ull << 20, 2, 4096, /*crash_sim=*/false,
+                /*max_shards=*/4);
+  ASSERT_EQ(p.sharded()->shards(), 2u);
+  ASSERT_EQ(p.sharded()->max_shards(), 4u);
+  constexpr uint64_t kN = 6000;
+  for (uint64_t i = 0; i < kN; ++i)
+    ASSERT_TRUE(p.table->insert(make_key(i), make_value(i)));
+
+  const auto before = p.sharded()->shard_directory();
+  EXPECT_EQ(before.shard_count, 2u);
+  EXPECT_FALSE(before.split_active);
+
+  ASSERT_TRUE(p.sharded()->split_shard(0).ok());
+
+  const auto after = p.sharded()->shard_directory();
+  EXPECT_EQ(after.shard_count, 3u);
+  EXPECT_EQ(after.epoch, before.epoch + 1);
+  EXPECT_EQ(p.sharded()->shards(), 3u);
+  EXPECT_EQ(p.sharded()->split_count(), 1u);
+
+  // Directory invariants: every entry names a live shard, each shard owns
+  // 2^(G - local_depth) contiguous entries, and the blocks tile the table.
+  std::vector<uint64_t> owned(after.shard_count, 0);
+  for (uint8_t e : after.entries) {
+    ASSERT_LT(e, after.shard_count);
+    owned[e]++;
+  }
+  uint64_t covered = 0;
+  for (uint32_t s = 0; s < after.shard_count; ++s) {
+    EXPECT_EQ(owned[s],
+              uint64_t{1} << (after.global_depth - after.shards[s].local_depth))
+        << s;
+    covered += owned[s];
+  }
+  EXPECT_EQ(covered, after.entries.size());
+
+  // Key conservation: every key present, with its value, in exactly the
+  // shard the new directory names; aggregate size unchanged.
+  EXPECT_EQ(p.table->size(), kN);
+  Value v;
+  for (uint64_t i = 0; i < kN; ++i) {
+    const auto r = p.sharded()->route(make_key(i));
+    ASSERT_TRUE(r.table->search(make_key(i), &v)) << i;
+    ASSERT_TRUE(v == make_value(i)) << i;
+  }
+  std::set<uint64_t> visited;
+  p.sharded()->for_each([&](const KVPair& kv) {
+    ASSERT_TRUE(visited.insert(key_id(kv.key)).second)
+        << "duplicate key after split: " << key_id(kv.key);
+  });
+  EXPECT_EQ(visited.size(), kN);
+  EXPECT_TRUE(p.sharded()->check_integrity().ok());
+
+  // Exhaust the headroom: two more splits fill all 4 regions, the next is
+  // rejected cleanly.
+  ASSERT_TRUE(p.sharded()->split_shard(1).ok());
+  EXPECT_EQ(p.sharded()->shards(), 4u);
+  const Status full = p.sharded()->split_shard(0);
+  EXPECT_EQ(full.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(p.table->size(), kN);
+}
+
+TEST(ShardedTable, SplitRejectsBadArguments) {
+  ShardedPack p(256ull << 20, 2, 4096, /*crash_sim=*/false,
+                /*max_shards=*/3);
+  EXPECT_EQ(p.sharded()->split_shard(7).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(p.sharded()->split_shard(0).ok());
+  // Headroom exhausted.
+  EXPECT_EQ(p.sharded()->split_shard(1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedTable, SplitStatePersistsAcrossReattach) {
+  ShardedPack p(512ull << 20, 2, 4096, /*crash_sim=*/false,
+                /*max_shards=*/4);
+  constexpr uint64_t kN = 4000;
+  for (uint64_t i = 0; i < kN; ++i)
+    ASSERT_TRUE(p.table->insert(make_key(i), make_value(i)));
+  ASSERT_TRUE(p.sharded()->split_shard(1).ok());
+  const auto dir = p.sharded()->shard_directory();
+
+  p.table.reset();  // clean shutdown
+  p.alloc.reset();
+  p.attach();
+
+  const auto re = p.sharded()->shard_directory();
+  EXPECT_EQ(re.shard_count, dir.shard_count);
+  EXPECT_EQ(re.global_depth, dir.global_depth);
+  EXPECT_EQ(re.epoch, dir.epoch);
+  EXPECT_EQ(re.entries, dir.entries);
+  EXPECT_EQ(p.table->size(), kN);
+  Value v;
+  for (uint64_t i = 0; i < kN; ++i)
+    ASSERT_TRUE(p.table->search(make_key(i), &v)) << i;
+  EXPECT_TRUE(p.sharded()->check_integrity().ok());
+}
+
+// tsan acceptance: a split migrates live data while readers and writers
+// keep hammering the store from other threads. Every acknowledged write
+// must survive, reads must never miss a stable key, and the facade must
+// pass a deep integrity check afterwards.
+TEST(ShardedTable, SplitWhileServingKeepsEveryAck) {
+  ShardedPack p(512ull << 20, 2, 8192, /*crash_sim=*/false,
+                /*max_shards=*/4);
+  constexpr uint64_t kStable = 4000;   // preloaded, never touched again
+  constexpr uint64_t kPerWriter = 3000;
+  for (uint64_t i = 0; i < kStable; ++i)
+    ASSERT_TRUE(p.table->insert(make_key(i), make_value(i)));
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> read_misses{0};
+  constexpr int kWriters = 2;
+  std::vector<std::vector<uint64_t>> acked(kWriters);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      const uint64_t base = (uint64_t{1} << 32) * (w + 1);
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        const uint64_t id = base + i;
+        if (p.table->insert_s(make_key(id), make_value(id)).ok()) {
+          acked[w].push_back(id);
+        }
+        if (i % 16 == 0 && !acked[w].empty()) {
+          const uint64_t upd = acked[w][i % acked[w].size()];
+          p.table->update_s(make_key(upd), make_value(upd + 1));
+          p.table->update_s(make_key(upd), make_value(upd));
+        }
+      }
+    });
+  }
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&] {
+      uint64_t i = 0;
+      Value v;
+      while (!stop.load(std::memory_order_acquire)) {
+        if (!p.table->search(make_key(i % kStable), &v)) {
+          read_misses.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++i;
+      }
+    });
+  }
+
+  // Two online splits while all that traffic is in flight.
+  ASSERT_TRUE(p.sharded()->split_shard(0).ok());
+  ASSERT_TRUE(p.sharded()->split_shard(1).ok());
+
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  stop.store(true, std::memory_order_release);
+  for (size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_EQ(p.sharded()->shards(), 4u);
+  EXPECT_EQ(read_misses.load(), 0u);
+  Value v;
+  for (uint64_t i = 0; i < kStable; ++i) {
+    ASSERT_TRUE(p.table->search(make_key(i), &v)) << "lost stable key " << i;
+    ASSERT_TRUE(v == make_value(i)) << i;
+  }
+  uint64_t acked_total = 0;
+  for (int w = 0; w < kWriters; ++w) {
+    acked_total += acked[w].size();
+    for (const uint64_t id : acked[w]) {
+      ASSERT_TRUE(p.table->search(make_key(id), &v)) << "lost acked " << id;
+      ASSERT_TRUE(v == make_value(id)) << id;
+    }
+  }
+  EXPECT_EQ(p.table->size(), kStable + acked_total);
+  std::set<uint64_t> visited;
+  p.sharded()->for_each([&](const KVPair& kv) {
+    ASSERT_TRUE(visited.insert(key_id(kv.key)).second)
+        << "duplicate after concurrent split";
+  });
+  EXPECT_TRUE(p.sharded()->check_integrity().ok());
 }
 
 struct CrashInjected : std::runtime_error {
@@ -271,7 +465,7 @@ TEST(ShardedTable, CrashDuringOneShardResizeRecoversThatShardOnly) {
     ASSERT_TRUE(p.table->insert(make_key(i), make_value(i)));
   uint64_t pre_crash_sizes[kShards];
   for (uint32_t s = 0; s < kShards; ++s)
-    pre_crash_sizes[s] = p.sharded()->shard(s).size();
+    pre_crash_sizes[s] = p.shard_table(s)->size();
 
   // Arm a crash inside the victim shard's rehash loop, then pour keys into
   // ONLY that shard until its resize trips.
@@ -281,7 +475,7 @@ TEST(ShardedTable, CrashDuringOneShardResizeRecoversThatShardOnly) {
       throw CrashInjected();
     }
   };
-  const auto victim_ids = ids_for_shard(kVictim, kShards, 8000, 1 << 20);
+  const auto victim_ids = ids_for_shard(p.sharded(), kVictim, 8000, 1 << 20);
   uint64_t crashed_at = UINT64_MAX;
   std::vector<uint64_t> completed;
   for (uint64_t id : victim_ids) {
@@ -302,7 +496,7 @@ TEST(ShardedTable, CrashDuringOneShardResizeRecoversThatShardOnly) {
   for (uint32_t s = 0; s < kShards; ++s) {
     if (s != kVictim) {
       EXPECT_FALSE(p.shard_hdnh(s)->last_recovery().resumed_resize) << s;
-      EXPECT_EQ(p.sharded()->shard(s).size(), pre_crash_sizes[s]) << s;
+      EXPECT_EQ(p.shard_table(s)->size(), pre_crash_sizes[s]) << s;
     }
   }
   EXPECT_TRUE(p.sharded()->last_recovery().resumed_resize);
@@ -329,7 +523,7 @@ TEST(ShardedTable, CrashDuringOneShardResizeRecoversThatShardOnly) {
 
   // And the victim shard keeps growing afterwards.
   ASSERT_TRUE(p.table->insert(make_key(crashed_at), make_value(crashed_at)));
-  for (uint64_t id : ids_for_shard(kVictim, kShards, 2000, 1 << 22)) {
+  for (uint64_t id : ids_for_shard(p.sharded(), kVictim, 2000, 1 << 22)) {
     ASSERT_TRUE(p.table->insert(make_key(id), make_value(id)));
   }
   EXPECT_TRUE(p.sharded()->check_integrity().ok());
@@ -340,17 +534,24 @@ TEST(ShardedTable, FactoryBuildsShardedVariants) {
   nvm::PmemAllocator alloc(pool);
   TableOptions opts;
   opts.capacity = 4096;
-  opts.shards = 3;  // options channel, no @ suffix
+  opts.sharding.initial_shards = 3;  // options channel, no @ suffix
   auto t = create_table("level", alloc, opts);
   EXPECT_STREQ(t->name(), "LEVEL@3");
   ASSERT_TRUE(t->insert(make_key(1), make_value(1)));
   Value v;
   ASSERT_TRUE(t->search(make_key(1), &v));
 
-  // HDNH-only aggregates refuse non-HDNH shards loudly.
+  // HDNH-only aggregates refuse non-HDNH shards loudly, and so does an
+  // online split (migration needs the HDNH record visitor).
   auto* st = static_cast<store::ShardedTable*>(t.get());
   EXPECT_THROW(st->check_integrity(), std::logic_error);
   EXPECT_THROW(st->resize_count(), std::logic_error);
+  opts.sharding.max_shards = 4;
+  nvm::PmemPool pool2(512ull << 20);
+  nvm::PmemAllocator alloc2(pool2);
+  auto lv = create_table("level", alloc2, opts);
+  auto* lst = static_cast<store::ShardedTable*>(lv.get());
+  EXPECT_EQ(lst->split_shard(0).code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -17,8 +17,6 @@
 namespace hdnh {
 namespace {
 
-constexpr uint32_t kShards = 4;
-
 TableOptions options() {
   TableOptions opts;
   opts.capacity = 4096;
@@ -66,7 +64,7 @@ TEST(StoreCrashpointTest, PerShardRangeInjectionRecovers) {
     ASSERT_TRUE(crashed);
     // The range filter admits only the target shard's persists, so the
     // in-flight op must have been routed there.
-    EXPECT_EQ(store::shard_of_key(make_key(pend_id), kShards), target);
+    EXPECT_EQ(st->route(make_key(pend_id)).shard, target);
 
     st->abandon_after_crash();
     table.reset();

@@ -27,6 +27,7 @@ namespace {
 
 using hdnh::crashtest::PointResult;
 using hdnh::crashtest::Scenario;
+using hdnh::crashtest::StoreScenario;
 using hdnh::crashtest::VkvScenario;
 
 // One sweepable scenario from either table (fixed-record HDNH or the
@@ -58,6 +59,16 @@ std::vector<SweepEntry> all_entries() {
                    [&s](uint64_t seed, uint64_t k, uint64_t ev) {
                      return hdnh::crashtest::run_vkv_crash_point(s, seed, k, ev);
                    }});
+  }
+  for (const StoreScenario& s : hdnh::crashtest::store_scenarios()) {
+    out.push_back(
+        {s.name, s.what,
+         [&s](uint64_t seed) {
+           return hdnh::crashtest::probe_store_events(s, seed);
+         },
+         [&s](uint64_t seed, uint64_t k, uint64_t ev) {
+           return hdnh::crashtest::run_store_crash_point(s, seed, k, ev);
+         }});
   }
   return out;
 }

@@ -284,6 +284,8 @@ int main(int argc, char** argv) {
   const int64_t pool_mb =
       cli.get_int("pool_mb", 256, "pool size in MiB (must match creator)");
   const bool deep = cli.get_bool("deep", false, "run full integrity check");
+  const bool show_shards = cli.get_bool(
+      "shards", false, "dump the extendible shard directory (sharded pools)");
   const bool stats =
       cli.get_bool("stats", false, "append the unified metrics scrape");
   const bool json = cli.get_bool(
@@ -423,6 +425,46 @@ int main(int argc, char** argv) {
     nvm::ShardedPmemLayout layout(alloc, 1);
     std::fprintf(g_out, "\nshard map: %u shards\n", layout.shards());
     if (jwp) jw.kv("shards", static_cast<uint64_t>(layout.shards()));
+    if (show_shards) {
+      // The extendible directory as persisted: who owns which top-hash-bit
+      // prefix, at what depth, and whether a split is mid-flight.
+      std::fprintf(g_out,
+                   "directory: global_depth=%u epoch=%llu entries=%u "
+                   "shards=%u/%u split_in_progress=%d\n",
+                   layout.global_depth(),
+                   static_cast<unsigned long long>(layout.dir_seq()),
+                   layout.dir_entries(), layout.shards(), layout.regions(),
+                   layout.split_in_progress() ? 1 : 0);
+      std::fprintf(g_out, "  entries:");
+      for (uint32_t e = 0; e < layout.dir_entries(); ++e) {
+        std::fprintf(g_out, " %u", layout.dir_shard(e));
+      }
+      std::fprintf(g_out, "\n  local depths:");
+      for (uint32_t s = 0; s < layout.shards(); ++s) {
+        std::fprintf(g_out, " %u:%u", s, layout.local_depth(s));
+      }
+      std::fprintf(g_out, "\n");
+      if (jwp) {
+        jw.key("directory").begin_object();
+        jw.kv("global_depth", static_cast<uint64_t>(layout.global_depth()));
+        jw.kv("epoch", layout.dir_seq());
+        jw.kv("shard_count", static_cast<uint64_t>(layout.shards()));
+        jw.kv("max_shards", static_cast<uint64_t>(layout.regions()));
+        jw.kv("split_in_progress",
+              static_cast<uint64_t>(layout.split_in_progress() ? 1 : 0));
+        jw.key("entries").begin_array();
+        for (uint32_t e = 0; e < layout.dir_entries(); ++e) {
+          jw.value(static_cast<uint64_t>(layout.dir_shard(e)));
+        }
+        jw.end_array();
+        jw.key("local_depth").begin_array();
+        for (uint32_t s = 0; s < layout.shards(); ++s) {
+          jw.value(static_cast<uint64_t>(layout.local_depth(s)));
+        }
+        jw.end_array();
+        jw.end_object();
+      }
+    }
     placement(&layout);
     if (jwp) jw.key("tables").begin_array();
     for (uint32_t s = 0; s < layout.shards(); ++s) {
@@ -438,6 +480,9 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(g_out, "\n");
     if (jwp) jw.kv("shards", static_cast<uint64_t>(1));
+    if (show_shards) {
+      std::fprintf(g_out, "single-table pool: no shard directory\n");
+    }
     placement(nullptr);
     if (jwp) jw.key("tables").begin_array();
     rc = inspect_table(pool, alloc, deep, "", jwp);

@@ -38,6 +38,12 @@ int main(int argc, char** argv) {
       cli.get_int("threads", 4, "reactor threads"));
   const uint64_t capacity = static_cast<uint64_t>(
       cli.get_int("capacity", 1 << 20, "items the store should accommodate"));
+  const uint32_t max_shards = static_cast<uint32_t>(cli.get_int(
+      "max_shards", 0,
+      "region-carve ceiling for online splits (RESHARD; 0 = no headroom)"));
+  const bool auto_split = cli.get_bool(
+      "auto_split", false,
+      "background controller splits the hottest shard (needs max_shards)");
   const std::string pool_path =
       cli.get_str("pool", "", "file-backed pool path (default: anonymous)");
   const uint64_t pool_mb = static_cast<uint64_t>(
@@ -73,15 +79,20 @@ int main(int argc, char** argv) {
   sigaddset(&sigs, SIGTERM);
   pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
 
+  ShardingOptions sharding;
+  sharding.max_shards = max_shards;
+  sharding.auto_split = auto_split;
   uint64_t pool_bytes =
       pool_mb ? pool_mb << 20
-              : kv_pool_bytes_hint(scheme, capacity + capacity / 2, avg_value);
+              : kv_pool_bytes_hint(scheme, capacity + capacity / 2, avg_value,
+                                   sharding);
   nvm::NvmConfig ncfg;
   ncfg.emulate_latency = emulate;
   nvm::PmemPool pool(pool_bytes, ncfg, pool_path);
   nvm::PmemAllocator alloc(pool);
   TableOptions topts;
   topts.capacity = capacity;
+  topts.sharding = sharding;
   topts.log_bytes = log_mb ? log_mb << 20
                            : 2 * capacity * (avg_value + 48) + (16ull << 20);
   auto store = create_kv_store(scheme, alloc, topts);
