@@ -11,7 +11,9 @@
 #include <cerrno>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -129,10 +131,14 @@ const char* cmd_name(Cmd c) {
 
 struct Server::Conn {
   int fd = -1;
+  uint64_t serial = 0;           // reactor-unique; guards async fd reuse
   IoBuffer in;
   IoBuffer out;
   bool want_write = false;       // EPOLLOUT currently registered
   bool close_after_flush = false;
+  // An async command's reply is outstanding: later frames stay buffered
+  // in `in` (RESP replies are ordered) until deliver_async resumes us.
+  bool async_pending = false;
 };
 
 struct Server::Reactor {
@@ -141,6 +147,18 @@ struct Server::Reactor {
   int wake_fd = -1;
   std::thread thread;
   std::unordered_map<int, std::unique_ptr<Conn>> conns;
+  uint64_t next_serial = 1;
+
+  // Replies produced off-thread (the RESHARD worker) and handed back to
+  // this reactor through wake_fd; (fd, serial) must both match the live
+  // connection or the reply is dropped (the peer left mid-flight).
+  struct AsyncReply {
+    int fd;
+    uint64_t serial;
+    std::string reply;
+  };
+  std::mutex done_mu;
+  std::vector<AsyncReply> done;
 
   // Written by the reactor thread, read by scrapers (INFO, gauges).
   std::array<std::atomic<uint64_t>, kCmdCount> cmd_counts{};
@@ -311,6 +329,12 @@ void Server::stop() {
   }
   // Phase 2 (join): only meaningful from outside the reactors.
   if (!started_.load()) return;
+  // The reshard worker posts into a reactor's mailbox/wake_fd, so it must
+  // be gone before the reactors (and their fds) are torn down.
+  {
+    std::lock_guard<std::mutex> lock(reshard_mu_);
+    if (reshard_thread_.joinable()) reshard_thread_.join();
+  }
   for (auto& r : reactors_) {
     if (r->thread.joinable() &&
         r->thread.get_id() != std::this_thread::get_id()) {
@@ -337,6 +361,7 @@ void Server::reactor_loop(Reactor& r) {
         uint64_t junk;
         while (::read(r.wake_fd, &junk, sizeof(junk)) > 0) {
         }
+        deliver_async(r);
         continue;  // loop condition re-checked above
       }
       if (fd == listen_fd_) {
@@ -385,6 +410,7 @@ void Server::accept_ready(Reactor& r) {
     }
     auto conn = std::make_unique<Conn>();
     conn->fd = fd;
+    conn->serial = r.next_serial++;
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
@@ -425,7 +451,9 @@ void Server::conn_readable(Reactor& r, Conn& c) {
   }
 
   // Parse-and-execute until the input no longer holds a complete frame.
-  while (!c.close_after_flush) {
+  // An async command in flight pauses execution (its reply must go out
+  // first); deliver_async re-enters here to drain what queued up.
+  while (!c.close_after_flush && !c.async_pending) {
     size_t consumed = 0;
     std::string perr;
     const ParseResult pr = parse_request(c.in.data(), c.in.size(), &consumed,
@@ -447,6 +475,26 @@ void Server::conn_readable(Reactor& r, Conn& c) {
 }
 
 void Server::conn_writable(Reactor& r, Conn& c) { flush_output(r, c); }
+
+void Server::deliver_async(Reactor& r) {
+  std::vector<Reactor::AsyncReply> done;
+  {
+    std::lock_guard<std::mutex> lock(r.done_mu);
+    done.swap(r.done);
+  }
+  for (auto& d : done) {
+    auto it = r.conns.find(d.fd);
+    if (it == r.conns.end()) continue;  // peer left while the op ran
+    Conn& c = *it->second;
+    if (c.serial != d.serial || !c.async_pending) continue;  // fd reused
+    c.async_pending = false;
+    c.out.append(d.reply);
+    // Resume the connection: flush the reply and execute any frames the
+    // client pipelined behind the async command (recv inside will just
+    // hit EAGAIN if nothing new arrived).
+    conn_readable(r, c);
+  }
+}
 
 void Server::flush_output(Reactor& r, Conn& c) {
   while (!c.out.empty()) {
@@ -821,7 +869,10 @@ void Server::execute(Reactor& r, Conn& c, std::vector<std::string>& args) {
       }
       case Cmd::kReshard: {
         // RESHARD <shard>: split that shard online; +OK once the split is
-        // published and cleaned, -ERR with the refusal otherwise.
+        // published and cleaned, -ERR with the refusal otherwise. The
+        // split can take seconds on a big shard, so it runs on a worker
+        // thread and the reply comes back through deliver_async — the
+        // reactor keeps serving its other connections meanwhile.
         if (args.size() != 2) {
           append_error(&reply,
                        "ERR wrong number of arguments (RESHARD <shard>)");
@@ -832,18 +883,54 @@ void Server::execute(Reactor& r, Conn& c, std::vector<std::string>& args) {
           append_error(&reply, "ERR store is not sharded");
           break;
         }
+        // Strict decimal parse: digits only (no sign — strtoull would
+        // silently wrap a negative), in range for uint32_t.
+        errno = 0;
         char* end = nullptr;
-        const long v = std::strtol(args[1].c_str(), &end, 10);
-        if (end == args[1].c_str() || *end != '\0' || v < 0) {
+        const unsigned long long v =
+            args[1].empty() || args[1][0] < '0' || args[1][0] > '9'
+                ? 0
+                : std::strtoull(args[1].c_str(), &end, 10);
+        if (end == nullptr || end == args[1].c_str() || *end != '\0' ||
+            errno == ERANGE ||
+            v > std::numeric_limits<uint32_t>::max()) {
           append_error(&reply, "ERR invalid shard id '" + args[1] + "'");
           break;
         }
-        const Status s = admin->split_shard(static_cast<uint32_t>(v));
-        if (s.ok()) {
-          append_simple(&reply, "OK");
-        } else {
-          append_error(&reply, "ERR " + s.to_string());
+        const uint32_t shard_id = static_cast<uint32_t>(v);
+        bool launched = false;
+        {
+          std::lock_guard<std::mutex> lock(reshard_mu_);
+          if (!reshard_busy_.load(std::memory_order_acquire)) {
+            if (reshard_thread_.joinable()) reshard_thread_.join();
+            reshard_busy_.store(true, std::memory_order_release);
+            reshard_thread_ = std::thread([this, rp = &r, fd = c.fd,
+                                           serial = c.serial, admin,
+                                           shard_id] {
+              const Status s = admin->split_shard(shard_id);
+              std::string rep;
+              if (s.ok()) {
+                append_simple(&rep, "OK");
+              } else {
+                append_error(&rep, "ERR " + s.to_string());
+              }
+              {
+                std::lock_guard<std::mutex> lock(rp->done_mu);
+                rp->done.push_back({fd, serial, std::move(rep)});
+              }
+              const uint64_t one = 1;
+              [[maybe_unused]] ssize_t ignored =
+                  ::write(rp->wake_fd, &one, sizeof(one));
+              reshard_busy_.store(false, std::memory_order_release);
+            });
+            launched = true;
+          }
         }
+        if (!launched) {
+          append_error(&reply, "ERR reshard already in progress");
+          break;
+        }
+        c.async_pending = true;
         break;
       }
       case Cmd::kUnknown:

@@ -36,7 +36,9 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/kv_store.h"
@@ -135,6 +137,9 @@ class Server {
   void close_conn(Reactor& r, Conn& c);
   void flush_output(Reactor& r, Conn& c);
   void execute(Reactor& r, Conn& c, std::vector<std::string>& args);
+  // Hand worker-produced replies (RESHARD) back to the reactor's
+  // connections; runs on the reactor thread after a wake_fd poke.
+  void deliver_async(Reactor& r);
   void init_reactors();
   void register_gauges();
 
@@ -148,6 +153,14 @@ class Server {
   std::atomic<bool> started_{false};
   uint64_t start_ns_ = 0;
   std::vector<std::unique_ptr<Reactor>> reactors_;
+  // RESHARD worker: a split can take seconds on a big shard, so it runs
+  // off the reactor thread and the reply is posted back through the
+  // originating reactor's wake_fd. One split at a time (the store
+  // serializes them anyway); reshard_mu_ guards the spawn handshake
+  // against concurrent reactors, stop() joins the worker.
+  std::mutex reshard_mu_;
+  std::thread reshard_thread_;
+  std::atomic<bool> reshard_busy_{false};
   std::vector<uint64_t> obs_gauges_;
   std::string obs_label_;
 };

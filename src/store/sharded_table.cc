@@ -435,13 +435,17 @@ Status ShardedTable::split_shard(uint32_t shard) {
 
   // Make the split visible: install the target table, then the split-active
   // snapshot, then drain writers that pre-date it (they run un-mirrored).
+  // The superseded snapshot is retained by routing_history_, so an abort
+  // can revert to it without allocating anything.
+  const Routing* pre_split = nullptr;
   {
     std::lock_guard<std::mutex> lock(split_mu_);
     if (auto* h = dynamic_cast<Hdnh*>(fresh.get())) {
       h->set_obs_heat(obs_heat_.get(), target);
     }
     shards_[target] = std::move(fresh);
-    auto r = std::make_unique<Routing>(*routing());
+    pre_split = routing();
+    auto r = std::make_unique<Routing>(*pre_split);
     r->split_active = true;
     r->split_source = source;
     r->split_target = target;
@@ -477,37 +481,53 @@ Status ShardedTable::split_shard(uint32_t shard) {
       }
     }
   }
-  if (fail.ok() && split_failed_.load(std::memory_order_relaxed)) {
-    fail = Status::TableFull("mirror write overflowed the split target");
-  }
-
-  if (!fail.ok()) {
-    // Abort: unpublish the split snapshot first (stops mirroring), then
-    // tear the target down and release the region.
-    std::lock_guard<std::mutex> lock(split_mu_);
-    install_routing(snapshot_from(*layout_));
-    shards_[target].reset();
-    layout_->abort_split();
-    return fail;
-  }
-
-  // Publish: flip the persisted directory (the crash-atomic commit point)
-  // and swap in the post-split snapshot under the lock, so no write is in
-  // flight across the flip and the target is current the instant it owns
-  // its half.
+  // Abort or publish, decided and executed inside ONE split_mu_ critical
+  // section. Mirror writes run under the same lock, so the split_failed_
+  // re-check below is definitive: no writer can overflow the target
+  // between the verdict and the directory flip (a check outside the lock
+  // would leave exactly that window, and a publish after a failed mirror
+  // write silently loses the acknowledged op once cleanup erases the
+  // source copy).
   {
     std::lock_guard<std::mutex> lock(split_mu_);
+    if (fail.ok() && split_failed_.load(std::memory_order_relaxed)) {
+      fail = Status::TableFull("mirror write overflowed the split target");
+    }
+    if (!fail.ok()) {
+      // Abort: revert to the retained pre-split snapshot (stops the
+      // mirroring, allocates nothing), then tear the target down and
+      // release the region.
+      routing_.store(pre_split);
+      shards_[target].reset();
+      layout_->abort_split();
+      return fail;
+    }
+    // Publish: flip the persisted directory (the crash-atomic commit
+    // point). The snapshot installed here carries the retargeted
+    // directory but keeps the split marked active, so writes to the
+    // source continue to serialize on split_mu_ while the cleanup scans
+    // it — Hdnh::for_each is only stable against quiescent writers.
     layout_->publish_split();
-    install_routing(snapshot_from(*layout_));
+    auto r = snapshot_from(*layout_);
+    r->split_active = true;
+    r->split_source = source;
+    r->split_target = target;
+    r->split_depth = split_depth;
+    install_routing(std::move(r));
     splits_.fetch_add(1, std::memory_order_relaxed);
     if (obs_heat_) obs_heat_->set_live(layout_->shards());
   }
 
   // The migrated keys now route to the target; drop the source's stale
-  // copies. Runs unlocked — post-publish writes to the source are lower-
-  // half only, disjoint from the upper-half victims — and is idempotent:
-  // a crash anywhere in here is replayed by the next attach.
+  // copies (scans and erases run under split_mu_, see the function). The
+  // cleanup is idempotent: a crash anywhere in here is replayed by the
+  // next attach. Only then does the split leave the routing snapshot and
+  // the persisted marker clear.
   cleanup_published_split();
+  {
+    std::lock_guard<std::mutex> lock(split_mu_);
+    install_routing(snapshot_from(*layout_));
+  }
   layout_->clear_split_state();
   return Status::Ok();
 }
@@ -521,13 +541,33 @@ void ShardedTable::cleanup_published_split() {
     entry[e] = static_cast<uint8_t>(layout_->dir_shard(e));
   }
   nvm::FaultScope fault_scope(nvm::kFaultShardSplit);
-  std::vector<Key> victims;
-  source.for_each([&](const KVPair& kv) {
-    if (entry[shard_route_entry(key_hash1(kv.key), g)] != src) {
-      victims.push_back(kv.key);
+  // The scan must see a quiescent shard: Hdnh::for_each may skip records
+  // while writers run concurrently, and a skipped victim would survive as
+  // a permanent duplicate once the split marker clears. Post-publish
+  // writes to the source still serialize on split_mu_ (the routing
+  // snapshot keeps the split marked active until after this returns), so
+  // scanning under the lock is stable; erases run in batches under the
+  // same lock to bound writer stalls. The outer loop re-scans until a
+  // full pass finds no victims — no new ones can appear (keys that left
+  // the source no longer route to it), so it terminates.
+  constexpr size_t kBatch = 128;
+  for (;;) {
+    std::vector<Key> victims;
+    {
+      std::lock_guard<std::mutex> lock(split_mu_);
+      source.for_each([&](const KVPair& kv) {
+        if (entry[shard_route_entry(key_hash1(kv.key), g)] != src) {
+          victims.push_back(kv.key);
+        }
+      });
     }
-  });
-  for (const Key& k : victims) source.erase(k);
+    if (victims.empty()) return;
+    for (size_t i = 0; i < victims.size(); i += kBatch) {
+      std::lock_guard<std::mutex> lock(split_mu_);
+      const size_t end = std::min(victims.size(), i + kBatch);
+      for (size_t j = i; j < end; ++j) source.erase(victims[j]);
+    }
+  }
 }
 
 ShardAdmin::Directory ShardedTable::shard_directory() const {
@@ -595,6 +635,9 @@ void ShardedTable::controller_loop() {
 
 void ShardedTable::maybe_auto_split() {
   if (!obs_heat_) return;
+  for (uint32_t& c : ctl_cooldown_) {
+    if (c > 0) --c;
+  }
   std::vector<obs::ShardHeat::Window> w;
   obs::Windows::visit_heats([&](const obs::ShardHeat& h) {
     if (&h == obs_heat_.get()) w = h.window();
@@ -611,10 +654,14 @@ void ShardedTable::maybe_auto_split() {
       split_opts_.split_load_threshold * static_cast<double>(total)) {
     return;
   }
+  if (ctl_cooldown_[hot] > 0) return;
   if (!layout_->can_split(hot)) return;
   // Best effort: a losing race or a full target just means no split this
-  // tick; the next window re-evaluates.
-  split_shard(hot);
+  // tick. A failed attempt (e.g. the spare region cannot absorb the hot
+  // half) is expensive and would fail identically next tick, so back the
+  // shard off for a while before re-evaluating it.
+  const Status s = split_shard(hot);
+  if (!s.ok()) ctl_cooldown_[hot] = split_opts_.failed_split_backoff_ticks;
 }
 
 // ---------------------------------------------------------------------------

@@ -27,11 +27,13 @@
 //      same lock, apply to the source first (it stays authoritative) and
 //      mirror to the target, so reads never block and never miss.
 //   3. publish_split flips the persisted directory selector — the single
-//      crash-atomic commit point — and the post-split snapshot goes live.
-//   4. An idempotent cleanup erases the migrated keys from the source,
-//      then the split marker clears. Crash recovery replays exactly this
-//      tail: pre-flip the target region is reset, post-flip the cleanup
-//      re-runs (tests/store, crashkit scenario "shard_split").
+//      crash-atomic commit point — and the retargeted snapshot goes live
+//      (still marked split-active, so source writers stay on the lock).
+//   4. An idempotent cleanup erases the migrated keys from the source
+//      under the split lock, then the split leaves the snapshot and the
+//      marker clears. Crash recovery replays exactly this tail: pre-flip
+//      the target region is reset, post-flip the cleanup re-runs
+//      (tests/store, crashkit scenario "shard_split").
 //
 // Shard routing uses a dedicated mix of the primary hash (never the raw
 // h1): the inner tables consume h1/h2 bits for bucket placement, and
@@ -80,6 +82,11 @@ struct SplitOptions {
   uint64_t min_window_ops = 1000;
   // Controller poll cadence in milliseconds.
   uint32_t controller_period_ms = 200;
+  // Controller ticks to skip a shard whose split just failed (target
+  // region too small etc.) before retrying it — each failed attempt
+  // copies up to half the shard, so hammering every tick is pure waste.
+  // Manual RESHARD is never throttled.
+  uint32_t failed_split_backoff_ticks = 25;
 };
 
 class ShardedTable final : public HashTable, public ShardAdmin {
@@ -264,7 +271,10 @@ class ShardedTable final : public HashTable, public ShardAdmin {
   // Lock-free routing: readers load the current snapshot pointer; installs
   // append to routing_history_ (mutated only in the constructor and under
   // split_admin_mu_) so superseded snapshots stay valid for the facade's
-  // lifetime — at most a handful per split, bounded by kMaxShards splits.
+  // lifetime — three per published split (bounded by kMaxShards splits)
+  // plus one per aborted attempt (the abort reverts to the retained
+  // pre-split snapshot instead of allocating, and the auto-split
+  // controller backs a failing shard off between attempts).
   std::atomic<const Routing*> routing_{nullptr};
   std::vector<std::unique_ptr<const Routing>> routing_history_;
   // Writers announce here before the no-split fast path and re-check the
@@ -285,6 +295,9 @@ class ShardedTable final : public HashTable, public ShardAdmin {
   std::mutex ctl_mu_;
   std::condition_variable ctl_cv_;
   bool ctl_stop_ = false;
+  // Per-shard retry cooldown after a failed auto-split, in controller
+  // ticks. Touched only by the controller thread.
+  std::array<uint32_t, nvm::ShardMapSuper::kMaxShards> ctl_cooldown_{};
 
   // Metrics-registry gauges owned by the facade (shard count, aggregate
   // load factor, split progress); empty when the HDNH_OBS gate is off.

@@ -392,6 +392,11 @@ TEST(ServerE2E, ShardsAndReshardConserveKeysAcrossSplit) {
   EXPECT_TRUE(c.command({"RESHARD"}).is_error());
   EXPECT_TRUE(c.command({"RESHARD", "notanumber"}).is_error());
   EXPECT_TRUE(c.command({"RESHARD", "9"}).is_error());
+  // Out-of-range ids must be rejected, not truncated: 2^32 would wrap to
+  // shard 0 under a naive uint32_t cast; a sign would wrap under strtoull.
+  EXPECT_TRUE(c.command({"RESHARD", "4294967296"}).is_error());
+  EXPECT_TRUE(c.command({"RESHARD", "-1"}).is_error());
+  EXPECT_TRUE(c.command({"RESHARD", "+0"}).is_error());
 
   // A real online split over the wire.
   RespValue ok = c.command({"RESHARD", "0"});
