@@ -68,6 +68,7 @@ struct ConnResult {
 std::string fetch_metrics(const std::string& host, uint16_t port) {
   try {
     net::Client c;
+    c.set_timeouts({5000, 5000, 5000});
     c.connect(host, port);
     c.pipeline({"METRICS"});
     c.flush();
@@ -122,11 +123,22 @@ int main(int argc, char** argv) {
       "value_bytes", 0,
       "exact value size (0 = tiny fixed-record-compatible values)"));
   const uint64_t seed = static_cast<uint64_t>(cli.get_int("seed", 42, "rng seed"));
+  const int timeout_ms = static_cast<int>(cli.get_int(
+      "timeout_ms", 30000,
+      "connect/recv/send deadline per call (0 = block forever)"));
   cli.finish();
+
+  // A dead or wedged server fails the bench within the deadline instead of
+  // hanging the harness (CI kills the server mid-run on purpose).
+  net::Client::Timeouts deadlines;
+  deadlines.connect_ms = timeout_ms;
+  deadlines.recv_ms = timeout_ms;
+  deadlines.send_ms = timeout_ms;
 
   // Preload the keyspace over the wire, deeply pipelined on one connection.
   if (do_preload) {
     net::Client c;
+    c.set_timeouts(deadlines);
     c.connect(host, port);
     const uint64_t t0 = now_ns();
     uint64_t inflight = 0, answered = 0;
@@ -173,6 +185,7 @@ int main(int argc, char** argv) {
       ConnResult& res = results[ci];
       try {
         net::Client c;
+        c.set_timeouts(deadlines);
         c.connect(host, port);
         Rng rng(seed ^ (0x9E3779B97F4A7C15ULL * (ci + 1)));
         // FIFO of (send timestamp, keys carried): replies come back in

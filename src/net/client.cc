@@ -1,9 +1,11 @@
 #include "net/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -11,6 +13,8 @@
 #include <cstring>
 #include <stdexcept>
 #include <utility>
+
+#include "common/clock.h"
 
 namespace hdnh::net {
 
@@ -20,12 +24,39 @@ constexpr size_t kReadChunk = 16 * 1024;
 [[noreturn]] void throw_errno(const char* what) {
   throw std::runtime_error(std::string(what) + ": " + strerror(errno));
 }
+
+// poll() one fd with an absolute deadline, restarting on EINTR with the
+// remaining budget. true = ready (or error/hup — the following syscall
+// reports the detail), false = deadline expired.
+bool poll_deadline(int fd, short events, int timeout_ms) {
+  if (timeout_ms <= 0) return true;
+  const uint64_t deadline = now_ns() + static_cast<uint64_t>(timeout_ms) * 1'000'000ull;
+  for (;;) {
+    const uint64_t now = now_ns();
+    if (now >= deadline) return false;
+    const int remaining_ms =
+        static_cast<int>((deadline - now + 999'999) / 1'000'000);
+    pollfd p{fd, events, 0};
+    const int rc = ::poll(&p, 1, remaining_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    throw_errno("poll");
+  }
+}
+
+void set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return;
+  ::fcntl(fd, F_SETFL, on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK));
+}
 }  // namespace
 
 Client::~Client() { close(); }
 
 Client::Client(Client&& o) noexcept
     : fd_(std::exchange(o.fd_, -1)),
+      timeouts_(o.timeouts_),
       out_(std::move(o.out_)),
       in_(std::move(o.in_)) {}
 
@@ -33,10 +64,15 @@ Client& Client::operator=(Client&& o) noexcept {
   if (this != &o) {
     close();
     fd_ = std::exchange(o.fd_, -1);
+    timeouts_ = o.timeouts_;
     out_ = std::move(o.out_);
     in_ = std::move(o.in_);
   }
   return *this;
+}
+
+bool Client::wait_fd(short events, int timeout_ms) {
+  return poll_deadline(fd_, events, timeout_ms);
 }
 
 void Client::connect(const std::string& host, uint16_t port, bool tcp_nodelay) {
@@ -50,19 +86,64 @@ void Client::connect(const std::string& host, uint16_t port, bool tcp_nodelay) {
   if (rc != 0 || !res) {
     throw std::runtime_error("resolve " + host + ": " + gai_strerror(rc));
   }
+  // last_err is captured *before* any ::close — close(2) may overwrite
+  // errno, and reporting close's errno (or stale garbage when every
+  // socket(2) fails) mislabels the real refusal.
   int fd = -1;
+  int last_err = 0;
+  bool timed_out = false;
   for (addrinfo* ai = res; ai; ai = ai->ai_next) {
     fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
                   ai->ai_protocol);
-    if (fd < 0) continue;
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    if (fd < 0) {
+      last_err = errno;
+      continue;
+    }
+    if (timeouts_.connect_ms > 0) {
+      // Deadline-bounded connect: start it non-blocking, poll for
+      // writability, then read the final verdict from SO_ERROR.
+      set_nonblocking(fd, true);
+      const int crc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+      if (crc == 0) {
+        set_nonblocking(fd, false);
+        break;
+      }
+      if (errno == EINPROGRESS) {
+        if (!poll_deadline(fd, POLLOUT, timeouts_.connect_ms)) {
+          timed_out = true;
+          last_err = ETIMEDOUT;
+          ::close(fd);
+          fd = -1;
+          continue;
+        }
+        int so_err = 0;
+        socklen_t len = sizeof(so_err);
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_err, &len);
+        if (so_err == 0) {
+          set_nonblocking(fd, false);
+          break;
+        }
+        last_err = so_err;
+      } else {
+        last_err = errno;
+      }
+    } else {
+      if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+      last_err = errno;
+    }
     ::close(fd);
     fd = -1;
   }
   ::freeaddrinfo(res);
   if (fd < 0) {
-    throw std::runtime_error("connect " + host + ":" + std::to_string(port) +
-                             ": " + strerror(errno));
+    const std::string where = "connect " + host + ":" + std::to_string(port);
+    if (timed_out && last_err == ETIMEDOUT) {
+      throw TimeoutError(where + ": timed out after " +
+                         std::to_string(timeouts_.connect_ms) + " ms");
+    }
+    throw std::runtime_error(
+        where + ": " +
+        (last_err ? strerror(last_err) : "no usable address"));
   }
   if (tcp_nodelay) {
     const int one = 1;
@@ -87,15 +168,30 @@ void Client::pipeline(const std::vector<std::string>& args) {
 }
 
 void Client::flush() {
+  // With a send deadline armed, send non-blocking and poll for writability
+  // so a peer that stops reading is a TimeoutError, not a permanent block.
+  const int flags =
+      MSG_NOSIGNAL | (timeouts_.send_ms > 0 ? MSG_DONTWAIT : 0);
   size_t off = 0;
   while (off < out_.size()) {
-    const ssize_t sent = ::send(fd_, out_.data() + off, out_.size() - off,
-                                MSG_NOSIGNAL);
+    errno = 0;  // a stale EINTR from an earlier spin must not loop us here
+    const ssize_t sent =
+        ::send(fd_, out_.data() + off, out_.size() - off, flags);
     if (sent > 0) {
       off += static_cast<size_t>(sent);
       continue;
     }
+    // send() returning 0 on a stream socket means the connection is gone;
+    // falling through to the errno switch would consult a stale errno.
+    if (sent == 0) throw std::runtime_error("send: connection lost");
     if (errno == EINTR) continue;
+    if (timeouts_.send_ms > 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!wait_fd(POLLOUT, timeouts_.send_ms)) {
+        throw TimeoutError("send: timed out after " +
+                           std::to_string(timeouts_.send_ms) + " ms");
+      }
+      continue;
+    }
     throw_errno("send");
   }
   out_.clear();
@@ -116,6 +212,10 @@ RespValue Client::read_reply() {
       if (r == ParseResult::kError) {
         throw std::runtime_error("malformed reply: " + err);
       }
+    }
+    if (timeouts_.recv_ms > 0 && !wait_fd(POLLIN, timeouts_.recv_ms)) {
+      throw TimeoutError("recv: timed out after " +
+                         std::to_string(timeouts_.recv_ms) + " ms");
     }
     char* dst = in_.reserve(kReadChunk);
     const ssize_t got = ::recv(fd_, dst, kReadChunk, 0);

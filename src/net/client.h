@@ -12,10 +12,19 @@
 //
 // One Client is one connection and is not thread-safe; use a Client per
 // thread (they are cheap).
+//
+// Deadlines: by default every call blocks indefinitely (the historic bench
+// behavior). set_timeouts() arms poll-based connect/recv/send deadlines; a
+// missed deadline throws TimeoutError (a runtime_error subclass, so
+// existing catch sites keep working) and leaves the connection in an
+// undefined protocol state — close() or reconnect. The replication channel
+// and bench_net run with timeouts armed so a dead peer is an error, not a
+// hang.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -25,8 +34,24 @@
 
 namespace hdnh::net {
 
+// A connect/recv/send deadline expired. Subclasses runtime_error so callers
+// that only care about "the round trip failed" need no new handling.
+class TimeoutError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 class Client {
  public:
+  // Per-direction deadlines in milliseconds; 0 = block forever (default,
+  // preserves bench behavior). recv_ms bounds each wait for more reply
+  // bytes, not a whole multi-frame drain.
+  struct Timeouts {
+    int connect_ms = 0;
+    int recv_ms = 0;
+    int send_ms = 0;
+  };
+
   Client() = default;
   ~Client();
   Client(const Client&) = delete;
@@ -34,10 +59,16 @@ class Client {
   Client(Client&& o) noexcept;
   Client& operator=(Client&& o) noexcept;
 
-  // Blocking connect; throws std::runtime_error on failure.
+  // Blocking connect; throws std::runtime_error on failure (TimeoutError
+  // when a connect deadline is armed and expires).
   void connect(const std::string& host, uint16_t port, bool tcp_nodelay = true);
   void close();
   bool connected() const { return fd_ >= 0; }
+
+  // Arm/inspect the deadlines. Takes effect for subsequent calls (an armed
+  // connect deadline applies to the next connect()).
+  void set_timeouts(const Timeouts& t) { timeouts_ = t; }
+  const Timeouts& timeouts() const { return timeouts_; }
 
   // ---- pipelining core ----
   // Queue one command locally (no I/O).
@@ -68,8 +99,12 @@ class Client {
 
  private:
   RespValue command_checked(const std::vector<std::string>& args);
+  // Poll fd_ for `events` within timeout_ms; false on deadline expiry,
+  // throws on poll failure. timeout_ms <= 0 waits forever (returns true).
+  bool wait_fd(short events, int timeout_ms);
 
   int fd_ = -1;
+  Timeouts timeouts_;
   std::string out_;  // queued, not-yet-flushed request bytes
   IoBuffer in_;      // unparsed reply bytes
 };

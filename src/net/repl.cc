@@ -1,0 +1,487 @@
+#include "net/repl.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <fcntl.h>
+#include <functional>
+
+#include "common/clock.h"
+#include "net/client.h"
+#include "net/resp.h"
+#include "obs/metrics.h"
+
+namespace hdnh::net {
+
+namespace {
+
+bool parse_u64(std::string_view s, uint64_t* out) {
+  if (s.empty() || s.size() > 20) return false;
+  uint64_t v = 0;
+  for (const char ch : s) {
+    if (ch < '0' || ch > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(ch - '0');
+  }
+  *out = v;
+  return true;
+}
+
+void make_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+// Sleep `ms` in small slices so a stop/seal flag is honored promptly.
+void interruptible_sleep_ms(uint32_t ms, const std::function<bool()>& abort) {
+  const uint64_t deadline = now_ns() + static_cast<uint64_t>(ms) * 1'000'000ull;
+  while (now_ns() < deadline) {
+    if (abort()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ReplLog
+// ---------------------------------------------------------------------------
+
+ReplLog::ReplLog(ReplLogOptions opts) : opts_(opts) {
+  if (opts_.ring_entries == 0) opts_.ring_entries = 1;
+}
+
+ReplLog::~ReplLog() { stop(); }
+
+void ReplLog::start() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  reader_ = std::thread([this] { reader_loop(); });
+  if constexpr (obs::kCompiledIn) {
+    const std::string labels =
+        "role=\"primary\",id=\"" +
+        std::to_string(obs::Metrics::next_instance_id()) + "\"";
+    obs_gauges_.push_back(obs::Metrics::add_gauge(
+        "hdnh_repl_last_seq", labels,
+        "Highest replication sequence number assigned",
+        [this] { return static_cast<double>(last_seq()); }));
+    obs_gauges_.push_back(obs::Metrics::add_gauge(
+        "hdnh_repl_sinks", labels, "Attached replica connections",
+        [this] { return static_cast<double>(sink_count()); }));
+    obs_gauges_.push_back(obs::Metrics::add_gauge(
+        "hdnh_repl_min_sink_acked", labels,
+        "Lowest REPLACKed sequence across live sinks",
+        [this] { return static_cast<double>(min_sink_acked()); }));
+    obs_gauges_.push_back(obs::Metrics::add_gauge(
+        "hdnh_repl_sink_lag", labels,
+        "Entries shipped but not yet REPLACKed by the slowest sink",
+        [this] {
+          const uint64_t last = last_seq();
+          const uint64_t acked = min_sink_acked();
+          return static_cast<double>(last > acked ? last - acked : 0);
+        }));
+    obs_gauges_.push_back(obs::Metrics::add_gauge(
+        "hdnh_repl_sinks_dropped_total", labels,
+        "Replica connections dropped (dead peer or ship deadline missed)",
+        [this] {
+          return static_cast<double>(
+              sinks_dropped_.load(std::memory_order_acquire));
+        }));
+  }
+}
+
+void ReplLog::stop() {
+  if (running_.exchange(false, std::memory_order_acq_rel)) {
+    if (reader_.joinable()) reader_.join();
+  }
+  for (const uint64_t id : obs_gauges_) obs::Metrics::remove_gauge(id);
+  obs_gauges_.clear();
+  std::lock_guard<std::mutex> lk(mu_);
+  for (Sink& s : sinks_) {
+    if (s.fd >= 0) ::close(s.fd);
+  }
+  sinks_.clear();
+  sink_count_.store(0, std::memory_order_release);
+}
+
+void ReplLog::set_base(uint64_t seq) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (ring_.empty() && last_seq_.load(std::memory_order_relaxed) == 0) {
+    last_seq_.store(seq, std::memory_order_release);
+  }
+}
+
+std::mutex& ReplLog::key_stripe(std::string_view key) {
+  return stripes_[std::hash<std::string_view>{}(key) % stripes_.size()];
+}
+
+uint64_t ReplLog::append(std::initializer_list<std::string_view> op) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const uint64_t seq = last_seq_.load(std::memory_order_relaxed) + 1;
+  std::string frame;
+  append_array_header(&frame, 2 + op.size());
+  append_bulk(&frame, "REPLOP");
+  append_bulk(&frame, std::to_string(seq));
+  for (const std::string_view a : op) append_bulk(&frame, a);
+  ring_.emplace_back(seq, std::move(frame));
+  while (ring_.size() > opts_.ring_entries) ring_.pop_front();
+  // Ship before the ack: once this returns, every live sink's kernel has
+  // the bytes, so a SIGKILLed primary still delivers what it acked.
+  const std::string& wire = ring_.back().second;
+  for (Sink& s : sinks_) ship_to_sink(s, wire);
+  drop_dead_sinks_locked();
+  last_seq_.store(seq, std::memory_order_release);
+  return seq;
+}
+
+uint64_t ReplLog::barrier(std::string_view tag, std::string_view arg) {
+  return append({"BARRIER", tag, arg});
+}
+
+bool ReplLog::can_stream_from(uint64_t from_seq) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (ring_.empty()) return from_seq >= last_seq_.load(std::memory_order_relaxed) + 1;
+  return from_seq >= ring_.front().first;
+}
+
+void ReplLog::attach_sink(int fd, uint64_t from_seq, std::string residual_in) {
+  make_nonblocking(fd);
+  std::lock_guard<std::mutex> lk(mu_);
+  Sink s;
+  s.fd = fd;
+  if (!residual_in.empty()) s.in.append(residual_in);
+  for (const auto& [seq, frame] : ring_) {
+    if (seq < from_seq) continue;
+    ship_to_sink(s, frame);
+    if (s.dead) break;
+  }
+  if (s.dead) {
+    ::close(fd);
+    sinks_dropped_.fetch_add(1, std::memory_order_acq_rel);
+    return;
+  }
+  sinks_.push_back(std::move(s));
+  sink_count_.store(sinks_.size(), std::memory_order_release);
+}
+
+uint64_t ReplLog::min_sink_acked() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t acked = UINT64_MAX;
+  bool any = false;
+  for (const Sink& s : sinks_) {
+    if (s.dead) continue;
+    any = true;
+    if (s.acked_seq < acked) acked = s.acked_seq;
+  }
+  return any ? acked : last_seq_.load(std::memory_order_acquire);
+}
+
+void ReplLog::ship_to_sink(Sink& s, std::string_view frame) {
+  if (s.dead || s.fd < 0) return;
+  const uint64_t deadline =
+      now_ns() + static_cast<uint64_t>(opts_.send_timeout_ms) * 1'000'000ull;
+  size_t off = 0;
+  while (off < frame.size()) {
+    errno = 0;
+    const ssize_t sent = ::send(s.fd, frame.data() + off, frame.size() - off,
+                                MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (sent > 0) {
+      off += static_cast<size_t>(sent);
+      continue;
+    }
+    if (sent == 0) {
+      s.dead = true;
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      const uint64_t now = now_ns();
+      if (now >= deadline) {
+        s.dead = true;  // cannot absorb within the deadline: shed the sink
+        return;
+      }
+      pollfd p{s.fd, POLLOUT, 0};
+      const int remaining_ms =
+          static_cast<int>((deadline - now + 999'999) / 1'000'000);
+      const int rc = ::poll(&p, 1, remaining_ms);
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc <= 0) {
+        s.dead = true;
+        return;
+      }
+      continue;
+    }
+    s.dead = true;
+    return;
+  }
+}
+
+void ReplLog::drop_dead_sinks_locked() {
+  bool changed = false;
+  for (size_t i = 0; i < sinks_.size();) {
+    if (sinks_[i].dead) {
+      if (sinks_[i].fd >= 0) ::close(sinks_[i].fd);
+      sinks_.erase(sinks_.begin() + static_cast<ptrdiff_t>(i));
+      sinks_dropped_.fetch_add(1, std::memory_order_acq_rel);
+      changed = true;
+    } else {
+      ++i;
+    }
+  }
+  if (changed) sink_count_.store(sinks_.size(), std::memory_order_release);
+}
+
+void ReplLog::reader_loop() {
+  std::vector<pollfd> fds;
+  char buf[4096];
+  while (running_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!sinks_.empty()) {
+        fds.clear();
+        for (const Sink& s : sinks_) fds.push_back({s.fd, POLLIN, 0});
+        const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 0);
+        if (rc > 0) {
+          for (size_t i = 0; i < sinks_.size(); ++i) {
+            if (!(fds[i].revents & (POLLIN | POLLERR | POLLHUP))) continue;
+            Sink& s = sinks_[i];
+            for (;;) {
+              const ssize_t got = ::recv(s.fd, buf, sizeof(buf), MSG_DONTWAIT);
+              if (got > 0) {
+                s.in.append(buf, static_cast<size_t>(got));
+                continue;
+              }
+              if (got == 0) s.dead = true;          // replica hung up
+              else if (errno == EINTR) continue;
+              else if (errno != EAGAIN && errno != EWOULDBLOCK) s.dead = true;
+              break;
+            }
+            // Drain complete REPLACK frames from whatever has arrived.
+            while (!s.dead && !s.in.empty()) {
+              std::vector<std::string> args;
+              size_t consumed = 0;
+              const ParseResult pr =
+                  parse_request(s.in.data(), s.in.size(), &consumed, &args);
+              if (pr == ParseResult::kNeedMore) break;
+              if (pr == ParseResult::kError) {
+                s.dead = true;
+                break;
+              }
+              s.in.consume(consumed);
+              uint64_t seq = 0;
+              if (args.size() >= 2 && args[0] == "REPLACK" &&
+                  parse_u64(args[1], &seq) && seq > s.acked_seq) {
+                s.acked_seq = seq;
+              }
+            }
+          }
+        }
+        drop_dead_sinks_locked();
+      }
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(opts_.poll_interval_ms));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ReplicaSession
+// ---------------------------------------------------------------------------
+
+ReplicaSession::ReplicaSession(KvStore& store, ReplicaOptions opts)
+    : store_(store), opts_(opts) {
+  if (opts_.ack_every == 0) opts_.ack_every = 1;
+  if (opts_.recv_timeout_ms < 50) opts_.recv_timeout_ms = 50;
+}
+
+ReplicaSession::~ReplicaSession() { stop(); }
+
+void ReplicaSession::start() {
+  if (started_.exchange(true, std::memory_order_acq_rel)) return;
+  feed_ = std::thread([this] { feed_loop(); });
+  if constexpr (obs::kCompiledIn) {
+    const std::string labels =
+        "role=\"replica\",id=\"" +
+        std::to_string(obs::Metrics::next_instance_id()) + "\"";
+    obs_gauges_.push_back(obs::Metrics::add_gauge(
+        "hdnh_repl_applied_seq", labels,
+        "Highest replication sequence applied to the local store",
+        [this] { return static_cast<double>(applied_seq()); }));
+    obs_gauges_.push_back(obs::Metrics::add_gauge(
+        "hdnh_repl_received_seq", labels,
+        "Highest replication sequence received from the primary",
+        [this] { return static_cast<double>(last_received_seq()); }));
+    obs_gauges_.push_back(obs::Metrics::add_gauge(
+        "hdnh_repl_connected", labels,
+        "1 while the feed connection to the primary is up",
+        [this] { return connected() ? 1.0 : 0.0; }));
+    obs_gauges_.push_back(obs::Metrics::add_gauge(
+        "hdnh_repl_promoted", labels, "1 after PROMOTE sealed the stream",
+        [this] { return promoted() ? 1.0 : 0.0; }));
+    obs_gauges_.push_back(obs::Metrics::add_gauge(
+        "hdnh_repl_apply_errors_total", labels,
+        "Streamed entries whose local apply failed (pair has diverged)",
+        [this] { return static_cast<double>(apply_errors()); }));
+  }
+}
+
+void ReplicaSession::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (started_.exchange(false, std::memory_order_acq_rel)) {
+    if (feed_.joinable()) feed_.join();
+  }
+  for (const uint64_t id : obs_gauges_) obs::Metrics::remove_gauge(id);
+  obs_gauges_.clear();
+}
+
+uint64_t ReplicaSession::promote(uint32_t drain_ms) {
+  if (!promoted_.load(std::memory_order_acquire)) {
+    seal_deadline_ns_.store(
+        now_ns() + static_cast<uint64_t>(drain_ms) * 1'000'000ull,
+        std::memory_order_release);
+    sealed_.store(true, std::memory_order_release);
+    if (started_.load(std::memory_order_acquire)) {
+      // The feed notices the seal within one recv timeout; give it the
+      // drain window plus that margin before declaring the tail replayed.
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait_for(
+          lk,
+          std::chrono::milliseconds(drain_ms + opts_.recv_timeout_ms + 1000),
+          [this] { return feed_done_; });
+    }
+    promoted_.store(true, std::memory_order_release);
+  }
+  return applied_seq();
+}
+
+void ReplicaSession::apply_entry(const std::vector<std::string>& entry) {
+  // entry = {"REPLOP", "<seq>", <op>, args...}
+  uint64_t seq = 0;
+  if (entry.size() < 3 || !parse_u64(entry[1], &seq)) {
+    apply_errors_.fetch_add(1, std::memory_order_acq_rel);
+    return;
+  }
+  received_seq_.store(seq, std::memory_order_release);
+  const std::string& op = entry[2];
+  Status s = Status::Ok();
+  if (op == "SET" && entry.size() >= 5) {
+    s = store_.put(entry[3], entry[4]);
+  } else if (op == "DEL" && entry.size() >= 4) {
+    s = store_.erase(entry[3]);
+    // A DEL of an already-absent key is a successful apply: the primary
+    // replicates one DEL per key it actually erased, but a reconnect can
+    // replay a tail the store already holds.
+    if (s.code() == StatusCode::kNotFound) s = Status::Ok();
+  } else if (op == "BARRIER") {
+    // Sequencing only (RESHARD and friends) — nothing to apply.
+  } else {
+    s = Status::InvalidArgument("unknown repl op");
+  }
+  if (!s.ok()) apply_errors_.fetch_add(1, std::memory_order_acq_rel);
+  // Published after the store op: a reader observing applied_seq >= S also
+  // observes every write with seq <= S (the GETAT gate).
+  applied_seq_.store(seq, std::memory_order_release);
+}
+
+void ReplicaSession::feed_loop() {
+  const auto aborted = [this] {
+    return stop_.load(std::memory_order_acquire) ||
+           sealed_.load(std::memory_order_acquire);
+  };
+  uint32_t since_ack = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (sealed_.load(std::memory_order_acquire)) break;
+    Client c;
+    Client::Timeouts t;
+    t.connect_ms = static_cast<int>(opts_.connect_timeout_ms);
+    t.recv_ms = static_cast<int>(opts_.recv_timeout_ms);
+    t.send_ms = static_cast<int>(opts_.send_timeout_ms);
+    c.set_timeouts(t);
+    try {
+      c.connect(opts_.host, opts_.port);
+    } catch (const std::exception&) {
+      interruptible_sleep_ms(opts_.retry_ms, aborted);
+      continue;
+    }
+    try {
+      // Handshake: identify, then stream from the next unapplied seq. Both
+      // replies arrive before the server detaches the connection; after
+      // that the socket carries REPLOP frames down and REPLACK frames up.
+      c.pipeline({"REPLCONF", "listening", "1"});
+      c.pipeline({"REPLSTREAM",
+                  std::to_string(applied_seq_.load(std::memory_order_acquire) +
+                                 1)});
+      c.flush();
+      const RespValue r1 = c.read_reply();
+      const RespValue r2 = c.read_reply();
+      if (r1.is_error() || r2.is_error()) {
+        // e.g. "-ERR repl log truncated": retrying from the same seq cannot
+        // succeed until the operator reseeds, but keep trying so a fresh
+        // primary (seq reset) picks us up.
+        c.close();
+        connected_.store(false, std::memory_order_release);
+        interruptible_sleep_ms(opts_.retry_ms, aborted);
+        continue;
+      }
+      connected_.store(true, std::memory_order_release);
+      for (;;) {
+        if (stop_.load(std::memory_order_acquire)) break;
+        if (sealed_.load(std::memory_order_acquire) &&
+            now_ns() > seal_deadline_ns_.load(std::memory_order_acquire)) {
+          break;  // drain window closed
+        }
+        RespValue v;
+        try {
+          v = c.read_reply();
+        } catch (const TimeoutError&) {
+          // Stream quiet for one recv window. After a seal that means the
+          // delivered tail is fully applied; otherwise ack as a keepalive.
+          if (sealed_.load(std::memory_order_acquire)) break;
+          c.pipeline({"REPLACK",
+                      std::to_string(
+                          applied_seq_.load(std::memory_order_acquire))});
+          c.flush();
+          continue;
+        }
+        if (v.type != RespValue::Type::kArray || v.elems.size() < 3) continue;
+        std::vector<std::string> entry;
+        entry.reserve(v.elems.size());
+        for (const RespValue& e : v.elems) entry.push_back(e.str);
+        apply_entry(entry);
+        if (++since_ack >= opts_.ack_every) {
+          since_ack = 0;
+          c.pipeline({"REPLACK",
+                      std::to_string(
+                          applied_seq_.load(std::memory_order_acquire))});
+          c.flush();
+        }
+      }
+      // Best-effort final progress report before disconnecting.
+      try {
+        c.pipeline({"REPLACK",
+                    std::to_string(
+                        applied_seq_.load(std::memory_order_acquire))});
+        c.flush();
+      } catch (const std::exception&) {
+      }
+    } catch (const std::exception&) {
+      // Connection lost (dead primary, reset, protocol error): fall through
+      // to the reconnect loop.
+    }
+    connected_.store(false, std::memory_order_release);
+    c.close();
+    if (sealed_.load(std::memory_order_acquire)) break;
+    if (!stop_.load(std::memory_order_acquire)) {
+      interruptible_sleep_ms(opts_.retry_ms, aborted);
+    }
+  }
+  connected_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    feed_done_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace hdnh::net

@@ -1,0 +1,213 @@
+// Primary→replica replication over the RESP framing (docs/server.md
+// "Replication").
+//
+// Two halves, one wire format:
+//
+//   * ReplLog — the primary side. Every acknowledged mutation (SET / DEL;
+//     SETNX replicates as the SET it performed; RESHARD as a BARRIER) is
+//     assigned a monotone replication sequence number and serialized as one
+//     RESP array  ["REPLOP", "<seq>", <op...>]  pushed down every attached
+//     replica connection ("sink"). The ship happens *before* the client's
+//     ack: append() returns only once the frame's bytes have been handed to
+//     the kernel for every live sink (poll-bounded, a sink that cannot
+//     absorb a frame within send_timeout_ms is dropped and the lag gauges
+//     say so). Bytes accepted by the kernel survive the process — even a
+//     SIGKILLed primary delivers everything it acked before the FIN, which
+//     is what the failover oracle leans on. A bounded ring of recent
+//     entries backs late attach / reconnect catch-up (REPLSTREAM from an
+//     evicted seq is refused: full resync is out of scope).
+//
+//   * ReplicaSession — the replica side. A background feed thread connects
+//     to the primary with deadline-armed net::Client (a dead primary is a
+//     reconnect loop, never a hang), pipelines REPLCONF + REPLSTREAM, then
+//     applies each REPLOP into the local store through the KvStore surface
+//     and acknowledges progress upstream with REPLACK frames on the same
+//     connection. applied_seq() is published with release ordering after
+//     the store op completes, so a reader that observes applied_seq >= S
+//     also observes every write with seq <= S — the GETAT read-your-writes
+//     gate is exactly that check. promote() seals the stream: the feed
+//     drains the already-delivered tail, disconnects, and flips
+//     promoted(), after which the owning server accepts writes.
+//
+// Ordering: per-key primary order is preserved by running the store
+// mutation and the log append under one key-stripe lock (key_stripe());
+// cross-key order is the append order, applied by the replica's single
+// applier thread. Both halves export lag gauges through src/obs.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <initializer_list>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "api/kv_store.h"
+#include "net/buffer.h"
+
+namespace hdnh::net {
+
+struct ReplLogOptions {
+  // Entries retained for late-attach / reconnect catch-up. A replica whose
+  // requested seq predates the ring is refused (full resync out of scope).
+  size_t ring_entries = 1 << 16;
+  // Per-frame ship deadline per sink: a sink that cannot absorb a frame
+  // within this is dropped (backpressure must not wedge the write path
+  // forever; the sink-count gauge records the shed).
+  int send_timeout_ms = 5000;
+  // Ack-reader cadence (REPLACK frames from sinks, dead-sink detection).
+  int poll_interval_ms = 20;
+};
+
+class ReplLog {
+ public:
+  explicit ReplLog(ReplLogOptions opts = {});
+  ~ReplLog();
+  ReplLog(const ReplLog&) = delete;
+  ReplLog& operator=(const ReplLog&) = delete;
+
+  // Spawns the ack-reader thread and registers the obs gauges. Idempotent.
+  void start();
+  // Joins the reader, closes every sink. Idempotent; called by ~ReplLog.
+  void stop();
+
+  // Continue numbering from `seq` (a promoted replica carries its applied
+  // seq forward so a chained replica can attach). Only meaningful while
+  // the log is still empty; ignored otherwise.
+  void set_base(uint64_t seq);
+
+  // Assign the next seq to `op`, retain it in the ring, and ship it to
+  // every attached sink before returning — the caller acks its client
+  // only after append() returns. Thread-safe.
+  uint64_t append(std::initializer_list<std::string_view> op);
+  // A sequencing-only entry (RESHARD and friends): occupies a seq, applied
+  // as a no-op by the replica.
+  uint64_t barrier(std::string_view tag, std::string_view arg);
+
+  // The per-key commit stripe: hold it across {store mutation + append} so
+  // the log's per-key order matches the store's.
+  std::mutex& key_stripe(std::string_view key);
+
+  // Whether the ring still holds everything from `from_seq` on.
+  bool can_stream_from(uint64_t from_seq) const;
+  // Adopt `fd` (ownership transfers; non-blocking) as a replica sink and
+  // stream the backlog from `from_seq` before any new append reaches it.
+  // `residual_in` is input the server had already read off the connection
+  // (REPLACK frames pipelined behind REPLSTREAM).
+  void attach_sink(int fd, uint64_t from_seq, std::string residual_in);
+
+  uint64_t last_seq() const {
+    return last_seq_.load(std::memory_order_acquire);
+  }
+  size_t sink_count() const {
+    return sink_count_.load(std::memory_order_acquire);
+  }
+  // Lowest REPLACKed seq across live sinks (last_seq() when there is none).
+  uint64_t min_sink_acked() const;
+
+ private:
+  struct Sink {
+    int fd = -1;
+    uint64_t acked_seq = 0;
+    IoBuffer in;  // REPLACK bytes read back from the replica
+    bool dead = false;
+  };
+
+  // Ship `frame` to one sink within the send deadline; marks it dead on
+  // failure. Caller holds mu_.
+  void ship_to_sink(Sink& s, std::string_view frame);
+  void reader_loop();
+  void drop_dead_sinks_locked();
+
+  ReplLogOptions opts_;
+  mutable std::mutex mu_;
+  std::deque<std::pair<uint64_t, std::string>> ring_;  // (seq, frame)
+  std::vector<Sink> sinks_;
+  std::atomic<uint64_t> last_seq_{0};
+  std::atomic<size_t> sink_count_{0};
+  std::atomic<uint64_t> sinks_dropped_{0};
+  std::atomic<bool> running_{false};
+  std::thread reader_;
+  std::vector<std::mutex> stripes_{64};
+  std::vector<uint64_t> obs_gauges_;
+};
+
+struct ReplicaOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  uint32_t connect_timeout_ms = 2000;
+  // Bounds each wait for the next frame; also the feed's stop/seal poll
+  // cadence, so it is clamped to >= 50 ms.
+  uint32_t recv_timeout_ms = 500;
+  uint32_t send_timeout_ms = 2000;
+  uint32_t ack_every = 64;  // REPLACK cadence in applied entries
+  uint32_t retry_ms = 200;  // reconnect backoff after a lost primary
+};
+
+class ReplicaSession {
+ public:
+  // `store` must outlive the session; the feed thread mutates it through
+  // the concurrent KvStore surface.
+  ReplicaSession(KvStore& store, ReplicaOptions opts);
+  ~ReplicaSession();
+  ReplicaSession(const ReplicaSession&) = delete;
+  ReplicaSession& operator=(const ReplicaSession&) = delete;
+
+  void start();  // spawns the feed thread, registers gauges. Idempotent.
+  void stop();   // seals + joins without promoting. Idempotent.
+
+  // Seal the stream: stop accepting new ops after a drain window of
+  // `drain_ms` (the tail already delivered keeps applying until the stream
+  // goes quiet or the window closes), disconnect, flip promoted().
+  // Returns the applied seq at promotion. Idempotent.
+  uint64_t promote(uint32_t drain_ms = 2000);
+
+  bool promoted() const {
+    return promoted_.load(std::memory_order_acquire);
+  }
+  bool connected() const {
+    return connected_.load(std::memory_order_acquire);
+  }
+  // Everything with seq <= applied_seq() is visible in the store (release/
+  // acquire pairing with the applier).
+  uint64_t applied_seq() const {
+    return applied_seq_.load(std::memory_order_acquire);
+  }
+  uint64_t last_received_seq() const {
+    return received_seq_.load(std::memory_order_acquire);
+  }
+  // Entries whose apply failed (e.g. a smaller replica running full);
+  // nonzero means the pair has diverged.
+  uint64_t apply_errors() const {
+    return apply_errors_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void feed_loop();
+  // One streamed entry into the store; updates applied/received seqs.
+  void apply_entry(const std::vector<std::string>& entry);
+
+  KvStore& store_;
+  ReplicaOptions opts_;
+  std::atomic<uint64_t> applied_seq_{0};
+  std::atomic<uint64_t> received_seq_{0};
+  std::atomic<uint64_t> apply_errors_{0};
+  std::atomic<bool> connected_{false};
+  std::atomic<bool> sealed_{false};
+  std::atomic<bool> promoted_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> seal_deadline_ns_{0};
+  std::atomic<bool> started_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool feed_done_ = false;
+  std::thread feed_;
+  std::vector<uint64_t> obs_gauges_;
+};
+
+}  // namespace hdnh::net

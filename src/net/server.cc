@@ -21,6 +21,7 @@
 
 #include "common/clock.h"
 #include "net/buffer.h"
+#include "net/repl.h"
 #include "net/resp.h"
 #include "obs/obs.h"
 
@@ -85,7 +86,27 @@ Cmd lookup_cmd(std::string& word) {
   if (word == "METRICS") return Cmd::kMetrics;
   if (word == "SHARDS") return Cmd::kShards;
   if (word == "RESHARD") return Cmd::kReshard;
+  if (word == "REPLCONF") return Cmd::kReplconf;
+  if (word == "REPLSTREAM") return Cmd::kReplstream;
+  if (word == "REPLACK") return Cmd::kReplack;
+  if (word == "REPLSEQ") return Cmd::kReplseq;
+  if (word == "GETAT") return Cmd::kGetat;
+  if (word == "PROMOTE") return Cmd::kPromote;
   return Cmd::kUnknown;
+}
+
+// Strict decimal u64: digits only, no sign, overflow rejected.
+bool parse_u64(const std::string& s, uint64_t* out) {
+  if (s.empty() || s.size() > 20) return false;
+  uint64_t v = 0;
+  for (const char ch : s) {
+    if (ch < '0' || ch > '9') return false;
+    const uint64_t next = v * 10 + static_cast<uint64_t>(ch - '0');
+    if (next < v) return false;
+    v = next;
+  }
+  *out = v;
+  return true;
 }
 
 // 32-hex-char digest of the two key-digest halves, as SLOWLOG/HOTKEYS
@@ -120,6 +141,12 @@ const char* cmd_name(Cmd c) {
     case Cmd::kMetrics: return "metrics";
     case Cmd::kShards: return "shards";
     case Cmd::kReshard: return "reshard";
+    case Cmd::kReplconf: return "replconf";
+    case Cmd::kReplstream: return "replstream";
+    case Cmd::kReplack: return "replack";
+    case Cmd::kReplseq: return "replseq";
+    case Cmd::kGetat: return "getat";
+    case Cmd::kPromote: return "promote";
     case Cmd::kUnknown: return "unknown";
   }
   return "?";
@@ -139,6 +166,10 @@ struct Server::Conn {
   // An async command's reply is outstanding: later frames stay buffered
   // in `in` (RESP replies are ordered) until deliver_async resumes us.
   bool async_pending = false;
+  // A completed REPLSTREAM handshake: once the +OK drains, the fd leaves
+  // this reactor and becomes a ReplLog sink streaming from repl_from_seq.
+  bool detach_repl = false;
+  uint64_t repl_from_seq = 0;
 };
 
 struct Server::Reactor {
@@ -453,7 +484,7 @@ void Server::conn_readable(Reactor& r, Conn& c) {
   // Parse-and-execute until the input no longer holds a complete frame.
   // An async command in flight pauses execution (its reply must go out
   // first); deliver_async re-enters here to drain what queued up.
-  while (!c.close_after_flush && !c.async_pending) {
+  while (!c.close_after_flush && !c.async_pending && !c.detach_repl) {
     size_t consumed = 0;
     std::string perr;
     const ParseResult pr = parse_request(c.in.data(), c.in.size(), &consumed,
@@ -531,7 +562,29 @@ void Server::flush_output(Reactor& r, Conn& c) {
     ev.data.fd = c.fd;
     ::epoll_ctl(r.epfd, EPOLL_CTL_MOD, c.fd, &ev);
   }
+  if (c.detach_repl) {
+    // The REPLSTREAM +OK is on the wire; the connection now belongs to the
+    // replication log, not this reactor.
+    detach_repl_conn(r, c);
+    return;
+  }
   if (c.close_after_flush) close_conn(r, c);
+}
+
+void Server::detach_repl_conn(Reactor& r, Conn& c) {
+  const int fd = c.fd;
+  const uint64_t from_seq = c.repl_from_seq;
+  // Input already read off the socket (REPLACK frames the replica
+  // pipelined behind its handshake) travels with the fd.
+  std::string residual(c.in.view());
+  ::epoll_ctl(r.epfd, EPOLL_CTL_DEL, fd, nullptr);
+  r.closed.fetch_add(1, std::memory_order_relaxed);
+  r.conns.erase(fd);  // frees the Conn; the fd stays open
+  if (repl_log_) {
+    repl_log_->attach_sink(fd, from_seq, std::move(residual));
+  } else {
+    ::close(fd);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -586,6 +639,21 @@ void Server::execute(Reactor& r, Conn& c, std::vector<std::string>& args) {
   std::string& reply = r.reply;
   reply.clear();
 
+  // A replica is read-only until PROMOTE flips it: acknowledged writes
+  // must flow through exactly one primary or the failover oracle has no
+  // single log to check against.
+  if (replica_ && !replica_->promoted() &&
+      (cmd == Cmd::kSet || cmd == Cmd::kSetnx || cmd == Cmd::kDel ||
+       cmd == Cmd::kReshard)) {
+    append_error(&reply, "READONLY replica; writes rejected until PROMOTE");
+    c.out.append(reply);
+    if (t0) {
+      std::lock_guard<std::mutex> lock(r.hist_mu);
+      r.hist[static_cast<uint32_t>(cmd)].record(now_ns() - t0);
+    }
+    return;
+  }
+
   // The Status surface guarantees no scheme exception reaches this frame;
   // the catch below is a last-ditch guard for unexpected failures (e.g.
   // reply allocation) so one connection's error cannot take the server down.
@@ -625,7 +693,17 @@ void Server::execute(Reactor& r, Conn& c, std::vector<std::string>& args) {
                            std::to_string(store_.max_value_len()) + " bytes)");
           break;
         }
-        const Status s = store_.put(args[1], args[2]);
+        Status s;
+        if (repl_log_) {
+          // Store mutation and log append under one key stripe: the log's
+          // per-key order matches the store's, and the append ships the
+          // frame to every sink before the +OK below is even queued.
+          std::lock_guard<std::mutex> lk(repl_log_->key_stripe(args[1]));
+          s = store_.put(args[1], args[2]);
+          if (s.ok()) repl_log_->append({"SET", args[1], args[2]});
+        } else {
+          s = store_.put(args[1], args[2]);
+        }
         if (s.ok()) {
           append_simple(&reply, "OK");
         } else {
@@ -650,7 +728,16 @@ void Server::execute(Reactor& r, Conn& c, std::vector<std::string>& args) {
                            std::to_string(store_.max_value_len()) + " bytes)");
           break;
         }
-        const Status s = store_.insert(args[1], args[2]);
+        Status s;
+        if (repl_log_) {
+          std::lock_guard<std::mutex> lk(repl_log_->key_stripe(args[1]));
+          s = store_.insert(args[1], args[2]);
+          // The replica sees the write the insert actually performed, as a
+          // plain SET (insert-if-absent already resolved on the primary).
+          if (s.ok()) repl_log_->append({"SET", args[1], args[2]});
+        } else {
+          s = store_.insert(args[1], args[2]);
+        }
         if (s.ok()) {
           append_integer(&reply, 1);
         } else if (s == StatusCode::kExists) {
@@ -667,7 +754,15 @@ void Server::execute(Reactor& r, Conn& c, std::vector<std::string>& args) {
         }
         int64_t removed = 0;
         for (size_t i = 1; i < args.size(); ++i) {
-          if (store_.erase(args[i]).ok()) ++removed;
+          if (repl_log_) {
+            std::lock_guard<std::mutex> lk(repl_log_->key_stripe(args[i]));
+            if (store_.erase(args[i]).ok()) {
+              ++removed;
+              repl_log_->append({"DEL", args[i]});
+            }
+          } else if (store_.erase(args[i]).ok()) {
+            ++removed;
+          }
         }
         append_integer(&reply, removed);
         break;
@@ -910,12 +1005,18 @@ void Server::execute(Reactor& r, Conn& c, std::vector<std::string>& args) {
               const Status s = admin->split_shard(shard_id);
               std::string rep;
               if (s.ok()) {
+                // Replicas don't replay the split (their directory evolves
+                // independently), but the barrier keeps the seq stream a
+                // total order across every acknowledged admin event.
+                if (repl_log_) {
+                  repl_log_->barrier("RESHARD", std::to_string(shard_id));
+                }
                 append_simple(&rep, "OK");
               } else {
                 append_error(&rep, "ERR " + s.to_string());
               }
               {
-                std::lock_guard<std::mutex> lock(rp->done_mu);
+                std::lock_guard<std::mutex> done_lock(rp->done_mu);
                 rp->done.push_back({fd, serial, std::move(rep)});
               }
               const uint64_t one = 1;
@@ -928,6 +1029,160 @@ void Server::execute(Reactor& r, Conn& c, std::vector<std::string>& args) {
         }
         if (!launched) {
           append_error(&reply, "ERR reshard already in progress");
+          break;
+        }
+        c.async_pending = true;
+        break;
+      }
+      case Cmd::kReplconf:
+        // Replica handshake preamble; accepted and (for now) ignored — the
+        // verb exists so the attach protocol has room to grow options.
+        append_simple(&reply, "OK");
+        break;
+      case Cmd::kReplstream: {
+        // REPLSTREAM <from_seq>: acknowledge, then (once the +OK drains)
+        // hand this connection to the ReplLog as a sink streaming from
+        // from_seq. Everything the replica sends afterwards is REPLACK.
+        if (args.size() != 2) {
+          append_error(&reply,
+                       "ERR wrong number of arguments (REPLSTREAM <from_seq>)");
+          break;
+        }
+        uint64_t from_seq = 0;
+        if (!parse_u64(args[1], &from_seq)) {
+          append_error(&reply, "ERR invalid sequence '" + args[1] + "'");
+          break;
+        }
+        if (from_seq == 0) from_seq = 1;
+        if (!repl_log_) {
+          append_error(&reply, "ERR replication disabled on this server");
+          break;
+        }
+        if (!repl_log_->can_stream_from(from_seq)) {
+          // The ring evicted that tail; a full resync is out of scope, so
+          // the replica must restart from an empty store.
+          append_error(&reply, "ERR repl log truncated before seq " +
+                                   args[1] + " (reseed the replica)");
+          break;
+        }
+        append_simple(&reply, "OK");
+        c.detach_repl = true;
+        c.repl_from_seq = from_seq;
+        break;
+      }
+      case Cmd::kReplack:
+        // Normally consumed by the ReplLog reader on a detached sink; on a
+        // live client connection it is a harmless no-op.
+        append_simple(&reply, "OK");
+        break;
+      case Cmd::kReplseq: {
+        // [role, last_seq, applied_seq, lag, sinks, connected] — the wire
+        // form of the lag gauges, cheap enough to poll per request.
+        const char* role = "standalone";
+        uint64_t last = 0;
+        uint64_t applied = 0;
+        uint64_t sinks = 0;
+        int64_t connected = 0;
+        if (replica_ && !replica_->promoted()) {
+          role = "replica";
+          last = replica_->last_received_seq();
+          applied = replica_->applied_seq();
+          connected = replica_->connected() ? 1 : 0;
+        } else if (repl_log_) {
+          role = replica_ ? "promoted" : "primary";
+          last = repl_log_->last_seq();
+          applied = repl_log_->min_sink_acked();
+        } else if (replica_) {
+          role = "promoted";
+          last = replica_->last_received_seq();
+          applied = replica_->applied_seq();
+        }
+        if (repl_log_) sinks = repl_log_->sink_count();
+        append_array_header(&reply, 6);
+        append_bulk(&reply, role);
+        append_integer(&reply, static_cast<int64_t>(last));
+        append_integer(&reply, static_cast<int64_t>(applied));
+        append_integer(&reply,
+                       static_cast<int64_t>(last > applied ? last - applied
+                                                           : 0));
+        append_integer(&reply, static_cast<int64_t>(sinks));
+        append_integer(&reply, connected);
+        break;
+      }
+      case Cmd::kGetat: {
+        // GETAT <min_seq> <key>: the read-your-writes gate. A client that
+        // wrote through the primary at seq S reads from a replica with
+        // min_seq=S; until the replica has applied that far it answers
+        // -ERR LAGGING (retry or fall back to the primary) instead of
+        // serving a stale value.
+        if (args.size() != 3) {
+          append_error(&reply,
+                       "ERR wrong number of arguments (GETAT <min_seq> <key>)");
+          break;
+        }
+        uint64_t min_seq = 0;
+        if (!parse_u64(args[1], &min_seq)) {
+          append_error(&reply, "ERR invalid sequence '" + args[1] + "'");
+          break;
+        }
+        const uint64_t applied =
+            replica_ ? replica_->applied_seq()
+                     : (repl_log_ ? repl_log_->last_seq() : 0);
+        if ((replica_ || repl_log_) && applied < min_seq) {
+          append_error(&reply, "LAGGING applied=" + std::to_string(applied));
+          break;
+        }
+        const Status s = store_.get(args[2], &r.value);
+        if (s.ok()) {
+          append_bulk(&reply, r.value);
+        } else if (s == StatusCode::kNotFound) {
+          append_nil(&reply);
+        } else {
+          append_status_error(&reply, s, r.table_full);
+        }
+        break;
+      }
+      case Cmd::kPromote: {
+        // PROMOTE: seal the stream, replay the delivered tail, flip
+        // writable; replies with the applied seq. The drain can take a
+        // couple of recv windows, so it runs on the async worker thread
+        // (shared with RESHARD) and the reply returns via deliver_async.
+        if (!replica_) {
+          append_error(&reply, "ERR not a replica");
+          break;
+        }
+        if (replica_->promoted()) {
+          append_simple(&reply, "ALREADY");
+          break;
+        }
+        bool launched = false;
+        {
+          std::lock_guard<std::mutex> lock(reshard_mu_);
+          if (!reshard_busy_.load(std::memory_order_acquire)) {
+            if (reshard_thread_.joinable()) reshard_thread_.join();
+            reshard_busy_.store(true, std::memory_order_release);
+            reshard_thread_ = std::thread([this, rp = &r, fd = c.fd,
+                                           serial = c.serial] {
+              const uint64_t applied = replica_->promote();
+              // Carry the seq forward so a replica chained to this newly
+              // writable node attaches where the old stream left off.
+              if (repl_log_) repl_log_->set_base(applied);
+              std::string rep;
+              append_integer(&rep, static_cast<int64_t>(applied));
+              {
+                std::lock_guard<std::mutex> done_lock(rp->done_mu);
+                rp->done.push_back({fd, serial, std::move(rep)});
+              }
+              const uint64_t one = 1;
+              [[maybe_unused]] ssize_t ignored =
+                  ::write(rp->wake_fd, &one, sizeof(one));
+              reshard_busy_.store(false, std::memory_order_release);
+            });
+            launched = true;
+          }
+        }
+        if (!launched) {
+          append_error(&reply, "ERR admin operation already in progress");
           break;
         }
         c.async_pending = true;
@@ -1012,6 +1267,32 @@ std::string Server::info_text() const {
            ",p99_ns=" + std::to_string(lat[i].percentile(0.99));
     }
     s += "\r\n";
+  }
+  if (repl_log_ || replica_) {
+    s += "\r\n# Replication\r\n";
+    const bool is_replica = replica_ && !replica_->promoted();
+    s += std::string("role:") +
+         (is_replica ? "replica" : (replica_ ? "promoted" : "primary")) +
+         "\r\n";
+    if (replica_) {
+      s += "repl_applied_seq:" + std::to_string(replica_->applied_seq()) +
+           "\r\n";
+      s += "repl_received_seq:" +
+           std::to_string(replica_->last_received_seq()) + "\r\n";
+      s += "repl_connected:" + std::to_string(replica_->connected() ? 1 : 0) +
+           "\r\n";
+      s += "repl_apply_errors:" + std::to_string(replica_->apply_errors()) +
+           "\r\n";
+    }
+    if (repl_log_) {
+      const uint64_t last = repl_log_->last_seq();
+      const uint64_t acked = repl_log_->min_sink_acked();
+      s += "repl_last_seq:" + std::to_string(last) + "\r\n";
+      s += "repl_sinks:" + std::to_string(repl_log_->sink_count()) + "\r\n";
+      s += "repl_min_sink_acked:" + std::to_string(acked) + "\r\n";
+      s += "repl_sink_lag:" + std::to_string(last > acked ? last - acked : 0) +
+           "\r\n";
+    }
   }
   s += "\r\n# Store\r\n";
   s += "items:" + std::to_string(store_.size()) + "\r\n";

@@ -19,7 +19,14 @@
 // verbs SLOWLOG GET|RESET|LEN, HOTKEYS [k], LATENCY (windowed
 // percentiles), and METRICS (the full Prometheus scrape; INFO stays
 // compact), plus the shard admin verbs SHARDS (directory dump) and
-// RESHARD <shard> (online split) on elastically sharded stores.
+// RESHARD <shard> (online split) on elastically sharded stores, plus the
+// replication verbs (net/repl.h, docs/server.md "Replication"): REPLCONF /
+// REPLSTREAM <from_seq> (a replica's attach handshake — on +OK the
+// connection is detached from its reactor and handed to the ReplLog as a
+// sink), REPLSEQ (role + seq/lag snapshot), GETAT <min_seq> <key> (the
+// read-your-writes gate), and PROMOTE (seal the stream, replay the tail,
+// flip writable; runs on the async worker like RESHARD). A server given a
+// ReplicaSession rejects mutations with -READONLY until promoted.
 // Execution speaks the
 // KvStore surface of API v2: outcomes map to RESP replies
 // (kNotFound -> nil, kTableFull -> "-ERR table full", ...) and no scheme
@@ -66,10 +73,19 @@ enum class Cmd : uint8_t {
   kMetrics,
   kShards,
   kReshard,
+  kReplconf,
+  kReplstream,
+  kReplack,
+  kReplseq,
+  kGetat,
+  kPromote,
   kUnknown,
 };
-inline constexpr uint32_t kCmdCount = 19;
+inline constexpr uint32_t kCmdCount = 25;
 const char* cmd_name(Cmd c);
+
+class ReplLog;
+class ReplicaSession;
 
 struct ServerOptions {
   std::string bind = "127.0.0.1";
@@ -120,6 +136,16 @@ class Server {
 
   uint16_t port() const { return port_; }
 
+  // Attach the primary-side replication log: acknowledged mutations are
+  // appended (and shipped to replica sinks) before their ack is queued,
+  // and REPLSTREAM hands sink connections over. Set before start(); the
+  // log must outlive the server's running phase.
+  void set_repl_log(ReplLog* log) { repl_log_ = log; }
+  // Mark this server a replica: mutations answer -READONLY until the
+  // session reports promoted(); PROMOTE drives session->promote(). Set
+  // before start(); the session must outlive the server's running phase.
+  void set_replica(ReplicaSession* session) { replica_ = session; }
+
   Counters counters() const;
   // Merged per-command latency histogram snapshots (index = Cmd).
   std::vector<Histogram> latency_snapshot() const;
@@ -137,6 +163,10 @@ class Server {
   void close_conn(Reactor& r, Conn& c);
   void flush_output(Reactor& r, Conn& c);
   void execute(Reactor& r, Conn& c, std::vector<std::string>& args);
+  // Hand a connection that completed the REPLSTREAM handshake over to the
+  // ReplLog: its fd leaves the reactor's epoll set and conns map (without
+  // being closed) and becomes a replication sink.
+  void detach_repl_conn(Reactor& r, Conn& c);
   // Hand worker-produced replies (RESHARD) back to the reactor's
   // connections; runs on the reactor thread after a wake_fd poke.
   void deliver_async(Reactor& r);
@@ -161,6 +191,8 @@ class Server {
   std::mutex reshard_mu_;
   std::thread reshard_thread_;
   std::atomic<bool> reshard_busy_{false};
+  ReplLog* repl_log_ = nullptr;
+  ReplicaSession* replica_ = nullptr;
   std::vector<uint64_t> obs_gauges_;
   std::string obs_label_;
 };

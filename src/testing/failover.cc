@@ -1,0 +1,235 @@
+#include "testing/failover.h"
+
+#include <chrono>
+#include <map>
+#include <thread>
+
+#include "api/factory.h"
+#include "common/clock.h"
+#include "net/client.h"
+#include "net/repl.h"
+#include "net/server.h"
+#include "nvm/alloc.h"
+#include "nvm/pmem.h"
+
+namespace hdnh::failover {
+
+namespace {
+
+std::string point_key(uint64_t seed, uint32_t i) {
+  // <= 15 bytes so the fixed-record codec accepts it at any seed.
+  return "f" + std::to_string((seed % 1000) * 100000 + i);
+}
+
+std::string point_val(uint64_t seed, uint32_t i) {
+  return "v" + std::to_string((seed % 1000) * 100000 + i);
+}
+
+net::Client make_client(uint16_t port) {
+  net::Client c;
+  c.set_timeouts({2000, 2000, 2000});
+  c.connect("127.0.0.1", port);
+  return c;
+}
+
+}  // namespace
+
+// Pool + allocator + store + server for one role.
+struct Pair::Node {
+  Node(const PairOptions& opts, uint32_t threads)
+      : pool(pool_bytes_hint(opts.scheme, opts.capacity * 2,
+                             ShardingOptions{})),
+        alloc(pool) {
+    TableOptions topts;
+    topts.capacity = opts.capacity;
+    kv = std::make_unique<FixedTableKv>(
+        create_table(opts.scheme, alloc, topts));
+    net::ServerOptions sopts;
+    sopts.port = 0;  // ephemeral
+    sopts.threads = threads;
+    server = std::make_unique<net::Server>(*kv, sopts);
+  }
+
+  nvm::PmemPool pool;
+  nvm::PmemAllocator alloc;
+  std::unique_ptr<FixedTableKv> kv;
+  std::unique_ptr<net::Server> server;
+};
+
+Pair::Pair(const PairOptions& opts) {
+  primary_ = std::make_unique<Node>(opts, opts.threads);
+  log_ = std::make_unique<net::ReplLog>();
+  log_->start();
+  primary_->server->set_repl_log(log_.get());
+  primary_->server->start();
+
+  replica_ = std::make_unique<Node>(opts, opts.threads);
+  net::ReplicaOptions ropts;
+  ropts.host = "127.0.0.1";
+  ropts.port = primary_->server->port();
+  ropts.recv_timeout_ms = opts.recv_timeout_ms;
+  ropts.ack_every = opts.ack_every;
+  session_ = std::make_unique<net::ReplicaSession>(*replica_->kv, ropts);
+  replica_->server->set_replica(session_.get());
+  replica_->server->start();
+  session_->start();
+}
+
+Pair::~Pair() {
+  replica_->server->stop();
+  session_->stop();
+  kill_primary();
+}
+
+uint16_t Pair::primary_port() const { return primary_->server->port(); }
+uint16_t Pair::replica_port() const { return replica_->server->port(); }
+
+bool Pair::wait_for_sink(uint32_t timeout_ms) {
+  const uint64_t deadline =
+      now_ns() + static_cast<uint64_t>(timeout_ms) * 1'000'000ull;
+  while (log_->sink_count() == 0) {
+    if (now_ns() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return true;
+}
+
+void Pair::kill_primary() {
+  if (primary_dead_) return;
+  primary_dead_ = true;
+  primary_->server->stop();
+  log_->stop();
+}
+
+uint64_t Pair::promote_replica() {
+  net::Client c = make_client(replica_port());
+  const net::RespValue v = c.command({"PROMOTE"});
+  if (v.type == net::RespValue::Type::kInteger) {
+    return static_cast<uint64_t>(v.integer);
+  }
+  // "+ALREADY" or an error: report the session's own view.
+  return session_->applied_seq();
+}
+
+std::string run_failover_point(const PointOptions& opts) {
+  Pair pair(opts.pair);
+  if (!pair.wait_for_sink()) {
+    return "replica sink never attached to the primary";
+  }
+
+  // Pipelined writer against the primary, killed at the k-th ack. Keys are
+  // fresh (no overwrites), so the oracle's model is exactly "acked keys
+  // hold their value, in-flight keys are absent or complete".
+  std::map<std::string, std::string> acked;
+  uint32_t sent = 0;
+  uint32_t acks = 0;
+  bool writer_died_early = false;
+  {
+    net::Client w = make_client(pair.primary_port());
+    std::vector<std::pair<std::string, std::string>> inflight;
+    try {
+      while (acks < opts.kill_after_acks && acks < opts.writes) {
+        while (sent < opts.writes &&
+               inflight.size() < static_cast<size_t>(opts.depth)) {
+          std::string k = point_key(opts.seed, sent);
+          std::string v = point_val(opts.seed, sent);
+          w.pipeline({"SET", k, v});
+          inflight.emplace_back(std::move(k), std::move(v));
+          ++sent;
+        }
+        w.flush();
+        const net::RespValue v = w.read_reply();
+        if (v.is_error()) {
+          return "primary rejected a write: " + v.str;
+        }
+        auto& done = inflight.front();
+        acked.emplace(std::move(done.first), std::move(done.second));
+        inflight.erase(inflight.begin());
+        ++acks;
+      }
+    } catch (const std::exception&) {
+      // The writer may race the kill below only if the primary dies on its
+      // own — that is a failed point, not an oracle case.
+      writer_died_early = true;
+    }
+    // Kill at the protocol event: the k-th acknowledgement has been read,
+    // in-flight writes (sent, unacked) are still on the wire.
+    pair.kill_primary();
+  }
+  if (writer_died_early) {
+    return "primary connection died before the kill point (acks=" +
+           std::to_string(acks) + ")";
+  }
+
+  const uint64_t applied = pair.promote_replica();
+  if (!pair.replica_session().promoted()) {
+    return "replica did not report promoted after PROMOTE";
+  }
+
+  net::Client r = make_client(pair.replica_port());
+  std::string got;
+
+  // 1. No acknowledged write may be lost or wrong.
+  for (const auto& [k, v] : acked) {
+    if (!r.get(k, &got)) {
+      return "acked key lost after promotion: " + k +
+             " (applied_seq=" + std::to_string(applied) + ")";
+    }
+    if (got != v) {
+      return "acked key " + k + " has wrong value '" + got + "' (want '" + v +
+             "')";
+    }
+  }
+  // 2. In-flight writes surface complete or not at all — never torn.
+  for (uint32_t i = acks; i < sent; ++i) {
+    const std::string k = point_key(opts.seed, i);
+    if (r.get(k, &got) && got != point_val(opts.seed, i)) {
+      return "in-flight key " + k + " surfaced torn: '" + got + "'";
+    }
+  }
+  // 3. No ghost writes: keys never sent must not exist.
+  for (uint32_t i = sent; i < opts.writes; ++i) {
+    if (r.get(point_key(opts.seed, i), &got)) {
+      return "ghost key after promotion: " + point_key(opts.seed, i);
+    }
+  }
+  // 4. Item count bounded by [acked, sent].
+  const int64_t items = r.dbsize();
+  if (items < static_cast<int64_t>(acked.size()) ||
+      items > static_cast<int64_t>(sent)) {
+    return "promoted dbsize " + std::to_string(items) + " outside [" +
+           std::to_string(acked.size()) + ", " + std::to_string(sent) + "]";
+  }
+  // 5. The survivor is writable.
+  const net::RespValue w2 = r.command({"SET", "post-promote", "pp"});
+  if (w2.is_error()) {
+    return "promoted node rejected a write: " + w2.str;
+  }
+  if (!r.get("post-promote", &got) || got != "pp") {
+    return "post-promotion write not readable";
+  }
+  return "";
+}
+
+SweepResult sweep_failover(uint32_t writes, uint32_t stride, uint64_t seed,
+                           const PairOptions& pair) {
+  SweepResult res;
+  if (stride == 0) stride = 1;
+  for (uint32_t k = 1; k < writes; k += stride) {
+    PointOptions p;
+    p.writes = writes;
+    p.kill_after_acks = k;
+    p.seed = seed + k;
+    p.pair = pair;
+    const std::string msg = run_failover_point(p);
+    ++res.points;
+    if (!msg.empty()) {
+      ++res.failures;
+      res.messages.push_back("kill_after_acks=" + std::to_string(k) + ": " +
+                             msg);
+    }
+  }
+  return res;
+}
+
+}  // namespace hdnh::failover

@@ -1,0 +1,118 @@
+// Failover harness: a primary+replica pair in one process, a pipelined
+// writer killed mid-stream, and an acknowledged-op oracle on the promoted
+// survivor (docs/crash_testing.md "Failover sweep").
+//
+// The sweep protocol for one point:
+//   1. build a Pair — two servers on ephemeral loopback ports, the
+//      replica's feed attached to the primary's ReplLog — and wait for the
+//      sink to attach (writes appended before the attach would be refused
+//      on a wrapped ring, never silently skipped);
+//   2. run a pipelined writer against the primary (depth-D in flight,
+//      fresh keys) and kill the primary the instant the k-th ack is read —
+//      server stopped, replication log torn down, every socket closed —
+//      leaving up to D-1 writes in flight;
+//   3. PROMOTE the replica over the wire (seals the stream, replays the
+//      delivered tail, flips writable) and run the oracle against it:
+//      every acknowledged key present with its exact value (ship-before-ack
+//      means a lost one is a real durability hole, not a race), every
+//      in-flight key absent-or-complete (never torn), no ghost keys beyond
+//      what was sent, and the promoted node accepts a fresh write.
+//
+// Each point is deterministic given (writes, kill_after_acks, seed): keys
+// and values are derived from the seed, and the kill trigger is the ack
+// count — a protocol event — not a timer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/kv_store.h"
+
+namespace hdnh {
+class HashTable;
+namespace nvm {
+class PmemPool;
+class PmemAllocator;
+}  // namespace nvm
+namespace net {
+class Server;
+class ReplLog;
+class ReplicaSession;
+}  // namespace net
+}  // namespace hdnh
+
+namespace hdnh::failover {
+
+struct PairOptions {
+  std::string scheme = "hdnh@2";
+  uint64_t capacity = 1 << 14;
+  uint32_t threads = 2;           // reactors per server
+  uint32_t recv_timeout_ms = 200; // replica feed deadline (promote speed)
+  // Effectively no mid-stream REPLACK: an ack racing the primary's death
+  // can RST the connection and discard kernel-buffered stream data the
+  // oracle is owed — progress acks resume once the pair is stable.
+  uint32_t ack_every = 1u << 20;
+};
+
+// One pool/store/server per role, wired primary -> replica. Servers run
+// from construction; the replica is read-only until promote_replica().
+class Pair {
+ public:
+  explicit Pair(const PairOptions& opts = {});
+  ~Pair();
+  Pair(const Pair&) = delete;
+  Pair& operator=(const Pair&) = delete;
+
+  uint16_t primary_port() const;
+  uint16_t replica_port() const;
+
+  // True once the replica's feed is attached as a ReplLog sink (writes
+  // before that would race the attach).
+  bool wait_for_sink(uint32_t timeout_ms = 5000);
+
+  // The primary dies: server stopped, log (and every sink socket) torn
+  // down. Bytes already handed to the kernel still reach the replica —
+  // that is the ship-before-ack guarantee under test. Idempotent.
+  void kill_primary();
+
+  // PROMOTE over the wire; returns the applied seq the replica reported.
+  uint64_t promote_replica();
+
+  net::ReplicaSession& replica_session() { return *session_; }
+  net::ReplLog& repl_log() { return *log_; }
+
+ private:
+  struct Node;
+  std::unique_ptr<Node> primary_;
+  std::unique_ptr<Node> replica_;
+  std::unique_ptr<net::ReplLog> log_;
+  std::unique_ptr<net::ReplicaSession> session_;
+  bool primary_dead_ = false;
+};
+
+struct PointOptions {
+  uint32_t writes = 64;          // total SETs the writer will attempt
+  uint32_t depth = 8;            // pipelined writes in flight
+  uint32_t kill_after_acks = 1;  // kill the primary after this many acks
+  uint64_t seed = 42;
+  PairOptions pair;
+};
+
+// Run one kill point end to end. Returns "" on pass, else a one-line
+// failure description (first violation found).
+std::string run_failover_point(const PointOptions& opts);
+
+struct SweepResult {
+  uint32_t points = 0;
+  uint32_t failures = 0;
+  std::vector<std::string> messages;  // one per failed point
+};
+
+// Sweep kill_after_acks = 1, 1+stride, ... <= writes-1: the primary dies
+// at every acknowledgement event in the stream.
+SweepResult sweep_failover(uint32_t writes, uint32_t stride, uint64_t seed,
+                           const PairOptions& pair = {});
+
+}  // namespace hdnh::failover

@@ -1,0 +1,107 @@
+// Failover sweep: kill the primary at every acknowledgement event in a
+// pipelined write stream, PROMOTE the replica, and assert the
+// acknowledged-op oracle — no acked write lost, no torn in-flight write,
+// no ghost key, survivor writable (docs/crash_testing.md).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/client.h"
+#include "net/repl.h"
+#include "testing/failover.h"
+
+namespace hdnh::failover {
+namespace {
+
+// Every kill point in a 48-write stream. This is the acceptance sweep:
+// each point builds a fresh pair, kills at ack k, promotes, and runs the
+// oracle; a single lost or ghost write fails the test with the point named.
+TEST(Failover, SweepNoAckedWriteLost) {
+  PairOptions pair;
+  pair.capacity = 1 << 12;
+  pair.threads = 1;
+  SweepResult res = sweep_failover(/*writes=*/48, /*stride=*/1,
+                                   /*seed=*/7001, pair);
+  EXPECT_EQ(res.points, 47u);
+  for (const std::string& m : res.messages) {
+    ADD_FAILURE() << m;
+  }
+  EXPECT_EQ(res.failures, 0u);
+}
+
+// A deep pipeline (depth 32) killed mid-stream: up to 31 writes in flight
+// when the primary dies. Exercises the in-flight absent-or-complete arm of
+// the oracle much harder than the depth-8 sweep.
+TEST(Failover, DeepPipelineMidStreamKill) {
+  PointOptions p;
+  p.writes = 256;
+  p.depth = 32;
+  p.kill_after_acks = 100;
+  p.seed = 8002;
+  p.pair.capacity = 1 << 12;
+  p.pair.threads = 1;
+  const std::string msg = run_failover_point(p);
+  EXPECT_EQ(msg, "");
+}
+
+// Kill at the very last ack: everything the writer attempted was
+// acknowledged, so the promoted replica must hold the complete set.
+TEST(Failover, KillAfterFinalAck) {
+  PointOptions p;
+  p.writes = 64;
+  p.depth = 8;
+  p.kill_after_acks = 64;
+  p.seed = 8003;
+  p.pair.capacity = 1 << 12;
+  p.pair.threads = 1;
+  const std::string msg = run_failover_point(p);
+  EXPECT_EQ(msg, "");
+}
+
+// The promoted node is a real primary: it takes sustained pipelined
+// writes and serves them back after the failover, not just the oracle's
+// single probe.
+TEST(Failover, PromotedServesSustainedWrites) {
+  PairOptions popts;
+  popts.capacity = 1 << 12;
+  popts.threads = 1;
+  Pair pair(popts);
+  ASSERT_TRUE(pair.wait_for_sink());
+
+  {
+    net::Client w;
+    w.set_timeouts({2000, 2000, 2000});
+    w.connect("127.0.0.1", pair.primary_port());
+    for (int i = 0; i < 32; ++i) {
+      w.set("pre" + std::to_string(i), "v" + std::to_string(i));
+    }
+    pair.kill_primary();
+  }
+  pair.promote_replica();
+  ASSERT_TRUE(pair.replica_session().promoted());
+
+  net::Client c;
+  c.set_timeouts({2000, 2000, 2000});
+  c.connect("127.0.0.1", pair.replica_port());
+  // Pipelined mixed traffic through the survivor: overwrite the inherited
+  // keys and add fresh ones.
+  for (int i = 0; i < 32; ++i) {
+    c.pipeline({"SET", "pre" + std::to_string(i), "n" + std::to_string(i)});
+    c.pipeline({"SET", "post" + std::to_string(i), "p" + std::to_string(i)});
+  }
+  c.flush();
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_FALSE(c.read_reply().is_error());
+  }
+  std::string v;
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(c.get("pre" + std::to_string(i), &v));
+    EXPECT_EQ(v, "n" + std::to_string(i));
+    ASSERT_TRUE(c.get("post" + std::to_string(i), &v));
+    EXPECT_EQ(v, "p" + std::to_string(i));
+  }
+  EXPECT_EQ(c.dbsize(), 64);
+}
+
+}  // namespace
+}  // namespace hdnh::failover

@@ -1,0 +1,219 @@
+// net::Client robustness: the errno a failed connect reports survives the
+// ::close that follows it, send/recv deadlines fire as TimeoutError
+// instead of hanging, and a server killed mid-pipelined-MGET surfaces as a
+// prompt error on the client — the dead-peer holes the replication channel
+// cannot afford.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/factory.h"
+#include "common/clock.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "nvm/alloc.h"
+#include "nvm/pmem.h"
+
+namespace hdnh::net {
+namespace {
+
+// A listener that accepts connections but never replies (and never reads),
+// on an ephemeral port. The sink for every timeout test.
+class SilentListener {
+ public:
+  SilentListener() {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    EXPECT_EQ(::listen(fd_, 8), 0);
+    sockaddr_in actual{};
+    socklen_t alen = sizeof(actual);
+    ::getsockname(fd_, reinterpret_cast<sockaddr*>(&actual), &alen);
+    port_ = ntohs(actual.sin_port);
+    accepter_ = std::thread([this] {
+      for (;;) {
+        const int c = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+        if (c < 0) return;  // listener closed: drain
+        std::lock_guard<std::mutex> lk(mu_);
+        accepted_.push_back(c);
+      }
+    });
+  }
+  ~SilentListener() {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    accepter_.join();
+    for (const int c : accepted_) ::close(c);
+  }
+  uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accepter_;
+  std::mutex mu_;
+  std::vector<int> accepted_;
+};
+
+// An ephemeral port with nothing listening on it: bind, read the port,
+// close. A tiny race window (something else could claim it), but connect
+// then fails with ECONNREFUSED in practice.
+uint16_t dead_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  sockaddr_in actual{};
+  socklen_t alen = sizeof(actual);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &alen);
+  ::close(fd);
+  return ntohs(actual.sin_port);
+}
+
+// The connect-errno bugfix: ::close(fd) after the failed ::connect must
+// not clobber what gets reported — the thrown message carries the real
+// refusal, not close's errno or stale garbage.
+TEST(ClientRobustness, ConnectRefusedReportsRealErrno) {
+  Client c;
+  try {
+    c.connect("127.0.0.1", dead_port());
+    FAIL() << "connect to a dead port unexpectedly succeeded";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("Connection refused"),
+              std::string::npos)
+        << "reported: " << e.what();
+  }
+}
+
+TEST(ClientRobustness, ConnectRefusedReportsRealErrnoWithDeadline) {
+  Client c;
+  c.set_timeouts({2000, 0, 0});  // the non-blocking connect path
+  try {
+    c.connect("127.0.0.1", dead_port());
+    FAIL() << "connect to a dead port unexpectedly succeeded";
+  } catch (const TimeoutError&) {
+    FAIL() << "refusal misreported as a timeout";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("Connection refused"),
+              std::string::npos)
+        << "reported: " << e.what();
+  }
+}
+
+TEST(ClientRobustness, RecvDeadlineFiresOnSilentPeer) {
+  SilentListener peer;
+  Client c;
+  c.set_timeouts({1000, 200, 0});
+  c.connect("127.0.0.1", peer.port());
+  c.pipeline({"PING"});
+  c.flush();  // the peer never answers
+  const uint64_t t0 = now_ns();
+  EXPECT_THROW(c.read_reply(), TimeoutError);
+  const uint64_t elapsed_ms = (now_ns() - t0) / 1'000'000;
+  EXPECT_GE(elapsed_ms, 150u);
+  EXPECT_LT(elapsed_ms, 5000u) << "deadline wildly overshot";
+}
+
+TEST(ClientRobustness, SendDeadlineFiresWhenPeerStopsReading) {
+  SilentListener peer;
+  Client c;
+  c.set_timeouts({1000, 0, 200});
+  c.connect("127.0.0.1", peer.port());
+  // The peer never reads: once its receive window and our send buffer
+  // fill, flush() must fail within the deadline instead of blocking.
+  const std::string big(256 * 1024, 'x');
+  const uint64_t t0 = now_ns();
+  const uint64_t give_up = t0 + 20ull * 1'000'000'000;
+  try {
+    for (;;) {
+      c.pipeline({"SET", "k", big});
+      c.flush();
+      ASSERT_LT(now_ns(), give_up) << "send never hit the deadline";
+    }
+  } catch (const TimeoutError&) {
+  }
+  EXPECT_LT((now_ns() - t0) / 1'000'000, 15000u);
+}
+
+TEST(ClientRobustness, FlushAfterPeerCloseErrorsOut) {
+  auto listener = std::make_unique<SilentListener>();
+  Client c;
+  c.set_timeouts({1000, 500, 500});
+  c.connect("127.0.0.1", listener->port());
+  listener.reset();  // peer gone: every accepted fd closed
+  // The first flush may succeed (bytes land in the kernel before the RST
+  // propagates); looping must surface an error, never spin forever on a
+  // stale errno.
+  const uint64_t give_up = now_ns() + 10ull * 1'000'000'000;
+  EXPECT_THROW(
+      {
+        while (now_ns() < give_up) {
+          c.pipeline({"PING"});
+          c.flush();
+        }
+      },
+      std::runtime_error);
+}
+
+// The e2e hole: a real server dying mid-pipelined-MGET must error the
+// client within its deadline instead of hanging read_reply forever.
+TEST(ClientRobustness, KillServerMidPipelinedMget) {
+  auto pool = std::make_unique<nvm::PmemPool>(
+      pool_bytes_hint("hdnh@2", 1 << 15, ShardingOptions{}));
+  auto alloc = std::make_unique<nvm::PmemAllocator>(*pool);
+  TableOptions topts;
+  topts.capacity = 1 << 14;
+  auto kv = std::make_unique<FixedTableKv>(create_table("hdnh@2", *alloc, topts));
+  ServerOptions sopts;
+  sopts.port = 0;
+  sopts.threads = 2;
+  auto server = std::make_unique<Server>(*kv, sopts);
+  server->start();
+
+  Client c;
+  c.set_timeouts({2000, 1000, 1000});
+  c.connect("127.0.0.1", server->port());
+  for (int i = 0; i < 64; ++i) {
+    c.set("mk" + std::to_string(i), "v" + std::to_string(i));
+  }
+
+  // Keep a deep MGET pipeline in flight and kill the server under it.
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    server->stop();
+  });
+
+  const uint64_t t0 = now_ns();
+  bool errored = false;
+  try {
+    std::vector<std::string> mget = {"MGET"};
+    for (int i = 0; i < 64; ++i) mget.push_back("mk" + std::to_string(i));
+    while (now_ns() < t0 + 30ull * 1'000'000'000) {
+      for (int d = 0; d < 16; ++d) c.pipeline(mget);
+      c.flush();
+      for (int d = 0; d < 16; ++d) (void)c.read_reply();
+    }
+  } catch (const std::exception&) {
+    errored = true;  // connection loss or TimeoutError — both are prompt
+  }
+  killer.join();
+  EXPECT_TRUE(errored) << "client never noticed the dead server";
+  EXPECT_LT((now_ns() - t0) / 1'000'000'000, 20u)
+      << "client noticed, but far too slowly";
+}
+
+}  // namespace
+}  // namespace hdnh::net

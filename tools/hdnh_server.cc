@@ -9,16 +9,24 @@
 // runs recovery); the default is an anonymous emulated pool. SIGINT /
 // SIGTERM / a SHUTDOWN command stop it gracefully: connections drain, a
 // final stats line prints, metrics files get a last snapshot, exit 0.
+//
+// Replication (docs/server.md "Replication"): every server carries a
+// ReplLog by default (--repl=false disables), so a replica can attach at
+// any time with REPLSTREAM. --replica_of=host:port starts in replica mode:
+// read-only, applying the primary's stream, until a PROMOTE verb (or the
+// primary's death plus an operator PROMOTE) flips it writable.
 #include <unistd.h>
 
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
 
 #include "api/factory.h"
 #include "common/cli.h"
+#include "net/repl.h"
 #include "net/server.h"
 #include "nvm/alloc.h"
 #include "nvm/pmem.h"
@@ -69,7 +77,36 @@ int main(int argc, char** argv) {
       "slowlog_ms", 10.0, "SLOWLOG admission threshold in milliseconds");
   const double window_s = cli.get_double(
       "window_s", 1.0, "obs window rotation tick (<=0 disables)");
+  const std::string replica_of = cli.get_str(
+      "replica_of", "",
+      "host:port of a primary to replicate (read-only until PROMOTE)");
+  const bool repl = cli.get_bool(
+      "repl", true, "keep a replication log so replicas can attach");
+  const uint32_t repl_log_entries = static_cast<uint32_t>(cli.get_int(
+      "repl_log_entries", 1 << 16, "repl entries retained for late attach"));
+  const uint32_t repl_send_timeout_ms = static_cast<uint32_t>(cli.get_int(
+      "repl_send_timeout_ms", 5000, "drop a replica sink stalled this long"));
+  const uint32_t repl_recv_timeout_ms = static_cast<uint32_t>(cli.get_int(
+      "repl_recv_timeout_ms", 500, "replica feed recv deadline per frame"));
+  const uint32_t repl_ack_every = static_cast<uint32_t>(cli.get_int(
+      "repl_ack_every", 64, "replica REPLACK cadence in applied entries"));
   cli.finish();
+
+  std::string primary_host;
+  uint16_t primary_port = 0;
+  if (!replica_of.empty()) {
+    const size_t colon = replica_of.rfind(':');
+    const long p = colon == std::string::npos
+                       ? 0
+                       : std::atol(replica_of.c_str() + colon + 1);
+    if (colon == std::string::npos || colon == 0 || p <= 0 || p > 65535) {
+      std::fprintf(stderr, "bad --replica_of '%s' (want host:port)\n",
+                   replica_of.c_str());
+      return 2;
+    }
+    primary_host = replica_of.substr(0, colon);
+    primary_port = static_cast<uint16_t>(p);
+  }
 
   // Block the termination signals before any thread exists, so every
   // reactor inherits the mask and only the sigwait below sees them.
@@ -108,6 +145,30 @@ int main(int argc, char** argv) {
   sopts.tcp_nodelay = nodelay;
   net::Server server(*store, sopts);
 
+  // Replication wiring. The log rides on every server (a primary is just a
+  // server someone attached a replica to); a --replica_of server applies
+  // the primary's stream and stays read-only until PROMOTE.
+  std::unique_ptr<net::ReplLog> repl_log;
+  if (repl) {
+    net::ReplLogOptions lopts;
+    lopts.ring_entries = repl_log_entries;
+    lopts.send_timeout_ms = static_cast<int>(repl_send_timeout_ms);
+    repl_log = std::make_unique<net::ReplLog>(lopts);
+    repl_log->start();
+    server.set_repl_log(repl_log.get());
+  }
+  std::unique_ptr<net::ReplicaSession> replica;
+  if (!primary_host.empty()) {
+    net::ReplicaOptions ropts;
+    ropts.host = primary_host;
+    ropts.port = primary_port;
+    ropts.recv_timeout_ms = repl_recv_timeout_ms;
+    ropts.ack_every = repl_ack_every;
+    replica = std::make_unique<net::ReplicaSession>(*store, ropts);
+    server.set_replica(replica.get());
+    replica->start();
+  }
+
   // Load-signal plumbing: latency capture feeds the windows, LATENCY,
   // SLOWLOG, and per-shard heat; the aggregator rotates the windows and
   // publishes the EWMA gauges the serializers scrape.
@@ -135,6 +196,10 @@ int main(int argc, char** argv) {
   server.start();
   std::printf("hdnh_server listening on %s:%u (scheme=%s, threads=%u)\n",
               bind.c_str(), server.port(), store->name(), threads);
+  if (replica) {
+    std::printf("replicating from %s:%u (read-only until PROMOTE)\n",
+                primary_host.c_str(), primary_port);
+  }
   std::fflush(stdout);
 
   // One thread turns a delivered signal into a stop request; main parks in
@@ -149,6 +214,10 @@ int main(int argc, char** argv) {
   ::kill(::getpid(), SIGTERM);
   sig_thread.join();
   server.stop();
+  // The feed thread and sink shipper touch the store/sockets; stop them
+  // before the stats read below and long before the store is destroyed.
+  if (replica) replica->stop();
+  if (repl_log) repl_log->stop();
 
   const net::Server::Counters c = server.counters();
   std::printf(
